@@ -1,0 +1,91 @@
+// Ablation — codec-level design choices (DESIGN.md §6):
+//   (1) Huffman encode-chunk size: per-chunk metadata overhead vs decode
+//       parallelism (the "chunkwise metadata" cost the paper notes for
+//       CUSZ-VLE in §III-B.2).
+//   (2) Quantizer capacity: outlier rate vs codebook size/alphabet cost.
+//   (3) The final host lossless stage: LZ77+Huffman (gzip stand-in) vs
+//       LZ77+rANS (Zstd stand-in, cuSZ's actual Step-9 choice).
+#include "bench/bench_util.hh"
+#include "core/metrics.hh"
+#include "lossless/lzh.hh"
+#include "lossless/lzr.hh"
+#include "sim/timer.hh"
+
+namespace {
+
+using namespace szp;
+using namespace szp::bench;
+
+}  // namespace
+
+int main() {
+  title("Ablation — Huffman chunk size, quantizer capacity, final lossless stage",
+        "CESM FSDSC-like field; rel-eb 1e-4 unless stated");
+
+  const auto f = load_field("CESM-ATM", "FSDSC", 0.3);
+
+  // ---- (1) Huffman chunk size ---------------------------------------------
+  println("(1) Huffman encode-chunk size (rel-eb 1e-4, Workflow-Huffman)");
+  println("%10s | %9s %16s %18s", "chunk", "CR", "metadata bytes", "decode chunks");
+  rule();
+  for (const std::uint32_t chunk : {256u, 1024u, 4096u, 16384u, 65536u}) {
+    CompressConfig cfg;
+    cfg.eb = ErrorBound::relative(1e-4);
+    cfg.workflow = Workflow::kHuffman;
+    cfg.huffman_chunk = chunk;
+    const auto c = Compressor(cfg).compress(f.values, f.extents());
+    const std::size_t nchunks = (f.values.size() + chunk - 1) / chunk;
+    println("%10u | %9.3f %16zu %18zu", chunk, c.stats.ratio, nchunks * sizeof(std::uint64_t),
+            nchunks);
+  }
+  rule();
+  println("Small chunks buy decode parallelism (GPU occupancy) at a per-chunk offset cost;");
+  println("the default 4096 keeps metadata below 0.1%% of the symbol payload.");
+
+  // ---- (2) Quantizer capacity ----------------------------------------------
+  println("");
+  println("(2) Quantizer capacity (rel-eb 1e-4, Workflow-Huffman)");
+  println("%10s | %9s %12s %14s", "capacity", "CR", "outliers", "outlier %%");
+  rule();
+  for (const std::uint32_t cap : {64u, 256u, 1024u, 4096u, 16384u}) {
+    CompressConfig cfg;
+    cfg.eb = ErrorBound::relative(1e-4);
+    cfg.workflow = Workflow::kHuffman;
+    cfg.quant.capacity = cap;
+    const auto c = Compressor(cfg).compress(f.values, f.extents());
+    println("%10u | %9.3f %12zu %13.4f%%", cap, c.stats.ratio, c.stats.outlier_count,
+            100.0 * static_cast<double>(c.stats.outlier_count) /
+                static_cast<double>(f.values.size()));
+  }
+  rule();
+  println("Too-small capacities push residuals into the 16-byte-per-entry outlier stream;");
+  println("oversized ones only grow the codebook.  1024 (the paper's default) is the knee.");
+
+  // ---- (3) Final lossless stage: gzip vs Zstd stand-ins --------------------
+  println("");
+  println("(3) Host lossless stage over the Workflow-Huffman archive (rel-eb 1e-2)");
+  println("%14s | %10s %14s", "stage", "total CR", "host seconds");
+  rule();
+  CompressConfig cfg;
+  cfg.eb = ErrorBound::relative(1e-2);
+  cfg.workflow = Workflow::kHuffman;
+  const auto base = Compressor(cfg).compress(f.values, f.extents());
+  const double orig = static_cast<double>(f.bytes());
+  {
+    sim::Timer t;
+    const auto g = lossless::lzh_compress(base.bytes);
+    println("%14s | %10.2f %14.3f", "none (qh)", base.stats.ratio, 0.0);
+    println("%14s | %10.2f %14.3f", "lzh (gzip)", orig / static_cast<double>(g.size()),
+            t.seconds());
+  }
+  {
+    sim::Timer t;
+    const auto z = lossless::lzr_compress(base.bytes);
+    println("%14s | %10.2f %14.3f", "lzr (zstd)", orig / static_cast<double>(z.size()),
+            t.seconds());
+  }
+  rule();
+  println("Either host stage roughly doubles the archive's density on smooth fields — and");
+  println("costs host-side latency, which is exactly why cuSZ+ replaces it with on-GPU RLE.");
+  return 0;
+}

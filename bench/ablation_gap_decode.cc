@@ -1,0 +1,48 @@
+// Ablation — gap-array fine-grained Huffman decoding (the paper's reference
+// [15], "Revisiting Huffman Coding", IPDPS'21): decoding granularity vs
+// metadata overhead.
+//
+// The chunked decoder's parallelism is one serial bit-walk per 4096-symbol
+// chunk; a gap array of per-sub-block bit offsets lets the decoder enter
+// every sub-block independently, trading 4 bytes of metadata per sub-block
+// for shorter, warp-convergent chains.  Expected shape: decode throughput
+// (modeled) rises as the stride shrinks, while CR dips slightly from the
+// metadata.
+#include "bench/bench_util.hh"
+#include "core/metrics.hh"
+
+namespace {
+
+using namespace szp;
+using namespace szp::bench;
+
+}  // namespace
+
+int main() {
+  title("Ablation — Huffman decode granularity (gap arrays, paper ref [15])",
+        "CESM-like field at rel-eb 1e-4, Workflow-Huffman; V100* = roofline model");
+
+  const auto f = load_field("CESM-ATM", "FSDSC", 0.4);
+  println("%12s | %9s | %12s | %14s", "gap stride", "CR", "gap bytes", "decode V100*");
+  rule();
+
+  for (const std::uint32_t stride : {0u, 2048u, 1024u, 512u, 256u, 128u}) {
+    CompressConfig cfg;
+    cfg.eb = ErrorBound::relative(1e-4);
+    cfg.workflow = Workflow::kHuffman;
+    cfg.huffman_gap_stride = stride;
+    const auto c = Compressor(cfg).compress(f.values, f.extents());
+    const auto d = Compressor::decompress(c.bytes);
+    const auto* dec = d.pipeline.find("huffman_decode");
+    const std::size_t gap_bytes =
+        stride > 0 ? (f.values.size() / stride) * sizeof(std::uint32_t) : 0;
+    println("%12u | %9.3f | %12zu | %14.1f", stride, c.stats.ratio, gap_bytes,
+            modeled_gbps(sim::v100(), at_paper_scale(*dec, f)));
+  }
+  rule();
+  println("stride 0 = the chunk-serial decoder (one bit-walk per 4096 symbols), the paper's");
+  println("cuSZ/cuSZ+ behavior; finer strides buy the multi-x decode gains reference [15]");
+  println("reports.  The cost is archive growth (4 bytes per sub-block — noticeable on this");
+  println("highly-compressed field), so ~512-1024 is the practical sweet spot.");
+  return 0;
+}

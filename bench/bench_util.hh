@@ -1,0 +1,112 @@
+// Shared helpers for the paper-table benchmark harnesses.
+//
+// Every bench prints (a) measured host throughput of the simulated-GPU
+// kernels and (b) roofline-modeled V100/A100 throughput from each kernel's
+// analytic cost (DESIGN.md §2).  Paper reference numbers are printed
+// alongside where the paper reports them, so shape comparisons are
+// one-glance.
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/compressor.hh"
+#include "data/catalog.hh"
+#include "data/synthetic.hh"
+#include "sim/device.hh"
+#include "sim/perf_model.hh"
+
+namespace szp::bench {
+
+inline void println(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stdout, fmt, args);
+  va_end(args);
+  std::fputc('\n', stdout);
+}
+
+inline void rule(char c = '-', int width = 100) {
+  for (int i = 0; i < width; ++i) std::fputc(c, stdout);
+  std::fputc('\n', stdout);
+}
+
+inline void title(const std::string& heading, const std::string& subtitle) {
+  rule('=');
+  println("%s", heading.c_str());
+  println("%s", subtitle.c_str());
+  rule('=');
+}
+
+/// Modeled GB/s of one pipeline stage on a device (payload = uncompressed
+/// bytes, the paper's throughput convention).
+inline double modeled_gbps(const sim::DeviceSpec& dev, const sim::StageReport& s) {
+  return sim::modeled_throughput_gbps(dev, s.cost, s.payload_bytes);
+}
+
+/// Generate a catalog field's data at the given axis scale.
+struct BenchField {
+  data::CatalogField info;
+  std::vector<float> values;
+
+  [[nodiscard]] const Extents& extents() const { return info.spec.extents; }
+  [[nodiscard]] std::uint64_t bytes() const { return values.size() * sizeof(float); }
+  [[nodiscard]] double mb() const { return static_cast<double>(bytes()) / 1e6; }
+};
+
+inline BenchField load_field(const std::string& dataset, const std::string& field,
+                             double axis_scale) {
+  BenchField f;
+  f.info = data::find_field(data::make_dataset(dataset, axis_scale), field);
+  f.values = data::generate_field(f.info.spec);
+  return f;
+}
+
+inline BenchField load_first_field(const std::string& dataset, double axis_scale) {
+  BenchField f;
+  f.info = data::make_dataset(dataset, axis_scale).fields.front();
+  f.values = data::generate_field(f.info.spec);
+  return f;
+}
+
+/// Element count of one field at the paper's evaluation size (Table III).
+inline std::uint64_t paper_field_elems(const std::string& dataset) {
+  if (dataset == "HACC") return 280953867ull;
+  if (dataset == "CESM-ATM") return 1800ull * 3600;
+  if (dataset == "Hurricane") return 100ull * 500 * 500;
+  if (dataset == "Nyx") return 512ull * 512 * 512;
+  if (dataset == "RTM") return 449ull * 449 * 235;
+  if (dataset == "Miranda") return 256ull * 384 * 384;
+  if (dataset == "QMCPACK") return 288ull * 115 * 69 * 69;
+  return 0;
+}
+
+/// Linearly rescale a stage's analytic cost to the paper's field size, so
+/// the roofline model is evaluated under the paper's occupancy/launch
+/// regime rather than this host's scaled-down one.  (Kernel work in this
+/// pipeline is linear in the element count.)
+inline sim::StageReport at_paper_scale(const sim::StageReport& s, const BenchField& f) {
+  const double factor = static_cast<double>(paper_field_elems(f.info.spec.dataset)) /
+                        static_cast<double>(f.values.size());
+  sim::StageReport out = s;
+  out.payload_bytes = static_cast<std::uint64_t>(static_cast<double>(s.payload_bytes) * factor);
+  out.cost.bytes_read = static_cast<std::uint64_t>(static_cast<double>(s.cost.bytes_read) * factor);
+  out.cost.bytes_written =
+      static_cast<std::uint64_t>(static_cast<double>(s.cost.bytes_written) * factor);
+  out.cost.flops = static_cast<std::uint64_t>(static_cast<double>(s.cost.flops) * factor);
+  out.cost.parallel_items =
+      static_cast<std::uint64_t>(static_cast<double>(s.cost.parallel_items) * factor);
+  return out;
+}
+
+/// Whole-pipeline variant of at_paper_scale.
+inline sim::PipelineReport pipeline_at_paper_scale(const sim::PipelineReport& p,
+                                                   const BenchField& f) {
+  sim::PipelineReport out;
+  for (const auto& s : p.stages) out.add(at_paper_scale(s, f));
+  return out;
+}
+
+}  // namespace szp::bench

@@ -1,0 +1,62 @@
+// Comparator study — CUSZ+ (error-bounded, prediction-based) vs the
+// ZFP-style fixed-rate transform compressor (cuZFP stand-in), the
+// comparison the paper's related-work section draws (§VI).
+//
+// Method: rate-distortion points.  For each field, cuSZ+ runs at rel-eb
+// 1e-2/1e-3/1e-4 (auto workflow) and zfp at fixed rates 2/4/8/16
+// bits/value; each point reports PSNR and CR.  Expected shape: at matched
+// PSNR, cuSZ+ posts the higher ratio on these prediction-friendly fields,
+// while zfp's ratio is data-independent (its fixed-rate limitation) and its
+// modeled kernel throughput is somewhat higher.
+#include "bench/bench_util.hh"
+#include "core/metrics.hh"
+#include "zfp/zfp.hh"
+
+namespace {
+
+using namespace szp;
+using namespace szp::bench;
+
+void run_case(const char* label, const BenchField& f) {
+  println("%s  (%.1f MB)", label, f.mb());
+  println("  %-26s | %8s %9s", "config", "CR", "PSNR dB");
+  rule();
+  for (const double eb : {1e-2, 1e-3, 1e-4}) {
+    CompressConfig cfg;
+    cfg.eb = ErrorBound::relative(eb);
+    cfg.workflow = Workflow::kAuto;
+    const auto c = Compressor(cfg).compress(f.values, f.extents());
+    const auto d = Compressor::decompress(c.bytes);
+    const auto m = compare_fields(f.values, d.data);
+    char name[64];
+    std::snprintf(name, sizeof name, "cuSZ+ rel-eb %.0e", eb);
+    println("  %-26s | %8.2f %9.2f", name, c.stats.ratio, m.psnr_db);
+  }
+  for (const double bits : {2.0, 4.0, 8.0, 16.0}) {
+    zfp::ZfpConfig zcfg;
+    zcfg.rate_bits_per_value = bits;
+    const auto c = zfp::zfp_compress(f.values, f.extents(), zcfg);
+    const auto d = zfp::zfp_decompress(c.bytes);
+    const auto m = compare_fields(f.values, d.data);
+    char name[64];
+    std::snprintf(name, sizeof name, "zfp fixed-rate %g bits", bits);
+    println("  %-26s | %8.2f %9.2f", name, c.ratio, m.psnr_db);
+  }
+  rule();
+}
+
+}  // namespace
+
+int main() {
+  title("cuSZ+ vs ZFP-style fixed rate — rate-distortion comparison",
+        "the paper's §VI contrast: error-bounded prediction vs fixed-rate transform coding");
+
+  run_case("CESM FSDSC (2D)", load_field("CESM-ATM", "FSDSC", 0.25));
+  run_case("Nyx baryon_density (3D)", load_field("Nyx", "baryon_density", 0.25));
+  run_case("HACC vx (1D)", load_field("HACC", "vx", 0.2));
+
+  println("Reading guide: pick a PSNR row from the zfp block and find the cuSZ+ row with");
+  println("comparable PSNR — the cuSZ+ CR is typically a multiple of zfp's at that quality,");
+  println("and, unlike fixed-rate mode, cuSZ+ guarantees the pointwise bound a priori.");
+  return 0;
+}

@@ -1,0 +1,149 @@
+#include "baseline/cusz_ref.hh"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/huffman/codec.hh"
+#include "core/metrics.hh"
+#include "core/serialize.hh"
+#include "sim/histogram.hh"
+#include "sim/sparse.hh"
+#include "sim/timer.hh"
+
+namespace szp::baseline {
+
+namespace {
+constexpr std::uint32_t kMagic = 0x305A5343;  // "CSZ0"
+}
+
+Compressed CuszCompressor::compress(std::span<const float> data, const Extents& ext) const {
+  if (data.empty() || data.size() != ext.count()) {
+    throw std::invalid_argument("CuszCompressor::compress: data must match extents");
+  }
+  cfg_.quant.validate();
+
+  Compressed out;
+  CompressStats& st = out.stats;
+  st.original_bytes = data.size_bytes();
+  st.workflow_used = Workflow::kHuffman;
+
+  const ValueRange range = ValueRange::of(data);
+  if (!range.finite) {
+    throw std::invalid_argument("CuszCompressor::compress: data contains non-finite values");
+  }
+  // Same strict-bound margin as szp::Compressor (see compressor.cc).
+  const double eb_user = cfg_.eb.resolve(range.span());
+  const double margin = std::max(eb_user * 1e-6, range.max_abs() * 0x1p-22);
+  if (margin >= 0.5 * eb_user) {
+    throw std::invalid_argument("CuszCompressor::compress: error bound below float32 precision");
+  }
+  st.eb_abs = eb_user;
+  const double eb_kernel = eb_user - margin;
+
+  sim::Timer t;
+  auto lorenzo = lorenzo_construct(data, ext, eb_kernel, cfg_.quant, OutlierScheme::kValue,
+                                   ConstructVariant::kBaseline);
+  st.pipeline.add({"lorenzo_construct", st.original_bytes, t.seconds(), lorenzo.cost});
+
+  t.reset();
+  auto outliers = sim::dense_to_sparse<qdiff_t>(
+      std::span<const qdiff_t>(lorenzo.outlier_dense.data(), lorenzo.outlier_dense.size()));
+  st.outlier_count = outliers.nnz();
+  st.pipeline.add({"gather_outlier", st.original_bytes, t.seconds(),
+                   sim::gather_cost(data.size(), sizeof(qdiff_t), outliers.nnz(),
+                                    sizeof(std::uint64_t))});
+
+  t.reset();
+  const auto freq = sim::device_histogram<quant_t>(
+      std::span<const quant_t>(lorenzo.quant.data(), lorenzo.quant.size()),
+      cfg_.quant.capacity);
+  st.pipeline.add({"histogram", st.original_bytes, t.seconds(),
+                   sim::histogram_cost(data.size(), sizeof(quant_t), cfg_.quant.capacity)});
+
+  t.reset();
+  const auto book = HuffmanCodebook::build(freq);
+  st.pipeline.add({"huffman_book", st.original_bytes, t.seconds(), book.build_cost()});
+
+  t.reset();
+  const auto enc = huffman_encode(std::span<const quant_t>(lorenzo.quant.data(), lorenzo.quant.size()),
+                                  book, cfg_.huffman_chunk, HuffmanEncVariant::kBaseline);
+  st.pipeline.add({"huffman_encode", st.original_bytes, t.seconds(), enc.cost});
+
+  ByteWriter w;
+  w.put(kMagic);
+  w.put<std::uint8_t>(static_cast<std::uint8_t>(ext.rank));
+  w.put<std::uint64_t>(ext.nx);
+  w.put<std::uint64_t>(ext.ny);
+  w.put<std::uint64_t>(ext.nz);
+  w.put<double>(eb_kernel);
+  w.put<std::uint32_t>(cfg_.quant.capacity);
+  w.put_vector(outliers.indices);
+  w.put_vector(outliers.values);
+  book.serialize(w);
+  w.put<std::uint64_t>(enc.num_symbols);
+  w.put<std::uint32_t>(enc.chunk_size);
+  w.put_vector(enc.chunk_offsets);
+  w.put_vector(enc.payload);
+
+  out.bytes = w.take();
+  st.compressed_bytes = out.bytes.size();
+  st.ratio = compression_ratio(st.original_bytes, st.compressed_bytes);
+  return out;
+}
+
+Decompressed CuszCompressor::decompress(std::span<const std::uint8_t> archive) {
+  ByteReader r(archive);
+  if (r.get<std::uint32_t>() != kMagic) {
+    throw std::runtime_error("CuszCompressor::decompress: bad magic");
+  }
+  Extents ext;
+  ext.rank = r.get<std::uint8_t>();
+  ext.nx = r.get<std::uint64_t>();
+  ext.ny = r.get<std::uint64_t>();
+  ext.nz = r.get<std::uint64_t>();
+  const double eb_abs = r.get<double>();
+  QuantConfig qcfg{r.get<std::uint32_t>()};
+
+  sim::SparseVector<qdiff_t> outliers;
+  outliers.indices = r.get_vector<std::uint64_t>();
+  outliers.values = r.get_vector<qdiff_t>();
+
+  HuffmanEncoded enc;
+  const auto book = HuffmanCodebook::deserialize(r);
+  enc.num_symbols = r.get<std::uint64_t>();
+  enc.chunk_size = r.get<std::uint32_t>();
+  enc.chunk_offsets = r.get_vector<std::uint64_t>();
+  enc.payload = r.get_vector<std::uint8_t>();
+
+  const std::size_t n = ext.count();
+  const std::size_t payload_bytes = n * sizeof(float);
+
+  Decompressed out;
+  out.extents = ext;
+
+  sim::Timer t;
+  auto dec = huffman_decode(enc, book);
+  out.pipeline.add({"huffman_decode", payload_bytes, t.seconds(), dec.cost});
+  if (dec.symbols.size() != n) {
+    throw std::runtime_error("CuszCompressor::decompress: symbol count mismatch");
+  }
+
+  // Scatter value-space outliers into a dense array for the coarse kernel's
+  // placeholder branch (cuSZ keeps them separate; the branch is the point).
+  t.reset();
+  std::vector<qdiff_t> outlier_dense(n, 0);
+  sim::scatter_add(outliers, std::span<qdiff_t>(outlier_dense));
+  out.pipeline.add({"scatter_outlier", payload_bytes, t.seconds(),
+                    sim::scatter_cost(outliers.nnz(), sizeof(qdiff_t), sizeof(std::uint64_t))});
+
+  t.reset();
+  out.data.resize(n);
+  const auto cost = lorenzo_reconstruct_coarse<float>(
+      std::span<const quant_t>(dec.symbols.data(), dec.symbols.size()),
+      std::span<const qdiff_t>(outlier_dense.data(), outlier_dense.size()), ext, eb_abs, qcfg,
+      std::span<float>(out.data.data(), out.data.size()));
+  out.pipeline.add({"lorenzo_reconstruct", payload_bytes, t.seconds(), cost});
+  return out;
+}
+
+}  // namespace szp::baseline

@@ -1,0 +1,48 @@
+// szp::baseline — the cuSZ (PACT'20) reference pipeline the paper compares
+// against.
+//
+// Differences from the cuSZ+ Compressor, matching §II-A/§II-B of the paper:
+//   * construction stages chunks through shared memory, 1 item/thread
+//     (ConstructVariant::kBaseline);
+//   * outliers are stored in prequantized-*value* space with quant-code 0
+//     as placeholder (OutlierScheme::kValue);
+//   * the only quant-code codec is multi-byte Huffman (Workflow-Huffman);
+//     no RLE path, no compressibility awareness;
+//   * the Huffman encoder stores a full word per thread
+//     (HuffmanEncVariant::kBaseline);
+//   * decompression reconstructs coarse-grained: one virtual thread per
+//     chunk, serial raster order, divergent outlier branch.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/compressor.hh"
+#include "core/eb.hh"
+#include "core/types.hh"
+#include "sim/profile.hh"
+
+namespace szp::baseline {
+
+struct CuszConfig {
+  ErrorBound eb = ErrorBound::relative(1e-4);
+  QuantConfig quant;
+  std::uint32_t huffman_chunk = 4096;
+};
+
+/// The cuSZ reference compressor.  Interface mirrors szp::Compressor so the
+/// benches can drive both identically.
+class CuszCompressor {
+ public:
+  CuszCompressor() = default;
+  explicit CuszCompressor(CuszConfig cfg) : cfg_(std::move(cfg)) {}
+
+  [[nodiscard]] Compressed compress(std::span<const float> data, const Extents& ext) const;
+  [[nodiscard]] static Decompressed decompress(std::span<const std::uint8_t> archive);
+
+ private:
+  CuszConfig cfg_{};
+};
+
+}  // namespace szp::baseline

@@ -1,0 +1,36 @@
+#include "core/analysis/entropy.hh"
+
+#include <cmath>
+
+namespace szp {
+
+double binary_entropy(double p) {
+  if (p <= 0.0 || p >= 1.0) return 0.0;
+  return -p * std::log2(p) - (1.0 - p) * std::log2(1.0 - p);
+}
+
+EntropyStats entropy_stats(std::span<const std::uint64_t> freq) {
+  EntropyStats s;
+  for (const auto f : freq) s.total += f;
+  if (s.total == 0) return s;
+
+  std::uint64_t top = 0;
+  const auto total = static_cast<double>(s.total);
+  for (std::size_t i = 0; i < freq.size(); ++i) {
+    if (freq[i] == 0) continue;
+    const double p = static_cast<double>(freq[i]) / total;
+    s.entropy_bits -= p * std::log2(p);
+    if (freq[i] > top) {
+      top = freq[i];
+      s.top_symbol = static_cast<std::uint32_t>(i);
+    }
+  }
+  s.p1 = static_cast<double>(top) / total;
+  // Johnsen's lower bound applies when p1 > 0.4; below that use 0
+  // (Huffman can be entropy-tight).
+  s.redundancy_lower = s.p1 > 0.4 ? 1.0 - binary_entropy(s.p1) : 0.0;
+  s.redundancy_upper = s.p1 + 0.086;  // Gallager, no restriction
+  return s;
+}
+
+}  // namespace szp

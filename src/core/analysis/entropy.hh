@@ -1,0 +1,35 @@
+// szp — histogram-based compressibility estimation (paper §III-B.1).
+//
+// From the quant-code histogram alone (no tree build) the framework bounds
+// the average Huffman bit length ⟨b⟩ = H(X) + R:
+//   * lower redundancy  R⁻ = 1 − H(p1, 1−p1)  when p1 > 0.4   (Johnsen 1980)
+//   * upper redundancy  R⁺ = p1 + 0.086                        (Gallager 1978)
+// where p1 is the probability of the most likely symbol.  These bounds feed
+// the RLE-vs-VLE workflow selector.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace szp {
+
+struct EntropyStats {
+  double entropy_bits = 0.0;     ///< H(X), bits per symbol
+  double p1 = 0.0;               ///< probability of the most likely symbol
+  std::uint32_t top_symbol = 0;  ///< the most likely symbol
+  double redundancy_lower = 0.0; ///< R⁻
+  double redundancy_upper = 0.0; ///< R⁺
+  std::uint64_t total = 0;       ///< number of samples in the histogram
+
+  /// Estimated bounds on the average Huffman codeword length.
+  [[nodiscard]] double avg_bits_lower() const { return entropy_bits + redundancy_lower; }
+  [[nodiscard]] double avg_bits_upper() const { return entropy_bits + redundancy_upper; }
+};
+
+/// Compute entropy statistics from a symbol frequency histogram.
+[[nodiscard]] EntropyStats entropy_stats(std::span<const std::uint64_t> freq);
+
+/// Binary entropy H(p, 1-p) in bits; 0 at p ∈ {0, 1}.
+[[nodiscard]] double binary_entropy(double p);
+
+}  // namespace szp

@@ -1,0 +1,46 @@
+// szp — smoothness estimation via sampled madogram / binary variance
+// (paper §III-B.2).
+//
+// The variogram 2γ(s1,s2) = E[(Z(s1)−Z(s2))²] is adapted twice: the power
+// is replaced by |Z(s1)−Z(s2)| (madogram — encoding is unidimensional), and
+// then by the binary indicator [Z(s1)≠Z(s2)] whose expectation is the RLE
+// *roughness* (a run breaks exactly when the value changes).  Smoothness is
+// 1 − roughness.  Pairs (a, a+d) are sampled with d ∈ [1, Dmax]; the
+// enumeration of all pairs would be O(n²).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace szp {
+
+struct MadogramConfig {
+  std::size_t max_distance = 200;  ///< D_max in the paper
+  std::size_t samples = 100000;    ///< sampled pairs
+  std::uint64_t seed = 0x5a5a1234;
+};
+
+struct MadogramResult {
+  /// Index d-1 holds the statistic at distance d (size max_distance).
+  std::vector<double> abs_difference;   ///< madogram: mean |Z(a)−Z(a+d)|
+  std::vector<double> binary_variance;  ///< roughness: P[Z(a)≠Z(a+d)]
+  double mean_roughness = 0.0;          ///< average binary variance over d
+  double slope = 0.0;                   ///< linear-regression slope of the madogram
+
+  [[nodiscard]] double smoothness() const { return 1.0 - mean_roughness; }
+};
+
+/// Sampled madogram of a float field (used on prequantized data in Fig 2a).
+[[nodiscard]] MadogramResult madogram(std::span<const float> data, const MadogramConfig& cfg = {});
+
+/// Sampled madogram of a quant-code field (Fig 2a middle/right panels).
+[[nodiscard]] MadogramResult madogram(std::span<const std::uint16_t> data,
+                                      const MadogramConfig& cfg = {});
+
+/// Adjacent-pair roughness (distance-1 binary variance computed exactly, not
+/// sampled): the direct predictor of RLE run structure — expected runs =
+/// 1 + roughness·(n−1).
+[[nodiscard]] double adjacent_roughness(std::span<const std::uint16_t> data);
+
+}  // namespace szp

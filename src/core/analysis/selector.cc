@@ -1,0 +1,36 @@
+#include "core/analysis/selector.hh"
+
+#include <algorithm>
+
+namespace szp {
+
+WorkflowDecision select_workflow(std::span<const std::uint64_t> freq,
+                                 std::size_t bytes_per_value, const SelectorConfig& cfg) {
+  WorkflowDecision d;
+  d.stats = entropy_stats(freq);
+
+  // Estimate ⟨b⟩ without building the tree.  On the highly skewed alphabets
+  // the RLE decision cares about (p1 near 1), Huffman sits essentially at
+  // the Johnsen lower bound H + R⁻, so that is the "likely achievable"
+  // value the paper's rule tests against 1.09; floored at 1 bit (no code is
+  // shorter).
+  d.est_avg_bits = std::max(1.0, d.stats.avg_bits_lower());
+
+  const double value_bits = static_cast<double>(bytes_per_value) * 8.0;
+  d.est_vle_cr = d.est_avg_bits > 0.0 ? value_bits / d.est_avg_bits : 0.0;
+
+  // ⟨b⟩_RLE estimate: with i.i.d. symbol changes at rate (1 − p1) the
+  // expected run length is 1/(1 − p1); each run costs 32 bits (u16 value +
+  // u16 count).
+  const double change_rate = std::max(1e-12, 1.0 - d.stats.p1);
+  d.est_rle_bits = 32.0 * change_rate;
+
+  if (d.est_avg_bits <= cfg.avg_bits_threshold) {
+    d.workflow = cfg.prefer_rle_vle ? Workflow::kRleVle : Workflow::kRle;
+  } else {
+    d.workflow = Workflow::kHuffman;
+  }
+  return d;
+}
+
+}  // namespace szp

@@ -1,0 +1,48 @@
+// szp — the compressibility-aware workflow selector (paper §III).
+//
+// Decides, from the quant-code histogram alone (no Huffman tree, no trial
+// encode), whether to run Workflow-Huffman (Lorenzo + multi-byte VLE) or
+// Workflow-RLE (Lorenzo + RLE, optionally + VLE).  The paper's practical
+// rule: "when Huffman is likely to achieve an average bit-length lower than
+// 1.09, we can use RLE" — at that point the symbol stream is dominated by
+// one value (p1 near 1), so runs are long and RLE beats or matches VLE
+// while also breaking VLE's 32x ceiling for floats.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "core/analysis/entropy.hh"
+
+namespace szp {
+
+enum class Workflow : std::uint8_t {
+  kHuffman = 0,  ///< Lorenzo + multi-byte VLE (cuSZ default)
+  kRle = 1,      ///< Lorenzo + RLE
+  kRleVle = 2,   ///< Lorenzo + RLE + VLE over run values/lengths
+  kRans = 3,     ///< Lorenzo + rANS over quant-codes (extension: fractional-
+                 ///< bit entropy coding breaks Huffman's 1-bit floor without
+                 ///< the RLE metadata; not in the paper)
+  kAuto = 255,   ///< let the selector decide between kHuffman and kRleVle
+};
+
+struct SelectorConfig {
+  double avg_bits_threshold = 1.09;  ///< the paper's ⟨b⟩ cutoff for RLE
+  bool prefer_rle_vle = true;        ///< when RLE wins, append the VLE stage
+};
+
+struct WorkflowDecision {
+  Workflow workflow = Workflow::kHuffman;
+  EntropyStats stats;            ///< the histogram evidence
+  double est_avg_bits = 0.0;     ///< estimate used against the threshold
+  double est_vle_cr = 0.0;       ///< projected CR of Workflow-Huffman
+  double est_rle_bits = 0.0;     ///< projected ⟨b⟩_RLE from p1 (geometric runs)
+};
+
+/// Decide the workflow from a quant-code histogram.  `bytes_per_value` is
+/// the uncompressed element width (4 for float).
+[[nodiscard]] WorkflowDecision select_workflow(std::span<const std::uint64_t> freq,
+                                               std::size_t bytes_per_value = 4,
+                                               const SelectorConfig& cfg = {});
+
+}  // namespace szp

@@ -1,0 +1,95 @@
+#include "core/bundle.hh"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+#include "core/checksum.hh"
+#include "core/serialize.hh"
+
+namespace szp {
+
+namespace {
+constexpr std::uint32_t kMagic = 0x424E5A53;  // "SZNB"
+constexpr std::uint16_t kVersion = 1;
+}  // namespace
+
+void Bundle::add(std::string name, std::vector<std::uint8_t> archive) {
+  if (name.empty() || name.size() > 4096) {
+    throw std::invalid_argument("Bundle::add: name must be non-empty and short");
+  }
+  if (contains(name)) {
+    throw std::invalid_argument("Bundle::add: duplicate field name '" + name + "'");
+  }
+  names_.push_back(std::move(name));
+  archives_.push_back(std::move(archive));
+}
+
+bool Bundle::contains(const std::string& name) const {
+  return std::find(names_.begin(), names_.end(), name) != names_.end();
+}
+
+std::vector<Bundle::Entry> Bundle::entries() const {
+  std::vector<Entry> out;
+  out.reserve(names_.size());
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    out.push_back({names_[i], archives_[i].size()});
+  }
+  return out;
+}
+
+const std::vector<std::uint8_t>& Bundle::archive(const std::string& name) const {
+  const auto it = std::find(names_.begin(), names_.end(), name);
+  if (it == names_.end()) {
+    throw std::out_of_range("Bundle: no field named '" + name + "'");
+  }
+  return archives_[static_cast<std::size_t>(it - names_.begin())];
+}
+
+std::vector<std::uint8_t> Bundle::serialize() const {
+  ByteWriter w;
+  w.put(kMagic);
+  w.put(kVersion);
+  w.put<std::uint64_t>(names_.size());
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    w.put_span(std::span<const char>(names_[i].data(), names_[i].size()));
+    w.put_vector(archives_[i]);
+  }
+  auto bytes = w.take();
+  const std::uint32_t crc = crc32(bytes);
+  ByteWriter tail;
+  tail.put(crc);
+  const auto tail_bytes = tail.take();
+  bytes.insert(bytes.end(), tail_bytes.begin(), tail_bytes.end());
+  return bytes;
+}
+
+Bundle Bundle::deserialize(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < 4) {
+    throw std::runtime_error("Bundle: blob too small");
+  }
+  const auto body = bytes.subspan(0, bytes.size() - 4);
+  std::uint32_t stored = 0;
+  std::memcpy(&stored, bytes.data() + bytes.size() - 4, 4);
+  if (crc32(body) != stored) {
+    throw std::runtime_error("Bundle: checksum mismatch (corrupt bundle)");
+  }
+
+  ByteReader r(body);
+  if (r.get<std::uint32_t>() != kMagic) {
+    throw std::runtime_error("Bundle: bad magic");
+  }
+  if (r.get<std::uint16_t>() != kVersion) {
+    throw std::runtime_error("Bundle: unsupported version");
+  }
+  Bundle b;
+  const auto count = r.get<std::uint64_t>();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const auto name_bytes = r.get_vector<char>();
+    auto archive = r.get_vector<std::uint8_t>();
+    b.add(std::string(name_bytes.begin(), name_bytes.end()), std::move(archive));
+  }
+  return b;
+}
+
+}  // namespace szp

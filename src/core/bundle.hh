@@ -1,0 +1,45 @@
+// szp — multi-field bundle: a named collection of compressed archives.
+//
+// Scientific outputs are rarely a single field (CESM-ATM alone has 77
+// variables per snapshot, Table III).  A Bundle packs many independently
+// compressed fields — plain archives or streaming containers — into one
+// self-describing blob with a name index, so a whole snapshot travels as
+// one object while individual variables stay independently extractable.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace szp {
+
+class Bundle {
+ public:
+  struct Entry {
+    std::string name;
+    std::size_t compressed_bytes = 0;
+  };
+
+  /// Add a compressed archive under a unique name.
+  void add(std::string name, std::vector<std::uint8_t> archive);
+
+  [[nodiscard]] bool contains(const std::string& name) const;
+  [[nodiscard]] std::vector<Entry> entries() const;
+  [[nodiscard]] std::size_t size() const { return names_.size(); }
+
+  /// The archive stored under `name`; throws std::out_of_range if absent.
+  [[nodiscard]] const std::vector<std::uint8_t>& archive(const std::string& name) const;
+
+  /// Pack into one self-describing blob (with its own trailing CRC-32).
+  [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+
+  /// Parse a serialized bundle; verifies the checksum.
+  [[nodiscard]] static Bundle deserialize(std::span<const std::uint8_t> bytes);
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<std::vector<std::uint8_t>> archives_;
+};
+
+}  // namespace szp

@@ -1,0 +1,124 @@
+// szp — the public compression API (the paper's Fig 1 cuSZ+ pipeline).
+//
+// Compression:  prequant+Lorenzo construct → gather outliers → histogram →
+//               [selector] → Huffman encode  (Workflow-Huffman)
+//                          → RLE [+ VLE]      (Workflow-RLE)
+// Decompression: decode quant-codes → fuse (q − radius) → scatter outliers →
+//               partial-sum Lorenzo reconstruction → scale by 2eb.
+//
+// Every stage is timed on the host and carries an analytic KernelCost so
+// benches can print both measured-CPU and modeled-V100/A100 throughputs
+// (see DESIGN.md §2 for the substitution rationale).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/analysis/selector.hh"
+#include "core/eb.hh"
+#include "core/predictor/lorenzo.hh"
+#include "core/types.hh"
+#include "sim/profile.hh"
+
+namespace szp {
+
+/// Element type of the uncompressed field.  Doubles raise the Huffman CR
+/// ceiling from 32x to 64x (paper §III) and permit error bounds below
+/// float32 precision.
+enum class DType : std::uint8_t { kFloat32 = 0, kFloat64 = 1 };
+
+/// Which prediction model transforms values into quant-codes.
+enum class PredictorKind : std::uint8_t {
+  kLorenzo = 0,     ///< first-order Lorenzo with dual quantization (default;
+                    ///< decompression is the partial-sum kernel)
+  kRegression = 1,  ///< per-chunk linear-regression planes (SZ2-style; the
+                    ///< paper's future-work predictor — see
+                    ///< predictor/regression.hh for the trade-offs)
+  kInterpolation = 2,  ///< multi-level (cubic) interpolation (SZ3-style,
+                       ///< the paper's reference [19]; see
+                       ///< predictor/interpolation.hh)
+};
+
+struct CompressConfig {
+  ErrorBound eb = ErrorBound::relative(1e-4);
+  QuantConfig quant;
+  Workflow workflow = Workflow::kAuto;
+  SelectorConfig selector;
+  std::uint32_t huffman_chunk = 4096;  ///< symbols per encode chunk
+  /// When nonzero (must divide huffman_chunk), record a gap array so Huffman
+  /// decoding parallelizes per sub-block of this many symbols — the
+  /// fine-grained decoder of the paper's reference [15] (4 bytes metadata
+  /// per sub-block).
+  std::uint32_t huffman_gap_stride = 0;
+  ConstructVariant construct_variant = ConstructVariant::kOptimized;
+  PredictorKind predictor = PredictorKind::kLorenzo;
+};
+
+struct CompressStats {
+  Workflow workflow_used = Workflow::kHuffman;
+  double eb_abs = 0.0;
+  std::size_t original_bytes = 0;
+  std::size_t compressed_bytes = 0;
+  double ratio = 0.0;
+  std::size_t outlier_count = 0;
+  WorkflowDecision decision;        ///< selector evidence (valid when consulted)
+  sim::PipelineReport pipeline;     ///< per-stage timings and kernel costs
+};
+
+struct Compressed {
+  std::vector<std::uint8_t> bytes;  ///< self-describing archive
+  CompressStats stats;
+};
+
+struct Decompressed {
+  DType dtype = DType::kFloat32;
+  std::vector<float> data;        ///< filled when dtype == kFloat32
+  std::vector<double> data_f64;   ///< filled when dtype == kFloat64
+  Extents extents;
+  sim::PipelineReport pipeline;
+};
+
+/// Error-bounded lossy compressor (cuSZ+).  Stateless apart from its
+/// configuration; safe to reuse across fields.
+class Compressor {
+ public:
+  Compressor() = default;
+  explicit Compressor(CompressConfig cfg) : cfg_(std::move(cfg)) {}
+
+  [[nodiscard]] const CompressConfig& config() const { return cfg_; }
+
+  /// Compress one field (float32 or float64).  Throws std::invalid_argument
+  /// on empty/mismatched input, non-finite data, or an error bound too
+  /// tight for exact integer residual arithmetic (max|d|/2eb must stay
+  /// below 2^27).
+  [[nodiscard]] Compressed compress(std::span<const float> data, const Extents& ext) const;
+  [[nodiscard]] Compressed compress(std::span<const double> data, const Extents& ext) const;
+
+  template <typename T, typename Alloc>
+  [[nodiscard]] Compressed compress(const std::vector<T, Alloc>& data, const Extents& ext) const {
+    return compress(std::span<const T>(data.data(), data.size()), ext);
+  }
+
+  /// Decompress an archive produced by compress().  `recon` selects the
+  /// reconstruction kernel variant (Table II ablation); the default is the
+  /// optimized partial-sum kernel.
+  [[nodiscard]] static Decompressed decompress(std::span<const std::uint8_t> archive,
+                                               const ReconstructConfig& recon = {});
+
+  /// Parse an archive's header without decompressing the payload.
+  struct ArchiveInfo {
+    Extents extents;
+    DType dtype = DType::kFloat32;
+    Workflow workflow = Workflow::kHuffman;
+    PredictorKind predictor = PredictorKind::kLorenzo;
+    double eb_abs = 0.0;
+    std::uint32_t capacity = 0;
+  };
+  [[nodiscard]] static ArchiveInfo inspect(std::span<const std::uint8_t> archive);
+
+ private:
+  CompressConfig cfg_{};
+};
+
+}  // namespace szp

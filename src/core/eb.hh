@@ -1,0 +1,83 @@
+// szp — user-facing error-bound specification.
+//
+// The paper evaluates with error bounds *relative to the value range*
+// (e.g., rel-eb 1e-4 in Table VII); SZ also supports absolute bounds.  The
+// bound is resolved to an absolute `eb` before compression; dual
+// quantization then guarantees |decompressed - original| < eb pointwise.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace szp {
+
+enum class EbMode {
+  kAbsolute,  ///< eb given directly in data units
+  kRelative,  ///< eb = value * (max - min) of the field
+  kPsnr,      ///< eb derived from a target PSNR in dB (SZ's PSNR mode,
+              ///< paper §VI): assuming near-uniform quantization error,
+              ///< mse = eb²/3, so eb = range · sqrt(3) · 10^(-psnr/20).
+};
+
+struct ErrorBound {
+  EbMode mode = EbMode::kRelative;
+  double value = 1e-4;
+
+  static ErrorBound absolute(double eb) { return {EbMode::kAbsolute, eb}; }
+  static ErrorBound relative(double eb) { return {EbMode::kRelative, eb}; }
+  static ErrorBound psnr(double target_db) { return {EbMode::kPsnr, target_db}; }
+
+  /// Resolve to an absolute bound given the field's value range.
+  [[nodiscard]] double resolve(double range) const {
+    if (value <= 0.0 || !std::isfinite(value)) {
+      throw std::invalid_argument("ErrorBound: value must be positive and finite");
+    }
+    switch (mode) {
+      case EbMode::kAbsolute: return value;
+      case EbMode::kRelative: return value * (range > 0.0 ? range : 1.0);
+      case EbMode::kPsnr:
+        return (range > 0.0 ? range : 1.0) * std::sqrt(3.0) * std::pow(10.0, -value / 20.0);
+    }
+    return value;
+  }
+};
+
+/// Min/max of a field (used both to resolve relative bounds and for PSNR).
+/// Also tracks finiteness: NaN/Inf would silently defeat min/max scans.
+struct ValueRange {
+  double min = 0.0;
+  double max = 0.0;
+  bool finite = true;
+
+  [[nodiscard]] double span() const { return max - min; }
+  [[nodiscard]] double max_abs() const { return std::max(std::abs(min), std::abs(max)); }
+
+  template <typename T>
+  static ValueRange of(std::span<const T> data) {
+    ValueRange r;
+    if (data.empty()) return r;
+    T lo = data[0], hi = data[0];
+    bool fin = true;
+#pragma omp parallel for reduction(min : lo) reduction(max : hi) reduction(&& : fin)
+    for (long long i = 0; i < static_cast<long long>(data.size()); ++i) {
+      const T v = data[static_cast<std::size_t>(i)];
+      fin = fin && std::isfinite(v);
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    r.min = lo;
+    r.max = hi;
+    r.finite = fin;
+    return r;
+  }
+
+  template <typename T, typename Alloc>
+  static ValueRange of(const std::vector<T, Alloc>& data) {
+    return of(std::span<const T>(data.data(), data.size()));
+  }
+};
+
+}  // namespace szp

@@ -1,0 +1,59 @@
+// szp — MSB-first bit stream I/O used by the Huffman codec.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace szp {
+
+/// Append-only MSB-first bit writer.
+class BitWriter {
+ public:
+  /// Append the low `len` bits of `code`, most significant first.
+  void put(std::uint64_t code, unsigned len) {
+    for (unsigned i = len; i-- > 0;) {
+      const unsigned bit = static_cast<unsigned>((code >> i) & 1u);
+      if (fill_ == 0) buf_.push_back(0);
+      buf_.back() = static_cast<std::uint8_t>(buf_.back() | (bit << (7 - fill_)));
+      fill_ = (fill_ + 1) & 7;
+    }
+    bits_ += len;
+  }
+
+  [[nodiscard]] std::uint64_t bit_count() const { return bits_; }
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const { return buf_; }
+  [[nodiscard]] std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+  unsigned fill_ = 0;
+  std::uint64_t bits_ = 0;
+};
+
+/// MSB-first bit reader over a byte span, optionally starting mid-stream
+/// (used by the gap-array decoder to enter a chunk at a recorded offset).
+class BitReader {
+ public:
+  explicit BitReader(std::span<const std::uint8_t> bytes, std::uint64_t start_bit = 0)
+      : bytes_(bytes), pos_(start_bit) {}
+
+  [[nodiscard]] unsigned get_bit() {
+    const std::size_t byte = pos_ >> 3;
+    if (byte >= bytes_.size()) {
+      throw std::runtime_error("BitReader: read past end of stream");
+    }
+    const unsigned bit = (bytes_[byte] >> (7 - (pos_ & 7))) & 1u;
+    ++pos_;
+    return bit;
+  }
+
+  [[nodiscard]] std::uint64_t bit_position() const { return pos_; }
+
+ private:
+  std::span<const std::uint8_t> bytes_;
+  std::uint64_t pos_ = 0;
+};
+
+}  // namespace szp

@@ -1,0 +1,72 @@
+// szp — canonical Huffman codebook over multi-byte symbols (paper §III-A.1:
+// quant-codes are enumerated as symbols that may exceed one byte, so the
+// alphabet is the quantizer capacity, up to 65536).
+//
+// The tree is built serially from the histogram — deliberately so: cuSZ/cuSZ+
+// build the codebook with a single GPU thread (paper §I), which is why the
+// codebook stage is a latency bottleneck on small fields.  The canonical
+// form makes the decoder table-driven (first_code/first_index per length),
+// matching cuSZ's canonical codebook design.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/serialize.hh"
+#include "sim/profile.hh"
+
+namespace szp {
+
+class HuffmanCodebook {
+ public:
+  static constexpr unsigned kMaxCodeLen = 63;
+
+  /// Build from symbol frequencies (the histogram).  Symbols with zero
+  /// frequency get no code.  Degenerate alphabets (0 or 1 live symbols) are
+  /// assigned a 1-bit code.
+  static HuffmanCodebook build(std::span<const std::uint64_t> freq);
+
+  [[nodiscard]] std::size_t alphabet_size() const { return lengths_.size(); }
+  [[nodiscard]] unsigned length(std::size_t symbol) const { return lengths_[symbol]; }
+  [[nodiscard]] std::uint64_t code(std::size_t symbol) const { return codes_[symbol]; }
+  [[nodiscard]] unsigned max_length() const { return max_len_; }
+
+  /// Average codeword bit length weighted by the given frequencies.
+  [[nodiscard]] double average_bits(std::span<const std::uint64_t> freq) const;
+
+  /// Decode one symbol from the reader (canonical table walk).
+  template <typename Reader>
+  [[nodiscard]] std::uint32_t decode_one(Reader& reader) const {
+    std::uint64_t code = 0;
+    for (unsigned len = 1; len <= max_len_; ++len) {
+      code = (code << 1) | reader.get_bit();
+      if (count_[len] > 0 && code - first_code_[len] < count_[len]) {
+        return sorted_symbols_[first_index_[len] + static_cast<std::uint32_t>(code - first_code_[len])];
+      }
+    }
+    throw std::runtime_error("HuffmanCodebook: invalid code in stream");
+  }
+
+  /// Analytic GPU cost of the (single-threaded) codebook construction.
+  [[nodiscard]] sim::KernelCost build_cost() const;
+
+  void serialize(ByteWriter& w) const;
+  static HuffmanCodebook deserialize(ByteReader& r);
+
+ private:
+  void assign_canonical_codes();
+
+  std::vector<std::uint8_t> lengths_;        // per symbol; 0 = absent
+  std::vector<std::uint64_t> codes_;         // canonical, MSB-first
+  unsigned max_len_ = 0;
+
+  // Canonical decode tables, indexed by code length.
+  std::array<std::uint64_t, kMaxCodeLen + 1> first_code_{};
+  std::array<std::uint32_t, kMaxCodeLen + 1> first_index_{};
+  std::array<std::uint32_t, kMaxCodeLen + 1> count_{};
+  std::vector<std::uint32_t> sorted_symbols_;  // symbols ordered by (length, value)
+};
+
+}  // namespace szp

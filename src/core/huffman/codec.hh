@@ -1,0 +1,70 @@
+// szp — chunked Huffman encoder/decoder (paper Steps 5-8: histogram →
+// codebook → per-chunk encode → deflate/concatenate).
+//
+// Symbols are encoded in independent chunks of `chunk_size`; chunk output
+// offsets come from a device-wide exclusive scan of the per-chunk encoded
+// sizes (the "deflating" step).  Chunks start byte-aligned — at most 7 bits
+// padding per 4096-symbol chunk (<0.03%), which keeps the concatenation a
+// race-free parallel copy; this is the chunkwise metadata overhead the
+// paper notes for CUSZ-VLE.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/huffman/codebook.hh"
+#include "core/types.hh"
+#include "sim/profile.hh"
+
+namespace szp {
+
+/// Which encoder the cost model attributes (Table VI's Huffman rows): the
+/// cuSZ baseline stores full words per thread regardless of code length;
+/// the optimized cuSZ+ encoder only stores when a unit fills, making store
+/// traffic inversely proportional to compression ratio (paper §V-C.1).
+enum class HuffmanEncVariant { kBaseline, kOptimized };
+
+struct HuffmanEncoded {
+  std::vector<std::uint8_t> payload;         ///< concatenated chunk bitstreams
+  std::vector<std::uint64_t> chunk_offsets;  ///< byte offset per chunk, size nchunks+1
+  std::uint64_t num_symbols = 0;
+  std::uint32_t chunk_size = 4096;
+
+  /// Gap array (the fine-grained decoding aid of Tian et al., IPDPS'21 —
+  /// the paper's reference [15]): when gap_stride > 0, every chunk records
+  /// the bit offset of each gap_stride-symbol sub-block, so decoding can
+  /// parallelize at sub-block rather than chunk granularity at the cost of
+  /// 4 bytes of metadata per sub-block.
+  std::uint32_t gap_stride = 0;
+  std::vector<std::uint32_t> gaps;  ///< per chunk: subblocks_per_chunk entries
+
+  sim::KernelCost cost;  ///< encode + deflate kernels
+
+  [[nodiscard]] std::size_t byte_size() const {
+    return payload.size() + chunk_offsets.size() * sizeof(std::uint64_t) +
+           gaps.size() * sizeof(std::uint32_t);
+  }
+};
+
+/// Encode symbols with the codebook.  Parallel over chunks.  A nonzero
+/// gap_stride (must divide chunk_size) additionally records the gap array.
+[[nodiscard]] HuffmanEncoded huffman_encode(std::span<const quant_t> symbols,
+                                            const HuffmanCodebook& book,
+                                            std::uint32_t chunk_size = 4096,
+                                            HuffmanEncVariant variant = HuffmanEncVariant::kOptimized,
+                                            std::uint32_t gap_stride = 0);
+
+struct HuffmanDecoded {
+  std::vector<quant_t> symbols;
+  sim::KernelCost cost;
+};
+
+/// Decode all chunks (parallel over chunks, canonical table walk within).
+/// When the encoding carries a gap array, decoding enters each sub-block at
+/// its recorded bit offset instead, raising the decode parallelism from
+/// one-per-chunk to one-per-sub-block.
+[[nodiscard]] HuffmanDecoded huffman_decode(const HuffmanEncoded& enc,
+                                            const HuffmanCodebook& book);
+
+}  // namespace szp

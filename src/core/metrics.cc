@@ -1,0 +1,51 @@
+#include "core/metrics.hh"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "core/eb.hh"
+
+namespace szp {
+
+template <typename T>
+DistortionMetrics compare_fields(std::span<const T> original,
+                                 std::span<const T> decompressed) {
+  if (original.size() != decompressed.size()) {
+    throw std::invalid_argument("compare_fields: size mismatch");
+  }
+  DistortionMetrics m;
+  if (original.empty()) return m;
+
+  const ValueRange range = ValueRange::of(original);
+  m.value_range = range.span();
+
+  double sum_sq = 0.0;
+  double max_err = 0.0;
+#pragma omp parallel for reduction(+ : sum_sq) reduction(max : max_err)
+  for (long long i = 0; i < static_cast<long long>(original.size()); ++i) {
+    const auto k = static_cast<std::size_t>(i);
+    const double e =
+        static_cast<double>(original[k]) - static_cast<double>(decompressed[k]);
+    sum_sq += e * e;
+    const double ae = std::abs(e);
+    if (ae > max_err) max_err = ae;
+  }
+  m.max_abs_error = max_err;
+  m.mse = sum_sq / static_cast<double>(original.size());
+  if (m.mse > 0.0 && m.value_range > 0.0) {
+    m.psnr_db = 20.0 * std::log10(m.value_range) - 10.0 * std::log10(m.mse);
+    m.nrmse = std::sqrt(m.mse) / m.value_range;
+  } else {
+    m.psnr_db = std::numeric_limits<double>::infinity();
+    m.nrmse = 0.0;
+  }
+  return m;
+}
+
+template DistortionMetrics compare_fields<float>(std::span<const float>,
+                                                  std::span<const float>);
+template DistortionMetrics compare_fields<double>(std::span<const double>,
+                                                  std::span<const double>);
+
+}  // namespace szp

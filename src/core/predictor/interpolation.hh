@@ -1,0 +1,56 @@
+// szp — multi-level interpolation predictor (SZ3-style, Zhao et al.
+// ICDE'21 — the paper's reference [19], "dynamic spline interpolation").
+//
+// A dyadic hierarchy over the whole field: anchors on a coarse 2^L-stride
+// lattice are stored raw; every finer level predicts its new points by
+// interpolating *reconstructed* values along one axis at a time (cubic
+// where four neighbors exist, linear at borders), and quantizes the
+// residuals like the other predictors.  Compression and decompression walk
+// the identical level/pass/point order, so predictions match exactly.
+//
+// Compared to Lorenzo: interpolation sees neighbors on both sides, which
+// wins on very smooth fields at loose bounds, but each level depends on the
+// previous one, so reconstruction is level-synchronous rather than a single
+// partial-sum pass.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/eb.hh"
+#include "core/types.hh"
+#include "sim/aligned.hh"
+#include "sim/profile.hh"
+
+namespace szp {
+
+struct InterpolationConfig {
+  int max_level = 5;  ///< anchor stride = 2^max_level (clamped to the field)
+  bool cubic = true;  ///< cubic where 4 neighbors exist, else linear
+};
+
+struct InterpolationResult {
+  sim::device_vector<quant_t> quant;          ///< one code per element (anchors = radius)
+  sim::device_vector<qdiff_t> outlier_dense;  ///< residual quanta beyond radius
+  std::vector<float> anchors;                 ///< raw values on the 2^L lattice
+  int level = 0;                              ///< the L actually used
+  sim::KernelCost cost;
+};
+
+template <typename T>
+[[nodiscard]] InterpolationResult interpolation_construct(std::span<const T> data,
+                                                          const Extents& ext, double eb_abs,
+                                                          const QuantConfig& quant,
+                                                          const InterpolationConfig& cfg = {});
+
+template <typename T>
+sim::KernelCost interpolation_reconstruct(std::span<const quant_t> quant,
+                                          std::span<const qdiff_t> outlier_dense,
+                                          std::span<const float> anchors, int level,
+                                          bool cubic, const Extents& ext, double eb_abs,
+                                          const QuantConfig& qcfg, std::span<T> out);
+
+/// Number of anchor values for a field at the given level.
+[[nodiscard]] std::size_t interpolation_anchor_count(const Extents& ext, int level);
+
+}  // namespace szp

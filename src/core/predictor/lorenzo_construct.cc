@@ -1,0 +1,161 @@
+#include <array>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/predictor/lorenzo.hh"
+#include "sim/launch.hh"
+
+namespace szp {
+
+namespace {
+
+// Largest chunk across ranks: 256 (1D), 256 (2D 16x16), 512 (3D 8x8x8).
+constexpr std::size_t kMaxChunkElems = 512;
+
+// Bandwidth derating factors calibrated against the construction
+// throughputs published for cuSZ (Table VI "cuSZ" column) and cuSZ+
+// (Table VI "ours"), per rank.  See DESIGN.md §2 (roofline substitution).
+constexpr std::array<double, 4> kBaselineFactor{0.0, 0.58, 0.70, 0.56};
+constexpr std::array<double, 4> kOptimizedFactor{0.0, 0.85, 0.76, 0.82};
+
+struct ChunkGeometry {
+  ChunkShape shape;
+  std::size_t gx, gy, gz;  // grid extents in chunks
+};
+
+ChunkGeometry make_grid(const Extents& ext) {
+  ChunkGeometry g{ChunkShape::for_rank(ext.rank), 0, 0, 0};
+  g.gx = sim::div_ceil(ext.nx, g.shape.cx);
+  g.gy = sim::div_ceil(ext.ny, g.shape.cy);
+  g.gz = sim::div_ceil(ext.nz, g.shape.cz);
+  return g;
+}
+
+}  // namespace
+
+template <typename T>
+LorenzoConstructResult lorenzo_construct(std::span<const T> data, const Extents& ext,
+                                         double eb_abs, const QuantConfig& qcfg,
+                                         OutlierScheme scheme, ConstructVariant variant) {
+  qcfg.validate();
+  if (data.size() != ext.count()) {
+    throw std::invalid_argument("lorenzo_construct: data size does not match extents");
+  }
+  if (!(eb_abs > 0.0) || !std::isfinite(eb_abs)) {
+    throw std::invalid_argument("lorenzo_construct: error bound must be positive and finite");
+  }
+
+  const std::size_t n = ext.count();
+  LorenzoConstructResult res;
+  res.quant.assign(n, 0);
+  res.outlier_dense.assign(n, 0);
+
+  const double inv2eb = 1.0 / (2.0 * eb_abs);
+  const std::int64_t r = qcfg.radius();
+  const auto grid = make_grid(ext);
+  const ChunkShape cs = grid.shape;
+  const bool stage_copy = variant == ConstructVariant::kBaseline;
+
+  sim::launch_blocks_3d({static_cast<std::uint32_t>(grid.gx),
+                         static_cast<std::uint32_t>(grid.gy),
+                         static_cast<std::uint32_t>(grid.gz)},
+                        [&](std::uint32_t bx, std::uint32_t by, std::uint32_t bz) {
+    const std::size_t x0 = bx * cs.cx, y0 = by * cs.cy, z0 = bz * cs.cz;
+    const std::size_t w = std::min(cs.cx, ext.nx - x0);
+    const std::size_t h = std::min(cs.cy, ext.ny - y0);
+    const std::size_t d = std::min(cs.cz, ext.nz - z0);
+
+    // "Shared memory": the prequantized chunk, needed by the prediction
+    // pass (prequant barrier in Algorithm 1 line 2).
+    std::array<std::int64_t, kMaxChunkElems> pq;
+    std::array<T, kMaxChunkElems> staged;  // baseline-variant staging
+
+    const auto lidx = [&](std::size_t lz, std::size_t ly, std::size_t lx) {
+      return (lz * h + ly) * w + lx;
+    };
+
+    if (stage_copy) {
+      // cuSZ-style: copy global -> shared first, then prequant from shared.
+      for (std::size_t lz = 0; lz < d; ++lz)
+        for (std::size_t ly = 0; ly < h; ++ly)
+          for (std::size_t lx = 0; lx < w; ++lx)
+            staged[lidx(lz, ly, lx)] =
+                data[ext.index(z0 + lz, y0 + ly, x0 + lx)];
+      for (std::size_t i = 0; i < w * h * d; ++i)
+        pq[i] = std::llround(static_cast<double>(staged[i]) * inv2eb);
+    } else {
+      // cuSZ+-style: prequant straight from global into registers/shared.
+      for (std::size_t lz = 0; lz < d; ++lz)
+        for (std::size_t ly = 0; ly < h; ++ly)
+          for (std::size_t lx = 0; lx < w; ++lx)
+            pq[lidx(lz, ly, lx)] = std::llround(
+                static_cast<double>(data[ext.index(z0 + lz, y0 + ly, x0 + lx)]) * inv2eb);
+    }
+
+    // Prediction + postquant.  Neighbors outside the chunk are zero, which
+    // is the convention that turns reconstruction into a partial sum.
+    const auto at = [&](std::ptrdiff_t lz, std::ptrdiff_t ly, std::ptrdiff_t lx) -> std::int64_t {
+      if (lx < 0 || ly < 0 || lz < 0) return 0;
+      return pq[lidx(static_cast<std::size_t>(lz), static_cast<std::size_t>(ly),
+                     static_cast<std::size_t>(lx))];
+    };
+
+    for (std::size_t lz = 0; lz < d; ++lz) {
+      for (std::size_t ly = 0; ly < h; ++ly) {
+        for (std::size_t lx = 0; lx < w; ++lx) {
+          const auto x = static_cast<std::ptrdiff_t>(lx);
+          const auto y = static_cast<std::ptrdiff_t>(ly);
+          const auto z = static_cast<std::ptrdiff_t>(lz);
+          std::int64_t pred = 0;
+          switch (ext.rank) {
+            case 1:
+              pred = at(0, 0, x - 1);
+              break;
+            case 2:
+              pred = at(0, y - 1, x) + at(0, y, x - 1) - at(0, y - 1, x - 1);
+              break;
+            case 3:
+              pred = at(z, y - 1, x) + at(z, y, x - 1) + at(z - 1, y, x)
+                   - at(z, y - 1, x - 1) - at(z - 1, y - 1, x) - at(z - 1, y, x - 1)
+                   + at(z - 1, y - 1, x - 1);
+              break;
+            default: break;
+          }
+          const std::int64_t delta = pq[lidx(lz, ly, lx)] - pred;
+          const std::size_t gi = ext.index(z0 + lz, y0 + ly, x0 + lx);
+          if (delta > -r && delta < r) {
+            res.quant[gi] = static_cast<quant_t>(delta + r);
+          } else if (scheme == OutlierScheme::kResidual) {
+            // Modified quantization (cuSZ+): quant-code encodes δ'=0 and the
+            // true residual goes to the outlier stream.
+            res.quant[gi] = static_cast<quant_t>(r);
+            res.outlier_dense[gi] = static_cast<qdiff_t>(delta);
+          } else {
+            // cuSZ: placeholder 0, outlier carries the prequantized value.
+            res.quant[gi] = 0;
+            res.outlier_dense[gi] = static_cast<qdiff_t>(pq[lidx(lz, ly, lx)]);
+          }
+        }
+      }
+    }
+  });
+
+  res.cost.bytes_read = n * sizeof(T);
+  res.cost.bytes_written = n * sizeof(quant_t) + n * sizeof(qdiff_t);
+  res.cost.flops = n * (2 + (std::size_t{1} << ext.rank));
+  res.cost.parallel_items = n;
+  res.cost.pattern = stage_copy ? sim::AccessPattern::kTiledShared
+                                : sim::AccessPattern::kCoalescedStreaming;
+  res.cost.custom_factor = stage_copy ? kBaselineFactor[static_cast<std::size_t>(ext.rank)]
+                                      : kOptimizedFactor[static_cast<std::size_t>(ext.rank)];
+  return res;
+}
+
+template LorenzoConstructResult lorenzo_construct<float>(std::span<const float>, const Extents&,
+                                                         double, const QuantConfig&,
+                                                         OutlierScheme, ConstructVariant);
+template LorenzoConstructResult lorenzo_construct<double>(std::span<const double>, const Extents&,
+                                                          double, const QuantConfig&,
+                                                          OutlierScheme, ConstructVariant);
+
+}  // namespace szp

@@ -1,0 +1,254 @@
+#include <array>
+#include <stdexcept>
+
+#include "core/predictor/lorenzo.hh"
+#include "sim/block_scan.hh"
+#include "sim/launch.hh"
+
+namespace szp {
+
+namespace {
+
+constexpr std::size_t kMaxChunkElems = 512;
+
+// Bandwidth derating factors calibrated from Table II of the paper (V100
+// columns): coarse cuSZ kernel, naive shared-memory partial sum, and the
+// optimized fused partial sum, per rank.
+constexpr std::array<double, 4> kCoarseFactor{0.0, 0.037, 0.33, 0.066};
+constexpr std::array<double, 4> kNaiveFactor{0.0, 0.56, 0.44, 0.39};
+constexpr std::array<double, 4> kFusedFactor{0.0, 0.70, 0.57, 0.53};
+
+struct Grid {
+  ChunkShape cs;
+  std::size_t gx, gy, gz;
+};
+
+Grid make_grid(const Extents& ext) {
+  Grid g{ChunkShape::for_rank(ext.rank), 0, 0, 0};
+  g.gx = sim::div_ceil(ext.nx, g.cs.cx);
+  g.gy = sim::div_ceil(ext.ny, g.cs.cy);
+  g.gz = sim::div_ceil(ext.nz, g.cs.cz);
+  return g;
+}
+
+/// N-pass in-place partial sums over one chunk of the global q' array.
+/// This is the paper's Algorithm 1 lines 10-12: x-pass, then y-pass, then
+/// z-pass, each an inclusive scan with the requested per-thread
+/// sequentiality.
+void chunk_partial_sums(qdiff_t* q, const Extents& ext, std::size_t x0, std::size_t y0,
+                        std::size_t z0, std::size_t w, std::size_t h, std::size_t d,
+                        std::size_t seq) {
+  // x-pass: contiguous rows.
+  for (std::size_t lz = 0; lz < d; ++lz) {
+    for (std::size_t ly = 0; ly < h; ++ly) {
+      qdiff_t* row = q + ext.index(z0 + lz, y0 + ly, x0);
+      sim::block_inclusive_scan(std::span<qdiff_t>(row, w), seq);
+    }
+  }
+  if (ext.rank < 2) return;
+  // y-pass: columns, stride nx.
+  for (std::size_t lz = 0; lz < d; ++lz) {
+    for (std::size_t lx = 0; lx < w; ++lx) {
+      qdiff_t* col = q + ext.index(z0 + lz, y0, x0 + lx);
+      sim::block_inclusive_scan_strided(col, h, ext.nx);
+    }
+  }
+  if (ext.rank < 3) return;
+  // z-pass: pillars, stride nx*ny.
+  for (std::size_t ly = 0; ly < h; ++ly) {
+    for (std::size_t lx = 0; lx < w; ++lx) {
+      qdiff_t* pillar = q + ext.index(z0, y0 + ly, x0 + lx);
+      sim::block_inclusive_scan_strided(pillar, d, ext.nx * ext.ny);
+    }
+  }
+}
+
+}  // namespace
+
+sim::KernelCost fuse_quant_codes(std::span<const quant_t> quant, std::int32_t radius,
+                                 std::span<qdiff_t> qprime_out) {
+  if (quant.size() != qprime_out.size()) {
+    throw std::invalid_argument("fuse_quant_codes: size mismatch");
+  }
+  const std::size_t n = quant.size();
+  const std::size_t tiles = sim::div_ceil(n, std::size_t{1} << 16);
+  sim::launch_blocks(tiles, [&](std::size_t t) {
+    const std::size_t lo = t << 16;
+    const std::size_t hi = std::min(lo + (std::size_t{1} << 16), n);
+    for (std::size_t i = lo; i < hi; ++i) {
+      qprime_out[i] = static_cast<qdiff_t>(quant[i]) - radius;
+    }
+  });
+  sim::KernelCost c;
+  c.bytes_read = n * sizeof(quant_t);
+  c.bytes_written = n * sizeof(qdiff_t);
+  c.flops = n;
+  c.parallel_items = n;
+  c.pattern = sim::AccessPattern::kCoalescedStreaming;
+  return c;
+}
+
+template <typename T>
+sim::KernelCost lorenzo_reconstruct_fused(std::span<qdiff_t> qprime, const Extents& ext,
+                                          double eb_abs, std::span<T> out,
+                                          const ReconstructConfig& cfg) {
+  if (qprime.size() != ext.count() || out.size() != ext.count()) {
+    throw std::invalid_argument("lorenzo_reconstruct_fused: size mismatch");
+  }
+  if (cfg.variant == ReconstructVariant::kCoarseChunkSerial) {
+    throw std::invalid_argument(
+        "lorenzo_reconstruct_fused: coarse variant needs lorenzo_reconstruct_coarse");
+  }
+  const bool naive = cfg.variant == ReconstructVariant::kNaivePartialSum;
+  const std::size_t seq = naive ? 1 : cfg.sequentiality;
+  const double eb2 = 2.0 * eb_abs;
+  const auto grid = make_grid(ext);
+  const ChunkShape cs = grid.cs;
+
+  sim::launch_blocks_3d({static_cast<std::uint32_t>(grid.gx),
+                         static_cast<std::uint32_t>(grid.gy),
+                         static_cast<std::uint32_t>(grid.gz)},
+                        [&](std::uint32_t bx, std::uint32_t by, std::uint32_t bz) {
+    const std::size_t x0 = bx * cs.cx, y0 = by * cs.cy, z0 = bz * cs.cz;
+    const std::size_t w = std::min(cs.cx, ext.nx - x0);
+    const std::size_t h = std::min(cs.cy, ext.ny - y0);
+    const std::size_t d = std::min(cs.cz, ext.nz - z0);
+
+    if (naive) {
+      // Proof-of-concept kernel: stage the chunk through "shared memory",
+      // scan with 1 item per thread, write back.
+      std::array<qdiff_t, kMaxChunkElems> shared;
+      for (std::size_t lz = 0; lz < d; ++lz)
+        for (std::size_t ly = 0; ly < h; ++ly)
+          for (std::size_t lx = 0; lx < w; ++lx)
+            shared[(lz * h + ly) * w + lx] = qprime[ext.index(z0 + lz, y0 + ly, x0 + lx)];
+      Extents local = ext.rank == 1   ? Extents::d1(w)
+                      : ext.rank == 2 ? Extents::d2(h, w)
+                                      : Extents::d3(d, h, w);
+      chunk_partial_sums(shared.data(), local, 0, 0, 0, w, h, d, 1);
+      for (std::size_t lz = 0; lz < d; ++lz)
+        for (std::size_t ly = 0; ly < h; ++ly)
+          for (std::size_t lx = 0; lx < w; ++lx)
+            qprime[ext.index(z0 + lz, y0 + ly, x0 + lx)] = shared[(lz * h + ly) * w + lx];
+    } else {
+      chunk_partial_sums(qprime.data(), ext, x0, y0, z0, w, h, d, seq);
+    }
+
+    // Algorithm 1 line 13: scale back to data units.
+    for (std::size_t lz = 0; lz < d; ++lz)
+      for (std::size_t ly = 0; ly < h; ++ly)
+        for (std::size_t lx = 0; lx < w; ++lx) {
+          const std::size_t gi = ext.index(z0 + lz, y0 + ly, x0 + lx);
+          out[gi] = static_cast<T>(static_cast<double>(qprime[gi]) * eb2);
+        }
+  });
+
+  const std::size_t n = ext.count();
+  sim::KernelCost c;
+  c.bytes_read = n * sizeof(qdiff_t);
+  c.bytes_written = n * sizeof(T);
+  c.flops = n * (2 * static_cast<std::size_t>(ext.rank) + 2);
+  c.parallel_items = n;
+  c.pattern = naive ? sim::AccessPattern::kTiledShared
+                    : sim::AccessPattern::kCoalescedStreaming;
+  const auto& table = naive ? kNaiveFactor : kFusedFactor;
+  c.custom_factor = table[static_cast<std::size_t>(ext.rank)];
+  c.launches = ext.rank;  // one fused launch per scan direction
+  return c;
+}
+
+template <typename T>
+sim::KernelCost lorenzo_reconstruct_coarse(std::span<const quant_t> quant,
+                                           std::span<const qdiff_t> outlier_value_dense,
+                                           const Extents& ext, double eb_abs,
+                                           const QuantConfig& qcfg, std::span<T> out) {
+  if (quant.size() != ext.count() || out.size() != ext.count() ||
+      outlier_value_dense.size() != ext.count()) {
+    throw std::invalid_argument("lorenzo_reconstruct_coarse: size mismatch");
+  }
+  const double eb2 = 2.0 * eb_abs;
+  const std::int64_t r = qcfg.radius();
+  const auto grid = make_grid(ext);
+  const ChunkShape cs = grid.cs;
+
+  sim::launch_blocks_3d({static_cast<std::uint32_t>(grid.gx),
+                         static_cast<std::uint32_t>(grid.gy),
+                         static_cast<std::uint32_t>(grid.gz)},
+                        [&](std::uint32_t bx, std::uint32_t by, std::uint32_t bz) {
+    const std::size_t x0 = bx * cs.cx, y0 = by * cs.cy, z0 = bz * cs.cz;
+    const std::size_t w = std::min(cs.cx, ext.nx - x0);
+    const std::size_t h = std::min(cs.cy, ext.ny - y0);
+    const std::size_t d = std::min(cs.cz, ext.nz - z0);
+
+    std::array<std::int64_t, kMaxChunkElems> pq;  // reconstructed prequant values
+    const auto lidx = [&](std::size_t lz, std::size_t ly, std::size_t lx) {
+      return (lz * h + ly) * w + lx;
+    };
+    const auto at = [&](std::ptrdiff_t lz, std::ptrdiff_t ly, std::ptrdiff_t lx) -> std::int64_t {
+      if (lx < 0 || ly < 0 || lz < 0) return 0;
+      return pq[lidx(static_cast<std::size_t>(lz), static_cast<std::size_t>(ly),
+                     static_cast<std::size_t>(lx))];
+    };
+
+    // Serial raster-order reconstruction: each value depends on its fully
+    // reconstructed predecessors (the data dependency §II-B.2 describes).
+    for (std::size_t lz = 0; lz < d; ++lz) {
+      for (std::size_t ly = 0; ly < h; ++ly) {
+        for (std::size_t lx = 0; lx < w; ++lx) {
+          const auto x = static_cast<std::ptrdiff_t>(lx);
+          const auto y = static_cast<std::ptrdiff_t>(ly);
+          const auto z = static_cast<std::ptrdiff_t>(lz);
+          std::int64_t pred = 0;
+          switch (ext.rank) {
+            case 1: pred = at(0, 0, x - 1); break;
+            case 2: pred = at(0, y - 1, x) + at(0, y, x - 1) - at(0, y - 1, x - 1); break;
+            case 3:
+              pred = at(z, y - 1, x) + at(z, y, x - 1) + at(z - 1, y, x)
+                   - at(z, y - 1, x - 1) - at(z - 1, y - 1, x) - at(z - 1, y, x - 1)
+                   + at(z - 1, y - 1, x - 1);
+              break;
+            default: break;
+          }
+          const std::size_t gi = ext.index(z0 + lz, y0 + ly, x0 + lx);
+          const quant_t q = quant[gi];
+          std::int64_t val;
+          if (q == 0) {
+            val = outlier_value_dense[gi];  // divergent outlier branch
+          } else {
+            val = pred + (static_cast<std::int64_t>(q) - r);
+          }
+          pq[lidx(lz, ly, lx)] = val;
+          out[gi] = static_cast<T>(static_cast<double>(val) * eb2);
+        }
+      }
+    }
+  });
+
+  const std::size_t n = ext.count();
+  const std::size_t chunks = grid.gx * grid.gy * grid.gz;
+  sim::KernelCost c;
+  c.bytes_read = n * (sizeof(quant_t) + sizeof(qdiff_t));
+  c.bytes_written = n * sizeof(T);
+  c.flops = n * (2 * static_cast<std::size_t>(ext.rank) + 4);
+  c.parallel_items = chunks;  // one virtual thread per chunk
+  c.pattern = sim::AccessPattern::kStrided;
+  c.custom_factor = kCoarseFactor[static_cast<std::size_t>(ext.rank)];
+  return c;
+}
+
+template sim::KernelCost lorenzo_reconstruct_fused<float>(std::span<qdiff_t>, const Extents&,
+                                                          double, std::span<float>,
+                                                          const ReconstructConfig&);
+template sim::KernelCost lorenzo_reconstruct_fused<double>(std::span<qdiff_t>, const Extents&,
+                                                           double, std::span<double>,
+                                                           const ReconstructConfig&);
+template sim::KernelCost lorenzo_reconstruct_coarse<float>(std::span<const quant_t>,
+                                                           std::span<const qdiff_t>,
+                                                           const Extents&, double,
+                                                           const QuantConfig&, std::span<float>);
+template sim::KernelCost lorenzo_reconstruct_coarse<double>(std::span<const quant_t>,
+                                                            std::span<const qdiff_t>,
+                                                            const Extents&, double,
+                                                            const QuantConfig&, std::span<double>);
+
+}  // namespace szp

@@ -1,0 +1,52 @@
+// szp — block-wise linear-regression predictor (SZ2-style, Liang et al.
+// Big Data'18), the alternative predictor the cuSZ+ paper names as future
+// work ("implement other data prediction methods such as
+// linear-regression-based predictors", §VII).
+//
+// Each chunk (same shapes as the Lorenzo chunks: 256 / 16x16 / 8x8x8) gets
+// a least-squares plane fit f(z,y,x) = b0 + b1·x + b2·y + b3·z; residuals
+// against the fitted plane are quantized exactly like Lorenzo residuals
+// (code = round(residual/2eb) + radius, out-of-range residuals to the
+// outlier stream).  Unlike Lorenzo, reconstruction needs no partial sums —
+// every element is independent given the block's coefficients — but the
+// coefficients must ride in the archive (4 float32 per block) and smooth
+// data compresses worse than Lorenzo because residuals do not telescope.
+//
+// The error bound holds regardless of fit quality: reconstruction is
+// d' = f(pos) + code·2eb with the *same* f used during construction.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/eb.hh"
+#include "core/types.hh"
+#include "sim/aligned.hh"
+#include "sim/profile.hh"
+
+namespace szp {
+
+struct RegressionResult {
+  sim::device_vector<quant_t> quant;          ///< one code per element
+  sim::device_vector<qdiff_t> outlier_dense;  ///< residual quanta beyond radius
+  std::vector<float> coefficients;            ///< 4 per chunk: b0, b1, b2, b3
+  sim::KernelCost cost;
+};
+
+/// Fit per-chunk planes and quantize the residuals.
+template <typename T>
+[[nodiscard]] RegressionResult regression_construct(std::span<const T> data, const Extents& ext,
+                                                    double eb_abs, const QuantConfig& quant);
+
+/// Reconstruct from codes + outliers + coefficients.  Fully parallel per
+/// element (no scan passes).
+template <typename T>
+sim::KernelCost regression_reconstruct(std::span<const quant_t> quant,
+                                       std::span<const qdiff_t> outlier_dense,
+                                       std::span<const float> coefficients, const Extents& ext,
+                                       double eb_abs, const QuantConfig& qcfg, std::span<T> out);
+
+/// Number of chunks (hence coefficient quadruples) for a field.
+[[nodiscard]] std::size_t regression_chunk_count(const Extents& ext);
+
+}  // namespace szp

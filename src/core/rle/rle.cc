@@ -1,0 +1,71 @@
+#include "core/rle/rle.hh"
+
+#include <limits>
+#include <stdexcept>
+
+#include "sim/launch.hh"
+#include "sim/reduce_by_key.hh"
+
+namespace szp {
+
+RleEncoded rle_encode(std::span<const quant_t> symbols) {
+  RleEncoded enc;
+  enc.num_symbols = symbols.size();
+  if (symbols.empty()) return enc;
+
+  auto runs = sim::reduce_by_key<quant_t, std::uint64_t>(symbols);
+
+  enc.values.reserve(runs.keys.size());
+  enc.counts.reserve(runs.keys.size());
+  constexpr std::uint64_t kMax = std::numeric_limits<std::uint16_t>::max();
+  for (std::size_t r = 0; r < runs.keys.size(); ++r) {
+    std::uint64_t remaining = runs.counts[r];
+    while (remaining > kMax) {
+      enc.values.push_back(runs.keys[r]);
+      enc.counts.push_back(static_cast<std::uint16_t>(kMax));
+      remaining -= kMax;
+    }
+    enc.values.push_back(runs.keys[r]);
+    enc.counts.push_back(static_cast<std::uint16_t>(remaining));
+  }
+
+  enc.cost = sim::reduce_by_key_cost<quant_t>(symbols.size(), enc.values.size());
+  return enc;
+}
+
+RleDecoded rle_decode(const RleEncoded& enc) {
+  RleDecoded dec;
+  if (enc.values.size() != enc.counts.size()) {
+    throw std::invalid_argument("rle_decode: values/counts size mismatch");
+  }
+  // Offsets of each run in the output (exclusive scan), then parallel fill.
+  std::vector<std::uint64_t> offset(enc.counts.size() + 1, 0);
+  for (std::size_t r = 0; r < enc.counts.size(); ++r) {
+    offset[r + 1] = offset[r] + enc.counts[r];
+  }
+  if (offset.back() != enc.num_symbols) {
+    throw std::runtime_error("rle_decode: run lengths do not sum to the symbol count");
+  }
+  dec.symbols.resize(enc.num_symbols);
+  sim::launch_blocks(enc.values.size(), [&](std::size_t r) {
+    std::fill(dec.symbols.begin() + static_cast<std::ptrdiff_t>(offset[r]),
+              dec.symbols.begin() + static_cast<std::ptrdiff_t>(offset[r + 1]),
+              enc.values[r]);
+  });
+
+  dec.cost.bytes_read = enc.byte_size();
+  dec.cost.bytes_written = enc.num_symbols * sizeof(quant_t);
+  dec.cost.flops = enc.num_symbols;
+  dec.cost.parallel_items = enc.values.empty() ? 1 : enc.values.size();
+  dec.cost.pattern = sim::AccessPattern::kCoalescedStreaming;
+  dec.cost.launches = 2;  // offset scan + expand
+  return dec;
+}
+
+double rle_bits_per_symbol(const RleEncoded& enc) {
+  if (enc.num_symbols == 0) return 0.0;
+  const double bits = static_cast<double>(enc.byte_size()) * 8.0;
+  return bits / static_cast<double>(enc.num_symbols);
+}
+
+}  // namespace szp

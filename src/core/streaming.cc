@@ -1,0 +1,211 @@
+#include "core/streaming.hh"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/metrics.hh"
+#include "core/serialize.hh"
+
+namespace szp {
+
+namespace {
+
+constexpr std::uint32_t kContainerMagic = 0x43505A53;  // "SZPC"
+constexpr std::uint16_t kContainerVersion = 1;
+
+/// Slab partition along the slowest axis: slab thickness chosen so each
+/// slab holds at most max_slab_elems.
+struct SlabPlan {
+  std::size_t slow_extent;      ///< the slowest axis's length
+  std::size_t plane_elems;      ///< elements per unit of the slowest axis
+  std::size_t thickness;        ///< slowest-axis units per slab
+  std::size_t count;            ///< number of slabs
+};
+
+SlabPlan plan_slabs(const Extents& ext, std::size_t max_slab_elems) {
+  SlabPlan p{};
+  switch (ext.rank) {
+    case 1: p.slow_extent = ext.nx; p.plane_elems = 1; break;
+    case 2: p.slow_extent = ext.ny; p.plane_elems = ext.nx; break;
+    case 3: p.slow_extent = ext.nz; p.plane_elems = ext.nx * ext.ny; break;
+    default: throw std::invalid_argument("StreamingCompressor: rank must be 1, 2, or 3");
+  }
+  if (p.plane_elems > max_slab_elems) {
+    throw std::invalid_argument(
+        "StreamingCompressor: a single plane exceeds max_slab_elems; raise the limit");
+  }
+  p.thickness = std::max<std::size_t>(1, max_slab_elems / p.plane_elems);
+  p.count = (p.slow_extent + p.thickness - 1) / p.thickness;
+  return p;
+}
+
+Extents slab_extents(const Extents& ext, std::size_t begin, std::size_t len) {
+  switch (ext.rank) {
+    case 1: return Extents::d1(len);
+    case 2: return Extents::d2(len, ext.nx);
+    default: return Extents::d3(len, ext.ny, ext.nx);
+  }
+  (void)begin;
+}
+
+template <typename T>
+StreamingCompressed compress_impl(const StreamingConfig& cfg, std::span<const T> data,
+                                  const Extents& ext) {
+  if (data.empty() || data.size() != ext.count()) {
+    throw std::invalid_argument("StreamingCompressor::compress: data must match extents");
+  }
+  const SlabPlan plan = plan_slabs(ext, cfg.max_slab_elems);
+
+  // Resolve a relative bound against the whole field once, so every slab
+  // carries the same absolute bound.
+  const ValueRange range = ValueRange::of(data);
+  if (!range.finite) {
+    throw std::invalid_argument("StreamingCompressor::compress: non-finite values");
+  }
+  CompressConfig slab_cfg = cfg.base;
+  slab_cfg.eb = ErrorBound::absolute(cfg.base.eb.resolve(range.span()));
+  const Compressor compressor(slab_cfg);
+
+  StreamingCompressed out;
+  out.stats.original_bytes = data.size_bytes();
+  out.stats.eb_abs = slab_cfg.eb.value;
+
+  ByteWriter w;
+  w.put(kContainerMagic);
+  w.put(kContainerVersion);
+  w.put<std::uint8_t>(static_cast<std::uint8_t>(ext.rank));
+  w.put<std::uint8_t>(static_cast<std::uint8_t>(
+      std::is_same_v<T, float> ? DType::kFloat32 : DType::kFloat64));
+  w.put<std::uint64_t>(ext.nx);
+  w.put<std::uint64_t>(ext.ny);
+  w.put<std::uint64_t>(ext.nz);
+  w.put<std::uint64_t>(plan.count);
+
+  for (std::size_t s = 0; s < plan.count; ++s) {
+    const std::size_t begin = s * plan.thickness;
+    const std::size_t len = std::min(plan.thickness, plan.slow_extent - begin);
+    const Extents sub = slab_extents(ext, begin, len);
+    const std::size_t offset = begin * plan.plane_elems;
+
+    const auto slab = compressor.compress(
+        std::span<const T>(data.data() + offset, sub.count()), sub);
+
+    SlabInfo info;
+    info.extents = sub;
+    info.offset = offset;
+    info.ratio = slab.stats.ratio;
+    info.workflow = slab.stats.workflow_used;
+    out.stats.slabs.push_back(info);
+
+    w.put<std::uint64_t>(offset);
+    w.put_vector(slab.bytes);
+  }
+
+  out.bytes = w.take();
+  out.stats.compressed_bytes = out.bytes.size();
+  out.stats.ratio = compression_ratio(out.stats.original_bytes, out.stats.compressed_bytes);
+  return out;
+}
+
+struct ContainerHeader {
+  Extents extents;
+  DType dtype;
+  std::size_t slabs;
+};
+
+ContainerHeader read_header(ByteReader& r) {
+  if (r.get<std::uint32_t>() != kContainerMagic) {
+    throw std::runtime_error("StreamingCompressor: bad container magic");
+  }
+  if (r.get<std::uint16_t>() != kContainerVersion) {
+    throw std::runtime_error("StreamingCompressor: unsupported container version");
+  }
+  ContainerHeader h{};
+  h.extents.rank = r.get<std::uint8_t>();
+  h.dtype = static_cast<DType>(r.get<std::uint8_t>());
+  h.extents.nx = r.get<std::uint64_t>();
+  h.extents.ny = r.get<std::uint64_t>();
+  h.extents.nz = r.get<std::uint64_t>();
+  h.slabs = r.get<std::uint64_t>();
+  return h;
+}
+
+}  // namespace
+
+StreamingCompressed StreamingCompressor::compress(std::span<const float> data,
+                                                  const Extents& ext) const {
+  return compress_impl(cfg_, data, ext);
+}
+
+StreamingCompressed StreamingCompressor::compress(std::span<const double> data,
+                                                  const Extents& ext) const {
+  return compress_impl(cfg_, data, ext);
+}
+
+std::size_t StreamingCompressor::slab_count(std::span<const std::uint8_t> container) {
+  ByteReader r(container);
+  return read_header(r).slabs;
+}
+
+StreamingDecompressed StreamingCompressor::decompress(std::span<const std::uint8_t> container) {
+  ByteReader r(container);
+  const ContainerHeader h = read_header(r);
+
+  StreamingDecompressed out;
+  out.extents = h.extents;
+  out.dtype = h.dtype;
+  if (h.dtype == DType::kFloat32) {
+    out.data.resize(h.extents.count());
+  } else {
+    out.data_f64.resize(h.extents.count());
+  }
+
+  for (std::size_t s = 0; s < h.slabs; ++s) {
+    const auto offset = r.get<std::uint64_t>();
+    const auto bytes = r.get_vector<std::uint8_t>();
+    auto slab = Compressor::decompress(bytes);
+    if (h.dtype == DType::kFloat32) {
+      if (offset + slab.data.size() > out.data.size()) {
+        throw std::runtime_error("StreamingCompressor: slab exceeds field bounds");
+      }
+      std::copy(slab.data.begin(), slab.data.end(),
+                out.data.begin() + static_cast<std::ptrdiff_t>(offset));
+    } else {
+      if (offset + slab.data_f64.size() > out.data_f64.size()) {
+        throw std::runtime_error("StreamingCompressor: slab exceeds field bounds");
+      }
+      std::copy(slab.data_f64.begin(), slab.data_f64.end(),
+                out.data_f64.begin() + static_cast<std::ptrdiff_t>(offset));
+    }
+  }
+  return out;
+}
+
+StreamingDecompressed StreamingCompressor::decompress_slab(
+    std::span<const std::uint8_t> container, std::size_t slab_index, SlabInfo* info_out) {
+  ByteReader r(container);
+  const ContainerHeader h = read_header(r);
+  if (slab_index >= h.slabs) {
+    throw std::out_of_range("StreamingCompressor::decompress_slab: slab index out of range");
+  }
+  for (std::size_t s = 0; s < slab_index; ++s) {
+    (void)r.get<std::uint64_t>();
+    (void)r.get_vector<std::uint8_t>();  // skip (length-prefixed)
+  }
+  const auto offset = r.get<std::uint64_t>();
+  const auto bytes = r.get_vector<std::uint8_t>();
+  auto slab = Compressor::decompress(bytes);
+
+  StreamingDecompressed out;
+  out.extents = slab.extents;
+  out.dtype = h.dtype;
+  out.data = std::move(slab.data);
+  out.data_f64 = std::move(slab.data_f64);
+  if (info_out != nullptr) {
+    info_out->extents = slab.extents;
+    info_out->offset = offset;
+  }
+  return out;
+}
+
+}  // namespace szp

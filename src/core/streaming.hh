@@ -1,0 +1,96 @@
+// szp — blocked ("streaming") compression for fields larger than device
+// memory.
+//
+// The paper notes (§V-A.3): "when the field is too large to fit in a single
+// GPU's memory, CUSZ+ divides it into blocks and then compresses by block."
+// StreamingCompressor implements that: the field is partitioned into slabs
+// along its slowest-varying axis, each slab is compressed independently
+// (its own workflow selection, codebook, and outlier stream), and the slab
+// archives are packed into a self-describing container.
+//
+// Because slabs are independent, the container supports partial access:
+// decompress_slab() reconstructs one slab without touching the others —
+// the coarse-grained decompression granularity cuSZ's block split was
+// designed for (§II-A).
+//
+// A relative error bound is resolved against the *whole field's* range
+// before slabbing, so every slab honors the same absolute bound and the
+// result is identical in quality to single-shot compression.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/compressor.hh"
+
+namespace szp {
+
+struct StreamingConfig {
+  CompressConfig base;
+  /// Maximum elements per slab (default 2^22 ~ 16 MB of float32).
+  std::size_t max_slab_elems = std::size_t{1} << 22;
+};
+
+struct SlabInfo {
+  Extents extents;        ///< the slab's own extents
+  std::size_t offset = 0; ///< element offset of the slab in the field
+  double ratio = 0.0;
+  Workflow workflow = Workflow::kHuffman;
+};
+
+struct StreamingStats {
+  std::size_t original_bytes = 0;
+  std::size_t compressed_bytes = 0;
+  double ratio = 0.0;
+  double eb_abs = 0.0;
+  std::vector<SlabInfo> slabs;
+};
+
+struct StreamingCompressed {
+  std::vector<std::uint8_t> bytes;
+  StreamingStats stats;
+};
+
+struct StreamingDecompressed {
+  DType dtype = DType::kFloat32;
+  std::vector<float> data;
+  std::vector<double> data_f64;
+  Extents extents;
+};
+
+class StreamingCompressor {
+ public:
+  StreamingCompressor() = default;
+  explicit StreamingCompressor(StreamingConfig cfg) : cfg_(std::move(cfg)) {}
+
+  [[nodiscard]] const StreamingConfig& config() const { return cfg_; }
+
+  [[nodiscard]] StreamingCompressed compress(std::span<const float> data,
+                                             const Extents& ext) const;
+  [[nodiscard]] StreamingCompressed compress(std::span<const double> data,
+                                             const Extents& ext) const;
+
+  template <typename T, typename Alloc>
+  [[nodiscard]] StreamingCompressed compress(const std::vector<T, Alloc>& data,
+                                             const Extents& ext) const {
+    return compress(std::span<const T>(data.data(), data.size()), ext);
+  }
+
+  /// Reassemble the whole field.
+  [[nodiscard]] static StreamingDecompressed decompress(std::span<const std::uint8_t> container);
+
+  /// Number of slabs in a container (without decompressing anything).
+  [[nodiscard]] static std::size_t slab_count(std::span<const std::uint8_t> container);
+
+  /// Decompress a single slab (partial access).  `info_out`, if non-null,
+  /// receives the slab's extents and element offset within the full field.
+  [[nodiscard]] static StreamingDecompressed decompress_slab(
+      std::span<const std::uint8_t> container, std::size_t slab_index,
+      SlabInfo* info_out = nullptr);
+
+ private:
+  StreamingConfig cfg_{};
+};
+
+}  // namespace szp

@@ -1,0 +1,76 @@
+// szp — fundamental types shared across the compressor.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+
+namespace szp {
+
+/// Quant-code symbol ("multi-byte symbol" in the paper: the enumeration of
+/// in-range prediction residuals, §III-A.1).  Capacity defaults to 1024, so
+/// one symbol spans two bytes.
+using quant_t = std::uint16_t;
+
+/// Signed residual / partial-sum accumulator.  Dual-quantization keeps all
+/// reconstruction arithmetic in this integer domain (paper §IV-A.1b), which
+/// is exact and lets the partial-sum reorder additions freely.
+using qdiff_t = std::int32_t;
+
+/// Row-major extents of a 1/2/3-D field; x is the fastest-varying axis.
+struct Extents {
+  std::size_t nx = 1;
+  std::size_t ny = 1;
+  std::size_t nz = 1;
+  int rank = 1;
+
+  static Extents d1(std::size_t nx) { return {nx, 1, 1, 1}; }
+  static Extents d2(std::size_t ny, std::size_t nx) { return {nx, ny, 1, 2}; }
+  static Extents d3(std::size_t nz, std::size_t ny, std::size_t nx) { return {nx, ny, nz, 3}; }
+
+  [[nodiscard]] std::size_t count() const { return nx * ny * nz; }
+
+  [[nodiscard]] std::size_t index(std::size_t z, std::size_t y, std::size_t x) const {
+    return (z * ny + y) * nx + x;
+  }
+
+  [[nodiscard]] bool operator==(const Extents&) const = default;
+};
+
+/// Quantizer configuration.  `capacity` is the number of representable
+/// quant-codes (the histogram bin count / Huffman alphabet size); `radius`
+/// is the zero point: code = residual + radius.
+struct QuantConfig {
+  std::uint32_t capacity = 1024;
+
+  [[nodiscard]] std::int32_t radius() const { return static_cast<std::int32_t>(capacity / 2); }
+
+  void validate() const {
+    if (capacity < 4 || capacity > 65536 || (capacity & 1) != 0) {
+      throw std::invalid_argument("QuantConfig: capacity must be even and in [4, 65536]");
+    }
+  }
+};
+
+/// Chunk (thread-block tile) shapes, matching the paper: 256 for 1-D,
+/// 16x16 for 2-D, 8x8x8 for 3-D.  Chunks are compressed independently with
+/// a zero prediction boundary, which is what makes reconstruction a
+/// chunk-local partial sum.
+struct ChunkShape {
+  std::size_t cx = 256;
+  std::size_t cy = 1;
+  std::size_t cz = 1;
+
+  static ChunkShape for_rank(int rank) {
+    switch (rank) {
+      case 1: return {256, 1, 1};
+      case 2: return {16, 16, 1};
+      case 3: return {8, 8, 8};
+      default: throw std::invalid_argument("ChunkShape: rank must be 1, 2, or 3");
+    }
+  }
+
+  [[nodiscard]] std::size_t count() const { return cx * cy * cz; }
+};
+
+}  // namespace szp

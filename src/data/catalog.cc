@@ -1,0 +1,246 @@
+#include "data/catalog.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace szp::data {
+
+namespace {
+
+std::size_t scaled(std::size_t dim, double s) {
+  return std::max<std::size_t>(8, static_cast<std::size_t>(std::llround(static_cast<double>(dim) * s)));
+}
+
+Extents scale_extents(const Extents& e, double s) {
+  Extents r = e;
+  r.nx = scaled(e.nx, s);
+  if (e.rank >= 2) r.ny = scaled(e.ny, s);
+  if (e.rank >= 3) r.nz = scaled(e.nz, s);
+  return r;
+}
+
+CatalogField field(const std::string& dataset, std::string name, Extents ext, double step_rel,
+                   double impulse_density, double plateau, double vle = 0.0, double rle = 0.0,
+                   double qhg = 0.0) {
+  CatalogField f;
+  f.spec.dataset = dataset;
+  f.spec.name = std::move(name);
+  f.spec.extents = ext;
+  f.spec.step_rel = step_rel;
+  f.spec.impulse_density = impulse_density;
+  f.spec.impulse_scale = 0.04;
+  f.spec.plateau_fraction = plateau;
+  f.paper_vle_cr = vle;
+  f.paper_rle_cr = rle;
+  f.paper_qhg_cr = qhg;
+  return f;
+}
+
+
+/// Derive (step_rel, impulse_density) from a target Workflow-RLE
+/// compression ratio at rel-eb 1e-2.  Empirical run-rate model (measured on
+/// this generator): a smooth texture of per-step relative gradient g breaks
+/// runs at ~113·g per element in 2-D (~169 in 3-D) via quantization-grid
+/// crossings, and one isolated impulse breaks ~7.6 runs in 2-D (~15 in
+/// 3-D, ~3.8 in 1-D).  The run budget 1/CR is split 70% texture / 30%
+/// impulses; plateau clamping swallows about half of in-plateau impulses.
+struct RleCalibration {
+  double step_rel;
+  double impulse_density;
+};
+RleCalibration calibrate_for_rle_cr(double cr, int rank, double plateau) {
+  const double texture_runs_per_step = rank == 3 ? 169.0 : rank == 2 ? 113.0 : 56.0;
+  const double runs_per_impulse = rank == 3 ? 15.0 : rank == 2 ? 7.6 : 3.8;
+  RleCalibration c;
+  c.step_rel = 0.7 / cr / texture_runs_per_step;
+  c.impulse_density = 0.3 / cr / runs_per_impulse / (1.0 - plateau / 2.0);
+  return c;
+}
+
+/// CESM-ATM per-field calibration: Table IV's (qh VLE, RLE, qhg) columns at
+/// rel-eb 1e-2.  impulse_density is derived from the RLE CR target (see
+/// make_cesm) and plateau_fraction from the qhg headroom.
+struct CesmRow {
+  const char* name;
+  double vle, rle, qhg;
+};
+constexpr CesmRow kCesmRows[] = {
+    {"AEROD_v", 25.06, 10.46, 94.27},   {"FLNTC", 23.66, 8.87, 56.95},
+    {"FLUTC", 23.66, 8.91, 57.06},      {"FSDSC", 23.88, 26.10, 58.30},
+    {"FSDTOA", 26.10, 43.65, 430.61},   {"FSNSC", 23.44, 10.11, 51.73},
+    {"FSNTC", 23.88, 12.33, 60.35},     {"FSNTOAC", 25.06, 12.46, 111.63},
+    {"ICEFRAC", 25.31, 16.57, 159.18},  {"LANDFRAC", 23.66, 13.98, 97.15},
+    {"OCNFRAC", 23.88, 11.23, 89.55},   {"ODV_bcar1", 25.83, 37.28, 189.28},
+    {"ODV_bcar2", 25.83, 30.71, 197.32},{"ODV_dust1", 26.10, 22.91, 242.89},
+    {"ODV_dust2", 26.37, 24.02, 319.55},{"ODV_dust3", 26.10, 33.29, 270.50},
+    {"ODV_dust4", 26.10, 46.81, 230.40},{"ODV_ocar1", 24.11, 41.17, 65.81},
+    {"ODV_ocar2", 24.11, 33.79, 64.92}, {"PHIS", 25.06, 9.51, 98.86},
+    {"PRECSC", 25.83, 19.50, 176.21},   {"PRECSL", 25.57, 15.39, 142.23},
+    {"PSL", 24.34, 12.43, 83.13},       {"PS", 21.09, 7.45, 98.59},
+    {"SNOWHICE", 25.31, 15.14, 144.74}, {"SNOWHLND", 25.57, 21.18, 184.39},
+    {"SOLIN", 26.10, 43.65, 430.62},    {"TAUX", 25.06, 11.30, 100.30},
+    {"TAUY", 25.31, 12.40, 106.55},     {"TREFHT", 24.58, 8.75, 82.50},
+    {"TREFMXAV", 24.58, 9.60, 87.39},   {"TROP_P", 24.82, 11.19, 93.78},
+    {"TROP_T", 24.82, 11.10, 92.94},    {"TROP_Z", 24.58, 9.48, 84.81},
+    {"TSMX", 23.88, 8.55, 64.95},
+};
+
+Dataset make_hacc(double s) {
+  Dataset ds{"HACC", 1, {}};
+  const Extents e = scale_extents(Extents::d1(std::size_t{1} << 23), s);
+  // Positions are smoother than velocities; Table I HACC qh column implies
+  // a per-step gradient near 5e-3 of range at the dataset level.
+  for (const char* n : {"x", "y", "z"}) {
+    ds.fields.push_back(field(ds.name, n, e, 3.5e-3, 0.010, 0.0));
+  }
+  for (const char* n : {"vx", "vy", "vz"}) {
+    ds.fields.push_back(field(ds.name, n, e, 6.0e-3, 0.030, 0.0));
+  }
+  return ds;
+}
+
+Dataset make_cesm(double s) {
+  Dataset ds{"CESM-ATM", 2, {}};
+  const Extents e = scale_extents(Extents::d2(1800, 3600), s);
+  for (const CesmRow& row : kCesmRows) {
+    const double plateau = std::clamp((row.qhg - 60.0) / 600.0, 0.0, 0.6);
+    const auto cal = calibrate_for_rle_cr(row.rle, 2, plateau);
+    ds.fields.push_back(field(ds.name, row.name, e, cal.step_rel, cal.impulse_density,
+                              plateau, row.vle, row.rle, row.qhg));
+  }
+  return ds;
+}
+
+Dataset make_hurricane(double s) {
+  Dataset ds{"Hurricane", 3, {}};
+  const Extents e = scale_extents(Extents::d3(100, 500, 500), s);
+  // Nominal Workflow-RLE CR targets chosen so the dataset-average Huffman
+  // ratios track Table I's Hurricane column.
+  const auto add = [&](const char* name, double rle_cr, double plateau) {
+    const auto cal = calibrate_for_rle_cr(rle_cr, 3, plateau);
+    ds.fields.push_back(field(ds.name, name, e, cal.step_rel, cal.impulse_density, plateau));
+  };
+  add("CLOUDf48", 30.0, 0.45);
+  add("Pf48", 25.0, 0.0);
+  add("TCf48", 20.0, 0.0);
+  add("QVAPORf48", 18.0, 0.30);
+  add("Uf48", 12.0, 0.0);
+  add("Vf48", 12.0, 0.0);
+  add("Wf48", 8.0, 0.0);
+  add("PRECIPf48", 15.0, 0.40);
+  add("QCLOUDf48", 28.0, 0.50);
+  add("QGRAUPf48", 35.0, 0.55);
+  add("QICEf48", 32.0, 0.50);
+  add("QRAINf48", 26.0, 0.45);
+  add("QSNOWf48", 30.0, 0.50);
+  add("QVAPORf02", 22.0, 0.30);
+  add("TCf02", 24.0, 0.0);
+  add("Uf02", 14.0, 0.0);
+  add("Vf02", 14.0, 0.0);
+  add("Wf02", 9.0, 0.0);
+  add("Pf02", 28.0, 0.0);
+  add("CLOUDf02", 34.0, 0.50);
+  return ds;
+}
+
+Dataset make_nyx(double s) {
+  Dataset ds{"Nyx", 3, {}};
+  const Extents e = scale_extents(Extents::d3(512, 512, 512), s);
+  // baryon_density's target matches Table V's measured 122.7x RLE ratio.
+  const auto add = [&](const char* name, double rle_cr, double plateau) {
+    const auto cal = calibrate_for_rle_cr(rle_cr, 3, plateau);
+    ds.fields.push_back(field(ds.name, name, e, cal.step_rel, cal.impulse_density, plateau));
+  };
+  add("baryon_density", 122.7, 0.35);
+  add("dark_matter_density", 60.0, 0.30);
+  add("temperature", 40.0, 0.0);
+  add("velocity_x", 25.0, 0.0);
+  add("velocity_y", 25.0, 0.0);
+  add("velocity_z", 25.0, 0.0);
+  return ds;
+}
+
+Dataset make_rtm(double s) {
+  Dataset ds{"RTM", 3, {}};
+  const Extents e = scale_extents(Extents::d3(235, 449, 449), s);
+  // snapshot-2800's target matches Table V's measured 76x RLE ratio.
+  const auto add = [&](const char* name, double rle_cr, double plateau) {
+    const auto cal = calibrate_for_rle_cr(rle_cr, 3, plateau);
+    ds.fields.push_back(field(ds.name, name, e, cal.step_rel, cal.impulse_density, plateau));
+  };
+  add("snapshot-2800", 76.0, 0.25);
+  add("snapshot-2090", 60.0, 0.30);
+  add("snapshot-0800", 100.0, 0.45);
+  add("snapshot-1400", 85.0, 0.35);
+  add("snapshot-2000", 65.0, 0.30);
+  add("snapshot-2400", 70.0, 0.28);
+  add("snapshot-3200", 55.0, 0.22);
+  add("snapshot-3600", 50.0, 0.20);
+  add("snapshot-0400", 120.0, 0.55);
+  add("snapshot-0090", 150.0, 0.65);
+  return ds;
+}
+
+Dataset make_miranda(double s) {
+  Dataset ds{"Miranda", 3, {}};
+  const Extents e = scale_extents(Extents::d3(256, 384, 384), s);
+  const auto add = [&](const char* name, double rle_cr, double plateau) {
+    const auto cal = calibrate_for_rle_cr(rle_cr, 3, plateau);
+    ds.fields.push_back(field(ds.name, name, e, cal.step_rel, cal.impulse_density, plateau));
+  };
+  add("density", 20.0, 0.0);
+  add("pressure", 25.0, 0.0);
+  add("velocityx", 12.0, 0.0);
+  add("velocityy", 12.0, 0.0);
+  add("velocityz", 12.0, 0.0);
+  add("diffusivity", 15.0, 0.20);
+  add("viscocity", 16.0, 0.15);
+  return ds;
+}
+
+Dataset make_qmcpack(double s) {
+  Dataset ds{"QMCPACK", 3, {}};
+  // 288x115x69x69 reinterpreted as 3-D (paper Table III).
+  const Extents e = scale_extents(Extents::d3(288l * 115, 69, 69), s);
+  const auto add = [&](const char* name, double rle_cr, double plateau) {
+    const auto cal = calibrate_for_rle_cr(rle_cr, 3, plateau);
+    ds.fields.push_back(field(ds.name, name, e, cal.step_rel, cal.impulse_density, plateau));
+  };
+  add("einspline-preconditioned", 25.0, 0.0);
+  add("einspline-raw", 12.0, 0.0);
+  return ds;
+}
+
+}  // namespace
+
+const std::vector<std::string>& dataset_names() {
+  static const std::vector<std::string> names{"HACC",    "CESM-ATM", "Hurricane", "Nyx",
+                                              "RTM",     "Miranda",  "QMCPACK"};
+  return names;
+}
+
+Dataset make_dataset(std::string_view name, double axis_scale) {
+  if (axis_scale <= 0.0 || axis_scale > 1.0) {
+    throw std::invalid_argument("make_dataset: axis_scale must be in (0, 1]");
+  }
+  if (name == "HACC") return make_hacc(axis_scale);
+  if (name == "CESM-ATM") return make_cesm(axis_scale);
+  if (name == "Hurricane") return make_hurricane(axis_scale);
+  if (name == "Nyx") return make_nyx(axis_scale);
+  if (name == "RTM") return make_rtm(axis_scale);
+  if (name == "Miranda") return make_miranda(axis_scale);
+  if (name == "QMCPACK") return make_qmcpack(axis_scale);
+  throw std::invalid_argument("make_dataset: unknown dataset '" + std::string(name) + "'");
+}
+
+const CatalogField& find_field(const Dataset& ds, std::string_view field_name) {
+  const auto it = std::find_if(ds.fields.begin(), ds.fields.end(),
+                               [&](const CatalogField& f) { return f.spec.name == field_name; });
+  if (it == ds.fields.end()) {
+    throw std::out_of_range("find_field: no field '" + std::string(field_name) + "' in " + ds.name);
+  }
+  return *it;
+}
+
+}  // namespace szp::data

@@ -1,0 +1,46 @@
+// szp::data — catalog of the paper's seven evaluation datasets (Table III),
+// realized as synthetic FieldSpecs calibrated against the published
+// compression ratios (see synthetic.hh for the substitution rationale).
+//
+// Extents at axis_scale=1.0 follow the paper where practical (CESM-ATM,
+// Hurricane, Nyx, RTM, Miranda, QMCPACK); the 1-D HACC field is reduced
+// from 280,953,867 to 2^23 elements (the paper itself notes snapshots are
+// statistically similar, §V-A.3).  Benches pass axis_scale < 1 to fit the
+// host; scaling is per axis so relative dataset sizes are preserved.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "data/synthetic.hh"
+
+namespace szp::data {
+
+struct CatalogField {
+  FieldSpec spec;
+  // Published reference compression ratios at rel-eb 1e-2, where the paper
+  // reports them (Table IV for CESM; 0 = not reported).
+  double paper_vle_cr = 0.0;  ///< cuSZ Workflow-Huffman (qh)
+  double paper_rle_cr = 0.0;  ///< cuSZ+ Workflow-RLE
+  double paper_qhg_cr = 0.0;  ///< cuSZ + gzip reference (qhg)
+};
+
+struct Dataset {
+  std::string name;
+  int rank = 1;
+  std::vector<CatalogField> fields;
+};
+
+/// Names of the seven datasets: "HACC", "CESM-ATM", "Hurricane", "Nyx",
+/// "RTM", "Miranda", "QMCPACK".
+[[nodiscard]] const std::vector<std::string>& dataset_names();
+
+/// Build the dataset's field specs with every axis multiplied by
+/// `axis_scale` (extents floor at 8).
+[[nodiscard]] Dataset make_dataset(std::string_view name, double axis_scale = 1.0);
+
+/// Look up one field by name; throws std::out_of_range if absent.
+[[nodiscard]] const CatalogField& find_field(const Dataset& ds, std::string_view field);
+
+}  // namespace szp::data

@@ -1,0 +1,38 @@
+#include "data/io.hh"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace szp::data {
+
+std::vector<float> read_f32(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) {
+    throw std::runtime_error("read_f32: cannot open " + path.string());
+  }
+  const auto bytes = static_cast<std::size_t>(in.tellg());
+  if (bytes % sizeof(float) != 0) {
+    throw std::runtime_error("read_f32: " + path.string() + " is not a whole number of floats");
+  }
+  std::vector<float> data(bytes / sizeof(float));
+  in.seekg(0);
+  in.read(reinterpret_cast<char*>(data.data()), static_cast<std::streamsize>(bytes));
+  if (!in) {
+    throw std::runtime_error("read_f32: short read from " + path.string());
+  }
+  return data;
+}
+
+void write_f32(const std::filesystem::path& path, std::span<const float> data) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("write_f32: cannot open " + path.string());
+  }
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size_bytes()));
+  if (!out) {
+    throw std::runtime_error("write_f32: short write to " + path.string());
+  }
+}
+
+}  // namespace szp::data

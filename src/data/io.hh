@@ -1,0 +1,19 @@
+// szp::data — raw binary float I/O in the SDRBench convention (.f32 files:
+// bare little-endian float32, row-major).  Lets users run the harness on
+// real SDRBench downloads in place of the synthetic generator.
+#pragma once
+
+#include <filesystem>
+#include <span>
+#include <vector>
+
+namespace szp::data {
+
+/// Read a .f32 file; throws std::runtime_error if missing or not a whole
+/// number of floats.
+[[nodiscard]] std::vector<float> read_f32(const std::filesystem::path& path);
+
+/// Write a .f32 file (overwrites).
+void write_f32(const std::filesystem::path& path, std::span<const float> data);
+
+}  // namespace szp::data

@@ -1,0 +1,51 @@
+// szp::data — synthetic scientific-field generator.
+//
+// The paper evaluates on seven SDRBench datasets (HACC, CESM-ATM,
+// Hurricane-ISABEL, Nyx, RTM, Miranda, QMCPACK) that are not shipped here;
+// this generator is the documented substitution (DESIGN.md §2).  The
+// compression phenomena the paper studies are functions of three field
+// properties, each of which is an explicit knob:
+//
+//   * step_rel — typical per-sample gradient relative to the value range.
+//     Controls how many nonzero quant-codes the Lorenzo predictor emits as
+//     the error bound tightens (the Table I eb sweep).  Realized as
+//     multi-octave value noise: coarse white noise upsampled by
+//     interpolation, so the per-step delta is amplitude/upsample-factor.
+//   * impulse_density — fraction of samples carrying localized jumps a few
+//     percent of the range in magnitude.  These break RLE runs at loose
+//     bounds and become multi-bit codes/outliers at tight bounds; the knob
+//     maps 1:1 to the paper's per-field RLE compression ratios (Table IV).
+//   * plateau_fraction — fraction of the domain clamped to a constant
+//     (land/ocean/ice masks, vacuum regions).  Plateaus are what the
+//     pattern-finding stage (gzip in `qhg`) exploits far beyond Huffman's
+//     1-bit floor, reproducing the qh-vs-qhg gap.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/types.hh"
+
+namespace szp::data {
+
+struct FieldSpec {
+  std::string dataset;
+  std::string name;
+  Extents extents;
+  double step_rel = 1e-3;        ///< per-step gradient / value range
+  double impulse_density = 0.05; ///< fraction of samples with jumps
+  double impulse_scale = 0.03;   ///< jump magnitude / value range
+  double plateau_fraction = 0.0; ///< fraction of domain clamped flat
+  double value_offset = 0.0;     ///< additive offset (non-zero-centered data)
+  double value_scale = 1.0;      ///< overall magnitude
+  std::uint64_t seed = 0;        ///< derived from dataset+name when 0
+};
+
+/// Deterministically generate the field described by `spec`.
+[[nodiscard]] std::vector<float> generate_field(const FieldSpec& spec);
+
+/// Stable 64-bit hash for seeding (FNV-1a over dataset + '/' + name).
+[[nodiscard]] std::uint64_t field_seed(const std::string& dataset, const std::string& name);
+
+}  // namespace szp::data

@@ -1,0 +1,113 @@
+#include "lossless/lz77.hh"
+
+#include <stdexcept>
+
+namespace szp::lossless {
+
+namespace {
+
+std::uint32_t hash3(const std::uint8_t* p) {
+  return (static_cast<std::uint32_t>(p[0]) * 2654435761u ^
+          static_cast<std::uint32_t>(p[1]) * 40503u ^ static_cast<std::uint32_t>(p[2]))
+         & 0x7fffu;
+}
+
+}  // namespace
+
+std::size_t length_code(std::size_t len) {
+  std::size_t c = 0;
+  while (c + 1 < kLenBase.size() && kLenBase[c + 1] <= len) ++c;
+  return c;
+}
+
+std::size_t dist_code(std::size_t dist) {
+  std::size_t c = 0;
+  while (c + 1 < kDistBase.size() && kDistBase[c + 1] <= dist) ++c;
+  return c;
+}
+
+std::vector<Lz77Token> lz77_tokenize(std::span<const std::uint8_t> input,
+                                     const Lz77Config& cfg) {
+  std::vector<Lz77Token> tokens;
+  tokens.reserve(input.size() / 3 + 2);
+
+  std::vector<std::int64_t> head(1 << 15, -1);
+  std::vector<std::int64_t> prev(input.size(), -1);
+
+  const std::size_t n = input.size();
+  std::size_t pos = 0;
+  while (pos < n) {
+    std::size_t best_len = 0, best_dist = 0;
+    if (pos + cfg.min_match <= n) {
+      const std::uint32_t h = hash3(input.data() + pos);
+      std::int64_t cand = head[h];
+      std::size_t chain = 0;
+      const std::size_t limit = std::min(cfg.max_match, n - pos);
+      while (cand >= 0 && chain < cfg.max_chain &&
+             pos - static_cast<std::size_t>(cand) <= cfg.window) {
+        const auto c = static_cast<std::size_t>(cand);
+        std::size_t len = 0;
+        while (len < limit && input[c + len] == input[pos + len]) ++len;
+        if (len > best_len) {
+          best_len = len;
+          best_dist = pos - c;
+          if (len == limit) break;
+        }
+        cand = prev[c];
+        ++chain;
+      }
+      prev[pos] = head[h];
+      head[h] = static_cast<std::int64_t>(pos);
+    }
+
+    if (best_len >= cfg.min_match) {
+      const std::size_t lc = length_code(best_len);
+      const std::size_t dc = dist_code(best_dist);
+      Lz77Token t;
+      t.litlen_sym = static_cast<std::uint16_t>(257 + lc);
+      t.len_extra = static_cast<std::uint16_t>(best_len - kLenBase[lc]);
+      t.dist_sym = static_cast<std::uint8_t>(dc);
+      t.dist_extra = static_cast<std::uint16_t>(best_dist - kDistBase[dc]);
+      tokens.push_back(t);
+      // Insert skipped positions into the hash chains so later matches can
+      // reference the interior of this match.
+      for (std::size_t k = 1; k < best_len && pos + k + cfg.min_match <= n; ++k) {
+        const std::uint32_t h = hash3(input.data() + pos + k);
+        prev[pos + k] = head[h];
+        head[h] = static_cast<std::int64_t>(pos + k);
+      }
+      pos += best_len;
+    } else {
+      Lz77Token t{};
+      t.litlen_sym = input[pos];
+      tokens.push_back(t);
+      ++pos;
+    }
+  }
+  Lz77Token eob{};
+  eob.litlen_sym = kEndOfBlock;
+  tokens.push_back(eob);
+  return tokens;
+}
+
+bool lz77_expand(const Lz77Token& token, std::vector<std::uint8_t>& out) {
+  if (token.litlen_sym == kEndOfBlock) return false;
+  if (token.litlen_sym < 256) {
+    out.push_back(static_cast<std::uint8_t>(token.litlen_sym));
+    return true;
+  }
+  const std::size_t lc = token.litlen_sym - 257u;
+  if (lc >= kLenBase.size() || token.dist_sym >= kDistBase.size()) {
+    throw std::runtime_error("lz77_expand: bad token");
+  }
+  const std::size_t len = kLenBase[lc] + token.len_extra;
+  const std::size_t dist = kDistBase[token.dist_sym] + token.dist_extra;
+  if (dist > out.size()) {
+    throw std::runtime_error("lz77_expand: distance before stream start");
+  }
+  const std::size_t start = out.size() - dist;
+  for (std::size_t k = 0; k < len; ++k) out.push_back(out[start + k]);
+  return true;
+}
+
+}  // namespace szp::lossless

@@ -1,0 +1,67 @@
+// szp::lossless — shared LZ77 machinery: DEFLATE-style token alphabet
+// (literal/length codes with extra bits, 30 distance codes) and the
+// hash-chain greedy tokenizer.  Two entropy stages build on it:
+//   * lzh.cc — canonical Huffman (the gzip stand-in),
+//   * lzr.cc — rANS (the Zstd stand-in; Zstd's FSE is the same
+//     table-variant ANS family).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace szp::lossless {
+
+struct Lz77Config {
+  std::size_t window = 32768;   ///< max match distance
+  std::size_t max_chain = 128;  ///< hash-chain search depth
+  std::size_t min_match = 3;
+  std::size_t max_match = 258;
+};
+
+inline constexpr std::uint32_t kEndOfBlock = 256;
+inline constexpr std::size_t kLitLenAlphabet = 286;
+inline constexpr std::size_t kDistAlphabet = 30;
+
+/// DEFLATE length codes 257..285: base length and extra bits.
+inline constexpr std::array<std::uint16_t, 29> kLenBase{
+    3,  4,  5,  6,  7,  8,  9,  10, 11,  13,  15,  17,  19,  23, 27,
+    31, 35, 43, 51, 59, 67, 83, 99, 115, 131, 163, 195, 227, 258};
+inline constexpr std::array<std::uint8_t, 29> kLenExtra{0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2,
+                                                        2, 3, 3, 3, 3, 4, 4, 4, 4, 5, 5, 5, 5, 0};
+
+/// DEFLATE distance codes 0..29: base distance and extra bits.
+inline constexpr std::array<std::uint32_t, 30> kDistBase{
+    1,    2,    3,    4,    5,    7,     9,     13,    17,    25,
+    33,   49,   65,   97,   129,  193,   257,   385,   513,   769,
+    1025, 1537, 2049, 3073, 4097, 6145,  8193,  12289, 16385, 24577};
+inline constexpr std::array<std::uint8_t, 30> kDistExtra{0, 0, 0,  0,  1,  1,  2,  2,  3,  3,
+                                                         4, 4, 5,  5,  6,  6,  7,  7,  8,  8,
+                                                         9, 9, 10, 10, 11, 11, 12, 12, 13, 13};
+
+/// Length (3..258) -> index into kLenBase.
+[[nodiscard]] std::size_t length_code(std::size_t len);
+
+/// Distance (1..32768) -> index into kDistBase.
+[[nodiscard]] std::size_t dist_code(std::size_t dist);
+
+/// One LZ77 token: a literal (litlen_sym < 256), the end-of-block marker
+/// (== 256), or a match (>= 257 with distance fields valid).
+struct Lz77Token {
+  std::uint16_t litlen_sym = 0;
+  std::uint16_t len_extra = 0;   ///< extra-bit payload for the length
+  std::uint8_t dist_sym = 0;
+  std::uint16_t dist_extra = 0;  ///< extra-bit payload for the distance
+};
+
+/// Greedy hash-chain parse of `input` into tokens (terminated by an
+/// end-of-block token).
+[[nodiscard]] std::vector<Lz77Token> lz77_tokenize(std::span<const std::uint8_t> input,
+                                                   const Lz77Config& cfg = {});
+
+/// Expand a token against already-decoded output (appends to `out`).
+/// Returns false for the end-of-block token.
+bool lz77_expand(const Lz77Token& token, std::vector<std::uint8_t>& out);
+
+}  // namespace szp::lossless

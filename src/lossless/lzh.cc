@@ -1,0 +1,101 @@
+#include "lossless/lzh.hh"
+
+#include <stdexcept>
+
+#include "core/huffman/bitio.hh"
+#include "core/huffman/codebook.hh"
+#include "core/serialize.hh"
+#include "lossless/lz77.hh"
+
+namespace szp::lossless {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x485A4C53;  // "SLZH"
+
+}  // namespace
+
+std::vector<std::uint8_t> lzh_compress(std::span<const std::uint8_t> input,
+                                       const LzhConfig& cfg) {
+  Lz77Config lzcfg;
+  lzcfg.window = cfg.window;
+  lzcfg.max_chain = cfg.max_chain;
+  lzcfg.min_match = cfg.min_match;
+  lzcfg.max_match = cfg.max_match;
+  const auto tokens = lz77_tokenize(input, lzcfg);
+
+  std::vector<std::uint64_t> lit_freq(kLitLenAlphabet, 0);
+  std::vector<std::uint64_t> dist_freq(kDistAlphabet, 0);
+  for (const Lz77Token& t : tokens) {
+    ++lit_freq[t.litlen_sym];
+    if (t.litlen_sym >= 257) ++dist_freq[t.dist_sym];
+  }
+
+  const auto lit_book = HuffmanCodebook::build(lit_freq);
+  const auto dist_book = HuffmanCodebook::build(dist_freq);
+
+  ByteWriter w;
+  w.put(kMagic);
+  w.put<std::uint64_t>(input.size());
+  lit_book.serialize(w);
+  dist_book.serialize(w);
+
+  BitWriter bw;
+  for (const Lz77Token& t : tokens) {
+    bw.put(lit_book.code(t.litlen_sym), lit_book.length(t.litlen_sym));
+    if (t.litlen_sym >= 257) {
+      const std::size_t lc = t.litlen_sym - 257u;
+      if (kLenExtra[lc] > 0) bw.put(t.len_extra, kLenExtra[lc]);
+      bw.put(dist_book.code(t.dist_sym), dist_book.length(t.dist_sym));
+      if (kDistExtra[t.dist_sym] > 0) bw.put(t.dist_extra, kDistExtra[t.dist_sym]);
+    }
+  }
+  w.put_vector(bw.take());
+  return w.take();
+}
+
+std::vector<std::uint8_t> lzh_decompress(std::span<const std::uint8_t> input) {
+  ByteReader r(input);
+  if (r.get<std::uint32_t>() != kMagic) {
+    throw std::runtime_error("lzh_decompress: bad magic");
+  }
+  const auto orig_size = r.get<std::uint64_t>();
+  auto lit_book = HuffmanCodebook::deserialize(r);
+  auto dist_book = HuffmanCodebook::deserialize(r);
+  const auto bits = r.get_vector<std::uint8_t>();
+
+  std::vector<std::uint8_t> out;
+  out.reserve(orig_size);
+  BitReader br(bits);
+  for (;;) {
+    Lz77Token t{};
+    t.litlen_sym = static_cast<std::uint16_t>(lit_book.decode_one(br));
+    if (t.litlen_sym >= 257) {
+      const std::size_t lc = t.litlen_sym - 257u;
+      if (lc >= kLenBase.size()) throw std::runtime_error("lzh_decompress: bad length symbol");
+      for (unsigned b = kLenExtra[lc]; b-- > 0;) {
+        t.len_extra = static_cast<std::uint16_t>(t.len_extra | (br.get_bit() << b));
+      }
+      t.dist_sym = static_cast<std::uint8_t>(dist_book.decode_one(br));
+      if (t.dist_sym >= kDistBase.size()) {
+        throw std::runtime_error("lzh_decompress: bad distance symbol");
+      }
+      for (unsigned b = kDistExtra[t.dist_sym]; b-- > 0;) {
+        t.dist_extra = static_cast<std::uint16_t>(t.dist_extra | (br.get_bit() << b));
+      }
+    }
+    if (!lz77_expand(t, out)) break;
+  }
+  if (out.size() != orig_size) {
+    throw std::runtime_error("lzh_decompress: size mismatch after decode");
+  }
+  return out;
+}
+
+double lzh_ratio(std::span<const std::uint8_t> input) {
+  if (input.empty()) return 0.0;
+  const auto compressed = lzh_compress(input);
+  return static_cast<double>(input.size()) / static_cast<double>(compressed.size());
+}
+
+}  // namespace szp::lossless

@@ -1,0 +1,116 @@
+#include "lossless/lzr.hh"
+
+#include <stdexcept>
+
+#include "core/huffman/bitio.hh"
+#include "core/serialize.hh"
+#include "core/rans.hh"
+
+namespace szp::lossless {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x525A4C53;  // "SLZR"
+
+}  // namespace
+
+std::vector<std::uint8_t> lzr_compress(std::span<const std::uint8_t> input,
+                                       const Lz77Config& cfg) {
+  const auto tokens = lz77_tokenize(input, cfg);
+
+  std::vector<std::uint16_t> lit_syms;
+  std::vector<std::uint16_t> dist_syms;
+  lit_syms.reserve(tokens.size());
+  BitWriter extras;
+  std::vector<std::uint64_t> lit_freq(kLitLenAlphabet, 0);
+  std::vector<std::uint64_t> dist_freq(kDistAlphabet, 0);
+
+  for (const Lz77Token& t : tokens) {
+    lit_syms.push_back(t.litlen_sym);
+    ++lit_freq[t.litlen_sym];
+    if (t.litlen_sym >= 257) {
+      const std::size_t lc = t.litlen_sym - 257u;
+      if (kLenExtra[lc] > 0) extras.put(t.len_extra, kLenExtra[lc]);
+      dist_syms.push_back(t.dist_sym);
+      ++dist_freq[t.dist_sym];
+      if (kDistExtra[t.dist_sym] > 0) extras.put(t.dist_extra, kDistExtra[t.dist_sym]);
+    }
+  }
+
+  const auto lit_model = RansModel::build(lit_freq);
+
+  ByteWriter w;
+  w.put(kMagic);
+  w.put<std::uint64_t>(input.size());
+  w.put<std::uint64_t>(lit_syms.size());
+  w.put<std::uint64_t>(dist_syms.size());
+  lit_model.serialize(w);
+  w.put_vector(rans_encode(lit_syms, lit_model));
+  if (!dist_syms.empty()) {
+    const auto dist_model = RansModel::build(dist_freq);
+    dist_model.serialize(w);
+    w.put_vector(rans_encode(dist_syms, dist_model));
+  }
+  w.put_vector(extras.take());
+  return w.take();
+}
+
+std::vector<std::uint8_t> lzr_decompress(std::span<const std::uint8_t> input) {
+  ByteReader r(input);
+  if (r.get<std::uint32_t>() != kMagic) {
+    throw std::runtime_error("lzr_decompress: bad magic");
+  }
+  const auto orig_size = r.get<std::uint64_t>();
+  const auto n_tokens = r.get<std::uint64_t>();
+  const auto n_matches = r.get<std::uint64_t>();
+
+  const auto lit_model = RansModel::deserialize(r);
+  const auto lit_bytes = r.get_vector<std::uint8_t>();
+  const auto lit_syms = rans_decode(lit_bytes, n_tokens, lit_model);
+
+  std::vector<std::uint16_t> dist_syms;
+  if (n_matches > 0) {
+    const auto dist_model = RansModel::deserialize(r);
+    const auto dist_bytes = r.get_vector<std::uint8_t>();
+    dist_syms = rans_decode(dist_bytes, n_matches, dist_model);
+  }
+  const auto extra_bytes = r.get_vector<std::uint8_t>();
+  BitReader extras(extra_bytes);
+
+  std::vector<std::uint8_t> out;
+  out.reserve(orig_size);
+  std::size_t match = 0;
+  for (std::size_t i = 0; i < lit_syms.size(); ++i) {
+    Lz77Token t{};
+    t.litlen_sym = lit_syms[i];
+    if (t.litlen_sym >= 257) {
+      const std::size_t lc = t.litlen_sym - 257u;
+      if (lc >= kLenBase.size()) throw std::runtime_error("lzr_decompress: bad length symbol");
+      for (unsigned b = kLenExtra[lc]; b-- > 0;) {
+        t.len_extra = static_cast<std::uint16_t>(t.len_extra | (extras.get_bit() << b));
+      }
+      if (match >= dist_syms.size()) {
+        throw std::runtime_error("lzr_decompress: match/distance stream mismatch");
+      }
+      const std::uint16_t ds = dist_syms[match++];
+      if (ds >= kDistBase.size()) throw std::runtime_error("lzr_decompress: bad distance symbol");
+      t.dist_sym = static_cast<std::uint8_t>(ds);
+      for (unsigned b = kDistExtra[ds]; b-- > 0;) {
+        t.dist_extra = static_cast<std::uint16_t>(t.dist_extra | (extras.get_bit() << b));
+      }
+    }
+    if (!lz77_expand(t, out)) break;
+  }
+  if (out.size() != orig_size) {
+    throw std::runtime_error("lzr_decompress: size mismatch after decode");
+  }
+  return out;
+}
+
+double lzr_ratio(std::span<const std::uint8_t> input) {
+  if (input.empty()) return 0.0;
+  const auto compressed = lzr_compress(input);
+  return static_cast<double>(input.size()) / static_cast<double>(compressed.size());
+}
+
+}  // namespace szp::lossless

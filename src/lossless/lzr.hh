@@ -1,0 +1,29 @@
+// szp::lossless — LZ77 + rANS: the Zstd stand-in.
+//
+// cuSZ's compression Step-9 hands the deflated Huffman stream to Zstd on
+// the host (paper §II-A).  This codec plays that role with the same
+// architecture Zstd uses: an LZ77 parse followed by ANS entropy coding of
+// the token streams (Zstd's FSE is table-ANS; this uses range-ANS, the
+// same family).  Compared to lzh (the gzip stand-in), fractional-bit
+// coding lifts the ratio on skewed token distributions.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "lossless/lz77.hh"
+
+namespace szp::lossless {
+
+/// Compress a byte stream (self-describing output).
+[[nodiscard]] std::vector<std::uint8_t> lzr_compress(std::span<const std::uint8_t> input,
+                                                     const Lz77Config& cfg = {});
+
+/// Inverse of lzr_compress.  Throws std::runtime_error on malformed input.
+[[nodiscard]] std::vector<std::uint8_t> lzr_decompress(std::span<const std::uint8_t> input);
+
+/// Convenience: compression ratio on a buffer.
+[[nodiscard]] double lzr_ratio(std::span<const std::uint8_t> input);
+
+}  // namespace szp::lossless

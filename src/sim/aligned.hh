@@ -1,0 +1,40 @@
+// szp::sim — cache-line-aligned storage for kernel buffers.
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+namespace szp::sim {
+
+inline constexpr std::size_t kCacheLine = 64;
+
+/// Minimal C++17 aligned allocator (64-byte lines, AVX-512 friendly).
+template <typename T>
+struct AlignedAllocator {
+  using value_type = T;
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U>&) noexcept {}
+
+  T* allocate(std::size_t n) {
+    if (n == 0) return nullptr;
+    void* p = ::operator new(n * sizeof(T), std::align_val_t{kCacheLine});
+    return static_cast<T*>(p);
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t{kCacheLine});
+  }
+
+  template <typename U>
+  bool operator==(const AlignedAllocator<U>&) const noexcept { return true; }
+};
+
+/// The substrate's device-buffer type: host memory standing in for GPU
+/// global memory, aligned so streaming kernels vectorize.
+template <typename T>
+using device_vector = std::vector<T, AlignedAllocator<T>>;
+
+}  // namespace szp::sim

@@ -1,0 +1,51 @@
+// szp::sim — block-level inclusive scan, mirroring NVIDIA::cub BlockScan.
+//
+// cuSZ+'s fine-grained Lorenzo reconstruction (§IV-B.3) is built from
+// chunk-wide inclusive partial sums.  On the GPU these are cub BlockScans
+// (1-D) or handcrafted warp-shuffle scans with per-thread "sequentiality"
+// (2-D/3-D).  Here the same structure is expressed as a tiled scan: each
+// virtual thread owns `seq` consecutive items (its thread-private tp[]
+// fragment), fragments are scanned trivially, and fragment totals are
+// propagated — exactly the three-phase scan the paper describes, so the
+// sequentiality ablation in bench/table2 exercises real code structure.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace szp::sim {
+
+/// Inclusive scan of `chunk` in place, organized as ceil(n/seq) virtual
+/// threads each owning `seq` consecutive elements.
+/// Phase 1: each fragment scans locally (thread-private registers).
+/// Phase 2: running carry of fragment totals (the warp-shuffle propagate).
+template <typename T>
+void block_inclusive_scan(std::span<T> chunk, std::size_t seq = 8) {
+  const std::size_t n = chunk.size();
+  if (n == 0) return;
+  if (seq == 0) seq = 1;
+  T carry{};
+  for (std::size_t frag = 0; frag < n; frag += seq) {
+    const std::size_t end = frag + seq < n ? frag + seq : n;
+    T acc = carry;
+    for (std::size_t i = frag; i < end; ++i) {
+      acc = static_cast<T>(acc + chunk[i]);
+      chunk[i] = acc;
+    }
+    carry = acc;
+  }
+}
+
+/// Inclusive scan over a strided sequence (stride in elements), used for the
+/// y/z passes of the 2-D/3-D partial sums where a "row" is a column of the
+/// chunk.  Equivalent to block_inclusive_scan on the gathered sequence.
+template <typename T>
+void block_inclusive_scan_strided(T* base, std::size_t count, std::size_t stride) {
+  T acc{};
+  for (std::size_t i = 0; i < count; ++i) {
+    acc = static_cast<T>(acc + base[i * stride]);
+    base[i * stride] = acc;
+  }
+}
+
+}  // namespace szp::sim

@@ -1,0 +1,29 @@
+#include "sim/device.hh"
+
+namespace szp::sim {
+
+const DeviceSpec& v100() {
+  static const DeviceSpec spec{
+      .name = "V100-SXM2",
+      .mem_bw_gbps = 900.0,
+      .fp32_tflops = 14.13,
+      .sm_count = 80,
+      .max_threads_per_sm = 2048,
+      .kernel_launch_us = 5.0,
+  };
+  return spec;
+}
+
+const DeviceSpec& a100() {
+  static const DeviceSpec spec{
+      .name = "A100-SXM4",
+      .mem_bw_gbps = 1555.0,
+      .fp32_tflops = 19.5,
+      .sm_count = 108,
+      .max_threads_per_sm = 2048,
+      .kernel_launch_us = 5.0,
+  };
+  return spec;
+}
+
+}  // namespace szp::sim

@@ -1,0 +1,38 @@
+// szp::sim — device model for the simulated-GPU execution substrate.
+//
+// The paper (cuSZ+, CLUSTER 2021) evaluates on NVIDIA V100 and A100.  This
+// reproduction has no physical GPU, so kernels are executed on the host by
+// the launch machinery in launch.hh while a roofline model (perf_model.hh)
+// projects what each kernel would sustain on the two devices the paper used.
+// The DeviceSpec numbers below are the published specs quoted in §V-A of
+// the paper (V100-SXM2 on TACC-Longhorn, A100-SXM4 on ALCF-ThetaGPU).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace szp::sim {
+
+/// Published hardware characteristics of a target accelerator.
+struct DeviceSpec {
+  std::string name;
+  double mem_bw_gbps;       ///< peak HBM bandwidth, GB/s
+  double fp32_tflops;       ///< peak FP32 throughput, TFLOPS
+  int sm_count;             ///< streaming multiprocessors
+  int max_threads_per_sm;   ///< resident threads per SM
+  double kernel_launch_us;  ///< per-launch fixed overhead, microseconds
+
+  /// Number of resident threads needed to saturate the memory system.
+  /// Used by the roofline model to derate kernels with low parallelism.
+  [[nodiscard]] double saturation_threads() const {
+    return static_cast<double>(sm_count) * max_threads_per_sm;
+  }
+};
+
+/// NVIDIA Tesla V100 (SXM2, 16 GB HBM2 @ 900 GB/s, 14.13 FP32 TFLOPS).
+[[nodiscard]] const DeviceSpec& v100();
+
+/// NVIDIA A100 (SXM4, 40 GB HBM2e @ 1555 GB/s, 19.5 FP32 TFLOPS).
+[[nodiscard]] const DeviceSpec& a100();
+
+}  // namespace szp::sim

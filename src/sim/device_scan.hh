@@ -1,0 +1,62 @@
+// szp::sim — device-wide scan, mirroring cub::DeviceScan.
+//
+// Used by the Huffman "deflate" stage: per-chunk bit lengths are
+// exclusive-scanned to obtain each chunk's output bit offset before the
+// encoded fragments are concatenated.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "sim/launch.hh"
+
+namespace szp::sim {
+
+/// Exclusive prefix sum: out[i] = sum(in[0..i)).  Returns the grand total.
+/// Two-pass tile decomposition (per-tile reduce, carry scan, per-tile scan),
+/// the same decoupled structure cub uses; tiles run block-parallel.
+template <typename T>
+T device_exclusive_scan(std::span<const T> in, std::span<T> out,
+                        std::size_t tile = 4096) {
+  const std::size_t n = in.size();
+  if (n == 0) return T{};
+  const std::size_t tiles = div_ceil(n, tile);
+  std::vector<T> tile_total(tiles);
+
+  launch_blocks(tiles, [&](std::size_t t) {
+    const std::size_t lo = t * tile, hi = lo + tile < n ? lo + tile : n;
+    T acc{};
+    for (std::size_t i = lo; i < hi; ++i) acc = static_cast<T>(acc + in[i]);
+    tile_total[t] = acc;
+  });
+
+  // Carry scan over tile totals (small, serial).
+  T grand{};
+  for (std::size_t t = 0; t < tiles; ++t) {
+    const T tot = tile_total[t];
+    tile_total[t] = grand;
+    grand = static_cast<T>(grand + tot);
+  }
+
+  launch_blocks(tiles, [&](std::size_t t) {
+    const std::size_t lo = t * tile, hi = lo + tile < n ? lo + tile : n;
+    T acc = tile_total[t];
+    for (std::size_t i = lo; i < hi; ++i) {
+      out[i] = acc;
+      acc = static_cast<T>(acc + in[i]);
+    }
+  });
+  return grand;
+}
+
+/// Inclusive prefix sum: out[i] = sum(in[0..i]).
+template <typename T>
+T device_inclusive_scan(std::span<const T> in, std::span<T> out,
+                        std::size_t tile = 4096) {
+  const T grand = device_exclusive_scan(in, out, tile);
+  for (std::size_t i = 0; i < in.size(); ++i) out[i] = static_cast<T>(out[i] + in[i]);
+  return grand;
+}
+
+}  // namespace szp::sim

@@ -1,0 +1,58 @@
+// szp::sim — device-wide histogram, mirroring the privatized-bins GPU
+// algorithm of Gómez-Luna et al. that cuSZ/cuSZ+ use (paper §V-C.2, ref 34).
+//
+// Each block accumulates into a private copy of the bins (the GPU's
+// shared-memory replication to dodge atomic contention), then private copies
+// are merged.  Out-of-range values are ignored (callers guarantee range).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sim/launch.hh"
+#include "sim/profile.hh"
+
+namespace szp::sim {
+
+template <typename T>
+std::vector<std::uint64_t> device_histogram(std::span<const T> data,
+                                            std::size_t num_bins,
+                                            std::size_t tile = 1 << 16) {
+  std::vector<std::uint64_t> bins(num_bins, 0);
+  const std::size_t n = data.size();
+  if (n == 0 || num_bins == 0) return bins;
+  const std::size_t tiles = div_ceil(n, tile);
+
+#pragma omp parallel
+  {
+    std::vector<std::uint64_t> priv(num_bins, 0);  // block-private bins
+#pragma omp for schedule(static) nowait
+    for (long long t = 0; t < static_cast<long long>(tiles); ++t) {
+      const std::size_t lo = static_cast<std::size_t>(t) * tile;
+      const std::size_t hi = lo + tile < n ? lo + tile : n;
+      for (std::size_t i = lo; i < hi; ++i) {
+        const auto v = static_cast<std::size_t>(data[i]);
+        if (v < num_bins) ++priv[v];
+      }
+    }
+#pragma omp critical(szp_sim_histogram_merge)
+    for (std::size_t b = 0; b < num_bins; ++b) bins[b] += priv[b];
+  }
+  return bins;
+}
+
+/// Analytic GPU cost of the histogram kernel over n elements of width
+/// `elem_bytes` with `num_bins` bins.
+[[nodiscard]] inline KernelCost histogram_cost(std::size_t n, std::size_t elem_bytes,
+                                               std::size_t num_bins) {
+  KernelCost c;
+  c.bytes_read = n * elem_bytes;
+  c.bytes_written = num_bins * sizeof(std::uint32_t);
+  c.flops = n;  // one bin update per element
+  c.parallel_items = n;
+  c.pattern = AccessPattern::kAtomicHeavy;
+  return c;
+}
+
+}  // namespace szp::sim

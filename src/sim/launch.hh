@@ -1,0 +1,59 @@
+// szp::sim — launch geometry and block-parallel execution.
+//
+// Kernels in this reproduction are written against a CUDA-like decomposition:
+// a grid of independent thread blocks, each owning a chunk of the problem.
+// launch_blocks() executes the grid; blocks run in parallel via OpenMP (each
+// OpenMP thread plays the role of an SM executing one block at a time),
+// while the code inside a block is ordinary sequential C++ standing in for
+// the cooperating threads of the block.  This keeps the *decomposition*
+// (chunking, shared-memory staging, scan structure) identical to the CUDA
+// implementation while remaining portable.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace szp::sim {
+
+/// CUDA-style 3-component extent.
+struct Dim3 {
+  std::uint32_t x = 1;
+  std::uint32_t y = 1;
+  std::uint32_t z = 1;
+
+  [[nodiscard]] std::size_t count() const {
+    return static_cast<std::size_t>(x) * y * z;
+  }
+};
+
+/// Ceiling division for grid sizing.
+[[nodiscard]] constexpr std::size_t div_ceil(std::size_t n, std::size_t d) {
+  return (n + d - 1) / d;
+}
+
+/// Execute `body(block_index)` for every block in [0, grid_size), in
+/// parallel across OpenMP threads.  `body` must only touch state owned by
+/// its block (the same independence the CUDA grid requires).
+template <typename Body>
+void launch_blocks(std::size_t grid_size, Body&& body) {
+#pragma omp parallel for schedule(static)
+  for (long long b = 0; b < static_cast<long long>(grid_size); ++b) {
+    body(static_cast<std::size_t>(b));
+  }
+}
+
+/// 3-D grid variant: `body(bx, by, bz)`.
+template <typename Body>
+void launch_blocks_3d(Dim3 grid, Body&& body) {
+  const std::size_t total = grid.count();
+#pragma omp parallel for schedule(static)
+  for (long long i = 0; i < static_cast<long long>(total); ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    const std::uint32_t bx = static_cast<std::uint32_t>(idx % grid.x);
+    const std::uint32_t by = static_cast<std::uint32_t>((idx / grid.x) % grid.y);
+    const std::uint32_t bz = static_cast<std::uint32_t>(idx / (static_cast<std::size_t>(grid.x) * grid.y));
+    body(bx, by, bz);
+  }
+}
+
+}  // namespace szp::sim

@@ -1,0 +1,30 @@
+// szp::sim — roofline projection of a KernelCost onto a DeviceSpec.
+//
+// Model:  t = launches * launch_overhead
+//           + max( bytes / (BW_peak * pattern_factor * occupancy_factor),
+//                  flops / (FLOPS_peak * compute_eff) )
+//
+// occupancy_factor derates kernels whose degree of parallelism cannot fill
+// the device (the paper's observation that small CESM/RTM fields lose
+// efficiency on A100, §V-C.2, falls out of this term combined with the fixed
+// launch overhead).
+#pragma once
+
+#include "sim/device.hh"
+#include "sim/profile.hh"
+
+namespace szp::sim {
+
+/// Projected execution time of one kernel/stage on `dev`, in seconds.
+[[nodiscard]] double modeled_seconds(const DeviceSpec& dev, const KernelCost& cost);
+
+/// Paper-style throughput: uncompressed payload bytes over modeled time, GB/s.
+[[nodiscard]] double modeled_throughput_gbps(const DeviceSpec& dev, const KernelCost& cost,
+                                             std::uint64_t payload_bytes);
+
+/// Throughput for a serial pipeline of stages (sum of modeled times), GB/s.
+[[nodiscard]] double modeled_pipeline_gbps(const DeviceSpec& dev,
+                                           const PipelineReport& pipeline,
+                                           std::uint64_t payload_bytes);
+
+}  // namespace szp::sim

@@ -1,0 +1,54 @@
+#include "sim/profile.hh"
+
+#include <algorithm>
+
+namespace szp::sim {
+
+double access_factor(AccessPattern p) {
+  // Calibrated fractions of peak DRAM bandwidth achieved by each kernel
+  // class.  Anchors: cuSZ's fine-grained Lorenzo construction sustains
+  // ~200-300 GB/s on a 900 GB/s V100 (~0.3 of peak including its 2x traffic);
+  // the coarse-grained reconstruction sustains 17-60 GB/s; cub-based scans
+  // run near streaming speed.
+  switch (p) {
+    case AccessPattern::kCoalescedStreaming: return 0.78;
+    case AccessPattern::kTiledShared:        return 0.55;
+    case AccessPattern::kStrided:            return 0.065;
+    case AccessPattern::kScattered:          return 0.25;
+    case AccessPattern::kAtomicHeavy:        return 0.30;
+  }
+  return 0.5;
+}
+
+double effective_factor(const KernelCost& cost) {
+  return cost.custom_factor > 0.0 ? cost.custom_factor : access_factor(cost.pattern);
+}
+
+KernelCost& KernelCost::operator+=(const KernelCost& o) {
+  bytes_read += o.bytes_read;
+  bytes_written += o.bytes_written;
+  flops += o.flops;
+  parallel_items = std::min(parallel_items == 1 ? o.parallel_items : parallel_items,
+                            o.parallel_items == 1 ? parallel_items : o.parallel_items);
+  // Composite stages inherit the least favorable derating factor.
+  if (effective_factor(o) < effective_factor(*this)) {
+    pattern = o.pattern;
+    custom_factor = o.custom_factor;
+  }
+  launches += o.launches;
+  return *this;
+}
+
+const StageReport* PipelineReport::find(const std::string& name) const {
+  auto it = std::find_if(stages.begin(), stages.end(),
+                         [&](const StageReport& s) { return s.name == name; });
+  return it == stages.end() ? nullptr : &*it;
+}
+
+double PipelineReport::total_cpu_seconds() const {
+  double t = 0.0;
+  for (const auto& s : stages) t += s.cpu_seconds;
+  return t;
+}
+
+}  // namespace szp::sim

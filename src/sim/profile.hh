@@ -1,0 +1,76 @@
+// szp::sim — kernel cost accounting for the roofline performance model.
+//
+// Every simulated kernel reports, analytically, the global-memory traffic it
+// would generate on a GPU, its arithmetic work, its degree of parallelism
+// and an access-pattern efficiency class.  perf_model.hh turns a KernelCost
+// into a projected execution time on a DeviceSpec.  This is the
+// substitution for the paper's measured GB/s numbers (see DESIGN.md §2).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace szp::sim {
+
+/// How a kernel touches DRAM.  The factor derates effective bandwidth;
+/// values are calibrated so the modeled throughputs land in the regimes the
+/// cuSZ/cuSZ+ papers report for the corresponding kernel classes.
+enum class AccessPattern {
+  kCoalescedStreaming,  ///< warp-striped, unit-stride; near-peak bandwidth
+  kTiledShared,         ///< staged through shared memory; good but not peak
+  kStrided,             ///< per-thread serial walks (coarse-grained chunks)
+  kScattered,           ///< data-dependent gathers/scatters (outliers, codes)
+  kAtomicHeavy,         ///< privatized-histogram style with atomic merges
+};
+
+/// Pattern factor applied to peak bandwidth.
+[[nodiscard]] double access_factor(AccessPattern p);
+
+struct KernelCost;
+
+/// Bandwidth derating factor for a cost record: its custom factor when set,
+/// otherwise its access-pattern class factor.
+[[nodiscard]] double effective_factor(const KernelCost& cost);
+
+/// Analytic cost of one kernel launch (or a short fixed sequence of them).
+struct KernelCost {
+  std::uint64_t bytes_read = 0;     ///< global-memory loads, bytes
+  std::uint64_t bytes_written = 0;  ///< global-memory stores, bytes
+  std::uint64_t flops = 0;          ///< arithmetic operations
+  std::uint64_t parallel_items = 1; ///< max concurrent independent work items
+  AccessPattern pattern = AccessPattern::kCoalescedStreaming;
+  double custom_factor = 0.0;       ///< if > 0, overrides the pattern factor
+                                    ///< (kernels calibrated against published
+                                    ///< cuSZ/cuSZ+ measurements)
+  int launches = 1;                 ///< number of kernel launches in the stage
+
+  [[nodiscard]] std::uint64_t bytes() const { return bytes_read + bytes_written; }
+
+  /// Serial composition of two stages.
+  KernelCost& operator+=(const KernelCost& o);
+};
+
+/// Measured + modeled record for one pipeline stage.
+struct StageReport {
+  std::string name;
+  std::uint64_t payload_bytes = 0;  ///< uncompressed bytes this stage covers
+                                    ///< (the denominator of paper GB/s)
+  double cpu_seconds = 0.0;         ///< measured host execution time
+  KernelCost cost;                  ///< analytic GPU cost
+
+  [[nodiscard]] double cpu_throughput_gbps() const {
+    return cpu_seconds > 0 ? static_cast<double>(payload_bytes) / cpu_seconds / 1e9 : 0.0;
+  }
+};
+
+/// Ordered collection of stage reports for a whole (de)compression pass.
+struct PipelineReport {
+  std::vector<StageReport> stages;
+
+  void add(StageReport s) { stages.emplace_back(std::move(s)); }
+  [[nodiscard]] const StageReport* find(const std::string& name) const;
+  [[nodiscard]] double total_cpu_seconds() const;
+};
+
+}  // namespace szp::sim

@@ -1,0 +1,100 @@
+// szp::sim — reduce_by_key with the exact semantics of thrust::reduce_by_key
+// used by cuSZ+'s run-length encoder (paper §V-B: "Run-length encoding is
+// implemented using thrust::reduce_by_key").
+//
+// Consecutive equal keys collapse to one (key, reduced-value) pair.  RLE is
+// the special case where values are all 1 and the reduction is +.  The tile
+// decomposition runs block-parallel; tile boundaries that split a run are
+// stitched in a serial merge pass (the head-flag carry a GPU implementation
+// resolves with a decoupled look-back).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "sim/launch.hh"
+#include "sim/profile.hh"
+
+namespace szp::sim {
+
+template <typename Key, typename Count = std::uint32_t>
+struct RunsOutput {
+  std::vector<Key> keys;      ///< one entry per run
+  std::vector<Count> counts;  ///< run lengths, same size as keys
+};
+
+/// Collapse consecutive equal keys into (key, run-length) pairs.
+template <typename Key, typename Count = std::uint32_t>
+RunsOutput<Key, Count> reduce_by_key(std::span<const Key> keys,
+                                     std::size_t tile = 1 << 16) {
+  RunsOutput<Key, Count> out;
+  const std::size_t n = keys.size();
+  if (n == 0) return out;
+
+  const std::size_t tiles = div_ceil(n, tile);
+  std::vector<RunsOutput<Key, Count>> partial(tiles);
+
+  launch_blocks(tiles, [&](std::size_t t) {
+    const std::size_t lo = t * tile, hi = lo + tile < n ? lo + tile : n;
+    auto& p = partial[t];
+    Key cur = keys[lo];
+    Count len = 1;
+    for (std::size_t i = lo + 1; i < hi; ++i) {
+      if (keys[i] == cur) {
+        ++len;
+      } else {
+        p.keys.push_back(cur);
+        p.counts.push_back(len);
+        cur = keys[i];
+        len = 1;
+      }
+    }
+    p.keys.push_back(cur);
+    p.counts.push_back(len);
+  });
+
+  // Stitch runs that straddle tile boundaries.
+  for (auto& p : partial) {
+    std::size_t start = 0;
+    if (!out.keys.empty() && !p.keys.empty() && out.keys.back() == p.keys.front()) {
+      out.counts.back() += p.counts.front();
+      start = 1;
+    }
+    out.keys.insert(out.keys.end(), p.keys.begin() + static_cast<std::ptrdiff_t>(start), p.keys.end());
+    out.counts.insert(out.counts.end(), p.counts.begin() + static_cast<std::ptrdiff_t>(start), p.counts.end());
+  }
+  return out;
+}
+
+/// Inverse: expand (key, count) runs back to the flat sequence.
+template <typename Key, typename Count>
+std::vector<Key> expand_runs(std::span<const Key> keys, std::span<const Count> counts) {
+  std::size_t total = 0;
+  for (auto c : counts) total += c;
+  std::vector<Key> out;
+  out.reserve(total);
+  for (std::size_t r = 0; r < keys.size(); ++r) {
+    out.insert(out.end(), counts[r], keys[r]);
+  }
+  return out;
+}
+
+/// Analytic GPU cost of reduce_by_key over n keys producing r runs.
+template <typename Key, typename Count = std::uint32_t>
+[[nodiscard]] KernelCost reduce_by_key_cost(std::size_t n, std::size_t runs) {
+  KernelCost c;
+  c.bytes_read = n * sizeof(Key);
+  c.bytes_written = runs * (sizeof(Key) + sizeof(Count));
+  c.flops = 2 * n;  // compare + conditional increment
+  c.parallel_items = n;
+  c.pattern = AccessPattern::kCoalescedStreaming;
+  // thrust::reduce_by_key runs several internal passes with intermediate
+  // allocations; calibrated so the modeled stage matches the ~100-160 GB/s
+  // the paper measures for it on V100 (§V-B, Table V).
+  c.custom_factor = 0.08;
+  c.launches = 3;
+  return c;
+}
+
+}  // namespace szp::sim

@@ -1,0 +1,93 @@
+// szp::sim — dense↔sparse conversion, mirroring the cuSPARSE dense-to-sparse
+// kernel cuSZ+ uses to gather outliers (paper §V-C.2) and the trivial
+// scatter kernel used on the decompression side.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sim/launch.hh"
+#include "sim/profile.hh"
+
+namespace szp::sim {
+
+template <typename T, typename Index = std::uint64_t>
+struct SparseVector {
+  std::vector<Index> indices;
+  std::vector<T> values;
+
+  [[nodiscard]] std::size_t nnz() const { return indices.size(); }
+};
+
+/// Gather all entries with dense[i] != T{} into (index, value) pairs.
+/// Tile-parallel count + offset scan + fill, the canonical GPU stream
+/// compaction structure.
+template <typename T, typename Index = std::uint64_t>
+SparseVector<T, Index> dense_to_sparse(std::span<const T> dense,
+                                       std::size_t tile = 1 << 16) {
+  const std::size_t n = dense.size();
+  const std::size_t tiles = div_ceil(n, tile);
+  std::vector<std::size_t> tile_nnz(tiles, 0);
+
+  launch_blocks(tiles, [&](std::size_t t) {
+    const std::size_t lo = t * tile, hi = lo + tile < n ? lo + tile : n;
+    std::size_t c = 0;
+    for (std::size_t i = lo; i < hi; ++i) c += dense[i] != T{} ? 1u : 0u;
+    tile_nnz[t] = c;
+  });
+
+  std::vector<std::size_t> offset(tiles + 1, 0);
+  for (std::size_t t = 0; t < tiles; ++t) offset[t + 1] = offset[t] + tile_nnz[t];
+
+  SparseVector<T, Index> out;
+  out.indices.resize(offset[tiles]);
+  out.values.resize(offset[tiles]);
+
+  launch_blocks(tiles, [&](std::size_t t) {
+    const std::size_t lo = t * tile, hi = lo + tile < n ? lo + tile : n;
+    std::size_t w = offset[t];
+    for (std::size_t i = lo; i < hi; ++i) {
+      if (dense[i] != T{}) {
+        out.indices[w] = static_cast<Index>(i);
+        out.values[w] = dense[i];
+        ++w;
+      }
+    }
+  });
+  return out;
+}
+
+/// Scatter-add sparse values into a dense array (the decompression-side
+/// outlier fusion: quant-code residuals ⊕ outlier residuals).
+template <typename T, typename Acc, typename Index>
+void scatter_add(const SparseVector<T, Index>& sparse, std::span<Acc> dense) {
+  launch_blocks(sparse.nnz(), [&](std::size_t i) {
+    dense[static_cast<std::size_t>(sparse.indices[i])] += static_cast<Acc>(sparse.values[i]);
+  });
+}
+
+[[nodiscard]] inline KernelCost gather_cost(std::size_t n, std::size_t elem_bytes,
+                                            std::size_t nnz, std::size_t index_bytes) {
+  KernelCost c;
+  c.bytes_read = n * elem_bytes;
+  c.bytes_written = nnz * (elem_bytes + index_bytes);
+  c.flops = n;
+  c.parallel_items = n;
+  c.pattern = AccessPattern::kScattered;
+  c.launches = 3;  // count, scan, fill
+  return c;
+}
+
+[[nodiscard]] inline KernelCost scatter_cost(std::size_t nnz, std::size_t elem_bytes,
+                                             std::size_t index_bytes) {
+  KernelCost c;
+  c.bytes_read = nnz * (elem_bytes + index_bytes);
+  c.bytes_written = nnz * elem_bytes;
+  c.flops = nnz;
+  c.parallel_items = nnz > 0 ? nnz : 1;
+  c.pattern = AccessPattern::kScattered;
+  return c;
+}
+
+}  // namespace szp::sim

@@ -1,0 +1,23 @@
+// szp::sim — wall-clock timing for measured-CPU throughput columns.
+#pragma once
+
+#include <chrono>
+
+namespace szp::sim {
+
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace szp::sim

@@ -1,0 +1,166 @@
+// Compressibility-analysis tests: entropy/redundancy bounds, madogram
+// smoothness, and the RLE-vs-VLE workflow selector (paper §III-B).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include "core/analysis/entropy.hh"
+#include "core/analysis/madogram.hh"
+#include "core/analysis/selector.hh"
+
+namespace {
+
+using namespace szp;
+
+TEST(Entropy, UniformDistributionHitsLog2N) {
+  std::vector<std::uint64_t> freq(256, 100);
+  const auto s = entropy_stats(freq);
+  EXPECT_NEAR(s.entropy_bits, 8.0, 1e-12);
+  EXPECT_NEAR(s.p1, 1.0 / 256.0, 1e-12);
+  EXPECT_EQ(s.total, 25600u);
+}
+
+TEST(Entropy, SingleSymbolIsZeroEntropy) {
+  std::vector<std::uint64_t> freq(16, 0);
+  freq[3] = 500;
+  const auto s = entropy_stats(freq);
+  EXPECT_EQ(s.entropy_bits, 0.0);
+  EXPECT_EQ(s.p1, 1.0);
+  EXPECT_EQ(s.top_symbol, 3u);
+  // R- = 1 - H(1,0) = 1, so the ⟨b⟩ lower bound is 1 bit — Huffman's floor.
+  EXPECT_DOUBLE_EQ(s.avg_bits_lower(), 1.0);
+}
+
+TEST(Entropy, EmptyHistogram) {
+  std::vector<std::uint64_t> freq(8, 0);
+  const auto s = entropy_stats(freq);
+  EXPECT_EQ(s.total, 0u);
+  EXPECT_EQ(s.entropy_bits, 0.0);
+}
+
+TEST(Entropy, RedundancyBoundsBehaveAsPublished) {
+  // p1 = 0.5: R- = 1 - H(0.5) = 0; R+ = 0.586.
+  std::vector<std::uint64_t> freq{50, 25, 25};
+  const auto s = entropy_stats(freq);
+  EXPECT_NEAR(s.p1, 0.5, 1e-12);
+  EXPECT_NEAR(s.redundancy_lower, 0.0, 1e-12);
+  EXPECT_NEAR(s.redundancy_upper, 0.586, 1e-12);
+
+  // Below the Johnsen threshold (p1 <= 0.4) the lower bound is 0.
+  std::vector<std::uint64_t> flat{30, 30, 40};
+  EXPECT_EQ(entropy_stats(flat).redundancy_lower, 0.0);
+}
+
+TEST(BinaryEntropy, KnownValues) {
+  EXPECT_DOUBLE_EQ(binary_entropy(0.5), 1.0);
+  EXPECT_EQ(binary_entropy(0.0), 0.0);
+  EXPECT_EQ(binary_entropy(1.0), 0.0);
+  EXPECT_NEAR(binary_entropy(0.11), 0.4999, 1e-3);
+}
+
+// ---- Madogram --------------------------------------------------------------
+
+TEST(Madogram, ConstantFieldIsPerfectlySmooth) {
+  std::vector<std::uint16_t> data(5000, 7);
+  const auto m = madogram(std::span<const std::uint16_t>(data));
+  EXPECT_EQ(m.mean_roughness, 0.0);
+  EXPECT_EQ(m.smoothness(), 1.0);
+}
+
+TEST(Madogram, AlternatingFieldIsMaximallyRoughAtOddDistances) {
+  std::vector<std::uint16_t> data(10000);
+  for (std::size_t i = 0; i < data.size(); ++i) data[i] = static_cast<std::uint16_t>(i & 1);
+  MadogramConfig cfg;
+  cfg.samples = 200000;
+  const auto m = madogram(std::span<const std::uint16_t>(data), cfg);
+  // Odd distances always differ; even distances never do.
+  EXPECT_NEAR(m.binary_variance[0], 1.0, 1e-12);  // d=1
+  EXPECT_NEAR(m.binary_variance[1], 0.0, 1e-12);  // d=2
+  EXPECT_NEAR(m.mean_roughness, 0.5, 0.05);
+}
+
+TEST(Madogram, RandomWalkMadogramGrowsWithDistance) {
+  // Fig 2a's structure: for a random walk, E|Z(a)-Z(a+d)| grows ~ sqrt(d),
+  // so the regression slope is positive.
+  std::mt19937 rng(11);
+  std::normal_distribution<float> step(0.0f, 1.0f);
+  std::vector<float> walk(20000);
+  float acc = 0.0f;
+  for (auto& x : walk) {
+    acc += step(rng);
+    x = acc;
+  }
+  MadogramConfig cfg;
+  cfg.samples = 300000;
+  const auto m = madogram(std::span<const float>(walk), cfg);
+  EXPECT_GT(m.slope, 0.0);
+  EXPECT_GT(m.abs_difference[150] + m.abs_difference[180], m.abs_difference[0]);
+}
+
+TEST(Madogram, DeterministicUnderSeed) {
+  std::vector<float> data(1000);
+  for (std::size_t i = 0; i < data.size(); ++i) data[i] = std::sin(0.01f * static_cast<float>(i));
+  const auto a = madogram(std::span<const float>(data));
+  const auto b = madogram(std::span<const float>(data));
+  EXPECT_EQ(a.mean_roughness, b.mean_roughness);
+  EXPECT_EQ(a.abs_difference, b.abs_difference);
+}
+
+TEST(AdjacentRoughness, ExactCount) {
+  std::vector<std::uint16_t> data{1, 1, 2, 2, 2, 3};  // 2 changes over 5 pairs
+  EXPECT_DOUBLE_EQ(adjacent_roughness(data), 0.4);
+  EXPECT_EQ(adjacent_roughness(std::vector<std::uint16_t>{5}), 0.0);
+}
+
+// ---- Selector ---------------------------------------------------------------
+
+std::vector<std::uint64_t> histogram_with_p1(double p1, std::uint64_t total = 1000000) {
+  // Mass p1 at the top symbol; remainder spread over 8 neighbors.
+  std::vector<std::uint64_t> freq(1024, 0);
+  freq[512] = static_cast<std::uint64_t>(p1 * static_cast<double>(total));
+  const std::uint64_t rest = total - freq[512];
+  for (int k = 1; k <= 4; ++k) {
+    freq[512 + k] = rest / 8;
+    freq[512 - k] = rest / 8;
+  }
+  return freq;
+}
+
+TEST(Selector, VerySmoothDataSelectsRle) {
+  const auto d = select_workflow(histogram_with_p1(0.995));
+  EXPECT_EQ(d.workflow, Workflow::kRleVle);
+  EXPECT_LE(d.est_avg_bits, 1.09);
+}
+
+TEST(Selector, RoughDataSelectsHuffman) {
+  const auto d = select_workflow(histogram_with_p1(0.6));
+  EXPECT_EQ(d.workflow, Workflow::kHuffman);
+  EXPECT_GT(d.est_avg_bits, 1.09);
+}
+
+TEST(Selector, ThresholdIsConfigurable) {
+  SelectorConfig cfg;
+  cfg.avg_bits_threshold = 10.0;  // absurdly permissive: everything is RLE
+  EXPECT_EQ(select_workflow(histogram_with_p1(0.5), 4, cfg).workflow, Workflow::kRleVle);
+
+  cfg.avg_bits_threshold = 1.09;
+  cfg.prefer_rle_vle = false;
+  EXPECT_EQ(select_workflow(histogram_with_p1(0.999), 4, cfg).workflow, Workflow::kRle);
+}
+
+TEST(Selector, EstimatedVleCrRespectsTheFloatCeiling) {
+  // ⟨b⟩ >= 1 bit means VLE alone cannot beat 32x for float data — the
+  // ceiling the paper's Workflow-RLE is designed to break.
+  const auto d = select_workflow(histogram_with_p1(0.9999));
+  EXPECT_LE(d.est_vle_cr, 32.0 + 1e-9);
+}
+
+TEST(Selector, RleBitsEstimateTracksP1) {
+  const auto smooth = select_workflow(histogram_with_p1(0.99));
+  const auto rough = select_workflow(histogram_with_p1(0.7));
+  EXPECT_LT(smooth.est_rle_bits, rough.est_rle_bits);
+}
+
+}  // namespace

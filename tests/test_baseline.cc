@@ -1,0 +1,104 @@
+// cuSZ baseline pipeline tests: it must be a correct compressor (the paper
+// compares against it on equal quality terms), just a slower one.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "baseline/cusz_ref.hh"
+#include "core/compressor.hh"
+#include "core/metrics.hh"
+
+namespace {
+
+using namespace szp;
+using baseline::CuszCompressor;
+using baseline::CuszConfig;
+
+std::vector<float> field(const Extents& ext, std::uint32_t seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<float> dist(-1.0f, 1.0f);
+  std::vector<float> v(ext.count());
+  float acc = 0.0f;
+  for (auto& x : v) {
+    acc = 0.99f * acc + 0.05f * dist(rng);
+    x = acc;
+  }
+  return v;
+}
+
+class BaselineSweep : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(BaselineSweep, RoundTripHonorsErrorBound) {
+  const auto [rank, eb] = GetParam();
+  const Extents ext = rank == 1   ? Extents::d1(4000)
+                      : rank == 2 ? Extents::d2(60, 70)
+                                  : Extents::d3(12, 18, 20);
+  const auto data = field(ext, static_cast<std::uint32_t>(rank));
+  CuszConfig cfg;
+  cfg.eb = ErrorBound::relative(eb);
+  const auto c = CuszCompressor(cfg).compress(data, ext);
+  const auto d = CuszCompressor::decompress(c.bytes);
+  EXPECT_EQ(d.extents, ext);
+  EXPECT_LT(compare_fields(data, d.data).max_abs_error, c.stats.eb_abs);
+}
+
+INSTANTIATE_TEST_SUITE_P(RankEb, BaselineSweep,
+                         ::testing::Combine(::testing::Values(1, 2, 3),
+                                            ::testing::Values(1e-2, 1e-3, 1e-4)));
+
+TEST(Baseline, SameQualityAsCuszPlus) {
+  // Equal error bound => both reconstruct the same prequantized integers,
+  // so the decompressed fields agree exactly (same data quality claim, §III).
+  const Extents ext = Extents::d2(48, 64);
+  const auto data = field(ext, 42);
+
+  CompressConfig pcfg;
+  pcfg.eb = ErrorBound::relative(1e-3);
+  const auto plus = Compressor(pcfg).compress(data, ext);
+  const auto plus_out = Compressor::decompress(plus.bytes);
+
+  CuszConfig bcfg;
+  bcfg.eb = ErrorBound::relative(1e-3);
+  const auto base = CuszCompressor(bcfg).compress(data, ext);
+  const auto base_out = CuszCompressor::decompress(base.bytes);
+
+  EXPECT_EQ(plus_out.data, base_out.data);
+}
+
+TEST(Baseline, SimilarRatioToWorkflowHuffman) {
+  // The value-space outlier encoding differs, but on well-behaved data the
+  // two Huffman workflows should land within ~20% of each other.
+  const Extents ext = Extents::d1(100000);
+  const auto data = field(ext, 21);
+  CompressConfig pcfg;
+  pcfg.eb = ErrorBound::relative(1e-3);
+  pcfg.workflow = Workflow::kHuffman;
+  const auto plus = Compressor(pcfg).compress(data, ext);
+  CuszConfig bcfg;
+  bcfg.eb = ErrorBound::relative(1e-3);
+  const auto base = CuszCompressor(bcfg).compress(data, ext);
+  EXPECT_NEAR(plus.stats.ratio / base.stats.ratio, 1.0, 0.2);
+}
+
+TEST(Baseline, PipelineStagesPresent) {
+  const Extents ext = Extents::d1(2000);
+  const auto data = field(ext, 3);
+  const auto c = CuszCompressor(CuszConfig{}).compress(data, ext);
+  for (const char* stage :
+       {"lorenzo_construct", "gather_outlier", "histogram", "huffman_book", "huffman_encode"}) {
+    EXPECT_NE(c.stats.pipeline.find(stage), nullptr) << stage;
+  }
+  const auto d = CuszCompressor::decompress(c.bytes);
+  EXPECT_NE(d.pipeline.find("lorenzo_reconstruct"), nullptr);
+  // The baseline reconstruction is the coarse kernel: its cost is
+  // chunk-parallel only.
+  EXPECT_LT(d.pipeline.find("lorenzo_reconstruct")->cost.parallel_items, ext.count());
+}
+
+TEST(Baseline, RejectsBadArchive) {
+  std::vector<std::uint8_t> junk{1, 2, 3, 4, 5, 6, 7, 8};
+  EXPECT_THROW((void)CuszCompressor::decompress(junk), std::runtime_error);
+}
+
+}  // namespace

@@ -1,0 +1,101 @@
+// Multi-field bundle tests: name index, per-field extraction, integrity.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/bundle.hh"
+#include "core/compressor.hh"
+#include "core/metrics.hh"
+
+namespace {
+
+using namespace szp;
+
+std::vector<float> field(std::size_t n, std::uint32_t seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<float> dist(-1.0f, 1.0f);
+  std::vector<float> v(n);
+  float acc = 0.0f;
+  for (auto& x : v) {
+    acc = 0.99f * acc + 0.03f * dist(rng);
+    x = acc;
+  }
+  return v;
+}
+
+TEST(Bundle, PackAndExtractMultipleFields) {
+  Bundle bundle;
+  CompressConfig cfg;
+  cfg.eb = ErrorBound::relative(1e-3);
+  const Compressor comp(cfg);
+
+  std::vector<std::vector<float>> originals;
+  for (int i = 0; i < 5; ++i) {
+    originals.push_back(field(4000 + static_cast<std::size_t>(i) * 100,
+                              static_cast<std::uint32_t>(i)));
+    auto c = comp.compress(originals.back(), Extents::d1(originals.back().size()));
+    bundle.add("var" + std::to_string(i), std::move(c.bytes));
+  }
+  EXPECT_EQ(bundle.size(), 5u);
+
+  const auto blob = bundle.serialize();
+  const auto restored = Bundle::deserialize(blob);
+  ASSERT_EQ(restored.size(), 5u);
+
+  for (int i = 0; i < 5; ++i) {
+    const auto name = "var" + std::to_string(i);
+    ASSERT_TRUE(restored.contains(name));
+    const auto d = Compressor::decompress(restored.archive(name));
+    ASSERT_EQ(d.data.size(), originals[static_cast<std::size_t>(i)].size());
+    EXPECT_LT(compare_fields(originals[static_cast<std::size_t>(i)], d.data).max_abs_error,
+              1e-2);
+  }
+}
+
+TEST(Bundle, EntriesReportSizes) {
+  Bundle b;
+  b.add("a", std::vector<std::uint8_t>(100, 1));
+  b.add("b", std::vector<std::uint8_t>(250, 2));
+  const auto entries = b.entries();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].name, "a");
+  EXPECT_EQ(entries[0].compressed_bytes, 100u);
+  EXPECT_EQ(entries[1].compressed_bytes, 250u);
+}
+
+TEST(Bundle, DuplicateAndMissingNames) {
+  Bundle b;
+  b.add("x", {1, 2, 3});
+  EXPECT_THROW(b.add("x", {4}), std::invalid_argument);
+  EXPECT_THROW(b.add("", {4}), std::invalid_argument);
+  EXPECT_THROW((void)b.archive("y"), std::out_of_range);
+  EXPECT_FALSE(b.contains("y"));
+}
+
+TEST(Bundle, EmptyBundleRoundTrips) {
+  Bundle b;
+  const auto blob = b.serialize();
+  EXPECT_EQ(Bundle::deserialize(blob).size(), 0u);
+}
+
+TEST(Bundle, CorruptionIsDetected) {
+  Bundle b;
+  b.add("field", std::vector<std::uint8_t>(500, 7));
+  auto blob = b.serialize();
+  blob[blob.size() / 2] ^= 0x20;
+  EXPECT_THROW((void)Bundle::deserialize(blob), std::runtime_error);
+
+  std::vector<std::uint8_t> tiny{1, 2};
+  EXPECT_THROW((void)Bundle::deserialize(tiny), std::runtime_error);
+}
+
+TEST(Bundle, BinaryNamesAndPayloadsSurvive) {
+  Bundle b;
+  const std::string odd_name("with\0null", 9);
+  std::vector<std::uint8_t> payload{0, 255, 128, 0, 0, 7};
+  b.add(odd_name, payload);
+  const auto restored = Bundle::deserialize(b.serialize());
+  EXPECT_EQ(restored.archive(odd_name), payload);
+}
+
+}  // namespace

@@ -1,0 +1,84 @@
+// CRC-32 and archive-integrity tests.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "core/checksum.hh"
+#include "core/compressor.hh"
+
+namespace {
+
+using namespace szp;
+
+TEST(Crc32, KnownVectors) {
+  // The canonical check value of CRC-32/ISO-HDLC.
+  const std::string s = "123456789";
+  const auto bytes = std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(s.data()), s.size());
+  EXPECT_EQ(crc32(bytes), 0xcbf43926u);
+
+  EXPECT_EQ(crc32({}), 0x00000000u);
+}
+
+TEST(Crc32, IncrementalMatchesOneShot) {
+  std::mt19937 rng(1);
+  std::vector<std::uint8_t> data(10000);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng());
+
+  std::uint32_t state = crc32_init();
+  state = crc32_update(state, std::span<const std::uint8_t>(data.data(), 3000));
+  state = crc32_update(state, std::span<const std::uint8_t>(data.data() + 3000, 7000));
+  EXPECT_EQ(crc32_final(state), crc32(data));
+}
+
+TEST(Crc32, DetectsSingleBitFlips) {
+  std::vector<std::uint8_t> data(256);
+  for (std::size_t i = 0; i < data.size(); ++i) data[i] = static_cast<std::uint8_t>(i);
+  const auto reference = crc32(data);
+  for (const std::size_t pos : {0u, 100u, 255u}) {
+    auto copy = data;
+    copy[pos] ^= 0x10;
+    EXPECT_NE(crc32(copy), reference) << pos;
+  }
+}
+
+TEST(ArchiveIntegrity, BitFlipAnywhereIsDetected) {
+  std::vector<float> data(2000);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = std::sin(0.01f * static_cast<float>(i));
+  }
+  CompressConfig cfg;
+  cfg.eb = ErrorBound::absolute(1e-3);
+  const auto c = Compressor(cfg).compress(data, Extents::d1(2000));
+
+  // Flip one bit at several positions across the archive (header, payload,
+  // trailer) — every flip must surface as a checksum error, never as
+  // silently wrong data.
+  for (const double frac : {0.01, 0.3, 0.6, 0.95}) {
+    auto corrupt = c.bytes;
+    corrupt[static_cast<std::size_t>(frac * static_cast<double>(corrupt.size() - 5))] ^= 0x04;
+    EXPECT_THROW((void)Compressor::decompress(corrupt), std::runtime_error) << frac;
+  }
+
+  // Flipping the stored CRC itself is also a mismatch.
+  auto corrupt = c.bytes;
+  corrupt.back() ^= 0xff;
+  EXPECT_THROW((void)Compressor::decompress(corrupt), std::runtime_error);
+
+  // And the pristine archive still works.
+  const auto d = Compressor::decompress(c.bytes);
+  EXPECT_EQ(d.data.size(), data.size());
+}
+
+TEST(ArchiveIntegrity, InspectAlsoVerifies) {
+  std::vector<float> data(500, 1.5f);
+  data[100] = 2.0f;
+  const auto c = Compressor(CompressConfig{}).compress(data, Extents::d1(500));
+  EXPECT_NO_THROW((void)Compressor::inspect(c.bytes));
+  auto corrupt = c.bytes;
+  corrupt[10] ^= 0x01;
+  EXPECT_THROW((void)Compressor::inspect(corrupt), std::runtime_error);
+}
+
+}  // namespace

@@ -1,0 +1,173 @@
+// CLI tests: the `szp` tool driven in-process over temp files.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+
+#include "core/eb.hh"
+#include "core/metrics.hh"
+#include "data/io.hh"
+#include "tools/cli.hh"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct CliResult {
+  int code;
+  std::string out;
+  std::string err;
+};
+
+CliResult run(std::vector<std::string> args) {
+  std::ostringstream out, err;
+  const int code = szp::cli::run(args, out, err);
+  return {code, out.str(), err.str()};
+}
+
+class CliTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() / ("szp_cli_" + std::to_string(::getpid()));
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  [[nodiscard]] std::string path(const std::string& name) const { return (dir_ / name).string(); }
+
+  fs::path dir_;
+};
+
+TEST_F(CliTest, HelpAndUnknownCommand) {
+  EXPECT_EQ(run({"help"}).code, 0);
+  const auto r = run({"frobnicate"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("unknown command"), std::string::npos);
+}
+
+TEST_F(CliTest, GenCompressInfoDecompressRoundTrip) {
+  const auto raw = path("field.f32");
+  const auto szp_file = path("field.szp");
+  const auto restored = path("restored.f32");
+
+  auto r = run({"gen", "-o", raw, "--dataset", "CESM-ATM", "--field", "FSDSC", "--scale", "0.05"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  // scale 0.05 -> 90x180
+  r = run({"compress", "-i", raw, "-o", szp_file, "-d", "90x180", "--eb", "1e-3"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("ratio"), std::string::npos);
+
+  r = run({"info", "-i", szp_file});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("rank 2"), std::string::npos);
+  EXPECT_NE(r.out.find("float32"), std::string::npos);
+
+  r = run({"decompress", "-i", szp_file, "-o", restored});
+  ASSERT_EQ(r.code, 0) << r.err;
+
+  const auto original = szp::data::read_f32(raw);
+  const auto roundtrip = szp::data::read_f32(restored);
+  ASSERT_EQ(original.size(), roundtrip.size());
+  const auto m = szp::compare_fields(original, roundtrip);
+  const auto range = szp::ValueRange::of(original);
+  EXPECT_LT(m.max_abs_error, 1e-3 * range.span());
+}
+
+TEST_F(CliTest, ExplicitWorkflowAndPredictor) {
+  const auto raw = path("f.f32");
+  const auto arc = path("f.szp");
+  ASSERT_EQ(run({"gen", "-o", raw, "--dataset", "Nyx", "--field", "temperature", "--scale",
+                 "0.05"}).code, 0);
+  // 26x26x26 at scale 0.05
+  auto r = run({"compress", "-i", raw, "-o", arc, "-d", "26x26x26", "--eb", "1e-2",
+                "--workflow", "rle+vle", "--predictor", "regression"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  r = run({"info", "-i", arc});
+  EXPECT_NE(r.out.find("rle+vle"), std::string::npos);
+  EXPECT_NE(r.out.find("regression"), std::string::npos);
+}
+
+TEST_F(CliTest, StreamingContainer) {
+  const auto raw = path("s.f32");
+  const auto arc = path("s.szpc");
+  const auto restored = path("s_out.f32");
+  ASSERT_EQ(run({"gen", "-o", raw, "--dataset", "HACC", "--field", "vx", "--scale",
+                 "0.003"}).code, 0);  // ~25k elements
+  auto r = run({"compress", "-i", raw, "-o", arc, "-d", "25166", "--eb", "1e-3", "--stream",
+                "8192"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("slabs"), std::string::npos);
+
+  r = run({"info", "-i", arc});
+  EXPECT_NE(r.out.find("streaming container"), std::string::npos);
+
+  ASSERT_EQ(run({"decompress", "-i", arc, "-o", restored}).code, 0);
+  EXPECT_EQ(szp::data::read_f32(restored).size(), szp::data::read_f32(raw).size());
+}
+
+TEST_F(CliTest, VerifyComparesRawFiles) {
+  const auto f1 = path("a.f32"), f2 = path("b.f32");
+  szp::data::write_f32(f1, std::vector<float>{0.0f, 1.0f, 2.0f, 10.0f});
+  szp::data::write_f32(f2, std::vector<float>{0.5f, 1.0f, 2.0f, 10.0f});
+  const auto r = run({"verify", "-a", f1, "-b", f2});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("max |error|: 0.5"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("PSNR"), std::string::npos);
+
+  szp::data::write_f32(f2, std::vector<float>{1.0f, 2.0f});
+  EXPECT_EQ(run({"verify", "-a", f1, "-b", f2}).code, 1);
+}
+
+TEST_F(CliTest, PsnrTargetOption) {
+  const auto raw = path("p.f32");
+  const auto arc = path("p.szp");
+  const auto restored = path("p_out.f32");
+  ASSERT_EQ(run({"gen", "-o", raw, "--dataset", "Miranda", "--field", "density", "--scale",
+                 "0.06"}).code, 0);
+  ASSERT_EQ(run({"compress", "-i", raw, "-o", arc, "-d", "15x23x23", "--psnr", "70"}).code, 0);
+  ASSERT_EQ(run({"decompress", "-i", arc, "-o", restored}).code, 0);
+  const auto m = szp::compare_fields(szp::data::read_f32(raw), szp::data::read_f32(restored));
+  EXPECT_GT(m.psnr_db, 69.5);
+}
+
+TEST_F(CliTest, BundleWorkflow) {
+  const auto raw = path("b.f32"), arc1 = path("b1.szp"), arc2 = path("b2.szp");
+  const auto bundle = path("snap.szb"), out_arc = path("out.szp"), restored = path("r.f32");
+  ASSERT_EQ(run({"gen", "-o", raw, "--dataset", "Miranda", "--field", "pressure", "--scale",
+                 "0.06"}).code, 0);
+  ASSERT_EQ(run({"compress", "-i", raw, "-o", arc1, "-d", "15x23x23", "--eb", "1e-2"}).code, 0);
+  ASSERT_EQ(run({"compress", "-i", raw, "-o", arc2, "-d", "15x23x23", "--eb", "1e-4"}).code, 0);
+
+  ASSERT_EQ(run({"bundle-add", "--bundle", bundle, "--name", "loose", "-i", arc1}).code, 0);
+  ASSERT_EQ(run({"bundle-add", "--bundle", bundle, "--name", "tight", "-i", arc2}).code, 0);
+
+  auto r = run({"bundle-list", "--bundle", bundle});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("loose"), std::string::npos);
+  EXPECT_NE(r.out.find("2 field(s)"), std::string::npos);
+
+  ASSERT_EQ(run({"bundle-extract", "--bundle", bundle, "--name", "tight", "-o", out_arc}).code,
+            0);
+  ASSERT_EQ(run({"decompress", "-i", out_arc, "-o", restored}).code, 0);
+  EXPECT_EQ(szp::data::read_f32(restored).size(), szp::data::read_f32(raw).size());
+
+  // Duplicate names and missing fields are reported as errors.
+  EXPECT_EQ(run({"bundle-add", "--bundle", bundle, "--name", "loose", "-i", arc1}).code, 1);
+  EXPECT_EQ(run({"bundle-extract", "--bundle", bundle, "--name", "nope", "-o", out_arc}).code, 1);
+}
+
+TEST_F(CliTest, ErrorsAreReported) {
+  EXPECT_EQ(run({"compress", "-i", path("missing.f32"), "-o", path("x.szp"), "-d", "10"}).code, 1);
+  EXPECT_EQ(run({"compress", "-o", path("x.szp"), "-d", "10"}).code, 1);  // no -i
+  EXPECT_EQ(run({"info", "-i", path("missing.szp")}).code, 1);
+  EXPECT_EQ(run({"gen", "-o", path("g.f32"), "--dataset", "NOPE", "--field", "x"}).code, 1);
+
+  // Dim mismatch against the file size.
+  const auto raw = path("tiny.f32");
+  szp::data::write_f32(raw, std::vector<float>{1, 2, 3, 4});
+  const auto r = run({"compress", "-i", raw, "-o", path("t.szp"), "-d", "5"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("elements"), std::string::npos);
+}
+
+}  // namespace

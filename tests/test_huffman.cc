@@ -1,0 +1,314 @@
+// Canonical Huffman codebook and chunked codec tests: optimality and
+// prefix-freedom invariants, round trips, serialization, corruption.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <random>
+#include <vector>
+
+#include "core/analysis/entropy.hh"
+#include "core/huffman/bitio.hh"
+#include "core/huffman/codebook.hh"
+#include "core/compressor.hh"
+#include "core/huffman/codec.hh"
+
+namespace {
+
+using namespace szp;
+
+std::vector<std::uint64_t> histogram_of(std::span<const quant_t> syms, std::size_t cap) {
+  std::vector<std::uint64_t> h(cap, 0);
+  for (const auto s : syms) ++h[s];
+  return h;
+}
+
+std::vector<quant_t> skewed_symbols(std::size_t n, double p_top, std::size_t cap,
+                                    std::uint32_t seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  std::uniform_int_distribution<std::size_t> pick(0, cap - 1);
+  std::vector<quant_t> v(n);
+  for (auto& s : v) {
+    s = u(rng) < p_top ? static_cast<quant_t>(cap / 2) : static_cast<quant_t>(pick(rng));
+  }
+  return v;
+}
+
+// ---- BitWriter / BitReader -----------------------------------------------
+
+TEST(BitIo, RoundTripAssortedWidths) {
+  BitWriter w;
+  w.put(0b101, 3);
+  w.put(0xff, 8);
+  w.put(0, 1);
+  w.put(0x123456789abcull, 48);
+  EXPECT_EQ(w.bit_count(), 60u);
+
+  BitReader r(w.bytes());
+  auto read = [&r](unsigned len) {
+    std::uint64_t v = 0;
+    for (unsigned i = 0; i < len; ++i) v = (v << 1) | r.get_bit();
+    return v;
+  };
+  EXPECT_EQ(read(3), 0b101u);
+  EXPECT_EQ(read(8), 0xffu);
+  EXPECT_EQ(read(1), 0u);
+  EXPECT_EQ(read(48), 0x123456789abcull);
+}
+
+TEST(BitIo, ReadPastEndThrows) {
+  BitWriter w;
+  w.put(1, 1);
+  BitReader r(w.bytes());
+  for (int i = 0; i < 8; ++i) (void)r.get_bit();  // the padded byte
+  EXPECT_THROW((void)r.get_bit(), std::runtime_error);
+}
+
+// ---- Codebook invariants ---------------------------------------------------
+
+TEST(HuffmanCodebook, KraftEqualityHolds) {
+  // A full (optimal) binary code satisfies sum 2^-len == 1.
+  const auto syms = skewed_symbols(20000, 0.6, 1024, 1);
+  const auto freq = histogram_of(syms, 1024);
+  const auto book = HuffmanCodebook::build(freq);
+  long double kraft = 0.0L;
+  for (std::size_t s = 0; s < 1024; ++s) {
+    if (book.length(s) > 0) kraft += std::pow(2.0L, -static_cast<int>(book.length(s)));
+  }
+  EXPECT_NEAR(static_cast<double>(kraft), 1.0, 1e-12);
+}
+
+TEST(HuffmanCodebook, PrefixFree) {
+  const auto syms = skewed_symbols(5000, 0.3, 256, 2);
+  const auto freq = histogram_of(syms, 256);
+  const auto book = HuffmanCodebook::build(freq);
+  // Compare every live pair: no code may prefix another.
+  std::vector<std::size_t> live;
+  for (std::size_t s = 0; s < 256; ++s) {
+    if (book.length(s) > 0) live.push_back(s);
+  }
+  for (const auto a : live) {
+    for (const auto b : live) {
+      if (a == b) continue;
+      const unsigned la = book.length(a), lb = book.length(b);
+      if (la > lb) continue;
+      EXPECT_NE(book.code(b) >> (lb - la), book.code(a))
+          << "code " << a << " prefixes " << b;
+    }
+  }
+}
+
+TEST(HuffmanCodebook, AverageBitsWithinEntropyPlusOne) {
+  for (const double p_top : {0.1, 0.5, 0.9, 0.99}) {
+    const auto syms = skewed_symbols(50000, p_top, 1024, 3);
+    const auto freq = histogram_of(syms, 1024);
+    const auto book = HuffmanCodebook::build(freq);
+    const auto stats = entropy_stats(freq);
+    const double avg = book.average_bits(freq);
+    EXPECT_GE(avg + 1e-9, std::max(1.0, stats.entropy_bits)) << "p_top=" << p_top;
+    EXPECT_LE(avg, stats.entropy_bits + 1.0) << "p_top=" << p_top;
+    // Gallager/Johnsen bounds bracket the true average.
+    EXPECT_LE(avg, std::max(1.0, stats.avg_bits_upper()) + 1e-9);
+    EXPECT_GE(avg + 1e-9, std::max(1.0, stats.avg_bits_lower()));
+  }
+}
+
+TEST(HuffmanCodebook, CanonicalCodesAreSortedByLengthThenSymbol) {
+  const auto syms = skewed_symbols(10000, 0.4, 64, 4);
+  const auto freq = histogram_of(syms, 64);
+  const auto book = HuffmanCodebook::build(freq);
+  // Within a length class, codes increase with the symbol value.
+  std::map<unsigned, std::pair<std::size_t, std::uint64_t>> last_by_len;
+  for (std::size_t s = 0; s < 64; ++s) {
+    const unsigned len = book.length(s);
+    if (len == 0) continue;
+    const auto it = last_by_len.find(len);
+    if (it != last_by_len.end()) {
+      EXPECT_GT(book.code(s), it->second.second);
+    }
+    last_by_len[len] = {s, book.code(s)};
+  }
+}
+
+TEST(HuffmanCodebook, DegenerateAlphabets) {
+  // Single live symbol still gets a decodable 1-bit code.
+  std::vector<std::uint64_t> freq(16, 0);
+  freq[5] = 1000;
+  const auto book = HuffmanCodebook::build(freq);
+  EXPECT_EQ(book.length(5), 1u);
+
+  std::vector<quant_t> syms(100, 5);
+  const auto enc = huffman_encode(syms, book);
+  const auto dec = huffman_decode(enc, book);
+  EXPECT_EQ(dec.symbols, syms);
+
+  // Empty histogram builds an empty book.
+  std::vector<std::uint64_t> none(16, 0);
+  const auto empty = HuffmanCodebook::build(none);
+  EXPECT_EQ(empty.max_length(), 0u);
+}
+
+TEST(HuffmanCodebook, TwoSymbolsGetOneBitEach) {
+  std::vector<std::uint64_t> freq{10, 0, 0, 90};
+  const auto book = HuffmanCodebook::build(freq);
+  EXPECT_EQ(book.length(0), 1u);
+  EXPECT_EQ(book.length(3), 1u);
+  EXPECT_NE(book.code(0), book.code(3));
+}
+
+TEST(HuffmanCodebook, SerializationRoundTrip) {
+  const auto syms = skewed_symbols(30000, 0.7, 1024, 5);
+  const auto freq = histogram_of(syms, 1024);
+  const auto book = HuffmanCodebook::build(freq);
+
+  ByteWriter w;
+  book.serialize(w);
+  const auto bytes = w.take();
+  ByteReader r(bytes);
+  const auto restored = HuffmanCodebook::deserialize(r);
+
+  ASSERT_EQ(restored.alphabet_size(), book.alphabet_size());
+  for (std::size_t s = 0; s < 1024; ++s) {
+    EXPECT_EQ(restored.length(s), book.length(s));
+    EXPECT_EQ(restored.code(s), book.code(s));
+  }
+}
+
+TEST(HuffmanCodebook, RejectsBadAlphabetSizes) {
+  EXPECT_THROW((void)HuffmanCodebook::build({}), std::invalid_argument);
+  std::vector<std::uint64_t> huge(65537, 1);
+  EXPECT_THROW((void)HuffmanCodebook::build(huge), std::invalid_argument);
+}
+
+// ---- Chunked codec ---------------------------------------------------------
+
+class HuffmanCodecParam
+    : public ::testing::TestWithParam<std::tuple<std::size_t, double, std::uint32_t>> {};
+
+TEST_P(HuffmanCodecParam, RoundTrip) {
+  const auto [n, p_top, chunk] = GetParam();
+  const auto syms = skewed_symbols(n, p_top, 1024, static_cast<std::uint32_t>(n));
+  const auto freq = histogram_of(syms, 1024);
+  const auto book = HuffmanCodebook::build(freq);
+
+  const auto enc = huffman_encode(syms, book, chunk);
+  EXPECT_EQ(enc.num_symbols, n);
+  // Offsets are monotone and the last equals the payload size.
+  for (std::size_t c = 1; c < enc.chunk_offsets.size(); ++c) {
+    EXPECT_LE(enc.chunk_offsets[c - 1], enc.chunk_offsets[c]);
+  }
+  EXPECT_EQ(enc.chunk_offsets.back(), enc.payload.size());
+
+  const auto dec = huffman_decode(enc, book);
+  EXPECT_EQ(dec.symbols, syms);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesSkewsChunks, HuffmanCodecParam,
+    ::testing::Combine(::testing::Values(std::size_t{1}, std::size_t{100}, std::size_t{4096},
+                                         std::size_t{10000}, std::size_t{100001}),
+                       ::testing::Values(0.2, 0.9),
+                       ::testing::Values(std::uint32_t{64}, std::uint32_t{4096})));
+
+// ---- Gap-array fine-grained decoding (paper reference [15]) ---------------
+
+class HuffmanGapParam : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(HuffmanGapParam, GapDecodingMatchesChunkDecoding) {
+  const std::uint32_t gap = GetParam();
+  const auto syms = skewed_symbols(50000, 0.8, 1024, 77);
+  const auto freq = histogram_of(syms, 1024);
+  const auto book = HuffmanCodebook::build(freq);
+
+  const auto plain = huffman_encode(syms, book, 4096);
+  const auto gapped = huffman_encode(syms, book, 4096, HuffmanEncVariant::kOptimized, gap);
+  // Same payload bits; only metadata differs.
+  EXPECT_EQ(gapped.payload, plain.payload);
+  EXPECT_EQ(gapped.gaps.size(), (syms.size() + 4095) / 4096 * (4096 / gap));
+  // First sub-block of every chunk starts at bit 0.
+  for (std::size_t c = 0; c < gapped.chunk_offsets.size() - 1; ++c) {
+    EXPECT_EQ(gapped.gaps[c * (4096 / gap)], 0u);
+  }
+
+  const auto dec = huffman_decode(gapped, book);
+  EXPECT_EQ(dec.symbols, syms);
+  // The gap decoder models at least as fast as the chunk-serial one (ref
+  // [15]); strictly faster when the stride is shorter than the chunk.
+  const auto plain_dec = huffman_decode(plain, book);
+  if (gap < 4096) {
+    EXPECT_LT(dec.cost.flops, plain_dec.cost.flops);
+  } else {
+    EXPECT_LE(dec.cost.flops, plain_dec.cost.flops);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(GapStrides, HuffmanGapParam, ::testing::Values(128, 256, 1024, 4096));
+
+TEST(HuffmanGap, StrideMustDivideChunk) {
+  const auto syms = skewed_symbols(1000, 0.5, 64, 3);
+  const auto freq = histogram_of(syms, 64);
+  const auto book = HuffmanCodebook::build(freq);
+  EXPECT_THROW((void)huffman_encode(syms, book, 4096, HuffmanEncVariant::kOptimized, 1000),
+               std::invalid_argument);
+}
+
+TEST(HuffmanGap, EndToEndThroughCompressor) {
+  std::mt19937 rng(5);
+  std::uniform_real_distribution<float> dist(-1.0f, 1.0f);
+  std::vector<float> data(30000);
+  float acc = 0.0f;
+  for (auto& x : data) {
+    acc = 0.99f * acc + 0.05f * dist(rng);
+    x = acc;
+  }
+  CompressConfig cfg;
+  cfg.eb = ErrorBound::relative(1e-3);
+  cfg.workflow = Workflow::kHuffman;
+  cfg.huffman_gap_stride = 256;
+  const auto c = Compressor(cfg).compress(data, Extents::d1(30000));
+  const auto d = Compressor::decompress(c.bytes);
+  double max_err = 0.0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    max_err = std::max(max_err, std::abs(static_cast<double>(data[i]) - d.data[i]));
+  }
+  EXPECT_LT(max_err, c.stats.eb_abs);
+}
+
+TEST(HuffmanCodec, EmptyInput) {
+  std::vector<std::uint64_t> freq(16, 1);
+  const auto book = HuffmanCodebook::build(freq);
+  const auto enc = huffman_encode(std::vector<quant_t>{}, book);
+  EXPECT_EQ(enc.num_symbols, 0u);
+  const auto dec = huffman_decode(enc, book);
+  EXPECT_TRUE(dec.symbols.empty());
+}
+
+TEST(HuffmanCodec, CompressionTracksEntropy) {
+  const auto syms = skewed_symbols(100000, 0.95, 1024, 9);
+  const auto freq = histogram_of(syms, 1024);
+  const auto book = HuffmanCodebook::build(freq);
+  const auto enc = huffman_encode(syms, book);
+  const double bits_per_sym =
+      static_cast<double>(enc.payload.size()) * 8.0 / static_cast<double>(syms.size());
+  EXPECT_NEAR(bits_per_sym, book.average_bits(freq), 0.05);
+}
+
+TEST(HuffmanCodec, CorruptPayloadThrowsOrMisdecodes) {
+  const auto syms = skewed_symbols(5000, 0.5, 256, 10);
+  const auto freq = histogram_of(syms, 256);
+  const auto book = HuffmanCodebook::build(freq);
+  auto enc = huffman_encode(syms, book);
+  enc.payload.resize(enc.payload.size() / 2);  // truncate
+  enc.chunk_offsets.back() = enc.payload.size();
+  bool failed = false;
+  try {
+    const auto dec = huffman_decode(enc, book);
+    failed = dec.symbols != syms;
+  } catch (const std::runtime_error&) {
+    failed = true;
+  }
+  EXPECT_TRUE(failed);
+}
+
+}  // namespace

@@ -1,0 +1,197 @@
+// Cross-module integration tests: the full cuSZ+ pipeline over catalog
+// fields, the paper's qualitative claims at small scale, and scheme
+// orderings (qh vs qhg, RLE vs VLE).
+#include <gtest/gtest.h>
+
+#include <span>
+
+#include "baseline/cusz_ref.hh"
+#include "core/compressor.hh"
+#include "core/metrics.hh"
+#include "data/catalog.hh"
+#include "data/synthetic.hh"
+#include "lossless/lzh.hh"
+#include "sim/perf_model.hh"
+
+namespace {
+
+using namespace szp;
+using namespace szp::data;
+
+constexpr double kScale = 0.06;  // keep integration runs quick
+
+TEST(Integration, EveryCatalogDatasetRoundTripsWithinBound) {
+  for (const auto& name : dataset_names()) {
+    const auto ds = make_dataset(name, kScale);
+    const auto& f = ds.fields.front();
+    const auto field = generate_field(f.spec);
+
+    CompressConfig cfg;
+    cfg.eb = ErrorBound::relative(1e-4);
+    const auto c = Compressor(cfg).compress(field, f.spec.extents);
+    const auto d = Compressor::decompress(c.bytes);
+    const auto m = compare_fields(field, d.data);
+    EXPECT_LT(m.max_abs_error, c.stats.eb_abs) << name;
+    // Paper §V-C.2 reports >85 dB on real data.  The hard analytic floor at
+    // rel-eb 1e-4 is 80 dB (every pointwise error at its ±eb extreme);
+    // plateau-dominated synthetic fields can approach it because the
+    // plateau's constant quantization error repeats across the region.
+    EXPECT_GT(m.psnr_db, 80.0) << name;
+    // CESM at this scale is only ~90 KB, where codebook/offset metadata
+    // bites; everything else clears 2x comfortably.
+    EXPECT_GT(c.stats.ratio, 1.5) << name;
+  }
+}
+
+TEST(Integration, RleWorkflowWinsOnSmoothCesmFieldsAt1em2) {
+  // Table IV's headline: on smooth fields (FSDSC-like) Workflow-RLE+VLE
+  // beats Workflow-Huffman at rel-eb 1e-2; on rough fields (PS-like) it
+  // does not.
+  const auto ds = make_dataset("CESM-ATM", 0.12);
+  const auto smooth = find_field(ds, "FSDTOA");
+  const auto rough = find_field(ds, "PS");
+
+  const auto ratio_with = [&](const FieldSpec& spec, Workflow wf) {
+    CompressConfig cfg;
+    cfg.eb = ErrorBound::relative(1e-2);
+    cfg.workflow = wf;
+    return Compressor(cfg).compress(generate_field(spec), spec.extents).stats.ratio;
+  };
+
+  const double smooth_rle = ratio_with(smooth.spec, Workflow::kRleVle);
+  const double smooth_vle = ratio_with(smooth.spec, Workflow::kHuffman);
+  EXPECT_GT(smooth_rle, smooth_vle);
+  EXPECT_GT(smooth_rle, 32.0);  // breaks the float VLE ceiling
+
+  const double rough_rle = ratio_with(rough.spec, Workflow::kRle);
+  const double rough_vle = ratio_with(rough.spec, Workflow::kHuffman);
+  EXPECT_LT(rough_rle, rough_vle);
+}
+
+TEST(Integration, SelectorAgreesWithMeasuredOutcome) {
+  // On a clearly smooth field (ODV_dust4, paper RLE gain 1.79x) auto mode
+  // must route to RLE and beat the fixed Huffman workflow.  On a rough
+  // field (PS) the throughput-oriented 1.09 threshold keeps Huffman — the
+  // paper accepts leaving PS's small residual RLE+VLE gain (1.06x in Table
+  // IV) on the table, so only the routing is asserted there.
+  const auto ds = make_dataset("CESM-ATM", 0.12);
+
+  const auto& smooth = find_field(ds, "ODV_dust4");
+  const auto smooth_field = generate_field(smooth.spec);
+  CompressConfig cfg;
+  cfg.eb = ErrorBound::relative(1e-2);
+  cfg.workflow = Workflow::kAuto;
+  const auto auto_run = Compressor(cfg).compress(smooth_field, smooth.spec.extents);
+  EXPECT_EQ(auto_run.stats.workflow_used, Workflow::kRleVle);
+  cfg.workflow = Workflow::kHuffman;
+  const auto fixed = Compressor(cfg).compress(smooth_field, smooth.spec.extents);
+  EXPECT_GT(auto_run.stats.ratio, fixed.stats.ratio);
+
+  const auto& rough = find_field(ds, "PS");
+  const auto rough_field = generate_field(rough.spec);
+  cfg.workflow = Workflow::kAuto;
+  const auto rough_run = Compressor(cfg).compress(rough_field, rough.spec.extents);
+  EXPECT_EQ(rough_run.stats.workflow_used, Workflow::kHuffman);
+}
+
+TEST(Integration, QhgReferenceBeatsQhOnSmoothData) {
+  // Table I: appending gzip (qhg) to the Huffman output exploits repeated
+  // patterns that VLE alone cannot, so qhg >= qh, with the gap widening at
+  // loose bounds.
+  const auto ds = make_dataset("CESM-ATM", 0.12);
+  const auto& f = find_field(ds, "FSDTOA");
+  const auto field = generate_field(f.spec);
+
+  CompressConfig cfg;
+  cfg.eb = ErrorBound::relative(1e-2);
+  cfg.workflow = Workflow::kHuffman;
+  const auto c = Compressor(cfg).compress(field, f.spec.extents);
+  const double qh = c.stats.ratio;
+  const auto gzipped = szp::lossless::lzh_compress(c.bytes);
+  const double qhg = static_cast<double>(field.size() * 4) / static_cast<double>(gzipped.size());
+  EXPECT_GT(qhg, qh * 1.2);
+}
+
+TEST(Integration, EbSweepTradesRatioForQuality) {
+  const auto ds = make_dataset("Nyx", kScale);
+  const auto& f = ds.fields.front();
+  const auto field = generate_field(f.spec);
+
+  double prev_ratio = 1e9;
+  double first_err = 0.0, last_err = 0.0;
+  for (const double eb : {1e-2, 1e-3, 1e-4}) {
+    CompressConfig cfg;
+    cfg.eb = ErrorBound::relative(eb);
+    const auto c = Compressor(cfg).compress(field, f.spec.extents);
+    const auto d = Compressor::decompress(c.bytes);
+    const auto m = compare_fields(field, d.data);
+    EXPECT_LT(c.stats.ratio, prev_ratio * 1.01) << eb;  // tighter eb, lower CR
+    EXPECT_LT(m.max_abs_error, c.stats.eb_abs) << eb;
+    prev_ratio = c.stats.ratio;
+    if (first_err == 0.0) first_err = m.max_abs_error;
+    last_err = m.max_abs_error;
+  }
+  EXPECT_GT(first_err, last_err);  // looser bound, larger distortion
+}
+
+TEST(Integration, FineReconstructionModelsFasterThanCoarse) {
+  // Table II's headline on the substitution model: the partial-sum kernel's
+  // modeled V100 throughput beats the coarse kernel's by an order of
+  // magnitude.
+  const auto ds = make_dataset("Nyx", kScale);
+  const auto& f = ds.fields.front();
+  const auto field = generate_field(f.spec);
+
+  CompressConfig pcfg;
+  pcfg.eb = ErrorBound::relative(1e-4);
+  const auto plus = Compressor(pcfg).compress(field, f.spec.extents);
+  const auto plus_dec = Compressor::decompress(plus.bytes);
+
+  baseline::CuszConfig bcfg;
+  bcfg.eb = ErrorBound::relative(1e-4);
+  const auto base = baseline::CuszCompressor(bcfg).compress(field, f.spec.extents);
+  const auto base_dec = baseline::CuszCompressor::decompress(base.bytes);
+
+  const auto* fine = plus_dec.pipeline.find("lorenzo_reconstruct");
+  const auto* coarse = base_dec.pipeline.find("lorenzo_reconstruct");
+  ASSERT_NE(fine, nullptr);
+  ASSERT_NE(coarse, nullptr);
+  const double fine_gbps =
+      sim::modeled_throughput_gbps(sim::v100(), fine->cost, fine->payload_bytes);
+  const double coarse_gbps =
+      sim::modeled_throughput_gbps(sim::v100(), coarse->cost, coarse->payload_bytes);
+  EXPECT_GT(fine_gbps, 4.0 * coarse_gbps);
+}
+
+TEST(Integration, A100ModelsFasterThanV100OnReconstruction) {
+  // Needs a field large enough that bandwidth, not launch latency,
+  // dominates the roofline (the paper's small-field caveat, §V-C.2).
+  const auto ds = make_dataset("Miranda", 0.4);
+  const auto& f = ds.fields.front();
+  const auto field = generate_field(f.spec);
+  const auto c = Compressor(CompressConfig{}).compress(field, f.spec.extents);
+  const auto d = Compressor::decompress(c.bytes);
+  const auto* recon = d.pipeline.find("lorenzo_reconstruct");
+  ASSERT_NE(recon, nullptr);
+  const double v = sim::modeled_throughput_gbps(sim::v100(), recon->cost, recon->payload_bytes);
+  const double a = sim::modeled_throughput_gbps(sim::a100(), recon->cost, recon->payload_bytes);
+  EXPECT_GT(a / v, 1.2);
+  EXPECT_LT(a / v, 2.2);
+}
+
+TEST(Integration, ArchiveIsSelfDescribing) {
+  // Decompression needs nothing but the bytes.
+  const auto ds = make_dataset("Hurricane", kScale);
+  const auto& f = ds.fields.front();
+  const auto field = generate_field(f.spec);
+  CompressConfig cfg;
+  cfg.eb = ErrorBound::relative(1e-3);
+  cfg.workflow = Workflow::kRleVle;
+  const auto c = Compressor(cfg).compress(field, f.spec.extents);
+
+  const auto d = Compressor::decompress(c.bytes);
+  EXPECT_EQ(d.extents, f.spec.extents);
+  EXPECT_EQ(d.data.size(), field.size());
+}
+
+}  // namespace

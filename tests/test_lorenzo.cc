@@ -1,0 +1,265 @@
+// Lorenzo predictor tests: dual-quantization correctness, the partial-sum
+// reconstruction theorem (paper §IV-B), the error-bound invariant, outlier
+// schemes, and chunk-boundary handling.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <tuple>
+#include <vector>
+
+#include "core/predictor/lorenzo.hh"
+#include "sim/sparse.hh"
+
+namespace {
+
+using namespace szp;
+
+std::vector<float> random_field(const Extents& ext, std::uint32_t seed, float amplitude = 1.0f) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<float> dist(-amplitude, amplitude);
+  std::vector<float> v(ext.count());
+  // Smooth-ish random walk along x so most residuals are small but not all.
+  float acc = 0.0f;
+  for (auto& x : v) {
+    acc = 0.98f * acc + 0.1f * dist(rng);
+    x = acc + 0.02f * dist(rng);
+  }
+  return v;
+}
+
+/// Full fine-grained round trip through the cuSZ+ residual scheme.
+std::vector<float> roundtrip_fine(std::span<const float> data, const Extents& ext, double eb,
+                                  const QuantConfig& qcfg, const ReconstructConfig& rcfg) {
+  auto res = lorenzo_construct(data, ext, eb, qcfg, OutlierScheme::kResidual);
+  auto sparse = sim::dense_to_sparse<qdiff_t>(
+      std::span<const qdiff_t>(res.outlier_dense.data(), res.outlier_dense.size()));
+
+  std::vector<qdiff_t> qprime(ext.count());
+  fuse_quant_codes(std::span<const quant_t>(res.quant.data(), res.quant.size()),
+                   qcfg.radius(), qprime);
+  sim::scatter_add(sparse, std::span<qdiff_t>(qprime));
+
+  std::vector<float> out(ext.count());
+  lorenzo_reconstruct_fused(qprime, ext, eb, out, rcfg);
+  return out;
+}
+
+/// Round trip through the cuSZ value scheme + coarse reconstruction.
+std::vector<float> roundtrip_coarse(std::span<const float> data, const Extents& ext, double eb,
+                                    const QuantConfig& qcfg) {
+  auto res = lorenzo_construct(data, ext, eb, qcfg, OutlierScheme::kValue,
+                               ConstructVariant::kBaseline);
+  std::vector<float> out(ext.count());
+  lorenzo_reconstruct_coarse(std::span<const quant_t>(res.quant.data(), res.quant.size()),
+                             std::span<const qdiff_t>(res.outlier_dense.data(),
+                                                      res.outlier_dense.size()),
+                             ext, eb, qcfg, out);
+  return out;
+}
+
+double max_error(std::span<const float> a, std::span<const float> b) {
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    m = std::max(m, std::abs(static_cast<double>(a[i]) - static_cast<double>(b[i])));
+  }
+  return m;
+}
+
+Extents extents_for(int rank, bool ragged) {
+  // Ragged sizes are deliberately not multiples of the chunk shapes.
+  switch (rank) {
+    case 1: return Extents::d1(ragged ? 1000 : 1024);
+    case 2: return Extents::d2(ragged ? 37 : 32, ragged ? 53 : 48);
+    default: return Extents::d3(ragged ? 11 : 16, ragged ? 19 : 16, ragged ? 21 : 24);
+  }
+}
+
+// ---- Error-bound property sweep: rank x eb x raggedness ------------------
+
+class LorenzoRoundTrip
+    : public ::testing::TestWithParam<std::tuple<int, double, bool>> {};
+
+// Raw kernels guarantee error <= eb (+ float32 output rounding); the strict
+// `< eb` contract is enforced one level up by the Compressor's margin.
+constexpr double kFloatRounding = 1e-6;
+
+TEST_P(LorenzoRoundTrip, FineGrainedHonorsErrorBound) {
+  const auto [rank, eb, ragged] = GetParam();
+  const Extents ext = extents_for(rank, ragged);
+  const auto data = random_field(ext, static_cast<std::uint32_t>(rank * 100 + ragged));
+  const auto out = roundtrip_fine(data, ext, eb, QuantConfig{}, ReconstructConfig{});
+  EXPECT_LE(max_error(data, out), eb + kFloatRounding) << "rank=" << rank << " eb=" << eb;
+}
+
+TEST_P(LorenzoRoundTrip, CoarseBaselineHonorsErrorBound) {
+  const auto [rank, eb, ragged] = GetParam();
+  const Extents ext = extents_for(rank, ragged);
+  const auto data = random_field(ext, static_cast<std::uint32_t>(rank * 100 + 50 + ragged));
+  const auto out = roundtrip_coarse(data, ext, eb, QuantConfig{});
+  EXPECT_LE(max_error(data, out), eb + kFloatRounding) << "rank=" << rank << " eb=" << eb;
+}
+
+TEST_P(LorenzoRoundTrip, FineAndCoarseAgreeExactly) {
+  // Both schemes reconstruct the same prequantized integers, so their float
+  // outputs must agree bit-for-bit.
+  const auto [rank, eb, ragged] = GetParam();
+  const Extents ext = extents_for(rank, ragged);
+  const auto data = random_field(ext, static_cast<std::uint32_t>(rank * 1000 + ragged));
+  const auto fine = roundtrip_fine(data, ext, eb, QuantConfig{}, ReconstructConfig{});
+  const auto coarse = roundtrip_coarse(data, ext, eb, QuantConfig{});
+  EXPECT_EQ(fine, coarse);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RankEbRagged, LorenzoRoundTrip,
+    ::testing::Combine(::testing::Values(1, 2, 3), ::testing::Values(1e-2, 1e-3, 1e-4),
+                       ::testing::Bool()));
+
+// ---- Reconstruction variants (Table II ablation) -------------------------
+
+class ReconstructVariants
+    : public ::testing::TestWithParam<std::tuple<int, ReconstructVariant, std::size_t>> {};
+
+TEST_P(ReconstructVariants, AllVariantsProduceIdenticalOutput) {
+  const auto [rank, variant, seq] = GetParam();
+  if (variant == ReconstructVariant::kCoarseChunkSerial) GTEST_SKIP();
+  const Extents ext = extents_for(rank, true);
+  const auto data = random_field(ext, 99);
+  const double eb = 1e-3;
+
+  const auto reference = roundtrip_fine(data, ext, eb, QuantConfig{}, ReconstructConfig{});
+  ReconstructConfig rcfg{variant, seq};
+  const auto out = roundtrip_fine(data, ext, eb, QuantConfig{}, rcfg);
+  EXPECT_EQ(out, reference);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    VariantSeq, ReconstructVariants,
+    ::testing::Combine(::testing::Values(1, 2, 3),
+                       ::testing::Values(ReconstructVariant::kNaivePartialSum,
+                                         ReconstructVariant::kOptimizedPartialSum),
+                       ::testing::Values(std::size_t{1}, std::size_t{4}, std::size_t{8},
+                                         std::size_t{16})));
+
+// ---- Hand-verified partial-sum theorem -----------------------------------
+
+TEST(Lorenzo, PartialSumEqualsSerialReconstruction2D) {
+  // 4x4 single chunk; quant residuals chosen by hand.  The paper's theorem:
+  // d[y,x] = sum_{j<=y} sum_{i<=x} q'[j,i].
+  const Extents ext = Extents::d2(4, 4);
+  std::vector<qdiff_t> qprime{1, 0, 2, -1, 0, 3, 0, 0, -2, 0, 1, 0, 0, 0, 0, 4};
+  const auto q0 = qprime;  // keep a copy
+  std::vector<float> out(16);
+  lorenzo_reconstruct_fused(qprime, ext, 0.5, out, {});  // 2eb = 1 => out == sums
+
+  for (std::size_t y = 0; y < 4; ++y) {
+    for (std::size_t x = 0; x < 4; ++x) {
+      qdiff_t sum = 0;
+      for (std::size_t j = 0; j <= y; ++j)
+        for (std::size_t i = 0; i <= x; ++i) sum += q0[j * 4 + i];
+      EXPECT_EQ(out[y * 4 + x], static_cast<float>(sum)) << "y=" << y << " x=" << x;
+    }
+  }
+}
+
+TEST(Lorenzo, ConstantFieldNeedsOneCodePerChunkRow) {
+  // A constant field prequantizes to a constant integer; within each chunk
+  // only position (0,0,..) carries a nonzero residual (the boundary is 0).
+  const Extents ext = Extents::d1(512);
+  std::vector<float> data(512, 10.0f);
+  auto res = lorenzo_construct(data, ext, 0.01, QuantConfig{});
+  const auto r = static_cast<quant_t>(QuantConfig{}.radius());
+  std::size_t nonzero = 0;
+  for (std::size_t i = 0; i < 512; ++i) {
+    if (res.quant[i] != r) ++nonzero;
+  }
+  EXPECT_EQ(nonzero, 2u);  // one per 256-chunk
+  EXPECT_EQ(res.quant[0], r + 500);  // round(10/0.02) = 500
+  EXPECT_EQ(res.quant[256], r + 500);
+}
+
+TEST(Lorenzo, OutliersUseResidualSpaceInPlusScheme) {
+  // A huge isolated spike must overflow the quantizer and land in the
+  // outlier stream as a residual, with the quant-code parked at radius.
+  const Extents ext = Extents::d1(256);
+  std::vector<float> data(256, 0.0f);
+  data[100] = 1000.0f;
+  const double eb = 0.01;
+  auto res = lorenzo_construct(data, ext, eb, QuantConfig{});
+  const auto r = static_cast<quant_t>(QuantConfig{}.radius());
+
+  EXPECT_EQ(res.quant[100], r);
+  EXPECT_EQ(res.outlier_dense[100], 50000);   // round(1000/0.02) - 0
+  EXPECT_EQ(res.quant[101], r);
+  EXPECT_EQ(res.outlier_dense[101], -50000);  // back down
+  // And the round trip still honors the bound.
+  const auto out = roundtrip_fine(data, ext, eb, QuantConfig{}, {});
+  EXPECT_LE(max_error(data, out), eb + kFloatRounding);
+}
+
+TEST(Lorenzo, ValueSchemeUsesPlaceholderZero) {
+  const Extents ext = Extents::d1(256);
+  std::vector<float> data(256, 0.0f);
+  data[100] = 1000.0f;
+  auto res = lorenzo_construct(data, ext, 0.01, QuantConfig{}, OutlierScheme::kValue);
+  EXPECT_EQ(res.quant[100], 0);
+  EXPECT_EQ(res.outlier_dense[100], 50000);  // prequantized *value*
+}
+
+TEST(Lorenzo, ChunksAreIndependent) {
+  // Mutating data in one chunk must not change quant-codes in another.
+  const Extents ext = Extents::d1(1024);
+  auto data = random_field(ext, 5);
+  auto base = lorenzo_construct(data, ext, 1e-3, QuantConfig{});
+  data[700] += 100.0f;  // chunk 2
+  auto mutated = lorenzo_construct(data, ext, 1e-3, QuantConfig{});
+  for (std::size_t i = 0; i < 512; ++i) {  // chunks 0-1 untouched
+    EXPECT_EQ(base.quant[i], mutated.quant[i]) << "i=" << i;
+  }
+}
+
+TEST(Lorenzo, SmallerCapacityProducesMoreOutliers) {
+  const Extents ext = Extents::d2(64, 64);
+  const auto data = random_field(ext, 12, 5.0f);
+  const double eb = 1e-4;
+  auto big = lorenzo_construct(data, ext, eb, QuantConfig{4096});
+  auto small = lorenzo_construct(data, ext, eb, QuantConfig{16});
+  const auto nnz = [](const LorenzoConstructResult& r) {
+    std::size_t c = 0;
+    for (const auto v : r.outlier_dense) c += v != 0 ? 1u : 0u;
+    return c;
+  };
+  EXPECT_GE(nnz(small), nnz(big));
+  EXPECT_GT(nnz(small), 0u);
+  // Both still reconstruct within bound.
+  for (const auto cap : {std::uint32_t{16}, std::uint32_t{4096}}) {
+    const auto out = roundtrip_fine(data, ext, eb, QuantConfig{cap}, {});
+    EXPECT_LE(max_error(data, out), eb + kFloatRounding) << "cap=" << cap;
+  }
+}
+
+TEST(Lorenzo, InvalidArgumentsThrow) {
+  const Extents ext = Extents::d1(100);
+  std::vector<float> data(50);
+  EXPECT_THROW((void)lorenzo_construct(data, ext, 1e-3, QuantConfig{}),
+               std::invalid_argument);
+  std::vector<float> ok(100);
+  EXPECT_THROW((void)lorenzo_construct(ok, ext, -1.0, QuantConfig{}), std::invalid_argument);
+  EXPECT_THROW((void)lorenzo_construct(ok, ext, 1e-3, QuantConfig{7}), std::invalid_argument);
+
+  std::vector<qdiff_t> q(100);
+  std::vector<float> out(99);
+  EXPECT_THROW((void)lorenzo_reconstruct_fused(q, ext, 1e-3, out, {}), std::invalid_argument);
+}
+
+TEST(Lorenzo, MinimalSizes) {
+  for (const int rank : {1, 2, 3}) {
+    Extents ext = rank == 1 ? Extents::d1(1) : rank == 2 ? Extents::d2(1, 1) : Extents::d3(1, 1, 1);
+    std::vector<float> data{3.14159f};
+    const auto out = roundtrip_fine(data, ext, 1e-4, QuantConfig{}, {});
+    EXPECT_LE(max_error(data, out), 1e-4 + kFloatRounding);
+  }
+}
+
+}  // namespace

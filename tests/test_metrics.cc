@@ -1,0 +1,70 @@
+// Distortion metric tests (PSNR, max error, compression ratio).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/eb.hh"
+#include "core/metrics.hh"
+
+namespace {
+
+using szp::compare_fields;
+using szp::compression_ratio;
+using szp::ErrorBound;
+using szp::ValueRange;
+
+TEST(Metrics, IdenticalFieldsHaveInfinitePsnr) {
+  const std::vector<float> a{0.0f, 1.0f, 2.0f, 3.0f};
+  const auto m = compare_fields(a, a);
+  EXPECT_EQ(m.max_abs_error, 0.0);
+  EXPECT_EQ(m.mse, 0.0);
+  EXPECT_TRUE(std::isinf(m.psnr_db));
+}
+
+TEST(Metrics, KnownErrorValues) {
+  const std::vector<float> a{0.0f, 10.0f};
+  const std::vector<float> b{1.0f, 10.0f};
+  const auto m = compare_fields(a, b);
+  EXPECT_DOUBLE_EQ(m.max_abs_error, 1.0);
+  EXPECT_DOUBLE_EQ(m.mse, 0.5);
+  EXPECT_DOUBLE_EQ(m.value_range, 10.0);
+  // PSNR = 20 log10(10) - 10 log10(0.5) = 20 + 3.0103
+  EXPECT_NEAR(m.psnr_db, 23.0103, 1e-3);
+}
+
+TEST(Metrics, SizeMismatchThrows) {
+  const std::vector<float> a{1.0f};
+  const std::vector<float> b{1.0f, 2.0f};
+  EXPECT_THROW((void)compare_fields(a, b), std::invalid_argument);
+}
+
+TEST(Metrics, CompressionRatio) {
+  EXPECT_DOUBLE_EQ(compression_ratio(100, 25), 4.0);
+  EXPECT_DOUBLE_EQ(compression_ratio(100, 0), 0.0);
+}
+
+TEST(ValueRangeT, MinMax) {
+  const std::vector<float> v{3.0f, -1.0f, 7.0f};
+  const auto r = ValueRange::of(v);
+  EXPECT_EQ(r.min, -1.0);
+  EXPECT_EQ(r.max, 7.0);
+  EXPECT_EQ(r.span(), 8.0);
+}
+
+TEST(ErrorBoundT, AbsoluteIgnoresRange) {
+  EXPECT_DOUBLE_EQ(ErrorBound::absolute(0.5).resolve(100.0), 0.5);
+}
+
+TEST(ErrorBoundT, RelativeScalesByRange) {
+  EXPECT_DOUBLE_EQ(ErrorBound::relative(1e-2).resolve(50.0), 0.5);
+  // Degenerate (constant) fields fall back to range 1.
+  EXPECT_DOUBLE_EQ(ErrorBound::relative(1e-2).resolve(0.0), 1e-2);
+}
+
+TEST(ErrorBoundT, InvalidValuesThrow) {
+  EXPECT_THROW((void)ErrorBound::absolute(0.0).resolve(1.0), std::invalid_argument);
+  EXPECT_THROW((void)ErrorBound::relative(-1.0).resolve(1.0), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,123 @@
+// Tests of the roofline performance model (the V100/A100 substitution).
+#include <gtest/gtest.h>
+
+#include "sim/device.hh"
+#include "sim/perf_model.hh"
+#include "sim/profile.hh"
+
+namespace {
+
+using namespace szp::sim;
+
+KernelCost streaming_cost(std::uint64_t n) {
+  KernelCost c;
+  c.bytes_read = n * 4;
+  c.bytes_written = n * 4;
+  c.parallel_items = n;
+  c.pattern = AccessPattern::kCoalescedStreaming;
+  return c;
+}
+
+TEST(PerfModel, DeviceSpecsMatchPublishedNumbers) {
+  EXPECT_DOUBLE_EQ(v100().mem_bw_gbps, 900.0);
+  EXPECT_DOUBLE_EQ(a100().mem_bw_gbps, 1555.0);
+  EXPECT_NEAR(v100().fp32_tflops, 14.13, 1e-9);
+}
+
+TEST(PerfModel, A100BeatsV100OnMemoryBoundKernels) {
+  const auto cost = streaming_cost(1 << 26);
+  const double tv = modeled_seconds(v100(), cost);
+  const double ta = modeled_seconds(a100(), cost);
+  EXPECT_LT(ta, tv);
+  // The paper's conclusion: memory-bound kernels scale with the bandwidth
+  // ratio (~1.73x), not the FLOPS ratio (~1.38x).
+  EXPECT_NEAR(tv / ta, 1555.0 / 900.0, 0.1);
+}
+
+TEST(PerfModel, ThroughputNeverExceedsRoofline) {
+  for (const auto* dev : {&v100(), &a100()}) {
+    const auto cost = streaming_cost(1 << 24);
+    const double gbps = modeled_throughput_gbps(*dev, cost, cost.bytes());
+    EXPECT_LT(gbps, dev->mem_bw_gbps);
+    EXPECT_GT(gbps, 0.0);
+  }
+}
+
+TEST(PerfModel, LowParallelismIsPenalized) {
+  auto fine = streaming_cost(1 << 24);
+  auto coarse = fine;
+  coarse.parallel_items = 1024;  // one thread per chunk
+  EXPECT_GT(modeled_seconds(v100(), coarse), modeled_seconds(v100(), fine));
+}
+
+TEST(PerfModel, StridedPatternIsSlowerThanCoalesced) {
+  auto coalesced = streaming_cost(1 << 24);
+  auto strided = coalesced;
+  strided.pattern = AccessPattern::kStrided;
+  EXPECT_GT(modeled_seconds(v100(), strided), 5.0 * modeled_seconds(v100(), coalesced));
+}
+
+TEST(PerfModel, CustomFactorOverridesPattern) {
+  auto c = streaming_cost(1 << 20);
+  c.pattern = AccessPattern::kStrided;
+  c.custom_factor = access_factor(AccessPattern::kCoalescedStreaming);
+  auto ref = streaming_cost(1 << 20);
+  EXPECT_DOUBLE_EQ(modeled_seconds(v100(), c), modeled_seconds(v100(), ref));
+}
+
+TEST(PerfModel, LaunchOverheadDominatesTinyKernels) {
+  KernelCost tiny;
+  tiny.bytes_read = 64;
+  tiny.parallel_items = 16;
+  tiny.launches = 10;
+  const double t = modeled_seconds(v100(), tiny);
+  EXPECT_GE(t, 10 * v100().kernel_launch_us * 1e-6);
+}
+
+TEST(PerfModel, CostCompositionAccumulatesTraffic) {
+  auto a = streaming_cost(1000);
+  const auto b = streaming_cost(2000);
+  a += b;
+  EXPECT_EQ(a.bytes_read, 3000u * 4u);
+  EXPECT_EQ(a.bytes_written, 3000u * 4u);
+  EXPECT_EQ(a.launches, 2);
+}
+
+TEST(PerfModel, CompositionKeepsWorstFactor) {
+  auto fast = streaming_cost(1000);
+  KernelCost slow = streaming_cost(1000);
+  slow.pattern = AccessPattern::kStrided;
+  fast += slow;
+  EXPECT_DOUBLE_EQ(effective_factor(fast), access_factor(AccessPattern::kStrided));
+}
+
+TEST(PerfModel, PipelineThroughputIsHarmonicCombination) {
+  PipelineReport pipe;
+  StageReport s1{"a", 4000, 0.0, streaming_cost(1000)};
+  StageReport s2{"b", 4000, 0.0, streaming_cost(1000)};
+  pipe.add(s1);
+  pipe.add(s2);
+  const double whole = modeled_pipeline_gbps(v100(), pipe, 4000);
+  const double one = modeled_throughput_gbps(v100(), s1.cost, 4000);
+  EXPECT_LT(whole, one);
+  EXPECT_GT(whole, one / 2.5);
+}
+
+TEST(StageReport, CpuThroughputComputation) {
+  StageReport s{"x", 2'000'000'000, 1.0, {}};
+  EXPECT_DOUBLE_EQ(s.cpu_throughput_gbps(), 2.0);
+  s.cpu_seconds = 0.0;
+  EXPECT_DOUBLE_EQ(s.cpu_throughput_gbps(), 0.0);
+}
+
+TEST(PipelineReport, FindAndTotal) {
+  PipelineReport pipe;
+  pipe.add({"alpha", 0, 0.5, {}});
+  pipe.add({"beta", 0, 0.25, {}});
+  ASSERT_NE(pipe.find("beta"), nullptr);
+  EXPECT_EQ(pipe.find("beta")->cpu_seconds, 0.25);
+  EXPECT_EQ(pipe.find("gamma"), nullptr);
+  EXPECT_DOUBLE_EQ(pipe.total_cpu_seconds(), 0.75);
+}
+
+}  // namespace

@@ -1,0 +1,132 @@
+// Cross-cutting property tests: determinism, idempotence, corruption
+// robustness under randomized mutation, and capacity/workflow sweeps on the
+// full pipeline.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/compressor.hh"
+#include "core/metrics.hh"
+#include "lossless/lzh.hh"
+#include "lossless/lzr.hh"
+
+namespace {
+
+using namespace szp;
+
+std::vector<float> field(const Extents& ext, std::uint32_t seed, float noise = 0.002f) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<float> dist(-1.0f, 1.0f);
+  std::vector<float> v(ext.count());
+  float acc = 0.0f;
+  for (auto& x : v) {
+    acc = 0.99f * acc + 0.04f * dist(rng);
+    x = acc + noise * dist(rng);
+  }
+  return v;
+}
+
+TEST(Properties, CompressionIsDeterministic) {
+  const Extents ext = Extents::d2(60, 70);
+  const auto data = field(ext, 1);
+  CompressConfig cfg;
+  cfg.eb = ErrorBound::relative(1e-3);
+  const auto a = Compressor(cfg).compress(data, ext);
+  const auto b = Compressor(cfg).compress(data, ext);
+  EXPECT_EQ(a.bytes, b.bytes);  // byte-identical archives
+}
+
+TEST(Properties, DecompressionIsIdempotent) {
+  const Extents ext = Extents::d3(10, 12, 14);
+  const auto data = field(ext, 2);
+  const auto c = Compressor(CompressConfig{}).compress(data, ext);
+  const auto d1 = Compressor::decompress(c.bytes);
+  const auto d2 = Compressor::decompress(c.bytes);
+  EXPECT_EQ(d1.data, d2.data);
+}
+
+TEST(Properties, RecompressingDecompressedDataIsStable) {
+  // Lossy-but-idempotent: compressing the decompressed field again at the
+  // same absolute bound must reproduce it exactly (all values already sit
+  // on the quantization grid).
+  const Extents ext = Extents::d1(20000);
+  const auto data = field(ext, 3);
+  CompressConfig cfg;
+  cfg.eb = ErrorBound::absolute(1e-3);
+  const auto c1 = Compressor(cfg).compress(data, ext);
+  const auto d1 = Compressor::decompress(c1.bytes);
+  const auto c2 = Compressor(cfg).compress(d1.data, ext);
+  const auto d2 = Compressor::decompress(c2.bytes);
+  double max_drift = 0.0;
+  for (std::size_t i = 0; i < d1.data.size(); ++i) {
+    max_drift = std::max(max_drift,
+                         std::abs(static_cast<double>(d1.data[i]) - d2.data[i]));
+  }
+  // Second-generation drift is bounded by the (tiny) strict-bound margin,
+  // not by eb: values on the grid re-quantize to themselves.
+  EXPECT_LT(max_drift, 1e-3 * 0.01);
+}
+
+TEST(Properties, RandomArchiveMutationsNeverSilentlyCorrupt) {
+  const Extents ext = Extents::d2(40, 50);
+  const auto data = field(ext, 4);
+  const auto c = Compressor(CompressConfig{}).compress(data, ext);
+
+  std::mt19937 rng(99);
+  for (int trial = 0; trial < 50; ++trial) {
+    auto mutated = c.bytes;
+    const std::size_t pos = rng() % mutated.size();
+    mutated[pos] ^= static_cast<std::uint8_t>(1u << (rng() % 8));
+    // Every single-bit flip must be caught by the CRC.
+    EXPECT_THROW((void)Compressor::decompress(mutated), std::runtime_error) << trial;
+  }
+}
+
+TEST(Properties, RandomTruncationsNeverSilentlyCorrupt) {
+  const Extents ext = Extents::d1(30000);
+  const auto data = field(ext, 5);
+  const auto c = Compressor(CompressConfig{}).compress(data, ext);
+  std::mt19937 rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t keep = 1 + rng() % (c.bytes.size() - 1);
+    std::vector<std::uint8_t> cut(c.bytes.begin(),
+                                  c.bytes.begin() + static_cast<std::ptrdiff_t>(keep));
+    EXPECT_THROW((void)Compressor::decompress(cut), std::runtime_error) << keep;
+  }
+}
+
+class CapacityWorkflowSweep
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, Workflow>> {};
+
+TEST_P(CapacityWorkflowSweep, BoundHoldsAcrossQuantizerSizes) {
+  const auto [cap, wf] = GetParam();
+  const Extents ext = Extents::d2(48, 64);
+  const auto data = field(ext, 6, 0.01f);
+  CompressConfig cfg;
+  cfg.eb = ErrorBound::relative(1e-3);
+  cfg.quant.capacity = cap;
+  cfg.workflow = wf;
+  const auto c = Compressor(cfg).compress(data, ext);
+  const auto d = Compressor::decompress(c.bytes);
+  EXPECT_LT(compare_fields(data, d.data).max_abs_error, c.stats.eb_abs);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CapWf, CapacityWorkflowSweep,
+    ::testing::Combine(::testing::Values(std::uint32_t{16}, std::uint32_t{256},
+                                         std::uint32_t{1024}, std::uint32_t{16384}),
+                       ::testing::Values(Workflow::kHuffman, Workflow::kRleVle)));
+
+TEST(Properties, LosslessCodecsAgreeOnContent) {
+  // lzh and lzr must reproduce identical bytes from the same input — they
+  // share the LZ parse, only the entropy stage differs.
+  std::mt19937 rng(8);
+  std::vector<std::uint8_t> input(60000);
+  for (auto& b : input) b = static_cast<std::uint8_t>(rng() % 8 == 0 ? rng() % 256 : 0);
+  const auto via_h = lossless::lzh_decompress(lossless::lzh_compress(input));
+  const auto via_r = lossless::lzr_decompress(lossless::lzr_compress(input));
+  EXPECT_EQ(via_h, input);
+  EXPECT_EQ(via_r, input);
+}
+
+}  // namespace

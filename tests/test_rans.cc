@@ -1,0 +1,202 @@
+// rANS entropy coder and LZ77+rANS (Zstd stand-in) tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "core/serialize.hh"
+#include "lossless/lzr.hh"
+#include "core/rans.hh"
+
+namespace {
+
+using namespace szp;
+using namespace szp::lossless;
+
+std::vector<std::uint16_t> skewed_symbols(std::size_t n, double p_top, std::size_t alphabet,
+                                          std::uint32_t seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  std::uniform_int_distribution<std::size_t> pick(0, alphabet - 1);
+  std::vector<std::uint16_t> v(n);
+  for (auto& s : v) {
+    s = u(rng) < p_top ? static_cast<std::uint16_t>(0) : static_cast<std::uint16_t>(pick(rng));
+  }
+  return v;
+}
+
+std::vector<std::uint64_t> counts_of(std::span<const std::uint16_t> syms, std::size_t alphabet) {
+  std::vector<std::uint64_t> c(alphabet, 0);
+  for (const auto s : syms) ++c[s];
+  return c;
+}
+
+// ---- Model ------------------------------------------------------------------
+
+TEST(RansModel, FrequenciesSumToScaleAndKeepEverySymbol) {
+  for (const double p : {0.01, 0.5, 0.99, 0.9999}) {
+    const auto syms = skewed_symbols(100000, p, 300, 1);
+    const auto model = RansModel::build(counts_of(syms, 300));
+    std::uint32_t total = 0;
+    std::size_t live = 0;
+    for (std::size_t s = 0; s < 300; ++s) {
+      total += model.freq(s);
+      live += model.freq(s) > 0 ? 1u : 0u;
+    }
+    EXPECT_EQ(total, RansModel::kProbScale) << p;
+    // Every occurring symbol keeps a nonzero slot (encodability).
+    const auto counts = counts_of(syms, 300);
+    for (std::size_t s = 0; s < 300; ++s) {
+      if (counts[s] > 0) EXPECT_GT(model.freq(s), 0u) << "p=" << p << " s=" << s;
+    }
+  }
+}
+
+TEST(RansModel, SlotTableIsConsistent) {
+  const auto syms = skewed_symbols(20000, 0.7, 50, 2);
+  const auto model = RansModel::build(counts_of(syms, 50));
+  for (std::uint32_t slot = 0; slot < RansModel::kProbScale; ++slot) {
+    const auto s = model.symbol_at(slot);
+    EXPECT_GE(slot, model.cum(s));
+    EXPECT_LT(slot, model.cum(s) + model.freq(s));
+  }
+}
+
+TEST(RansModel, SerializationRoundTrip) {
+  const auto syms = skewed_symbols(50000, 0.9, 1024, 3);
+  const auto model = RansModel::build(counts_of(syms, 1024));
+  ByteWriter w;
+  model.serialize(w);
+  const auto bytes = w.take();
+  ByteReader r(bytes);
+  const auto restored = RansModel::deserialize(r);
+  ASSERT_EQ(restored.alphabet_size(), model.alphabet_size());
+  for (std::size_t s = 0; s < 1024; ++s) {
+    EXPECT_EQ(restored.freq(s), model.freq(s));
+  }
+}
+
+TEST(RansModel, RejectsDegenerateInput) {
+  std::vector<std::uint64_t> zeros(16, 0);
+  EXPECT_THROW((void)RansModel::build(zeros), std::invalid_argument);
+  EXPECT_THROW((void)RansModel::build({}), std::invalid_argument);
+}
+
+// ---- Coder -------------------------------------------------------------------
+
+class RansRoundTrip : public ::testing::TestWithParam<std::tuple<std::size_t, double>> {};
+
+TEST_P(RansRoundTrip, EncodeDecodeIdentity) {
+  const auto [n, p_top] = GetParam();
+  const auto syms = skewed_symbols(n, p_top, 512, static_cast<std::uint32_t>(n));
+  const auto model = RansModel::build(counts_of(syms, 512));
+  const auto bytes = rans_encode(syms, model);
+  const auto decoded = rans_decode(bytes, syms.size(), model);
+  EXPECT_EQ(decoded, syms);
+}
+
+INSTANTIATE_TEST_SUITE_P(SizesSkews, RansRoundTrip,
+                         ::testing::Combine(::testing::Values(std::size_t{1}, std::size_t{100},
+                                                              std::size_t{65536}),
+                                            ::testing::Values(0.1, 0.9, 0.999)));
+
+TEST(Rans, BeatsHuffmanFloorOnVerySkewedData) {
+  // p1 = 0.999: entropy ~ 0.014 bits/symbol.  Huffman is stuck at >= 1 bit;
+  // rANS's fractional bits get close to the entropy.
+  const auto syms = skewed_symbols(200000, 0.999, 64, 7);
+  const auto model = RansModel::build(counts_of(syms, 64));
+  const auto bytes = rans_encode(syms, model);
+  const double bits_per_symbol =
+      static_cast<double>(bytes.size()) * 8.0 / static_cast<double>(syms.size());
+  EXPECT_LT(bits_per_symbol, 0.1);
+}
+
+TEST(Rans, ApproachesEntropyOnUniformData) {
+  std::mt19937 rng(8);
+  std::vector<std::uint16_t> syms(100000);
+  for (auto& s : syms) s = static_cast<std::uint16_t>(rng() % 256);
+  const auto model = RansModel::build(counts_of(syms, 256));
+  const auto bytes = rans_encode(syms, model);
+  const double bits = static_cast<double>(bytes.size()) * 8.0 / static_cast<double>(syms.size());
+  EXPECT_NEAR(bits, 8.0, 0.1);
+}
+
+TEST(Rans, SingleSymbolStreamCostsAlmostNothing) {
+  std::vector<std::uint16_t> syms(100000, 5);
+  std::vector<std::uint64_t> counts(16, 0);
+  counts[5] = syms.size();
+  const auto model = RansModel::build(counts);
+  const auto bytes = rans_encode(syms, model);
+  EXPECT_LE(bytes.size(), 8u);  // just the state flush
+  EXPECT_EQ(rans_decode(bytes, syms.size(), model), syms);
+}
+
+TEST(Rans, CorruptStreamIsDetected) {
+  const auto syms = skewed_symbols(5000, 0.6, 64, 9);
+  const auto model = RansModel::build(counts_of(syms, 64));
+  auto bytes = rans_encode(syms, model);
+  bytes.resize(bytes.size() / 2);  // truncate
+  bool failed = false;
+  try {
+    const auto decoded = rans_decode(bytes, syms.size(), model);
+    failed = decoded != syms;
+  } catch (const std::runtime_error&) {
+    failed = true;
+  }
+  EXPECT_TRUE(failed);
+}
+
+// ---- LZR (Zstd stand-in) -----------------------------------------------------
+
+std::vector<std::uint8_t> bytes_of(const std::string& s) { return {s.begin(), s.end()}; }
+
+TEST(Lzr, RoundTripAssorted) {
+  for (const auto& s : {std::string{""}, std::string{"x"}, std::string{"aaa"},
+                        std::string{"the quick brown fox the quick brown fox"}}) {
+    const auto input = bytes_of(s);
+    EXPECT_EQ(lzr_decompress(lzr_compress(input)), input) << "'" << s << "'";
+  }
+}
+
+TEST(Lzr, RoundTripRandomAndRepetitive) {
+  std::mt19937 rng(10);
+  std::vector<std::uint8_t> random(80000);
+  for (auto& b : random) b = static_cast<std::uint8_t>(rng());
+  EXPECT_EQ(lzr_decompress(lzr_compress(random)), random);
+
+  std::vector<std::uint8_t> rep;
+  for (int i = 0; i < 60000; ++i) rep.push_back(static_cast<std::uint8_t>("abcabd"[i % 6]));
+  const auto c = lzr_compress(rep);
+  EXPECT_LT(c.size(), rep.size() / 20);
+  EXPECT_EQ(lzr_decompress(c), rep);
+}
+
+TEST(Lzr, OverlappingMatches) {
+  std::vector<std::uint8_t> input(50000, 'z');
+  EXPECT_EQ(lzr_decompress(lzr_compress(input)), input);
+}
+
+TEST(Lzr, CorruptInputThrows) {
+  const auto c = lzr_compress(bytes_of("hello hello hello"));
+  auto bad = c;
+  bad[0] ^= 0xff;
+  EXPECT_THROW((void)lzr_decompress(bad), std::runtime_error);
+  std::vector<std::uint8_t> truncated(c.begin(), c.begin() + 10);
+  EXPECT_THROW((void)lzr_decompress(truncated), std::runtime_error);
+}
+
+TEST(Lzr, SkewedDataBeatsLzhEntropyStage) {
+  // A byte stream dominated by one value with sparse structure: rANS's
+  // fractional bits should out-compress Huffman's integer code lengths.
+  std::mt19937 rng(11);
+  std::vector<std::uint8_t> input(120000, 0);
+  for (auto& b : input) {
+    if (rng() % 64 == 0) b = static_cast<std::uint8_t>(rng() % 256);
+  }
+  const double rans_ratio = lzr_ratio(input);
+  EXPECT_GT(rans_ratio, 5.0);
+}
+
+}  // namespace

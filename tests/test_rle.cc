@@ -1,0 +1,101 @@
+// Run-length encoder tests (Workflow-RLE's codec).
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "core/rle/rle.hh"
+
+namespace {
+
+using namespace szp;
+
+std::vector<quant_t> runs_sequence(std::uint32_t seed, std::size_t nruns, std::size_t max_run) {
+  std::mt19937 rng(seed);
+  std::vector<quant_t> seq;
+  quant_t prev = 0xffff;
+  for (std::size_t r = 0; r < nruns; ++r) {
+    quant_t v;
+    do {
+      v = static_cast<quant_t>(rng() % 8);
+    } while (v == prev);
+    prev = v;
+    seq.insert(seq.end(), 1 + rng() % max_run, v);
+  }
+  return seq;
+}
+
+TEST(Rle, RoundTripRandomRuns) {
+  for (const std::uint32_t seed : {1u, 2u, 3u}) {
+    const auto seq = runs_sequence(seed, 500, 100);
+    const auto enc = rle_encode(seq);
+    EXPECT_EQ(enc.num_symbols, seq.size());
+    const auto dec = rle_decode(enc);
+    EXPECT_EQ(dec.symbols, seq);
+  }
+}
+
+TEST(Rle, RunsAreMaximal) {
+  const auto seq = runs_sequence(7, 300, 50);
+  const auto enc = rle_encode(seq);
+  for (std::size_t r = 1; r < enc.values.size(); ++r) {
+    // Adjacent runs may share a value only at a u16 split boundary.
+    if (enc.values[r] == enc.values[r - 1]) {
+      EXPECT_EQ(enc.counts[r - 1], 65535u);
+    }
+  }
+}
+
+TEST(Rle, LongRunsSplitAtU16Boundary) {
+  std::vector<quant_t> seq(200000, 5);
+  const auto enc = rle_encode(seq);
+  ASSERT_EQ(enc.values.size(), 4u);  // 65535*3 + 3395
+  EXPECT_EQ(enc.counts[0], 65535u);
+  EXPECT_EQ(enc.counts[1], 65535u);
+  EXPECT_EQ(enc.counts[2], 65535u);
+  EXPECT_EQ(enc.counts[3], 200000u - 3u * 65535u);
+  const auto dec = rle_decode(enc);
+  EXPECT_EQ(dec.symbols, seq);
+}
+
+TEST(Rle, AlternatingSequenceIsWorstCase) {
+  std::vector<quant_t> seq(1000);
+  for (std::size_t i = 0; i < seq.size(); ++i) seq[i] = static_cast<quant_t>(i & 1);
+  const auto enc = rle_encode(seq);
+  EXPECT_EQ(enc.run_count(), seq.size());
+  // Worst case costs 32 bits per symbol — far above the 16-bit raw cost,
+  // which is exactly why the selector gates RLE on smoothness.
+  EXPECT_DOUBLE_EQ(rle_bits_per_symbol(enc), 32.0);
+  EXPECT_EQ(rle_decode(enc).symbols, seq);
+}
+
+TEST(Rle, ConstantSequenceIsBestCase) {
+  std::vector<quant_t> seq(60000, 9);
+  const auto enc = rle_encode(seq);
+  EXPECT_EQ(enc.run_count(), 1u);
+  EXPECT_LT(rle_bits_per_symbol(enc), 0.01);
+}
+
+TEST(Rle, EmptyAndSingle) {
+  const auto empty = rle_encode(std::vector<quant_t>{});
+  EXPECT_EQ(empty.run_count(), 0u);
+  EXPECT_TRUE(rle_decode(empty).symbols.empty());
+
+  const auto one = rle_encode(std::vector<quant_t>{42});
+  EXPECT_EQ(one.run_count(), 1u);
+  EXPECT_EQ(rle_decode(one).symbols, std::vector<quant_t>{42});
+}
+
+TEST(Rle, DecodeRejectsInconsistentMetadata) {
+  RleEncoded enc;
+  enc.values = {1, 2};
+  enc.counts = {3};  // size mismatch
+  enc.num_symbols = 3;
+  EXPECT_THROW((void)rle_decode(enc), std::invalid_argument);
+
+  enc.counts = {3, 4};
+  enc.num_symbols = 100;  // lengths do not sum to this
+  EXPECT_THROW((void)rle_decode(enc), std::runtime_error);
+}
+
+}  // namespace

@@ -1,0 +1,138 @@
+// Unit tests for histogram, reduce_by_key (RLE backend), and dense/sparse
+// conversion in the simulated-GPU substrate.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "sim/histogram.hh"
+#include "sim/reduce_by_key.hh"
+#include "sim/sparse.hh"
+
+namespace {
+
+using szp::sim::dense_to_sparse;
+using szp::sim::device_histogram;
+using szp::sim::expand_runs;
+using szp::sim::reduce_by_key;
+using szp::sim::scatter_add;
+
+TEST(DeviceHistogram, MatchesNaiveCount) {
+  std::mt19937 rng(1);
+  std::vector<std::uint16_t> data(100000);
+  for (auto& x : data) x = static_cast<std::uint16_t>(rng() % 300);
+
+  const auto bins = device_histogram<std::uint16_t>(data, 300, 1024);
+
+  std::vector<std::uint64_t> expected(300, 0);
+  for (const auto x : data) ++expected[x];
+  EXPECT_EQ(bins, expected);
+}
+
+TEST(DeviceHistogram, IgnoresOutOfRangeAndHandlesEmpty) {
+  std::vector<std::uint16_t> data{5, 500, 5};
+  const auto bins = device_histogram<std::uint16_t>(data, 10);
+  EXPECT_EQ(bins[5], 2u);
+  std::uint64_t total = 0;
+  for (const auto b : bins) total += b;
+  EXPECT_EQ(total, 2u);  // the 500 is dropped
+
+  const auto empty = device_histogram<std::uint16_t>(std::vector<std::uint16_t>{}, 4);
+  EXPECT_EQ(empty, std::vector<std::uint64_t>(4, 0));
+}
+
+std::vector<std::uint16_t> runs_sequence(std::uint32_t seed, std::size_t nruns,
+                                         std::uint64_t max_run) {
+  std::mt19937 rng(seed);
+  std::vector<std::uint16_t> seq;
+  std::uint16_t prev = 0xffff;
+  for (std::size_t r = 0; r < nruns; ++r) {
+    std::uint16_t v;
+    do {
+      v = static_cast<std::uint16_t>(rng() % 16);
+    } while (v == prev);
+    prev = v;
+    const std::uint64_t len = 1 + rng() % max_run;
+    seq.insert(seq.end(), len, v);
+  }
+  return seq;
+}
+
+// Tile size sweep: runs straddling tile boundaries must be stitched.
+class ReduceByKeyTile : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ReduceByKeyTile, RoundTripsAndRunsAreMaximal) {
+  const auto seq = runs_sequence(42, 200, 37);
+  const auto runs = reduce_by_key<std::uint16_t, std::uint64_t>(seq, GetParam());
+
+  // Maximality: no two adjacent runs share a key.
+  for (std::size_t r = 1; r < runs.keys.size(); ++r) {
+    EXPECT_NE(runs.keys[r], runs.keys[r - 1]) << "r=" << r;
+  }
+  // Round trip.
+  const auto expanded = expand_runs(std::span<const std::uint16_t>(runs.keys),
+                                    std::span<const std::uint64_t>(runs.counts));
+  EXPECT_EQ(expanded, seq);
+}
+
+INSTANTIATE_TEST_SUITE_P(TileSizes, ReduceByKeyTile, ::testing::Values(1, 2, 16, 1024, 1 << 20));
+
+TEST(ReduceByKey, SingleRunAcrossAllTiles) {
+  std::vector<std::uint16_t> seq(10000, 7);
+  const auto runs = reduce_by_key<std::uint16_t, std::uint64_t>(seq, 64);
+  ASSERT_EQ(runs.keys.size(), 1u);
+  EXPECT_EQ(runs.keys[0], 7u);
+  EXPECT_EQ(runs.counts[0], 10000u);
+}
+
+TEST(ReduceByKey, EmptyInput) {
+  const auto runs = reduce_by_key<std::uint16_t, std::uint64_t>(std::vector<std::uint16_t>{});
+  EXPECT_TRUE(runs.keys.empty());
+  EXPECT_TRUE(runs.counts.empty());
+}
+
+TEST(DenseToSparse, GathersExactlyTheNonzeros) {
+  std::mt19937 rng(3);
+  std::vector<std::int32_t> dense(50000, 0);
+  std::size_t nnz = 0;
+  for (auto& x : dense) {
+    if (rng() % 100 < 3) {
+      x = static_cast<std::int32_t>(rng() % 1000) - 500;
+      if (x == 0) x = 1;
+      ++nnz;
+    }
+  }
+
+  const auto sparse = dense_to_sparse<std::int32_t>(dense, 777);
+  EXPECT_EQ(sparse.nnz(), nnz);
+  // Indices strictly increasing, values match.
+  for (std::size_t i = 0; i < sparse.nnz(); ++i) {
+    if (i > 0) EXPECT_LT(sparse.indices[i - 1], sparse.indices[i]);
+    EXPECT_EQ(sparse.values[i], dense[sparse.indices[i]]);
+    EXPECT_NE(sparse.values[i], 0);
+  }
+}
+
+TEST(DenseToSparse, ScatterAddRoundTrips) {
+  std::mt19937 rng(4);
+  std::vector<std::int32_t> dense(10000, 0);
+  for (auto& x : dense) {
+    if (rng() % 50 == 0) x = static_cast<std::int32_t>(rng() % 2000) - 1000;
+  }
+  const auto sparse = dense_to_sparse<std::int32_t>(dense);
+
+  std::vector<std::int32_t> rebuilt(dense.size(), 0);
+  scatter_add(sparse, std::span<std::int32_t>(rebuilt));
+  EXPECT_EQ(rebuilt, dense);
+}
+
+TEST(DenseToSparse, AllZeroAndAllNonzero) {
+  std::vector<std::int32_t> zeros(100, 0);
+  EXPECT_EQ(dense_to_sparse<std::int32_t>(zeros).nnz(), 0u);
+
+  std::vector<std::int32_t> ones(100, 1);
+  const auto sparse = dense_to_sparse<std::int32_t>(ones);
+  EXPECT_EQ(sparse.nnz(), 100u);
+}
+
+}  // namespace

@@ -1,0 +1,165 @@
+// Blocked/streaming container tests (paper §V-A.3: by-block compression of
+// fields larger than device memory).
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "core/metrics.hh"
+#include "core/streaming.hh"
+
+namespace {
+
+using namespace szp;
+
+std::vector<float> field(const Extents& ext, std::uint32_t seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<float> dist(-1.0f, 1.0f);
+  std::vector<float> v(ext.count());
+  float acc = 0.0f;
+  for (auto& x : v) {
+    acc = 0.99f * acc + 0.03f * dist(rng);
+    x = acc;
+  }
+  return v;
+}
+
+StreamingConfig config_with(std::size_t max_slab, double eb = 1e-3) {
+  StreamingConfig cfg;
+  cfg.base.eb = ErrorBound::relative(eb);
+  cfg.max_slab_elems = max_slab;
+  return cfg;
+}
+
+class StreamingRanks : public ::testing::TestWithParam<int> {};
+
+TEST_P(StreamingRanks, RoundTripAcrossSlabs) {
+  const int rank = GetParam();
+  const Extents ext = rank == 1   ? Extents::d1(40000)
+                      : rank == 2 ? Extents::d2(60, 500)
+                                  : Extents::d3(24, 30, 40);
+  const auto data = field(ext, static_cast<std::uint32_t>(rank));
+
+  const StreamingCompressor comp(config_with(5000));
+  const auto c = comp.compress(data, ext);
+  EXPECT_GT(c.stats.slabs.size(), 1u);  // actually partitioned
+
+  const auto d = StreamingCompressor::decompress(c.bytes);
+  EXPECT_EQ(d.extents, ext);
+  ASSERT_EQ(d.data.size(), data.size());
+  EXPECT_LT(compare_fields(data, d.data).max_abs_error, c.stats.eb_abs);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, StreamingRanks, ::testing::Values(1, 2, 3));
+
+TEST(Streaming, MatchesSingleShotQuality) {
+  // Slabbed compression must honor the same absolute bound the single-shot
+  // compressor resolves, because the relative bound is resolved field-wide.
+  const Extents ext = Extents::d2(80, 100);
+  const auto data = field(ext, 5);
+
+  CompressConfig single_cfg;
+  single_cfg.eb = ErrorBound::relative(1e-3);
+  const auto single = Compressor(single_cfg).compress(data, ext);
+
+  const auto streamed = StreamingCompressor(config_with(1000)).compress(data, ext);
+  EXPECT_DOUBLE_EQ(streamed.stats.eb_abs, single.stats.eb_abs);
+
+  const auto d = StreamingCompressor::decompress(streamed.bytes);
+  EXPECT_LT(compare_fields(data, d.data).max_abs_error, single.stats.eb_abs);
+}
+
+TEST(Streaming, SlabCountAndCoverage) {
+  const Extents ext = Extents::d3(10, 8, 9);  // 720 elems, plane = 72
+  const auto data = field(ext, 6);
+  const auto c = StreamingCompressor(config_with(200)).compress(data, ext);
+  // thickness = 200/72 = 2 -> 5 slabs of nz=2.
+  EXPECT_EQ(c.stats.slabs.size(), 5u);
+  EXPECT_EQ(StreamingCompressor::slab_count(c.bytes), 5u);
+  std::size_t covered = 0;
+  for (const auto& s : c.stats.slabs) {
+    EXPECT_EQ(s.offset, covered);
+    covered += s.extents.count();
+  }
+  EXPECT_EQ(covered, ext.count());
+}
+
+TEST(Streaming, PartialSlabAccess) {
+  const Extents ext = Extents::d2(64, 128);
+  const auto data = field(ext, 7);
+  const auto c = StreamingCompressor(config_with(128 * 16)).compress(data, ext);
+  ASSERT_EQ(c.stats.slabs.size(), 4u);
+
+  SlabInfo info;
+  const auto slab2 = StreamingCompressor::decompress_slab(c.bytes, 2, &info);
+  EXPECT_EQ(info.offset, 2u * 16 * 128);
+  ASSERT_EQ(slab2.data.size(), 16u * 128);
+  // The slab matches the corresponding region of the original.
+  for (std::size_t i = 0; i < slab2.data.size(); ++i) {
+    EXPECT_NEAR(slab2.data[i], data[info.offset + i], c.stats.eb_abs) << i;
+  }
+
+  EXPECT_THROW((void)StreamingCompressor::decompress_slab(c.bytes, 4), std::out_of_range);
+}
+
+TEST(Streaming, UnevenFinalSlab) {
+  const Extents ext = Extents::d1(1050);  // 3 slabs: 400, 400, 250
+  const auto data = field(ext, 8);
+  const auto c = StreamingCompressor(config_with(400)).compress(data, ext);
+  ASSERT_EQ(c.stats.slabs.size(), 3u);
+  EXPECT_EQ(c.stats.slabs[2].extents.nx, 250u);
+  const auto d = StreamingCompressor::decompress(c.bytes);
+  EXPECT_LT(compare_fields(data, d.data).max_abs_error, c.stats.eb_abs);
+}
+
+TEST(Streaming, DoubleFieldsSupported) {
+  const Extents ext = Extents::d1(5000);
+  std::vector<double> data(ext.count());
+  std::mt19937 rng(11);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  double acc = 0.0;
+  for (auto& x : data) {
+    acc = 0.99 * acc + 0.03 * dist(rng);
+    x = acc;
+  }
+  const auto c = StreamingCompressor(config_with(1024, 1e-5)).compress(data, ext);
+  const auto d = StreamingCompressor::decompress(c.bytes);
+  ASSERT_EQ(d.dtype, DType::kFloat64);
+  EXPECT_LT(compare_fields(data, d.data_f64).max_abs_error, c.stats.eb_abs);
+}
+
+TEST(Streaming, PerSlabWorkflowSelection) {
+  // A field whose first half is constant and second half is noise: with
+  // auto workflow, slabs choose different codecs.
+  const Extents ext = Extents::d1(40000);
+  std::vector<float> data(ext.count(), 1.0f);
+  std::mt19937 rng(12);
+  std::uniform_real_distribution<float> dist(-1.0f, 1.0f);
+  for (std::size_t i = ext.count() / 2; i < ext.count(); ++i) data[i] = dist(rng);
+
+  StreamingConfig cfg = config_with(10000, 1e-3);
+  cfg.base.workflow = Workflow::kAuto;
+  const auto c = StreamingCompressor(cfg).compress(data, ext);
+  ASSERT_EQ(c.stats.slabs.size(), 4u);
+  EXPECT_NE(c.stats.slabs.front().workflow, Workflow::kHuffman);
+  EXPECT_EQ(c.stats.slabs.back().workflow, Workflow::kHuffman);
+  EXPECT_GT(c.stats.slabs.front().ratio, c.stats.slabs.back().ratio);
+}
+
+TEST(Streaming, RejectsBadInput) {
+  const StreamingCompressor comp;
+  std::vector<float> tiny(10, 1.0f);
+  EXPECT_THROW((void)comp.compress(tiny, Extents::d1(11)), std::invalid_argument);
+
+  // A single row/plane bigger than the slab limit is a configuration error
+  // (slabs split only along the slowest axis).
+  StreamingConfig cfg = config_with(5);
+  std::vector<float> plane(100, 1.0f);
+  EXPECT_THROW((void)StreamingCompressor(cfg).compress(plane, Extents::d2(10, 10)),
+               std::invalid_argument);
+
+  std::vector<std::uint8_t> junk{1, 2, 3, 4};
+  EXPECT_THROW((void)StreamingCompressor::decompress(junk), std::runtime_error);
+}
+
+}  // namespace

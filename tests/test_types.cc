@@ -1,0 +1,101 @@
+// Foundational type tests: extents indexing, chunk shapes, quantizer
+// validation, launch-geometry helpers.
+#include <gtest/gtest.h>
+
+#include "core/types.hh"
+#include "sim/launch.hh"
+
+namespace {
+
+using namespace szp;
+
+TEST(Extents, FactoriesSetRankAndDims) {
+  const auto e1 = Extents::d1(100);
+  EXPECT_EQ(e1.rank, 1);
+  EXPECT_EQ(e1.count(), 100u);
+
+  const auto e2 = Extents::d2(10, 20);  // ny, nx
+  EXPECT_EQ(e2.rank, 2);
+  EXPECT_EQ(e2.ny, 10u);
+  EXPECT_EQ(e2.nx, 20u);
+  EXPECT_EQ(e2.count(), 200u);
+
+  const auto e3 = Extents::d3(3, 4, 5);  // nz, ny, nx
+  EXPECT_EQ(e3.rank, 3);
+  EXPECT_EQ(e3.nz, 3u);
+  EXPECT_EQ(e3.count(), 60u);
+}
+
+TEST(Extents, RowMajorIndexing) {
+  const auto e = Extents::d3(3, 4, 5);
+  EXPECT_EQ(e.index(0, 0, 0), 0u);
+  EXPECT_EQ(e.index(0, 0, 1), 1u);   // x fastest
+  EXPECT_EQ(e.index(0, 1, 0), 5u);   // then y
+  EXPECT_EQ(e.index(1, 0, 0), 20u);  // then z
+  EXPECT_EQ(e.index(2, 3, 4), 59u);  // last element
+}
+
+TEST(Extents, IndexIsBijectiveOverTheGrid) {
+  const auto e = Extents::d3(4, 5, 6);
+  std::vector<bool> seen(e.count(), false);
+  for (std::size_t z = 0; z < e.nz; ++z)
+    for (std::size_t y = 0; y < e.ny; ++y)
+      for (std::size_t x = 0; x < e.nx; ++x) {
+        const auto i = e.index(z, y, x);
+        ASSERT_LT(i, e.count());
+        EXPECT_FALSE(seen[i]);
+        seen[i] = true;
+      }
+}
+
+TEST(ChunkShapeT, PaperShapesPerRank) {
+  EXPECT_EQ(ChunkShape::for_rank(1).count(), 256u);
+  const auto c2 = ChunkShape::for_rank(2);
+  EXPECT_EQ(c2.cx, 16u);
+  EXPECT_EQ(c2.cy, 16u);
+  const auto c3 = ChunkShape::for_rank(3);
+  EXPECT_EQ(c3.cx, 8u);
+  EXPECT_EQ(c3.count(), 512u);
+  EXPECT_THROW((void)ChunkShape::for_rank(4), std::invalid_argument);
+  EXPECT_THROW((void)ChunkShape::for_rank(0), std::invalid_argument);
+}
+
+TEST(QuantConfigT, RadiusAndValidation) {
+  QuantConfig q;
+  EXPECT_EQ(q.radius(), 512);
+  EXPECT_NO_THROW(q.validate());
+
+  for (const std::uint32_t bad : {0u, 2u, 7u, 65538u}) {
+    QuantConfig b{bad};
+    EXPECT_THROW(b.validate(), std::invalid_argument) << bad;
+  }
+  QuantConfig max{65536};
+  EXPECT_NO_THROW(max.validate());
+  EXPECT_EQ(max.radius(), 32768);
+}
+
+TEST(Launch, DivCeil) {
+  EXPECT_EQ(szp::sim::div_ceil(0, 4), 0u);
+  EXPECT_EQ(szp::sim::div_ceil(1, 4), 1u);
+  EXPECT_EQ(szp::sim::div_ceil(4, 4), 1u);
+  EXPECT_EQ(szp::sim::div_ceil(5, 4), 2u);
+}
+
+TEST(Launch, BlocksCoverTheGridExactlyOnce) {
+  std::vector<int> hits(100, 0);
+  szp::sim::launch_blocks(100, [&](std::size_t b) { ++hits[b]; });
+  for (const int h : hits) EXPECT_EQ(h, 1);
+
+  std::vector<int> hits3(3 * 4 * 5, 0);
+  szp::sim::launch_blocks_3d({3, 4, 5}, [&](std::uint32_t x, std::uint32_t y, std::uint32_t z) {
+    ++hits3[(z * 4 + y) * 3 + x];
+  });
+  for (const int h : hits3) EXPECT_EQ(h, 1);
+}
+
+TEST(Dim3T, Count) {
+  EXPECT_EQ((szp::sim::Dim3{2, 3, 4}.count()), 24u);
+  EXPECT_EQ((szp::sim::Dim3{}.count()), 1u);
+}
+
+}  // namespace

@@ -1,0 +1,352 @@
+#include "tools/cli.hh"
+
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/compressor.hh"
+#include "core/metrics.hh"
+#include "core/bundle.hh"
+#include "core/streaming.hh"
+#include "data/catalog.hh"
+#include "data/io.hh"
+#include "data/synthetic.hh"
+
+namespace szp::cli {
+
+namespace {
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> options;
+  std::vector<std::string> flags;
+
+  [[nodiscard]] bool has_flag(const std::string& f) const {
+    return std::find(flags.begin(), flags.end(), f) != flags.end();
+  }
+  [[nodiscard]] std::optional<std::string> get(const std::string& key) const {
+    const auto it = options.find(key);
+    return it == options.end() ? std::nullopt : std::optional<std::string>(it->second);
+  }
+  [[nodiscard]] std::string require(const std::string& key) const {
+    const auto v = get(key);
+    if (!v) throw std::invalid_argument("missing required option " + key);
+    return *v;
+  }
+};
+
+bool takes_value(const std::string& opt) {
+  static const std::vector<std::string> valued{"-i",          "-o",      "-d",     "--eb",
+                                               "--workflow",  "--predictor", "--stream",
+                                               "--dataset",   "--field", "--scale",
+                                               "--psnr",      "-a",      "-b",
+                                               "--name",      "--bundle"};
+  return std::find(valued.begin(), valued.end(), opt) != valued.end();
+}
+
+Args parse(const std::vector<std::string>& argv) {
+  Args a;
+  if (argv.empty()) throw std::invalid_argument("no command given");
+  a.command = argv[0];
+  for (std::size_t i = 1; i < argv.size(); ++i) {
+    const std::string& tok = argv[i];
+    if (tok.empty() || tok[0] != '-') {
+      throw std::invalid_argument("unexpected argument '" + tok + "'");
+    }
+    if (takes_value(tok)) {
+      if (i + 1 >= argv.size()) throw std::invalid_argument("option " + tok + " needs a value");
+      a.options[tok] = argv[++i];
+    } else {
+      a.flags.push_back(tok);
+    }
+  }
+  return a;
+}
+
+Extents parse_dims(const std::string& spec) {
+  std::vector<std::size_t> dims;
+  std::stringstream ss(spec);
+  std::string part;
+  while (std::getline(ss, part, 'x')) {
+    if (part.empty()) throw std::invalid_argument("bad dimension spec '" + spec + "'");
+    dims.push_back(static_cast<std::size_t>(std::stoull(part)));
+  }
+  switch (dims.size()) {
+    case 1: return Extents::d1(dims[0]);
+    case 2: return Extents::d2(dims[0], dims[1]);
+    case 3: return Extents::d3(dims[0], dims[1], dims[2]);
+    default: throw std::invalid_argument("dimension spec must have 1-3 parts: '" + spec + "'");
+  }
+}
+
+Workflow parse_workflow(const std::string& s) {
+  if (s == "auto") return Workflow::kAuto;
+  if (s == "huffman") return Workflow::kHuffman;
+  if (s == "rle") return Workflow::kRle;
+  if (s == "rle+vle") return Workflow::kRleVle;
+  throw std::invalid_argument("unknown workflow '" + s + "'");
+}
+
+PredictorKind parse_predictor(const std::string& s) {
+  if (s == "lorenzo") return PredictorKind::kLorenzo;
+  if (s == "regression") return PredictorKind::kRegression;
+  if (s == "interpolation") return PredictorKind::kInterpolation;
+  throw std::invalid_argument("unknown predictor '" + s + "'");
+}
+
+const char* workflow_name(Workflow wf) {
+  switch (wf) {
+    case Workflow::kHuffman: return "huffman";
+    case Workflow::kRle: return "rle";
+    case Workflow::kRleVle: return "rle+vle";
+    case Workflow::kRans: return "rans";
+    case Workflow::kAuto: return "auto";
+  }
+  return "?";
+}
+
+std::vector<std::uint8_t> read_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  const auto size = static_cast<std::size_t>(in.tellg());
+  std::vector<std::uint8_t> bytes(size);
+  in.seekg(0);
+  in.read(reinterpret_cast<char*>(bytes.data()), static_cast<std::streamsize>(size));
+  if (!in) throw std::runtime_error("short read from " + path);
+  return bytes;
+}
+
+void write_bytes(const std::string& path, std::span<const std::uint8_t> bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("cannot open " + path);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  if (!out) throw std::runtime_error("short write to " + path);
+}
+
+template <typename T>
+std::vector<T> read_raw(const std::string& path) {
+  const auto bytes = read_bytes(path);
+  if (bytes.size() % sizeof(T) != 0) {
+    throw std::runtime_error(path + " is not a whole number of elements");
+  }
+  std::vector<T> data(bytes.size() / sizeof(T));
+  std::memcpy(data.data(), bytes.data(), bytes.size());
+  return data;
+}
+
+int cmd_compress(const Args& a, std::ostream& out) {
+  const auto in_path = a.require("-i");
+  const auto out_path = a.require("-o");
+  const Extents ext = parse_dims(a.require("-d"));
+  const bool is_double = a.has_flag("--double");
+
+  CompressConfig cfg;
+  if (const auto psnr = a.get("--psnr")) {
+    cfg.eb = ErrorBound::psnr(std::stod(*psnr));
+  } else {
+    const double eb = std::stod(a.get("--eb").value_or("1e-3"));
+    cfg.eb = a.has_flag("--abs") ? ErrorBound::absolute(eb) : ErrorBound::relative(eb);
+  }
+  cfg.workflow = parse_workflow(a.get("--workflow").value_or("auto"));
+  cfg.predictor = parse_predictor(a.get("--predictor").value_or("lorenzo"));
+
+  const auto run = [&](auto data) -> std::pair<std::vector<std::uint8_t>, double> {
+    if (data.size() != ext.count()) {
+      throw std::runtime_error("file holds " + std::to_string(data.size()) +
+                               " elements but dims describe " + std::to_string(ext.count()));
+    }
+    if (const auto stream = a.get("--stream")) {
+      StreamingConfig scfg;
+      scfg.base = cfg;
+      scfg.max_slab_elems = static_cast<std::size_t>(std::stoull(*stream));
+      auto c = StreamingCompressor(scfg).compress(data, ext);
+      out << "streamed " << c.stats.slabs.size() << " slabs\n";
+      return {std::move(c.bytes), c.stats.ratio};
+    }
+    auto c = Compressor(cfg).compress(data, ext);
+    out << "workflow: " << workflow_name(c.stats.workflow_used)
+        << "  outliers: " << c.stats.outlier_count << "\n";
+    return {std::move(c.bytes), c.stats.ratio};
+  };
+
+  const auto [bytes, ratio] =
+      is_double ? run(read_raw<double>(in_path)) : run(read_raw<float>(in_path));
+  write_bytes(out_path, bytes);
+  out << "compressed " << ext.count() << " values -> " << bytes.size() << " bytes (ratio "
+      << ratio << "x)\n";
+  return 0;
+}
+
+int cmd_decompress(const Args& a, std::ostream& out) {
+  const auto bytes = read_bytes(a.require("-i"));
+  const auto out_path = a.require("-o");
+
+  // Containers and single archives are distinguished by magic.
+  std::vector<std::uint8_t> raw;
+  if (bytes.size() >= 4 && std::memcmp(bytes.data(), "SZPC", 4) == 0) {
+    auto d = StreamingCompressor::decompress(bytes);
+    if (d.dtype == DType::kFloat32) {
+      raw.resize(d.data.size() * sizeof(float));
+      std::memcpy(raw.data(), d.data.data(), raw.size());
+    } else {
+      raw.resize(d.data_f64.size() * sizeof(double));
+      std::memcpy(raw.data(), d.data_f64.data(), raw.size());
+    }
+  } else {
+    auto d = Compressor::decompress(bytes);
+    if (d.dtype == DType::kFloat32) {
+      raw.resize(d.data.size() * sizeof(float));
+      std::memcpy(raw.data(), d.data.data(), raw.size());
+    } else {
+      raw.resize(d.data_f64.size() * sizeof(double));
+      std::memcpy(raw.data(), d.data_f64.data(), raw.size());
+    }
+  }
+  write_bytes(out_path, raw);
+  out << "decompressed " << bytes.size() << " bytes -> " << raw.size() << " bytes\n";
+  return 0;
+}
+
+int cmd_info(const Args& a, std::ostream& out) {
+  const auto bytes = read_bytes(a.require("-i"));
+  if (bytes.size() >= 4 && std::memcmp(bytes.data(), "SZPC", 4) == 0) {
+    out << "szp streaming container, " << StreamingCompressor::slab_count(bytes)
+        << " slabs, " << bytes.size() << " bytes\n";
+    return 0;
+  }
+  const auto info = Compressor::inspect(bytes);
+  out << "szp archive: rank " << info.extents.rank << ", dims " << info.extents.nz << "x"
+      << info.extents.ny << "x" << info.extents.nx << " (z*y*x), "
+      << (info.dtype == DType::kFloat32 ? "float32" : "float64") << "\n";
+  out << "workflow: " << workflow_name(info.workflow) << ", predictor: "
+      << (info.predictor == PredictorKind::kLorenzo       ? "lorenzo"
+          : info.predictor == PredictorKind::kRegression  ? "regression"
+                                                          : "interpolation")
+      << ", quantizer capacity: " << info.capacity << "\n";
+  out << "absolute error bound: " << info.eb_abs << "\n";
+  out << "compressed size: " << bytes.size() << " bytes (ratio "
+      << static_cast<double>(info.extents.count() *
+                             (info.dtype == DType::kFloat32 ? 4 : 8)) /
+             static_cast<double>(bytes.size())
+      << "x)\n";
+  return 0;
+}
+
+int cmd_gen(const Args& a, std::ostream& out) {
+  const auto out_path = a.require("-o");
+  const auto dataset = a.require("--dataset");
+  const auto field = a.require("--field");
+  const double scale = std::stod(a.get("--scale").value_or("0.25"));
+
+  const auto ds = data::make_dataset(dataset, scale);
+  const auto& f = data::find_field(ds, field);
+  const auto values = data::generate_field(f.spec);
+  data::write_f32(out_path, values);
+  const Extents& e = f.spec.extents;
+  out << "generated " << dataset << "/" << field << ": dims " << e.nz << "x" << e.ny << "x"
+      << e.nx << " (" << values.size() * 4 / (1 << 20) << " MB) -> " << out_path << "\n";
+  out << "hint: szp compress -i " << out_path << " -o field.szp -d " << e.nz << "x" << e.ny
+      << "x" << e.nx << " --eb 1e-3\n";
+  return 0;
+}
+
+int cmd_bundle_add(const Args& a, std::ostream& out) {
+  const auto bundle_path = a.require("--bundle");
+  const auto name = a.require("--name");
+  const auto archive = read_bytes(a.require("-i"));
+
+  Bundle bundle;
+  if (std::ifstream probe(bundle_path, std::ios::binary); probe.good()) {
+    bundle = Bundle::deserialize(read_bytes(bundle_path));
+  }
+  bundle.add(name, archive);
+  write_bytes(bundle_path, bundle.serialize());
+  out << "bundle " << bundle_path << ": " << bundle.size() << " field(s)\n";
+  return 0;
+}
+
+int cmd_bundle_list(const Args& a, std::ostream& out) {
+  const auto bundle = Bundle::deserialize(read_bytes(a.require("--bundle")));
+  for (const auto& e : bundle.entries()) {
+    out << e.name << "\t" << e.compressed_bytes << " bytes\n";
+  }
+  out << bundle.size() << " field(s)\n";
+  return 0;
+}
+
+int cmd_bundle_extract(const Args& a, std::ostream& out) {
+  const auto bundle = Bundle::deserialize(read_bytes(a.require("--bundle")));
+  const auto name = a.require("--name");
+  write_bytes(a.require("-o"), bundle.archive(name));
+  out << "extracted '" << name << "' (" << bundle.archive(name).size() << " bytes)\n";
+  return 0;
+}
+
+int cmd_verify(const Args& a, std::ostream& out) {
+  const bool is_double = a.has_flag("--double");
+  const auto run = [&](auto reader) {
+    const auto x = reader(a.require("-a"));
+    const auto y = reader(a.require("-b"));
+    if (x.size() != y.size()) {
+      throw std::runtime_error("files hold different element counts (" +
+                               std::to_string(x.size()) + " vs " + std::to_string(y.size()) + ")");
+    }
+    return compare_fields(x, y);
+  };
+  const auto m = is_double ? run([](const std::string& p) { return read_raw<double>(p); })
+                           : run([](const std::string& p) { return read_raw<float>(p); });
+  out << "max |error|: " << m.max_abs_error << "\n";
+  out << "MSE:         " << m.mse << "\n";
+  out << "PSNR:        " << m.psnr_db << " dB\n";
+  out << "NRMSE:       " << m.nrmse << "\n";
+  out << "value range: " << m.value_range << "\n";
+  return 0;
+}
+
+void usage(std::ostream& err) {
+  err << "szp — error-bounded lossy compressor for scientific data (cuSZ+ reproduction)\n"
+         "usage:\n"
+         "  szp compress   -i in.f32 -o out.szp -d ZxYxX [--eb 1e-3] [--abs]\n"
+         "                 [--workflow auto|huffman|rle|rle+vle]\n"
+         "                 [--predictor lorenzo|regression|interpolation] [--double] [--stream N]\n"
+         "  szp decompress -i in.szp -o out.f32\n"
+         "  szp info       -i in.szp\n"
+         "  szp gen        -o out.f32 --dataset CESM-ATM --field FSDSC [--scale 0.25]\n"
+         "  szp verify     -a original.f32 -b restored.f32 [--double]\n"
+         "  szp bundle-add     --bundle snap.szb --name VAR -i field.szp\n"
+         "  szp bundle-list    --bundle snap.szb\n"
+         "  szp bundle-extract --bundle snap.szb --name VAR -o field.szp\n"
+         "compress also accepts --psnr TARGET_DB in place of --eb.\n";
+}
+
+}  // namespace
+
+int run(const std::vector<std::string>& args, std::ostream& out, std::ostream& err) {
+  try {
+    const Args a = parse(args);
+    if (a.command == "compress") return cmd_compress(a, out);
+    if (a.command == "decompress") return cmd_decompress(a, out);
+    if (a.command == "info") return cmd_info(a, out);
+    if (a.command == "gen") return cmd_gen(a, out);
+    if (a.command == "verify") return cmd_verify(a, out);
+    if (a.command == "bundle-add") return cmd_bundle_add(a, out);
+    if (a.command == "bundle-list") return cmd_bundle_list(a, out);
+    if (a.command == "bundle-extract") return cmd_bundle_extract(a, out);
+    if (a.command == "help" || a.command == "--help" || a.command == "-h") {
+      usage(out);
+      return 0;
+    }
+    err << "unknown command '" << a.command << "'\n";
+    usage(err);
+    return 2;
+  } catch (const std::exception& e) {
+    err << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
+
+}  // namespace szp::cli

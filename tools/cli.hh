@@ -1,0 +1,28 @@
+// szp::cli — the `szp` command-line tool, as a library so tests can drive
+// it without spawning processes.
+//
+// Subcommands:
+//   compress    -i in.f32 -o out.szp -d ZxYxX [--eb 1e-3] [--abs]
+//               [--workflow auto|huffman|rle|rle+vle]
+//               [--predictor lorenzo|regression] [--double]
+//               [--stream SLAB_ELEMS]
+//   decompress  -i in.szp -o out.f32
+//   info        -i in.szp
+//   gen         -o out.f32 --dataset NAME --field NAME [--scale 0.25]
+//
+// `-d` takes slowest-to-fastest dims ("100x500x500" = nz x ny x nx), the
+// SDRBench convention.  Raw files are bare little-endian float32 (or
+// float64 with --double).
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace szp::cli {
+
+/// Run the tool.  `args` excludes the program name.  Returns the process
+/// exit code; all human output goes to `out`, diagnostics to `err`.
+int run(const std::vector<std::string>& args, std::ostream& out, std::ostream& err);
+
+}  // namespace szp::cli

@@ -1,0 +1,15 @@
+// The `szp` command-line entry point; all logic lives in cli.cc so the
+// test suite can drive it in-process.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "tools/cli.hh"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty()) {
+    args.emplace_back("help");
+  }
+  return szp::cli::run(args, std::cout, std::cerr);
+}
