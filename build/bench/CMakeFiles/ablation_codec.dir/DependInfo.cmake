@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_codec.cc" "bench/CMakeFiles/ablation_codec.dir/ablation_codec.cc.o" "gcc" "bench/CMakeFiles/ablation_codec.dir/ablation_codec.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/szp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/szp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/lossless/CMakeFiles/szp_lossless.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/szp_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/szp_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/zfp/CMakeFiles/szp_zfp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_gap_decode.dir/ablation_gap_decode.cc.o"
+  "CMakeFiles/ablation_gap_decode.dir/ablation_gap_decode.cc.o.d"
+  "ablation_gap_decode"
+  "ablation_gap_decode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_gap_decode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compare_zfp.dir/compare_zfp.cc.o"
+  "CMakeFiles/compare_zfp.dir/compare_zfp.cc.o.d"
+  "compare_zfp"
+  "compare_zfp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compare_zfp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

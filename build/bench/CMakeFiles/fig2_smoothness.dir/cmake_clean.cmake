@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_smoothness.dir/fig2_smoothness.cc.o"
+  "CMakeFiles/fig2_smoothness.dir/fig2_smoothness.cc.o.d"
+  "fig2_smoothness"
+  "fig2_smoothness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_smoothness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

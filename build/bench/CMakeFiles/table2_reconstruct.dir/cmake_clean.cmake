@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_reconstruct.dir/table2_reconstruct.cc.o"
+  "CMakeFiles/table2_reconstruct.dir/table2_reconstruct.cc.o.d"
+  "table2_reconstruct"
+  "table2_reconstruct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_reconstruct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_rle_fields.dir/table4_rle_fields.cc.o"
+  "CMakeFiles/table4_rle_fields.dir/table4_rle_fields.cc.o.d"
+  "table4_rle_fields"
+  "table4_rle_fields.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_rle_fields.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

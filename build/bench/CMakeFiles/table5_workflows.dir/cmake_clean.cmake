@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_workflows.dir/table5_workflows.cc.o"
+  "CMakeFiles/table5_workflows.dir/table5_workflows.cc.o.d"
+  "table5_workflows"
+  "table5_workflows.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_workflows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

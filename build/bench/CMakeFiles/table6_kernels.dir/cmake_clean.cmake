@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_kernels.dir/table6_kernels.cc.o"
+  "CMakeFiles/table6_kernels.dir/table6_kernels.cc.o.d"
+  "table6_kernels"
+  "table6_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/climate_adaptive.dir/climate_adaptive.cpp.o"
+  "CMakeFiles/climate_adaptive.dir/climate_adaptive.cpp.o.d"
+  "climate_adaptive"
+  "climate_adaptive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/climate_adaptive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cosmology_insitu.dir/cosmology_insitu.cpp.o"
+  "CMakeFiles/cosmology_insitu.dir/cosmology_insitu.cpp.o.d"
+  "cosmology_insitu"
+  "cosmology_insitu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cosmology_insitu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

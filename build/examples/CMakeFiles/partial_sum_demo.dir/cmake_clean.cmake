@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partial_sum_demo.dir/partial_sum_demo.cpp.o"
+  "CMakeFiles/partial_sum_demo.dir/partial_sum_demo.cpp.o.d"
+  "partial_sum_demo"
+  "partial_sum_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partial_sum_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

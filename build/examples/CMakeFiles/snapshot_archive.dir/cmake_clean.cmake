@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snapshot_archive.dir/snapshot_archive.cpp.o"
+  "CMakeFiles/snapshot_archive.dir/snapshot_archive.cpp.o.d"
+  "snapshot_archive"
+  "snapshot_archive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snapshot_archive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/szp_baseline.dir/cusz_ref.cc.o"
+  "CMakeFiles/szp_baseline.dir/cusz_ref.cc.o.d"
+  "libszp_baseline.a"
+  "libszp_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/szp_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

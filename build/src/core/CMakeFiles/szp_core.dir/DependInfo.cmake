@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/analysis/entropy.cc" "src/core/CMakeFiles/szp_core.dir/analysis/entropy.cc.o" "gcc" "src/core/CMakeFiles/szp_core.dir/analysis/entropy.cc.o.d"
+  "/root/repo/src/core/analysis/madogram.cc" "src/core/CMakeFiles/szp_core.dir/analysis/madogram.cc.o" "gcc" "src/core/CMakeFiles/szp_core.dir/analysis/madogram.cc.o.d"
+  "/root/repo/src/core/analysis/selector.cc" "src/core/CMakeFiles/szp_core.dir/analysis/selector.cc.o" "gcc" "src/core/CMakeFiles/szp_core.dir/analysis/selector.cc.o.d"
+  "/root/repo/src/core/bundle.cc" "src/core/CMakeFiles/szp_core.dir/bundle.cc.o" "gcc" "src/core/CMakeFiles/szp_core.dir/bundle.cc.o.d"
+  "/root/repo/src/core/checksum.cc" "src/core/CMakeFiles/szp_core.dir/checksum.cc.o" "gcc" "src/core/CMakeFiles/szp_core.dir/checksum.cc.o.d"
+  "/root/repo/src/core/compressor.cc" "src/core/CMakeFiles/szp_core.dir/compressor.cc.o" "gcc" "src/core/CMakeFiles/szp_core.dir/compressor.cc.o.d"
+  "/root/repo/src/core/huffman/codebook.cc" "src/core/CMakeFiles/szp_core.dir/huffman/codebook.cc.o" "gcc" "src/core/CMakeFiles/szp_core.dir/huffman/codebook.cc.o.d"
+  "/root/repo/src/core/huffman/codec.cc" "src/core/CMakeFiles/szp_core.dir/huffman/codec.cc.o" "gcc" "src/core/CMakeFiles/szp_core.dir/huffman/codec.cc.o.d"
+  "/root/repo/src/core/metrics.cc" "src/core/CMakeFiles/szp_core.dir/metrics.cc.o" "gcc" "src/core/CMakeFiles/szp_core.dir/metrics.cc.o.d"
+  "/root/repo/src/core/predictor/interpolation.cc" "src/core/CMakeFiles/szp_core.dir/predictor/interpolation.cc.o" "gcc" "src/core/CMakeFiles/szp_core.dir/predictor/interpolation.cc.o.d"
+  "/root/repo/src/core/predictor/lorenzo_construct.cc" "src/core/CMakeFiles/szp_core.dir/predictor/lorenzo_construct.cc.o" "gcc" "src/core/CMakeFiles/szp_core.dir/predictor/lorenzo_construct.cc.o.d"
+  "/root/repo/src/core/predictor/lorenzo_reconstruct.cc" "src/core/CMakeFiles/szp_core.dir/predictor/lorenzo_reconstruct.cc.o" "gcc" "src/core/CMakeFiles/szp_core.dir/predictor/lorenzo_reconstruct.cc.o.d"
+  "/root/repo/src/core/predictor/regression.cc" "src/core/CMakeFiles/szp_core.dir/predictor/regression.cc.o" "gcc" "src/core/CMakeFiles/szp_core.dir/predictor/regression.cc.o.d"
+  "/root/repo/src/core/rans.cc" "src/core/CMakeFiles/szp_core.dir/rans.cc.o" "gcc" "src/core/CMakeFiles/szp_core.dir/rans.cc.o.d"
+  "/root/repo/src/core/rle/rle.cc" "src/core/CMakeFiles/szp_core.dir/rle/rle.cc.o" "gcc" "src/core/CMakeFiles/szp_core.dir/rle/rle.cc.o.d"
+  "/root/repo/src/core/streaming.cc" "src/core/CMakeFiles/szp_core.dir/streaming.cc.o" "gcc" "src/core/CMakeFiles/szp_core.dir/streaming.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/szp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/szp_data.dir/catalog.cc.o"
+  "CMakeFiles/szp_data.dir/catalog.cc.o.d"
+  "CMakeFiles/szp_data.dir/io.cc.o"
+  "CMakeFiles/szp_data.dir/io.cc.o.d"
+  "CMakeFiles/szp_data.dir/synthetic.cc.o"
+  "CMakeFiles/szp_data.dir/synthetic.cc.o.d"
+  "libszp_data.a"
+  "libszp_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/szp_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

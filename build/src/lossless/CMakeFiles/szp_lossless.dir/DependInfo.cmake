@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lossless/lz77.cc" "src/lossless/CMakeFiles/szp_lossless.dir/lz77.cc.o" "gcc" "src/lossless/CMakeFiles/szp_lossless.dir/lz77.cc.o.d"
+  "/root/repo/src/lossless/lzh.cc" "src/lossless/CMakeFiles/szp_lossless.dir/lzh.cc.o" "gcc" "src/lossless/CMakeFiles/szp_lossless.dir/lzh.cc.o.d"
+  "/root/repo/src/lossless/lzr.cc" "src/lossless/CMakeFiles/szp_lossless.dir/lzr.cc.o" "gcc" "src/lossless/CMakeFiles/szp_lossless.dir/lzr.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/szp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/szp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/szp_lossless.dir/lz77.cc.o"
+  "CMakeFiles/szp_lossless.dir/lz77.cc.o.d"
+  "CMakeFiles/szp_lossless.dir/lzh.cc.o"
+  "CMakeFiles/szp_lossless.dir/lzh.cc.o.d"
+  "CMakeFiles/szp_lossless.dir/lzr.cc.o"
+  "CMakeFiles/szp_lossless.dir/lzr.cc.o.d"
+  "libszp_lossless.a"
+  "libszp_lossless.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/szp_lossless.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for szp_lossless.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/device.cc" "src/sim/CMakeFiles/szp_sim.dir/device.cc.o" "gcc" "src/sim/CMakeFiles/szp_sim.dir/device.cc.o.d"
+  "/root/repo/src/sim/perf_model.cc" "src/sim/CMakeFiles/szp_sim.dir/perf_model.cc.o" "gcc" "src/sim/CMakeFiles/szp_sim.dir/perf_model.cc.o.d"
+  "/root/repo/src/sim/profile.cc" "src/sim/CMakeFiles/szp_sim.dir/profile.cc.o" "gcc" "src/sim/CMakeFiles/szp_sim.dir/profile.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/szp_sim.dir/device.cc.o"
+  "CMakeFiles/szp_sim.dir/device.cc.o.d"
+  "CMakeFiles/szp_sim.dir/perf_model.cc.o"
+  "CMakeFiles/szp_sim.dir/perf_model.cc.o.d"
+  "CMakeFiles/szp_sim.dir/profile.cc.o"
+  "CMakeFiles/szp_sim.dir/profile.cc.o.d"
+  "libszp_sim.a"
+  "libszp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/szp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libszp_sim.a"
+)

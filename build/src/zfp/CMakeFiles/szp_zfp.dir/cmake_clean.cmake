@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/szp_zfp.dir/zfp.cc.o"
+  "CMakeFiles/szp_zfp.dir/zfp.cc.o.d"
+  "libszp_zfp.a"
+  "libszp_zfp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/szp_zfp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,50 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_analysis.cc" "tests/CMakeFiles/szp_tests.dir/test_analysis.cc.o" "gcc" "tests/CMakeFiles/szp_tests.dir/test_analysis.cc.o.d"
+  "/root/repo/tests/test_baseline.cc" "tests/CMakeFiles/szp_tests.dir/test_baseline.cc.o" "gcc" "tests/CMakeFiles/szp_tests.dir/test_baseline.cc.o.d"
+  "/root/repo/tests/test_bundle.cc" "tests/CMakeFiles/szp_tests.dir/test_bundle.cc.o" "gcc" "tests/CMakeFiles/szp_tests.dir/test_bundle.cc.o.d"
+  "/root/repo/tests/test_checksum.cc" "tests/CMakeFiles/szp_tests.dir/test_checksum.cc.o" "gcc" "tests/CMakeFiles/szp_tests.dir/test_checksum.cc.o.d"
+  "/root/repo/tests/test_cli.cc" "tests/CMakeFiles/szp_tests.dir/test_cli.cc.o" "gcc" "tests/CMakeFiles/szp_tests.dir/test_cli.cc.o.d"
+  "/root/repo/tests/test_compressor.cc" "tests/CMakeFiles/szp_tests.dir/test_compressor.cc.o" "gcc" "tests/CMakeFiles/szp_tests.dir/test_compressor.cc.o.d"
+  "/root/repo/tests/test_data.cc" "tests/CMakeFiles/szp_tests.dir/test_data.cc.o" "gcc" "tests/CMakeFiles/szp_tests.dir/test_data.cc.o.d"
+  "/root/repo/tests/test_double.cc" "tests/CMakeFiles/szp_tests.dir/test_double.cc.o" "gcc" "tests/CMakeFiles/szp_tests.dir/test_double.cc.o.d"
+  "/root/repo/tests/test_huffman.cc" "tests/CMakeFiles/szp_tests.dir/test_huffman.cc.o" "gcc" "tests/CMakeFiles/szp_tests.dir/test_huffman.cc.o.d"
+  "/root/repo/tests/test_integration.cc" "tests/CMakeFiles/szp_tests.dir/test_integration.cc.o" "gcc" "tests/CMakeFiles/szp_tests.dir/test_integration.cc.o.d"
+  "/root/repo/tests/test_interpolation.cc" "tests/CMakeFiles/szp_tests.dir/test_interpolation.cc.o" "gcc" "tests/CMakeFiles/szp_tests.dir/test_interpolation.cc.o.d"
+  "/root/repo/tests/test_lorenzo.cc" "tests/CMakeFiles/szp_tests.dir/test_lorenzo.cc.o" "gcc" "tests/CMakeFiles/szp_tests.dir/test_lorenzo.cc.o.d"
+  "/root/repo/tests/test_lzh.cc" "tests/CMakeFiles/szp_tests.dir/test_lzh.cc.o" "gcc" "tests/CMakeFiles/szp_tests.dir/test_lzh.cc.o.d"
+  "/root/repo/tests/test_metrics.cc" "tests/CMakeFiles/szp_tests.dir/test_metrics.cc.o" "gcc" "tests/CMakeFiles/szp_tests.dir/test_metrics.cc.o.d"
+  "/root/repo/tests/test_perf_model.cc" "tests/CMakeFiles/szp_tests.dir/test_perf_model.cc.o" "gcc" "tests/CMakeFiles/szp_tests.dir/test_perf_model.cc.o.d"
+  "/root/repo/tests/test_properties.cc" "tests/CMakeFiles/szp_tests.dir/test_properties.cc.o" "gcc" "tests/CMakeFiles/szp_tests.dir/test_properties.cc.o.d"
+  "/root/repo/tests/test_rans.cc" "tests/CMakeFiles/szp_tests.dir/test_rans.cc.o" "gcc" "tests/CMakeFiles/szp_tests.dir/test_rans.cc.o.d"
+  "/root/repo/tests/test_regression.cc" "tests/CMakeFiles/szp_tests.dir/test_regression.cc.o" "gcc" "tests/CMakeFiles/szp_tests.dir/test_regression.cc.o.d"
+  "/root/repo/tests/test_rle.cc" "tests/CMakeFiles/szp_tests.dir/test_rle.cc.o" "gcc" "tests/CMakeFiles/szp_tests.dir/test_rle.cc.o.d"
+  "/root/repo/tests/test_serialize.cc" "tests/CMakeFiles/szp_tests.dir/test_serialize.cc.o" "gcc" "tests/CMakeFiles/szp_tests.dir/test_serialize.cc.o.d"
+  "/root/repo/tests/test_sim_primitives.cc" "tests/CMakeFiles/szp_tests.dir/test_sim_primitives.cc.o" "gcc" "tests/CMakeFiles/szp_tests.dir/test_sim_primitives.cc.o.d"
+  "/root/repo/tests/test_sim_scan.cc" "tests/CMakeFiles/szp_tests.dir/test_sim_scan.cc.o" "gcc" "tests/CMakeFiles/szp_tests.dir/test_sim_scan.cc.o.d"
+  "/root/repo/tests/test_streaming.cc" "tests/CMakeFiles/szp_tests.dir/test_streaming.cc.o" "gcc" "tests/CMakeFiles/szp_tests.dir/test_streaming.cc.o.d"
+  "/root/repo/tests/test_types.cc" "tests/CMakeFiles/szp_tests.dir/test_types.cc.o" "gcc" "tests/CMakeFiles/szp_tests.dir/test_types.cc.o.d"
+  "/root/repo/tests/test_zfp.cc" "tests/CMakeFiles/szp_tests.dir/test_zfp.cc.o" "gcc" "tests/CMakeFiles/szp_tests.dir/test_zfp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/szp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/szp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/lossless/CMakeFiles/szp_lossless.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/szp_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/szp_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/zfp/CMakeFiles/szp_zfp.dir/DependInfo.cmake"
+  "/root/repo/build/tools/CMakeFiles/szp_cli.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

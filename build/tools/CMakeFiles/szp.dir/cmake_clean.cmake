@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/szp.dir/szp_main.cc.o"
+  "CMakeFiles/szp.dir/szp_main.cc.o.d"
+  "szp"
+  "szp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/szp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

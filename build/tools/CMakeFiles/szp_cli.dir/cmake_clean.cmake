@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/szp_cli.dir/cli.cc.o"
+  "CMakeFiles/szp_cli.dir/cli.cc.o.d"
+  "libszp_cli.a"
+  "libszp_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/szp_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
