@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "core/huffman/bitio.hh"
+#include "sim/check.hh"
 #include "sim/device_scan.hh"
 #include "sim/launch.hh"
 
@@ -32,21 +33,27 @@ HuffmanEncoded huffman_encode(std::span<const quant_t> symbols, const HuffmanCod
   // Phase 1: per-chunk encoded byte size (code lengths only; parallel).
   // Exceptions must not escape the parallel region, so uncodable symbols
   // are flagged and reported afterwards.
+  // The bad_symbol flag is an intentionally shared atomic, so it stays
+  // outside the checker's buffer registry (see DESIGN.md).
   std::vector<std::uint64_t> chunk_bytes(nchunks);
   std::atomic<bool> bad_symbol{false};
-  sim::launch_blocks(nchunks, [&](std::size_t c) {
+  namespace chk = sim::checked;
+  chk::launch("huffman_encode/chunk_sizes", nchunks,
+              chk::bufs(chk::in(symbols, "symbols"),
+                        chk::out(std::span<std::uint64_t>(chunk_bytes), "chunk_bytes")),
+              [&, n, chunk_size](std::size_t c, const auto& vsym, const auto& vbytes) {
     const std::size_t lo = c * chunk_size;
     const std::size_t hi = std::min(lo + chunk_size, n);
     std::uint64_t bits = 0;
     for (std::size_t i = lo; i < hi; ++i) {
-      const unsigned len = book.length(symbols[i]);
+      const unsigned len = book.length(vsym[i]);
       if (len == 0) {
         bad_symbol.store(true, std::memory_order_relaxed);
         return;
       }
       bits += len;
     }
-    chunk_bytes[c] = (bits + 7) / 8;
+    vbytes[c] = (bits + 7) / 8;
   });
   if (bad_symbol.load()) {
     throw std::invalid_argument("huffman_encode: input contains a symbol with no code");
@@ -61,20 +68,28 @@ HuffmanEncoded huffman_encode(std::span<const quant_t> symbols, const HuffmanCod
 
   // Phase 2: each chunk writes its own byte range (race-free, parallel),
   // recording sub-block bit offsets when a gap array was requested.
-  sim::launch_blocks(nchunks, [&](std::size_t c) {
+  chk::launch("huffman_encode/deflate", nchunks,
+              chk::bufs(chk::in(symbols, "symbols"),
+                        chk::in(std::span<const std::uint64_t>(enc.chunk_offsets), "offsets"),
+                        chk::out(std::span<std::uint8_t>(enc.payload), "payload"),
+                        chk::out(std::span<std::uint32_t>(enc.gaps), "gaps")),
+              [&, n, chunk_size, gap_stride, subblocks_per_chunk](
+                  std::size_t c, const auto& vsym, const auto& voffsets, const auto& vpayload,
+                  const auto& vgaps) {
     const std::size_t lo = c * chunk_size;
     const std::size_t hi = std::min(lo + chunk_size, n);
     BitWriter bw;
     for (std::size_t i = lo; i < hi; ++i) {
       if (gap_stride > 0 && (i - lo) % gap_stride == 0) {
-        enc.gaps[c * subblocks_per_chunk + (i - lo) / gap_stride] =
+        vgaps[c * subblocks_per_chunk + (i - lo) / gap_stride] =
             static_cast<std::uint32_t>(bw.bit_count());
       }
-      bw.put(book.code(symbols[i]), book.length(symbols[i]));
+      bw.put(book.code(vsym[i]), book.length(vsym[i]));
     }
     const auto& bytes = bw.bytes();
-    std::copy(bytes.begin(), bytes.end(),
-              enc.payload.begin() + static_cast<std::ptrdiff_t>(enc.chunk_offsets[c]));
+    const auto off = static_cast<std::size_t>(voffsets[c]);
+    vpayload.note_write(off, bytes.size());
+    std::copy(bytes.begin(), bytes.end(), vpayload.data() + off);
   });
 
   // Cost model (paper §V-C.1): the baseline stores a full word per thread;
@@ -118,7 +133,15 @@ HuffmanDecoded huffman_decode(const HuffmanEncoded& enc, const HuffmanCodebook& 
     throw std::runtime_error("huffman_decode: gap array size mismatch");
   }
   std::atomic<bool> corrupt{false};
-  sim::launch_blocks(nchunks * subblocks_per_chunk, [&](std::size_t unit) {
+  namespace chk = sim::checked;
+  chk::launch("huffman_decode", nchunks * subblocks_per_chunk,
+              chk::bufs(chk::in(std::span<const std::uint8_t>(enc.payload), "payload"),
+                        chk::in(std::span<const std::uint64_t>(enc.chunk_offsets), "offsets"),
+                        chk::in(std::span<const std::uint32_t>(enc.gaps), "gaps"),
+                        chk::out(std::span<quant_t>(dec.symbols), "symbols")),
+              [&, n, subblocks_per_chunk](std::size_t unit, const auto& vpayload,
+                                          const auto& voffsets, const auto& vgaps,
+                                          const auto& vsym) {
     const std::size_t c = unit / subblocks_per_chunk;
     const std::size_t sub = unit % subblocks_per_chunk;
     const std::size_t stride = enc.gap_stride > 0 ? enc.gap_stride : enc.chunk_size;
@@ -126,13 +149,14 @@ HuffmanDecoded huffman_decode(const HuffmanEncoded& enc, const HuffmanCodebook& 
     if (lo >= n) return;
     const std::size_t hi =
         std::min(std::min(lo + stride, (c + 1) * static_cast<std::size_t>(enc.chunk_size)), n);
-    const std::size_t off = enc.chunk_offsets[c];
-    const std::size_t end = enc.chunk_offsets[c + 1];
-    const std::uint64_t start_bit = enc.gap_stride > 0 ? enc.gaps[unit] : 0;
-    BitReader br(std::span<const std::uint8_t>(enc.payload.data() + off, end - off), start_bit);
+    const auto off = static_cast<std::size_t>(voffsets[c]);
+    const auto end = static_cast<std::size_t>(voffsets[c + 1]);
+    const std::uint64_t start_bit = enc.gap_stride > 0 ? vgaps[unit] : 0;
+    vpayload.note_read(off, end - off);
+    BitReader br(std::span<const std::uint8_t>(vpayload.data() + off, end - off), start_bit);
     try {
       for (std::size_t i = lo; i < hi; ++i) {
-        dec.symbols[i] = static_cast<quant_t>(book.decode_one(br));
+        vsym[i] = static_cast<quant_t>(book.decode_one(br));
       }
     } catch (const std::runtime_error&) {
       corrupt.store(true, std::memory_order_relaxed);

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "core/predictor/lorenzo.hh"
+#include "sim/check.hh"
 #include "sim/launch.hh"
 
 namespace szp {
@@ -56,10 +57,15 @@ LorenzoConstructResult lorenzo_construct(std::span<const T> data, const Extents&
   const ChunkShape cs = grid.shape;
   const bool stage_copy = variant == ConstructVariant::kBaseline;
 
-  sim::launch_blocks_3d({static_cast<std::uint32_t>(grid.gx),
-                         static_cast<std::uint32_t>(grid.gy),
-                         static_cast<std::uint32_t>(grid.gz)},
-                        [&](std::uint32_t bx, std::uint32_t by, std::uint32_t bz) {
+  namespace chk = sim::checked;
+  chk::launch_3d("lorenzo_construct",
+                 {static_cast<std::uint32_t>(grid.gx), static_cast<std::uint32_t>(grid.gy),
+                  static_cast<std::uint32_t>(grid.gz)},
+                 chk::bufs(chk::in(data, "data"),
+                           chk::out(std::span<quant_t>(res.quant), "quant"),
+                           chk::out(std::span<qdiff_t>(res.outlier_dense), "outlier")),
+                 [&](std::uint32_t bx, std::uint32_t by, std::uint32_t bz, const auto& vdata,
+                     const auto& vquant, const auto& voutlier) {
     const std::size_t x0 = bx * cs.cx, y0 = by * cs.cy, z0 = bz * cs.cz;
     const std::size_t w = std::min(cs.cx, ext.nx - x0);
     const std::size_t h = std::min(cs.cy, ext.ny - y0);
@@ -80,7 +86,7 @@ LorenzoConstructResult lorenzo_construct(std::span<const T> data, const Extents&
         for (std::size_t ly = 0; ly < h; ++ly)
           for (std::size_t lx = 0; lx < w; ++lx)
             staged[lidx(lz, ly, lx)] =
-                data[ext.index(z0 + lz, y0 + ly, x0 + lx)];
+                vdata[ext.index(z0 + lz, y0 + ly, x0 + lx)];
       for (std::size_t i = 0; i < w * h * d; ++i)
         pq[i] = std::llround(static_cast<double>(staged[i]) * inv2eb);
     } else {
@@ -89,7 +95,7 @@ LorenzoConstructResult lorenzo_construct(std::span<const T> data, const Extents&
         for (std::size_t ly = 0; ly < h; ++ly)
           for (std::size_t lx = 0; lx < w; ++lx)
             pq[lidx(lz, ly, lx)] = std::llround(
-                static_cast<double>(data[ext.index(z0 + lz, y0 + ly, x0 + lx)]) * inv2eb);
+                static_cast<double>(vdata[ext.index(z0 + lz, y0 + ly, x0 + lx)]) * inv2eb);
     }
 
     // Prediction + postquant.  Neighbors outside the chunk are zero, which
@@ -124,16 +130,16 @@ LorenzoConstructResult lorenzo_construct(std::span<const T> data, const Extents&
           const std::int64_t delta = pq[lidx(lz, ly, lx)] - pred;
           const std::size_t gi = ext.index(z0 + lz, y0 + ly, x0 + lx);
           if (delta > -r && delta < r) {
-            res.quant[gi] = static_cast<quant_t>(delta + r);
+            vquant[gi] = static_cast<quant_t>(delta + r);
           } else if (scheme == OutlierScheme::kResidual) {
             // Modified quantization (cuSZ+): quant-code encodes δ'=0 and the
             // true residual goes to the outlier stream.
-            res.quant[gi] = static_cast<quant_t>(r);
-            res.outlier_dense[gi] = static_cast<qdiff_t>(delta);
+            vquant[gi] = static_cast<quant_t>(r);
+            voutlier[gi] = static_cast<qdiff_t>(delta);
           } else {
             // cuSZ: placeholder 0, outlier carries the prequantized value.
-            res.quant[gi] = 0;
-            res.outlier_dense[gi] = static_cast<qdiff_t>(pq[lidx(lz, ly, lx)]);
+            vquant[gi] = 0;
+            voutlier[gi] = static_cast<qdiff_t>(pq[lidx(lz, ly, lx)]);
           }
         }
       }

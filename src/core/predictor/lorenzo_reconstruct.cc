@@ -3,6 +3,7 @@
 
 #include "core/predictor/lorenzo.hh"
 #include "sim/block_scan.hh"
+#include "sim/check.hh"
 #include "sim/launch.hh"
 
 namespace szp {
@@ -72,11 +73,14 @@ sim::KernelCost fuse_quant_codes(std::span<const quant_t> quant, std::int32_t ra
   }
   const std::size_t n = quant.size();
   const std::size_t tiles = sim::div_ceil(n, std::size_t{1} << 16);
-  sim::launch_blocks(tiles, [&](std::size_t t) {
+  namespace chk = sim::checked;
+  chk::launch("fuse_quant_codes", tiles,
+              chk::bufs(chk::in(quant, "quant"), chk::out(qprime_out, "qprime")),
+              [&, n, radius](std::size_t t, const auto& vquant, const auto& vqprime) {
     const std::size_t lo = t << 16;
     const std::size_t hi = std::min(lo + (std::size_t{1} << 16), n);
     for (std::size_t i = lo; i < hi; ++i) {
-      qprime_out[i] = static_cast<qdiff_t>(quant[i]) - radius;
+      vqprime[i] = static_cast<qdiff_t>(vquant[i]) - radius;
     }
   });
   sim::KernelCost c;
@@ -105,10 +109,13 @@ sim::KernelCost lorenzo_reconstruct_fused(std::span<qdiff_t> qprime, const Exten
   const auto grid = make_grid(ext);
   const ChunkShape cs = grid.cs;
 
-  sim::launch_blocks_3d({static_cast<std::uint32_t>(grid.gx),
-                         static_cast<std::uint32_t>(grid.gy),
-                         static_cast<std::uint32_t>(grid.gz)},
-                        [&](std::uint32_t bx, std::uint32_t by, std::uint32_t bz) {
+  namespace chk = sim::checked;
+  chk::launch_3d("lorenzo_reconstruct_fused",
+                 {static_cast<std::uint32_t>(grid.gx), static_cast<std::uint32_t>(grid.gy),
+                  static_cast<std::uint32_t>(grid.gz)},
+                 chk::bufs(chk::inout(qprime, "qprime"), chk::out(out, "out")),
+                 [&](std::uint32_t bx, std::uint32_t by, std::uint32_t bz, const auto& vqprime,
+                     const auto& vout) {
     const std::size_t x0 = bx * cs.cx, y0 = by * cs.cy, z0 = bz * cs.cz;
     const std::size_t w = std::min(cs.cx, ext.nx - x0);
     const std::size_t h = std::min(cs.cy, ext.ny - y0);
@@ -121,7 +128,7 @@ sim::KernelCost lorenzo_reconstruct_fused(std::span<qdiff_t> qprime, const Exten
       for (std::size_t lz = 0; lz < d; ++lz)
         for (std::size_t ly = 0; ly < h; ++ly)
           for (std::size_t lx = 0; lx < w; ++lx)
-            shared[(lz * h + ly) * w + lx] = qprime[ext.index(z0 + lz, y0 + ly, x0 + lx)];
+            shared[(lz * h + ly) * w + lx] = vqprime[ext.index(z0 + lz, y0 + ly, x0 + lx)];
       Extents local = ext.rank == 1   ? Extents::d1(w)
                       : ext.rank == 2 ? Extents::d2(h, w)
                                       : Extents::d3(d, h, w);
@@ -129,9 +136,14 @@ sim::KernelCost lorenzo_reconstruct_fused(std::span<qdiff_t> qprime, const Exten
       for (std::size_t lz = 0; lz < d; ++lz)
         for (std::size_t ly = 0; ly < h; ++ly)
           for (std::size_t lx = 0; lx < w; ++lx)
-            qprime[ext.index(z0 + lz, y0 + ly, x0 + lx)] = shared[(lz * h + ly) * w + lx];
+            vqprime[ext.index(z0 + lz, y0 + ly, x0 + lx)] = shared[(lz * h + ly) * w + lx];
     } else {
-      chunk_partial_sums(qprime.data(), ext, x0, y0, z0, w, h, d, seq);
+      // The scan passes walk the chunk with raw strided pointers; declare
+      // the chunk's row footprint (the union of all three passes) up front.
+      for (std::size_t lz = 0; lz < d; ++lz)
+        for (std::size_t ly = 0; ly < h; ++ly)
+          vqprime.note_rw(ext.index(z0 + lz, y0 + ly, x0), w);
+      chunk_partial_sums(vqprime.data(), ext, x0, y0, z0, w, h, d, seq);
     }
 
     // Algorithm 1 line 13: scale back to data units.
@@ -139,7 +151,7 @@ sim::KernelCost lorenzo_reconstruct_fused(std::span<qdiff_t> qprime, const Exten
       for (std::size_t ly = 0; ly < h; ++ly)
         for (std::size_t lx = 0; lx < w; ++lx) {
           const std::size_t gi = ext.index(z0 + lz, y0 + ly, x0 + lx);
-          out[gi] = static_cast<T>(static_cast<double>(qprime[gi]) * eb2);
+          vout[gi] = static_cast<T>(static_cast<double>(vqprime[gi]) * eb2);
         }
   });
 
@@ -171,10 +183,15 @@ sim::KernelCost lorenzo_reconstruct_coarse(std::span<const quant_t> quant,
   const auto grid = make_grid(ext);
   const ChunkShape cs = grid.cs;
 
-  sim::launch_blocks_3d({static_cast<std::uint32_t>(grid.gx),
-                         static_cast<std::uint32_t>(grid.gy),
-                         static_cast<std::uint32_t>(grid.gz)},
-                        [&](std::uint32_t bx, std::uint32_t by, std::uint32_t bz) {
+  namespace chk = sim::checked;
+  chk::launch_3d("lorenzo_reconstruct_coarse",
+                 {static_cast<std::uint32_t>(grid.gx), static_cast<std::uint32_t>(grid.gy),
+                  static_cast<std::uint32_t>(grid.gz)},
+                 chk::bufs(chk::in(quant, "quant"),
+                           chk::in(outlier_value_dense, "outlier"),
+                           chk::out(out, "out")),
+                 [&](std::uint32_t bx, std::uint32_t by, std::uint32_t bz, const auto& vquant,
+                     const auto& voutlier, const auto& vout) {
     const std::size_t x0 = bx * cs.cx, y0 = by * cs.cy, z0 = bz * cs.cz;
     const std::size_t w = std::min(cs.cx, ext.nx - x0);
     const std::size_t h = std::min(cs.cy, ext.ny - y0);
@@ -210,15 +227,15 @@ sim::KernelCost lorenzo_reconstruct_coarse(std::span<const quant_t> quant,
             default: break;
           }
           const std::size_t gi = ext.index(z0 + lz, y0 + ly, x0 + lx);
-          const quant_t q = quant[gi];
+          const quant_t q = vquant[gi];
           std::int64_t val;
           if (q == 0) {
-            val = outlier_value_dense[gi];  // divergent outlier branch
+            val = voutlier[gi];  // divergent outlier branch
           } else {
             val = pred + (static_cast<std::int64_t>(q) - r);
           }
           pq[lidx(lz, ly, lx)] = val;
-          out[gi] = static_cast<T>(static_cast<double>(val) * eb2);
+          vout[gi] = static_cast<T>(static_cast<double>(val) * eb2);
         }
       }
     }

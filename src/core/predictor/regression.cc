@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "sim/check.hh"
 #include "sim/launch.hh"
 
 namespace szp {
@@ -65,10 +66,16 @@ RegressionResult regression_construct(std::span<const T> data, const Extents& ex
   const std::int64_t r = qcfg.radius();
   const ChunkShape cs = grid.cs;
 
-  sim::launch_blocks_3d({static_cast<std::uint32_t>(grid.gx),
-                         static_cast<std::uint32_t>(grid.gy),
-                         static_cast<std::uint32_t>(grid.gz)},
-                        [&](std::uint32_t bx, std::uint32_t by, std::uint32_t bz) {
+  namespace chk = sim::checked;
+  chk::launch_3d("regression_construct",
+                 {static_cast<std::uint32_t>(grid.gx), static_cast<std::uint32_t>(grid.gy),
+                  static_cast<std::uint32_t>(grid.gz)},
+                 chk::bufs(chk::in(data, "data"),
+                           chk::out(std::span<quant_t>(res.quant), "quant"),
+                           chk::out(std::span<qdiff_t>(res.outlier_dense), "outlier"),
+                           chk::inout(std::span<float>(res.coefficients), "coefficients")),
+                 [&](std::uint32_t bx, std::uint32_t by, std::uint32_t bz, const auto& vdata,
+                     const auto& vquant, const auto& voutlier, const auto& vcoef) {
     const std::size_t x0 = bx * cs.cx, y0 = by * cs.cy, z0 = bz * cs.cz;
     const std::size_t w = std::min(cs.cx, ext.nx - x0);
     const std::size_t h = std::min(cs.cy, ext.ny - y0);
@@ -83,7 +90,7 @@ RegressionResult regression_construct(std::span<const T> data, const Extents& ex
     for (std::size_t lz = 0; lz < d; ++lz) {
       for (std::size_t ly = 0; ly < h; ++ly) {
         for (std::size_t lx = 0; lx < w; ++lx) {
-          const double v = data[ext.index(z0 + lz, y0 + ly, x0 + lx)];
+          const double v = vdata[ext.index(z0 + lz, y0 + ly, x0 + lx)];
           const double ux = static_cast<double>(lx) - fit.mx;
           const double uy = static_cast<double>(ly) - fit.my;
           const double uz = static_cast<double>(lz) - fit.mz;
@@ -109,28 +116,27 @@ RegressionResult regression_construct(std::span<const T> data, const Extents& ex
     // precision during reconstruction, so the bound is unaffected).
     const std::size_t chunk_id =
         (static_cast<std::size_t>(bz) * grid.gy + by) * grid.gx + bx;
-    float* cf = res.coefficients.data() + chunk_id * 4;
-    cf[0] = static_cast<float>(fit.b0);
-    cf[1] = static_cast<float>(fit.bx);
-    cf[2] = static_cast<float>(fit.by);
-    cf[3] = static_cast<float>(fit.bz);
-    fit.b0 = cf[0];
-    fit.bx = cf[1];
-    fit.by = cf[2];
-    fit.bz = cf[3];
+    vcoef[chunk_id * 4 + 0] = static_cast<float>(fit.b0);
+    vcoef[chunk_id * 4 + 1] = static_cast<float>(fit.bx);
+    vcoef[chunk_id * 4 + 2] = static_cast<float>(fit.by);
+    vcoef[chunk_id * 4 + 3] = static_cast<float>(fit.bz);
+    fit.b0 = vcoef[chunk_id * 4 + 0];
+    fit.bx = vcoef[chunk_id * 4 + 1];
+    fit.by = vcoef[chunk_id * 4 + 2];
+    fit.bz = vcoef[chunk_id * 4 + 3];
 
     // Pass 2: quantize residuals against the (rounded) fit.
     for (std::size_t lz = 0; lz < d; ++lz) {
       for (std::size_t ly = 0; ly < h; ++ly) {
         for (std::size_t lx = 0; lx < w; ++lx) {
           const std::size_t gi = ext.index(z0 + lz, y0 + ly, x0 + lx);
-          const double resid = static_cast<double>(data[gi]) - fit.at(lz, ly, lx);
+          const double resid = static_cast<double>(vdata[gi]) - fit.at(lz, ly, lx);
           const std::int64_t k = std::llround(resid * inv2eb);
           if (k > -r && k < r) {
-            res.quant[gi] = static_cast<quant_t>(k + r);
+            vquant[gi] = static_cast<quant_t>(k + r);
           } else {
-            res.quant[gi] = static_cast<quant_t>(r);
-            res.outlier_dense[gi] = static_cast<qdiff_t>(k);
+            vquant[gi] = static_cast<quant_t>(r);
+            voutlier[gi] = static_cast<qdiff_t>(k);
           }
         }
       }
@@ -165,22 +171,25 @@ sim::KernelCost regression_reconstruct(std::span<const quant_t> quant,
   const std::int64_t r = qcfg.radius();
   const ChunkShape cs = grid.cs;
 
-  sim::launch_blocks_3d({static_cast<std::uint32_t>(grid.gx),
-                         static_cast<std::uint32_t>(grid.gy),
-                         static_cast<std::uint32_t>(grid.gz)},
-                        [&](std::uint32_t bx, std::uint32_t by, std::uint32_t bz) {
+  namespace chk = sim::checked;
+  chk::launch_3d("regression_reconstruct",
+                 {static_cast<std::uint32_t>(grid.gx), static_cast<std::uint32_t>(grid.gy),
+                  static_cast<std::uint32_t>(grid.gz)},
+                 chk::bufs(chk::in(quant, "quant"), chk::in(outlier_dense, "outlier"),
+                           chk::in(coefficients, "coefficients"), chk::out(out, "out")),
+                 [&](std::uint32_t bx, std::uint32_t by, std::uint32_t bz, const auto& vquant,
+                     const auto& voutlier, const auto& vcoef, const auto& vout) {
     const std::size_t x0 = bx * cs.cx, y0 = by * cs.cy, z0 = bz * cs.cz;
     const std::size_t w = std::min(cs.cx, ext.nx - x0);
     const std::size_t h = std::min(cs.cy, ext.ny - y0);
     const std::size_t d = std::min(cs.cz, ext.nz - z0);
     const std::size_t chunk_id =
         (static_cast<std::size_t>(bz) * grid.gy + by) * grid.gx + bx;
-    const float* cf = coefficients.data() + chunk_id * 4;
     PlaneFit fit;
-    fit.b0 = cf[0];
-    fit.bx = cf[1];
-    fit.by = cf[2];
-    fit.bz = cf[3];
+    fit.b0 = vcoef[chunk_id * 4 + 0];
+    fit.bx = vcoef[chunk_id * 4 + 1];
+    fit.by = vcoef[chunk_id * 4 + 2];
+    fit.bz = vcoef[chunk_id * 4 + 3];
     fit.mx = (static_cast<double>(w) - 1.0) / 2.0;
     fit.my = (static_cast<double>(h) - 1.0) / 2.0;
     fit.mz = (static_cast<double>(d) - 1.0) / 2.0;
@@ -190,8 +199,8 @@ sim::KernelCost regression_reconstruct(std::span<const quant_t> quant,
         for (std::size_t lx = 0; lx < w; ++lx) {
           const std::size_t gi = ext.index(z0 + lz, y0 + ly, x0 + lx);
           const std::int64_t k =
-              static_cast<std::int64_t>(quant[gi]) - r + outlier_dense[gi];
-          out[gi] = static_cast<T>(fit.at(lz, ly, lx) + static_cast<double>(k) * eb2);
+              static_cast<std::int64_t>(vquant[gi]) - r + voutlier[gi];
+          vout[gi] = static_cast<T>(fit.at(lz, ly, lx) + static_cast<double>(k) * eb2);
         }
       }
     }

@@ -3,6 +3,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "sim/check.hh"
 #include "sim/launch.hh"
 #include "sim/reduce_by_key.hh"
 
@@ -47,10 +48,16 @@ RleDecoded rle_decode(const RleEncoded& enc) {
     throw std::runtime_error("rle_decode: run lengths do not sum to the symbol count");
   }
   dec.symbols.resize(enc.num_symbols);
-  sim::launch_blocks(enc.values.size(), [&](std::size_t r) {
-    std::fill(dec.symbols.begin() + static_cast<std::ptrdiff_t>(offset[r]),
-              dec.symbols.begin() + static_cast<std::ptrdiff_t>(offset[r + 1]),
-              enc.values[r]);
+  namespace chk = sim::checked;
+  chk::launch("rle_decode/expand", enc.values.size(),
+              chk::bufs(chk::in(std::span<const quant_t>(enc.values), "values"),
+                        chk::in(std::span<const std::uint64_t>(offset), "offset"),
+                        chk::out(std::span<quant_t>(dec.symbols), "symbols")),
+              [](std::size_t r, const auto& vvalues, const auto& voffset, const auto& vsym) {
+    const auto lo = static_cast<std::size_t>(voffset[r]);
+    const auto hi = static_cast<std::size_t>(voffset[r + 1]);
+    vsym.note_write(lo, hi - lo);
+    std::fill(vsym.data() + lo, vsym.data() + hi, vvalues[r]);
   });
 
   dec.cost.bytes_read = enc.byte_size();

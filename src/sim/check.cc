@@ -1,0 +1,202 @@
+// szp::sim::checked — grid-completion analysis for checked-launch mode.
+//
+// The per-block footprints recorded by the tracking views are swept here for
+// cross-block overlaps (the races launch.hh's block-independence contract
+// forbids) and out-of-bounds accesses.  The sweep is a single sorted pass per
+// buffer: O(I log I) in the number of coalesced intervals, independent of the
+// pairwise block count, so checking large grids stays tractable.
+#include "sim/check.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <sstream>
+
+namespace szp::sim::checked {
+
+namespace {
+
+// -1: not yet latched from the environment; 0: off; 1: on.
+std::atomic<int> g_enabled{-1};
+
+CheckReport& mutable_report() {
+  static CheckReport report;
+  return report;
+}
+
+bool env_default() {
+  const char* v = std::getenv("SZP_SIM_CHECK");
+#ifdef SZP_SIM_CHECK_DEFAULT_ON
+  // Built with -DSZP_SIM_CHECK=ON: checking is on unless explicitly disabled.
+  return !(v != nullptr && v[0] == '0' && v[1] == '\0');
+#else
+  return v != nullptr && v[0] != '\0' && !(v[0] == '0' && v[1] == '\0');
+#endif
+}
+
+/// One block's interval plus ownership, flattened for the sweep.
+struct Event {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+  std::size_t block = 0;
+  bool write = false;
+};
+
+/// The two furthest-reaching intervals seen so far, guaranteed to belong to
+/// distinct blocks.  Keeping two is what makes the sweep complete for
+/// pairwise overlap detection: if the furthest interval belongs to the same
+/// block as the incoming event, the runner-up (different block by
+/// construction) still witnesses any overlap.
+struct Frontier {
+  std::uint64_t end[2] = {0, 0};
+  std::size_t block[2] = {static_cast<std::size_t>(-1), static_cast<std::size_t>(-1)};
+
+  void update(const Event& e) {
+    if (e.block == block[0]) {
+      end[0] = std::max(end[0], e.hi);
+    } else if (e.hi > end[0]) {
+      if (block[0] != static_cast<std::size_t>(-1) && end[0] > end[1]) {
+        end[1] = end[0];
+        block[1] = block[0];
+      }
+      end[0] = e.hi;
+      block[0] = e.block;
+    } else if (e.block == block[1]) {
+      end[1] = std::max(end[1], e.hi);
+    } else if (e.hi > end[1]) {
+      end[1] = e.hi;
+      block[1] = e.block;
+    }
+  }
+
+  /// If any tracked interval from a block other than e.block overlaps e,
+  /// return the witness (other block, overlap end); else false.
+  bool overlap(const Event& e, std::size_t* other, std::uint64_t* end_out) const {
+    for (int k = 0; k < 2; ++k) {
+      if (block[k] == static_cast<std::size_t>(-1) || block[k] == e.block) continue;
+      if (end[k] > e.lo) {
+        *other = block[k];
+        *end_out = std::min(end[k], e.hi);
+        return true;
+      }
+    }
+    return false;
+  }
+};
+
+constexpr std::size_t kMaxRacesPerLaunch = 32;
+constexpr std::size_t kMaxOobPerLaunch = 32;
+
+}  // namespace
+
+bool enabled() {
+  int s = g_enabled.load(std::memory_order_relaxed);
+  if (s < 0) {
+    s = env_default() ? 1 : 0;
+    g_enabled.store(s, std::memory_order_relaxed);
+  }
+  return s == 1;
+}
+
+void set_enabled(bool on) { g_enabled.store(on ? 1 : 0, std::memory_order_relaxed); }
+
+const CheckReport& current_report() { return mutable_report(); }
+
+void reset() {
+  mutable_report().races.clear();
+  mutable_report().oob.clear();
+  mutable_report().launches_checked = 0;
+}
+
+void analyze_launch(const char* kernel, const std::vector<BufMeta>& bufs,
+                    const std::vector<BlockLog>& logs) {
+  CheckReport& report = mutable_report();
+  ++report.launches_checked;
+
+  // Out-of-bounds hits are already attributed; just copy them out.
+  std::size_t oob_reported = 0;
+  for (std::size_t b = 0; b < logs.size() && oob_reported < kMaxOobPerLaunch; ++b) {
+    for (const OobHit& hit : logs[b].oob) {
+      if (oob_reported++ >= kMaxOobPerLaunch) break;
+      const BufMeta& m = bufs[hit.buf];
+      report.oob.push_back({kernel, m.name, b, hit.index, m.elems, hit.write});
+    }
+  }
+
+  // Per-buffer sweep for cross-block overlaps.
+  std::vector<std::vector<Event>> events(bufs.size());
+  for (std::size_t b = 0; b < logs.size(); ++b) {
+    for (const TaggedInterval& t : logs[b].acc) {
+      events[t.buf].push_back({t.lo, t.hi, b, t.write});
+    }
+  }
+
+  std::size_t races_reported = 0;
+  for (std::size_t buf = 0; buf < bufs.size(); ++buf) {
+    auto& ev = events[buf];
+    if (ev.size() < 2) continue;
+    std::sort(ev.begin(), ev.end(), [](const Event& a, const Event& b) {
+      return a.lo != b.lo ? a.lo < b.lo : a.block < b.block;
+    });
+    Frontier writes, reads;
+    // One finding per unordered block pair per buffer keeps reports readable.
+    std::vector<std::pair<std::size_t, std::size_t>> seen_pairs;
+    const auto fresh = [&](std::size_t a, std::size_t b) {
+      const auto p = std::minmax(a, b);
+      const std::pair<std::size_t, std::size_t> key{p.first, p.second};
+      if (std::find(seen_pairs.begin(), seen_pairs.end(), key) != seen_pairs.end()) return false;
+      seen_pairs.push_back(key);
+      return true;
+    };
+    for (const Event& e : ev) {
+      std::size_t other = 0;
+      std::uint64_t end = 0;
+      if (races_reported < kMaxRacesPerLaunch && writes.overlap(e, &other, &end) &&
+          fresh(e.block, other)) {
+        ++races_reported;
+        report.races.push_back({kernel, bufs[buf].name, other, e.block, e.lo, end,
+                                bufs[buf].elem_bytes, e.write});
+      }
+      if (e.write && races_reported < kMaxRacesPerLaunch && reads.overlap(e, &other, &end) &&
+          fresh(e.block, other)) {
+        ++races_reported;
+        report.races.push_back({kernel, bufs[buf].name, other, e.block, e.lo, end,
+                                bufs[buf].elem_bytes, false});
+      }
+      if (e.write) {
+        writes.update(e);
+      } else {
+        reads.update(e);
+      }
+    }
+  }
+}
+
+std::string RaceFinding::to_string() const {
+  std::ostringstream os;
+  os << (write_write ? "WRITE/WRITE" : "READ/WRITE") << " race: kernel '" << kernel
+     << "', buffer '" << buffer << "', blocks " << block_a << " and " << block_b
+     << " both touch bytes [" << byte_lo << ", " << byte_hi << ") (elements ["
+     << byte_lo / elem_bytes << ", " << (byte_hi + elem_bytes - 1) / elem_bytes << "))";
+  return os.str();
+}
+
+std::string OobFinding::to_string() const {
+  std::ostringstream os;
+  os << "OUT-OF-BOUNDS " << (is_write ? "write" : "read") << ": kernel '" << kernel
+     << "', buffer '" << buffer << "', block " << block << ", element " << element_index
+     << " outside extent [0, " << element_count << ")";
+  return os.str();
+}
+
+std::string report_text() {
+  const CheckReport& r = current_report();
+  std::ostringstream os;
+  os << "sim-check: " << r.launches_checked << " launch(es) checked, " << r.races.size()
+     << " race(s), " << r.oob.size() << " out-of-bounds access(es)\n";
+  for (const auto& f : r.races) os << "  " << f.to_string() << "\n";
+  for (const auto& f : r.oob) os << "  " << f.to_string() << "\n";
+  if (r.clean()) os << "  no violations detected\n";
+  return os.str();
+}
+
+}  // namespace szp::sim::checked

@@ -1,0 +1,437 @@
+// szp::sim::checked — race & bounds checking for the simulated-GPU substrate.
+//
+// launch.hh states the contract every kernel in this reproduction depends on:
+// a block may only touch state owned by its block.  On a real GPU, violating
+// it is a data race that compute-sanitizer's racecheck/memcheck tools catch;
+// here OpenMP's static schedule can silently serialize the offending blocks
+// and hide the bug until a refactor reshuffles the schedule.  This header
+// enforces the contract mechanically:
+//
+//   * call sites register each global buffer a kernel touches (in / out /
+//     inout) and receive *views* in the kernel body;
+//   * with checking OFF (the default), the views are raw pointer wrappers
+//     that inline away — the unchecked instantiation of the body is
+//     byte-for-byte the code that ran before this subsystem existed;
+//   * with checking ON (env var SZP_SIM_CHECK=1, CMake -DSZP_SIM_CHECK=ON,
+//     or checked::set_enabled(true)), every element access is logged into a
+//     per-block footprint (coalesced byte intervals per buffer), and after
+//     the grid completes the footprints are swept for
+//       (a) write/write and read/write overlaps between *distinct* blocks —
+//           races that would be real on a GPU regardless of how OpenMP
+//           happened to schedule them, and
+//       (b) accesses outside the registered buffer extents,
+//     each reported with kernel name, block index, buffer name and the
+//     offending byte/element offsets.
+//
+// Findings accumulate in a process-global report (checked::current_report)
+// that the CLI's --check flag prints and tests assert on.  See DESIGN.md
+// §"Checked-launch mode" for the mapping to compute-sanitizer.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "sim/launch.hh"
+
+namespace szp::sim::checked {
+
+// ---------------------------------------------------------------------------
+// Global switch and accumulated report (definitions in check.cc).
+// ---------------------------------------------------------------------------
+
+/// True when access tracking is active.  First call latches the SZP_SIM_CHECK
+/// environment variable (or the SZP_SIM_CHECK_DEFAULT_ON compile default);
+/// set_enabled() overrides at any time.
+[[nodiscard]] bool enabled();
+void set_enabled(bool on);
+
+/// A cross-block overlap on one buffer: a race that would be real on a GPU.
+struct RaceFinding {
+  std::string kernel;
+  std::string buffer;
+  std::size_t block_a = 0;      ///< linear block index of one party
+  std::size_t block_b = 0;      ///< linear block index of the other
+  std::uint64_t byte_lo = 0;    ///< overlapping byte window within the buffer
+  std::uint64_t byte_hi = 0;
+  std::uint32_t elem_bytes = 1; ///< element size, for index reporting
+  bool write_write = true;      ///< false: read/write hazard
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// An access outside a registered buffer's extent.
+struct OobFinding {
+  std::string kernel;
+  std::string buffer;
+  std::size_t block = 0;
+  std::uint64_t element_index = 0;  ///< offending element index
+  std::uint64_t element_count = 0;  ///< registered extent, in elements
+  bool is_write = false;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Everything the checker found since the last reset().
+struct CheckReport {
+  std::vector<RaceFinding> races;
+  std::vector<OobFinding> oob;
+  std::uint64_t launches_checked = 0;
+
+  [[nodiscard]] bool clean() const { return races.empty() && oob.empty(); }
+};
+
+/// Accumulated findings (read-only; owned by the checker).
+[[nodiscard]] const CheckReport& current_report();
+
+/// Human-readable summary of current_report(), compute-sanitizer style.
+[[nodiscard]] std::string report_text();
+
+/// Drop all accumulated findings and reset the launch counter.
+void reset();
+
+/// RAII enable/reset for tests: enables checking and clears findings on
+/// construction, restores the previous switch state on destruction.
+class ScopedEnable {
+ public:
+  ScopedEnable() : prev_(enabled()) {
+    set_enabled(true);
+    reset();
+  }
+  ~ScopedEnable() { set_enabled(prev_); }
+  ScopedEnable(const ScopedEnable&) = delete;
+  ScopedEnable& operator=(const ScopedEnable&) = delete;
+
+ private:
+  bool prev_;
+};
+
+// ---------------------------------------------------------------------------
+// Per-block footprint log.
+// ---------------------------------------------------------------------------
+
+/// One coalesced byte interval [lo, hi) touched on buffer `buf`.
+struct TaggedInterval {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+  std::uint32_t buf = 0;
+  bool write = false;
+};
+
+struct OobHit {
+  std::uint32_t buf = 0;
+  std::uint64_t index = 0;  ///< element index
+  bool write = false;
+};
+
+/// Access log for one block of one launch.  Owned exclusively by the OpenMP
+/// thread running the block, so no synchronization is needed while recording.
+struct BlockLog {
+  std::vector<TaggedInterval> acc;
+  std::vector<OobHit> oob;
+
+  static constexpr std::size_t kMaxOobPerBlock = 8;
+
+  void add(std::uint32_t buf, bool write, std::uint64_t lo, std::uint64_t hi) {
+    // Coalesce with the most recent records: sequential sweeps collapse to a
+    // single interval, and interleaved read/write on the same cells (inout
+    // buffers) collapse to one interval of each kind.
+    const std::size_t n = acc.size();
+    for (std::size_t back = 0; back < 2 && back < n; ++back) {
+      TaggedInterval& t = acc[n - 1 - back];
+      if (t.buf == buf && t.write == write && lo <= t.hi && hi >= t.lo) {
+        t.lo = std::min(t.lo, lo);
+        t.hi = std::max(t.hi, hi);
+        return;
+      }
+    }
+    acc.push_back({lo, hi, buf, write});
+  }
+
+  void add_oob(std::uint32_t buf, std::uint64_t index, bool write) {
+    if (oob.size() < kMaxOobPerBlock) oob.push_back({buf, index, write});
+  }
+};
+
+/// Registered extent of one buffer, for analysis and reporting.
+struct BufMeta {
+  const char* name = "?";
+  std::uint64_t elems = 0;
+  std::uint32_t elem_bytes = 1;
+};
+
+/// Sweep all block footprints of one completed launch for cross-block
+/// overlaps and OOB hits; append findings to the global report.
+void analyze_launch(const char* kernel, const std::vector<BufMeta>& bufs,
+                    const std::vector<BlockLog>& logs);
+
+// ---------------------------------------------------------------------------
+// Buffer registration descriptors.
+// ---------------------------------------------------------------------------
+
+template <typename T>
+struct ReadBuf {
+  const T* p;
+  std::size_t n;
+  const char* name;
+};
+
+template <typename T>
+struct WriteBuf {
+  T* p;
+  std::size_t n;
+  const char* name;
+  bool read_write;  ///< true: accesses count as read+write (inout)
+};
+
+/// Register a read-only input buffer.
+template <typename T>
+[[nodiscard]] ReadBuf<T> in(std::span<const T> s, const char* name) {
+  return {s.data(), s.size(), name};
+}
+
+/// Register a write-only output buffer.
+template <typename T>
+[[nodiscard]] WriteBuf<T> out(std::span<T> s, const char* name) {
+  return {s.data(), s.size(), name, false};
+}
+
+/// Register a read-modify-write buffer (every access counts as both).
+template <typename T>
+[[nodiscard]] WriteBuf<T> inout(std::span<T> s, const char* name) {
+  return {s.data(), s.size(), name, true};
+}
+
+/// Bundle buffer registrations for a launch.
+template <typename... B>
+[[nodiscard]] std::tuple<B...> bufs(B... b) {
+  return std::tuple<B...>(b...);
+}
+
+// ---------------------------------------------------------------------------
+// Views: what the kernel body receives.
+// ---------------------------------------------------------------------------
+
+// Unchecked pass-through views.  Everything inlines to the raw pointer
+// arithmetic the kernels used before instrumentation: zero overhead.
+template <typename T>
+struct raw_reader_view {
+  const T* p;
+  std::size_t n;
+
+  const T& operator[](std::size_t i) const { return p[i]; }
+  [[nodiscard]] const T* data() const { return p; }
+  [[nodiscard]] std::size_t size() const { return n; }
+  void note_read(std::size_t, std::size_t) const {}
+};
+
+template <typename T>
+struct raw_writer_view {
+  T* p;
+  std::size_t n;
+
+  T& operator[](std::size_t i) const { return p[i]; }
+  [[nodiscard]] T* data() const { return p; }
+  [[nodiscard]] std::size_t size() const { return n; }
+  void note_read(std::size_t, std::size_t) const {}
+  void note_write(std::size_t, std::size_t) const {}
+  void note_rw(std::size_t, std::size_t) const {}
+};
+
+// Tracking views.  operator[] records the touched byte range into the
+// block's log; out-of-range accesses are recorded and redirected to a sink
+// so the kernel keeps running and the grid-level report stays complete.
+template <typename T>
+class reader_view {
+ public:
+  reader_view(const T* p, std::size_t n, BlockLog* log, std::uint32_t id)
+      : p_(p), n_(n), log_(log), id_(id) {}
+
+  const T& operator[](std::size_t i) const {
+    if (i >= n_) {
+      log_->add_oob(id_, i, false);
+      return sink();
+    }
+    log_->add(id_, false, i * sizeof(T), (i + 1) * sizeof(T));
+    return p_[i];
+  }
+
+  [[nodiscard]] const T* data() const { return p_; }
+  [[nodiscard]] std::size_t size() const { return n_; }
+
+  /// Declare a bulk read of [i, i+count) before touching it via data().
+  void note_read(std::size_t i, std::size_t count) const {
+    if (count == 0) return;
+    if (i >= n_ || count > n_ - i) {
+      log_->add_oob(id_, i >= n_ ? i : n_, false);
+      if (i >= n_) return;
+      count = n_ - i;
+    }
+    log_->add(id_, false, i * sizeof(T), (i + count) * sizeof(T));
+  }
+
+ private:
+  static const T& sink() {
+    static const T s{};
+    return s;
+  }
+
+  const T* p_;
+  std::size_t n_;
+  BlockLog* log_;
+  std::uint32_t id_;
+};
+
+template <typename T>
+class writer_view {
+ public:
+  writer_view(T* p, std::size_t n, BlockLog* log, std::uint32_t id, bool read_write)
+      : p_(p), n_(n), log_(log), id_(id), rw_(read_write) {}
+
+  T& operator[](std::size_t i) const {
+    if (i >= n_) {
+      log_->add_oob(id_, i, true);
+      return sink();
+    }
+    if (rw_) log_->add(id_, false, i * sizeof(T), (i + 1) * sizeof(T));
+    log_->add(id_, true, i * sizeof(T), (i + 1) * sizeof(T));
+    return p_[i];
+  }
+
+  [[nodiscard]] T* data() const { return p_; }
+  [[nodiscard]] std::size_t size() const { return n_; }
+
+  /// Declare a bulk read / write / read-modify-write of [i, i+count) before
+  /// touching it via data() (for code that scans with raw pointers).
+  void note_read(std::size_t i, std::size_t count) const { note(i, count, false, false); }
+  void note_write(std::size_t i, std::size_t count) const { note(i, count, true, false); }
+  void note_rw(std::size_t i, std::size_t count) const { note(i, count, true, true); }
+
+ private:
+  void note(std::size_t i, std::size_t count, bool write, bool also_read) const {
+    if (count == 0) return;
+    if (i >= n_ || count > n_ - i) {
+      log_->add_oob(id_, i >= n_ ? i : n_, write);
+      if (i >= n_) return;
+      count = n_ - i;
+    }
+    if (!write || also_read) log_->add(id_, false, i * sizeof(T), (i + count) * sizeof(T));
+    if (write) log_->add(id_, true, i * sizeof(T), (i + count) * sizeof(T));
+  }
+
+  static T& sink() {
+    static thread_local T s{};
+    return s;
+  }
+
+  T* p_;
+  std::size_t n_;
+  BlockLog* log_;
+  std::uint32_t id_;
+  bool rw_;
+};
+
+// ---------------------------------------------------------------------------
+// View construction and metadata extraction.
+// ---------------------------------------------------------------------------
+
+namespace detail {
+
+template <typename T>
+raw_reader_view<T> make_raw(const ReadBuf<T>& b) {
+  return {b.p, b.n};
+}
+template <typename T>
+raw_writer_view<T> make_raw(const WriteBuf<T>& b) {
+  return {b.p, b.n};
+}
+
+template <typename T>
+reader_view<T> make_tracked(const ReadBuf<T>& b, BlockLog* log, std::uint32_t id) {
+  return {b.p, b.n, log, id};
+}
+template <typename T>
+writer_view<T> make_tracked(const WriteBuf<T>& b, BlockLog* log, std::uint32_t id) {
+  return {b.p, b.n, log, id, b.read_write};
+}
+
+template <typename T>
+BufMeta meta_of(const ReadBuf<T>& b) {
+  return {b.name, b.n, sizeof(T)};
+}
+template <typename T>
+BufMeta meta_of(const WriteBuf<T>& b) {
+  return {b.name, b.n, sizeof(T)};
+}
+
+template <typename... B>
+std::vector<BufMeta> metas(const std::tuple<B...>& t) {
+  return std::apply([](const auto&... b) { return std::vector<BufMeta>{meta_of(b)...}; }, t);
+}
+
+template <typename Tuple, typename Fn, std::size_t... I>
+decltype(auto) with_raw_views(const Tuple& t, Fn&& fn, std::index_sequence<I...>) {
+  return fn(make_raw(std::get<I>(t))...);
+}
+
+template <typename Tuple, typename Fn, std::size_t... I>
+decltype(auto) with_tracked_views(const Tuple& t, BlockLog* log, Fn&& fn,
+                                  std::index_sequence<I...>) {
+  return fn(make_tracked(std::get<I>(t), log, static_cast<std::uint32_t>(I))...);
+}
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// Instrumented launches.
+// ---------------------------------------------------------------------------
+
+/// launch_blocks with buffer registration: body(block, view...).
+template <typename... B, typename Body>
+void launch(const char* kernel, std::size_t grid_size, const std::tuple<B...>& registered,
+            Body&& body) {
+  constexpr auto seq = std::index_sequence_for<B...>{};
+  if (!enabled()) {
+    launch_blocks(grid_size, [&](std::size_t b) {
+      detail::with_raw_views(registered, [&](const auto&... views) { body(b, views...); }, seq);
+    });
+    return;
+  }
+  std::vector<BlockLog> logs(grid_size);
+  launch_blocks(grid_size, [&](std::size_t b) {
+    BlockLog* log = &logs[b];
+    detail::with_tracked_views(
+        registered, log, [&](const auto&... views) { body(b, views...); }, seq);
+  });
+  analyze_launch(kernel, detail::metas(registered), logs);
+}
+
+/// launch_blocks_3d with buffer registration: body(bx, by, bz, view...).
+/// Block footprints are logged under the linear index (bz*gy + by)*gx + bx.
+template <typename... B, typename Body>
+void launch_3d(const char* kernel, Dim3 grid, const std::tuple<B...>& registered, Body&& body) {
+  constexpr auto seq = std::index_sequence_for<B...>{};
+  if (!enabled()) {
+    launch_blocks_3d(grid, [&](std::uint32_t bx, std::uint32_t by, std::uint32_t bz) {
+      detail::with_raw_views(registered,
+                             [&](const auto&... views) { body(bx, by, bz, views...); }, seq);
+    });
+    return;
+  }
+  std::vector<BlockLog> logs(grid.count());
+  launch_blocks_3d(grid, [&](std::uint32_t bx, std::uint32_t by, std::uint32_t bz) {
+    const std::size_t linear =
+        (static_cast<std::size_t>(bz) * grid.y + by) * grid.x + bx;
+    BlockLog* log = &logs[linear];
+    detail::with_tracked_views(
+        registered, log, [&](const auto&... views) { body(bx, by, bz, views...); }, seq);
+  });
+  analyze_launch(kernel, detail::metas(registered), logs);
+}
+
+}  // namespace szp::sim::checked

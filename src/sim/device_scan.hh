@@ -9,6 +9,7 @@
 #include <span>
 #include <vector>
 
+#include "sim/check.hh"
 #include "sim/launch.hh"
 
 namespace szp::sim {
@@ -24,11 +25,14 @@ T device_exclusive_scan(std::span<const T> in, std::span<T> out,
   const std::size_t tiles = div_ceil(n, tile);
   std::vector<T> tile_total(tiles);
 
-  launch_blocks(tiles, [&](std::size_t t) {
+  checked::launch("device_scan/tile_reduce", tiles,
+                  checked::bufs(checked::in(in, "in"),
+                                checked::out(std::span<T>(tile_total), "tile_total")),
+                  [&, n, tile](std::size_t t, const auto& vin, const auto& vtot) {
     const std::size_t lo = t * tile, hi = lo + tile < n ? lo + tile : n;
     T acc{};
-    for (std::size_t i = lo; i < hi; ++i) acc = static_cast<T>(acc + in[i]);
-    tile_total[t] = acc;
+    for (std::size_t i = lo; i < hi; ++i) acc = static_cast<T>(acc + vin[i]);
+    vtot[t] = acc;
   });
 
   // Carry scan over tile totals (small, serial).
@@ -39,12 +43,17 @@ T device_exclusive_scan(std::span<const T> in, std::span<T> out,
     grand = static_cast<T>(grand + tot);
   }
 
-  launch_blocks(tiles, [&](std::size_t t) {
+  checked::launch("device_scan/tile_scan", tiles,
+                  checked::bufs(checked::in(in, "in"),
+                                checked::in(std::span<const T>(tile_total), "tile_carry"),
+                                checked::out(out, "out")),
+                  [&, n, tile](std::size_t t, const auto& vin, const auto& vcarry,
+                               const auto& vout) {
     const std::size_t lo = t * tile, hi = lo + tile < n ? lo + tile : n;
-    T acc = tile_total[t];
+    T acc = vcarry[t];
     for (std::size_t i = lo; i < hi; ++i) {
-      out[i] = acc;
-      acc = static_cast<T>(acc + in[i]);
+      vout[i] = acc;
+      acc = static_cast<T>(acc + vin[i]);
     }
   });
   return grand;

@@ -13,6 +13,7 @@
 #include <span>
 #include <vector>
 
+#include "sim/check.hh"
 #include "sim/launch.hh"
 #include "sim/profile.hh"
 
@@ -35,18 +36,22 @@ RunsOutput<Key, Count> reduce_by_key(std::span<const Key> keys,
   const std::size_t tiles = div_ceil(n, tile);
   std::vector<RunsOutput<Key, Count>> partial(tiles);
 
-  launch_blocks(tiles, [&](std::size_t t) {
+  // The per-tile run lists are block-owned heap state; only `keys` is a
+  // shared device buffer, so it is the one registered with the checker.
+  checked::launch("reduce_by_key/tile_runs", tiles,
+                  checked::bufs(checked::in(keys, "keys")),
+                  [&, n, tile](std::size_t t, const auto& vkeys) {
     const std::size_t lo = t * tile, hi = lo + tile < n ? lo + tile : n;
     auto& p = partial[t];
-    Key cur = keys[lo];
+    Key cur = vkeys[lo];
     Count len = 1;
     for (std::size_t i = lo + 1; i < hi; ++i) {
-      if (keys[i] == cur) {
+      if (vkeys[i] == cur) {
         ++len;
       } else {
         p.keys.push_back(cur);
         p.counts.push_back(len);
-        cur = keys[i];
+        cur = vkeys[i];
         len = 1;
       }
     }

@@ -7,6 +7,7 @@
 #include <span>
 #include <vector>
 
+#include "sim/check.hh"
 #include "sim/launch.hh"
 #include "sim/profile.hh"
 
@@ -30,11 +31,14 @@ SparseVector<T, Index> dense_to_sparse(std::span<const T> dense,
   const std::size_t tiles = div_ceil(n, tile);
   std::vector<std::size_t> tile_nnz(tiles, 0);
 
-  launch_blocks(tiles, [&](std::size_t t) {
+  checked::launch("dense_to_sparse/count", tiles,
+                  checked::bufs(checked::in(dense, "dense"),
+                                checked::out(std::span<std::size_t>(tile_nnz), "tile_nnz")),
+                  [&, n, tile](std::size_t t, const auto& vdense, const auto& vnnz) {
     const std::size_t lo = t * tile, hi = lo + tile < n ? lo + tile : n;
     std::size_t c = 0;
-    for (std::size_t i = lo; i < hi; ++i) c += dense[i] != T{} ? 1u : 0u;
-    tile_nnz[t] = c;
+    for (std::size_t i = lo; i < hi; ++i) c += vdense[i] != T{} ? 1u : 0u;
+    vnnz[t] = c;
   });
 
   std::vector<std::size_t> offset(tiles + 1, 0);
@@ -44,13 +48,19 @@ SparseVector<T, Index> dense_to_sparse(std::span<const T> dense,
   out.indices.resize(offset[tiles]);
   out.values.resize(offset[tiles]);
 
-  launch_blocks(tiles, [&](std::size_t t) {
+  checked::launch("dense_to_sparse/fill", tiles,
+                  checked::bufs(checked::in(dense, "dense"),
+                                checked::in(std::span<const std::size_t>(offset), "offset"),
+                                checked::out(std::span<Index>(out.indices), "indices"),
+                                checked::out(std::span<T>(out.values), "values")),
+                  [&, n, tile](std::size_t t, const auto& vdense, const auto& voffset,
+                               const auto& vidx, const auto& vval) {
     const std::size_t lo = t * tile, hi = lo + tile < n ? lo + tile : n;
-    std::size_t w = offset[t];
+    std::size_t w = voffset[t];
     for (std::size_t i = lo; i < hi; ++i) {
-      if (dense[i] != T{}) {
-        out.indices[w] = static_cast<Index>(i);
-        out.values[w] = dense[i];
+      if (vdense[i] != T{}) {
+        vidx[w] = static_cast<Index>(i);
+        vval[w] = vdense[i];
         ++w;
       }
     }
@@ -62,8 +72,15 @@ SparseVector<T, Index> dense_to_sparse(std::span<const T> dense,
 /// outlier fusion: quant-code residuals ⊕ outlier residuals).
 template <typename T, typename Acc, typename Index>
 void scatter_add(const SparseVector<T, Index>& sparse, std::span<Acc> dense) {
-  launch_blocks(sparse.nnz(), [&](std::size_t i) {
-    dense[static_cast<std::size_t>(sparse.indices[i])] += static_cast<Acc>(sparse.values[i]);
+  // One virtual block per nonzero; duplicate indices in the sparse vector
+  // would be a genuine scatter race, which the checker flags via the inout
+  // registration of `dense`.
+  checked::launch("scatter_add", sparse.nnz(),
+                  checked::bufs(checked::in(std::span<const Index>(sparse.indices), "indices"),
+                                checked::in(std::span<const T>(sparse.values), "values"),
+                                checked::inout(dense, "dense")),
+                  [](std::size_t i, const auto& vidx, const auto& vval, const auto& vdense) {
+    vdense[static_cast<std::size_t>(vidx[i])] += static_cast<Acc>(vval[i]);
   });
 }
 

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "core/serialize.hh"
+#include "sim/check.hh"
 #include "sim/launch.hh"
 
 namespace szp::zfp {
@@ -101,7 +102,9 @@ std::size_t block_bits(const ZfpConfig& cfg, std::size_t block_elems) {
 }
 
 /// Gather a (possibly partial) block with edge replication, as ZFP pads.
-void gather_block(std::span<const float> data, const Extents& ext, std::size_t gx,
+/// Templated over the (raw or tracking) data view from the checked launch.
+template <typename View>
+void gather_block(const View& data, const Extents& ext, std::size_t gx,
                   std::size_t gy, std::size_t gz, float* block) {
   const int rank = ext.rank;
   const std::size_t ny = rank >= 2 ? 4 : 1;
@@ -118,7 +121,8 @@ void gather_block(std::span<const float> data, const Extents& ext, std::size_t g
   }
 }
 
-void scatter_block(std::span<float> data, const Extents& ext, std::size_t gx, std::size_t gy,
+template <typename View>
+void scatter_block(const View& data, const Extents& ext, std::size_t gx, std::size_t gy,
                    std::size_t gz, const float* block) {
   const int rank = ext.rank;
   const std::size_t ny = rank >= 2 ? 4 : 1;
@@ -241,15 +245,22 @@ ZfpCompressed zfp_compress(std::span<const float> data, const Extents& ext,
   const std::uint8_t* order = order_for(ext.rank);
   const std::size_t ne = grid.block_elems;
 
-  sim::launch_blocks(grid.count(), [&](std::size_t b) {
+  namespace chk = sim::checked;
+  chk::launch("zfp_compress", grid.count(),
+              chk::bufs(chk::in(data, "data"),
+                        chk::out(std::span<std::uint8_t>(payload), "payload")),
+              [&, bits_per_block](std::size_t b, const auto& vdata, const auto& vpayload) {
     const std::size_t gx = b % grid.bx;
     const std::size_t gy = (b / grid.bx) % grid.by;
     const std::size_t gz = b / (grid.bx * grid.by);
 
     std::array<float, 64> vals{};
-    gather_block(data, ext, gx, gy, gz, vals.data());
+    gather_block(vdata, ext, gx, gy, gz, vals.data());
 
-    BlockBits bits(payload.data(), b * bits_per_block);
+    // bits_per_block is rounded to whole bytes, so each block's reserved
+    // byte range is disjoint; claim it before writing through the raw base.
+    vpayload.note_write(b * bits_per_block / 8, bits_per_block / 8);
+    BlockBits bits(vpayload.data(), b * bits_per_block);
 
     // Common exponent.
     float vmax = 0.0f;
@@ -331,12 +342,17 @@ ZfpDecompressed zfp_decompress(std::span<const std::uint8_t> archive) {
   const std::uint8_t* order = order_for(ext.rank);
   const std::size_t ne = grid.block_elems;
 
-  sim::launch_blocks(grid.count(), [&](std::size_t b) {
+  namespace chk = sim::checked;
+  chk::launch("zfp_decompress", grid.count(),
+              chk::bufs(chk::in(std::span<const std::uint8_t>(payload), "payload"),
+                        chk::out(std::span<float>(out.data), "data")),
+              [&, bits_per_block](std::size_t b, const auto& vpayload, const auto& vdata) {
     const std::size_t gx = b % grid.bx;
     const std::size_t gy = (b / grid.bx) % grid.by;
     const std::size_t gz = b / (grid.bx * grid.by);
 
-    BlockBitsReader bits(payload.data(), b * bits_per_block);
+    vpayload.note_read(b * bits_per_block / 8, bits_per_block / 8);
+    BlockBitsReader bits(vpayload.data(), b * bits_per_block);
     const auto emax = static_cast<std::int16_t>(bits.get_bits(16));
     std::array<float, 64> vals{};
     if (emax != kEmptyBlock) {
@@ -359,7 +375,7 @@ ZfpDecompressed zfp_decompress(std::span<const std::uint8_t> archive) {
         vals[i] = static_cast<float>(static_cast<double>(q[i]) * scale);
       }
     }
-    scatter_block(out.data, ext, gx, gy, gz, vals.data());
+    scatter_block(vdata, ext, gx, gy, gz, vals.data());
   });
 
   out.cost.bytes_read = payload.size();

@@ -2,6 +2,7 @@
 
 #include <cstring>
 #include <fstream>
+#include <functional>
 #include <map>
 #include <optional>
 #include <sstream>
@@ -14,6 +15,7 @@
 #include "data/catalog.hh"
 #include "data/io.hh"
 #include "data/synthetic.hh"
+#include "sim/check.hh"
 
 namespace szp::cli {
 
@@ -125,6 +127,19 @@ void write_bytes(const std::string& path, std::span<const std::uint8_t> bytes) {
   out.write(reinterpret_cast<const char*>(bytes.data()),
             static_cast<std::streamsize>(bytes.size()));
   if (!out) throw std::runtime_error("short write to " + path);
+}
+
+/// Run `fn` with the simulated-GPU race & bounds checker active when the
+/// user passed --check (or enabled it via SZP_SIM_CHECK / -DSZP_SIM_CHECK);
+/// print the findings and fold them into the exit code (0 clean, 3 when the
+/// checker fired).
+int maybe_checked(const Args& a, std::ostream& out, const std::function<int()>& fn) {
+  if (!a.has_flag("--check") && !sim::checked::enabled()) return fn();
+  sim::checked::ScopedEnable guard;
+  const int rc = fn();
+  out << sim::checked::report_text();
+  if (rc != 0) return rc;
+  return sim::checked::current_report().clean() ? 0 : 3;
 }
 
 template <typename T>
@@ -313,14 +328,17 @@ void usage(std::ostream& err) {
          "  szp compress   -i in.f32 -o out.szp -d ZxYxX [--eb 1e-3] [--abs]\n"
          "                 [--workflow auto|huffman|rle|rle+vle]\n"
          "                 [--predictor lorenzo|regression|interpolation] [--double] [--stream N]\n"
-         "  szp decompress -i in.szp -o out.f32\n"
+         "                 [--check]\n"
+         "  szp decompress -i in.szp -o out.f32 [--check]\n"
          "  szp info       -i in.szp\n"
          "  szp gen        -o out.f32 --dataset CESM-ATM --field FSDSC [--scale 0.25]\n"
          "  szp verify     -a original.f32 -b restored.f32 [--double]\n"
          "  szp bundle-add     --bundle snap.szb --name VAR -i field.szp\n"
          "  szp bundle-list    --bundle snap.szb\n"
          "  szp bundle-extract --bundle snap.szb --name VAR -o field.szp\n"
-         "compress also accepts --psnr TARGET_DB in place of --eb.\n";
+         "compress also accepts --psnr TARGET_DB in place of --eb.\n"
+         "--check replays the run under the simulated-GPU race & bounds checker\n"
+         "(exit 3 if violations are found); SZP_SIM_CHECK=1 enables it globally.\n";
 }
 
 }  // namespace
@@ -328,8 +346,12 @@ void usage(std::ostream& err) {
 int run(const std::vector<std::string>& args, std::ostream& out, std::ostream& err) {
   try {
     const Args a = parse(args);
-    if (a.command == "compress") return cmd_compress(a, out);
-    if (a.command == "decompress") return cmd_decompress(a, out);
+    if (a.command == "compress") {
+      return maybe_checked(a, out, [&] { return cmd_compress(a, out); });
+    }
+    if (a.command == "decompress") {
+      return maybe_checked(a, out, [&] { return cmd_decompress(a, out); });
+    }
     if (a.command == "info") return cmd_info(a, out);
     if (a.command == "gen") return cmd_gen(a, out);
     if (a.command == "verify") return cmd_verify(a, out);

@@ -1,0 +1,34 @@
+#!/usr/bin/env sh
+# Run clang-tidy over the project sources using the compile database from a
+# configured build tree.  Usage:
+#
+#   tools/lint.sh [build-dir] [extra clang-tidy args...]
+#
+# The build dir defaults to ./build; it must have been configured with CMake
+# (compile_commands.json is exported by default, see CMakeLists.txt).  Also
+# reachable as `cmake --build <build-dir> -t lint`.
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir=${1:-"${repo_root}/build"}
+[ $# -gt 0 ] && shift
+
+if [ ! -f "${build_dir}/compile_commands.json" ]; then
+  echo "lint.sh: no compile_commands.json in '${build_dir}'." >&2
+  echo "  Configure first: cmake -B '${build_dir}' -S '${repo_root}'" >&2
+  exit 2
+fi
+
+tidy=${CLANG_TIDY:-clang-tidy}
+if ! command -v "${tidy}" >/dev/null 2>&1; then
+  echo "lint.sh: '${tidy}' not found; install clang-tidy or set CLANG_TIDY." >&2
+  exit 2
+fi
+
+# First-party translation units only — keep third-party and generated code out.
+files=$(find "${repo_root}/src" "${repo_root}/tools" "${repo_root}/bench" \
+          "${repo_root}/examples" -name '*.cc' 2>/dev/null | sort)
+
+echo "lint.sh: checking $(printf '%s\n' "${files}" | wc -l | tr -d ' ') files"
+# shellcheck disable=SC2086
+exec "${tidy}" -p "${build_dir}" --quiet "$@" ${files}
