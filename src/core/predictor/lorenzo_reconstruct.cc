@@ -32,36 +32,60 @@ Grid make_grid(const Extents& ext) {
   return g;
 }
 
-/// N-pass in-place partial sums over one chunk of the global q' array.
+/// N-pass in-place partial sums over one chunk of the global q' array,
+/// through an accessor (`qat(gi)` -> qdiff_t& for global index gi).
 /// This is the paper's Algorithm 1 lines 10-12: x-pass, then y-pass, then
 /// z-pass, each an inclusive scan with the requested per-thread
-/// sequentiality.
+/// sequentiality.  Each scan is attributed to the virtual threads that run
+/// it on the GPU — per-fragment lanes along x, one lane per column/pillar
+/// for y/z — with a barrier between passes (the kernel's __syncthreads()),
+/// so word-granular checking sees the real cooperation structure.
+template <typename QAt>
+void chunk_partial_sums_at(QAt&& qat, const Extents& ext, std::size_t x0, std::size_t y0,
+                           std::size_t z0, std::size_t w, std::size_t h, std::size_t d,
+                           std::size_t seq) {
+  // x-pass: contiguous rows, div_ceil(w, seq) lanes per row.
+  const auto lanes_per_row = static_cast<std::uint32_t>(sim::div_ceil(w, seq == 0 ? 1 : seq));
+  std::uint32_t lane_base = 0;
+  for (std::size_t lz = 0; lz < d; ++lz) {
+    for (std::size_t ly = 0; ly < h; ++ly) {
+      const std::size_t base = ext.index(z0 + lz, y0 + ly, x0);
+      sim::block_inclusive_scan_at<qdiff_t>(
+          [&](std::size_t i) -> qdiff_t& { return qat(base + i); }, w, seq, lane_base);
+      lane_base += lanes_per_row;
+    }
+  }
+  sim::checked::barrier();
+  if (ext.rank < 2) return;
+  // y-pass: columns (stride nx), one lane per column.
+  std::uint32_t lane = 0;
+  for (std::size_t lz = 0; lz < d; ++lz) {
+    for (std::size_t lx = 0; lx < w; ++lx) {
+      const std::size_t base = ext.index(z0 + lz, y0, x0 + lx);
+      sim::block_inclusive_scan_strided_at<qdiff_t>(
+          [&](std::size_t k) -> qdiff_t& { return qat(base + k * ext.nx); }, h, lane++);
+    }
+  }
+  sim::checked::barrier();
+  if (ext.rank < 3) return;
+  // z-pass: pillars (stride nx*ny), one lane per pillar.
+  lane = 0;
+  for (std::size_t ly = 0; ly < h; ++ly) {
+    for (std::size_t lx = 0; lx < w; ++lx) {
+      const std::size_t base = ext.index(z0, y0 + ly, x0 + lx);
+      sim::block_inclusive_scan_strided_at<qdiff_t>(
+          [&](std::size_t k) -> qdiff_t& { return qat(base + k * ext.nx * ext.ny); }, d, lane++);
+    }
+  }
+  sim::checked::barrier();
+}
+
+/// Raw-pointer convenience wrapper (thread-private staging, interval mode).
 void chunk_partial_sums(qdiff_t* q, const Extents& ext, std::size_t x0, std::size_t y0,
                         std::size_t z0, std::size_t w, std::size_t h, std::size_t d,
                         std::size_t seq) {
-  // x-pass: contiguous rows.
-  for (std::size_t lz = 0; lz < d; ++lz) {
-    for (std::size_t ly = 0; ly < h; ++ly) {
-      qdiff_t* row = q + ext.index(z0 + lz, y0 + ly, x0);
-      sim::block_inclusive_scan(std::span<qdiff_t>(row, w), seq);
-    }
-  }
-  if (ext.rank < 2) return;
-  // y-pass: columns, stride nx.
-  for (std::size_t lz = 0; lz < d; ++lz) {
-    for (std::size_t lx = 0; lx < w; ++lx) {
-      qdiff_t* col = q + ext.index(z0 + lz, y0, x0 + lx);
-      sim::block_inclusive_scan_strided(col, h, ext.nx);
-    }
-  }
-  if (ext.rank < 3) return;
-  // z-pass: pillars, stride nx*ny.
-  for (std::size_t ly = 0; ly < h; ++ly) {
-    for (std::size_t lx = 0; lx < w; ++lx) {
-      qdiff_t* pillar = q + ext.index(z0, y0 + ly, x0 + lx);
-      sim::block_inclusive_scan_strided(pillar, d, ext.nx * ext.ny);
-    }
-  }
+  chunk_partial_sums_at([q](std::size_t gi) -> qdiff_t& { return q[gi]; }, ext, x0, y0, z0, w,
+                        h, d, seq);
 }
 
 }  // namespace
@@ -137,6 +161,11 @@ sim::KernelCost lorenzo_reconstruct_fused(std::span<qdiff_t> qprime, const Exten
         for (std::size_t ly = 0; ly < h; ++ly)
           for (std::size_t lx = 0; lx < w; ++lx)
             vqprime[ext.index(z0 + lz, y0 + ly, x0 + lx)] = shared[(lz * h + ly) * w + lx];
+    } else if (vqprime.word_granular()) {
+      // Word mode: route every scan access through the view so the shadow
+      // sees each virtual thread's per-word footprint and barrier epochs.
+      chunk_partial_sums_at([&vqprime](std::size_t gi) -> qdiff_t& { return vqprime[gi]; },
+                            ext, x0, y0, z0, w, h, d, seq);
     } else {
       // The scan passes walk the chunk with raw strided pointers; declare
       // the chunk's row footprint (the union of all three passes) up front.

@@ -1,14 +1,18 @@
 #include "lossless/lz77.hh"
 
+#include <algorithm>
 #include <stdexcept>
+
+#include "sim/check.hh"
+#include "sim/launch.hh"
 
 namespace szp::lossless {
 
 namespace {
 
-std::uint32_t hash3(const std::uint8_t* p) {
-  return (static_cast<std::uint32_t>(p[0]) * 2654435761u ^
-          static_cast<std::uint32_t>(p[1]) * 40503u ^ static_cast<std::uint32_t>(p[2]))
+std::uint32_t hash3(std::uint8_t b0, std::uint8_t b1, std::uint8_t b2) {
+  return (static_cast<std::uint32_t>(b0) * 2654435761u ^
+          static_cast<std::uint32_t>(b1) * 40503u ^ static_cast<std::uint32_t>(b2))
          & 0x7fffu;
 }
 
@@ -33,61 +37,135 @@ std::vector<Lz77Token> lz77_tokenize(std::span<const std::uint8_t> input,
 
   std::vector<std::int64_t> head(1 << 15, -1);
   std::vector<std::int64_t> prev(input.size(), -1);
-
   const std::size_t n = input.size();
-  std::size_t pos = 0;
-  while (pos < n) {
-    std::size_t best_len = 0, best_dist = 0;
-    if (pos + cfg.min_match <= n) {
-      const std::uint32_t h = hash3(input.data() + pos);
-      std::int64_t cand = head[h];
-      std::size_t chain = 0;
-      const std::size_t limit = std::min(cfg.max_match, n - pos);
-      while (cand >= 0 && chain < cfg.max_chain &&
-             pos - static_cast<std::size_t>(cand) <= cfg.window) {
-        const auto c = static_cast<std::size_t>(cand);
-        std::size_t len = 0;
-        while (len < limit && input[c + len] == input[pos + len]) ++len;
-        if (len > best_len) {
-          best_len = len;
-          best_dist = pos - c;
-          if (len == limit) break;
-        }
-        cand = prev[c];
-        ++chain;
-      }
-      prev[pos] = head[h];
-      head[h] = static_cast<std::int64_t>(pos);
-    }
 
-    if (best_len >= cfg.min_match) {
-      const std::size_t lc = length_code(best_len);
-      const std::size_t dc = dist_code(best_dist);
-      Lz77Token t;
-      t.litlen_sym = static_cast<std::uint16_t>(257 + lc);
-      t.len_extra = static_cast<std::uint16_t>(best_len - kLenBase[lc]);
-      t.dist_sym = static_cast<std::uint8_t>(dc);
-      t.dist_extra = static_cast<std::uint16_t>(best_dist - kDistBase[dc]);
-      tokens.push_back(t);
-      // Insert skipped positions into the hash chains so later matches can
-      // reference the interior of this match.
-      for (std::size_t k = 1; k < best_len && pos + k + cfg.min_match <= n; ++k) {
-        const std::uint32_t h = hash3(input.data() + pos + k);
-        prev[pos + k] = head[h];
-        head[h] = static_cast<std::int64_t>(pos + k);
+  // The greedy parse is inherently serial (every match decision depends on
+  // hash chains built by earlier positions), so it runs as one block — the
+  // per-stream granularity a GPU deflate would use.  Registration still buys
+  // bounds checking on every chain probe and match compare; the token list
+  // is block-owned heap state.
+  namespace chk = sim::checked;
+  chk::launch("lz77/tokenize", 1,
+              chk::bufs(chk::in(input, "input"),
+                        chk::inout(std::span<std::int64_t>(head), "head"),
+                        chk::inout(std::span<std::int64_t>(prev), "prev")),
+              [&, n](std::size_t, const auto& vin, const auto& vhead, const auto& vprev) {
+    std::size_t pos = 0;
+    while (pos < n) {
+      std::size_t best_len = 0, best_dist = 0;
+      if (pos + cfg.min_match <= n) {
+        const std::uint32_t h = hash3(vin[pos], vin[pos + 1], vin[pos + 2]);
+        std::int64_t cand = vhead[h];
+        std::size_t chain = 0;
+        const std::size_t limit = std::min(cfg.max_match, n - pos);
+        while (cand >= 0 && chain < cfg.max_chain &&
+               pos - static_cast<std::size_t>(cand) <= cfg.window) {
+          const auto c = static_cast<std::size_t>(cand);
+          std::size_t len = 0;
+          while (len < limit && vin[c + len] == vin[pos + len]) ++len;
+          if (len > best_len) {
+            best_len = len;
+            best_dist = pos - c;
+            if (len == limit) break;
+          }
+          cand = vprev[c];
+          ++chain;
+        }
+        vprev[pos] = vhead[h];
+        vhead[h] = static_cast<std::int64_t>(pos);
       }
-      pos += best_len;
-    } else {
-      Lz77Token t{};
-      t.litlen_sym = input[pos];
-      tokens.push_back(t);
-      ++pos;
+
+      if (best_len >= cfg.min_match) {
+        const std::size_t lc = length_code(best_len);
+        const std::size_t dc = dist_code(best_dist);
+        Lz77Token t;
+        t.litlen_sym = static_cast<std::uint16_t>(257 + lc);
+        t.len_extra = static_cast<std::uint16_t>(best_len - kLenBase[lc]);
+        t.dist_sym = static_cast<std::uint8_t>(dc);
+        t.dist_extra = static_cast<std::uint16_t>(best_dist - kDistBase[dc]);
+        tokens.push_back(t);
+        // Insert skipped positions into the hash chains so later matches can
+        // reference the interior of this match.
+        for (std::size_t k = 1; k < best_len && pos + k + cfg.min_match <= n; ++k) {
+          const std::uint32_t h = hash3(vin[pos + k], vin[pos + k + 1], vin[pos + k + 2]);
+          vprev[pos + k] = vhead[h];
+          vhead[h] = static_cast<std::int64_t>(pos + k);
+        }
+        pos += best_len;
+      } else {
+        Lz77Token t{};
+        t.litlen_sym = vin[pos];
+        tokens.push_back(t);
+        ++pos;
+      }
     }
-  }
+  });
+
   Lz77Token eob{};
   eob.litlen_sym = kEndOfBlock;
   tokens.push_back(eob);
   return tokens;
+}
+
+void lz77_token_frequencies(std::span<const Lz77Token> tokens,
+                            std::span<std::uint64_t> lit_freq,
+                            std::span<std::uint64_t> dist_freq) {
+  if (lit_freq.size() != kLitLenAlphabet || dist_freq.size() != kDistAlphabet) {
+    throw std::invalid_argument("lz77_token_frequencies: bad frequency extents");
+  }
+  std::fill(lit_freq.begin(), lit_freq.end(), 0);
+  std::fill(dist_freq.begin(), dist_freq.end(), 0);
+  const std::size_t n = tokens.size();
+  if (n == 0) return;
+
+  // Privatized-bins histogram over the token stream (same structure as
+  // sim::device_histogram): each block tallies its tile into private rows,
+  // a second kernel merges disjoint symbol ranges.
+  constexpr std::size_t kTile = 1 << 14;
+  const std::size_t tiles = sim::div_ceil(n, kTile);
+  std::vector<std::uint64_t> priv_lit(tiles * kLitLenAlphabet, 0);
+  std::vector<std::uint64_t> priv_dist(tiles * kDistAlphabet, 0);
+
+  namespace chk = sim::checked;
+  chk::launch("lz77/token_freq", tiles,
+              chk::bufs(chk::in(tokens, "tokens"),
+                        chk::inout(std::span<std::uint64_t>(priv_lit), "priv_lit"),
+                        chk::inout(std::span<std::uint64_t>(priv_dist), "priv_dist")),
+              [&, n](std::size_t t, const auto& vtok, const auto& vlit, const auto& vdist) {
+    const std::size_t lo = t * kTile;
+    const std::size_t hi = std::min(lo + kTile, n);
+    const std::size_t lrow = t * kLitLenAlphabet;
+    const std::size_t drow = t * kDistAlphabet;
+    for (std::size_t i = lo; i < hi; ++i) {
+      const Lz77Token tok = vtok[i];
+      vlit.atomic_add(lrow + tok.litlen_sym, 1);
+      if (tok.litlen_sym >= 257) vdist.atomic_add(drow + tok.dist_sym, 1);
+    }
+  });
+
+  constexpr std::size_t kMergeSyms = 64;
+  const std::size_t total_syms = kLitLenAlphabet + kDistAlphabet;
+  chk::launch("lz77/freq_merge", sim::div_ceil(total_syms, kMergeSyms),
+              chk::bufs(chk::in(std::span<const std::uint64_t>(priv_lit), "priv_lit"),
+                        chk::in(std::span<const std::uint64_t>(priv_dist), "priv_dist"),
+                        chk::out(lit_freq, "lit_freq"),
+                        chk::out(dist_freq, "dist_freq")),
+              [&, tiles, total_syms](std::size_t blk, const auto& vplit, const auto& vpdist,
+                                     const auto& vlit, const auto& vdist) {
+    const std::size_t s0 = blk * kMergeSyms;
+    const std::size_t s1 = std::min(s0 + kMergeSyms, total_syms);
+    for (std::size_t s = s0; s < s1; ++s) {
+      std::uint64_t sum = 0;
+      if (s < kLitLenAlphabet) {
+        for (std::size_t t = 0; t < tiles; ++t) sum += vplit[t * kLitLenAlphabet + s];
+        vlit[s] = sum;
+      } else {
+        const std::size_t ds = s - kLitLenAlphabet;
+        for (std::size_t t = 0; t < tiles; ++t) sum += vpdist[t * kDistAlphabet + ds];
+        vdist[ds] = sum;
+      }
+    }
+  });
 }
 
 bool lz77_expand(const Lz77Token& token, std::vector<std::uint8_t>& out) {

@@ -60,6 +60,13 @@ struct Lz77Token {
 [[nodiscard]] std::vector<Lz77Token> lz77_tokenize(std::span<const std::uint8_t> input,
                                                    const Lz77Config& cfg = {});
 
+/// Tally literal/length and distance symbol frequencies over a token stream
+/// (privatized-bins tile kernels, shared by the lzh and lzr entropy stages).
+/// `lit_freq` must hold kLitLenAlphabet slots, `dist_freq` kDistAlphabet.
+void lz77_token_frequencies(std::span<const Lz77Token> tokens,
+                            std::span<std::uint64_t> lit_freq,
+                            std::span<std::uint64_t> dist_freq);
+
 /// Expand a token against already-decoded output (appends to `out`).
 /// Returns false for the end-of-block token.
 bool lz77_expand(const Lz77Token& token, std::vector<std::uint8_t>& out);

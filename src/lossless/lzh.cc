@@ -6,6 +6,7 @@
 #include "core/huffman/codebook.hh"
 #include "core/serialize.hh"
 #include "lossless/lz77.hh"
+#include "sim/check.hh"
 
 namespace szp::lossless {
 
@@ -26,10 +27,7 @@ std::vector<std::uint8_t> lzh_compress(std::span<const std::uint8_t> input,
 
   std::vector<std::uint64_t> lit_freq(kLitLenAlphabet, 0);
   std::vector<std::uint64_t> dist_freq(kDistAlphabet, 0);
-  for (const Lz77Token& t : tokens) {
-    ++lit_freq[t.litlen_sym];
-    if (t.litlen_sym >= 257) ++dist_freq[t.dist_sym];
-  }
+  lz77_token_frequencies(tokens, lit_freq, dist_freq);
 
   const auto lit_book = HuffmanCodebook::build(lit_freq);
   const auto dist_book = HuffmanCodebook::build(dist_freq);
@@ -40,16 +38,24 @@ std::vector<std::uint8_t> lzh_compress(std::span<const std::uint8_t> input,
   lit_book.serialize(w);
   dist_book.serialize(w);
 
+  // Bit emission is serial (each token's offset depends on all earlier
+  // lengths), so one block; the BitWriter is block-owned heap state.
   BitWriter bw;
-  for (const Lz77Token& t : tokens) {
-    bw.put(lit_book.code(t.litlen_sym), lit_book.length(t.litlen_sym));
-    if (t.litlen_sym >= 257) {
-      const std::size_t lc = t.litlen_sym - 257u;
-      if (kLenExtra[lc] > 0) bw.put(t.len_extra, kLenExtra[lc]);
-      bw.put(dist_book.code(t.dist_sym), dist_book.length(t.dist_sym));
-      if (kDistExtra[t.dist_sym] > 0) bw.put(t.dist_extra, kDistExtra[t.dist_sym]);
+  namespace chk = sim::checked;
+  chk::launch("lzh/encode", 1,
+              chk::bufs(chk::in(std::span<const Lz77Token>(tokens), "tokens")),
+              [&](std::size_t, const auto& vtok) {
+    for (std::size_t i = 0; i < vtok.size(); ++i) {
+      const Lz77Token t = vtok[i];
+      bw.put(lit_book.code(t.litlen_sym), lit_book.length(t.litlen_sym));
+      if (t.litlen_sym >= 257) {
+        const std::size_t lc = t.litlen_sym - 257u;
+        if (kLenExtra[lc] > 0) bw.put(t.len_extra, kLenExtra[lc]);
+        bw.put(dist_book.code(t.dist_sym), dist_book.length(t.dist_sym));
+        if (kDistExtra[t.dist_sym] > 0) bw.put(t.dist_extra, kDistExtra[t.dist_sym]);
+      }
     }
-  }
+  });
   w.put_vector(bw.take());
   return w.take();
 }
@@ -66,26 +72,34 @@ std::vector<std::uint8_t> lzh_decompress(std::span<const std::uint8_t> input) {
 
   std::vector<std::uint8_t> out;
   out.reserve(orig_size);
-  BitReader br(bits);
-  for (;;) {
-    Lz77Token t{};
-    t.litlen_sym = static_cast<std::uint16_t>(lit_book.decode_one(br));
-    if (t.litlen_sym >= 257) {
-      const std::size_t lc = t.litlen_sym - 257u;
-      if (lc >= kLenBase.size()) throw std::runtime_error("lzh_decompress: bad length symbol");
-      for (unsigned b = kLenExtra[lc]; b-- > 0;) {
-        t.len_extra = static_cast<std::uint16_t>(t.len_extra | (br.get_bit() << b));
+  // Serial bit-level decode: one block reading the whole bitstream; the
+  // growing output is block-owned heap state.
+  namespace chk = sim::checked;
+  chk::launch("lzh/decode", 1,
+              chk::bufs(chk::in(std::span<const std::uint8_t>(bits), "bits")),
+              [&](std::size_t, const auto& vbits) {
+    vbits.note_read(0, vbits.size());
+    BitReader br({vbits.data(), vbits.size()});
+    for (;;) {
+      Lz77Token t{};
+      t.litlen_sym = static_cast<std::uint16_t>(lit_book.decode_one(br));
+      if (t.litlen_sym >= 257) {
+        const std::size_t lc = t.litlen_sym - 257u;
+        if (lc >= kLenBase.size()) throw std::runtime_error("lzh_decompress: bad length symbol");
+        for (unsigned b = kLenExtra[lc]; b-- > 0;) {
+          t.len_extra = static_cast<std::uint16_t>(t.len_extra | (br.get_bit() << b));
+        }
+        t.dist_sym = static_cast<std::uint8_t>(dist_book.decode_one(br));
+        if (t.dist_sym >= kDistBase.size()) {
+          throw std::runtime_error("lzh_decompress: bad distance symbol");
+        }
+        for (unsigned b = kDistExtra[t.dist_sym]; b-- > 0;) {
+          t.dist_extra = static_cast<std::uint16_t>(t.dist_extra | (br.get_bit() << b));
+        }
       }
-      t.dist_sym = static_cast<std::uint8_t>(dist_book.decode_one(br));
-      if (t.dist_sym >= kDistBase.size()) {
-        throw std::runtime_error("lzh_decompress: bad distance symbol");
-      }
-      for (unsigned b = kDistExtra[t.dist_sym]; b-- > 0;) {
-        t.dist_extra = static_cast<std::uint16_t>(t.dist_extra | (br.get_bit() << b));
-      }
+      if (!lz77_expand(t, out)) break;
     }
-    if (!lz77_expand(t, out)) break;
-  }
+  });
   if (out.size() != orig_size) {
     throw std::runtime_error("lzh_decompress: size mismatch after decode");
   }

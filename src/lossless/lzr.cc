@@ -5,6 +5,7 @@
 #include "core/huffman/bitio.hh"
 #include "core/serialize.hh"
 #include "core/rans.hh"
+#include "sim/check.hh"
 
 namespace szp::lossless {
 
@@ -18,24 +19,32 @@ std::vector<std::uint8_t> lzr_compress(std::span<const std::uint8_t> input,
                                        const Lz77Config& cfg) {
   const auto tokens = lz77_tokenize(input, cfg);
 
+  std::vector<std::uint64_t> lit_freq(kLitLenAlphabet, 0);
+  std::vector<std::uint64_t> dist_freq(kDistAlphabet, 0);
+  lz77_token_frequencies(tokens, lit_freq, dist_freq);
+
+  // Split the token stream into the rANS symbol streams and the extra-bits
+  // sidecar.  Serial (the sidecar's bit offsets are order-dependent), so one
+  // block; the output streams are block-owned heap state.
   std::vector<std::uint16_t> lit_syms;
   std::vector<std::uint16_t> dist_syms;
   lit_syms.reserve(tokens.size());
   BitWriter extras;
-  std::vector<std::uint64_t> lit_freq(kLitLenAlphabet, 0);
-  std::vector<std::uint64_t> dist_freq(kDistAlphabet, 0);
-
-  for (const Lz77Token& t : tokens) {
-    lit_syms.push_back(t.litlen_sym);
-    ++lit_freq[t.litlen_sym];
-    if (t.litlen_sym >= 257) {
-      const std::size_t lc = t.litlen_sym - 257u;
-      if (kLenExtra[lc] > 0) extras.put(t.len_extra, kLenExtra[lc]);
-      dist_syms.push_back(t.dist_sym);
-      ++dist_freq[t.dist_sym];
-      if (kDistExtra[t.dist_sym] > 0) extras.put(t.dist_extra, kDistExtra[t.dist_sym]);
+  namespace chk = sim::checked;
+  chk::launch("lzr/token_split", 1,
+              chk::bufs(chk::in(std::span<const Lz77Token>(tokens), "tokens")),
+              [&](std::size_t, const auto& vtok) {
+    for (std::size_t i = 0; i < vtok.size(); ++i) {
+      const Lz77Token t = vtok[i];
+      lit_syms.push_back(t.litlen_sym);
+      if (t.litlen_sym >= 257) {
+        const std::size_t lc = t.litlen_sym - 257u;
+        if (kLenExtra[lc] > 0) extras.put(t.len_extra, kLenExtra[lc]);
+        dist_syms.push_back(t.dist_sym);
+        if (kDistExtra[t.dist_sym] > 0) extras.put(t.dist_extra, kDistExtra[t.dist_sym]);
+      }
     }
-  }
+  });
 
   const auto lit_model = RansModel::build(lit_freq);
 
@@ -75,32 +84,42 @@ std::vector<std::uint8_t> lzr_decompress(std::span<const std::uint8_t> input) {
     dist_syms = rans_decode(dist_bytes, n_matches, dist_model);
   }
   const auto extra_bytes = r.get_vector<std::uint8_t>();
-  BitReader extras(extra_bytes);
 
   std::vector<std::uint8_t> out;
   out.reserve(orig_size);
-  std::size_t match = 0;
-  for (std::size_t i = 0; i < lit_syms.size(); ++i) {
-    Lz77Token t{};
-    t.litlen_sym = lit_syms[i];
-    if (t.litlen_sym >= 257) {
-      const std::size_t lc = t.litlen_sym - 257u;
-      if (lc >= kLenBase.size()) throw std::runtime_error("lzr_decompress: bad length symbol");
-      for (unsigned b = kLenExtra[lc]; b-- > 0;) {
-        t.len_extra = static_cast<std::uint16_t>(t.len_extra | (extras.get_bit() << b));
+  // Serial token expansion: one block consuming the decoded symbol streams
+  // and the extra-bits sidecar; the growing output is block-owned.
+  namespace chk = sim::checked;
+  chk::launch("lzr/expand", 1,
+              chk::bufs(chk::in(std::span<const std::uint16_t>(lit_syms), "lit_syms"),
+                        chk::in(std::span<const std::uint16_t>(dist_syms), "dist_syms"),
+                        chk::in(std::span<const std::uint8_t>(extra_bytes), "extras")),
+              [&](std::size_t, const auto& vlit, const auto& vdist, const auto& vextras) {
+    vextras.note_read(0, vextras.size());
+    BitReader extras({vextras.data(), vextras.size()});
+    std::size_t match = 0;
+    for (std::size_t i = 0; i < vlit.size(); ++i) {
+      Lz77Token t{};
+      t.litlen_sym = vlit[i];
+      if (t.litlen_sym >= 257) {
+        const std::size_t lc = t.litlen_sym - 257u;
+        if (lc >= kLenBase.size()) throw std::runtime_error("lzr_decompress: bad length symbol");
+        for (unsigned b = kLenExtra[lc]; b-- > 0;) {
+          t.len_extra = static_cast<std::uint16_t>(t.len_extra | (extras.get_bit() << b));
+        }
+        if (match >= vdist.size()) {
+          throw std::runtime_error("lzr_decompress: match/distance stream mismatch");
+        }
+        const std::uint16_t ds = vdist[match++];
+        if (ds >= kDistBase.size()) throw std::runtime_error("lzr_decompress: bad distance symbol");
+        t.dist_sym = static_cast<std::uint8_t>(ds);
+        for (unsigned b = kDistExtra[ds]; b-- > 0;) {
+          t.dist_extra = static_cast<std::uint16_t>(t.dist_extra | (extras.get_bit() << b));
+        }
       }
-      if (match >= dist_syms.size()) {
-        throw std::runtime_error("lzr_decompress: match/distance stream mismatch");
-      }
-      const std::uint16_t ds = dist_syms[match++];
-      if (ds >= kDistBase.size()) throw std::runtime_error("lzr_decompress: bad distance symbol");
-      t.dist_sym = static_cast<std::uint8_t>(ds);
-      for (unsigned b = kDistExtra[ds]; b-- > 0;) {
-        t.dist_extra = static_cast<std::uint16_t>(t.dist_extra | (extras.get_bit() << b));
-      }
+      if (!lz77_expand(t, out)) break;
     }
-    if (!lz77_expand(t, out)) break;
-  }
+  });
   if (out.size() != orig_size) {
     throw std::runtime_error("lzr_decompress: size mismatch after decode");
   }

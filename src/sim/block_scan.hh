@@ -8,44 +8,76 @@
 // fragment), fragments are scanned trivially, and fragment totals are
 // propagated — exactly the three-phase scan the paper describes, so the
 // sequentiality ablation in bench/table2 exercises real code structure.
+//
+// The `_at` variants take an accessor (`at(i)` -> T&) instead of a pointer
+// and attribute each fragment to its virtual thread via
+// checked::this_thread(), so word-granular checking (check.hh tier 2) sees
+// the scan exactly as racecheck would see the cub version: lanes striding
+// over disjoint words, carries in registers — benign, never flagged.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
+
+#include "sim/check.hh"
 
 namespace szp::sim {
 
-/// Inclusive scan of `chunk` in place, organized as ceil(n/seq) virtual
-/// threads each owning `seq` consecutive elements.
+/// Inclusive scan of at(0..n) in place, organized as ceil(n/seq) virtual
+/// threads each owning `seq` consecutive elements.  Lane l = lane_base + f
+/// is attributed fragment f's accesses; the carry lives in a register.
 /// Phase 1: each fragment scans locally (thread-private registers).
 /// Phase 2: running carry of fragment totals (the warp-shuffle propagate).
-template <typename T>
-void block_inclusive_scan(std::span<T> chunk, std::size_t seq = 8) {
-  const std::size_t n = chunk.size();
+/// No trailing barrier: callers decide where the epoch closes.
+template <typename T, typename At>
+void block_inclusive_scan_at(At&& at, std::size_t n, std::size_t seq = 8,
+                             std::uint32_t lane_base = 0) {
   if (n == 0) return;
   if (seq == 0) seq = 1;
   T carry{};
-  for (std::size_t frag = 0; frag < n; frag += seq) {
+  std::uint32_t lane = lane_base;
+  for (std::size_t frag = 0; frag < n; frag += seq, ++lane) {
+    checked::this_thread(lane);
     const std::size_t end = frag + seq < n ? frag + seq : n;
     T acc = carry;
     for (std::size_t i = frag; i < end; ++i) {
-      acc = static_cast<T>(acc + chunk[i]);
-      chunk[i] = acc;
+      acc = static_cast<T>(acc + at(i));
+      at(i) = acc;
     }
     carry = acc;
   }
 }
 
-/// Inclusive scan over a strided sequence (stride in elements), used for the
-/// y/z passes of the 2-D/3-D partial sums where a "row" is a column of the
-/// chunk.  Equivalent to block_inclusive_scan on the gathered sequence.
+/// Inclusive scan of `chunk` in place (contiguous convenience wrapper).
+/// Closes the barrier epoch afterwards, like the cub scan's __syncthreads().
 template <typename T>
-void block_inclusive_scan_strided(T* base, std::size_t count, std::size_t stride) {
+void block_inclusive_scan(std::span<T> chunk, std::size_t seq = 8) {
+  block_inclusive_scan_at<T>([p = chunk.data()](std::size_t i) -> T& { return p[i]; },
+                             chunk.size(), seq);
+  checked::barrier();
+}
+
+/// Inclusive scan over a strided sequence via an accessor (`at(k)` -> T& for
+/// the k-th *logical* element), used for the y/z passes of the 2-D/3-D
+/// partial sums where a "row" is a column of the chunk.  One virtual thread
+/// (`lane`) owns the whole sequence.
+template <typename T, typename At>
+void block_inclusive_scan_strided_at(At&& at, std::size_t count, std::uint32_t lane = 0) {
+  checked::this_thread(lane);
   T acc{};
   for (std::size_t i = 0; i < count; ++i) {
-    acc = static_cast<T>(acc + base[i * stride]);
-    base[i * stride] = acc;
+    acc = static_cast<T>(acc + at(i));
+    at(i) = acc;
   }
+}
+
+/// Inclusive scan over a strided sequence (stride in elements).  Equivalent
+/// to block_inclusive_scan on the gathered sequence.
+template <typename T>
+void block_inclusive_scan_strided(T* base, std::size_t count, std::size_t stride) {
+  block_inclusive_scan_strided_at<T>(
+      [base, stride](std::size_t k) -> T& { return base[k * stride]; }, count);
 }
 
 }  // namespace szp::sim

@@ -1,36 +1,68 @@
-// szp::sim::checked — grid-completion analysis for checked-launch mode.
+// szp::sim::checked — analysis engines for checked-launch mode.
 //
-// The per-block footprints recorded by the tracking views are swept here for
-// cross-block overlaps (the races launch.hh's block-independence contract
-// forbids) and out-of-bounds accesses.  The sweep is a single sorted pass per
-// buffer: O(I log I) in the number of coalesced intervals, independent of the
-// pairwise block count, so checking large grids stays tractable.
+// Tier 1: the per-block footprints recorded by the tracking views are swept
+// for cross-block overlaps (the races launch.hh's block-independence
+// contract forbids) and out-of-bounds accesses.  The sweep is a single
+// sorted pass per buffer: O(I log I) in the number of coalesced intervals,
+// independent of the pairwise block count, so checking large grids stays
+// tractable.
+//
+// Tier 2 (WordShadow): racecheck-style per-word access records.  Blocks run
+// serially in word mode, so each record() sees every earlier access and can
+// classify hazards inline: same word + different blocks is a cross-block
+// race at word granularity; same word + same block + two *modeled* lanes in
+// the same barrier epoch is an intra-block hazard (unless both sides are
+// atomic).  Accesses not attributed to a lane (kBlockLane) represent "the
+// block as a whole" and are exempt from intra-block classification — a
+// kernel gets intra-block checking exactly where it models its cooperating
+// threads via this_thread()/barrier().
+//
+// Schedule fuzzing support (make_fuzz_order, checksums) also lives here; the
+// replay loop itself is a template in check.hh.
 #include "sim/check.hh"
 
 #include <atomic>
 #include <cstdlib>
+#include <random>
 #include <sstream>
+#include <string_view>
 
 namespace szp::sim::checked {
 
+namespace detail {
+thread_local LaneState t_lane;
+}  // namespace detail
+
 namespace {
 
-// -1: not yet latched from the environment; 0: off; 1: on.
-std::atomic<int> g_enabled{-1};
+// -1: not yet latched from the environment; else a Mode value.
+std::atomic<int> g_mode{-1};
+// -1: not yet latched from the environment; else a schedule count >= 0.
+std::atomic<int> g_fuzz{-1};
 
 CheckReport& mutable_report() {
   static CheckReport report;
   return report;
 }
 
-bool env_default() {
+Mode env_default_mode() {
   const char* v = std::getenv("SZP_SIM_CHECK");
+  const bool explicit_off = v != nullptr && v[0] == '0' && v[1] == '\0';
+  if (v != nullptr && std::string_view(v) == "word") return Mode::kWord;
 #ifdef SZP_SIM_CHECK_DEFAULT_ON
   // Built with -DSZP_SIM_CHECK=ON: checking is on unless explicitly disabled.
-  return !(v != nullptr && v[0] == '0' && v[1] == '\0');
+  return explicit_off ? Mode::kOff : Mode::kInterval;
 #else
-  return v != nullptr && v[0] != '\0' && !(v[0] == '0' && v[1] == '\0');
+  if (v == nullptr || v[0] == '\0' || explicit_off) return Mode::kOff;
+  return Mode::kInterval;
 #endif
+}
+
+int env_default_fuzz() {
+  const char* v = std::getenv("SZP_SIM_FUZZ_SCHEDULE");
+  if (v == nullptr || v[0] == '\0') return 0;
+  const long n = std::strtol(v, nullptr, 10);
+  return n > 0 ? static_cast<int>(n) : 0;
 }
 
 /// One block's interval plus ownership, flattened for the sweep.
@@ -84,27 +116,53 @@ struct Frontier {
 };
 
 constexpr std::size_t kMaxRacesPerLaunch = 32;
+constexpr std::size_t kMaxHazardsPerLaunch = 32;
 constexpr std::size_t kMaxOobPerLaunch = 32;
 
 }  // namespace
 
-bool enabled() {
-  int s = g_enabled.load(std::memory_order_relaxed);
+Mode mode() {
+  int s = g_mode.load(std::memory_order_relaxed);
   if (s < 0) {
-    s = env_default() ? 1 : 0;
-    g_enabled.store(s, std::memory_order_relaxed);
+    s = static_cast<int>(env_default_mode());
+    g_mode.store(s, std::memory_order_relaxed);
   }
-  return s == 1;
+  return static_cast<Mode>(s);
 }
 
-void set_enabled(bool on) { g_enabled.store(on ? 1 : 0, std::memory_order_relaxed); }
+void set_mode(Mode m) { g_mode.store(static_cast<int>(m), std::memory_order_relaxed); }
+
+bool enabled() { return mode() != Mode::kOff; }
+
+void set_enabled(bool on) {
+  if (on) {
+    if (mode() != Mode::kWord) set_mode(Mode::kInterval);
+  } else {
+    set_mode(Mode::kOff);
+  }
+}
+
+int fuzz_schedules() {
+  int n = g_fuzz.load(std::memory_order_relaxed);
+  if (n < 0) {
+    n = env_default_fuzz();
+    g_fuzz.store(n, std::memory_order_relaxed);
+  }
+  return n;
+}
+
+void set_fuzz_schedules(int n) { g_fuzz.store(n < 0 ? 0 : n, std::memory_order_relaxed); }
 
 const CheckReport& current_report() { return mutable_report(); }
 
 void reset() {
-  mutable_report().races.clear();
-  mutable_report().oob.clear();
-  mutable_report().launches_checked = 0;
+  CheckReport& r = mutable_report();
+  r.races.clear();
+  r.hazards.clear();
+  r.oob.clear();
+  r.schedule_diffs.clear();
+  r.launches_checked = 0;
+  r.launches_fuzzed = 0;
 }
 
 void analyze_launch(const char* kernel, const std::vector<BufMeta>& bufs,
@@ -171,12 +229,216 @@ void analyze_launch(const char* kernel, const std::vector<BufMeta>& bufs,
   }
 }
 
+// ---------------------------------------------------------------------------
+// WordShadow (tier 2).
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Kinds a shadow record can carry.
+enum class AccessKind : std::uint8_t { kNone = 0, kRead, kWrite, kAtomic };
+
+/// One remembered access: who touched the word last, and how.
+struct Rec {
+  std::uint32_t block_p1 = 0;  ///< block index + 1; 0 = empty slot
+  std::uint32_t lane = kBlockLane;
+  std::uint32_t epoch = 0;
+  AccessKind kind = AccessKind::kNone;
+
+  [[nodiscard]] bool valid() const { return block_p1 != 0; }
+  [[nodiscard]] std::size_t block() const { return block_p1 - 1; }
+};
+
+/// Shadow state for one registered buffer: a last-writer record plus the two
+/// most recent reader records from distinct owners per word.  Two reader
+/// slots play the same completeness role as the sweep's two-slot Frontier:
+/// if the newest reader is the incoming writer itself, the runner-up (a
+/// different owner by construction) still witnesses the read/write hazard.
+struct Word {
+  Rec wr;
+  Rec rd0, rd1;
+};
+
+}  // namespace
+
+struct WordShadow::Impl {
+  std::string kernel;
+  std::vector<BufMeta> bufs;
+  std::vector<std::vector<Word>> shadow;  ///< per buffer, per word
+  std::size_t block = 0;
+  std::vector<HazardFinding> hazards;
+  std::vector<RaceFinding> races;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> seen_hazards;  ///< (buf<<32|lane pair, word)
+  std::vector<std::tuple<std::uint32_t, std::size_t, std::size_t>> seen_races;
+
+  [[nodiscard]] bool conflicts(const Rec& prev, bool write, bool atomic) const {
+    if (!prev.valid()) return false;
+    const bool prev_atomic = prev.kind == AccessKind::kAtomic;
+    if (prev_atomic && atomic) return false;  // atomics never race each other
+    const bool prev_write = prev.kind != AccessKind::kRead;
+    return write || prev_write;
+  }
+
+  void flag_cross_block(const Rec& prev, std::uint32_t buf, std::uint64_t word, bool write) {
+    if (races.size() >= kMaxRacesPerLaunch) return;
+    const auto p = std::minmax(prev.block(), block);
+    const std::tuple<std::uint32_t, std::size_t, std::size_t> key{buf, p.first, p.second};
+    if (std::find(seen_races.begin(), seen_races.end(), key) != seen_races.end()) return;
+    seen_races.push_back(key);
+    const BufMeta& m = bufs[buf];
+    const bool prev_write = prev.kind != AccessKind::kRead;
+    races.push_back({kernel, m.name, prev.block(), block, word * m.elem_bytes,
+                     (word + 1) * m.elem_bytes, m.elem_bytes, write && prev_write});
+  }
+
+  void flag_intra_block(const Rec& prev, std::uint32_t buf, std::uint64_t word,
+                        std::uint32_t lane, bool write) {
+    if (hazards.size() >= kMaxHazardsPerLaunch) return;
+    // One finding per (buffer, lane pair) per word keeps reports readable.
+    const auto lanes = std::minmax(prev.lane, lane);
+    const std::uint64_t pair_key =
+        (static_cast<std::uint64_t>(buf) << 48) |
+        (static_cast<std::uint64_t>(lanes.first & 0xffffffu) << 24) |
+        (lanes.second & 0xffffffu);
+    const std::pair<std::uint64_t, std::uint64_t> key{pair_key, word};
+    if (std::find(seen_hazards.begin(), seen_hazards.end(), key) != seen_hazards.end()) return;
+    seen_hazards.push_back(key);
+    const BufMeta& m = bufs[buf];
+    const bool prev_write = prev.kind != AccessKind::kRead;
+    hazards.push_back(
+        {kernel, m.name, block, prev.lane, lane, word, m.elem_bytes, write && prev_write});
+  }
+
+  void record(std::uint32_t buf, std::uint64_t word, bool write, bool atomic) {
+    Word& w = shadow[buf][word];
+    const std::uint32_t lane = detail::t_lane.lane;
+    const std::uint32_t epoch = detail::t_lane.epoch;
+
+    const auto check_prev = [&](const Rec& prev) {
+      if (!conflicts(prev, write, atomic)) return;
+      if (prev.block() != block) {
+        flag_cross_block(prev, buf, word, write);
+        return;
+      }
+      // Same block: only a hazard between two *modeled* lanes racing within
+      // one barrier epoch.  kBlockLane accesses and barrier-separated epochs
+      // are ordered by construction.
+      if (prev.lane != kBlockLane && lane != kBlockLane && prev.lane != lane &&
+          prev.epoch == epoch) {
+        flag_intra_block(prev, buf, word, lane, write);
+      }
+    };
+
+    // A new write conflicts with the last writer and recent readers; a new
+    // read only with the last writer.
+    check_prev(w.wr);
+    if (write) {
+      check_prev(w.rd0);
+      check_prev(w.rd1);
+    }
+
+    const Rec rec{static_cast<std::uint32_t>(block + 1), lane, epoch,
+                  atomic ? AccessKind::kAtomic : (write ? AccessKind::kWrite : AccessKind::kRead)};
+    if (write) {
+      w.wr = rec;
+    } else if (w.rd0.valid() && w.rd0.block() == block && w.rd0.lane == lane) {
+      w.rd0 = rec;  // same owner: refresh in place
+    } else {
+      w.rd1 = w.rd0;  // keep two most recent distinct owners
+      w.rd0 = rec;
+    }
+  }
+};
+
+WordShadow::WordShadow(const char* kernel, std::vector<BufMeta> bufs)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->kernel = kernel;
+  impl_->shadow.reserve(bufs.size());
+  for (const BufMeta& m : bufs) impl_->shadow.emplace_back(m.elems);
+  impl_->bufs = std::move(bufs);
+}
+
+WordShadow::~WordShadow() = default;
+
+void WordShadow::begin_block(std::size_t block) { impl_->block = block; }
+
+void WordShadow::record(std::uint32_t buf, std::uint64_t word, bool write, bool atomic) {
+  impl_->record(buf, word, write, atomic);
+}
+
+void WordShadow::finish() {
+  CheckReport& report = mutable_report();
+  for (auto& h : impl_->hazards) report.hazards.push_back(std::move(h));
+  for (auto& r : impl_->races) report.races.push_back(std::move(r));
+}
+
+// ---------------------------------------------------------------------------
+// Schedule-fuzz support.
+// ---------------------------------------------------------------------------
+
+namespace detail {
+
+std::uint64_t fnv1a(const void* p, std::size_t nbytes) {
+  const auto* bytes = static_cast<const std::uint8_t*>(p);
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (std::size_t i = 0; i < nbytes; ++i) {
+    h ^= bytes[i];
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+void make_fuzz_order(int s, std::size_t n, std::vector<std::size_t>& order, bool* parallel,
+                     std::string* name) {
+  order.resize(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  if (s == 1) {
+    std::reverse(order.begin(), order.end());
+    *parallel = true;
+    *name = "reversed";
+  } else if (s == 2) {
+    *parallel = false;
+    *name = "serial";
+  } else {
+    // Deterministic seeded shuffle: same (s, n) always yields the same order.
+    std::minstd_rand rng(static_cast<std::uint32_t>(s) * 2654435761u ^
+                         static_cast<std::uint32_t>(n));
+    std::shuffle(order.begin(), order.end(), rng);
+    *parallel = true;
+    *name = "shuffle#" + std::to_string(s - 2);
+  }
+}
+
+void append_schedule_finding(const char* kernel, const char* buffer, const std::string& schedule,
+                             std::uint64_t ref, std::uint64_t got) {
+  CheckReport& r = mutable_report();
+  if (r.schedule_diffs.size() >= kMaxRacesPerLaunch) return;
+  r.schedule_diffs.push_back({kernel, buffer, schedule, ref, got});
+}
+
+void note_fuzzed_launch() { ++mutable_report().launches_fuzzed; }
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// Reporting.
+// ---------------------------------------------------------------------------
+
 std::string RaceFinding::to_string() const {
   std::ostringstream os;
   os << (write_write ? "WRITE/WRITE" : "READ/WRITE") << " race: kernel '" << kernel
      << "', buffer '" << buffer << "', blocks " << block_a << " and " << block_b
      << " both touch bytes [" << byte_lo << ", " << byte_hi << ") (elements ["
      << byte_lo / elem_bytes << ", " << (byte_hi + elem_bytes - 1) / elem_bytes << "))";
+  return os.str();
+}
+
+std::string HazardFinding::to_string() const {
+  std::ostringstream os;
+  os << (write_write ? "WRITE/WRITE" : "READ/WRITE") << " intra-block hazard: kernel '" << kernel
+     << "', block " << block << ", lanes " << lane_a << " and " << lane_b
+     << " both touch buffer '" << buffer << "' word " << word << " (" << elem_bytes
+     << " bytes) within one barrier epoch";
   return os.str();
 }
 
@@ -188,13 +450,52 @@ std::string OobFinding::to_string() const {
   return os.str();
 }
 
+std::string ScheduleFinding::to_string() const {
+  std::ostringstream os;
+  os << "SCHEDULE-DEPENDENT output: kernel '" << kernel << "', buffer '" << buffer
+     << "' differs under block order '" << schedule << "' (checksum " << std::hex << checksum_got
+     << " vs canonical " << checksum_ref << std::dec << ")";
+  return os.str();
+}
+
 std::string report_text() {
   const CheckReport& r = current_report();
   std::ostringstream os;
   os << "sim-check: " << r.launches_checked << " launch(es) checked, " << r.races.size()
-     << " race(s), " << r.oob.size() << " out-of-bounds access(es)\n";
-  for (const auto& f : r.races) os << "  " << f.to_string() << "\n";
-  for (const auto& f : r.oob) os << "  " << f.to_string() << "\n";
+     << " race(s), " << r.hazards.size() << " intra-block hazard(s), " << r.oob.size()
+     << " out-of-bounds access(es)";
+  if (r.launches_fuzzed > 0 || !r.schedule_diffs.empty()) {
+    os << ", " << r.launches_fuzzed << " launch(es) schedule-fuzzed, " << r.schedule_diffs.size()
+       << " schedule divergence(s)";
+  }
+  os << "\n";
+
+  // Sorted copies: findings print in (kernel, block, buffer, offset) order so
+  // the text is stable regardless of discovery/schedule order.
+  auto races = r.races;
+  std::sort(races.begin(), races.end(), [](const RaceFinding& a, const RaceFinding& b) {
+    return std::tie(a.kernel, a.block_a, a.block_b, a.buffer, a.byte_lo) <
+           std::tie(b.kernel, b.block_a, b.block_b, b.buffer, b.byte_lo);
+  });
+  auto hazards = r.hazards;
+  std::sort(hazards.begin(), hazards.end(), [](const HazardFinding& a, const HazardFinding& b) {
+    return std::tie(a.kernel, a.block, a.buffer, a.word, a.lane_a, a.lane_b) <
+           std::tie(b.kernel, b.block, b.buffer, b.word, b.lane_a, b.lane_b);
+  });
+  auto oob = r.oob;
+  std::sort(oob.begin(), oob.end(), [](const OobFinding& a, const OobFinding& b) {
+    return std::tie(a.kernel, a.block, a.buffer, a.element_index) <
+           std::tie(b.kernel, b.block, b.buffer, b.element_index);
+  });
+  auto diffs = r.schedule_diffs;
+  std::sort(diffs.begin(), diffs.end(), [](const ScheduleFinding& a, const ScheduleFinding& b) {
+    return std::tie(a.kernel, a.buffer, a.schedule) < std::tie(b.kernel, b.buffer, b.schedule);
+  });
+
+  for (const auto& f : races) os << "  " << f.to_string() << "\n";
+  for (const auto& f : hazards) os << "  " << f.to_string() << "\n";
+  for (const auto& f : oob) os << "  " << f.to_string() << "\n";
+  for (const auto& f : diffs) os << "  " << f.to_string() << "\n";
   if (r.clean()) os << "  no violations detected\n";
   return os.str();
 }

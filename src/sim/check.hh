@@ -5,32 +5,52 @@
 // it is a data race that compute-sanitizer's racecheck/memcheck tools catch;
 // here OpenMP's static schedule can silently serialize the offending blocks
 // and hide the bug until a refactor reshuffles the schedule.  This header
-// enforces the contract mechanically:
+// enforces the contract mechanically with a two-tier analysis engine:
 //
 //   * call sites register each global buffer a kernel touches (in / out /
 //     inout) and receive *views* in the kernel body;
 //   * with checking OFF (the default), the views are raw pointer wrappers
 //     that inline away — the unchecked instantiation of the body is
 //     byte-for-byte the code that ran before this subsystem existed;
-//   * with checking ON (env var SZP_SIM_CHECK=1, CMake -DSZP_SIM_CHECK=ON,
-//     or checked::set_enabled(true)), every element access is logged into a
-//     per-block footprint (coalesced byte intervals per buffer), and after
-//     the grid completes the footprints are swept for
+//   * tier 1 (Mode::kInterval, via SZP_SIM_CHECK=1 / --check): every element
+//     access is logged into a per-block footprint (coalesced byte intervals
+//     per buffer), and after the grid completes the footprints are swept for
 //       (a) write/write and read/write overlaps between *distinct* blocks —
 //           races that would be real on a GPU regardless of how OpenMP
 //           happened to schedule them, and
-//       (b) accesses outside the registered buffer extents,
-//     each reported with kernel name, block index, buffer name and the
-//     offending byte/element offsets.
+//       (b) accesses outside the registered buffer extents;
+//   * tier 2 (Mode::kWord, via SZP_SIM_CHECK=word / --check=word, or per
+//     launch with Granularity::kWord): each registered buffer additionally
+//     gets a word-granular shadow array in the style of compute-sanitizer's
+//     racecheck — per-word last-writer and recent-reader records carrying
+//     (block, lane, barrier epoch).  Kernels that model their cooperating
+//     threads explicitly (chk::this_thread(tid) to switch lanes,
+//     chk::barrier() to close an epoch — see block_scan.hh, histogram.hh)
+//     get *intra-block* hazard detection: two lanes of the same block
+//     touching the same word in the same epoch, at least one a write and not
+//     both atomic, is reported with kernel, block, both lanes, buffer, and
+//     word.  Benign striding (lanes on disjoint words) and barrier-ordered
+//     reuse are not flagged.  Word mode serializes block execution so the
+//     shadow needs no synchronization and reports are deterministic.
+//
+// Orthogonally, schedule fuzzing (set_fuzz_schedules(N) /
+// SZP_SIM_FUZZ_SCHEDULE=N / --fuzz-schedule[=N]) re-executes every
+// registered multi-block grid under N perturbed block orders — reversed,
+// strictly serial, and seeded shuffles under a dynamic OpenMP schedule —
+// and diffs FNV-1a checksums of every writable buffer against the canonical
+// run.  Any order-dependence a static footprint cannot prove becomes a
+// deterministic ScheduleFinding.
 //
 // Findings accumulate in a process-global report (checked::current_report)
-// that the CLI's --check flag prints and tests assert on.  See DESIGN.md
-// §"Checked-launch mode" for the mapping to compute-sanitizer.
+// that the CLI's --check / --fuzz-schedule flags print and tests assert on.
+// See DESIGN.md §"Checked-launch mode" for the mapping to compute-sanitizer.
 #pragma once
 
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
+#include <memory>
 #include <span>
 #include <string>
 #include <tuple>
@@ -42,14 +62,67 @@
 namespace szp::sim::checked {
 
 // ---------------------------------------------------------------------------
-// Global switch and accumulated report (definitions in check.cc).
+// Global switches and accumulated report (definitions in check.cc).
 // ---------------------------------------------------------------------------
 
-/// True when access tracking is active.  First call latches the SZP_SIM_CHECK
-/// environment variable (or the SZP_SIM_CHECK_DEFAULT_ON compile default);
-/// set_enabled() overrides at any time.
+/// Checking tier.  kInterval is tier 1 (cheap per-block byte intervals,
+/// cross-block races only); kWord is tier 2 (word-granular shadow memory,
+/// intra-block hazards too, serialized execution).
+enum class Mode : int { kOff = 0, kInterval = 1, kWord = 2 };
+
+/// Current tier.  First call latches the SZP_SIM_CHECK environment variable
+/// ("word" selects kWord, any other non-empty non-"0" value kInterval; the
+/// SZP_SIM_CHECK_DEFAULT_ON compile default maps to kInterval); set_mode()
+/// overrides at any time.
+[[nodiscard]] Mode mode();
+void set_mode(Mode m);
+
+/// True when access tracking is active (mode() != kOff).
 [[nodiscard]] bool enabled();
+/// Compatibility switch: on selects kInterval unless the mode is already
+/// kWord; off selects kOff.
 void set_enabled(bool on);
+
+/// Number of perturbed block schedules every multi-block launch is replayed
+/// under (0: fuzzing off).  First call latches SZP_SIM_FUZZ_SCHEDULE.
+[[nodiscard]] int fuzz_schedules();
+void set_fuzz_schedules(int n);
+
+/// Per-launch granularity override: kWord upgrades this launch to tier 2
+/// whenever checking is enabled at all.
+enum class Granularity { kDefault, kWord };
+
+/// Lane id meaning "the whole block" — accesses not attributed to a modeled
+/// thread.  Such accesses never produce intra-block hazards.
+inline constexpr std::uint32_t kBlockLane = 0xffffffffu;
+
+namespace detail {
+/// Per-OS-thread lane context, active only while a word-mode block body is
+/// executing on this thread.
+struct LaneState {
+  bool active = false;
+  std::uint32_t lane = kBlockLane;
+  std::uint32_t epoch = 0;
+};
+extern thread_local LaneState t_lane;
+}  // namespace detail
+
+/// Declare that the code until the next this_thread()/barrier() models the
+/// given cooperating thread (lane) of the current block.  No-op unless a
+/// word-mode launch is in flight on this OS thread.
+inline void this_thread(std::uint32_t lane) {
+  if (detail::t_lane.active) detail::t_lane.lane = lane;
+}
+
+/// Model __syncthreads(): closes the current barrier epoch.  Accesses in
+/// different epochs of one block are ordered and can never conflict.
+inline void barrier() {
+  detail::LaneState& s = detail::t_lane;
+  if (s.active) {
+    ++s.epoch;
+    s.lane = kBlockLane;
+  }
+}
 
 /// A cross-block overlap on one buffer: a race that would be real on a GPU.
 struct RaceFinding {
@@ -61,6 +134,21 @@ struct RaceFinding {
   std::uint64_t byte_hi = 0;
   std::uint32_t elem_bytes = 1; ///< element size, for index reporting
   bool write_write = true;      ///< false: read/write hazard
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// An intra-block hazard found by the word-granular shadow (tier 2): two
+/// lanes of one block touch the same word in the same barrier epoch.
+struct HazardFinding {
+  std::string kernel;
+  std::string buffer;
+  std::size_t block = 0;
+  std::uint32_t lane_a = kBlockLane;  ///< earlier party
+  std::uint32_t lane_b = kBlockLane;  ///< later party
+  std::uint64_t word = 0;             ///< element index within the buffer
+  std::uint32_t elem_bytes = 1;
+  bool write_write = true;            ///< false: read/write hazard
 
   [[nodiscard]] std::string to_string() const;
 };
@@ -77,42 +165,83 @@ struct OobFinding {
   [[nodiscard]] std::string to_string() const;
 };
 
+/// A schedule-fuzz divergence: replaying the grid under a perturbed block
+/// order produced different bytes in a writable buffer.
+struct ScheduleFinding {
+  std::string kernel;
+  std::string buffer;
+  std::string schedule;         ///< "reversed", "serial", "shuffle#3", ...
+  std::uint64_t checksum_ref = 0;
+  std::uint64_t checksum_got = 0;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
 /// Everything the checker found since the last reset().
 struct CheckReport {
   std::vector<RaceFinding> races;
+  std::vector<HazardFinding> hazards;
   std::vector<OobFinding> oob;
+  std::vector<ScheduleFinding> schedule_diffs;
   std::uint64_t launches_checked = 0;
+  std::uint64_t launches_fuzzed = 0;
 
-  [[nodiscard]] bool clean() const { return races.empty() && oob.empty(); }
+  [[nodiscard]] bool clean() const {
+    return races.empty() && hazards.empty() && oob.empty() && schedule_diffs.empty();
+  }
 };
 
 /// Accumulated findings (read-only; owned by the checker).
 [[nodiscard]] const CheckReport& current_report();
 
 /// Human-readable summary of current_report(), compute-sanitizer style.
+/// Findings are printed in sorted order — (kernel, block, buffer, offset) —
+/// so CI log diffs are stable regardless of discovery order.
 [[nodiscard]] std::string report_text();
 
-/// Drop all accumulated findings and reset the launch counter.
+/// Drop all accumulated findings and reset the launch counters.
 void reset();
 
-/// RAII enable/reset for tests: enables checking and clears findings on
-/// construction, restores the previous switch state on destruction.
-class ScopedEnable {
+/// RAII mode override for tests: selects the given tier and clears findings
+/// on construction, restores the previous tier on destruction.
+class ScopedMode {
  public:
-  ScopedEnable() : prev_(enabled()) {
-    set_enabled(true);
+  explicit ScopedMode(Mode m) : prev_(mode()) {
+    set_mode(m);
     reset();
   }
-  ~ScopedEnable() { set_enabled(prev_); }
-  ScopedEnable(const ScopedEnable&) = delete;
-  ScopedEnable& operator=(const ScopedEnable&) = delete;
+  ~ScopedMode() { set_mode(prev_); }
+  ScopedMode(const ScopedMode&) = delete;
+  ScopedMode& operator=(const ScopedMode&) = delete;
 
  private:
-  bool prev_;
+  Mode prev_;
+};
+
+/// RAII enable/reset for tests: enables tier-1 checking and clears findings
+/// on construction, restores the previous switch state on destruction.
+class ScopedEnable {
+ public:
+  ScopedEnable() : scoped_(Mode::kInterval) {}
+
+ private:
+  ScopedMode scoped_;
+};
+
+/// RAII schedule-fuzz override for tests.
+class ScopedFuzz {
+ public:
+  explicit ScopedFuzz(int n) : prev_(fuzz_schedules()) { set_fuzz_schedules(n); }
+  ~ScopedFuzz() { set_fuzz_schedules(prev_); }
+  ScopedFuzz(const ScopedFuzz&) = delete;
+  ScopedFuzz& operator=(const ScopedFuzz&) = delete;
+
+ private:
+  int prev_;
 };
 
 // ---------------------------------------------------------------------------
-// Per-block footprint log.
+// Per-block footprint log (tier 1) and out-of-bounds capture (both tiers).
 // ---------------------------------------------------------------------------
 
 /// One coalesced byte interval [lo, hi) touched on buffer `buf`.
@@ -171,6 +300,30 @@ void analyze_launch(const char* kernel, const std::vector<BufMeta>& bufs,
                     const std::vector<BlockLog>& logs);
 
 // ---------------------------------------------------------------------------
+// Word-granular shadow memory (tier 2).
+// ---------------------------------------------------------------------------
+
+/// Per-launch shadow state: one access-record array per registered buffer,
+/// one record slot set per word.  record() performs hazard detection inline
+/// (blocks run serially in word mode, so every earlier access is visible);
+/// finish() appends the collected findings to the global report.
+class WordShadow {
+ public:
+  WordShadow(const char* kernel, std::vector<BufMeta> bufs);
+  ~WordShadow();
+  WordShadow(const WordShadow&) = delete;
+  WordShadow& operator=(const WordShadow&) = delete;
+
+  void begin_block(std::size_t block);
+  void record(std::uint32_t buf, std::uint64_t word, bool write, bool atomic);
+  void finish();  ///< append hazards/races to the global report
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+// ---------------------------------------------------------------------------
 // Buffer registration descriptors.
 // ---------------------------------------------------------------------------
 
@@ -227,6 +380,7 @@ struct raw_reader_view {
   const T& operator[](std::size_t i) const { return p[i]; }
   [[nodiscard]] const T* data() const { return p; }
   [[nodiscard]] std::size_t size() const { return n; }
+  [[nodiscard]] bool word_granular() const { return false; }
   void note_read(std::size_t, std::size_t) const {}
 };
 
@@ -238,31 +392,39 @@ struct raw_writer_view {
   T& operator[](std::size_t i) const { return p[i]; }
   [[nodiscard]] T* data() const { return p; }
   [[nodiscard]] std::size_t size() const { return n; }
+  [[nodiscard]] bool word_granular() const { return false; }
   void note_read(std::size_t, std::size_t) const {}
   void note_write(std::size_t, std::size_t) const {}
   void note_rw(std::size_t, std::size_t) const {}
+  void atomic_add(std::size_t i, T v) const { p[i] = static_cast<T>(p[i] + v); }
 };
 
 // Tracking views.  operator[] records the touched byte range into the
-// block's log; out-of-range accesses are recorded and redirected to a sink
-// so the kernel keeps running and the grid-level report stays complete.
+// block's interval log (tier 1) or the per-word shadow (tier 2);
+// out-of-range accesses are recorded and redirected to a sink so the kernel
+// keeps running and the grid-level report stays complete.
 template <typename T>
 class reader_view {
  public:
-  reader_view(const T* p, std::size_t n, BlockLog* log, std::uint32_t id)
-      : p_(p), n_(n), log_(log), id_(id) {}
+  reader_view(const T* p, std::size_t n, BlockLog* log, std::uint32_t id, WordShadow* shadow)
+      : p_(p), n_(n), log_(log), id_(id), shadow_(shadow) {}
 
   const T& operator[](std::size_t i) const {
     if (i >= n_) {
       log_->add_oob(id_, i, false);
       return sink();
     }
-    log_->add(id_, false, i * sizeof(T), (i + 1) * sizeof(T));
+    if (shadow_ != nullptr) {
+      shadow_->record(id_, i, false, false);
+    } else {
+      log_->add(id_, false, i * sizeof(T), (i + 1) * sizeof(T));
+    }
     return p_[i];
   }
 
   [[nodiscard]] const T* data() const { return p_; }
   [[nodiscard]] std::size_t size() const { return n_; }
+  [[nodiscard]] bool word_granular() const { return shadow_ != nullptr; }
 
   /// Declare a bulk read of [i, i+count) before touching it via data().
   void note_read(std::size_t i, std::size_t count) const {
@@ -272,7 +434,11 @@ class reader_view {
       if (i >= n_) return;
       count = n_ - i;
     }
-    log_->add(id_, false, i * sizeof(T), (i + count) * sizeof(T));
+    if (shadow_ != nullptr) {
+      for (std::size_t k = 0; k < count; ++k) shadow_->record(id_, i + k, false, false);
+    } else {
+      log_->add(id_, false, i * sizeof(T), (i + count) * sizeof(T));
+    }
   }
 
  private:
@@ -285,26 +451,49 @@ class reader_view {
   std::size_t n_;
   BlockLog* log_;
   std::uint32_t id_;
+  WordShadow* shadow_;
 };
 
 template <typename T>
 class writer_view {
  public:
-  writer_view(T* p, std::size_t n, BlockLog* log, std::uint32_t id, bool read_write)
-      : p_(p), n_(n), log_(log), id_(id), rw_(read_write) {}
+  writer_view(T* p, std::size_t n, BlockLog* log, std::uint32_t id, bool read_write,
+              WordShadow* shadow)
+      : p_(p), n_(n), log_(log), id_(id), rw_(read_write), shadow_(shadow) {}
 
   T& operator[](std::size_t i) const {
     if (i >= n_) {
       log_->add_oob(id_, i, true);
       return sink();
     }
-    if (rw_) log_->add(id_, false, i * sizeof(T), (i + 1) * sizeof(T));
-    log_->add(id_, true, i * sizeof(T), (i + 1) * sizeof(T));
+    if (shadow_ != nullptr) {
+      if (rw_) shadow_->record(id_, i, false, false);
+      shadow_->record(id_, i, true, false);
+    } else {
+      if (rw_) log_->add(id_, false, i * sizeof(T), (i + 1) * sizeof(T));
+      log_->add(id_, true, i * sizeof(T), (i + 1) * sizeof(T));
+    }
     return p_[i];
   }
 
   [[nodiscard]] T* data() const { return p_; }
   [[nodiscard]] std::size_t size() const { return n_; }
+  [[nodiscard]] bool word_granular() const { return shadow_ != nullptr; }
+
+  /// Atomic read-modify-write of one element (GPU atomicAdd): atomics never
+  /// conflict with each other, only with plain reads/writes.
+  void atomic_add(std::size_t i, T v) const {
+    if (i >= n_) {
+      log_->add_oob(id_, i, true);
+      return;
+    }
+    if (shadow_ != nullptr) {
+      shadow_->record(id_, i, true, true);
+    } else {
+      log_->add(id_, true, i * sizeof(T), (i + 1) * sizeof(T));
+    }
+    p_[i] = static_cast<T>(p_[i] + v);
+  }
 
   /// Declare a bulk read / write / read-modify-write of [i, i+count) before
   /// touching it via data() (for code that scans with raw pointers).
@@ -320,6 +509,13 @@ class writer_view {
       if (i >= n_) return;
       count = n_ - i;
     }
+    if (shadow_ != nullptr) {
+      for (std::size_t k = 0; k < count; ++k) {
+        if (!write || also_read) shadow_->record(id_, i + k, false, false);
+        if (write) shadow_->record(id_, i + k, true, false);
+      }
+      return;
+    }
     if (!write || also_read) log_->add(id_, false, i * sizeof(T), (i + count) * sizeof(T));
     if (write) log_->add(id_, true, i * sizeof(T), (i + count) * sizeof(T));
   }
@@ -334,6 +530,7 @@ class writer_view {
   BlockLog* log_;
   std::uint32_t id_;
   bool rw_;
+  WordShadow* shadow_;
 };
 
 // ---------------------------------------------------------------------------
@@ -352,12 +549,14 @@ raw_writer_view<T> make_raw(const WriteBuf<T>& b) {
 }
 
 template <typename T>
-reader_view<T> make_tracked(const ReadBuf<T>& b, BlockLog* log, std::uint32_t id) {
-  return {b.p, b.n, log, id};
+reader_view<T> make_tracked(const ReadBuf<T>& b, BlockLog* log, std::uint32_t id,
+                            WordShadow* shadow) {
+  return {b.p, b.n, log, id, shadow};
 }
 template <typename T>
-writer_view<T> make_tracked(const WriteBuf<T>& b, BlockLog* log, std::uint32_t id) {
-  return {b.p, b.n, log, id, b.read_write};
+writer_view<T> make_tracked(const WriteBuf<T>& b, BlockLog* log, std::uint32_t id,
+                            WordShadow* shadow) {
+  return {b.p, b.n, log, id, b.read_write, shadow};
 }
 
 template <typename T>
@@ -380,9 +579,105 @@ decltype(auto) with_raw_views(const Tuple& t, Fn&& fn, std::index_sequence<I...>
 }
 
 template <typename Tuple, typename Fn, std::size_t... I>
-decltype(auto) with_tracked_views(const Tuple& t, BlockLog* log, Fn&& fn,
+decltype(auto) with_tracked_views(const Tuple& t, BlockLog* log, WordShadow* shadow, Fn&& fn,
                                   std::index_sequence<I...>) {
-  return fn(make_tracked(std::get<I>(t), log, static_cast<std::uint32_t>(I))...);
+  return fn(make_tracked(std::get<I>(t), log, static_cast<std::uint32_t>(I), shadow)...);
+}
+
+// ---------------------------------------------------------------------------
+// Schedule-fuzz plumbing (non-template pieces live in check.cc).
+// ---------------------------------------------------------------------------
+
+/// FNV-1a over a byte range, seeded so empty buffers hash to the seed.
+[[nodiscard]] std::uint64_t fnv1a(const void* p, std::size_t nbytes);
+
+/// Fill `order` for perturbed schedule `s` (1-based): 1 is reversed, 2 is
+/// strictly serial (identity order, no OpenMP), >=3 are seeded shuffles run
+/// under a dynamic schedule.  Deterministic for a given (s, n).
+void make_fuzz_order(int s, std::size_t n, std::vector<std::size_t>& order, bool* parallel,
+                     std::string* name);
+
+void append_schedule_finding(const char* kernel, const char* buffer, const std::string& schedule,
+                             std::uint64_t ref, std::uint64_t got);
+void note_fuzzed_launch();
+
+template <typename T>
+void snapshot_one(const ReadBuf<T>&, std::vector<std::vector<std::uint8_t>>& out) {
+  out.emplace_back();  // read-only: keep index alignment with metas()
+}
+template <typename T>
+void snapshot_one(const WriteBuf<T>& b, std::vector<std::vector<std::uint8_t>>& out) {
+  const auto* bytes = reinterpret_cast<const std::uint8_t*>(b.p);
+  out.emplace_back(bytes, bytes + b.n * sizeof(T));
+}
+
+template <typename T>
+void restore_one(const ReadBuf<T>&, const std::vector<std::uint8_t>&) {}
+template <typename T>
+void restore_one(const WriteBuf<T>& b, const std::vector<std::uint8_t>& snap) {
+  if (!snap.empty()) std::memcpy(b.p, snap.data(), snap.size());
+}
+
+template <typename T>
+std::uint64_t checksum_one(const ReadBuf<T>&) {
+  return 0;  // read-only buffers never diverge (and are never diffed)
+}
+template <typename T>
+std::uint64_t checksum_one(const WriteBuf<T>& b) {
+  return fnv1a(b.p, b.n * sizeof(T));
+}
+
+template <typename... B>
+std::vector<std::vector<std::uint8_t>> snapshot_writable(const std::tuple<B...>& t) {
+  std::vector<std::vector<std::uint8_t>> snaps;
+  snaps.reserve(sizeof...(B));
+  std::apply([&](const auto&... b) { (snapshot_one(b, snaps), ...); }, t);
+  return snaps;
+}
+
+template <typename... B>
+void restore_writable(const std::tuple<B...>& t,
+                      const std::vector<std::vector<std::uint8_t>>& snaps) {
+  std::size_t i = 0;
+  std::apply([&](const auto&... b) { (restore_one(b, snaps[i++]), ...); }, t);
+}
+
+template <typename... B>
+std::vector<std::uint64_t> checksum_writable(const std::tuple<B...>& t) {
+  std::vector<std::uint64_t> sums;
+  sums.reserve(sizeof...(B));
+  std::apply([&](const auto&... b) { (sums.push_back(checksum_one(b)), ...); }, t);
+  return sums;
+}
+
+/// Replay the grid under `schedules` perturbed block orders, diffing every
+/// writable buffer's checksum against the canonical result.  `pre` is the
+/// snapshot taken before the canonical run; the canonical post-state is
+/// restored before returning so the pipeline continues deterministically.
+/// `invoke(order, parallel)` must execute the whole grid with raw views.
+template <typename... B, typename InvokeRaw>
+void run_schedule_fuzz(const char* kernel, const std::tuple<B...>& registered,
+                       std::size_t grid_count, int schedules,
+                       const std::vector<std::vector<std::uint8_t>>& pre, InvokeRaw&& invoke) {
+  const std::vector<BufMeta> meta = metas(registered);
+  const std::vector<std::uint64_t> ref = checksum_writable(registered);
+  const std::vector<std::vector<std::uint8_t>> post = snapshot_writable(registered);
+  std::vector<std::size_t> order(grid_count);
+  for (int s = 1; s <= schedules; ++s) {
+    bool parallel = true;
+    std::string name;
+    make_fuzz_order(s, grid_count, order, &parallel, &name);
+    restore_writable(registered, pre);
+    invoke(std::span<const std::size_t>(order), parallel);
+    const std::vector<std::uint64_t> got = checksum_writable(registered);
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      if (got[i] != ref[i]) {
+        append_schedule_finding(kernel, meta[i].name, name, ref[i], got[i]);
+      }
+    }
+  }
+  restore_writable(registered, post);
+  note_fuzzed_launch();
 }
 
 }  // namespace detail
@@ -391,47 +686,87 @@ decltype(auto) with_tracked_views(const Tuple& t, BlockLog* log, Fn&& fn,
 // Instrumented launches.
 // ---------------------------------------------------------------------------
 
+/// launch_blocks with buffer registration and per-launch granularity:
+/// body(block, view...).
+template <typename... B, typename Body>
+void launch(const char* kernel, std::size_t grid_size, Granularity gran,
+            const std::tuple<B...>& registered, Body&& body) {
+  constexpr auto seq = std::index_sequence_for<B...>{};
+  const Mode m = mode();
+  const bool word = m != Mode::kOff && (m == Mode::kWord || gran == Granularity::kWord);
+  const int schedules = grid_size > 1 ? fuzz_schedules() : 0;
+
+  const auto run_raw = [&](std::size_t b) {
+    detail::with_raw_views(registered, [&](const auto&... views) { body(b, views...); }, seq);
+  };
+
+  if (m == Mode::kOff && schedules == 0) {
+    launch_blocks(grid_size, run_raw);
+    return;
+  }
+
+  std::vector<std::vector<std::uint8_t>> pre;
+  if (schedules > 0) pre = detail::snapshot_writable(registered);
+
+  if (m == Mode::kOff) {
+    launch_blocks(grid_size, run_raw);
+  } else if (word) {
+    // Tier 2: serialize the grid so the shared shadow arrays need no locks
+    // and hazard reports are deterministic.
+    std::vector<BlockLog> logs(grid_size);
+    WordShadow shadow(kernel, detail::metas(registered));
+    for (std::size_t b = 0; b < grid_size; ++b) {
+      shadow.begin_block(b);
+      detail::t_lane = {true, kBlockLane, 0};
+      detail::with_tracked_views(
+          registered, &logs[b], &shadow, [&](const auto&... views) { body(b, views...); }, seq);
+      detail::t_lane.active = false;
+    }
+    shadow.finish();
+    analyze_launch(kernel, detail::metas(registered), logs);
+  } else {
+    std::vector<BlockLog> logs(grid_size);
+    launch_blocks(grid_size, [&](std::size_t b) {
+      detail::with_tracked_views(
+          registered, &logs[b], nullptr, [&](const auto&... views) { body(b, views...); }, seq);
+    });
+    analyze_launch(kernel, detail::metas(registered), logs);
+  }
+
+  if (schedules > 0) {
+    detail::run_schedule_fuzz(kernel, registered, grid_size, schedules, pre,
+                              [&](std::span<const std::size_t> order, bool parallel) {
+                                launch_blocks_in_order(order, parallel, run_raw);
+                              });
+  }
+}
+
 /// launch_blocks with buffer registration: body(block, view...).
 template <typename... B, typename Body>
 void launch(const char* kernel, std::size_t grid_size, const std::tuple<B...>& registered,
             Body&& body) {
-  constexpr auto seq = std::index_sequence_for<B...>{};
-  if (!enabled()) {
-    launch_blocks(grid_size, [&](std::size_t b) {
-      detail::with_raw_views(registered, [&](const auto&... views) { body(b, views...); }, seq);
-    });
-    return;
-  }
-  std::vector<BlockLog> logs(grid_size);
-  launch_blocks(grid_size, [&](std::size_t b) {
-    BlockLog* log = &logs[b];
-    detail::with_tracked_views(
-        registered, log, [&](const auto&... views) { body(b, views...); }, seq);
-  });
-  analyze_launch(kernel, detail::metas(registered), logs);
+  launch(kernel, grid_size, Granularity::kDefault, registered, std::forward<Body>(body));
 }
 
 /// launch_blocks_3d with buffer registration: body(bx, by, bz, view...).
 /// Block footprints are logged under the linear index (bz*gy + by)*gx + bx.
 template <typename... B, typename Body>
+void launch_3d(const char* kernel, Dim3 grid, Granularity gran, const std::tuple<B...>& registered,
+               Body&& body) {
+  const auto decompose = [grid, &body](std::size_t linear, const auto&... views) {
+    const auto bx = static_cast<std::uint32_t>(linear % grid.x);
+    const auto by = static_cast<std::uint32_t>((linear / grid.x) % grid.y);
+    const auto bz =
+        static_cast<std::uint32_t>(linear / (static_cast<std::size_t>(grid.x) * grid.y));
+    body(bx, by, bz, views...);
+  };
+  launch(kernel, grid.count(), gran, registered,
+         [&](std::size_t linear, const auto&... views) { decompose(linear, views...); });
+}
+
+template <typename... B, typename Body>
 void launch_3d(const char* kernel, Dim3 grid, const std::tuple<B...>& registered, Body&& body) {
-  constexpr auto seq = std::index_sequence_for<B...>{};
-  if (!enabled()) {
-    launch_blocks_3d(grid, [&](std::uint32_t bx, std::uint32_t by, std::uint32_t bz) {
-      detail::with_raw_views(registered,
-                             [&](const auto&... views) { body(bx, by, bz, views...); }, seq);
-    });
-    return;
-  }
-  std::vector<BlockLog> logs(grid.count());
-  launch_blocks_3d(grid, [&](std::uint32_t bx, std::uint32_t by, std::uint32_t bz) {
-    const std::size_t linear =
-        (static_cast<std::size_t>(bz) * grid.y + by) * grid.x + bx;
-    BlockLog* log = &logs[linear];
-    detail::with_tracked_views(
-        registered, log, [&](const auto&... views) { body(bx, by, bz, views...); }, seq);
-  });
-  analyze_launch(kernel, detail::metas(registered), logs);
+  launch_3d(kernel, grid, Granularity::kDefault, registered, std::forward<Body>(body));
 }
 
 }  // namespace szp::sim::checked

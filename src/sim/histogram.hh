@@ -3,13 +3,21 @@
 //
 // Each block accumulates into a private copy of the bins (the GPU's
 // shared-memory replication to dodge atomic contention), then private copies
-// are merged.  Out-of-range values are ignored (callers guarantee range).
+// are merged by a second kernel over disjoint bin ranges.  Both kernels go
+// through checked-launch registration so --check covers the histogram, and
+// the tile kernel models its cooperating threads: lanes own contiguous
+// sub-stripes of the tile and update the block-private row with atomicAdds,
+// which word-granular checking (check.hh tier 2) treats as non-conflicting —
+// exactly racecheck's view of shared-memory histogram privatization.
+// Out-of-range values are ignored (callers guarantee range).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <span>
 #include <vector>
 
+#include "sim/check.hh"
 #include "sim/launch.hh"
 #include "sim/profile.hh"
 
@@ -24,21 +32,47 @@ std::vector<std::uint64_t> device_histogram(std::span<const T> data,
   if (n == 0 || num_bins == 0) return bins;
   const std::size_t tiles = div_ceil(n, tile);
 
-#pragma omp parallel
-  {
-    std::vector<std::uint64_t> priv(num_bins, 0);  // block-private bins
-#pragma omp for schedule(static) nowait
-    for (long long t = 0; t < static_cast<long long>(tiles); ++t) {
-      const std::size_t lo = static_cast<std::size_t>(t) * tile;
-      const std::size_t hi = lo + tile < n ? lo + tile : n;
-      for (std::size_t i = lo; i < hi; ++i) {
-        const auto v = static_cast<std::size_t>(data[i]);
-        if (v < num_bins) ++priv[v];
-      }
-    }
-#pragma omp critical(szp_sim_histogram_merge)
-    for (std::size_t b = 0; b < num_bins; ++b) bins[b] += priv[b];
-  }
+  // Kernel 1: every block fills its private row of bins (shared-memory
+  // replication), kLanes threads striding over the tile.
+  std::vector<std::uint64_t> priv(tiles * num_bins, 0);
+  checked::launch(
+      "histogram/tile_bins", tiles,
+      checked::bufs(checked::in(data, "data"),
+                    checked::inout(std::span<std::uint64_t>(priv), "priv_bins")),
+      [&](std::size_t t, const auto& vdata, const auto& vpriv) {
+        const std::size_t lo = t * tile;
+        const std::size_t hi = std::min(lo + tile, n);
+        const std::size_t row = t * num_bins;
+        constexpr std::size_t kLanes = 32;
+        const std::size_t per_lane = div_ceil(hi - lo, kLanes);
+        for (std::size_t lane = 0; lane < kLanes; ++lane) {
+          checked::this_thread(static_cast<std::uint32_t>(lane));
+          const std::size_t a = std::min(lo + lane * per_lane, hi);
+          const std::size_t b = std::min(a + per_lane, hi);
+          for (std::size_t i = a; i < b; ++i) {
+            const auto v = static_cast<std::size_t>(vdata[i]);
+            if (v < num_bins) vpriv.atomic_add(row + v, 1);
+          }
+        }
+        checked::barrier();
+      });
+
+  // Kernel 2: merge — each block owns a disjoint range of bins and sums the
+  // private rows column-wise.
+  constexpr std::size_t kMergeBins = 256;
+  checked::launch(
+      "histogram/merge", div_ceil(num_bins, kMergeBins),
+      checked::bufs(checked::in(std::span<const std::uint64_t>(priv), "priv_bins"),
+                    checked::out(std::span<std::uint64_t>(bins), "bins")),
+      [&](std::size_t blk, const auto& vpriv, const auto& vbins) {
+        const std::size_t b0 = blk * kMergeBins;
+        const std::size_t b1 = std::min(b0 + kMergeBins, num_bins);
+        for (std::size_t b = b0; b < b1; ++b) {
+          std::uint64_t sum = 0;
+          for (std::size_t t = 0; t < tiles; ++t) sum += vpriv[t * num_bins + b];
+          vbins[b] = sum;
+        }
+      });
   return bins;
 }
 

@@ -12,6 +12,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 
 namespace szp::sim {
 
@@ -36,9 +37,35 @@ struct Dim3 {
 /// its block (the same independence the CUDA grid requires).
 template <typename Body>
 void launch_blocks(std::size_t grid_size, Body&& body) {
+  if (grid_size == 1) {
+    // Single-block grids run inline: no OpenMP team to spin up, and
+    // exceptions (e.g. corrupt-input errors in serial decode kernels) can
+    // propagate to the caller instead of terminating the parallel region.
+    body(std::size_t{0});
+    return;
+  }
 #pragma omp parallel for schedule(static)
   for (long long b = 0; b < static_cast<long long>(grid_size); ++b) {
     body(static_cast<std::size_t>(b));
+  }
+}
+
+/// Execute the grid visiting blocks in the given (permuted) order — the
+/// schedule fuzzer's replay engine.  With `parallel`, blocks are claimed from
+/// `order` by OpenMP threads under a dynamic schedule, perturbing both the
+/// block-to-thread assignment and the completion order relative to the
+/// canonical static run; otherwise the order is honored exactly, serially.
+/// Either way `body` sees each block index exactly once, so any output
+/// difference against the canonical run is order-dependence in the kernel.
+template <typename Body>
+void launch_blocks_in_order(std::span<const std::size_t> order, bool parallel, Body&& body) {
+  if (parallel) {
+#pragma omp parallel for schedule(dynamic, 1)
+    for (long long i = 0; i < static_cast<long long>(order.size()); ++i) {
+      body(order[static_cast<std::size_t>(i)]);
+    }
+  } else {
+    for (const std::size_t b : order) body(b);
   }
 }
 

@@ -43,6 +43,10 @@ RunsOutput<Key, Count> reduce_by_key(std::span<const Key> keys,
                   [&, n, tile](std::size_t t, const auto& vkeys) {
     const std::size_t lo = t * tile, hi = lo + tile < n ? lo + tile : n;
     auto& p = partial[t];
+    // Schedule fuzzing replays the grid; make the body idempotent by
+    // rebuilding this tile's run list from scratch each execution.
+    p.keys.clear();
+    p.counts.clear();
     Key cur = vkeys[lo];
     Count len = 1;
     for (std::size_t i = lo + 1; i < hi; ++i) {

@@ -1,0 +1,344 @@
+// Tier-2 checking (word-granular shadow memory + lane model) and schedule
+// fuzzing: seeded intra-block hazards that interval mode cannot see must be
+// flagged in word mode, benign striding and barrier-ordered reuse must not
+// be, seeded order-dependent kernels must be caught by the schedule fuzzer,
+// and full pipelines must run clean (zero false positives) under both.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <sstream>
+#include <vector>
+
+#include "baseline/cusz_ref.hh"
+#include "core/compressor.hh"
+#include "core/metrics.hh"
+#include "lossless/lzh.hh"
+#include "lossless/lzr.hh"
+#include "sim/check.hh"
+#include "tools/cli.hh"
+
+namespace {
+
+using namespace szp;
+namespace chk = sim::checked;
+
+/// Two lanes of one block write the same word in the same barrier epoch —
+/// the canonical intra-block hazard (e.g. a mis-assigned warp-shuffle slot).
+template <typename View>
+void seeded_intra_block_ww(std::size_t, const View& v) {
+  chk::this_thread(0);
+  v[5] = 1;
+  chk::this_thread(1);
+  v[5] = 2;  // lane 1 collides with lane 0's write, no barrier between
+}
+
+TEST(SimCheckWord, IntervalModeMissesIntraBlockHazard) {
+  chk::ScopedMode guard(chk::Mode::kInterval);
+  std::vector<int> buf(16, 0);
+  chk::launch("seeded_intra_ww", 1, chk::bufs(chk::out(std::span<int>(buf), "buf")),
+              [](std::size_t b, const auto& v) { seeded_intra_block_ww(b, v); });
+  // One block: interval footprints cannot conflict with themselves.
+  EXPECT_TRUE(chk::current_report().clean()) << chk::report_text();
+  EXPECT_EQ(chk::current_report().launches_checked, 1u);
+}
+
+TEST(SimCheckWord, WordModeCatchesIntraBlockHazard) {
+  chk::ScopedMode guard(chk::Mode::kWord);
+  std::vector<int> buf(16, 0);
+  chk::launch("seeded_intra_ww", 1, chk::bufs(chk::out(std::span<int>(buf), "buf")),
+              [](std::size_t b, const auto& v) { seeded_intra_block_ww(b, v); });
+  const auto& report = chk::current_report();
+  ASSERT_FALSE(report.hazards.empty()) << chk::report_text();
+  const auto& h = report.hazards.front();
+  EXPECT_EQ(h.kernel, "seeded_intra_ww");
+  EXPECT_EQ(h.buffer, "buf");
+  EXPECT_EQ(h.block, 0u);
+  EXPECT_EQ(h.word, 5u);
+  EXPECT_EQ(std::min(h.lane_a, h.lane_b), 0u);
+  EXPECT_EQ(std::max(h.lane_a, h.lane_b), 1u);
+  EXPECT_TRUE(h.write_write);
+  EXPECT_TRUE(report.races.empty()) << chk::report_text();
+}
+
+TEST(SimCheckWord, PerLaunchWordOptInUpgradesIntervalMode) {
+  chk::ScopedMode guard(chk::Mode::kInterval);
+  std::vector<int> buf(16, 0);
+  chk::launch("seeded_intra_ww_optin", 1, chk::Granularity::kWord,
+              chk::bufs(chk::out(std::span<int>(buf), "buf")),
+              [](std::size_t b, const auto& v) { seeded_intra_block_ww(b, v); });
+  EXPECT_FALSE(chk::current_report().hazards.empty()) << chk::report_text();
+}
+
+TEST(SimCheckWord, ReadWriteHazardAcrossLanes) {
+  chk::ScopedMode guard(chk::Mode::kWord);
+  std::vector<int> buf(16, 0);
+  chk::launch("seeded_intra_rw", 1, chk::bufs(chk::inout(std::span<int>(buf), "buf")),
+              [](std::size_t, const auto& v) {
+    chk::this_thread(0);
+    v[3] = 7;
+    chk::this_thread(1);
+    [[maybe_unused]] const int x = v[3];  // lane 1 reads lane 0's word, same epoch
+  });
+  const auto& report = chk::current_report();
+  ASSERT_FALSE(report.hazards.empty()) << chk::report_text();
+  EXPECT_FALSE(report.hazards.front().write_write);
+}
+
+TEST(SimCheckWord, BenignStridingIsNotFlagged) {
+  chk::ScopedMode guard(chk::Mode::kWord);
+  // Classic strided access: lane l owns every 4th word — disjoint footprints
+  // inside one epoch.  Racecheck would not flag this; neither must we.
+  std::vector<int> buf(64, 0);
+  chk::launch("benign_stride", 1, chk::bufs(chk::out(std::span<int>(buf), "buf")),
+              [](std::size_t, const auto& v) {
+    for (std::uint32_t lane = 0; lane < 4; ++lane) {
+      chk::this_thread(lane);
+      for (std::size_t i = lane; i < 64; i += 4) v[i] = static_cast<int>(lane);
+    }
+  });
+  EXPECT_TRUE(chk::current_report().clean()) << chk::report_text();
+}
+
+TEST(SimCheckWord, BarrierOrdersAccessesAcrossEpochs) {
+  chk::ScopedMode guard(chk::Mode::kWord);
+  // Lane 0 writes, __syncthreads(), lane 1 reads the same word: ordered, not
+  // a hazard — the pattern every staged shared-memory kernel relies on.
+  std::vector<int> buf(16, 0);
+  chk::launch("barrier_ordered", 1, chk::bufs(chk::inout(std::span<int>(buf), "buf")),
+              [](std::size_t, const auto& v) {
+    chk::this_thread(0);
+    v[5] = 42;
+    chk::barrier();
+    chk::this_thread(1);
+    v[6] = v[5] + 1;
+  });
+  EXPECT_TRUE(chk::current_report().clean()) << chk::report_text();
+}
+
+TEST(SimCheckWord, AtomicUpdatesFromDifferentLanesAreExempt) {
+  chk::ScopedMode guard(chk::Mode::kWord);
+  // Shared-memory histogram privatization: many lanes atomicAdd one bin.
+  std::vector<std::uint32_t> bins(8, 0);
+  chk::launch("atomic_bins", 1, chk::bufs(chk::inout(std::span<std::uint32_t>(bins), "bins")),
+              [](std::size_t, const auto& v) {
+    for (std::uint32_t lane = 0; lane < 8; ++lane) {
+      chk::this_thread(lane);
+      v.atomic_add(3, 1);
+    }
+  });
+  EXPECT_TRUE(chk::current_report().clean()) << chk::report_text();
+  EXPECT_EQ(bins[3], 8u);
+}
+
+TEST(SimCheckWord, WordModeStillFlagsCrossBlockRaces) {
+  chk::ScopedMode guard(chk::Mode::kWord);
+  std::vector<int> buf(64, 0);
+  chk::launch("cross_block_ww", 2, chk::bufs(chk::out(std::span<int>(buf), "buf")),
+              [](std::size_t b, const auto& v) { v[9] = static_cast<int>(b); });
+  const auto& report = chk::current_report();
+  ASSERT_FALSE(report.races.empty()) << chk::report_text();
+  EXPECT_TRUE(report.hazards.empty());
+  EXPECT_EQ(report.races.front().byte_lo, 9 * sizeof(int));
+}
+
+TEST(SimCheckWord, HazardReportNamesLaneBufferAndWord) {
+  chk::ScopedMode guard(chk::Mode::kWord);
+  std::vector<int> buf(16, 0);
+  chk::launch("named_hazard", 1, chk::bufs(chk::out(std::span<int>(buf), "cells")),
+              [](std::size_t b, const auto& v) { seeded_intra_block_ww(b, v); });
+  const std::string text = chk::report_text();
+  EXPECT_NE(text.find("named_hazard"), std::string::npos) << text;
+  EXPECT_NE(text.find("cells"), std::string::npos) << text;
+  EXPECT_NE(text.find("intra-block hazard"), std::string::npos) << text;
+  EXPECT_NE(text.find("lanes 0 and 1"), std::string::npos) << text;
+  EXPECT_NE(text.find("word 5"), std::string::npos) << text;
+}
+
+// --------------------------------------------------------------------------
+// Schedule fuzzing.
+// --------------------------------------------------------------------------
+
+TEST(SimCheckFuzz, CatchesOrderDependentKernel) {
+  chk::ScopedMode guard(chk::Mode::kOff);
+  chk::ScopedFuzz fuzz(8);
+  // Last-writer-wins: every block stores its own index into word 0, so the
+  // final value is whichever block the schedule ran last — order-dependent
+  // output that no footprint analysis can prove wrong.
+  std::vector<int> buf(64, -1);
+  chk::launch("seeded_order_dep", 64, chk::bufs(chk::inout(std::span<int>(buf), "buf")),
+              [](std::size_t b, const auto& v) {
+    v[b] = static_cast<int>(b);  // benign per-block cell
+    v[0] = static_cast<int>(b);  // all blocks collide here
+  });
+  const auto& report = chk::current_report();
+  EXPECT_EQ(report.launches_fuzzed, 1u);
+  EXPECT_FALSE(report.schedule_diffs.empty()) << chk::report_text();
+  EXPECT_EQ(report.schedule_diffs.front().kernel, "seeded_order_dep");
+  EXPECT_EQ(report.schedule_diffs.front().buffer, "buf");
+}
+
+TEST(SimCheckFuzz, OrderInvariantKernelIsClean) {
+  chk::ScopedMode guard(chk::Mode::kOff);
+  chk::ScopedFuzz fuzz(8);
+  std::vector<int> in(256, 3);
+  std::vector<int> out(8, 0);
+  chk::launch("order_invariant", 8,
+              chk::bufs(chk::in(std::span<const int>(in), "in"),
+                        chk::out(std::span<int>(out), "out")),
+              [](std::size_t b, const auto& vin, const auto& vout) {
+    int acc = 0;
+    for (std::size_t i = 0; i < 32; ++i) acc += vin[b * 32 + i];
+    vout[b] = acc;
+  });
+  const auto& report = chk::current_report();
+  EXPECT_EQ(report.launches_fuzzed, 1u);
+  EXPECT_TRUE(report.schedule_diffs.empty()) << chk::report_text();
+  for (int v : out) EXPECT_EQ(v, 96);
+}
+
+TEST(SimCheckFuzz, RestoresCanonicalResultAfterReplays) {
+  chk::ScopedMode guard(chk::Mode::kOff);
+  chk::ScopedFuzz fuzz(4);
+  std::vector<int> out(16, 0);
+  chk::launch("restore_post", 4, chk::bufs(chk::out(std::span<int>(out), "out")),
+              [](std::size_t b, const auto& v) {
+    for (std::size_t i = 0; i < 4; ++i) v[b * 4 + i] = static_cast<int>(b + 1);
+  });
+  for (std::size_t i = 0; i < 16; ++i) EXPECT_EQ(out[i], static_cast<int>(i / 4 + 1));
+}
+
+// --------------------------------------------------------------------------
+// Zero false positives and bit-stability: full pipelines.
+// --------------------------------------------------------------------------
+
+std::vector<float> smooth_field(const Extents& ext, std::uint32_t seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<float> dist(-1.0f, 1.0f);
+  std::vector<float> v(ext.count());
+  float acc = 0.0f;
+  for (auto& x : v) {
+    acc = 0.995f * acc + 0.02f * dist(rng);
+    x = acc + 0.001f * dist(rng);
+  }
+  return v;
+}
+
+class SimCheckWordRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimCheckWordRoundTrip, CompressDecompressHasNoFindings) {
+  const int rank = GetParam();
+  const Extents ext = rank == 1   ? Extents::d1(5000)
+                      : rank == 2 ? Extents::d2(60, 70)
+                                  : Extents::d3(17, 18, 19);
+  const auto data = smooth_field(ext, static_cast<std::uint32_t>(rank));
+
+  chk::ScopedMode guard(chk::Mode::kWord);
+  CompressConfig cfg;
+  cfg.eb = ErrorBound::relative(1e-3);
+  const auto compressed = Compressor(cfg).compress(data, ext);
+  const auto restored = Compressor::decompress(compressed.bytes);
+
+  const auto& report = chk::current_report();
+  EXPECT_GT(report.launches_checked, 0u);
+  EXPECT_TRUE(report.clean()) << chk::report_text();
+
+  const auto m = compare_fields(data, restored.data);
+  EXPECT_LT(m.max_abs_error, compressed.stats.eb_abs);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, SimCheckWordRoundTrip, ::testing::Values(1, 2, 3));
+
+TEST(SimCheckWord, BaselineCompressorRoundTripClean) {
+  const Extents ext = Extents::d2(48, 52);
+  const auto data = smooth_field(ext, 21);
+  chk::ScopedMode guard(chk::Mode::kWord);
+  baseline::CuszConfig cfg;
+  cfg.eb = ErrorBound::relative(1e-3);
+  const baseline::CuszCompressor comp(cfg);
+  const auto compressed = comp.compress(data, ext);
+  const auto restored = baseline::CuszCompressor::decompress(compressed.bytes);
+  const auto& report = chk::current_report();
+  EXPECT_GT(report.launches_checked, 0u);
+  EXPECT_TRUE(report.clean()) << chk::report_text();
+  const auto m = compare_fields(data, restored.data);
+  EXPECT_LT(m.max_abs_error, compressed.stats.eb_abs);
+}
+
+TEST(SimCheckWord, LosslessCodecsRoundTripClean) {
+  // Compressible byte stream through both LZ77 entropy stages.
+  std::vector<std::uint8_t> input(20000);
+  std::mt19937 rng(5);
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    input[i] = static_cast<std::uint8_t>((i / 64) % 7 == 0 ? 0 : rng() % 8);
+  }
+  chk::ScopedMode guard(chk::Mode::kWord);
+  const auto lzh_bytes = lossless::lzh_compress(input);
+  EXPECT_EQ(lossless::lzh_decompress(lzh_bytes), input);
+  const auto lzr_bytes = lossless::lzr_compress(input);
+  EXPECT_EQ(lossless::lzr_decompress(lzr_bytes), input);
+  const auto& report = chk::current_report();
+  EXPECT_GT(report.launches_checked, 0u);
+  EXPECT_TRUE(report.clean()) << chk::report_text();
+}
+
+TEST(SimCheckFuzz, CompressorArchivesAreScheduleInvariant) {
+  const Extents ext = Extents::d2(64, 80);
+  const auto data = smooth_field(ext, 31);
+  CompressConfig cfg;
+  cfg.eb = ErrorBound::relative(1e-3);
+
+  chk::set_mode(chk::Mode::kOff);
+  chk::set_fuzz_schedules(0);
+  chk::reset();
+  const auto canonical = Compressor(cfg).compress(data, ext);
+
+  chk::ScopedMode guard(chk::Mode::kOff);
+  chk::ScopedFuzz fuzz(8);
+  const auto fuzzed = Compressor(cfg).compress(data, ext);
+  const auto& report = chk::current_report();
+  EXPECT_GT(report.launches_fuzzed, 0u);
+  EXPECT_TRUE(report.schedule_diffs.empty()) << chk::report_text();
+  // Every registered kernel replayed under 8 perturbed schedules without
+  // diverging, and the final archive is bit-identical to the unfuzzed one.
+  EXPECT_EQ(fuzzed.bytes, canonical.bytes);
+
+  const auto restored = Compressor::decompress(fuzzed.bytes);
+  const auto m = compare_fields(data, restored.data);
+  EXPECT_LT(m.max_abs_error, fuzzed.stats.eb_abs);
+}
+
+TEST(SimCheckWordCli, WordAndFuzzFlagsReportClean) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "szp_sim_check_word_cli";
+  fs::create_directories(dir);
+  const Extents ext = Extents::d1(4096);
+  const auto data = smooth_field(ext, 13);
+  {
+    std::ofstream f((dir / "in.f32").string(), std::ios::binary);
+    f.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size() * sizeof(float)));
+  }
+  {
+    std::ostringstream out, err;
+    const int rc = szp::cli::run({"compress", "-i", (dir / "in.f32").string(), "-o",
+                                  (dir / "out.szp").string(), "-d", "4096", "--eb", "1e-3",
+                                  "--check=word"},
+                                 out, err);
+    EXPECT_EQ(rc, 0) << err.str() << out.str();
+    EXPECT_NE(out.str().find("no violations detected"), std::string::npos) << out.str();
+  }
+  {
+    std::ostringstream out, err;
+    const int rc = szp::cli::run({"compress", "-i", (dir / "in.f32").string(), "-o",
+                                  (dir / "out.szp").string(), "-d", "4096", "--eb", "1e-3",
+                                  "--fuzz-schedule=2"},
+                                 out, err);
+    EXPECT_EQ(rc, 0) << err.str() << out.str();
+    EXPECT_NE(out.str().find("schedule-fuzzed"), std::string::npos) << out.str();
+  }
+  fs::remove_all(dir);
+}
+
+}  // namespace

@@ -129,13 +129,37 @@ void write_bytes(const std::string& path, std::span<const std::uint8_t> bytes) {
   if (!out) throw std::runtime_error("short write to " + path);
 }
 
-/// Run `fn` with the simulated-GPU race & bounds checker active when the
-/// user passed --check (or enabled it via SZP_SIM_CHECK / -DSZP_SIM_CHECK);
-/// print the findings and fold them into the exit code (0 clean, 3 when the
-/// checker fired).
+/// Run `fn` with the simulated-GPU checker active when the user passed
+/// --check / --check=word (or enabled it via SZP_SIM_CHECK), and/or with
+/// schedule fuzzing when --fuzz-schedule[=N] was given (or
+/// SZP_SIM_FUZZ_SCHEDULE); print the findings and fold them into the exit
+/// code (0 clean, 3 when the checker fired).
 int maybe_checked(const Args& a, std::ostream& out, const std::function<int()>& fn) {
-  if (!a.has_flag("--check") && !sim::checked::enabled()) return fn();
-  sim::checked::ScopedEnable guard;
+  std::optional<sim::checked::Mode> want_mode;
+  if (a.has_flag("--check=word")) {
+    want_mode = sim::checked::Mode::kWord;
+  } else if (a.has_flag("--check")) {
+    want_mode = sim::checked::Mode::kInterval;
+  }
+
+  std::optional<int> want_fuzz;
+  if (a.has_flag("--fuzz-schedule")) want_fuzz = 4;
+  for (const std::string& f : a.flags) {
+    if (f.rfind("--fuzz-schedule=", 0) == 0) {
+      const int n = std::stoi(f.substr(std::strlen("--fuzz-schedule=")));
+      if (n <= 0) throw std::invalid_argument("--fuzz-schedule needs a positive count");
+      want_fuzz = n;
+    }
+  }
+
+  if (!want_mode && !want_fuzz && !sim::checked::enabled() &&
+      sim::checked::fuzz_schedules() == 0) {
+    return fn();
+  }
+
+  // Env-selected settings stay; explicit flags override them for this run.
+  sim::checked::ScopedMode mode_guard(want_mode.value_or(sim::checked::mode()));
+  sim::checked::ScopedFuzz fuzz_guard(want_fuzz.value_or(sim::checked::fuzz_schedules()));
   const int rc = fn();
   out << sim::checked::report_text();
   if (rc != 0) return rc;
@@ -328,8 +352,8 @@ void usage(std::ostream& err) {
          "  szp compress   -i in.f32 -o out.szp -d ZxYxX [--eb 1e-3] [--abs]\n"
          "                 [--workflow auto|huffman|rle|rle+vle]\n"
          "                 [--predictor lorenzo|regression|interpolation] [--double] [--stream N]\n"
-         "                 [--check]\n"
-         "  szp decompress -i in.szp -o out.f32 [--check]\n"
+         "                 [--check | --check=word] [--fuzz-schedule[=N]]\n"
+         "  szp decompress -i in.szp -o out.f32 [--check | --check=word] [--fuzz-schedule[=N]]\n"
          "  szp info       -i in.szp\n"
          "  szp gen        -o out.f32 --dataset CESM-ATM --field FSDSC [--scale 0.25]\n"
          "  szp verify     -a original.f32 -b restored.f32 [--double]\n"
@@ -338,7 +362,11 @@ void usage(std::ostream& err) {
          "  szp bundle-extract --bundle snap.szb --name VAR -o field.szp\n"
          "compress also accepts --psnr TARGET_DB in place of --eb.\n"
          "--check replays the run under the simulated-GPU race & bounds checker\n"
-         "(exit 3 if violations are found); SZP_SIM_CHECK=1 enables it globally.\n";
+         "(exit 3 if violations are found); SZP_SIM_CHECK=1 enables it globally.\n"
+         "--check=word upgrades to word-granular shadow memory (racecheck-style\n"
+         "intra-block hazard detection; SZP_SIM_CHECK=word globally).\n"
+         "--fuzz-schedule[=N] replays every multi-block kernel under N perturbed\n"
+         "block orders and reports any output divergence (SZP_SIM_FUZZ_SCHEDULE=N).\n";
 }
 
 }  // namespace
