@@ -2,7 +2,9 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <string>
 
+#include "core/error.hh"
 #include "core/huffman/codec.hh"
 #include "core/metrics.hh"
 #include "core/serialize.hh"
@@ -92,30 +94,69 @@ Compressed CuszCompressor::compress(std::span<const float> data, const Extents& 
 }
 
 Decompressed CuszCompressor::decompress(std::span<const std::uint8_t> archive) {
+  return decode_guard("cusz archive", [&] {
   ByteReader r(archive);
+  r.set_segment("header");
   if (r.get<std::uint32_t>() != kMagic) {
-    throw std::runtime_error("CuszCompressor::decompress: bad magic");
+    throw DecodeError(DecodeErrorKind::kBadMagic, "header", "not a CSZ0 archive");
   }
   Extents ext;
   ext.rank = r.get<std::uint8_t>();
   ext.nx = r.get<std::uint64_t>();
   ext.ny = r.get<std::uint64_t>();
   ext.nz = r.get<std::uint64_t>();
+  if (ext.rank < 1 || ext.rank > 3) {
+    throw DecodeError(DecodeErrorKind::kCorruptStream, "header",
+                      "rank " + std::to_string(ext.rank) + " outside [1, 3]");
+  }
+  if (ext.nx == 0 || ext.ny == 0 || ext.nz == 0 ||
+      (ext.rank < 2 && ext.ny != 1) || (ext.rank < 3 && ext.nz != 1)) {
+    throw DecodeError(DecodeErrorKind::kCorruptStream, "header",
+                      "extents inconsistent with the declared rank");
+  }
+  std::uint64_t count = 0;
+  if (__builtin_mul_overflow(ext.nx, ext.ny, &count) ||
+      __builtin_mul_overflow(count, ext.nz, &count)) {
+    throw DecodeError(DecodeErrorKind::kLengthOverflow, "header",
+                      "extents overflow the element count");
+  }
   const double eb_abs = r.get<double>();
-  QuantConfig qcfg{r.get<std::uint32_t>()};
+  if (!(eb_abs > 0.0) || !std::isfinite(eb_abs)) {
+    throw DecodeError(DecodeErrorKind::kCorruptStream, "header",
+                      "error bound is not a finite positive value");
+  }
+  const auto capacity = r.get<std::uint32_t>();
+  if (capacity < 2) {
+    throw DecodeError(DecodeErrorKind::kCorruptStream, "header",
+                      "quantizer capacity " + std::to_string(capacity) + " below 2");
+  }
+  QuantConfig qcfg{capacity};
 
   sim::SparseVector<qdiff_t> outliers;
+  r.set_segment("outliers");
   outliers.indices = r.get_vector<std::uint64_t>();
   outliers.values = r.get_vector<qdiff_t>();
+  const std::size_t n = count;
+  if (outliers.indices.size() != outliers.values.size()) {
+    throw DecodeError(DecodeErrorKind::kCorruptStream, "outliers",
+                      "index/value stream size mismatch");
+  }
+  for (const auto idx : outliers.indices) {
+    if (idx >= n) {
+      throw DecodeError(DecodeErrorKind::kCorruptStream, "outliers",
+                        "outlier index " + std::to_string(idx) + " outside the " +
+                            std::to_string(n) + "-element grid");
+    }
+  }
 
   HuffmanEncoded enc;
   const auto book = HuffmanCodebook::deserialize(r);
+  r.set_segment("huffman stream");
   enc.num_symbols = r.get<std::uint64_t>();
   enc.chunk_size = r.get<std::uint32_t>();
   enc.chunk_offsets = r.get_vector<std::uint64_t>();
   enc.payload = r.get_vector<std::uint8_t>();
 
-  const std::size_t n = ext.count();
   const std::size_t payload_bytes = n * sizeof(float);
 
   Decompressed out;
@@ -125,7 +166,9 @@ Decompressed CuszCompressor::decompress(std::span<const std::uint8_t> archive) {
   auto dec = huffman_decode(enc, book);
   out.pipeline.add({"huffman_decode", payload_bytes, t.seconds(), dec.cost});
   if (dec.symbols.size() != n) {
-    throw std::runtime_error("CuszCompressor::decompress: symbol count mismatch");
+    throw DecodeError(DecodeErrorKind::kCorruptStream, "huffman stream",
+                      "decoded " + std::to_string(dec.symbols.size()) +
+                          " symbols, the grid holds " + std::to_string(n));
   }
 
   // Scatter value-space outliers into a dense array for the coarse kernel's
@@ -144,6 +187,7 @@ Decompressed CuszCompressor::decompress(std::span<const std::uint8_t> archive) {
       std::span<float>(out.data.data(), out.data.size()));
   out.pipeline.add({"lorenzo_reconstruct", payload_bytes, t.seconds(), cost});
   return out;
+  });
 }
 
 }  // namespace szp::baseline

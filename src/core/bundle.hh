@@ -14,6 +14,8 @@
 
 namespace szp {
 
+struct BundleSalvage;
+
 class Bundle {
  public:
   struct Entry {
@@ -31,15 +33,31 @@ class Bundle {
   /// The archive stored under `name`; throws std::out_of_range if absent.
   [[nodiscard]] const std::vector<std::uint8_t>& archive(const std::string& name) const;
 
-  /// Pack into one self-describing blob (with its own trailing CRC-32).
+  /// Pack into one self-describing blob (format v2: a per-entry CRC-32 over
+  /// each name+archive pair, plus the whole-blob trailing CRC-32).
   [[nodiscard]] std::vector<std::uint8_t> serialize() const;
 
-  /// Parse a serialized bundle; verifies the checksum.
+  /// Parse a serialized bundle (v1 or v2); verifies every checksum and
+  /// throws DecodeError on any mismatch.
   [[nodiscard]] static Bundle deserialize(std::span<const std::uint8_t> bytes);
+
+  /// Salvage intact entries from a corrupt bundle.  v2 bundles verify each
+  /// entry's own CRC, so damage is localized; a v1 bundle with a bad
+  /// whole-blob CRC has no per-entry evidence, so every entry is reported
+  /// corrupt.  Throws DecodeError only when the header itself is unusable.
+  [[nodiscard]] static BundleSalvage deserialize_tolerant(std::span<const std::uint8_t> bytes);
 
  private:
   std::vector<std::string> names_;
   std::vector<std::vector<std::uint8_t>> archives_;
+};
+
+/// Result of Bundle::deserialize_tolerant: a best-effort parse of a damaged
+/// bundle.
+struct BundleSalvage {
+  Bundle bundle;                     ///< entries whose integrity verified
+  std::vector<std::string> corrupt;  ///< names (or "entry #i") that did not
+  bool container_crc_ok = true;      ///< whole-blob trailing CRC verdict
 };
 
 }  // namespace szp

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "core/checksum.hh"
+#include "core/error.hh"
 #include "core/huffman/codec.hh"
 #include "core/predictor/interpolation.hh"
 #include "core/predictor/regression.hh"
@@ -42,6 +43,7 @@ struct HuffmanSection {
 HuffmanSection read_huffman_section(ByteReader& r) {
   HuffmanSection s;
   s.book = HuffmanCodebook::deserialize(r);
+  r.set_segment("huffman stream");
   s.enc.num_symbols = r.get<std::uint64_t>();
   s.enc.chunk_size = r.get<std::uint32_t>();
   s.enc.gap_stride = r.get<std::uint32_t>();
@@ -259,15 +261,92 @@ Compressed compress_impl(const CompressConfig& cfg_, std::span<const T> data,
 /// Verify and strip the trailing CRC-32.
 std::span<const std::uint8_t> checked_body(std::span<const std::uint8_t> archive) {
   if (archive.size() < 4) {
-    throw std::runtime_error("Compressor: archive too small to hold a checksum");
+    throw DecodeError(DecodeErrorKind::kTruncated, "archive",
+                      "too small to hold the trailing checksum");
   }
   const auto body = archive.subspan(0, archive.size() - 4);
   std::uint32_t stored = 0;
   std::memcpy(&stored, archive.data() + archive.size() - 4, 4);
   if (crc32(body) != stored) {
-    throw std::runtime_error("Compressor: archive checksum mismatch (corrupt data)");
+    throw DecodeError(DecodeErrorKind::kChecksumMismatch, "archive",
+                      "trailing CRC-32 does not match the archive body");
   }
   return body;
+}
+
+/// Shared header parse for inspect/decompress; leaves the reader positioned
+/// at the predictor aux payload.
+struct ParsedHeader {
+  Workflow workflow;
+  DType dtype;
+  Extents extents;
+  double eb_abs;
+  std::uint32_t capacity;
+  PredictorKind predictor;
+};
+
+ParsedHeader read_header(ByteReader& r) {
+  r.set_segment("header");
+  if (r.get<std::uint32_t>() != kMagic) {
+    throw DecodeError(DecodeErrorKind::kBadMagic, "header", "not an szp archive");
+  }
+  const auto version = r.get<std::uint16_t>();
+  if (version != kVersion) {
+    throw DecodeError(DecodeErrorKind::kBadVersion, "header",
+                      "archive version " + std::to_string(version) + ", expected " +
+                          std::to_string(kVersion));
+  }
+  ParsedHeader h;
+  h.extents.rank = r.get<std::uint8_t>();
+  const auto wf = r.get<std::uint8_t>();
+  const auto dt = r.get<std::uint8_t>();
+  h.extents.nx = r.get<std::uint64_t>();
+  h.extents.ny = r.get<std::uint64_t>();
+  h.extents.nz = r.get<std::uint64_t>();
+  h.eb_abs = r.get<double>();
+  h.capacity = r.get<std::uint32_t>();
+  const auto pred = r.get<std::uint8_t>();
+
+  if (h.extents.rank < 1 || h.extents.rank > 3) {
+    throw DecodeError(DecodeErrorKind::kCorruptStream, "header",
+                      "rank " + std::to_string(h.extents.rank) + " outside [1, 3]");
+  }
+  if (wf > static_cast<std::uint8_t>(Workflow::kRans) ||
+      static_cast<Workflow>(wf) == Workflow::kAuto) {
+    throw DecodeError(DecodeErrorKind::kCorruptStream, "header",
+                      "unknown workflow tag " + std::to_string(wf));
+  }
+  h.workflow = static_cast<Workflow>(wf);
+  if (static_cast<DType>(dt) != DType::kFloat32 && static_cast<DType>(dt) != DType::kFloat64) {
+    throw DecodeError(DecodeErrorKind::kCorruptStream, "header",
+                      "unknown element-type tag " + std::to_string(dt));
+  }
+  h.dtype = static_cast<DType>(dt);
+  if (h.extents.nx == 0 || h.extents.ny == 0 || h.extents.nz == 0 ||
+      (h.extents.rank < 2 && h.extents.ny != 1) || (h.extents.rank < 3 && h.extents.nz != 1)) {
+    throw DecodeError(DecodeErrorKind::kCorruptStream, "header",
+                      "extents inconsistent with the declared rank");
+  }
+  std::uint64_t count = 0;
+  if (__builtin_mul_overflow(h.extents.nx, h.extents.ny, &count) ||
+      __builtin_mul_overflow(count, h.extents.nz, &count)) {
+    throw DecodeError(DecodeErrorKind::kLengthOverflow, "header",
+                      "extents overflow the element count");
+  }
+  if (!(h.eb_abs > 0.0) || !std::isfinite(h.eb_abs)) {
+    throw DecodeError(DecodeErrorKind::kCorruptStream, "header",
+                      "error bound is not a finite positive value");
+  }
+  if (h.capacity < 2) {
+    throw DecodeError(DecodeErrorKind::kCorruptStream, "header",
+                      "quantizer capacity " + std::to_string(h.capacity) + " below 2");
+  }
+  if (pred > static_cast<std::uint8_t>(PredictorKind::kInterpolation)) {
+    throw DecodeError(DecodeErrorKind::kCorruptStream, "header",
+                      "unknown predictor tag " + std::to_string(pred));
+  }
+  h.predictor = static_cast<PredictorKind>(pred);
+  return h;
 }
 
 }  // namespace
@@ -281,58 +360,40 @@ Compressed Compressor::compress(std::span<const double> data, const Extents& ext
 }
 
 Compressor::ArchiveInfo Compressor::inspect(std::span<const std::uint8_t> archive) {
-  ByteReader r(checked_body(archive));
-  if (r.get<std::uint32_t>() != kMagic) {
-    throw std::runtime_error("Compressor::inspect: bad magic (not an szp archive)");
-  }
-  if (r.get<std::uint16_t>() != kVersion) {
-    throw std::runtime_error("Compressor::inspect: unsupported archive version");
-  }
-  ArchiveInfo info;
-  info.extents.rank = r.get<std::uint8_t>();
-  info.workflow = static_cast<Workflow>(r.get<std::uint8_t>());
-  info.dtype = static_cast<DType>(r.get<std::uint8_t>());
-  info.extents.nx = r.get<std::uint64_t>();
-  info.extents.ny = r.get<std::uint64_t>();
-  info.extents.nz = r.get<std::uint64_t>();
-  info.eb_abs = r.get<double>();
-  info.capacity = r.get<std::uint32_t>();
-  info.predictor = static_cast<PredictorKind>(r.get<std::uint8_t>());
-  return info;
+  return decode_guard("szp archive", [&] {
+    ByteReader r(checked_body(archive));
+    const ParsedHeader h = read_header(r);
+    ArchiveInfo info;
+    info.workflow = h.workflow;
+    info.dtype = h.dtype;
+    info.extents = h.extents;
+    info.eb_abs = h.eb_abs;
+    info.capacity = h.capacity;
+    info.predictor = h.predictor;
+    return info;
+  });
 }
 
 Decompressed Compressor::decompress(std::span<const std::uint8_t> archive,
                                     const ReconstructConfig& recon) {
+  return decode_guard("szp archive", [&] {
   ByteReader r(checked_body(archive));
-  if (r.get<std::uint32_t>() != kMagic) {
-    throw std::runtime_error("Compressor::decompress: bad magic (not an szp archive)");
-  }
-  if (r.get<std::uint16_t>() != kVersion) {
-    throw std::runtime_error("Compressor::decompress: unsupported archive version");
-  }
-  const int rank = r.get<std::uint8_t>();
-  const auto wf = static_cast<Workflow>(r.get<std::uint8_t>());
-  const auto dtype = static_cast<DType>(r.get<std::uint8_t>());
-  if (dtype != DType::kFloat32 && dtype != DType::kFloat64) {
-    throw std::runtime_error("Compressor::decompress: unknown element type in archive");
-  }
-  Extents ext;
-  ext.nx = r.get<std::uint64_t>();
-  ext.ny = r.get<std::uint64_t>();
-  ext.nz = r.get<std::uint64_t>();
-  ext.rank = rank;
-  const double eb_abs = r.get<double>();
-  const std::uint32_t capacity = r.get<std::uint32_t>();
-  const auto predictor = static_cast<PredictorKind>(r.get<std::uint8_t>());
+  const ParsedHeader h = read_header(r);
+  const Workflow wf = h.workflow;
+  const DType dtype = h.dtype;
+  const Extents ext = h.extents;
+  const double eb_abs = h.eb_abs;
+  const std::uint32_t capacity = h.capacity;
+  const PredictorKind predictor = h.predictor;
   std::vector<float> coefficients;
   int interp_level = 0;
   if (predictor == PredictorKind::kRegression) {
+    r.set_segment("coefficients");
     coefficients = r.get_vector<float>();
   } else if (predictor == PredictorKind::kInterpolation) {
+    r.set_segment("coefficients");
     interp_level = r.get<std::uint8_t>();
     coefficients = r.get_vector<float>();
-  } else if (predictor != PredictorKind::kLorenzo) {
-    throw std::runtime_error("Compressor::decompress: unknown predictor in archive");
   }
   const auto radius = static_cast<std::int32_t>(capacity / 2);
   const std::size_t n = ext.count();
@@ -340,8 +401,24 @@ Decompressed Compressor::decompress(std::span<const std::uint8_t> archive,
       n * (dtype == DType::kFloat32 ? sizeof(float) : sizeof(double));
 
   sim::SparseVector<qdiff_t> outliers;
+  r.set_segment("outliers");
   outliers.indices = r.get_vector<std::uint64_t>();
   outliers.values = r.get_vector<qdiff_t>();
+  if (outliers.indices.size() != outliers.values.size()) {
+    throw DecodeError(DecodeErrorKind::kCorruptStream, "outliers",
+                      "index/value stream size mismatch (" +
+                          std::to_string(outliers.indices.size()) + " vs " +
+                          std::to_string(outliers.values.size()) + ")");
+  }
+  // Every outlier index feeds a scatter write; validate against the element
+  // count so a corrupt index cannot write outside the output buffer.
+  for (const auto idx : outliers.indices) {
+    if (idx >= n) {
+      throw DecodeError(DecodeErrorKind::kCorruptStream, "outliers",
+                        "outlier index " + std::to_string(idx) + " outside the " +
+                            std::to_string(n) + "-element grid");
+    }
+  }
 
   Decompressed out;
   out.extents = ext;
@@ -349,6 +426,7 @@ Decompressed Compressor::decompress(std::span<const std::uint8_t> archive,
 
   // --- Decode quant-codes ---------------------------------------------------
   sim::Timer t;
+  r.set_segment("quant-codes");
   std::vector<quant_t> quant;
   switch (wf) {
     case Workflow::kHuffman: {
@@ -387,7 +465,15 @@ Decompressed Compressor::decompress(std::span<const std::uint8_t> archive,
     }
     case Workflow::kRans: {
       const auto model = RansModel::deserialize(r);
+      r.set_segment("quant-codes");
       const auto count = r.get<std::uint64_t>();
+      if (count != n) {
+        // Checked before rans_decode so a spliced count cannot drive the
+        // symbol-buffer allocation past the grid size.
+        throw DecodeError(DecodeErrorKind::kCorruptStream, "quant-codes",
+                          "rans symbol count " + std::to_string(count) +
+                              " does not match the " + std::to_string(n) + "-element grid");
+      }
       const auto enc = r.get_vector<std::uint8_t>();
       const auto syms = rans_decode(enc, count, model);
       quant.assign(syms.begin(), syms.end());
@@ -400,11 +486,13 @@ Decompressed Compressor::decompress(std::span<const std::uint8_t> archive,
       out.pipeline.add({"rans_decode", payload_bytes, t.seconds(), cost});
       break;
     }
-    default:
-      throw std::runtime_error("Compressor::decompress: unknown workflow in archive");
+    case Workflow::kAuto:
+      throw std::logic_error("Compressor::decompress: kAuto survived header validation");
   }
   if (quant.size() != n) {
-    throw std::runtime_error("Compressor::decompress: decoded symbol count mismatch");
+    throw DecodeError(DecodeErrorKind::kCorruptStream, "quant-codes",
+                      "decoded " + std::to_string(quant.size()) + " symbols, the grid holds " +
+                          std::to_string(n));
   }
 
   const QuantConfig qcfg{capacity};
@@ -469,6 +557,7 @@ Decompressed Compressor::decompress(std::span<const std::uint8_t> archive,
   }
   out.pipeline.add({"lorenzo_reconstruct", payload_bytes, t.seconds(), recon_cost});
   return out;
+  });
 }
 
 }  // namespace szp

@@ -1,0 +1,82 @@
+// szp — structured error taxonomy for the decode side.
+//
+// Archives are untrusted input: they arrive truncated, bit-flipped, spliced,
+// or maliciously crafted.  Every decode path reports such damage as a
+// DecodeError carrying a machine-checkable kind plus the archive segment
+// (header / codebook / bitstream / outliers / …) where parsing failed, so
+// callers can distinguish corrupt input (recoverable, exit code 4 in the
+// CLI) from usage errors and genuine bugs — and operators can localize the
+// corruption.  DESIGN.md §9 documents the taxonomy and the mutation-fuzz
+// harness that enforces it.
+#pragma once
+
+#include <new>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace szp {
+
+/// What kind of damage the decoder detected.
+enum class DecodeErrorKind {
+  kTruncated,         ///< stream ended before a required field/payload
+  kBadMagic,          ///< leading magic does not identify a known format
+  kBadVersion,        ///< known format, unsupported version
+  kLengthOverflow,    ///< a length/offset field exceeds the remaining bytes
+  kChecksumMismatch,  ///< CRC-32 over a segment or archive does not match
+  kCorruptStream,     ///< structurally invalid content (codes, counts, state)
+};
+
+[[nodiscard]] constexpr const char* decode_error_kind_name(DecodeErrorKind k) {
+  switch (k) {
+    case DecodeErrorKind::kTruncated: return "truncated";
+    case DecodeErrorKind::kBadMagic: return "bad-magic";
+    case DecodeErrorKind::kBadVersion: return "bad-version";
+    case DecodeErrorKind::kLengthOverflow: return "length-overflow";
+    case DecodeErrorKind::kChecksumMismatch: return "checksum-mismatch";
+    case DecodeErrorKind::kCorruptStream: return "corrupt-stream";
+  }
+  return "?";
+}
+
+/// Thrown by every decode path on damaged input.  Derives from
+/// std::runtime_error so legacy catch sites keep working; the what() string
+/// is "<kind> in <segment>: <detail>".
+class DecodeError : public std::runtime_error {
+ public:
+  DecodeError(DecodeErrorKind kind, std::string segment, const std::string& detail)
+      : std::runtime_error(std::string(decode_error_kind_name(kind)) + " in " + segment + ": " +
+                           detail),
+        kind_(kind),
+        segment_(std::move(segment)) {}
+
+  [[nodiscard]] DecodeErrorKind kind() const { return kind_; }
+  [[nodiscard]] const std::string& segment() const { return segment_; }
+
+ private:
+  DecodeErrorKind kind_;
+  std::string segment_;
+};
+
+/// Backstop for public decode entry points: translate the standard-library
+/// exceptions a crafted stream can still provoke (length_error/bad_alloc from
+/// implausible allocations, invalid_argument/out_of_range from constructor
+/// preconditions hit with decoded values) into DecodeError, so the caller
+/// contract is "corrupt input throws DecodeError, nothing else".
+template <typename Fn>
+auto decode_guard(const char* segment, Fn&& fn) -> decltype(fn()) {
+  try {
+    return fn();
+  } catch (const DecodeError&) {
+    throw;
+  } catch (const std::bad_alloc&) {
+    throw DecodeError(DecodeErrorKind::kLengthOverflow, segment,
+                      "allocation beyond plausible archive contents");
+  } catch (const std::length_error& e) {
+    throw DecodeError(DecodeErrorKind::kLengthOverflow, segment, e.what());
+  } catch (const std::logic_error& e) {
+    throw DecodeError(DecodeErrorKind::kCorruptStream, segment, e.what());
+  }
+}
+
+}  // namespace szp

@@ -3,8 +3,9 @@
 
 #include <cstdint>
 #include <span>
-#include <stdexcept>
 #include <vector>
+
+#include "core/error.hh"
 
 namespace szp {
 
@@ -42,7 +43,8 @@ class BitReader {
   [[nodiscard]] unsigned get_bit() {
     const std::size_t byte = pos_ >> 3;
     if (byte >= bytes_.size()) {
-      throw std::runtime_error("BitReader: read past end of stream");
+      throw DecodeError(DecodeErrorKind::kTruncated, "bitstream",
+                        "read past end of a " + std::to_string(bytes_.size()) + "-byte stream");
     }
     const unsigned bit = (bytes_[byte] >> (7 - (pos_ & 7))) & 1u;
     ++pos_;

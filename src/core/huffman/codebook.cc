@@ -172,20 +172,35 @@ void HuffmanCodebook::serialize(ByteWriter& w) const {
 }
 
 HuffmanCodebook HuffmanCodebook::deserialize(ByteReader& r) {
+  r.set_segment("codebook");
   HuffmanCodebook cb;
   const auto alphabet = r.get<std::uint32_t>();
   if (alphabet == 0 || alphabet > 65536) {
-    throw std::runtime_error("HuffmanCodebook::deserialize: bad alphabet size");
+    throw DecodeError(DecodeErrorKind::kCorruptStream, "codebook",
+                      "alphabet size " + std::to_string(alphabet) + " outside [1, 65536]");
   }
   cb.lengths_.assign(alphabet, 0);
   const auto live = r.get<std::uint32_t>();
   for (std::uint32_t i = 0; i < live; ++i) {
     const auto sym = r.get<std::uint32_t>();
     const auto len = r.get<std::uint8_t>();
-    if (sym >= alphabet || len == 0 || len > kMaxCodeLen) {
-      throw std::runtime_error("HuffmanCodebook::deserialize: corrupt symbol entry");
+    if (sym >= alphabet || len == 0 || len > kMaxCodeLen || cb.lengths_[sym] != 0) {
+      throw DecodeError(DecodeErrorKind::kCorruptStream, "codebook",
+                        "corrupt symbol entry " + std::to_string(i) + " of " +
+                            std::to_string(live));
     }
     cb.lengths_[sym] = len;
+  }
+  // Kraft inequality: a decodable prefix code satisfies sum(2^-len) <= 1.
+  // An over-subscribed length set from a spliced stream would make canonical
+  // code assignment ambiguous and decode silently wrong symbols.
+  unsigned __int128 kraft = 0;
+  for (const auto l : cb.lengths_) {
+    if (l > 0) kraft += static_cast<unsigned __int128>(1) << (kMaxCodeLen - l);
+  }
+  if (kraft > static_cast<unsigned __int128>(1) << kMaxCodeLen) {
+    throw DecodeError(DecodeErrorKind::kCorruptStream, "codebook",
+                      "code lengths violate the Kraft inequality (over-subscribed code space)");
   }
   cb.codes_.assign(cb.lengths_.size(), 0);
   cb.max_len_ = 0;

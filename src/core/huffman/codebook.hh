@@ -46,7 +46,9 @@ class HuffmanCodebook {
         return sorted_symbols_[first_index_[len] + static_cast<std::uint32_t>(code - first_code_[len])];
       }
     }
-    throw std::runtime_error("HuffmanCodebook: invalid code in stream");
+    throw DecodeError(DecodeErrorKind::kCorruptStream, "bitstream",
+                      "no canonical Huffman code matches the next " +
+                          std::to_string(max_len_) + " bits");
   }
 
   /// Analytic GPU cost of the (single-threaded) codebook construction.

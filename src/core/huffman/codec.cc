@@ -108,21 +108,36 @@ HuffmanEncoded huffman_encode(std::span<const quant_t> symbols, const HuffmanCod
 
 HuffmanDecoded huffman_decode(const HuffmanEncoded& enc, const HuffmanCodebook& book) {
   HuffmanDecoded dec;
-  dec.symbols.resize(enc.num_symbols);
   const std::size_t n = enc.num_symbols;
   if (n == 0) {
     return dec;
   }
+  // Metadata validation happens *before* the output allocation: every field
+  // here may come from an untrusted archive.  Each encoded symbol costs at
+  // least one payload bit, so num_symbols is bounded by the payload size —
+  // this also keeps the div_ceil below from wrapping on a spliced count.
+  if (n > enc.payload.size() * 8) {
+    throw DecodeError(DecodeErrorKind::kCorruptStream, "huffman stream",
+                      "symbol count " + std::to_string(n) + " exceeds the " +
+                          std::to_string(enc.payload.size() * 8) + " payload bits");
+  }
   if (enc.chunk_size == 0 ||
       enc.chunk_offsets.size() != sim::div_ceil(n, enc.chunk_size) + 1) {
-    throw std::runtime_error("huffman_decode: inconsistent chunk metadata");
+    throw DecodeError(DecodeErrorKind::kCorruptStream, "huffman stream",
+                      "inconsistent chunk metadata");
+  }
+  if (enc.gap_stride > 0 &&
+      (enc.gap_stride > enc.chunk_size || enc.chunk_size % enc.gap_stride != 0)) {
+    throw DecodeError(DecodeErrorKind::kCorruptStream, "huffman stream",
+                      "gap stride does not divide the chunk size");
   }
   // Validate offsets before the parallel region so no chunk can read out of
   // the payload's bounds.
   for (std::size_t c = 1; c < enc.chunk_offsets.size(); ++c) {
     if (enc.chunk_offsets[c] < enc.chunk_offsets[c - 1] ||
         enc.chunk_offsets[c] > enc.payload.size()) {
-      throw std::runtime_error("huffman_decode: corrupt chunk offsets");
+      throw DecodeError(DecodeErrorKind::kCorruptStream, "huffman stream",
+                        "corrupt chunk offsets");
     }
   }
 
@@ -130,9 +145,10 @@ HuffmanDecoded huffman_decode(const HuffmanEncoded& enc, const HuffmanCodebook& 
   const std::size_t subblocks_per_chunk =
       enc.gap_stride > 0 ? enc.chunk_size / enc.gap_stride : 1;
   if (enc.gap_stride > 0 && enc.gaps.size() != nchunks * subblocks_per_chunk) {
-    throw std::runtime_error("huffman_decode: gap array size mismatch");
+    throw DecodeError(DecodeErrorKind::kCorruptStream, "huffman stream",
+                      "gap array size mismatch");
   }
-  std::atomic<bool> corrupt{false};
+  dec.symbols.resize(n);
   namespace chk = sim::checked;
   chk::launch("huffman_decode", nchunks * subblocks_per_chunk,
               chk::bufs(chk::in(std::span<const std::uint8_t>(enc.payload), "payload"),
@@ -154,17 +170,13 @@ HuffmanDecoded huffman_decode(const HuffmanEncoded& enc, const HuffmanCodebook& 
     const std::uint64_t start_bit = enc.gap_stride > 0 ? vgaps[unit] : 0;
     vpayload.note_read(off, end - off);
     BitReader br(std::span<const std::uint8_t>(vpayload.data() + off, end - off), start_bit);
-    try {
-      for (std::size_t i = lo; i < hi; ++i) {
-        vsym[i] = static_cast<quant_t>(book.decode_one(br));
-      }
-    } catch (const std::runtime_error&) {
-      corrupt.store(true, std::memory_order_relaxed);
+    // A corrupt bitstream (invalid code, or a spliced gap offset pointing
+    // past the chunk) throws DecodeError right here, inside the grid; the
+    // exception-safe launch drains the remaining blocks and rethrows it.
+    for (std::size_t i = lo; i < hi; ++i) {
+      vsym[i] = static_cast<quant_t>(book.decode_one(br));
     }
   });
-  if (corrupt.load()) {
-    throw std::runtime_error("huffman_decode: corrupt bitstream");
-  }
 
   dec.cost.bytes_read = enc.byte_size() + book.alphabet_size() * 9;
   dec.cost.bytes_written = n * sizeof(quant_t);

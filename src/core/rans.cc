@@ -110,9 +110,11 @@ void RansModel::serialize(ByteWriter& w) const {
 }
 
 RansModel RansModel::deserialize(ByteReader& r) {
+  r.set_segment("rans model");
   const auto alphabet = r.get<std::uint32_t>();
   if (alphabet == 0 || alphabet > 65536) {
-    throw std::runtime_error("RansModel::deserialize: bad alphabet size");
+    throw DecodeError(DecodeErrorKind::kCorruptStream, "rans model",
+                      "alphabet size " + std::to_string(alphabet) + " outside [1, 65536]");
   }
   RansModel m;
   m.freq_.assign(alphabet, 0);
@@ -121,16 +123,18 @@ RansModel RansModel::deserialize(ByteReader& r) {
   for (std::uint32_t i = 0; i < live; ++i) {
     const auto sym = r.get<std::uint16_t>();
     const auto f = r.get<std::uint16_t>();
-    if (sym >= alphabet || f == 0) {
-      throw std::runtime_error("RansModel::deserialize: corrupt frequency entry");
+    if (sym >= alphabet || f == 0 || m.freq_[sym] != 0) {
+      throw DecodeError(DecodeErrorKind::kCorruptStream, "rans model",
+                        "corrupt frequency entry " + std::to_string(i) + " of " +
+                            std::to_string(live));
     }
     m.freq_[sym] = f;
     total += f;
   }
-  // freq 4096 does not fit u16? it does (4096 < 65536); but a single-symbol
-  // model has freq exactly kProbScale = 4096, still fine.
   if (total != kProbScale) {
-    throw std::runtime_error("RansModel::deserialize: frequencies do not sum to scale");
+    throw DecodeError(DecodeErrorKind::kCorruptStream, "rans model",
+                      "frequencies sum to " + std::to_string(total) + ", not the scale " +
+                          std::to_string(kProbScale));
   }
   m.finalize();
   return m;
@@ -170,7 +174,9 @@ std::vector<std::uint16_t> rans_decode(std::span<const std::uint8_t> bytes, std:
   std::size_t pos = 0;
   const auto next_byte = [&]() -> std::uint32_t {
     if (pos >= bytes.size()) {
-      throw std::runtime_error("rans_decode: stream exhausted");
+      throw DecodeError(DecodeErrorKind::kTruncated, "rans stream",
+                        "state renormalization ran past the " + std::to_string(bytes.size()) +
+                            "-byte stream");
     }
     return bytes[pos++];
   };
@@ -187,7 +193,8 @@ std::vector<std::uint16_t> rans_decode(std::span<const std::uint8_t> bytes, std:
     while (x < kLow) x = (x << 8) | next_byte();
   }
   if (x != kLow) {
-    throw std::runtime_error("rans_decode: final state mismatch (corrupt stream)");
+    throw DecodeError(DecodeErrorKind::kCorruptStream, "rans stream",
+                      "final decoder state mismatch");
   }
   return out;
 }

@@ -2,7 +2,9 @@
 
 #include <limits>
 #include <stdexcept>
+#include <string>
 
+#include "core/error.hh"
 #include "sim/check.hh"
 #include "sim/launch.hh"
 #include "sim/reduce_by_key.hh"
@@ -37,15 +39,21 @@ RleEncoded rle_encode(std::span<const quant_t> symbols) {
 RleDecoded rle_decode(const RleEncoded& enc) {
   RleDecoded dec;
   if (enc.values.size() != enc.counts.size()) {
-    throw std::invalid_argument("rle_decode: values/counts size mismatch");
+    throw DecodeError(DecodeErrorKind::kCorruptStream, "rle streams",
+                      "values/counts size mismatch (" + std::to_string(enc.values.size()) +
+                          " vs " + std::to_string(enc.counts.size()) + ")");
   }
   // Offsets of each run in the output (exclusive scan), then parallel fill.
+  // The sum is validated against the declared symbol count *before* the
+  // output allocation, so a spliced count cannot trigger a huge resize.
   std::vector<std::uint64_t> offset(enc.counts.size() + 1, 0);
   for (std::size_t r = 0; r < enc.counts.size(); ++r) {
     offset[r + 1] = offset[r] + enc.counts[r];
   }
   if (offset.back() != enc.num_symbols) {
-    throw std::runtime_error("rle_decode: run lengths do not sum to the symbol count");
+    throw DecodeError(DecodeErrorKind::kCorruptStream, "rle streams",
+                      "run lengths sum to " + std::to_string(offset.back()) +
+                          ", declared symbol count is " + std::to_string(enc.num_symbols));
   }
   dec.symbols.resize(enc.num_symbols);
   namespace chk = sim::checked;

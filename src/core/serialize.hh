@@ -1,12 +1,18 @@
 // szp — little-endian byte-stream serialization for archives.
+//
+// The reader side treats the stream as untrusted: every length field is
+// validated against the remaining bytes with overflow-safe arithmetic
+// *before* any allocation, and failures surface as szp::DecodeError tagged
+// with the segment the caller declared via set_segment().
 #pragma once
 
 #include <cstdint>
 #include <cstring>
 #include <span>
-#include <stdexcept>
 #include <string>
 #include <vector>
+
+#include "core/error.hh"
 
 namespace szp {
 
@@ -43,6 +49,11 @@ class ByteReader {
  public:
   explicit ByteReader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
 
+  /// Label the archive segment being parsed; it is embedded in every
+  /// DecodeError this reader throws so operators can localize corruption.
+  void set_segment(const char* segment) { segment_ = segment; }
+  [[nodiscard]] const char* segment() const { return segment_; }
+
   template <typename T>
   T get() {
     static_assert(std::is_trivially_copyable_v<T>);
@@ -55,27 +66,56 @@ class ByteReader {
 
   template <typename T>
   std::vector<T> get_vector() {
-    const auto n = get<std::uint64_t>();
-    require(n * sizeof(T));
-    std::vector<T> v(n);
-    std::memcpy(v.data(), bytes_.data() + pos_, n * sizeof(T));
-    pos_ += n * sizeof(T);
+    const std::uint64_t n = checked_count(sizeof(T));
+    std::vector<T> v(static_cast<std::size_t>(n));
+    std::memcpy(v.data(), bytes_.data() + pos_, static_cast<std::size_t>(n) * sizeof(T));
+    pos_ += static_cast<std::size_t>(n) * sizeof(T);
     return v;
   }
 
+  /// Zero-copy variant of get_vector<uint8_t>: a view into the underlying
+  /// buffer, valid for its lifetime.  Used for nested archives (streaming
+  /// slabs, bundle entries) so skipping or re-parsing never copies.
+  [[nodiscard]] std::span<const std::uint8_t> get_bytes() {
+    const std::uint64_t n = checked_count(1);
+    const auto view = bytes_.subspan(pos_, static_cast<std::size_t>(n));
+    pos_ += static_cast<std::size_t>(n);
+    return view;
+  }
+
   [[nodiscard]] std::size_t remaining() const { return bytes_.size() - pos_; }
+  [[nodiscard]] std::size_t position() const { return pos_; }
   [[nodiscard]] bool exhausted() const { return pos_ == bytes_.size(); }
 
  private:
+  /// Overflow-safe: pos_ <= bytes_.size() is an invariant, so the
+  /// subtraction cannot wrap — unlike the naive `pos_ + n > size()`, which a
+  /// crafted n close to UINT64_MAX would defeat.
   void require(std::size_t n) const {
-    if (pos_ + n > bytes_.size()) {
-      throw std::runtime_error("ByteReader: truncated archive (need " + std::to_string(n) +
-                               " bytes, have " + std::to_string(bytes_.size() - pos_) + ")");
+    if (n > bytes_.size() - pos_) {
+      throw DecodeError(DecodeErrorKind::kTruncated, segment_,
+                        "need " + std::to_string(n) + " bytes, have " +
+                            std::to_string(bytes_.size() - pos_));
     }
+  }
+
+  /// Read a 64-bit element count and validate it against the remaining bytes
+  /// *before* any multiplication or allocation, so a spliced length field
+  /// can neither wrap the bounds check nor trigger a huge allocation.
+  [[nodiscard]] std::uint64_t checked_count(std::size_t elem_size) {
+    const auto n = get<std::uint64_t>();
+    if (n > remaining() / elem_size) {
+      throw DecodeError(DecodeErrorKind::kLengthOverflow, segment_,
+                        "length field " + std::to_string(n) + " x " +
+                            std::to_string(elem_size) + " bytes exceeds the " +
+                            std::to_string(remaining()) + " remaining");
+    }
+    return n;
   }
 
   std::span<const std::uint8_t> bytes_;
   std::size_t pos_ = 0;
+  const char* segment_ = "archive";
 };
 
 }  // namespace szp

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
 
+#include "core/error.hh"
 #include "core/metrics.hh"
 #include "core/serialize.hh"
 
@@ -114,20 +116,94 @@ struct ContainerHeader {
 };
 
 ContainerHeader read_header(ByteReader& r) {
+  r.set_segment("header");
   if (r.get<std::uint32_t>() != kContainerMagic) {
-    throw std::runtime_error("StreamingCompressor: bad container magic");
+    throw DecodeError(DecodeErrorKind::kBadMagic, "header", "not an SZPC container");
   }
-  if (r.get<std::uint16_t>() != kContainerVersion) {
-    throw std::runtime_error("StreamingCompressor: unsupported container version");
+  const auto version = r.get<std::uint16_t>();
+  if (version != kContainerVersion) {
+    throw DecodeError(DecodeErrorKind::kBadVersion, "header",
+                      "container version " + std::to_string(version) + ", expected " +
+                          std::to_string(kContainerVersion));
   }
   ContainerHeader h{};
   h.extents.rank = r.get<std::uint8_t>();
-  h.dtype = static_cast<DType>(r.get<std::uint8_t>());
+  const auto dt = r.get<std::uint8_t>();
   h.extents.nx = r.get<std::uint64_t>();
   h.extents.ny = r.get<std::uint64_t>();
   h.extents.nz = r.get<std::uint64_t>();
   h.slabs = r.get<std::uint64_t>();
+  if (h.extents.rank < 1 || h.extents.rank > 3) {
+    throw DecodeError(DecodeErrorKind::kCorruptStream, "header",
+                      "rank " + std::to_string(h.extents.rank) + " outside [1, 3]");
+  }
+  if (static_cast<DType>(dt) != DType::kFloat32 && static_cast<DType>(dt) != DType::kFloat64) {
+    throw DecodeError(DecodeErrorKind::kCorruptStream, "header",
+                      "unknown element-type tag " + std::to_string(dt));
+  }
+  h.dtype = static_cast<DType>(dt);
+  if (h.extents.nx == 0 || h.extents.ny == 0 || h.extents.nz == 0 ||
+      (h.extents.rank < 2 && h.extents.ny != 1) || (h.extents.rank < 3 && h.extents.nz != 1)) {
+    throw DecodeError(DecodeErrorKind::kCorruptStream, "header",
+                      "extents inconsistent with the declared rank");
+  }
+  std::uint64_t count = 0;
+  if (__builtin_mul_overflow(h.extents.nx, h.extents.ny, &count) ||
+      __builtin_mul_overflow(count, h.extents.nz, &count)) {
+    throw DecodeError(DecodeErrorKind::kLengthOverflow, "header",
+                      "extents overflow the element count");
+  }
+  // Each slab entry is at least a u64 offset plus a u64 length prefix.
+  if (h.slabs > r.remaining() / 16) {
+    throw DecodeError(DecodeErrorKind::kLengthOverflow, "header",
+                      "slab count " + std::to_string(h.slabs) + " exceeds what " +
+                          std::to_string(r.remaining()) + " remaining bytes can hold");
+  }
   return h;
+}
+
+/// One validated entry of the slab directory: the byte span is a view into
+/// the container, decoded only after the whole directory proves consistent.
+struct SlabRef {
+  std::uint64_t offset;
+  std::span<const std::uint8_t> bytes;
+  std::size_t count;
+};
+
+/// Walk the slab directory without decoding payloads: inspect each nested
+/// archive's header and require the slabs to tile the field back-to-back,
+/// exactly as the writer lays them out.  Runs *before* the output field is
+/// allocated, so spliced extents cannot drive a huge resize.
+std::vector<SlabRef> read_slab_directory(ByteReader& r, const ContainerHeader& h) {
+  std::vector<SlabRef> slabs;
+  slabs.reserve(h.slabs);
+  std::uint64_t covered = 0;
+  const std::uint64_t total = h.extents.count();
+  for (std::size_t s = 0; s < h.slabs; ++s) {
+    r.set_segment("slab directory");
+    SlabRef ref{};
+    ref.offset = r.get<std::uint64_t>();
+    ref.bytes = r.get_bytes();
+    const auto info = Compressor::inspect(ref.bytes);
+    if (info.dtype != h.dtype) {
+      throw DecodeError(DecodeErrorKind::kCorruptStream, "slab directory",
+                        "slab " + std::to_string(s) + " element type disagrees with the container");
+    }
+    ref.count = info.extents.count();
+    if (ref.offset != covered || covered + ref.count > total) {
+      throw DecodeError(DecodeErrorKind::kCorruptStream, "slab directory",
+                        "slab " + std::to_string(s) + " at offset " +
+                            std::to_string(ref.offset) + " does not tile the field");
+    }
+    covered += ref.count;
+    slabs.push_back(ref);
+  }
+  if (covered != total) {
+    throw DecodeError(DecodeErrorKind::kCorruptStream, "slab directory",
+                      "slabs cover " + std::to_string(covered) + " of " + std::to_string(total) +
+                          " elements");
+  }
+  return slabs;
 }
 
 }  // namespace
@@ -143,13 +219,17 @@ StreamingCompressed StreamingCompressor::compress(std::span<const double> data,
 }
 
 std::size_t StreamingCompressor::slab_count(std::span<const std::uint8_t> container) {
-  ByteReader r(container);
-  return read_header(r).slabs;
+  return decode_guard("streaming container", [&] {
+    ByteReader r(container);
+    return read_header(r).slabs;
+  });
 }
 
 StreamingDecompressed StreamingCompressor::decompress(std::span<const std::uint8_t> container) {
+  return decode_guard("streaming container", [&] {
   ByteReader r(container);
   const ContainerHeader h = read_header(r);
+  const auto slabs = read_slab_directory(r, h);
 
   StreamingDecompressed out;
   out.extents = h.extents;
@@ -160,40 +240,46 @@ StreamingDecompressed StreamingCompressor::decompress(std::span<const std::uint8
     out.data_f64.resize(h.extents.count());
   }
 
-  for (std::size_t s = 0; s < h.slabs; ++s) {
-    const auto offset = r.get<std::uint64_t>();
-    const auto bytes = r.get_vector<std::uint8_t>();
-    auto slab = Compressor::decompress(bytes);
+  for (const SlabRef& ref : slabs) {
+    auto slab = Compressor::decompress(ref.bytes);
+    // The directory pass validated offset/count tiling from the slab
+    // headers; re-check against the decoded payload before the copy.
+    const std::size_t decoded =
+        h.dtype == DType::kFloat32 ? slab.data.size() : slab.data_f64.size();
+    if (decoded != ref.count) {
+      throw DecodeError(DecodeErrorKind::kCorruptStream, "slab directory",
+                        "slab decoded to " + std::to_string(decoded) +
+                            " elements, its header declared " + std::to_string(ref.count));
+    }
     if (h.dtype == DType::kFloat32) {
-      if (offset + slab.data.size() > out.data.size()) {
-        throw std::runtime_error("StreamingCompressor: slab exceeds field bounds");
-      }
       std::copy(slab.data.begin(), slab.data.end(),
-                out.data.begin() + static_cast<std::ptrdiff_t>(offset));
+                out.data.begin() + static_cast<std::ptrdiff_t>(ref.offset));
     } else {
-      if (offset + slab.data_f64.size() > out.data_f64.size()) {
-        throw std::runtime_error("StreamingCompressor: slab exceeds field bounds");
-      }
       std::copy(slab.data_f64.begin(), slab.data_f64.end(),
-                out.data_f64.begin() + static_cast<std::ptrdiff_t>(offset));
+                out.data_f64.begin() + static_cast<std::ptrdiff_t>(ref.offset));
     }
   }
   return out;
+  });
 }
 
 StreamingDecompressed StreamingCompressor::decompress_slab(
     std::span<const std::uint8_t> container, std::size_t slab_index, SlabInfo* info_out) {
-  ByteReader r(container);
-  const ContainerHeader h = read_header(r);
-  if (slab_index >= h.slabs) {
+  // A bad index with a well-formed container is a caller error, not archive
+  // corruption; resolve the count first so it keeps its own exception type.
+  if (slab_index >= slab_count(container)) {
     throw std::out_of_range("StreamingCompressor::decompress_slab: slab index out of range");
   }
+  return decode_guard("streaming container", [&] {
+  ByteReader r(container);
+  const ContainerHeader h = read_header(r);
+  r.set_segment("slab directory");
   for (std::size_t s = 0; s < slab_index; ++s) {
     (void)r.get<std::uint64_t>();
-    (void)r.get_vector<std::uint8_t>();  // skip (length-prefixed)
+    (void)r.get_bytes();  // skip (length-prefixed)
   }
   const auto offset = r.get<std::uint64_t>();
-  const auto bytes = r.get_vector<std::uint8_t>();
+  const auto bytes = r.get_bytes();
   auto slab = Compressor::decompress(bytes);
 
   StreamingDecompressed out;
@@ -206,6 +292,7 @@ StreamingDecompressed StreamingCompressor::decompress_slab(
     info_out->offset = offset;
   }
   return out;
+  });
 }
 
 }  // namespace szp

@@ -5,6 +5,32 @@
 
 namespace szp::data {
 
+std::vector<std::uint8_t> read_bytes(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) {
+    throw std::runtime_error("read_bytes: cannot open " + path.string());
+  }
+  std::vector<std::uint8_t> data(static_cast<std::size_t>(in.tellg()));
+  in.seekg(0);
+  in.read(reinterpret_cast<char*>(data.data()), static_cast<std::streamsize>(data.size()));
+  if (!in) {
+    throw std::runtime_error("read_bytes: short read from " + path.string());
+  }
+  return data;
+}
+
+void write_bytes(const std::filesystem::path& path, std::span<const std::uint8_t> data) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("write_bytes: cannot open " + path.string());
+  }
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size_bytes()));
+  if (!out) {
+    throw std::runtime_error("write_bytes: short write to " + path.string());
+  }
+}
+
 std::vector<float> read_f32(const std::filesystem::path& path) {
   std::ifstream in(path, std::ios::binary | std::ios::ate);
   if (!in) {

@@ -3,11 +3,18 @@
 // real SDRBench downloads in place of the synthetic generator.
 #pragma once
 
+#include <cstdint>
 #include <filesystem>
 #include <span>
 #include <vector>
 
 namespace szp::data {
+
+/// Read a whole file as raw bytes; throws std::runtime_error if missing.
+[[nodiscard]] std::vector<std::uint8_t> read_bytes(const std::filesystem::path& path);
+
+/// Write raw bytes (overwrites).
+void write_bytes(const std::filesystem::path& path, std::span<const std::uint8_t> data);
 
 /// Read a .f32 file; throws std::runtime_error if missing or not a whole
 /// number of floats.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "core/error.hh"
 #include "sim/check.hh"
 #include "sim/launch.hh"
 
@@ -176,12 +177,15 @@ bool lz77_expand(const Lz77Token& token, std::vector<std::uint8_t>& out) {
   }
   const std::size_t lc = token.litlen_sym - 257u;
   if (lc >= kLenBase.size() || token.dist_sym >= kDistBase.size()) {
-    throw std::runtime_error("lz77_expand: bad token");
+    throw DecodeError(DecodeErrorKind::kCorruptStream, "lz77 tokens",
+                      "length/distance symbol outside the alphabet");
   }
   const std::size_t len = kLenBase[lc] + token.len_extra;
   const std::size_t dist = kDistBase[token.dist_sym] + token.dist_extra;
   if (dist > out.size()) {
-    throw std::runtime_error("lz77_expand: distance before stream start");
+    throw DecodeError(DecodeErrorKind::kCorruptStream, "lz77 tokens",
+                      "match distance " + std::to_string(dist) + " reaches before the start of "
+                          "the " + std::to_string(out.size()) + "-byte output");
   }
   const std::size_t start = out.size() - dist;
   for (std::size_t k = 0; k < len; ++k) out.push_back(out[start + k]);

@@ -1,7 +1,9 @@
 #include "lossless/lzh.hh"
 
+#include <algorithm>
 #include <stdexcept>
 
+#include "core/error.hh"
 #include "core/huffman/bitio.hh"
 #include "core/huffman/codebook.hh"
 #include "core/serialize.hh"
@@ -61,17 +63,22 @@ std::vector<std::uint8_t> lzh_compress(std::span<const std::uint8_t> input,
 }
 
 std::vector<std::uint8_t> lzh_decompress(std::span<const std::uint8_t> input) {
+  return decode_guard("lzh archive", [&] {
   ByteReader r(input);
+  r.set_segment("header");
   if (r.get<std::uint32_t>() != kMagic) {
-    throw std::runtime_error("lzh_decompress: bad magic");
+    throw DecodeError(DecodeErrorKind::kBadMagic, "header", "not an SLZH stream");
   }
   const auto orig_size = r.get<std::uint64_t>();
   auto lit_book = HuffmanCodebook::deserialize(r);
   auto dist_book = HuffmanCodebook::deserialize(r);
+  r.set_segment("bitstream");
   const auto bits = r.get_vector<std::uint8_t>();
 
   std::vector<std::uint8_t> out;
-  out.reserve(orig_size);
+  // The declared size is untrusted: cap the speculative reservation and let
+  // the vector grow naturally; the decode loop is bounded by the bitstream.
+  out.reserve(std::min<std::uint64_t>(orig_size, 1u << 20));
   // Serial bit-level decode: one block reading the whole bitstream; the
   // growing output is block-owned heap state.
   namespace chk = sim::checked;
@@ -85,25 +92,34 @@ std::vector<std::uint8_t> lzh_decompress(std::span<const std::uint8_t> input) {
       t.litlen_sym = static_cast<std::uint16_t>(lit_book.decode_one(br));
       if (t.litlen_sym >= 257) {
         const std::size_t lc = t.litlen_sym - 257u;
-        if (lc >= kLenBase.size()) throw std::runtime_error("lzh_decompress: bad length symbol");
+        if (lc >= kLenBase.size()) {
+          throw DecodeError(DecodeErrorKind::kCorruptStream, "bitstream", "bad length symbol");
+        }
         for (unsigned b = kLenExtra[lc]; b-- > 0;) {
           t.len_extra = static_cast<std::uint16_t>(t.len_extra | (br.get_bit() << b));
         }
         t.dist_sym = static_cast<std::uint8_t>(dist_book.decode_one(br));
         if (t.dist_sym >= kDistBase.size()) {
-          throw std::runtime_error("lzh_decompress: bad distance symbol");
+          throw DecodeError(DecodeErrorKind::kCorruptStream, "bitstream", "bad distance symbol");
         }
         for (unsigned b = kDistExtra[t.dist_sym]; b-- > 0;) {
           t.dist_extra = static_cast<std::uint16_t>(t.dist_extra | (br.get_bit() << b));
         }
       }
       if (!lz77_expand(t, out)) break;
+      if (out.size() > orig_size) {
+        throw DecodeError(DecodeErrorKind::kCorruptStream, "bitstream",
+                          "decoded output exceeds the declared size");
+      }
     }
   });
   if (out.size() != orig_size) {
-    throw std::runtime_error("lzh_decompress: size mismatch after decode");
+    throw DecodeError(DecodeErrorKind::kCorruptStream, "bitstream",
+                      "decoded " + std::to_string(out.size()) + " bytes, header declared " +
+                          std::to_string(orig_size));
   }
   return out;
+  });
 }
 
 double lzh_ratio(std::span<const std::uint8_t> input) {

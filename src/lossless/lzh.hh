@@ -27,7 +27,7 @@ struct LzhConfig {
 [[nodiscard]] std::vector<std::uint8_t> lzh_compress(std::span<const std::uint8_t> input,
                                                      const LzhConfig& cfg = {});
 
-/// Inverse of lzh_compress.  Throws std::runtime_error on malformed input.
+/// Inverse of lzh_compress.  Throws szp::DecodeError on malformed input.
 [[nodiscard]] std::vector<std::uint8_t> lzh_decompress(std::span<const std::uint8_t> input);
 
 /// Convenience: compression ratio this codec achieves on a buffer.

@@ -1,7 +1,9 @@
 #include "lossless/lzr.hh"
 
+#include <algorithm>
 #include <stdexcept>
 
+#include "core/error.hh"
 #include "core/huffman/bitio.hh"
 #include "core/serialize.hh"
 #include "core/rans.hh"
@@ -65,28 +67,40 @@ std::vector<std::uint8_t> lzr_compress(std::span<const std::uint8_t> input,
 }
 
 std::vector<std::uint8_t> lzr_decompress(std::span<const std::uint8_t> input) {
+  return decode_guard("lzr archive", [&] {
   ByteReader r(input);
+  r.set_segment("header");
   if (r.get<std::uint32_t>() != kMagic) {
-    throw std::runtime_error("lzr_decompress: bad magic");
+    throw DecodeError(DecodeErrorKind::kBadMagic, "header", "not an SLZR stream");
   }
   const auto orig_size = r.get<std::uint64_t>();
   const auto n_tokens = r.get<std::uint64_t>();
   const auto n_matches = r.get<std::uint64_t>();
+  // Every token expands to at least one output byte (bar the end marker) and
+  // every match consumes a token, so both counts are bounded by the declared
+  // size; reject splices before the rans_decode output allocations.
+  if (n_tokens > orig_size + 1 || n_matches > n_tokens) {
+    throw DecodeError(DecodeErrorKind::kCorruptStream, "header",
+                      "token/match counts exceed the declared output size");
+  }
 
   const auto lit_model = RansModel::deserialize(r);
+  r.set_segment("rans stream");
   const auto lit_bytes = r.get_vector<std::uint8_t>();
   const auto lit_syms = rans_decode(lit_bytes, n_tokens, lit_model);
 
   std::vector<std::uint16_t> dist_syms;
   if (n_matches > 0) {
     const auto dist_model = RansModel::deserialize(r);
+    r.set_segment("rans stream");
     const auto dist_bytes = r.get_vector<std::uint8_t>();
     dist_syms = rans_decode(dist_bytes, n_matches, dist_model);
   }
+  r.set_segment("extra bits");
   const auto extra_bytes = r.get_vector<std::uint8_t>();
 
   std::vector<std::uint8_t> out;
-  out.reserve(orig_size);
+  out.reserve(std::min<std::uint64_t>(orig_size, 1u << 20));
   // Serial token expansion: one block consuming the decoded symbol streams
   // and the extra-bits sidecar; the growing output is block-owned.
   namespace chk = sim::checked;
@@ -103,27 +117,40 @@ std::vector<std::uint8_t> lzr_decompress(std::span<const std::uint8_t> input) {
       t.litlen_sym = vlit[i];
       if (t.litlen_sym >= 257) {
         const std::size_t lc = t.litlen_sym - 257u;
-        if (lc >= kLenBase.size()) throw std::runtime_error("lzr_decompress: bad length symbol");
+        if (lc >= kLenBase.size()) {
+          throw DecodeError(DecodeErrorKind::kCorruptStream, "token streams", "bad length symbol");
+        }
         for (unsigned b = kLenExtra[lc]; b-- > 0;) {
           t.len_extra = static_cast<std::uint16_t>(t.len_extra | (extras.get_bit() << b));
         }
         if (match >= vdist.size()) {
-          throw std::runtime_error("lzr_decompress: match/distance stream mismatch");
+          throw DecodeError(DecodeErrorKind::kCorruptStream, "token streams",
+                            "match/distance stream mismatch");
         }
         const std::uint16_t ds = vdist[match++];
-        if (ds >= kDistBase.size()) throw std::runtime_error("lzr_decompress: bad distance symbol");
+        if (ds >= kDistBase.size()) {
+          throw DecodeError(DecodeErrorKind::kCorruptStream, "token streams",
+                            "bad distance symbol");
+        }
         t.dist_sym = static_cast<std::uint8_t>(ds);
         for (unsigned b = kDistExtra[ds]; b-- > 0;) {
           t.dist_extra = static_cast<std::uint16_t>(t.dist_extra | (extras.get_bit() << b));
         }
       }
       if (!lz77_expand(t, out)) break;
+      if (out.size() > orig_size) {
+        throw DecodeError(DecodeErrorKind::kCorruptStream, "token streams",
+                          "decoded output exceeds the declared size");
+      }
     }
   });
   if (out.size() != orig_size) {
-    throw std::runtime_error("lzr_decompress: size mismatch after decode");
+    throw DecodeError(DecodeErrorKind::kCorruptStream, "token streams",
+                      "decoded " + std::to_string(out.size()) + " bytes, header declared " +
+                          std::to_string(orig_size));
   }
   return out;
+  });
 }
 
 double lzr_ratio(std::span<const std::uint8_t> input) {

@@ -20,7 +20,7 @@ namespace szp::lossless {
 [[nodiscard]] std::vector<std::uint8_t> lzr_compress(std::span<const std::uint8_t> input,
                                                      const Lz77Config& cfg = {});
 
-/// Inverse of lzr_compress.  Throws std::runtime_error on malformed input.
+/// Inverse of lzr_compress.  Throws szp::DecodeError on malformed input.
 [[nodiscard]] std::vector<std::uint8_t> lzr_decompress(std::span<const std::uint8_t> input);
 
 /// Convenience: compression ratio on a buffer.

@@ -8,10 +8,21 @@
 // the cooperating threads of the block.  This keeps the *decomposition*
 // (chunking, shared-memory staging, scan structure) identical to the CUDA
 // implementation while remaining portable.
+//
+// Exception safety: an exception cannot leave an OpenMP parallel region —
+// an uncaught throw inside the loop calls std::terminate.  Decode kernels
+// run over untrusted archive bytes and throw szp::DecodeError on corrupt
+// input, so every launcher captures the first exception (lowest block
+// index, for determinism), lets the remaining blocks drain, and rethrows
+// after the region joins.  This mirrors how a CUDA kernel reports a fault:
+// the grid completes (or is torn down) and the error surfaces on the host
+// at the synchronization point.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <exception>
+#include <limits>
 #include <span>
 
 namespace szp::sim {
@@ -32,22 +43,58 @@ struct Dim3 {
   return (n + d - 1) / d;
 }
 
+namespace detail {
+
+/// Captures the exception thrown by the lowest-indexed faulting block of a
+/// parallel region, so the rethrown error is deterministic regardless of
+/// thread interleaving.  note() is called from inside catch blocks across
+/// OpenMP threads; rethrow_if_set() after the region joins.
+class FirstBlockError {
+ public:
+  void note(std::size_t block) noexcept {
+#pragma omp critical(szp_sim_first_block_error)
+    {
+      if (block < block_) {
+        block_ = block;
+        error_ = std::current_exception();
+      }
+    }
+  }
+
+  void rethrow_if_set() const {
+    if (error_) std::rethrow_exception(error_);
+  }
+
+ private:
+  std::exception_ptr error_;
+  std::size_t block_ = std::numeric_limits<std::size_t>::max();
+};
+
+}  // namespace detail
+
 /// Execute `body(block_index)` for every block in [0, grid_size), in
 /// parallel across OpenMP threads.  `body` must only touch state owned by
-/// its block (the same independence the CUDA grid requires).
+/// its block (the same independence the CUDA grid requires).  If one or
+/// more blocks throw, the remaining blocks still run and the exception from
+/// the lowest-indexed faulting block is rethrown to the caller.
 template <typename Body>
 void launch_blocks(std::size_t grid_size, Body&& body) {
   if (grid_size == 1) {
     // Single-block grids run inline: no OpenMP team to spin up, and
-    // exceptions (e.g. corrupt-input errors in serial decode kernels) can
-    // propagate to the caller instead of terminating the parallel region.
+    // exceptions propagate directly.
     body(std::size_t{0});
     return;
   }
+  detail::FirstBlockError err;
 #pragma omp parallel for schedule(static)
   for (long long b = 0; b < static_cast<long long>(grid_size); ++b) {
-    body(static_cast<std::size_t>(b));
+    try {
+      body(static_cast<std::size_t>(b));
+    } catch (...) {
+      err.note(static_cast<std::size_t>(b));
+    }
   }
+  err.rethrow_if_set();
 }
 
 /// Execute the grid visiting blocks in the given (permuted) order — the
@@ -57,30 +104,57 @@ void launch_blocks(std::size_t grid_size, Body&& body) {
 /// canonical static run; otherwise the order is honored exactly, serially.
 /// Either way `body` sees each block index exactly once, so any output
 /// difference against the canonical run is order-dependence in the kernel.
+/// Exceptions are captured and rethrown after every block has run, keeping
+/// the exactly-once property even on corrupt input.
 template <typename Body>
 void launch_blocks_in_order(std::span<const std::size_t> order, bool parallel, Body&& body) {
+  detail::FirstBlockError err;
   if (parallel) {
 #pragma omp parallel for schedule(dynamic, 1)
     for (long long i = 0; i < static_cast<long long>(order.size()); ++i) {
-      body(order[static_cast<std::size_t>(i)]);
+      const std::size_t b = order[static_cast<std::size_t>(i)];
+      try {
+        body(b);
+      } catch (...) {
+        err.note(b);
+      }
     }
   } else {
-    for (const std::size_t b : order) body(b);
+    for (const std::size_t b : order) {
+      try {
+        body(b);
+      } catch (...) {
+        err.note(b);
+      }
+    }
   }
+  err.rethrow_if_set();
 }
 
-/// 3-D grid variant: `body(bx, by, bz)`.
+/// 3-D grid variant: `body(bx, by, bz)`.  Single-block grids run inline
+/// like their linear counterpart (no OpenMP team, direct exception
+/// propagation); larger grids capture-and-rethrow like launch_blocks.
 template <typename Body>
 void launch_blocks_3d(Dim3 grid, Body&& body) {
   const std::size_t total = grid.count();
+  if (total == 1) {
+    body(std::uint32_t{0}, std::uint32_t{0}, std::uint32_t{0});
+    return;
+  }
+  detail::FirstBlockError err;
 #pragma omp parallel for schedule(static)
   for (long long i = 0; i < static_cast<long long>(total); ++i) {
     const auto idx = static_cast<std::size_t>(i);
     const std::uint32_t bx = static_cast<std::uint32_t>(idx % grid.x);
     const std::uint32_t by = static_cast<std::uint32_t>((idx / grid.x) % grid.y);
     const std::uint32_t bz = static_cast<std::uint32_t>(idx / (static_cast<std::size_t>(grid.x) * grid.y));
-    body(bx, by, bz);
+    try {
+      body(bx, by, bz);
+    } catch (...) {
+      err.note(idx);
+    }
   }
+  err.rethrow_if_set();
 }
 
 }  // namespace szp::sim

@@ -4,7 +4,9 @@
 #include <array>
 #include <cmath>
 #include <stdexcept>
+#include <string>
 
+#include "core/error.hh"
 #include "core/serialize.hh"
 #include "sim/check.hh"
 #include "sim/launch.hh"
@@ -314,26 +316,56 @@ ZfpCompressed zfp_compress(std::span<const float> data, const Extents& ext,
 }
 
 ZfpDecompressed zfp_decompress(std::span<const std::uint8_t> archive) {
+  return decode_guard("zfp archive", [&] {
   ByteReader r(archive);
+  r.set_segment("header");
   if (r.get<std::uint32_t>() != kMagic) {
-    throw std::runtime_error("zfp_decompress: bad magic");
+    throw DecodeError(DecodeErrorKind::kBadMagic, "header", "not an SZFP stream");
   }
   Extents ext;
   ext.rank = r.get<std::uint8_t>();
   if (ext.rank < 1 || ext.rank > 3) {
-    throw std::runtime_error("zfp_decompress: bad rank");
+    throw DecodeError(DecodeErrorKind::kCorruptStream, "header",
+                      "rank " + std::to_string(ext.rank) + " outside [1, 3]");
   }
   ext.nx = r.get<std::uint64_t>();
   ext.ny = r.get<std::uint64_t>();
   ext.nz = r.get<std::uint64_t>();
+  if (ext.nx == 0 || ext.ny == 0 || ext.nz == 0 ||
+      (ext.rank < 2 && ext.ny != 1) || (ext.rank < 3 && ext.nz != 1)) {
+    throw DecodeError(DecodeErrorKind::kCorruptStream, "header",
+                      "extents inconsistent with the declared rank");
+  }
+  std::uint64_t count = 0;
+  if (__builtin_mul_overflow(ext.nx, ext.ny, &count) ||
+      __builtin_mul_overflow(count, ext.nz, &count)) {
+    throw DecodeError(DecodeErrorKind::kLengthOverflow, "header",
+                      "extents overflow the element count");
+  }
   ZfpConfig cfg;
   cfg.rate_bits_per_value = r.get<double>();
+  if (!(cfg.rate_bits_per_value >= 1.0 && cfg.rate_bits_per_value <= 32.0)) {
+    // The negated comparison also rejects NaN before it reaches llround.
+    throw DecodeError(DecodeErrorKind::kCorruptStream, "header",
+                      "rate outside [1, 32] bits/value");
+  }
+  r.set_segment("payload");
   const auto payload = r.get_vector<std::uint8_t>();
 
   const BlockGrid grid = make_grid(ext);
   const std::size_t bits_per_block = block_bits(cfg, grid.block_elems);
-  if (payload.size() < sim::div_ceil(grid.count() * bits_per_block, 8)) {
-    throw std::runtime_error("zfp_decompress: truncated payload");
+  // Overflow-safe total-bit budget: a spliced extent must not wrap the
+  // multiply and slip past the truncation check below.
+  std::uint64_t total_bits = 0;
+  if (__builtin_mul_overflow(grid.count(), bits_per_block, &total_bits)) {
+    throw DecodeError(DecodeErrorKind::kLengthOverflow, "payload",
+                      "block grid overflows the payload bit budget");
+  }
+  if (payload.size() < sim::div_ceil(total_bits, 8)) {
+    throw DecodeError(DecodeErrorKind::kTruncated, "payload",
+                      "payload holds " + std::to_string(payload.size()) + " bytes, the " +
+                          std::to_string(grid.count()) + "-block grid needs " +
+                          std::to_string(sim::div_ceil(total_bits, 8)));
   }
 
   ZfpDecompressed out;
@@ -385,6 +417,7 @@ ZfpDecompressed zfp_decompress(std::span<const std::uint8_t> archive) {
   out.cost.pattern = sim::AccessPattern::kCoalescedStreaming;
   out.cost.custom_factor = 0.60;
   return out;
+  });
 }
 
 }  // namespace szp::zfp

@@ -1,11 +1,18 @@
 // Multi-field bundle tests: name index, per-field extraction, integrity.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
+#include <cstring>
 #include <random>
+#include <span>
 
 #include "core/bundle.hh"
+#include "core/checksum.hh"
 #include "core/compressor.hh"
+#include "core/error.hh"
 #include "core/metrics.hh"
+#include "core/serialize.hh"
 
 namespace {
 
@@ -87,6 +94,93 @@ TEST(Bundle, CorruptionIsDetected) {
 
   std::vector<std::uint8_t> tiny{1, 2};
   EXPECT_THROW((void)Bundle::deserialize(tiny), std::runtime_error);
+}
+
+TEST(Bundle, PerEntryCrcLocalizesDamage) {
+  Bundle b;
+  b.add("alpha", std::vector<std::uint8_t>(64, 0xaa));
+  b.add("beta", std::vector<std::uint8_t>(64, 0xbb));
+  b.add("gamma", std::vector<std::uint8_t>(64, 0xcc));
+  auto blob = b.serialize();
+
+  // Flip one byte inside beta's distinctive payload, then re-stamp the
+  // trailing whole-blob CRC so only the per-entry evidence can convict.
+  const std::array<std::uint8_t, 8> needle{0xbb, 0xbb, 0xbb, 0xbb, 0xbb, 0xbb, 0xbb, 0xbb};
+  const auto it = std::search(blob.begin(), blob.end(), needle.begin(), needle.end());
+  ASSERT_NE(it, blob.end());
+  *it ^= 0x01;
+  const std::uint32_t crc = crc32(std::span<const std::uint8_t>(blob.data(), blob.size() - 4));
+  std::memcpy(blob.data() + blob.size() - 4, &crc, 4);
+
+  // Strict mode refuses the whole bundle, naming the entry payload.
+  try {
+    (void)Bundle::deserialize(blob);
+    FAIL() << "strict deserialize accepted a damaged entry";
+  } catch (const DecodeError& e) {
+    EXPECT_EQ(e.kind(), DecodeErrorKind::kChecksumMismatch) << e.what();
+    EXPECT_EQ(e.segment(), "entry payload") << e.what();
+  }
+
+  // Tolerant mode salvages the intact entries and lists the corrupt one.
+  const auto salvage = Bundle::deserialize_tolerant(blob);
+  EXPECT_TRUE(salvage.container_crc_ok);
+  EXPECT_EQ(salvage.bundle.size(), 2u);
+  EXPECT_TRUE(salvage.bundle.contains("alpha"));
+  EXPECT_TRUE(salvage.bundle.contains("gamma"));
+  ASSERT_EQ(salvage.corrupt.size(), 1u);
+  EXPECT_EQ(salvage.corrupt[0], "beta");
+}
+
+TEST(Bundle, TolerantSalvagesAllEntriesWhenOnlyTheContainerCrcIsBroken) {
+  Bundle b;
+  b.add("a", std::vector<std::uint8_t>(32, 1));
+  b.add("b", std::vector<std::uint8_t>(32, 2));
+  auto blob = b.serialize();
+  blob.back() ^= 0xff;  // damage the trailing whole-blob CRC only
+
+  EXPECT_THROW((void)Bundle::deserialize(blob), DecodeError);
+  const auto salvage = Bundle::deserialize_tolerant(blob);
+  EXPECT_FALSE(salvage.container_crc_ok);
+  EXPECT_EQ(salvage.bundle.size(), 2u);  // v2 entry CRCs vouch for each entry
+  EXPECT_TRUE(salvage.corrupt.empty());
+}
+
+/// Hand-rolled v1 blob: no per-entry CRCs, only the whole-blob trailer.
+std::vector<std::uint8_t> v1_blob(const std::string& name,
+                                  const std::vector<std::uint8_t>& archive) {
+  ByteWriter w;
+  w.put<std::uint32_t>(0x424E5A53);  // "SZNB"
+  w.put<std::uint16_t>(1);
+  w.put<std::uint64_t>(1);
+  w.put_span(std::span<const char>(name.data(), name.size()));
+  w.put_vector(archive);
+  auto bytes = w.take();
+  const std::uint32_t crc = crc32(bytes);
+  bytes.resize(bytes.size() + 4);
+  std::memcpy(bytes.data() + bytes.size() - 4, &crc, 4);
+  return bytes;
+}
+
+TEST(Bundle, VersionOneBlobsStillRead) {
+  const std::vector<std::uint8_t> payload(48, 9);
+  auto blob = v1_blob("legacy", payload);
+
+  const auto strict = Bundle::deserialize(blob);
+  ASSERT_EQ(strict.size(), 1u);
+  EXPECT_EQ(strict.archive("legacy"), payload);
+
+  const auto salvage = Bundle::deserialize_tolerant(blob);
+  EXPECT_TRUE(salvage.container_crc_ok);
+  EXPECT_EQ(salvage.bundle.size(), 1u);
+
+  // With the container CRC broken, a v1 entry has no per-entry evidence, so
+  // tolerant mode must not vouch for it.
+  blob.back() ^= 0xff;
+  const auto unvouched = Bundle::deserialize_tolerant(blob);
+  EXPECT_FALSE(unvouched.container_crc_ok);
+  EXPECT_EQ(unvouched.bundle.size(), 0u);
+  ASSERT_EQ(unvouched.corrupt.size(), 1u);
+  EXPECT_EQ(unvouched.corrupt[0], "legacy");
 }
 
 TEST(Bundle, BinaryNamesAndPayloadsSurvive) {

@@ -156,6 +156,58 @@ TEST_F(CliTest, BundleWorkflow) {
   EXPECT_EQ(run({"bundle-extract", "--bundle", bundle, "--name", "nope", "-o", out_arc}).code, 1);
 }
 
+TEST_F(CliTest, CorruptArchivesExitWithCodeFour) {
+  const auto raw = path("c.f32");
+  const auto arc = path("c.szp");
+  ASSERT_EQ(run({"gen", "-o", raw, "--dataset", "CESM-ATM", "--field", "FSDSC", "--scale",
+                 "0.05"}).code, 0);
+  ASSERT_EQ(run({"compress", "-i", raw, "-o", arc, "-d", "90x180", "--eb", "1e-3"}).code, 0);
+
+  // Truncate the archive in place: decode failures on damaged input are a
+  // distinct exit code (4), separate from usage errors (1/2).
+  auto bytes = szp::data::read_bytes(arc);
+  ASSERT_GT(bytes.size(), 8u);
+  bytes.resize(bytes.size() / 2);
+  szp::data::write_bytes(arc, bytes);
+
+  auto r = run({"decompress", "-i", arc, "-o", path("c_out.f32")});
+  EXPECT_EQ(r.code, 4);
+  EXPECT_NE(r.err.find("error:"), std::string::npos) << r.err;
+
+  r = run({"info", "-i", arc});
+  EXPECT_EQ(r.code, 4);
+}
+
+TEST_F(CliTest, TolerantBundleSalvage) {
+  const auto raw = path("t.f32"), arc = path("t.szp"), bundle = path("t.szb");
+  ASSERT_EQ(run({"gen", "-o", raw, "--dataset", "Miranda", "--field", "pressure", "--scale",
+                 "0.06"}).code, 0);
+  ASSERT_EQ(run({"compress", "-i", raw, "-o", arc, "-d", "15x23x23", "--eb", "1e-2"}).code, 0);
+  ASSERT_EQ(run({"bundle-add", "--bundle", bundle, "--name", "p", "-i", arc}).code, 0);
+  ASSERT_EQ(run({"bundle-add", "--bundle", bundle, "--name", "q", "-i", arc}).code, 0);
+
+  // Damage only the trailing whole-blob CRC: strict listing refuses with
+  // exit 4; --tolerant warns and lists both fields (their per-entry CRCs
+  // still verify).
+  auto bytes = szp::data::read_bytes(bundle);
+  bytes.back() ^= 0xff;
+  szp::data::write_bytes(bundle, bytes);
+
+  EXPECT_EQ(run({"bundle-list", "--bundle", bundle}).code, 4);
+
+  const auto r = run({"bundle-list", "--bundle", bundle, "--tolerant"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("warning: bundle checksum mismatch"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("p"), std::string::npos);
+  EXPECT_NE(r.out.find("q"), std::string::npos);
+}
+
+TEST_F(CliTest, FuzzSubcommandReportsACleanCampaign) {
+  const auto r = run({"fuzz", "--seed", "99"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("0 contract violations"), std::string::npos) << r.out;
+}
+
 TEST_F(CliTest, ErrorsAreReported) {
   EXPECT_EQ(run({"compress", "-i", path("missing.f32"), "-o", path("x.szp"), "-d", "10"}).code, 1);
   EXPECT_EQ(run({"compress", "-o", path("x.szp"), "-d", "10"}).code, 1);  // no -i

@@ -1,0 +1,337 @@
+// Corrupt-archive robustness: the mutation-fuzz campaign, the DecodeError
+// taxonomy (every kind constructed at least once, with the failing segment
+// named in the error text), and exception propagation out of the simulated
+// GPU grid (ISSUE: corrupt-archive hardening).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstring>
+#include <numeric>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/checksum.hh"
+#include "core/compressor.hh"
+#include "core/error.hh"
+#include "core/huffman/bitio.hh"
+#include "core/huffman/codebook.hh"
+#include "core/huffman/codec.hh"
+#include "core/serialize.hh"
+#include "core/types.hh"
+#include "sim/launch.hh"
+#include "tools/fuzz_decode.hh"
+
+namespace {
+
+using namespace szp;
+
+// ---------------------------------------------------------------------------
+// Archive helpers.  The szp v2 archive is <body><crc32(body) u32le>; the body
+// starts with a 46-byte header (magic u32, version u16, rank u8, workflow u8,
+// dtype u8, nx/ny/nz u64, eb f64, capacity u32, predictor u8).  For the
+// Lorenzo predictor the outlier index vector follows directly: its element
+// count (u64) sits at offset 46 and the first index (u64) at offset 54.
+// ---------------------------------------------------------------------------
+
+constexpr std::size_t kHeaderBytes = 46;
+constexpr std::size_t kOutlierCountOffset = kHeaderBytes;
+constexpr std::size_t kFirstOutlierOffset = kHeaderBytes + 8;
+
+/// Re-stamp the trailing CRC-32 so mutations to the body are not masked by
+/// the whole-archive checksum.
+void restamp_crc(std::vector<std::uint8_t>& archive) {
+  ASSERT_GE(archive.size(), 4u);
+  const std::uint32_t crc =
+      crc32(std::span<const std::uint8_t>(archive.data(), archive.size() - 4));
+  std::memcpy(archive.data() + archive.size() - 4, &crc, 4);
+}
+
+void splice_u64(std::vector<std::uint8_t>& archive, std::size_t offset, std::uint64_t v) {
+  ASSERT_LE(offset + 8, archive.size());
+  std::memcpy(archive.data() + offset, &v, 8);
+}
+
+/// A smooth 1-D field with one spike large enough to force at least one
+/// Lorenzo outlier at eb = 1e-3 (residual ~ 250k quant steps >> radius 512).
+std::vector<std::uint8_t> spiked_archive(std::size_t* outlier_count = nullptr) {
+  std::vector<float> data(4096);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = std::sin(static_cast<float>(i) * 0.01f);
+  }
+  data[100] = 500.0f;
+  CompressConfig cfg;
+  cfg.eb = ErrorBound::absolute(1e-3);
+  cfg.workflow = Workflow::kHuffman;
+  const auto c = Compressor(cfg).compress(data, Extents::d1(data.size()));
+  EXPECT_GT(c.stats.outlier_count, 0u);
+  if (outlier_count != nullptr) *outlier_count = c.stats.outlier_count;
+  return c.bytes;
+}
+
+/// Decompress must reject the archive with exactly this kind, and the error
+/// text must name the failing segment.
+void expect_rejected(std::span<const std::uint8_t> archive, DecodeErrorKind kind,
+                     const std::string& segment) {
+  try {
+    (void)Compressor::decompress(archive);
+    FAIL() << "decode accepted a corrupt archive (wanted " << decode_error_kind_name(kind)
+           << " in " << segment << ")";
+  } catch (const DecodeError& e) {
+    EXPECT_EQ(e.kind(), kind) << e.what();
+    EXPECT_EQ(e.segment(), segment) << e.what();
+    EXPECT_NE(std::string(e.what()).find(segment), std::string::npos)
+        << "what() does not name the segment: " << e.what();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The campaign itself: every decode path, every mutation class, zero
+// contract violations.
+// ---------------------------------------------------------------------------
+
+TEST(FuzzDecode, CampaignHoldsTheDecodeContract) {
+  std::ostringstream sink;
+  fuzz::FuzzConfig cfg;
+  const fuzz::FuzzResult res = fuzz::run(cfg, sink);
+  std::string joined;
+  for (const auto& f : res.failures) joined += "\n  " + f;
+  EXPECT_TRUE(res.ok()) << "contract violations:" << joined;
+  EXPECT_GT(res.mutations, 1000u);
+  EXPECT_GT(res.clean_errors, 0u);
+  // Truncation alone guarantees these two kinds across the campaign.
+  EXPECT_GT(res.kinds.count(DecodeErrorKind::kTruncated), 0u);
+  EXPECT_GT(res.kinds.count(DecodeErrorKind::kChecksumMismatch), 0u);
+}
+
+TEST(FuzzDecode, CampaignIsDeterministic) {
+  std::ostringstream a, b;
+  fuzz::FuzzConfig cfg;
+  cfg.seed = 1234;
+  const auto r1 = fuzz::run(cfg, a);
+  const auto r2 = fuzz::run(cfg, b);
+  EXPECT_EQ(r1.mutations, r2.mutations);
+  EXPECT_EQ(r1.clean_errors, r2.clean_errors);
+  EXPECT_EQ(r1.accepted, r2.accepted);
+  EXPECT_EQ(r1.kinds, r2.kinds);
+}
+
+// ---------------------------------------------------------------------------
+// Taxonomy coverage: construct every DecodeErrorKind at least once, and
+// check the error text names the failing segment.
+// ---------------------------------------------------------------------------
+
+TEST(FuzzDecode, TruncatedArchiveIsNamed) {
+  const std::vector<std::uint8_t> stub = {0x53, 0x5a, 0x50};  // < 4 bytes
+  expect_rejected(stub, DecodeErrorKind::kTruncated, "archive");
+}
+
+TEST(FuzzDecode, TruncatedHeaderIsNamed) {
+  auto archive = spiked_archive();
+  // Keep 20 header bytes, re-stamp the CRC so the truncation itself (not the
+  // checksum) is what the decoder reports.
+  archive.resize(20 + 4);
+  restamp_crc(archive);
+  expect_rejected(archive, DecodeErrorKind::kTruncated, "header");
+}
+
+TEST(FuzzDecode, BadMagicIsNamed) {
+  auto archive = spiked_archive();
+  archive[0] ^= 0xff;
+  restamp_crc(archive);
+  expect_rejected(archive, DecodeErrorKind::kBadMagic, "header");
+}
+
+TEST(FuzzDecode, BadVersionIsNamed) {
+  auto archive = spiked_archive();
+  archive[4] = 0xff;  // version u16 at offset 4
+  archive[5] = 0x7f;
+  restamp_crc(archive);
+  expect_rejected(archive, DecodeErrorKind::kBadVersion, "header");
+}
+
+TEST(FuzzDecode, SplicedOutlierCountOverflowIsNamed) {
+  auto archive = spiked_archive();
+  // Declare UINT64_MAX/2 outlier indices: must be rejected against the
+  // remaining bytes before any allocation happens.
+  splice_u64(archive, kOutlierCountOffset, UINT64_MAX / 2);
+  restamp_crc(archive);
+  expect_rejected(archive, DecodeErrorKind::kLengthOverflow, "outliers");
+}
+
+TEST(FuzzDecode, OutOfRangeOutlierIndexIsNamed) {
+  std::size_t outliers = 0;
+  auto archive = spiked_archive(&outliers);
+  ASSERT_GE(outliers, 1u);
+  // Point the first outlier's scatter write far outside the 4096-element
+  // grid; the per-index validation must catch it before the scatter kernel.
+  splice_u64(archive, kFirstOutlierOffset, 0xffffffffffull);
+  restamp_crc(archive);
+  expect_rejected(archive, DecodeErrorKind::kCorruptStream, "outliers");
+}
+
+TEST(FuzzDecode, ChecksumMismatchIsNamed) {
+  auto archive = spiked_archive();
+  archive[kHeaderBytes + 1] ^= 0x01;  // any body flip without re-stamping
+  expect_rejected(archive, DecodeErrorKind::kChecksumMismatch, "archive");
+}
+
+TEST(FuzzDecode, CorruptCodebookIsNamed) {
+  // alphabet = 0 is structurally invalid.
+  ByteWriter w;
+  w.put<std::uint32_t>(0);
+  w.put<std::uint32_t>(0);
+  const auto bytes = w.take();
+  ByteReader r(bytes);
+  try {
+    (void)HuffmanCodebook::deserialize(r);
+    FAIL() << "deserialized an empty-alphabet codebook";
+  } catch (const DecodeError& e) {
+    EXPECT_EQ(e.kind(), DecodeErrorKind::kCorruptStream) << e.what();
+    EXPECT_EQ(e.segment(), "codebook") << e.what();
+    EXPECT_NE(std::string(e.what()).find("codebook"), std::string::npos);
+  }
+}
+
+TEST(FuzzDecode, TruncatedBitstreamIsNamed) {
+  const std::uint8_t one = 0xa5;
+  BitReader br(std::span<const std::uint8_t>(&one, 1));
+  for (int i = 0; i < 8; ++i) (void)br.get_bit();
+  try {
+    (void)br.get_bit();
+    FAIL() << "read past the end of a 1-byte bitstream";
+  } catch (const DecodeError& e) {
+    EXPECT_EQ(e.kind(), DecodeErrorKind::kTruncated) << e.what();
+    EXPECT_EQ(e.segment(), "bitstream") << e.what();
+    EXPECT_NE(std::string(e.what()).find("bitstream"), std::string::npos);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Exception propagation out of the simulated-GPU grid: the first (lowest
+// block index) exception is rethrown after the region joins, the remaining
+// blocks still run, and the exception type survives intact.
+// ---------------------------------------------------------------------------
+
+TEST(LaunchExceptions, LowestFaultingBlockWinsDeterministically) {
+  for (int rep = 0; rep < 10; ++rep) {
+    try {
+      sim::launch_blocks(8, [](std::size_t b) {
+        if (b == 2 || b == 5) throw std::runtime_error("block " + std::to_string(b));
+      });
+      FAIL() << "launch_blocks swallowed the block exceptions";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "block 2");
+    }
+  }
+}
+
+TEST(LaunchExceptions, RemainingBlocksStillRun) {
+  std::atomic<std::size_t> ran{0};
+  try {
+    sim::launch_blocks(16, [&ran](std::size_t b) {
+      ran.fetch_add(1, std::memory_order_relaxed);
+      if (b == 3) throw std::runtime_error("fault");
+    });
+    FAIL() << "exception was not rethrown";
+  } catch (const std::runtime_error&) {
+  }
+  EXPECT_EQ(ran.load(), 16u);  // the grid drains; no block is skipped
+}
+
+TEST(LaunchExceptions, DecodeErrorTypeSurvivesTheParallelRegion) {
+  try {
+    sim::launch_blocks(4, [](std::size_t b) {
+      if (b == 1) {
+        throw DecodeError(DecodeErrorKind::kCorruptStream, "bitstream", "from block 1");
+      }
+    });
+    FAIL() << "DecodeError did not propagate";
+  } catch (const DecodeError& e) {
+    EXPECT_EQ(e.kind(), DecodeErrorKind::kCorruptStream);
+    EXPECT_EQ(e.segment(), "bitstream");
+  }
+}
+
+TEST(LaunchExceptions, SingleBlockGridPropagatesInline) {
+  EXPECT_THROW(sim::launch_blocks(1, [](std::size_t) { throw std::logic_error("inline"); }),
+               std::logic_error);
+}
+
+TEST(LaunchExceptions, ThreeDSingleBlockRunsInline) {
+  std::size_t calls = 0;
+  sim::launch_blocks_3d(sim::Dim3{1, 1, 1}, [&](std::uint32_t bx, std::uint32_t by,
+                                                std::uint32_t bz) {
+    EXPECT_EQ(bx, 0u);
+    EXPECT_EQ(by, 0u);
+    EXPECT_EQ(bz, 0u);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1u);
+  EXPECT_THROW(sim::launch_blocks_3d(sim::Dim3{1, 1, 1},
+                                     [](std::uint32_t, std::uint32_t, std::uint32_t) {
+                                       throw std::logic_error("inline 3-D");
+                                     }),
+               std::logic_error);
+}
+
+TEST(LaunchExceptions, ThreeDLowestLinearBlockWins) {
+  for (int rep = 0; rep < 10; ++rep) {
+    try {
+      sim::launch_blocks_3d(sim::Dim3{2, 2, 2},
+                            [](std::uint32_t bx, std::uint32_t by, std::uint32_t bz) {
+        const std::size_t linear = bx + 2u * by + 4u * bz;
+        if (linear == 3 || linear == 6) {
+          throw std::runtime_error("linear " + std::to_string(linear));
+        }
+      });
+      FAIL() << "launch_blocks_3d swallowed the block exceptions";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "linear 3");
+    }
+  }
+}
+
+TEST(LaunchExceptions, InOrderCapturesInBothBranches) {
+  const std::vector<std::size_t> order = {3, 1, 0, 2};
+  for (const bool parallel : {false, true}) {
+    try {
+      sim::launch_blocks_in_order(order, parallel, [](std::size_t b) {
+        // Blocks 1 and 2 fault; the lowest *block index* must win even
+        // though block 2 appears later in the visiting order.
+        if (b == 1 || b == 2) throw std::runtime_error("block " + std::to_string(b));
+      });
+      FAIL() << "launch_blocks_in_order swallowed the block exceptions (parallel=" << parallel
+             << ")";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "block 1") << "parallel=" << parallel;
+    }
+  }
+}
+
+TEST(LaunchExceptions, HuffmanDecodePropagatesFromTheGrid) {
+  // A production kernel, not a synthetic body: 8 chunks decode in parallel,
+  // and a spliced gap offset sends one sub-block's BitReader past the end of
+  // its chunk.  The DecodeError must surface at the launch's join.
+  std::vector<quant_t> symbols(8192);
+  for (std::size_t i = 0; i < symbols.size(); ++i) {
+    symbols[i] = static_cast<quant_t>((i * 7 + i / 13) % 16);
+  }
+  std::vector<std::uint64_t> freq(16, 0);
+  for (const auto s : symbols) ++freq[s];
+  const auto book = HuffmanCodebook::build(freq);
+  auto enc = huffman_encode(symbols, book, 1024, HuffmanEncVariant::kOptimized, 256);
+  ASSERT_GT(enc.chunk_offsets.size(), 2u);  // really multi-chunk
+  ASSERT_FALSE(enc.gaps.empty());
+  enc.gaps.back() = 1u << 30;  // bit offset far past any chunk
+  try {
+    (void)huffman_decode(enc, book);
+    FAIL() << "decode accepted a spliced gap offset";
+  } catch (const DecodeError& e) {
+    EXPECT_EQ(e.kind(), DecodeErrorKind::kTruncated) << e.what();
+    EXPECT_EQ(e.segment(), "bitstream") << e.what();
+  }
+}
+
+}  // namespace

@@ -4,6 +4,7 @@
 #include <random>
 #include <vector>
 
+#include "core/error.hh"
 #include "core/rle/rle.hh"
 
 namespace {
@@ -91,11 +92,11 @@ TEST(Rle, DecodeRejectsInconsistentMetadata) {
   enc.values = {1, 2};
   enc.counts = {3};  // size mismatch
   enc.num_symbols = 3;
-  EXPECT_THROW((void)rle_decode(enc), std::invalid_argument);
+  EXPECT_THROW((void)rle_decode(enc), DecodeError);
 
   enc.counts = {3, 4};
   enc.num_symbols = 100;  // lengths do not sum to this
-  EXPECT_THROW((void)rle_decode(enc), std::runtime_error);
+  EXPECT_THROW((void)rle_decode(enc), DecodeError);
 }
 
 }  // namespace

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/error.hh"
 #include "core/serialize.hh"
 
 namespace {
@@ -62,6 +63,39 @@ TEST(Serialize, TruncatedVectorThrows) {
   const auto bytes = w.take();
   ByteReader r(bytes);
   EXPECT_THROW((void)r.get_vector<std::uint32_t>(), std::runtime_error);
+}
+
+TEST(Serialize, SplicedHugeVectorCountThrowsBeforeAllocation) {
+  // Regression: a spliced element count near UINT64_MAX used to overflow
+  // `n * sizeof(T)` and pass the bounds check, then die inside
+  // vector::assign.  checked_count() must reject it as a typed DecodeError
+  // before any allocation is attempted.
+  ByteWriter w;
+  w.put<std::uint64_t>(UINT64_MAX / 2);  // count whose byte size wraps
+  w.put<std::uint32_t>(0xabad1dea);      // a few bytes of "payload"
+  const auto bytes = w.take();
+  ByteReader r(bytes);
+  try {
+    (void)r.get_vector<std::uint32_t>();
+    FAIL() << "accepted a spliced UINT64_MAX/2 element count";
+  } catch (const szp::DecodeError& e) {
+    EXPECT_EQ(e.kind(), szp::DecodeErrorKind::kLengthOverflow) << e.what();
+  }
+}
+
+TEST(Serialize, TruncationErrorsCarryKindAndSegment) {
+  ByteWriter w;
+  w.put<std::uint16_t>(7);
+  const auto bytes = w.take();
+  ByteReader r(bytes);
+  r.set_segment("quant-codes");
+  try {
+    (void)r.get<std::uint64_t>();
+    FAIL() << "read past the end";
+  } catch (const szp::DecodeError& e) {
+    EXPECT_EQ(e.kind(), szp::DecodeErrorKind::kTruncated);
+    EXPECT_EQ(e.segment(), "quant-codes");
+  }
 }
 
 TEST(Serialize, RemainingTracksPosition) {

@@ -9,6 +9,7 @@
 #include <stdexcept>
 
 #include "core/compressor.hh"
+#include "core/error.hh"
 #include "core/metrics.hh"
 #include "core/bundle.hh"
 #include "core/streaming.hh"
@@ -16,6 +17,7 @@
 #include "data/io.hh"
 #include "data/synthetic.hh"
 #include "sim/check.hh"
+#include "tools/fuzz_decode.hh"
 
 namespace szp::cli {
 
@@ -45,7 +47,8 @@ bool takes_value(const std::string& opt) {
                                                "--workflow",  "--predictor", "--stream",
                                                "--dataset",   "--field", "--scale",
                                                "--psnr",      "-a",      "-b",
-                                               "--name",      "--bundle"};
+                                               "--name",      "--bundle",
+                                               "--rounds",    "--seed"};
   return std::find(valued.begin(), valued.end(), opt) != valued.end();
 }
 
@@ -308,8 +311,24 @@ int cmd_bundle_add(const Args& a, std::ostream& out) {
   return 0;
 }
 
+/// Shared --tolerant loader: salvage what verifies, warn about the rest.
+Bundle load_bundle(const Args& a, std::ostream& out) {
+  const auto bytes = read_bytes(a.require("--bundle"));
+  if (!a.has_flag("--tolerant")) {
+    return Bundle::deserialize(bytes);
+  }
+  auto salvage = Bundle::deserialize_tolerant(bytes);
+  if (!salvage.container_crc_ok) {
+    out << "warning: bundle checksum mismatch; salvaging per-entry\n";
+  }
+  for (const auto& name : salvage.corrupt) {
+    out << "warning: corrupt entry '" << name << "' skipped\n";
+  }
+  return std::move(salvage.bundle);
+}
+
 int cmd_bundle_list(const Args& a, std::ostream& out) {
-  const auto bundle = Bundle::deserialize(read_bytes(a.require("--bundle")));
+  const auto bundle = load_bundle(a, out);
   for (const auto& e : bundle.entries()) {
     out << e.name << "\t" << e.compressed_bytes << " bytes\n";
   }
@@ -318,11 +337,21 @@ int cmd_bundle_list(const Args& a, std::ostream& out) {
 }
 
 int cmd_bundle_extract(const Args& a, std::ostream& out) {
-  const auto bundle = Bundle::deserialize(read_bytes(a.require("--bundle")));
+  const auto bundle = load_bundle(a, out);
   const auto name = a.require("--name");
   write_bytes(a.require("-o"), bundle.archive(name));
   out << "extracted '" << name << "' (" << bundle.archive(name).size() << " bytes)\n";
   return 0;
+}
+
+int cmd_fuzz(const Args& a, std::ostream& out) {
+  fuzz::FuzzConfig cfg;
+  if (const auto rounds = a.get("--rounds")) cfg.rounds = std::stoi(*rounds);
+  if (const auto seed = a.get("--seed")) cfg.seed = std::stoull(*seed);
+  cfg.verbose = a.has_flag("-v") || a.has_flag("--verbose");
+  if (cfg.rounds <= 0) throw std::invalid_argument("--rounds needs a positive count");
+  const auto res = fuzz::run(cfg, out);
+  return res.ok() ? 0 : 1;
 }
 
 int cmd_verify(const Args& a, std::ostream& out) {
@@ -358,9 +387,14 @@ void usage(std::ostream& err) {
          "  szp gen        -o out.f32 --dataset CESM-ATM --field FSDSC [--scale 0.25]\n"
          "  szp verify     -a original.f32 -b restored.f32 [--double]\n"
          "  szp bundle-add     --bundle snap.szb --name VAR -i field.szp\n"
-         "  szp bundle-list    --bundle snap.szb\n"
-         "  szp bundle-extract --bundle snap.szb --name VAR -o field.szp\n"
+         "  szp bundle-list    --bundle snap.szb [--tolerant]\n"
+         "  szp bundle-extract --bundle snap.szb --name VAR -o field.szp [--tolerant]\n"
+         "  szp fuzz           [--rounds N] [--seed S] [-v]\n"
          "compress also accepts --psnr TARGET_DB in place of --eb.\n"
+         "--tolerant salvages the intact entries of a corrupt bundle (warnings list\n"
+         "the damaged ones).  fuzz mutates round-trip archives of every format and\n"
+         "verifies each decoder rejects corruption with a clean error (exit 1 if the\n"
+         "contract is violated).  A corrupt or truncated input archive exits with 4.\n"
          "--check replays the run under the simulated-GPU race & bounds checker\n"
          "(exit 3 if violations are found); SZP_SIM_CHECK=1 enables it globally.\n"
          "--check=word upgrades to word-granular shadow memory (racecheck-style\n"
@@ -386,6 +420,7 @@ int run(const std::vector<std::string>& args, std::ostream& out, std::ostream& e
     if (a.command == "bundle-add") return cmd_bundle_add(a, out);
     if (a.command == "bundle-list") return cmd_bundle_list(a, out);
     if (a.command == "bundle-extract") return cmd_bundle_extract(a, out);
+    if (a.command == "fuzz") return cmd_fuzz(a, out);
     if (a.command == "help" || a.command == "--help" || a.command == "-h") {
       usage(out);
       return 0;
@@ -393,6 +428,9 @@ int run(const std::vector<std::string>& args, std::ostream& out, std::ostream& e
     err << "unknown command '" << a.command << "'\n";
     usage(err);
     return 2;
+  } catch (const DecodeError& e) {
+    err << "error: " << e.what() << "\n";
+    return 4;
   } catch (const std::exception& e) {
     err << "error: " << e.what() << "\n";
     return 1;

@@ -1,0 +1,312 @@
+#include "tools/fuzz_decode.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <functional>
+#include <iterator>
+#include <span>
+#include <typeinfo>
+#include <vector>
+
+#include "baseline/cusz_ref.hh"
+#include "core/bundle.hh"
+#include "core/checksum.hh"
+#include "core/compressor.hh"
+#include "core/streaming.hh"
+#include "lossless/lzh.hh"
+#include "lossless/lzr.hh"
+#include "zfp/zfp.hh"
+
+namespace szp::fuzz {
+
+namespace {
+
+/// splitmix64 — tiny, seedable, and good enough to scatter mutations.
+struct Rng {
+  std::uint64_t state;
+  std::uint64_t next() {
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+  std::size_t below(std::size_t n) { return n == 0 ? 0 : next() % n; }
+};
+
+/// One archive under test: how to decode it and whether its format carries a
+/// whole-archive CRC (which makes silent acceptance of a mutation a bug).
+struct Target {
+  std::string name;
+  std::vector<std::uint8_t> archive;
+  std::function<void(std::span<const std::uint8_t>)> decode;
+  bool whole_crc = false;  ///< trailing CRC-32 over everything before it
+};
+
+std::vector<float> wave_f32(std::size_t n) {
+  std::vector<float> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = static_cast<double>(i);
+    v[i] = static_cast<float>(std::sin(x * 0.05) + 0.3 * std::cos(x * 0.017));
+  }
+  return v;
+}
+
+std::vector<double> wave_f64(std::size_t n) {
+  std::vector<double> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = static_cast<double>(i);
+    v[i] = std::sin(x * 0.05) + 0.3 * std::cos(x * 0.017);
+  }
+  return v;
+}
+
+std::vector<std::uint8_t> sample_text(std::size_t n) {
+  const std::string phrase = "error-bounded lossy compression of scientific data ";
+  std::vector<std::uint8_t> v;
+  v.reserve(n);
+  while (v.size() < n) {
+    const std::size_t take = std::min(phrase.size(), n - v.size());
+    v.insert(v.end(), phrase.begin(), phrase.begin() + static_cast<std::ptrdiff_t>(take));
+  }
+  return v;
+}
+
+Target szp_target(const std::string& name, Workflow wf, PredictorKind pred,
+                  const Extents& ext, bool f64) {
+  CompressConfig cfg;
+  cfg.eb = ErrorBound::absolute(1e-3);
+  cfg.workflow = wf;
+  cfg.predictor = pred;
+  Target t;
+  t.name = name;
+  t.archive = f64 ? Compressor(cfg).compress(wave_f64(ext.count()), ext).bytes
+                  : Compressor(cfg).compress(wave_f32(ext.count()), ext).bytes;
+  t.decode = [](std::span<const std::uint8_t> b) { (void)Compressor::decompress(b); };
+  t.whole_crc = true;
+  return t;
+}
+
+std::vector<Target> make_targets() {
+  std::vector<Target> targets;
+
+  targets.push_back(szp_target("szp/huffman-1d-f32", Workflow::kHuffman,
+                               PredictorKind::kLorenzo, Extents::d1(2048), false));
+  targets.push_back(szp_target("szp/rle-1d-f32", Workflow::kRle, PredictorKind::kLorenzo,
+                               Extents::d1(2048), false));
+  targets.push_back(szp_target("szp/rle+vle-2d-f32", Workflow::kRleVle,
+                               PredictorKind::kLorenzo, Extents::d2(48, 40), false));
+  targets.push_back(szp_target("szp/rans-1d-f32", Workflow::kRans, PredictorKind::kLorenzo,
+                               Extents::d1(2048), false));
+  targets.push_back(szp_target("szp/huffman-3d-f32", Workflow::kHuffman,
+                               PredictorKind::kLorenzo, Extents::d3(12, 10, 8), false));
+  targets.push_back(szp_target("szp/huffman-2d-f64", Workflow::kHuffman,
+                               PredictorKind::kLorenzo, Extents::d2(40, 32), true));
+  targets.push_back(szp_target("szp/regression-2d-f32", Workflow::kHuffman,
+                               PredictorKind::kRegression, Extents::d2(48, 40), false));
+  targets.push_back(szp_target("szp/interp-1d-f32", Workflow::kHuffman,
+                               PredictorKind::kInterpolation, Extents::d1(2048), false));
+
+  {
+    Target t;
+    t.name = "streaming/huffman-1d-f32";
+    StreamingConfig scfg;
+    scfg.base.eb = ErrorBound::absolute(1e-3);
+    scfg.base.workflow = Workflow::kHuffman;
+    scfg.max_slab_elems = 512;
+    const Extents ext = Extents::d1(2048);
+    t.archive = StreamingCompressor(scfg).compress(wave_f32(ext.count()), ext).bytes;
+    t.decode = [](std::span<const std::uint8_t> b) {
+      (void)StreamingCompressor::decompress(b);
+    };
+    // The container itself has no trailing CRC; its nested slabs do.
+    targets.push_back(std::move(t));
+  }
+
+  {
+    Target t;
+    t.name = "bundle/two-fields";
+    CompressConfig cfg;
+    cfg.eb = ErrorBound::absolute(1e-3);
+    const Extents ext = Extents::d1(512);
+    Bundle b;
+    b.add("alpha", Compressor(cfg).compress(wave_f32(ext.count()), ext).bytes);
+    b.add("beta", Compressor(cfg).compress(wave_f64(ext.count()), ext).bytes);
+    t.archive = b.serialize();
+    t.decode = [](std::span<const std::uint8_t> bytes) { (void)Bundle::deserialize(bytes); };
+    t.whole_crc = true;
+    targets.push_back(std::move(t));
+  }
+
+  {
+    Target t;
+    t.name = "baseline/cusz-2d-f32";
+    const Extents ext = Extents::d2(48, 40);
+    t.archive = baseline::CuszCompressor().compress(wave_f32(ext.count()), ext).bytes;
+    t.decode = [](std::span<const std::uint8_t> b) {
+      (void)baseline::CuszCompressor::decompress(b);
+    };
+    targets.push_back(std::move(t));
+  }
+
+  {
+    Target t;
+    t.name = "lossless/lzh";
+    t.archive = lossless::lzh_compress(sample_text(4096), {});
+    t.decode = [](std::span<const std::uint8_t> b) { (void)lossless::lzh_decompress(b); };
+    targets.push_back(std::move(t));
+  }
+
+  {
+    Target t;
+    t.name = "lossless/lzr";
+    t.archive = lossless::lzr_compress(sample_text(4096), {});
+    t.decode = [](std::span<const std::uint8_t> b) { (void)lossless::lzr_decompress(b); };
+    targets.push_back(std::move(t));
+  }
+
+  {
+    Target t;
+    t.name = "zfp/2d-f32";
+    const Extents ext = Extents::d2(40, 32);
+    t.archive = zfp::zfp_compress(wave_f32(ext.count()), ext, {}).bytes;
+    t.decode = [](std::span<const std::uint8_t> b) { (void)zfp::zfp_decompress(b); };
+    targets.push_back(std::move(t));
+  }
+
+  return targets;
+}
+
+/// Re-stamp the trailing CRC-32 so a mutation survives the whole-archive
+/// checksum and exercises the structural validation behind it.
+void fix_trailing_crc(std::vector<std::uint8_t>& bytes) {
+  if (bytes.size() < 4) return;
+  const std::uint32_t crc =
+      crc32(std::span<const std::uint8_t>(bytes.data(), bytes.size() - 4));
+  std::memcpy(bytes.data() + bytes.size() - 4, &crc, 4);
+}
+
+/// One campaign step: decode `mutated` and judge the outcome against the
+/// contract in the header comment.
+struct Judge {
+  const FuzzConfig& cfg;
+  FuzzResult& res;
+  std::ostream& out;
+
+  void operator()(const Target& t, const std::string& mutation,
+                  std::vector<std::uint8_t> mutated, bool crc_fixed) {
+    ++res.mutations;
+    const bool changed = mutated != t.archive;
+    try {
+      t.decode(mutated);
+      ++res.accepted;
+      if (t.whole_crc && changed && !crc_fixed) {
+        res.failures.push_back(t.name + " [" + mutation +
+                               "]: CRC-protected archive silently accepted a mutation");
+      } else if (cfg.verbose) {
+        out << "  " << t.name << " [" << mutation << "]: accepted\n";
+      }
+    } catch (const DecodeError& e) {
+      ++res.clean_errors;
+      ++res.kinds[e.kind()];
+      if (cfg.verbose) {
+        out << "  " << t.name << " [" << mutation << "]: " << e.what() << "\n";
+      }
+    } catch (const std::exception& e) {
+      res.failures.push_back(t.name + " [" + mutation + "]: leaked " +
+                             std::string(typeid(e).name()) + ": " + e.what());
+    } catch (...) {
+      res.failures.push_back(t.name + " [" + mutation + "]: leaked a non-std exception");
+    }
+  }
+};
+
+void fuzz_target(const Target& t, const FuzzConfig& cfg, Judge& judge, Rng& rng) {
+  const std::vector<std::uint8_t>& a = t.archive;
+  const std::size_t n = a.size();
+
+  // -- Truncations: tiny prefixes, 8-byte boundaries through the header
+  //    region, coarse fractions, and off-by-a-few at the tail.
+  std::vector<std::size_t> cuts;
+  for (std::size_t k = 0; k <= 8 && k < n; ++k) cuts.push_back(k);
+  for (std::size_t k = 16; k <= 64 && k < n; k += 8) cuts.push_back(k);
+  for (const std::size_t num : {1, 2, 3}) cuts.push_back(num * n / 4);
+  for (std::size_t k = 1; k <= 8 && k < n; ++k) cuts.push_back(n - k);
+  for (const std::size_t cut : cuts) {
+    judge(t, "truncate@" + std::to_string(cut),
+          std::vector<std::uint8_t>(a.begin(), a.begin() + static_cast<std::ptrdiff_t>(cut)),
+          false);
+  }
+
+  // -- Zeroed header: wipes magic/version/extents in one stroke.
+  {
+    auto m = a;
+    std::fill(m.begin(), m.begin() + static_cast<std::ptrdiff_t>(std::min<std::size_t>(16, n)),
+              std::uint8_t{0});
+    judge(t, "zero-header", std::move(m), false);
+  }
+
+  for (int round = 0; round < cfg.rounds; ++round) {
+    // -- Single-bit flips scattered over the whole archive.
+    for (int i = 0; i < 48; ++i) {
+      auto m = a;
+      const std::size_t byte = rng.below(n);
+      m[byte] = static_cast<std::uint8_t>(m[byte] ^ (1u << rng.below(8)));
+      judge(t, "bitflip@" + std::to_string(byte), std::move(m), false);
+    }
+
+    // -- Length-field splices: overwrite an aligned u64 with a value chosen
+    //    to overflow a size computation or an allocation.
+    constexpr std::uint64_t kSplices[] = {
+        0xffffffffffffffffull, 0x7fffffffffffffffull, 0x8000000000000000ull,
+        0xffffffffull, 0xffffffffffffffffull / 2, 0ull};
+    for (int i = 0; i < 12 && n >= 8; ++i) {
+      auto m = a;
+      const std::size_t at = rng.below(n / 8) * 8;
+      const std::uint64_t v = kSplices[rng.below(std::size(kSplices))];
+      std::memcpy(m.data() + at, &v, std::min<std::size_t>(8, n - at));
+      judge(t, "splice-u64@" + std::to_string(at), std::move(m), false);
+    }
+
+    // -- CRC-protected formats: re-stamp the trailer so mutations reach the
+    //    structural validators behind the checksum.  Success is then allowed
+    //    (the bytes may decode to different data); crashes are not.
+    if (t.whole_crc) {
+      for (int i = 0; i < 24; ++i) {
+        auto m = a;
+        if (i % 2 == 0) {
+          const std::size_t byte = rng.below(n > 4 ? n - 4 : n);
+          m[byte] = static_cast<std::uint8_t>(m[byte] ^ (1u << rng.below(8)));
+        } else if (n >= 16) {
+          const std::size_t at = rng.below((n - 8) / 8) * 8;
+          const std::uint64_t v = kSplices[rng.below(std::size(kSplices))];
+          std::memcpy(m.data() + at, &v, 8);
+        }
+        fix_trailing_crc(m);
+        judge(t, "crc-fixed mutation #" + std::to_string(i), std::move(m), true);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+FuzzResult run(const FuzzConfig& cfg, std::ostream& out) {
+  FuzzResult res;
+  const auto targets = make_targets();
+  for (std::size_t ti = 0; ti < targets.size(); ++ti) {
+    const Target& t = targets[ti];
+    // Per-target RNG stream: adding a target never reshuffles the others.
+    Rng rng{cfg.seed ^ (0x100000001b3ull * (ti + 1))};
+    Judge judge{cfg, res, out};
+    if (cfg.verbose) out << t.name << " (" << t.archive.size() << " bytes)\n";
+    fuzz_target(t, cfg, judge, rng);
+  }
+  out << "fuzz: " << res.mutations << " mutated decodes over " << targets.size()
+      << " targets: " << res.clean_errors << " clean rejections, " << res.accepted
+      << " accepted, " << res.failures.size() << " contract violations\n";
+  for (const auto& f : res.failures) out << "  FAILURE: " << f << "\n";
+  return res;
+}
+
+}  // namespace szp::fuzz

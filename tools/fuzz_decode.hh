@@ -1,0 +1,50 @@
+// szp — mutation-fuzz harness for every decode path.
+//
+// Round-trips a small field through each workflow (Huffman, RLE, RLE+VLE,
+// rANS, all predictors, 1/2/3-D, float/double), the streaming container, the
+// bundle, the cuSZ baseline, the lossless codecs (lzh/lzr) and zfp, then
+// feeds each archive through deterministic corruption: truncations at
+// segment-ish boundaries, single-bit flips, length-field splices to huge
+// values, and zeroed headers.  The decode contract under mutation:
+//
+//   * the decoder throws szp::DecodeError (a clean, typed rejection), or
+//   * the archive format has no whole-archive checksum and the mutation
+//     happened to produce a semantically valid archive, in which case the
+//     decode may succeed (with different data) — but formats protected by a
+//     trailing CRC-32 must NEVER accept a mutated archive unless the fuzzer
+//     deliberately re-stamped the checksum.
+//
+// Anything else — another exception type, a crash, a hang, a sanitizer
+// report — is a bug, recorded in FuzzResult::failures.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/error.hh"
+
+namespace szp::fuzz {
+
+struct FuzzConfig {
+  std::uint64_t seed = 0x5a502b;  ///< deterministic campaign seed
+  int rounds = 1;                 ///< repetitions of the randomized classes
+  bool verbose = false;           ///< per-mutation narration to `out`
+};
+
+struct FuzzResult {
+  std::size_t mutations = 0;      ///< mutated decodes attempted
+  std::size_t clean_errors = 0;   ///< rejected with szp::DecodeError
+  std::size_t accepted = 0;       ///< decoded without error (see header note)
+  std::map<DecodeErrorKind, std::size_t> kinds;  ///< taxonomy coverage
+  std::vector<std::string> failures;             ///< contract violations
+
+  [[nodiscard]] bool ok() const { return failures.empty(); }
+};
+
+/// Run the campaign; diagnostics go to `out`.
+FuzzResult run(const FuzzConfig& cfg, std::ostream& out);
+
+}  // namespace szp::fuzz
