@@ -41,11 +41,20 @@ HuffmanEncoded huffman_encode(std::span<const quant_t> symbols, const HuffmanCod
   chk::launch("huffman_encode/chunk_sizes", nchunks,
               chk::bufs(chk::in(symbols, "symbols"),
                         chk::out(std::span<std::uint64_t>(chunk_bytes), "chunk_bytes")),
-              [&, n, chunk_size](std::size_t c, const auto& vsym, const auto& vbytes) {
+              [&, n, chunk_size, gap_stride](std::size_t c, const auto& vsym,
+                                             const auto& vbytes) {
     const std::size_t lo = c * chunk_size;
     const std::size_t hi = std::min(lo + chunk_size, n);
+    // Lane model (word-mode checking): each gap-stride sub-block of the
+    // chunk is a cooperating thread summing its own symbols' code lengths
+    // into a register; after the reduction barrier, thread 0 stores the
+    // chunk's byte count.  Without a gap array the whole chunk is one lane.
+    const std::size_t lane_stride = gap_stride > 0 ? gap_stride : chunk_size;
     std::uint64_t bits = 0;
     for (std::size_t i = lo; i < hi; ++i) {
+      if ((i - lo) % lane_stride == 0) {
+        chk::this_thread(static_cast<std::uint32_t>((i - lo) / lane_stride));
+      }
       const unsigned len = book.length(vsym[i]);
       if (len == 0) {
         bad_symbol.store(true, std::memory_order_relaxed);
@@ -53,6 +62,8 @@ HuffmanEncoded huffman_encode(std::span<const quant_t> symbols, const HuffmanCod
       }
       bits += len;
     }
+    chk::barrier();
+    chk::this_thread(0);
     vbytes[c] = (bits + 7) / 8;
   });
   if (bad_symbol.load()) {

@@ -21,6 +21,7 @@
 // replay loop itself is a template in check.hh.
 #include "sim/check.hh"
 
+#include <array>
 #include <atomic>
 #include <cstdlib>
 #include <random>
@@ -39,6 +40,8 @@ namespace {
 std::atomic<int> g_mode{-1};
 // -1: not yet latched from the environment; else a schedule count >= 0.
 std::atomic<int> g_fuzz{-1};
+// -1: not yet latched from the environment; else a sampling divisor >= 1.
+std::atomic<int> g_sample{-1};
 
 CheckReport& mutable_report() {
   static CheckReport report;
@@ -63,6 +66,13 @@ int env_default_fuzz() {
   if (v == nullptr || v[0] == '\0') return 0;
   const long n = std::strtol(v, nullptr, 10);
   return n > 0 ? static_cast<int>(n) : 0;
+}
+
+int env_default_sample() {
+  const char* v = std::getenv("SZP_SIM_CHECK_SAMPLE");
+  if (v == nullptr || v[0] == '\0') return 1;
+  const long n = std::strtol(v, nullptr, 10);
+  return n > 1 ? static_cast<int>(n) : 1;
 }
 
 /// One block's interval plus ownership, flattened for the sweep.
@@ -153,6 +163,17 @@ int fuzz_schedules() {
 
 void set_fuzz_schedules(int n) { g_fuzz.store(n < 0 ? 0 : n, std::memory_order_relaxed); }
 
+int word_sample() {
+  int n = g_sample.load(std::memory_order_relaxed);
+  if (n < 0) {
+    n = env_default_sample();
+    g_sample.store(n, std::memory_order_relaxed);
+  }
+  return n;
+}
+
+void set_word_sample(int n) { g_sample.store(n < 1 ? 1 : n, std::memory_order_relaxed); }
+
 const CheckReport& current_report() { return mutable_report(); }
 
 void reset() {
@@ -163,6 +184,8 @@ void reset() {
   r.schedule_diffs.clear();
   r.launches_checked = 0;
   r.launches_fuzzed = 0;
+  r.shadow_pages = 0;
+  r.shadow_words = 0;
 }
 
 void analyze_launch(const char* kernel, const std::vector<BufMeta>& bufs,
@@ -259,12 +282,24 @@ struct Word {
   Rec rd0, rd1;
 };
 
+/// One on-demand shadow page: kShadowPageWords record slots.  A page that a
+/// kernel never touches is a single null pointer in the page table, which is
+/// what lets word mode run over cosmology-scale registered buffers without
+/// tens of bytes of shadow per *registered* word — cost tracks *touched*
+/// words (rounded up to pages).
+using ShadowPage = std::array<Word, kShadowPageWords>;
+
 }  // namespace
 
 struct WordShadow::Impl {
   std::string kernel;
   std::vector<BufMeta> bufs;
-  std::vector<std::vector<Word>> shadow;  ///< per buffer, per word
+  /// Per buffer: a page table indexed by word / kShadowPageWords; pages are
+  /// allocated on first touch.
+  std::vector<std::vector<std::unique_ptr<ShadowPage>>> shadow;
+  int sample = 1;                       ///< 1-in-N word sampling (1: every word)
+  std::uint64_t pages_allocated = 0;
+  std::uint64_t words_recorded = 0;     ///< record() calls that passed sampling
   std::size_t block = 0;
   std::vector<HazardFinding> hazards;
   std::vector<RaceFinding> races;
@@ -310,7 +345,19 @@ struct WordShadow::Impl {
   }
 
   void record(std::uint32_t buf, std::uint64_t word, bool write, bool atomic) {
-    Word& w = shadow[buf][word];
+    // Sampling mode: only every sample-th word carries shadow state.  Dense
+    // hazards (spanning >= sample consecutive words) still hit a tracked
+    // word; the memory and time cost drop by ~sample.
+    if (sample > 1 && word % static_cast<std::uint64_t>(sample) != 0) return;
+    auto& pages = shadow[buf];
+    const auto page_idx = static_cast<std::size_t>(word / kShadowPageWords);
+    std::unique_ptr<ShadowPage>& page = pages[page_idx];
+    if (page == nullptr) {
+      page = std::make_unique<ShadowPage>();
+      ++pages_allocated;
+    }
+    ++words_recorded;
+    Word& w = (*page)[static_cast<std::size_t>(word % kShadowPageWords)];
     const std::uint32_t lane = detail::t_lane.lane;
     const std::uint32_t epoch = detail::t_lane.epoch;
 
@@ -353,8 +400,13 @@ struct WordShadow::Impl {
 WordShadow::WordShadow(const char* kernel, std::vector<BufMeta> bufs)
     : impl_(std::make_unique<Impl>()) {
   impl_->kernel = kernel;
+  impl_->sample = word_sample();
   impl_->shadow.reserve(bufs.size());
-  for (const BufMeta& m : bufs) impl_->shadow.emplace_back(m.elems);
+  // Only the page *tables* are allocated up front (8 bytes per
+  // kShadowPageWords words); pages fill in on first touch.
+  for (const BufMeta& m : bufs) {
+    impl_->shadow.emplace_back(m.elems == 0 ? 0 : (m.elems - 1) / kShadowPageWords + 1);
+  }
   impl_->bufs = std::move(bufs);
 }
 
@@ -370,6 +422,8 @@ void WordShadow::finish() {
   CheckReport& report = mutable_report();
   for (auto& h : impl_->hazards) report.hazards.push_back(std::move(h));
   for (auto& r : impl_->races) report.races.push_back(std::move(r));
+  report.shadow_pages += impl_->pages_allocated;
+  report.shadow_words += impl_->words_recorded;
 }
 
 // ---------------------------------------------------------------------------
@@ -407,6 +461,43 @@ void make_fuzz_order(int s, std::size_t n, std::vector<std::size_t>& order, bool
     *parallel = true;
     *name = "shuffle#" + std::to_string(s - 2);
   }
+}
+
+void make_fuzz_order_3d(int s, Dim3 grid, std::vector<std::size_t>& order, bool* parallel,
+                        std::string* name) {
+  const std::size_t n = grid.count();
+  if (s > 6) {
+    // Past the six axis orders, fall back to the linear repertoire:
+    // 7 -> reversed, 8 -> serial, 9+ -> seeded shuffles.
+    make_fuzz_order(s - 6, n, order, parallel, name);
+    return;
+  }
+  // The six permutations of (fastest, middle, slowest) traversal axes,
+  // where axis 0 = x, 1 = y, 2 = z.  The canonical linear layout is "xyz"
+  // (x fastest): linear = (bz*gy + by)*gx + bx.
+  static constexpr std::array<std::array<int, 3>, 6> kPerms{
+      {{0, 1, 2}, {0, 2, 1}, {1, 0, 2}, {1, 2, 0}, {2, 0, 1}, {2, 1, 0}}};
+  static constexpr std::array<const char*, 6> kNames{"xyz", "xzy", "yxz",
+                                                     "yzx", "zxy", "zyx"};
+  const std::array<int, 3>& p = kPerms[static_cast<std::size_t>(s - 1)];
+  const std::size_t ext[3] = {grid.x, grid.y, grid.z};
+  order.clear();
+  order.reserve(n);
+  std::size_t idx[3] = {0, 0, 0};
+  for (std::size_t a2 = 0; a2 < ext[p[2]]; ++a2) {
+    for (std::size_t a1 = 0; a1 < ext[p[1]]; ++a1) {
+      for (std::size_t a0 = 0; a0 < ext[p[0]]; ++a0) {
+        idx[p[2]] = a2;
+        idx[p[1]] = a1;
+        idx[p[0]] = a0;
+        order.push_back((idx[2] * ext[1] + idx[1]) * ext[0] + idx[0]);
+      }
+    }
+  }
+  // Serial execution honors the permuted traversal exactly, so a diff under
+  // an axis order is deterministic (and reproducible from the name alone).
+  *parallel = false;
+  *name = std::string("axis-order:") + kNames[static_cast<std::size_t>(s - 1)];
 }
 
 void append_schedule_finding(const char* kernel, const char* buffer, const std::string& schedule,
@@ -467,6 +558,10 @@ std::string report_text() {
   if (r.launches_fuzzed > 0 || !r.schedule_diffs.empty()) {
     os << ", " << r.launches_fuzzed << " launch(es) schedule-fuzzed, " << r.schedule_diffs.size()
        << " schedule divergence(s)";
+  }
+  if (r.shadow_pages > 0) {
+    os << ", " << r.shadow_pages << " shadow page(s) for " << r.shadow_words
+       << " word access(es)";
   }
   os << "\n";
 

@@ -31,14 +31,20 @@
 //     both atomic, is reported with kernel, block, both lanes, buffer, and
 //     word.  Benign striding (lanes on disjoint words) and barrier-ordered
 //     reuse are not flagged.  Word mode serializes block execution so the
-//     shadow needs no synchronization and reports are deterministic.
+//     shadow needs no synchronization and reports are deterministic.  The
+//     shadow itself is *paged* — fixed-size pages allocated on first touch
+//     (kShadowPageWords words each) — so word mode scales to bench-size
+//     fields; an optional 1-in-N sampling mode (SZP_SIM_CHECK_SAMPLE=N /
+//     set_word_sample) trades detection density for another factor of ~N.
 //
 // Orthogonally, schedule fuzzing (set_fuzz_schedules(N) /
 // SZP_SIM_FUZZ_SCHEDULE=N / --fuzz-schedule[=N]) re-executes every
 // registered multi-block grid under N perturbed block orders — reversed,
 // strictly serial, and seeded shuffles under a dynamic OpenMP schedule —
 // and diffs FNV-1a checksums of every writable buffer against the canonical
-// run.  Any order-dependence a static footprint cannot prove becomes a
+// run.  Grids registered through launch_3d additionally replay under all
+// six z/y/x axis traversal orders (serially, so the permuted traversal is
+// exact).  Any order-dependence a static footprint cannot prove becomes a
 // deterministic ScheduleFinding.
 //
 // Findings accumulate in a process-global report (checked::current_report)
@@ -85,8 +91,25 @@ void set_enabled(bool on);
 
 /// Number of perturbed block schedules every multi-block launch is replayed
 /// under (0: fuzzing off).  First call latches SZP_SIM_FUZZ_SCHEDULE.
+/// 3-D-registered grids (chk::launch_3d) always replay at least the eight
+/// deterministic 3-D schedules — all six z/y/x axis traversal orders plus
+/// reversed and serial — regardless of a smaller N.
 [[nodiscard]] int fuzz_schedules();
 void set_fuzz_schedules(int n);
+
+/// Word-shadow sampling divisor for tier 2: 1 (the default) tracks every
+/// word; N > 1 tracks only words whose index is a multiple of N — a 1-in-N
+/// sampling mode that cuts shadow memory and checking time by ~N on
+/// bench-scale inputs while still catching dense hazards (any conflict
+/// spanning >= N consecutive words hits a tracked one).  First call latches
+/// SZP_SIM_CHECK_SAMPLE.
+[[nodiscard]] int word_sample();
+void set_word_sample(int n);
+
+/// Words per tier-2 shadow page.  The shadow is paged and pages are
+/// allocated on first touch, so a launch registering a huge buffer only
+/// pays shadow memory for the pages its kernel actually visits.
+inline constexpr std::size_t kShadowPageWords = 1024;
 
 /// Per-launch granularity override: kWord upgrades this launch to tier 2
 /// whenever checking is enabled at all.
@@ -185,6 +208,8 @@ struct CheckReport {
   std::vector<ScheduleFinding> schedule_diffs;
   std::uint64_t launches_checked = 0;
   std::uint64_t launches_fuzzed = 0;
+  std::uint64_t shadow_pages = 0;  ///< tier-2 shadow pages allocated on touch
+  std::uint64_t shadow_words = 0;  ///< tier-2 word accesses recorded (post-sampling)
 
   [[nodiscard]] bool clean() const {
     return races.empty() && hazards.empty() && oob.empty() && schedule_diffs.empty();
@@ -226,6 +251,18 @@ class ScopedEnable {
 
  private:
   ScopedMode scoped_;
+};
+
+/// RAII word-shadow sampling override for tests.
+class ScopedWordSample {
+ public:
+  explicit ScopedWordSample(int n) : prev_(word_sample()) { set_word_sample(n); }
+  ~ScopedWordSample() { set_word_sample(prev_); }
+  ScopedWordSample(const ScopedWordSample&) = delete;
+  ScopedWordSample& operator=(const ScopedWordSample&) = delete;
+
+ private:
+  int prev_;
 };
 
 /// RAII schedule-fuzz override for tests.
@@ -303,10 +340,13 @@ void analyze_launch(const char* kernel, const std::vector<BufMeta>& bufs,
 // Word-granular shadow memory (tier 2).
 // ---------------------------------------------------------------------------
 
-/// Per-launch shadow state: one access-record array per registered buffer,
-/// one record slot set per word.  record() performs hazard detection inline
-/// (blocks run serially in word mode, so every earlier access is visible);
-/// finish() appends the collected findings to the global report.
+/// Per-launch shadow state: one paged access-record table per registered
+/// buffer, one record slot set per word, pages of kShadowPageWords words
+/// allocated on first touch (a never-touched page costs one null pointer).
+/// record() performs hazard detection inline (blocks run serially in word
+/// mode, so every earlier access is visible) and honors the 1-in-N
+/// word_sample() filter; finish() appends the collected findings plus
+/// page/word statistics to the global report.
 class WordShadow {
  public:
   WordShadow(const char* kernel, std::vector<BufMeta> bufs);
@@ -597,6 +637,15 @@ decltype(auto) with_tracked_views(const Tuple& t, BlockLog* log, WordShadow* sha
 void make_fuzz_order(int s, std::size_t n, std::vector<std::size_t>& order, bool* parallel,
                      std::string* name);
 
+/// 3-D variant for launch_3d-registered grids: schedules 1..6 are the six
+/// axis traversal orders (named fastest-varying axis first; "xyz" is the
+/// canonical x-fastest layout, "zyx" walks z fastest), executed serially so
+/// the permuted traversal is honored exactly and any divergence is
+/// deterministic; 7+ map onto the linear repertoire (reversed, serial,
+/// seeded shuffles).
+void make_fuzz_order_3d(int s, Dim3 grid, std::vector<std::size_t>& order, bool* parallel,
+                        std::string* name);
+
 void append_schedule_finding(const char* kernel, const char* buffer, const std::string& schedule,
                              std::uint64_t ref, std::uint64_t got);
 void note_fuzzed_launch();
@@ -655,10 +704,13 @@ std::vector<std::uint64_t> checksum_writable(const std::tuple<B...>& t) {
 /// snapshot taken before the canonical run; the canonical post-state is
 /// restored before returning so the pipeline continues deterministically.
 /// `invoke(order, parallel)` must execute the whole grid with raw views.
+/// A non-degenerate `grid3` (matching count, extent beyond x) selects the
+/// 3-D schedule repertoire: z/y/x axis traversal orders first.
 template <typename... B, typename InvokeRaw>
 void run_schedule_fuzz(const char* kernel, const std::tuple<B...>& registered,
-                       std::size_t grid_count, int schedules,
+                       std::size_t grid_count, int schedules, Dim3 grid3,
                        const std::vector<std::vector<std::uint8_t>>& pre, InvokeRaw&& invoke) {
+  const bool axis_aware = grid3.count() == grid_count && (grid3.y > 1 || grid3.z > 1);
   const std::vector<BufMeta> meta = metas(registered);
   const std::vector<std::uint64_t> ref = checksum_writable(registered);
   const std::vector<std::vector<std::uint8_t>> post = snapshot_writable(registered);
@@ -666,7 +718,11 @@ void run_schedule_fuzz(const char* kernel, const std::tuple<B...>& registered,
   for (int s = 1; s <= schedules; ++s) {
     bool parallel = true;
     std::string name;
-    make_fuzz_order(s, grid_count, order, &parallel, &name);
+    if (axis_aware) {
+      make_fuzz_order_3d(s, grid3, order, &parallel, &name);
+    } else {
+      make_fuzz_order(s, grid_count, order, &parallel, &name);
+    }
     restore_writable(registered, pre);
     invoke(std::span<const std::size_t>(order), parallel);
     const std::vector<std::uint64_t> got = checksum_writable(registered);
@@ -687,14 +743,20 @@ void run_schedule_fuzz(const char* kernel, const std::tuple<B...>& registered,
 // ---------------------------------------------------------------------------
 
 /// launch_blocks with buffer registration and per-launch granularity:
-/// body(block, view...).
+/// body(block, view...).  The trailing grid3 carries the 3-D geometry when
+/// the call came through launch_3d (degenerate {1,1,1} otherwise) so the
+/// schedule fuzzer can permute z/y/x traversal instead of linear order.
 template <typename... B, typename Body>
 void launch(const char* kernel, std::size_t grid_size, Granularity gran,
-            const std::tuple<B...>& registered, Body&& body) {
+            const std::tuple<B...>& registered, Body&& body, Dim3 grid3 = {}) {
   constexpr auto seq = std::index_sequence_for<B...>{};
   const Mode m = mode();
   const bool word = m != Mode::kOff && (m == Mode::kWord || gran == Granularity::kWord);
-  const int schedules = grid_size > 1 ? fuzz_schedules() : 0;
+  const bool axis_aware = grid3.count() == grid_size && (grid3.y > 1 || grid3.z > 1);
+  int schedules = grid_size > 1 ? fuzz_schedules() : 0;
+  // 3-D grids always cover the full deterministic 3-D repertoire: six axis
+  // traversal orders, reversed, serial.
+  if (schedules > 0 && axis_aware) schedules = std::max(schedules, 8);
 
   const auto run_raw = [&](std::size_t b) {
     detail::with_raw_views(registered, [&](const auto&... views) { body(b, views...); }, seq);
@@ -734,7 +796,7 @@ void launch(const char* kernel, std::size_t grid_size, Granularity gran,
   }
 
   if (schedules > 0) {
-    detail::run_schedule_fuzz(kernel, registered, grid_size, schedules, pre,
+    detail::run_schedule_fuzz(kernel, registered, grid_size, schedules, grid3, pre,
                               [&](std::span<const std::size_t> order, bool parallel) {
                                 launch_blocks_in_order(order, parallel, run_raw);
                               });
@@ -750,6 +812,9 @@ void launch(const char* kernel, std::size_t grid_size, const std::tuple<B...>& r
 
 /// launch_blocks_3d with buffer registration: body(bx, by, bz, view...).
 /// Block footprints are logged under the linear index (bz*gy + by)*gx + bx.
+/// The grid geometry is forwarded to the schedule fuzzer, which replays 3-D
+/// grids under permuted z/y/x traversal orders rather than linear shuffles
+/// alone.
 template <typename... B, typename Body>
 void launch_3d(const char* kernel, Dim3 grid, Granularity gran, const std::tuple<B...>& registered,
                Body&& body) {
@@ -761,7 +826,7 @@ void launch_3d(const char* kernel, Dim3 grid, Granularity gran, const std::tuple
     body(bx, by, bz, views...);
   };
   launch(kernel, grid.count(), gran, registered,
-         [&](std::size_t linear, const auto&... views) { decompose(linear, views...); });
+         [&](std::size_t linear, const auto&... views) { decompose(linear, views...); }, grid);
 }
 
 template <typename... B, typename Body>

@@ -105,6 +105,9 @@ std::size_t block_bits(const ZfpConfig& cfg, std::size_t block_elems) {
 
 /// Gather a (possibly partial) block with edge replication, as ZFP pads.
 /// Templated over the (raw or tracking) data view from the checked launch.
+/// Lane model (word-mode checking): one virtual thread per block row, the
+/// way cuZFP assigns gather threads.  Edge-replicated rows collide only on
+/// reads, which the checker treats as benign sharing.
 template <typename View>
 void gather_block(const View& data, const Extents& ext, std::size_t gx,
                   std::size_t gy, std::size_t gz, float* block) {
@@ -114,6 +117,7 @@ void gather_block(const View& data, const Extents& ext, std::size_t gx,
   for (std::size_t lz = 0; lz < nz; ++lz) {
     const std::size_t z = std::min(gz * 4 + lz, ext.nz - 1);
     for (std::size_t ly = 0; ly < ny; ++ly) {
+      sim::checked::this_thread(static_cast<std::uint32_t>(lz * ny + ly));
       const std::size_t y = std::min(gy * 4 + ly, ext.ny - 1);
       for (std::size_t lx = 0; lx < 4; ++lx) {
         const std::size_t x = std::min(gx * 4 + lx, ext.nx - 1);
@@ -133,6 +137,8 @@ void scatter_block(const View& data, const Extents& ext, std::size_t gx, std::si
     const std::size_t z = gz * 4 + lz;
     if (z >= ext.nz) break;
     for (std::size_t ly = 0; ly < ny; ++ly) {
+      // One virtual thread per row; rows land on disjoint output words.
+      sim::checked::this_thread(static_cast<std::uint32_t>(lz * ny + ly));
       const std::size_t y = gy * 4 + ly;
       if (y >= ext.ny) break;
       for (std::size_t lx = 0; lx < 4; ++lx) {
@@ -144,40 +150,91 @@ void scatter_block(const View& data, const Extents& ext, std::size_t gx, std::si
   }
 }
 
+// Lane model for both transforms: each lift pass assigns one virtual
+// thread per independent 4-vector (lane = vector index within the pass),
+// with a barrier between passes — the passes genuinely depend on each
+// other, so word mode must see them in distinct epochs when the transform
+// is ever applied to a registered buffer.
 void transform_forward(std::int32_t* v, int rank) {
+  namespace chk = sim::checked;
   if (rank == 1) {
+    chk::this_thread(0);
     fwd_lift(v, 1);
+    chk::barrier();
     return;
   }
   if (rank == 2) {
-    for (std::size_t y = 0; y < 4; ++y) fwd_lift(v + 4 * y, 1);   // rows
-    for (std::size_t x = 0; x < 4; ++x) fwd_lift(v + x, 4);       // columns
+    for (std::size_t y = 0; y < 4; ++y) {                          // rows
+      chk::this_thread(static_cast<std::uint32_t>(y));
+      fwd_lift(v + 4 * y, 1);
+    }
+    chk::barrier();
+    for (std::size_t x = 0; x < 4; ++x) {                          // columns
+      chk::this_thread(static_cast<std::uint32_t>(x));
+      fwd_lift(v + x, 4);
+    }
+    chk::barrier();
     return;
   }
   for (std::size_t z = 0; z < 4; ++z)
-    for (std::size_t y = 0; y < 4; ++y) fwd_lift(v + 16 * z + 4 * y, 1);
+    for (std::size_t y = 0; y < 4; ++y) {
+      chk::this_thread(static_cast<std::uint32_t>(z * 4 + y));
+      fwd_lift(v + 16 * z + 4 * y, 1);
+    }
+  chk::barrier();
   for (std::size_t z = 0; z < 4; ++z)
-    for (std::size_t x = 0; x < 4; ++x) fwd_lift(v + 16 * z + x, 4);
+    for (std::size_t x = 0; x < 4; ++x) {
+      chk::this_thread(static_cast<std::uint32_t>(z * 4 + x));
+      fwd_lift(v + 16 * z + x, 4);
+    }
+  chk::barrier();
   for (std::size_t y = 0; y < 4; ++y)
-    for (std::size_t x = 0; x < 4; ++x) fwd_lift(v + 4 * y + x, 16);
+    for (std::size_t x = 0; x < 4; ++x) {
+      chk::this_thread(static_cast<std::uint32_t>(y * 4 + x));
+      fwd_lift(v + 4 * y + x, 16);
+    }
+  chk::barrier();
 }
 
 void transform_inverse(std::int32_t* v, int rank) {
+  namespace chk = sim::checked;
   if (rank == 1) {
+    chk::this_thread(0);
     inv_lift(v, 1);
+    chk::barrier();
     return;
   }
   if (rank == 2) {
-    for (std::size_t x = 0; x < 4; ++x) inv_lift(v + x, 4);
-    for (std::size_t y = 0; y < 4; ++y) inv_lift(v + 4 * y, 1);
+    for (std::size_t x = 0; x < 4; ++x) {
+      chk::this_thread(static_cast<std::uint32_t>(x));
+      inv_lift(v + x, 4);
+    }
+    chk::barrier();
+    for (std::size_t y = 0; y < 4; ++y) {
+      chk::this_thread(static_cast<std::uint32_t>(y));
+      inv_lift(v + 4 * y, 1);
+    }
+    chk::barrier();
     return;
   }
   for (std::size_t y = 0; y < 4; ++y)
-    for (std::size_t x = 0; x < 4; ++x) inv_lift(v + 4 * y + x, 16);
+    for (std::size_t x = 0; x < 4; ++x) {
+      chk::this_thread(static_cast<std::uint32_t>(y * 4 + x));
+      inv_lift(v + 4 * y + x, 16);
+    }
+  chk::barrier();
   for (std::size_t z = 0; z < 4; ++z)
-    for (std::size_t x = 0; x < 4; ++x) inv_lift(v + 16 * z + x, 4);
+    for (std::size_t x = 0; x < 4; ++x) {
+      chk::this_thread(static_cast<std::uint32_t>(z * 4 + x));
+      inv_lift(v + 16 * z + x, 4);
+    }
+  chk::barrier();
   for (std::size_t z = 0; z < 4; ++z)
-    for (std::size_t y = 0; y < 4; ++y) inv_lift(v + 16 * z + 4 * y, 1);
+    for (std::size_t y = 0; y < 4; ++y) {
+      chk::this_thread(static_cast<std::uint32_t>(z * 4 + y));
+      inv_lift(v + 16 * z + 4 * y, 1);
+    }
+  chk::barrier();
 }
 
 /// Fixed-size per-block bit cursor over the archive payload.
@@ -258,7 +315,10 @@ ZfpCompressed zfp_compress(std::span<const float> data, const Extents& ext,
 
     std::array<float, 64> vals{};
     gather_block(vdata, ext, gx, gy, gz, vals.data());
+    chk::barrier();
 
+    // The bitstream emit is inherently serial: thread 0 owns the cursor.
+    chk::this_thread(0);
     // bits_per_block is rounded to whole bytes, so each block's reserved
     // byte range is disjoint; claim it before writing through the raw base.
     vpayload.note_write(b * bits_per_block / 8, bits_per_block / 8);
@@ -282,6 +342,7 @@ ZfpCompressed zfp_compress(std::span<const float> data, const Extents& ext,
       q[i] = static_cast<std::int32_t>(std::lround(static_cast<double>(vals[i]) * scale));
     }
     transform_forward(q.data(), ext.rank);
+    chk::this_thread(0);
     std::array<std::uint32_t, 64> nb{};
     for (std::size_t i = 0; i < ne; ++i) nb[i] = to_negabinary(q[order[i]]);
 
@@ -383,6 +444,9 @@ ZfpDecompressed zfp_decompress(std::span<const std::uint8_t> archive) {
     const std::size_t gy = (b / grid.bx) % grid.by;
     const std::size_t gz = b / (grid.bx * grid.by);
 
+    // Serial bitstream read: thread 0 owns the cursor, rows scatter after
+    // the barrier.
+    chk::this_thread(0);
     vpayload.note_read(b * bits_per_block / 8, bits_per_block / 8);
     BlockBitsReader bits(vpayload.data(), b * bits_per_block);
     const auto emax = static_cast<std::int16_t>(bits.get_bits(16));
@@ -402,11 +466,13 @@ ZfpDecompressed zfp_decompress(std::span<const std::uint8_t> archive) {
       std::array<std::int32_t, 64> q{};
       for (std::size_t i = 0; i < ne; ++i) q[order[i]] = from_negabinary(nb[i]);
       transform_inverse(q.data(), ext.rank);
+      chk::this_thread(0);
       const double scale = std::ldexp(1.0, emax - kFracBits);
       for (std::size_t i = 0; i < ne; ++i) {
         vals[i] = static_cast<float>(static_cast<double>(q[i]) * scale);
       }
     }
+    chk::barrier();
     scatter_block(vdata, ext, gx, gy, gz, vals.data());
   });
 

@@ -7,6 +7,7 @@
 #include <atomic>
 #include <cmath>
 #include <cstring>
+#include <filesystem>
 #include <numeric>
 #include <sstream>
 #include <string>
@@ -20,7 +21,9 @@
 #include "core/huffman/codec.hh"
 #include "core/serialize.hh"
 #include "core/types.hh"
+#include "data/io.hh"
 #include "sim/launch.hh"
+#include "tools/cli.hh"
 #include "tools/fuzz_decode.hh"
 
 namespace {
@@ -308,6 +311,124 @@ TEST(LaunchExceptions, InOrderCapturesInBothBranches) {
       EXPECT_STREQ(e.what(), "block 1") << "parallel=" << parallel;
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// Regression corpus: campaign persistence, dedup, and exact replay.
+// ---------------------------------------------------------------------------
+
+/// Hand-build a corpus artifact in the on-disk format (magic "SZPF",
+/// version, kind, target, segment, archive) so replay's drift detection can
+/// be probed without a live campaign.
+std::vector<std::uint8_t> make_artifact(DecodeErrorKind kind, const std::string& target,
+                                        const std::string& segment,
+                                        const std::vector<std::uint8_t>& archive) {
+  ByteWriter w;
+  w.put<std::uint32_t>(0x46505A53);
+  w.put<std::uint8_t>(1);
+  w.put<std::uint8_t>(static_cast<std::uint8_t>(kind));
+  w.put_span(std::span<const char>(target.data(), target.size()));
+  w.put_span(std::span<const char>(segment.data(), segment.size()));
+  w.put_vector(archive);
+  return w.take();
+}
+
+TEST(FuzzCorpus, CampaignWritesDedupesAndReplays) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "szp_fuzz_corpus_test";
+  fs::remove_all(dir);
+
+  fuzz::FuzzConfig cfg;
+  cfg.rounds = 1;
+  cfg.corpus_dir = dir.string();
+  std::ostringstream out;
+  const auto res = fuzz::run(cfg, out);
+  EXPECT_TRUE(res.ok()) << out.str();
+  EXPECT_GT(res.corpus_new, 0u);
+
+  std::size_t files = 0;
+  for (const auto& e : fs::directory_iterator(dir)) {
+    files += e.path().extension() == ".szpf" ? 1 : 0;
+  }
+  EXPECT_EQ(files, res.corpus_new);
+
+  // Second campaign over the same directory: the writer pre-seeds its
+  // seen-set from disk, so every (kind x segment) pair is already covered.
+  std::ostringstream out2;
+  const auto res2 = fuzz::run(cfg, out2);
+  EXPECT_EQ(res2.corpus_new, 0u);
+
+  // Replay reproduces every artifact's verdict exactly.
+  std::ostringstream rout;
+  const auto rep = fuzz::replay(dir.string(), rout);
+  EXPECT_TRUE(rep.ok()) << rout.str();
+  EXPECT_EQ(rep.artifacts, res.corpus_new);
+  EXPECT_EQ(rep.matched, rep.artifacts);
+  fs::remove_all(dir);
+}
+
+TEST(FuzzCorpus, ReplayFailsOnVerdictDrift) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "szp_fuzz_corpus_drift";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const auto valid = spiked_archive();
+
+  // An artifact claiming a valid archive must be rejected: the decode
+  // accepts it, which replay reports as drift.
+  data::write_bytes(dir / "accepts.szpf",
+                    make_artifact(DecodeErrorKind::kTruncated, "szp/huffman-1d-f32", "header",
+                                  valid));
+  // A truncated archive does throw (checksum-mismatch: the whole-archive
+  // CRC is verified first), but the artifact recorded a different kind:
+  // also drift.
+  auto cut = valid;
+  cut.resize(20);
+  data::write_bytes(dir / "wrong-kind.szpf",
+                    make_artifact(DecodeErrorKind::kBadVersion, "szp/huffman-1d-f32",
+                                  "archive", cut));
+  // An unknown target name cannot be replayed at all.
+  data::write_bytes(dir / "unknown.szpf",
+                    make_artifact(DecodeErrorKind::kTruncated, "mystery/format", "header", cut));
+  // A corrupt artifact file itself.
+  data::write_bytes(dir / "garbage.szpf", std::vector<std::uint8_t>{1, 2, 3});
+
+  std::ostringstream out;
+  const auto rep = fuzz::replay(dir.string(), out);
+  EXPECT_FALSE(rep.ok());
+  EXPECT_EQ(rep.artifacts, 4u);
+  EXPECT_EQ(rep.matched, 0u);
+  EXPECT_EQ(rep.failures.size(), 4u) << out.str();
+  fs::remove_all(dir);
+}
+
+TEST(FuzzCorpus, CommittedCorpusReplaysAndCoversEveryKind) {
+  // The corpus committed under tests/corpus/ is the regression contract:
+  // every artifact must reproduce its recorded verdict on today's decoders,
+  // and at least one artifact exists per DecodeError kind.
+  const std::string dir = SZP_CORPUS_DIR;
+  ASSERT_TRUE(std::filesystem::is_directory(dir)) << dir;
+  std::ostringstream out;
+  const auto rep = fuzz::replay(dir, out);
+  EXPECT_TRUE(rep.ok()) << out.str();
+  EXPECT_GE(rep.artifacts, 6u);
+  EXPECT_EQ(rep.matched, rep.artifacts);
+  for (const char* kind : {"truncated", "bad-magic", "bad-version", "length-overflow",
+                           "checksum-mismatch", "corrupt-stream"}) {
+    bool found = false;
+    for (const auto& e : std::filesystem::directory_iterator(dir)) {
+      if (e.path().filename().string().rfind(kind, 0) == 0) found = true;
+    }
+    EXPECT_TRUE(found) << "no committed artifact for kind " << kind;
+  }
+}
+
+TEST(FuzzCorpus, CliReplayRunsTheCommittedCorpus) {
+  std::ostringstream out, err;
+  const int rc = cli::run({"fuzz", "--replay", SZP_CORPUS_DIR}, out, err);
+  EXPECT_EQ(rc, 0) << err.str() << out.str();
+  EXPECT_NE(out.str().find("replay:"), std::string::npos) << out.str();
+  EXPECT_NE(out.str().find("0 failure(s)"), std::string::npos) << out.str();
 }
 
 TEST(LaunchExceptions, HuffmanDecodePropagatesFromTheGrid) {

@@ -8,21 +8,37 @@
 #include <filesystem>
 #include <fstream>
 #include <random>
+#include <set>
 #include <sstream>
 #include <vector>
 
 #include "baseline/cusz_ref.hh"
 #include "core/compressor.hh"
+#include "core/huffman/codebook.hh"
+#include "core/huffman/codec.hh"
 #include "core/metrics.hh"
 #include "lossless/lzh.hh"
 #include "lossless/lzr.hh"
 #include "sim/check.hh"
 #include "tools/cli.hh"
+#include "zfp/zfp.hh"
 
 namespace {
 
 using namespace szp;
 namespace chk = sim::checked;
+
+std::vector<float> smooth_field(const Extents& ext, std::uint32_t seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<float> dist(-1.0f, 1.0f);
+  std::vector<float> v(ext.count());
+  float acc = 0.0f;
+  for (auto& x : v) {
+    acc = 0.995f * acc + 0.02f * dist(rng);
+    x = acc + 0.001f * dist(rng);
+  }
+  return v;
+}
 
 /// Two lanes of one block write the same word in the same barrier epoch —
 /// the canonical intra-block hazard (e.g. a mis-assigned warp-shuffle slot).
@@ -157,6 +173,201 @@ TEST(SimCheckWord, HazardReportNamesLaneBufferAndWord) {
 }
 
 // --------------------------------------------------------------------------
+// Seeded hazards in the newly lane-annotated kernel shapes: the Huffman
+// emit-chunk loop (gap-stride sub-block lanes sharing a chunk) and the ZFP
+// block transform (row/column lift passes).  Each is the bug class the
+// production annotations in huffman_encode / zfp.cc exist to catch; interval
+// mode cannot see either (one block conflicts only with other blocks).
+// --------------------------------------------------------------------------
+
+/// Huffman emit with a seeded off-by-one in the gap-slot index: two
+/// sub-block lanes of one chunk record their bit offset into the same gap
+/// entry, no barrier between — cuSZ's coarse-chunk encoding bug class.
+template <typename View>
+void seeded_huffman_gap_clobber(const View& vgaps) {
+  chk::this_thread(0);
+  vgaps[2] = 10;  // sub-block 0 records its start bit...
+  chk::this_thread(1);
+  vgaps[2] = 20;  // ...and sub-block 1 lands on the same slot, same epoch
+}
+
+TEST(SimCheckWord, IntervalModeMissesHuffmanEmitChunkHazard) {
+  chk::ScopedMode guard(chk::Mode::kInterval);
+  std::vector<std::uint32_t> gaps(8, 0);
+  chk::launch("seeded_huffman_gap", 1,
+              chk::bufs(chk::out(std::span<std::uint32_t>(gaps), "gaps")),
+              [](std::size_t, const auto& v) { seeded_huffman_gap_clobber(v); });
+  EXPECT_TRUE(chk::current_report().clean()) << chk::report_text();
+}
+
+TEST(SimCheckWord, WordModeCatchesHuffmanEmitChunkHazard) {
+  chk::ScopedMode guard(chk::Mode::kWord);
+  std::vector<std::uint32_t> gaps(8, 0);
+  chk::launch("seeded_huffman_gap", 1,
+              chk::bufs(chk::out(std::span<std::uint32_t>(gaps), "gaps")),
+              [](std::size_t, const auto& v) { seeded_huffman_gap_clobber(v); });
+  const auto& report = chk::current_report();
+  ASSERT_FALSE(report.hazards.empty()) << chk::report_text();
+  const auto& h = report.hazards.front();
+  EXPECT_EQ(h.buffer, "gaps");
+  EXPECT_EQ(h.word, 2u);
+  EXPECT_TRUE(h.write_write);
+}
+
+/// ZFP block transform with the inter-pass barrier missing: the row pass
+/// writes one lane per row, then the column pass reads every row's words in
+/// the SAME epoch — exactly what zfp.cc's transform annotations order with
+/// chk::barrier().
+template <typename View>
+void seeded_zfp_plane_hazard(const View& v) {
+  for (std::uint32_t y = 0; y < 4; ++y) {
+    chk::this_thread(y);
+    for (std::size_t x = 0; x < 4; ++x) v[y * 4 + x] = static_cast<std::int32_t>(y + x);
+  }
+  // Missing chk::barrier() here.
+  for (std::uint32_t x = 0; x < 4; ++x) {
+    chk::this_thread(x);
+    std::int32_t acc = 0;
+    for (std::size_t y = 0; y < 4; ++y) acc += v[y * 4 + x];  // reads other lanes' rows
+    v[x] = acc;
+  }
+}
+
+TEST(SimCheckWord, IntervalModeMissesZfpBlockPlaneHazard) {
+  chk::ScopedMode guard(chk::Mode::kInterval);
+  std::vector<std::int32_t> block(16, 0);
+  chk::launch("seeded_zfp_plane", 1,
+              chk::bufs(chk::inout(std::span<std::int32_t>(block), "block")),
+              [](std::size_t, const auto& v) { seeded_zfp_plane_hazard(v); });
+  EXPECT_TRUE(chk::current_report().clean()) << chk::report_text();
+}
+
+TEST(SimCheckWord, WordModeCatchesZfpBlockPlaneHazard) {
+  chk::ScopedMode guard(chk::Mode::kWord);
+  std::vector<std::int32_t> block(16, 0);
+  chk::launch("seeded_zfp_plane", 1,
+              chk::bufs(chk::inout(std::span<std::int32_t>(block), "block")),
+              [](std::size_t, const auto& v) { seeded_zfp_plane_hazard(v); });
+  const auto& report = chk::current_report();
+  ASSERT_FALSE(report.hazards.empty()) << chk::report_text();
+  EXPECT_EQ(report.hazards.front().buffer, "block");
+}
+
+TEST(SimCheckWord, HuffmanGapEncodeDecodeIsClean) {
+  // The production encoder under word mode, gap arrays on: the sub-block
+  // lane annotations must hold (lanes own disjoint symbols and gap slots,
+  // the merge is barrier-ordered), so the launch reports nothing.
+  std::vector<quant_t> syms(20000);
+  for (std::size_t i = 0; i < syms.size(); ++i) {
+    syms[i] = static_cast<quant_t>((i * 31 + i / 7) % 64);
+  }
+  std::vector<std::uint64_t> freq(64, 0);
+  for (const auto s : syms) ++freq[s];
+  const auto book = HuffmanCodebook::build(freq);
+
+  chk::ScopedMode guard(chk::Mode::kWord);
+  const auto enc = huffman_encode(syms, book, 1024, HuffmanEncVariant::kOptimized, 256);
+  const auto dec = huffman_decode(enc, book);
+  EXPECT_EQ(dec.symbols, syms);
+  const auto& report = chk::current_report();
+  EXPECT_GT(report.launches_checked, 0u);
+  EXPECT_TRUE(report.clean()) << chk::report_text();
+}
+
+TEST(SimCheckWord, ZfpRoundTripIsClean) {
+  // Rank 2 and rank 3 cover partial edge blocks (extents not multiples of
+  // 4): the per-row gather lanes share clamped edge words read-only, which
+  // must stay exempt.
+  for (const Extents& ext : {Extents::d2(37, 22), Extents::d3(9, 10, 11)}) {
+    const auto data = smooth_field(ext, 71);
+    chk::ScopedMode guard(chk::Mode::kWord);
+    const auto compressed = zfp::zfp_compress(data, ext, {});
+    const auto restored = zfp::zfp_decompress(compressed.bytes);
+    EXPECT_EQ(restored.data.size(), data.size());
+    const auto& report = chk::current_report();
+    EXPECT_GT(report.launches_checked, 0u);
+    EXPECT_TRUE(report.clean()) << chk::report_text();
+  }
+}
+
+// --------------------------------------------------------------------------
+// Paged shadow memory.
+// --------------------------------------------------------------------------
+
+TEST(SimCheckWord, HazardsStraddlingAPageBoundaryAreCaught) {
+  chk::ScopedMode guard(chk::Mode::kWord);
+  // Words kShadowPageWords-1 and kShadowPageWords sit on opposite sides of
+  // the first page boundary; both carry a seeded two-lane collision.
+  const auto last = chk::kShadowPageWords - 1;
+  std::vector<int> buf(3 * chk::kShadowPageWords, 0);
+  chk::launch("page_straddle", 1, chk::bufs(chk::out(std::span<int>(buf), "buf")),
+              [last](std::size_t, const auto& v) {
+    chk::this_thread(0);
+    v[last] = 1;
+    v[last + 1] = 1;
+    chk::this_thread(1);
+    v[last] = 2;
+    v[last + 1] = 2;
+  });
+  const auto& report = chk::current_report();
+  ASSERT_EQ(report.hazards.size(), 2u) << chk::report_text();
+  EXPECT_EQ(report.hazards[0].word, last);
+  EXPECT_EQ(report.hazards[1].word, last + 1);
+  // Only the two pages around the boundary were touched; the third backing
+  // page of the buffer was never allocated.
+  EXPECT_EQ(report.shadow_pages, 2u);
+}
+
+TEST(SimCheckWord, SparseAccessAllocatesFewPages) {
+  chk::ScopedMode guard(chk::Mode::kWord);
+  // 64 pages worth of buffer, three words touched: the paged shadow must
+  // allocate only the three pages hit, not one slot per word.
+  std::vector<int> buf(64 * chk::kShadowPageWords, 0);
+  chk::launch("sparse_touch", 1, chk::bufs(chk::out(std::span<int>(buf), "buf")),
+              [](std::size_t, const auto& v) {
+    v[0] = 1;
+    v[30 * chk::kShadowPageWords + 5] = 2;
+    v[63 * chk::kShadowPageWords + 9] = 3;
+  });
+  const auto& report = chk::current_report();
+  EXPECT_TRUE(report.clean()) << chk::report_text();
+  EXPECT_EQ(report.shadow_words, 3u);
+  EXPECT_EQ(report.shadow_pages, 3u);
+  EXPECT_LT(report.shadow_pages * chk::kShadowPageWords, buf.size());
+}
+
+TEST(SimCheckWord, SamplingStillCatchesADenseRace) {
+  chk::ScopedMode guard(chk::Mode::kWord);
+  chk::ScopedWordSample sample(8);
+  // Two lanes collide on 64 consecutive words: any conflict spanning >= N
+  // consecutive words hits a tracked one under 1-in-N sampling.
+  std::vector<int> buf(256, 0);
+  chk::launch("dense_sampled", 1, chk::bufs(chk::out(std::span<int>(buf), "buf")),
+              [](std::size_t, const auto& v) {
+    chk::this_thread(0);
+    for (std::size_t i = 0; i < 64; ++i) v[i] = 1;
+    chk::this_thread(1);
+    for (std::size_t i = 0; i < 64; ++i) v[i] = 2;
+  });
+  const auto& report = chk::current_report();
+  EXPECT_FALSE(report.hazards.empty()) << chk::report_text();
+  // 2 lanes x 64 words at 1-in-8 sampling: only 16 accesses recorded.
+  EXPECT_EQ(report.shadow_words, 16u);
+}
+
+TEST(SimCheckWord, SamplingTradesAwayIsolatedHazards) {
+  chk::ScopedMode guard(chk::Mode::kWord);
+  chk::ScopedWordSample sample(8);
+  // The documented trade-off: a collision on a single untracked word (5 is
+  // not a multiple of 8) is invisible at sample 8.  Run full-rate to catch
+  // isolated single-word hazards.
+  std::vector<int> buf(16, 0);
+  chk::launch("isolated_sampled", 1, chk::bufs(chk::out(std::span<int>(buf), "buf")),
+              [](std::size_t b, const auto& v) { seeded_intra_block_ww(b, v); });
+  EXPECT_TRUE(chk::current_report().clean()) << chk::report_text();
+}
+
+// --------------------------------------------------------------------------
 // Schedule fuzzing.
 // --------------------------------------------------------------------------
 
@@ -198,6 +409,80 @@ TEST(SimCheckFuzz, OrderInvariantKernelIsClean) {
   for (int v : out) EXPECT_EQ(v, 96);
 }
 
+TEST(SimCheckFuzz, CatchesAxisOrderDependentKernel3d) {
+  chk::ScopedMode guard(chk::Mode::kOff);
+  chk::ScopedFuzz fuzz(1);  // 3-D grids auto-expand to the full 8-schedule repertoire
+  // Horner accumulation with an injective per-block coefficient: the result
+  // depends on the exact traversal sequence (non-commutative), so every
+  // serial axis order yields a distinct value.  The grid corners are fixed
+  // points of all six permutations — a last-writer scheme would miss most
+  // of them; this does not.
+  std::vector<std::uint64_t> acc(4, 0);
+  chk::launch_3d("seeded_axis_dep", sim::Dim3{4, 3, 2},
+                 chk::bufs(chk::inout(std::span<std::uint64_t>(acc), "acc")),
+                 [](std::uint32_t bx, std::uint32_t by, std::uint32_t bz, const auto& v) {
+    const std::uint64_t c = bx + 4ull * by + 16ull * bz;
+    v[0] = v[0] * 3 + c;
+  });
+  const auto& report = chk::current_report();
+  EXPECT_EQ(report.launches_fuzzed, 1u);
+  ASSERT_FALSE(report.schedule_diffs.empty()) << chk::report_text();
+  // The six serial axis traversals produce six distinct checksums; the
+  // canonical run can match at most one of them, so at least five axis
+  // orders must be reported — proof that all six were exercised.
+  std::set<std::string> axis_orders;
+  for (const auto& d : report.schedule_diffs) {
+    EXPECT_EQ(d.kernel, "seeded_axis_dep");
+    if (d.schedule.rfind("axis-order:", 0) == 0) axis_orders.insert(d.schedule);
+  }
+  EXPECT_GE(axis_orders.size(), 5u) << chk::report_text();
+}
+
+TEST(SimCheckFuzz, AxisOrderInvariant3dKernelIsClean) {
+  chk::ScopedMode guard(chk::Mode::kOff);
+  chk::ScopedFuzz fuzz(2);
+  // Each block owns its own cell: all six axis orders (plus reversed,
+  // serial) must reproduce the canonical bytes exactly.
+  std::vector<std::uint64_t> out(24, 0);
+  chk::launch_3d("axis_invariant", sim::Dim3{4, 3, 2},
+                 chk::bufs(chk::out(std::span<std::uint64_t>(out), "out")),
+                 [](std::uint32_t bx, std::uint32_t by, std::uint32_t bz, const auto& v) {
+    const std::size_t b = (bz * 3ull + by) * 4 + bx;
+    v[b] = 100 + b;
+  });
+  const auto& report = chk::current_report();
+  EXPECT_EQ(report.launches_fuzzed, 1u);
+  EXPECT_TRUE(report.schedule_diffs.empty()) << chk::report_text();
+  for (std::size_t b = 0; b < out.size(); ++b) EXPECT_EQ(out[b], 100 + b);
+}
+
+TEST(SimCheckFuzz, Lorenzo3dArchiveIsAxisOrderInvariant) {
+  // The 3-D Lorenzo construct/reconstruct pipeline replayed under the full
+  // 3-D repertoire: the archive must stay bit-identical, and decompression
+  // must keep the error bound.
+  const Extents ext = Extents::d3(18, 15, 13);
+  const auto data = smooth_field(ext, 47);
+  CompressConfig cfg;
+  cfg.eb = ErrorBound::relative(1e-3);
+
+  chk::set_mode(chk::Mode::kOff);
+  chk::set_fuzz_schedules(0);
+  chk::reset();
+  const auto canonical = Compressor(cfg).compress(data, ext);
+
+  chk::ScopedMode guard(chk::Mode::kOff);
+  chk::ScopedFuzz fuzz(8);
+  const auto fuzzed = Compressor(cfg).compress(data, ext);
+  const auto& report = chk::current_report();
+  EXPECT_GT(report.launches_fuzzed, 0u);
+  EXPECT_TRUE(report.schedule_diffs.empty()) << chk::report_text();
+  EXPECT_EQ(fuzzed.bytes, canonical.bytes);
+
+  const auto restored = Compressor::decompress(fuzzed.bytes);
+  const auto m = compare_fields(data, restored.data);
+  EXPECT_LT(m.max_abs_error, fuzzed.stats.eb_abs);
+}
+
 TEST(SimCheckFuzz, RestoresCanonicalResultAfterReplays) {
   chk::ScopedMode guard(chk::Mode::kOff);
   chk::ScopedFuzz fuzz(4);
@@ -212,18 +497,6 @@ TEST(SimCheckFuzz, RestoresCanonicalResultAfterReplays) {
 // --------------------------------------------------------------------------
 // Zero false positives and bit-stability: full pipelines.
 // --------------------------------------------------------------------------
-
-std::vector<float> smooth_field(const Extents& ext, std::uint32_t seed) {
-  std::mt19937 rng(seed);
-  std::uniform_real_distribution<float> dist(-1.0f, 1.0f);
-  std::vector<float> v(ext.count());
-  float acc = 0.0f;
-  for (auto& x : v) {
-    acc = 0.995f * acc + 0.02f * dist(rng);
-    x = acc + 0.001f * dist(rng);
-  }
-  return v;
-}
 
 class SimCheckWordRoundTrip : public ::testing::TestWithParam<int> {};
 

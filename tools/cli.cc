@@ -48,7 +48,8 @@ bool takes_value(const std::string& opt) {
                                                "--dataset",   "--field", "--scale",
                                                "--psnr",      "-a",      "-b",
                                                "--name",      "--bundle",
-                                               "--rounds",    "--seed"};
+                                               "--rounds",    "--seed",
+                                               "--corpus",    "--replay"};
   return std::find(valued.begin(), valued.end(), opt) != valued.end();
 }
 
@@ -345,9 +346,14 @@ int cmd_bundle_extract(const Args& a, std::ostream& out) {
 }
 
 int cmd_fuzz(const Args& a, std::ostream& out) {
+  if (const auto replay_dir = a.get("--replay")) {
+    const auto res = fuzz::replay(*replay_dir, out);
+    return res.ok() ? 0 : 1;
+  }
   fuzz::FuzzConfig cfg;
   if (const auto rounds = a.get("--rounds")) cfg.rounds = std::stoi(*rounds);
   if (const auto seed = a.get("--seed")) cfg.seed = std::stoull(*seed);
+  if (const auto corpus = a.get("--corpus")) cfg.corpus_dir = *corpus;
   cfg.verbose = a.has_flag("-v") || a.has_flag("--verbose");
   if (cfg.rounds <= 0) throw std::invalid_argument("--rounds needs a positive count");
   const auto res = fuzz::run(cfg, out);
@@ -389,12 +395,16 @@ void usage(std::ostream& err) {
          "  szp bundle-add     --bundle snap.szb --name VAR -i field.szp\n"
          "  szp bundle-list    --bundle snap.szb [--tolerant]\n"
          "  szp bundle-extract --bundle snap.szb --name VAR -o field.szp [--tolerant]\n"
-         "  szp fuzz           [--rounds N] [--seed S] [-v]\n"
+         "  szp fuzz           [--rounds N] [--seed S] [--corpus DIR] [-v]\n"
+         "  szp fuzz           --replay DIR\n"
          "compress also accepts --psnr TARGET_DB in place of --eb.\n"
          "--tolerant salvages the intact entries of a corrupt bundle (warnings list\n"
          "the damaged ones).  fuzz mutates round-trip archives of every format and\n"
          "verifies each decoder rejects corruption with a clean error (exit 1 if the\n"
-         "contract is violated).  A corrupt or truncated input archive exits with 4.\n"
+         "contract is violated).  --corpus DIR saves one mutant per novel rejection\n"
+         "site (DecodeError kind x segment) as a regression artifact; --replay DIR\n"
+         "re-decodes a committed corpus and fails on any verdict drift.\n"
+         "A corrupt or truncated input archive exits with 4.\n"
          "--check replays the run under the simulated-GPU race & bounds checker\n"
          "(exit 3 if violations are found); SZP_SIM_CHECK=1 enables it globally.\n"
          "--check=word upgrades to word-granular shadow memory (racecheck-style\n"

@@ -3,17 +3,23 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <filesystem>
 #include <functional>
 #include <iterator>
+#include <optional>
+#include <set>
 #include <span>
 #include <typeinfo>
+#include <utility>
 #include <vector>
 
 #include "baseline/cusz_ref.hh"
 #include "core/bundle.hh"
 #include "core/checksum.hh"
 #include "core/compressor.hh"
+#include "core/serialize.hh"
 #include "core/streaming.hh"
+#include "data/io.hh"
 #include "lossless/lzh.hh"
 #include "lossless/lzr.hh"
 #include "zfp/zfp.hh"
@@ -186,12 +192,155 @@ void fix_trailing_crc(std::vector<std::uint8_t>& bytes) {
   std::memcpy(bytes.data() + bytes.size() - 4, &crc, 4);
 }
 
+// ---------------------------------------------------------------------------
+// Regression corpus.  Each artifact is one mutated archive plus the verdict
+// it produced, serialized self-describing so replay needs no manifest and no
+// archive regeneration:
+//
+//   u32 magic "SZPF" | u8 version | u8 kind | str target | str segment |
+//   vec<u8> mutated archive
+//
+// where str/vec use the ByteWriter length-prefixed encoding.  The dedup key
+// is (DecodeError kind × segment): the corpus keeps the first mutant that
+// reached each distinct rejection site, which is exactly the granularity the
+// decode contract is specified at.
+
+constexpr std::uint32_t kCorpusMagic = 0x46505A53;  // "SZPF"
+constexpr std::uint8_t kCorpusVersion = 1;
+
+void put_str(ByteWriter& w, const std::string& s) {
+  w.put_span(std::span<const char>(s.data(), s.size()));
+}
+std::string get_str(ByteReader& r) {
+  const auto v = r.get_vector<char>();
+  return {v.begin(), v.end()};
+}
+
+/// Parsed artifact (see the layout note above).
+struct CorpusEntry {
+  DecodeErrorKind kind = DecodeErrorKind::kCorruptStream;
+  std::string target;
+  std::string segment;
+  std::vector<std::uint8_t> archive;
+};
+
+std::vector<std::uint8_t> serialize_entry(const CorpusEntry& e) {
+  ByteWriter w;
+  w.put(kCorpusMagic);
+  w.put(kCorpusVersion);
+  w.put(static_cast<std::uint8_t>(e.kind));
+  put_str(w, e.target);
+  put_str(w, e.segment);
+  w.put_vector(e.archive);
+  return w.take();
+}
+
+CorpusEntry parse_entry(std::span<const std::uint8_t> bytes) {
+  ByteReader r(bytes);
+  r.set_segment("corpus artifact");
+  if (r.get<std::uint32_t>() != kCorpusMagic) {
+    throw DecodeError(DecodeErrorKind::kBadMagic, "corpus artifact", "not an SZPF artifact");
+  }
+  if (r.get<std::uint8_t>() != kCorpusVersion) {
+    throw DecodeError(DecodeErrorKind::kBadVersion, "corpus artifact",
+                      "unsupported artifact version");
+  }
+  CorpusEntry e;
+  const auto kind = r.get<std::uint8_t>();
+  if (kind > static_cast<std::uint8_t>(DecodeErrorKind::kCorruptStream)) {
+    throw DecodeError(DecodeErrorKind::kCorruptStream, "corpus artifact",
+                      "unknown DecodeError kind " + std::to_string(kind));
+  }
+  e.kind = static_cast<DecodeErrorKind>(kind);
+  e.target = get_str(r);
+  e.segment = get_str(r);
+  e.archive = r.get_vector<std::uint8_t>();
+  return e;
+}
+
+/// Stateless decoder dispatch by target-name prefix, shared by the live
+/// campaign (which owns Target closures) and replay (which has only names).
+std::function<void(std::span<const std::uint8_t>)> decoder_for(const std::string& name) {
+  if (name.rfind("szp/", 0) == 0) {
+    return [](std::span<const std::uint8_t> b) { (void)Compressor::decompress(b); };
+  }
+  if (name.rfind("streaming/", 0) == 0) {
+    return [](std::span<const std::uint8_t> b) { (void)StreamingCompressor::decompress(b); };
+  }
+  if (name.rfind("bundle/", 0) == 0) {
+    return [](std::span<const std::uint8_t> b) { (void)Bundle::deserialize(b); };
+  }
+  if (name.rfind("baseline/", 0) == 0) {
+    return [](std::span<const std::uint8_t> b) { (void)baseline::CuszCompressor::decompress(b); };
+  }
+  if (name == "lossless/lzh") {
+    return [](std::span<const std::uint8_t> b) { (void)lossless::lzh_decompress(b); };
+  }
+  if (name == "lossless/lzr") {
+    return [](std::span<const std::uint8_t> b) { (void)lossless::lzr_decompress(b); };
+  }
+  if (name.rfind("zfp/", 0) == 0) {
+    return [](std::span<const std::uint8_t> b) { (void)zfp::zfp_decompress(b); };
+  }
+  return nullptr;
+}
+
+std::string sanitize_for_filename(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    const bool keep = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '-' || c == '_';
+    out.push_back(keep ? c : '-');
+  }
+  return out;
+}
+
+/// Persists one artifact per novel (kind × segment) pair.  Pre-seeds the
+/// seen-set from whatever is already committed under `dir`, so repeated
+/// campaigns (and CI re-runs) only ever add genuinely new rejection sites.
+class CorpusWriter {
+ public:
+  explicit CorpusWriter(std::string dir) : dir_(std::move(dir)) {
+    std::filesystem::create_directories(dir_);
+    for (const auto& ent : std::filesystem::directory_iterator(dir_)) {
+      if (ent.path().extension() != ".szpf") continue;
+      try {
+        const CorpusEntry e = parse_entry(data::read_bytes(ent.path()));
+        seen_.emplace(e.kind, e.segment);
+      } catch (const DecodeError&) {
+        // Unreadable artifacts are replay's problem to report, not ours.
+      }
+    }
+  }
+
+  /// Returns true when the finding was new and an artifact was written.
+  bool offer(const std::string& target, const DecodeError& err,
+             std::span<const std::uint8_t> mutated) {
+    if (!seen_.emplace(err.kind(), err.segment()).second) return false;
+    CorpusEntry e;
+    e.kind = err.kind();
+    e.target = target;
+    e.segment = err.segment();
+    e.archive.assign(mutated.begin(), mutated.end());
+    const std::string file = std::string(decode_error_kind_name(e.kind)) + "__" +
+                             sanitize_for_filename(e.segment) + ".szpf";
+    data::write_bytes(std::filesystem::path(dir_) / file, serialize_entry(e));
+    return true;
+  }
+
+ private:
+  std::string dir_;
+  std::set<std::pair<DecodeErrorKind, std::string>> seen_;
+};
+
 /// One campaign step: decode `mutated` and judge the outcome against the
 /// contract in the header comment.
 struct Judge {
   const FuzzConfig& cfg;
   FuzzResult& res;
   std::ostream& out;
+  CorpusWriter* corpus = nullptr;
 
   void operator()(const Target& t, const std::string& mutation,
                   std::vector<std::uint8_t> mutated, bool crc_fixed) {
@@ -209,6 +358,13 @@ struct Judge {
     } catch (const DecodeError& e) {
       ++res.clean_errors;
       ++res.kinds[e.kind()];
+      if (corpus != nullptr && corpus->offer(t.name, e, mutated)) {
+        ++res.corpus_new;
+        if (cfg.verbose) {
+          out << "  " << t.name << " [" << mutation << "]: new corpus artifact ("
+              << decode_error_kind_name(e.kind()) << " in " << e.segment() << ")\n";
+        }
+      }
       if (cfg.verbose) {
         out << "  " << t.name << " [" << mutation << "]: " << e.what() << "\n";
       }
@@ -294,17 +450,71 @@ void fuzz_target(const Target& t, const FuzzConfig& cfg, Judge& judge, Rng& rng)
 FuzzResult run(const FuzzConfig& cfg, std::ostream& out) {
   FuzzResult res;
   const auto targets = make_targets();
+  std::optional<CorpusWriter> corpus;
+  if (!cfg.corpus_dir.empty()) corpus.emplace(cfg.corpus_dir);
   for (std::size_t ti = 0; ti < targets.size(); ++ti) {
     const Target& t = targets[ti];
     // Per-target RNG stream: adding a target never reshuffles the others.
     Rng rng{cfg.seed ^ (0x100000001b3ull * (ti + 1))};
-    Judge judge{cfg, res, out};
+    Judge judge{cfg, res, out, corpus ? &*corpus : nullptr};
     if (cfg.verbose) out << t.name << " (" << t.archive.size() << " bytes)\n";
     fuzz_target(t, cfg, judge, rng);
   }
   out << "fuzz: " << res.mutations << " mutated decodes over " << targets.size()
       << " targets: " << res.clean_errors << " clean rejections, " << res.accepted
       << " accepted, " << res.failures.size() << " contract violations\n";
+  if (corpus) {
+    out << "corpus: " << res.corpus_new << " new artifact(s) written to " << cfg.corpus_dir
+        << "\n";
+  }
+  for (const auto& f : res.failures) out << "  FAILURE: " << f << "\n";
+  return res;
+}
+
+ReplayResult replay(const std::string& dir, std::ostream& out) {
+  ReplayResult res;
+  std::vector<std::filesystem::path> files;
+  if (std::filesystem::is_directory(dir)) {
+    for (const auto& ent : std::filesystem::directory_iterator(dir)) {
+      if (ent.path().extension() == ".szpf") files.push_back(ent.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  for (const auto& path : files) {
+    ++res.artifacts;
+    CorpusEntry e;
+    try {
+      e = parse_entry(data::read_bytes(path));
+    } catch (const std::exception& ex) {
+      res.failures.push_back(path.filename().string() + ": unreadable artifact: " + ex.what());
+      continue;
+    }
+    const auto decode = decoder_for(e.target);
+    if (!decode) {
+      res.failures.push_back(path.filename().string() + ": unknown target '" + e.target + "'");
+      continue;
+    }
+    const std::string want = std::string(decode_error_kind_name(e.kind)) + " in " + e.segment;
+    try {
+      decode(e.archive);
+      res.failures.push_back(path.filename().string() + ": expected " + want +
+                             ", decode accepted the archive");
+    } catch (const DecodeError& err) {
+      if (err.kind() == e.kind && err.segment() == e.segment) {
+        ++res.matched;
+        out << "  " << path.filename().string() << ": reproduced (" << want << ")\n";
+      } else {
+        res.failures.push_back(path.filename().string() + ": verdict drift: expected " + want +
+                               ", got " + decode_error_kind_name(err.kind()) + " in " +
+                               err.segment());
+      }
+    } catch (const std::exception& ex) {
+      res.failures.push_back(path.filename().string() + ": expected " + want + ", leaked " +
+                             std::string(typeid(ex).name()) + ": " + ex.what());
+    }
+  }
+  out << "replay: " << res.matched << "/" << res.artifacts << " artifact(s) reproduced from "
+      << dir << ", " << res.failures.size() << " failure(s)\n";
   for (const auto& f : res.failures) out << "  FAILURE: " << f << "\n";
   return res;
 }

@@ -32,12 +32,14 @@ struct FuzzConfig {
   std::uint64_t seed = 0x5a502b;  ///< deterministic campaign seed
   int rounds = 1;                 ///< repetitions of the randomized classes
   bool verbose = false;           ///< per-mutation narration to `out`
+  std::string corpus_dir;         ///< when non-empty, persist novel findings here
 };
 
 struct FuzzResult {
   std::size_t mutations = 0;      ///< mutated decodes attempted
   std::size_t clean_errors = 0;   ///< rejected with szp::DecodeError
   std::size_t accepted = 0;       ///< decoded without error (see header note)
+  std::size_t corpus_new = 0;     ///< regression artifacts written to corpus_dir
   std::map<DecodeErrorKind, std::size_t> kinds;  ///< taxonomy coverage
   std::vector<std::string> failures;             ///< contract violations
 
@@ -46,5 +48,21 @@ struct FuzzResult {
 
 /// Run the campaign; diagnostics go to `out`.
 FuzzResult run(const FuzzConfig& cfg, std::ostream& out);
+
+/// Outcome of replaying a committed corpus directory (`szp fuzz --replay`).
+/// Every artifact records the mutated archive plus the (kind × segment)
+/// verdict it produced when it was captured; replay re-decodes the bytes and
+/// fails on any drift — a different kind, a different segment, a different
+/// exception type, or silent acceptance.
+struct ReplayResult {
+  std::size_t artifacts = 0;          ///< corpus files found
+  std::size_t matched = 0;            ///< artifacts whose verdict reproduced
+  std::vector<std::string> failures;  ///< drift, unreadable files, unknown targets
+
+  [[nodiscard]] bool ok() const { return failures.empty() && artifacts == matched; }
+};
+
+/// Replay every `*.szpf` artifact under `dir`; diagnostics go to `out`.
+ReplayResult replay(const std::string& dir, std::ostream& out);
 
 }  // namespace szp::fuzz
