@@ -1,0 +1,113 @@
+#include "core/archive.hh"
+
+#include <cmath>
+#include <cstring>
+#include <string>
+
+#include "core/checksum.hh"
+#include "core/error.hh"
+
+namespace szp::archive {
+
+void write_header(ByteWriter& w, const ArchiveHeader& h) {
+  w.put(kMagic);
+  w.put(kVersion);
+  w.put<std::uint8_t>(static_cast<std::uint8_t>(h.extents.rank));
+  w.put<std::uint8_t>(static_cast<std::uint8_t>(h.workflow));
+  w.put<std::uint8_t>(static_cast<std::uint8_t>(h.dtype));
+  w.put<std::uint64_t>(h.extents.nx);
+  w.put<std::uint64_t>(h.extents.ny);
+  w.put<std::uint64_t>(h.extents.nz);
+  w.put<double>(h.eb_abs);
+  w.put<std::uint32_t>(h.capacity);
+  w.put<std::uint8_t>(static_cast<std::uint8_t>(h.predictor));
+}
+
+ArchiveHeader read_header(ByteReader& r) {
+  r.set_segment("header");
+  if (r.get<std::uint32_t>() != kMagic) {
+    throw DecodeError(DecodeErrorKind::kBadMagic, "header", "not an szp archive");
+  }
+  const auto version = r.get<std::uint16_t>();
+  if (version != kVersion) {
+    throw DecodeError(DecodeErrorKind::kBadVersion, "header",
+                      "archive version " + std::to_string(version) + ", expected " +
+                          std::to_string(kVersion));
+  }
+  ArchiveHeader h;
+  h.extents.rank = r.get<std::uint8_t>();
+  const auto wf = r.get<std::uint8_t>();
+  const auto dt = r.get<std::uint8_t>();
+  h.extents.nx = r.get<std::uint64_t>();
+  h.extents.ny = r.get<std::uint64_t>();
+  h.extents.nz = r.get<std::uint64_t>();
+  h.eb_abs = r.get<double>();
+  h.capacity = r.get<std::uint32_t>();
+  const auto pred = r.get<std::uint8_t>();
+
+  if (h.extents.rank < 1 || h.extents.rank > 3) {
+    throw DecodeError(DecodeErrorKind::kCorruptStream, "header",
+                      "rank " + std::to_string(h.extents.rank) + " outside [1, 3]");
+  }
+  if (wf > static_cast<std::uint8_t>(Workflow::kRans) ||
+      static_cast<Workflow>(wf) == Workflow::kAuto) {
+    throw DecodeError(DecodeErrorKind::kCorruptStream, "header",
+                      "unknown workflow tag " + std::to_string(wf));
+  }
+  h.workflow = static_cast<Workflow>(wf);
+  if (static_cast<DType>(dt) != DType::kFloat32 && static_cast<DType>(dt) != DType::kFloat64) {
+    throw DecodeError(DecodeErrorKind::kCorruptStream, "header",
+                      "unknown element-type tag " + std::to_string(dt));
+  }
+  h.dtype = static_cast<DType>(dt);
+  if (h.extents.nx == 0 || h.extents.ny == 0 || h.extents.nz == 0 ||
+      (h.extents.rank < 2 && h.extents.ny != 1) || (h.extents.rank < 3 && h.extents.nz != 1)) {
+    throw DecodeError(DecodeErrorKind::kCorruptStream, "header",
+                      "extents inconsistent with the declared rank");
+  }
+  std::uint64_t count = 0;
+  if (__builtin_mul_overflow(h.extents.nx, h.extents.ny, &count) ||
+      __builtin_mul_overflow(count, h.extents.nz, &count)) {
+    throw DecodeError(DecodeErrorKind::kLengthOverflow, "header",
+                      "extents overflow the element count");
+  }
+  if (!(h.eb_abs > 0.0) || !std::isfinite(h.eb_abs)) {
+    throw DecodeError(DecodeErrorKind::kCorruptStream, "header",
+                      "error bound is not a finite positive value");
+  }
+  if (h.capacity < 2) {
+    throw DecodeError(DecodeErrorKind::kCorruptStream, "header",
+                      "quantizer capacity " + std::to_string(h.capacity) + " below 2");
+  }
+  if (pred > static_cast<std::uint8_t>(PredictorKind::kInterpolation)) {
+    throw DecodeError(DecodeErrorKind::kCorruptStream, "header",
+                      "unknown predictor tag " + std::to_string(pred));
+  }
+  h.predictor = static_cast<PredictorKind>(pred);
+  return h;
+}
+
+std::span<const std::uint8_t> checked_body(std::span<const std::uint8_t> archive) {
+  if (archive.size() < 4) {
+    throw DecodeError(DecodeErrorKind::kTruncated, "archive",
+                      "too small to hold the trailing checksum");
+  }
+  const auto body = archive.subspan(0, archive.size() - 4);
+  std::uint32_t stored = 0;
+  std::memcpy(&stored, archive.data() + archive.size() - 4, 4);
+  if (crc32(body) != stored) {
+    throw DecodeError(DecodeErrorKind::kChecksumMismatch, "archive",
+                      "trailing CRC-32 does not match the archive body");
+  }
+  return body;
+}
+
+void append_crc32(std::vector<std::uint8_t>& bytes) {
+  const std::uint32_t crc = crc32(bytes);
+  ByteWriter tail;
+  tail.put(crc);
+  const auto tail_bytes = tail.take();
+  bytes.insert(bytes.end(), tail_bytes.begin(), tail_bytes.end());
+}
+
+}  // namespace szp::archive

@@ -1,0 +1,53 @@
+// szp — SZP+ archive framing: the fixed header that every archive starts
+// with and the trailing CRC-32 that seals it.
+//
+// Exactly one module owns the byte layout.  Compression writes the header
+// through write_header(), decompression and inspect() parse it through
+// read_header(), and both directions share checked_body()/append_crc32() for
+// the integrity seal — so a format change is a one-file edit and the three
+// consumers can never drift apart.  Predictor aux payloads (regression
+// coefficients, interpolation anchors) and workflow payloads are *not*
+// framed here: they belong to the registered pipeline stages
+// (core/pipeline/), which serialize directly after the header in
+// registration order.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/compressor.hh"
+#include "core/serialize.hh"
+
+namespace szp::archive {
+
+inline constexpr std::uint32_t kMagic = 0x2B505A53;  // "SZP+"
+inline constexpr std::uint16_t kVersion = 2;
+
+/// The fixed-size leading header of an SZP+ archive (everything before the
+/// predictor aux payload).
+struct ArchiveHeader {
+  Workflow workflow = Workflow::kHuffman;
+  DType dtype = DType::kFloat32;
+  Extents extents;
+  double eb_abs = 0.0;          ///< kernel-side absolute bound
+  std::uint32_t capacity = 0;   ///< quantizer capacity (histogram bins)
+  PredictorKind predictor = PredictorKind::kLorenzo;
+};
+
+/// Serialize the header (magic, version, rank, workflow, dtype, extents,
+/// bound, capacity, predictor — in that order, little-endian).
+void write_header(ByteWriter& w, const ArchiveHeader& h);
+
+/// Parse and validate the header, leaving the reader positioned at the
+/// predictor aux payload.  Throws DecodeError on any inconsistency;
+/// every field is validated before it is trusted.
+[[nodiscard]] ArchiveHeader read_header(ByteReader& r);
+
+/// Verify and strip the trailing CRC-32, returning the archive body.
+[[nodiscard]] std::span<const std::uint8_t> checked_body(std::span<const std::uint8_t> archive);
+
+/// Seal a finished archive body with its trailing CRC-32.
+void append_crc32(std::vector<std::uint8_t>& bytes);
+
+}  // namespace szp::archive

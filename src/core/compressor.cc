@@ -1,17 +1,12 @@
 #include "core/compressor.hh"
 
 #include <cmath>
-#include <cstring>
 #include <stdexcept>
 
-#include "core/checksum.hh"
+#include "core/archive.hh"
 #include "core/error.hh"
-#include "core/huffman/codec.hh"
-#include "core/predictor/interpolation.hh"
-#include "core/predictor/regression.hh"
 #include "core/metrics.hh"
-#include "core/rle/rle.hh"
-#include "core/rans.hh"
+#include "core/pipeline/registry.hh"
 #include "core/serialize.hh"
 #include "sim/histogram.hh"
 #include "sim/sparse.hh"
@@ -20,38 +15,6 @@
 namespace szp {
 
 namespace {
-
-constexpr std::uint32_t kMagic = 0x2B505A53;  // "SZP+"
-constexpr std::uint16_t kVersion = 2;
-
-void write_huffman_section(ByteWriter& w, const HuffmanCodebook& book,
-                           const HuffmanEncoded& enc) {
-  book.serialize(w);
-  w.put<std::uint64_t>(enc.num_symbols);
-  w.put<std::uint32_t>(enc.chunk_size);
-  w.put<std::uint32_t>(enc.gap_stride);
-  w.put_vector(enc.chunk_offsets);
-  if (enc.gap_stride > 0) w.put_vector(enc.gaps);
-  w.put_vector(enc.payload);
-}
-
-struct HuffmanSection {
-  HuffmanCodebook book;
-  HuffmanEncoded enc;
-};
-
-HuffmanSection read_huffman_section(ByteReader& r) {
-  HuffmanSection s;
-  s.book = HuffmanCodebook::deserialize(r);
-  r.set_segment("huffman stream");
-  s.enc.num_symbols = r.get<std::uint64_t>();
-  s.enc.chunk_size = r.get<std::uint32_t>();
-  s.enc.gap_stride = r.get<std::uint32_t>();
-  s.enc.chunk_offsets = r.get_vector<std::uint64_t>();
-  if (s.enc.gap_stride > 0) s.enc.gaps = r.get_vector<std::uint32_t>();
-  s.enc.payload = r.get_vector<std::uint8_t>();
-  return s;
-}
 
 /// Residual exactness precondition (DESIGN.md §7): prequantized magnitudes
 /// must stay well inside qdiff_t so the 7-term 3-D Lorenzo combination
@@ -67,7 +30,7 @@ void validate_exactness(const ValueRange& range, double eb_abs) {
 
 template <typename T>
 Compressed compress_impl(const CompressConfig& cfg_, std::span<const T> data,
-                         const Extents& ext) {
+                         const Extents& ext, WorkspacePool& pool) {
   if (data.empty() || data.size() != ext.count()) {
     throw std::invalid_argument("Compressor::compress: data must be non-empty and match extents");
   }
@@ -99,270 +62,87 @@ Compressed compress_impl(const CompressConfig& cfg_, std::span<const T> data,
   const double eb_kernel = eb_user - margin;
   validate_exactness(range, eb_kernel);
 
+  const auto& registry = pipeline::StageRegistry::instance();
+  auto lease = pool.acquire();
+  Workspace& ws = *lease;
+
   // --- Prediction + quantization -----------------------------------------
   sim::Timer t;
-  sim::device_vector<quant_t> quant_codes;
-  sim::device_vector<qdiff_t> outlier_dense;
-  std::vector<float> coefficients;  // regression coefficients / interp anchors
-  int interp_level = 0;
-  if (cfg_.predictor == PredictorKind::kLorenzo) {
-    auto lorenzo = lorenzo_construct(data, ext, eb_kernel, cfg_.quant,
-                                     OutlierScheme::kResidual, cfg_.construct_variant);
-    quant_codes = std::move(lorenzo.quant);
-    outlier_dense = std::move(lorenzo.outlier_dense);
-    st.pipeline.add({"lorenzo_construct", st.original_bytes, t.seconds(), lorenzo.cost});
-  } else if (cfg_.predictor == PredictorKind::kRegression) {
-    auto reg = regression_construct(data, ext, eb_kernel, cfg_.quant);
-    quant_codes = std::move(reg.quant);
-    outlier_dense = std::move(reg.outlier_dense);
-    coefficients = std::move(reg.coefficients);
-    st.pipeline.add({"regression_construct", st.original_bytes, t.seconds(), reg.cost});
-  } else {
-    auto itp = interpolation_construct(data, ext, eb_kernel, cfg_.quant);
-    quant_codes = std::move(itp.quant);
-    outlier_dense = std::move(itp.outlier_dense);
-    coefficients = std::move(itp.anchors);  // reuse the aux-payload slot
-    interp_level = itp.level;
-    st.pipeline.add({"interpolation_construct", st.original_bytes, t.seconds(), itp.cost});
-  }
+  const pipeline::PredictStage& predictor = registry.predict(cfg_.predictor);
+  const pipeline::PredictProduct prod = predictor.construct(data, ext, eb_kernel, cfg_, ws);
+  st.pipeline.add({predictor.construct_stage(), st.original_bytes, t.seconds(), prod.cost});
 
   // --- Gather outliers (dense -> sparse) --------------------------------
   t.reset();
-  auto outliers = sim::dense_to_sparse<qdiff_t>(
-      std::span<const qdiff_t>(outlier_dense.data(), outlier_dense.size()));
-  st.outlier_count = outliers.nnz();
+  sim::dense_to_sparse_into(prod.outlier_dense, ws.outliers, ws.gather_tile_nnz,
+                            ws.gather_offsets);
+  st.outlier_count = ws.outliers.nnz();
   st.pipeline.add({"gather_outlier", st.original_bytes, t.seconds(),
-                   sim::gather_cost(data.size(), sizeof(qdiff_t), outliers.nnz(),
+                   sim::gather_cost(data.size(), sizeof(qdiff_t), ws.outliers.nnz(),
                                     sizeof(std::uint64_t))});
 
   // --- Histogram ---------------------------------------------------------
   t.reset();
-  const auto freq = sim::device_histogram<quant_t>(
-      std::span<const quant_t>(quant_codes.data(), quant_codes.size()),
-      cfg_.quant.capacity);
+  sim::device_histogram_into(prod.quant, cfg_.quant.capacity, ws.freq, ws.hist_priv);
   st.pipeline.add({"histogram", st.original_bytes, t.seconds(),
                    sim::histogram_cost(data.size(), sizeof(quant_t), cfg_.quant.capacity)});
 
   // --- Workflow selection -------------------------------------------------
   Workflow wf = cfg_.workflow;
-  st.decision = select_workflow(freq, sizeof(T), cfg_.selector);
+  st.decision = select_workflow(ws.freq, sizeof(T), cfg_.selector);
   if (wf == Workflow::kAuto) wf = st.decision.workflow;
   st.workflow_used = wf;
-
-  // --- Header -------------------------------------------------------------
-  ByteWriter w;
-  w.put(kMagic);
-  w.put(kVersion);
-  w.put<std::uint8_t>(static_cast<std::uint8_t>(ext.rank));
-  w.put<std::uint8_t>(static_cast<std::uint8_t>(wf));
-  w.put<std::uint8_t>(static_cast<std::uint8_t>(
-      std::is_same_v<T, float> ? DType::kFloat32 : DType::kFloat64));
-  w.put<std::uint64_t>(ext.nx);
-  w.put<std::uint64_t>(ext.ny);
-  w.put<std::uint64_t>(ext.nz);
-  w.put<double>(eb_kernel);
-  w.put<std::uint32_t>(cfg_.quant.capacity);
-  w.put<std::uint8_t>(static_cast<std::uint8_t>(cfg_.predictor));
-  if (cfg_.predictor == PredictorKind::kRegression) {
-    w.put_vector(coefficients);
-  } else if (cfg_.predictor == PredictorKind::kInterpolation) {
-    w.put<std::uint8_t>(static_cast<std::uint8_t>(interp_level));
-    w.put_vector(coefficients);
+  if (wf == Workflow::kAuto) {
+    throw std::logic_error("Compressor::compress: unresolved kAuto workflow");
   }
+
+  // --- Header + predictor aux payload -------------------------------------
+  ByteWriter w;
+  archive::write_header(
+      w, {wf, std::is_same_v<T, float> ? DType::kFloat32 : DType::kFloat64, ext, eb_kernel,
+          cfg_.quant.capacity, cfg_.predictor});
+  predictor.write_aux(w, ws);
 
   // --- Outlier section ----------------------------------------------------
-  w.put_vector(outliers.indices);
-  w.put_vector(outliers.values);
+  w.put_vector(ws.outliers.indices);
+  w.put_vector(ws.outliers.values);
 
-  // --- Quant-code payload ---------------------------------------------------
-  const std::span<const quant_t> quant(quant_codes.data(), quant_codes.size());
-  switch (wf) {
-    case Workflow::kHuffman: {
-      t.reset();
-      const auto book = HuffmanCodebook::build(freq);
-      st.pipeline.add({"huffman_book", st.original_bytes, t.seconds(), book.build_cost()});
-      t.reset();
-      const auto enc = huffman_encode(quant, book, cfg_.huffman_chunk,
-                                      HuffmanEncVariant::kOptimized, cfg_.huffman_gap_stride);
-      st.pipeline.add({"huffman_encode", st.original_bytes, t.seconds(), enc.cost});
-      write_huffman_section(w, book, enc);
-      break;
-    }
-    case Workflow::kRle: {
-      t.reset();
-      const auto rle = rle_encode(quant);
-      st.pipeline.add({"rle_encode", st.original_bytes, t.seconds(), rle.cost});
-      w.put<std::uint64_t>(rle.num_symbols);
-      w.put_vector(rle.values);
-      w.put_vector(rle.counts);
-      break;
-    }
-    case Workflow::kRleVle: {
-      t.reset();
-      const auto rle = rle_encode(quant);
-      st.pipeline.add({"rle_encode", st.original_bytes, t.seconds(), rle.cost});
-      t.reset();
-      // VLE over both run streams (values and lengths), each with its own
-      // codebook built from its own histogram.
-      const auto vfreq = sim::device_histogram<quant_t>(
-          std::span<const quant_t>(rle.values.data(), rle.values.size()), cfg_.quant.capacity);
-      const auto vbook = HuffmanCodebook::build(vfreq);
-      const auto venc = huffman_encode(rle.values, vbook, cfg_.huffman_chunk);
-      const auto cfreq = sim::device_histogram<std::uint16_t>(
-          std::span<const std::uint16_t>(rle.counts.data(), rle.counts.size()), 65536);
-      const auto cbook = HuffmanCodebook::build(cfreq);
-      const auto cenc = huffman_encode(
-          std::span<const quant_t>(rle.counts.data(), rle.counts.size()), cbook,
-          cfg_.huffman_chunk);
-      sim::KernelCost vle_cost = venc.cost;
-      vle_cost += cenc.cost;
-      st.pipeline.add({"rle_vle", st.original_bytes, t.seconds(), vle_cost});
-      w.put<std::uint64_t>(rle.num_symbols);
-      write_huffman_section(w, vbook, venc);
-      write_huffman_section(w, cbook, cenc);
-      break;
-    }
-    case Workflow::kRans: {
-      t.reset();
-      const auto model = RansModel::build(freq);
-      const auto enc = rans_encode(
-          std::span<const std::uint16_t>(quant.data(), quant.size()), model);
-      sim::KernelCost cost;
-      cost.bytes_read = quant.size_bytes();
-      cost.bytes_written = enc.size();
-      cost.flops = quant.size() * 20;  // div/mod state updates
-      cost.parallel_items = quant.size();
-      cost.pattern = sim::AccessPattern::kScattered;
-      cost.custom_factor = 0.06;  // ANS is heavier per symbol than Huffman
-      st.pipeline.add({"rans_encode", st.original_bytes, t.seconds(), cost});
-      model.serialize(w);
-      w.put<std::uint64_t>(quant.size());
-      w.put_vector(enc);
-      break;
-    }
-    case Workflow::kAuto:
-      throw std::logic_error("Compressor::compress: unresolved kAuto workflow");
-  }
+  // --- Quant-code payload --------------------------------------------------
+  const pipeline::EncodeContext ectx{cfg_, ws.freq, st.original_bytes};
+  registry.encoder(wf).encode(prod.quant, ectx, ws, w, st.pipeline);
 
   out.bytes = w.take();
   // Trailing integrity checksum over everything above.
-  {
-    const std::uint32_t crc = crc32(out.bytes);
-    ByteWriter tail;
-    tail.put(crc);
-    const auto tail_bytes = tail.take();
-    out.bytes.insert(out.bytes.end(), tail_bytes.begin(), tail_bytes.end());
-  }
+  archive::append_crc32(out.bytes);
   st.compressed_bytes = out.bytes.size();
   st.ratio = compression_ratio(st.original_bytes, st.compressed_bytes);
   return out;
 }
 
-/// Verify and strip the trailing CRC-32.
-std::span<const std::uint8_t> checked_body(std::span<const std::uint8_t> archive) {
-  if (archive.size() < 4) {
-    throw DecodeError(DecodeErrorKind::kTruncated, "archive",
-                      "too small to hold the trailing checksum");
-  }
-  const auto body = archive.subspan(0, archive.size() - 4);
-  std::uint32_t stored = 0;
-  std::memcpy(&stored, archive.data() + archive.size() - 4, 4);
-  if (crc32(body) != stored) {
-    throw DecodeError(DecodeErrorKind::kChecksumMismatch, "archive",
-                      "trailing CRC-32 does not match the archive body");
-  }
-  return body;
-}
-
-/// Shared header parse for inspect/decompress; leaves the reader positioned
-/// at the predictor aux payload.
-struct ParsedHeader {
-  Workflow workflow;
-  DType dtype;
-  Extents extents;
-  double eb_abs;
-  std::uint32_t capacity;
-  PredictorKind predictor;
-};
-
-ParsedHeader read_header(ByteReader& r) {
-  r.set_segment("header");
-  if (r.get<std::uint32_t>() != kMagic) {
-    throw DecodeError(DecodeErrorKind::kBadMagic, "header", "not an szp archive");
-  }
-  const auto version = r.get<std::uint16_t>();
-  if (version != kVersion) {
-    throw DecodeError(DecodeErrorKind::kBadVersion, "header",
-                      "archive version " + std::to_string(version) + ", expected " +
-                          std::to_string(kVersion));
-  }
-  ParsedHeader h;
-  h.extents.rank = r.get<std::uint8_t>();
-  const auto wf = r.get<std::uint8_t>();
-  const auto dt = r.get<std::uint8_t>();
-  h.extents.nx = r.get<std::uint64_t>();
-  h.extents.ny = r.get<std::uint64_t>();
-  h.extents.nz = r.get<std::uint64_t>();
-  h.eb_abs = r.get<double>();
-  h.capacity = r.get<std::uint32_t>();
-  const auto pred = r.get<std::uint8_t>();
-
-  if (h.extents.rank < 1 || h.extents.rank > 3) {
-    throw DecodeError(DecodeErrorKind::kCorruptStream, "header",
-                      "rank " + std::to_string(h.extents.rank) + " outside [1, 3]");
-  }
-  if (wf > static_cast<std::uint8_t>(Workflow::kRans) ||
-      static_cast<Workflow>(wf) == Workflow::kAuto) {
-    throw DecodeError(DecodeErrorKind::kCorruptStream, "header",
-                      "unknown workflow tag " + std::to_string(wf));
-  }
-  h.workflow = static_cast<Workflow>(wf);
-  if (static_cast<DType>(dt) != DType::kFloat32 && static_cast<DType>(dt) != DType::kFloat64) {
-    throw DecodeError(DecodeErrorKind::kCorruptStream, "header",
-                      "unknown element-type tag " + std::to_string(dt));
-  }
-  h.dtype = static_cast<DType>(dt);
-  if (h.extents.nx == 0 || h.extents.ny == 0 || h.extents.nz == 0 ||
-      (h.extents.rank < 2 && h.extents.ny != 1) || (h.extents.rank < 3 && h.extents.nz != 1)) {
-    throw DecodeError(DecodeErrorKind::kCorruptStream, "header",
-                      "extents inconsistent with the declared rank");
-  }
-  std::uint64_t count = 0;
-  if (__builtin_mul_overflow(h.extents.nx, h.extents.ny, &count) ||
-      __builtin_mul_overflow(count, h.extents.nz, &count)) {
-    throw DecodeError(DecodeErrorKind::kLengthOverflow, "header",
-                      "extents overflow the element count");
-  }
-  if (!(h.eb_abs > 0.0) || !std::isfinite(h.eb_abs)) {
-    throw DecodeError(DecodeErrorKind::kCorruptStream, "header",
-                      "error bound is not a finite positive value");
-  }
-  if (h.capacity < 2) {
-    throw DecodeError(DecodeErrorKind::kCorruptStream, "header",
-                      "quantizer capacity " + std::to_string(h.capacity) + " below 2");
-  }
-  if (pred > static_cast<std::uint8_t>(PredictorKind::kInterpolation)) {
-    throw DecodeError(DecodeErrorKind::kCorruptStream, "header",
-                      "unknown predictor tag " + std::to_string(pred));
-  }
-  h.predictor = static_cast<PredictorKind>(pred);
-  return h;
-}
-
 }  // namespace
 
 Compressed Compressor::compress(std::span<const float> data, const Extents& ext) const {
-  return compress_impl(cfg_, data, ext);
+  return compress_impl(cfg_, data, ext, pool_);
 }
 
 Compressed Compressor::compress(std::span<const double> data, const Extents& ext) const {
-  return compress_impl(cfg_, data, ext);
+  return compress_impl(cfg_, data, ext, pool_);
+}
+
+Compressed Compressor::compress(std::span<const float> data, const Extents& ext,
+                                const CompressConfig& cfg) const {
+  return compress_impl(cfg, data, ext, pool_);
+}
+
+Compressed Compressor::compress(std::span<const double> data, const Extents& ext,
+                                const CompressConfig& cfg) const {
+  return compress_impl(cfg, data, ext, pool_);
 }
 
 Compressor::ArchiveInfo Compressor::inspect(std::span<const std::uint8_t> archive) {
   return decode_guard("szp archive", [&] {
-    ByteReader r(checked_body(archive));
-    const ParsedHeader h = read_header(r);
+    ByteReader r(archive::checked_body(archive));
+    const archive::ArchiveHeader h = archive::read_header(r);
     ArchiveInfo info;
     info.workflow = h.workflow;
     info.dtype = h.dtype;
@@ -377,186 +157,57 @@ Compressor::ArchiveInfo Compressor::inspect(std::span<const std::uint8_t> archiv
 Decompressed Compressor::decompress(std::span<const std::uint8_t> archive,
                                     const ReconstructConfig& recon) {
   return decode_guard("szp archive", [&] {
-  ByteReader r(checked_body(archive));
-  const ParsedHeader h = read_header(r);
-  const Workflow wf = h.workflow;
-  const DType dtype = h.dtype;
-  const Extents ext = h.extents;
-  const double eb_abs = h.eb_abs;
-  const std::uint32_t capacity = h.capacity;
-  const PredictorKind predictor = h.predictor;
-  std::vector<float> coefficients;
-  int interp_level = 0;
-  if (predictor == PredictorKind::kRegression) {
-    r.set_segment("coefficients");
-    coefficients = r.get_vector<float>();
-  } else if (predictor == PredictorKind::kInterpolation) {
-    r.set_segment("coefficients");
-    interp_level = r.get<std::uint8_t>();
-    coefficients = r.get_vector<float>();
-  }
-  const auto radius = static_cast<std::int32_t>(capacity / 2);
-  const std::size_t n = ext.count();
-  const std::size_t payload_bytes =
-      n * (dtype == DType::kFloat32 ? sizeof(float) : sizeof(double));
+    ByteReader r(archive::checked_body(archive));
+    const archive::ArchiveHeader h = archive::read_header(r);
+    const auto& registry = pipeline::StageRegistry::instance();
+    const pipeline::PredictStage& predictor = registry.predict(h.predictor);
 
-  sim::SparseVector<qdiff_t> outliers;
-  r.set_segment("outliers");
-  outliers.indices = r.get_vector<std::uint64_t>();
-  outliers.values = r.get_vector<qdiff_t>();
-  if (outliers.indices.size() != outliers.values.size()) {
-    throw DecodeError(DecodeErrorKind::kCorruptStream, "outliers",
-                      "index/value stream size mismatch (" +
-                          std::to_string(outliers.indices.size()) + " vs " +
-                          std::to_string(outliers.values.size()) + ")");
-  }
-  // Every outlier index feeds a scatter write; validate against the element
-  // count so a corrupt index cannot write outside the output buffer.
-  for (const auto idx : outliers.indices) {
-    if (idx >= n) {
+    pipeline::PredictorAux aux;
+    predictor.read_aux(r, aux);
+
+    const std::size_t n = h.extents.count();
+    const std::size_t payload_bytes =
+        n * (h.dtype == DType::kFloat32 ? sizeof(float) : sizeof(double));
+
+    sim::SparseVector<qdiff_t> outliers;
+    r.set_segment("outliers");
+    outliers.indices = r.get_vector<std::uint64_t>();
+    outliers.values = r.get_vector<qdiff_t>();
+    if (outliers.indices.size() != outliers.values.size()) {
       throw DecodeError(DecodeErrorKind::kCorruptStream, "outliers",
-                        "outlier index " + std::to_string(idx) + " outside the " +
-                            std::to_string(n) + "-element grid");
+                        "index/value stream size mismatch (" +
+                            std::to_string(outliers.indices.size()) + " vs " +
+                            std::to_string(outliers.values.size()) + ")");
     }
-  }
-
-  Decompressed out;
-  out.extents = ext;
-  out.dtype = dtype;
-
-  // --- Decode quant-codes ---------------------------------------------------
-  sim::Timer t;
-  r.set_segment("quant-codes");
-  std::vector<quant_t> quant;
-  switch (wf) {
-    case Workflow::kHuffman: {
-      auto s = read_huffman_section(r);
-      auto dec = huffman_decode(s.enc, s.book);
-      quant = std::move(dec.symbols);
-      out.pipeline.add({"huffman_decode", payload_bytes, t.seconds(), dec.cost});
-      break;
-    }
-    case Workflow::kRle: {
-      RleEncoded rle;
-      rle.num_symbols = r.get<std::uint64_t>();
-      rle.values = r.get_vector<quant_t>();
-      rle.counts = r.get_vector<std::uint16_t>();
-      auto dec = rle_decode(rle);
-      quant = std::move(dec.symbols);
-      out.pipeline.add({"rle_decode", payload_bytes, t.seconds(), dec.cost});
-      break;
-    }
-    case Workflow::kRleVle: {
-      RleEncoded rle;
-      rle.num_symbols = r.get<std::uint64_t>();
-      auto vs = read_huffman_section(r);
-      auto cs = read_huffman_section(r);
-      auto vdec = huffman_decode(vs.enc, vs.book);
-      auto cdec = huffman_decode(cs.enc, cs.book);
-      rle.values = std::move(vdec.symbols);
-      rle.counts.assign(cdec.symbols.begin(), cdec.symbols.end());
-      auto dec = rle_decode(rle);
-      quant = std::move(dec.symbols);
-      sim::KernelCost cost = vdec.cost;
-      cost += cdec.cost;
-      cost += dec.cost;
-      out.pipeline.add({"rle_vle_decode", payload_bytes, t.seconds(), cost});
-      break;
-    }
-    case Workflow::kRans: {
-      const auto model = RansModel::deserialize(r);
-      r.set_segment("quant-codes");
-      const auto count = r.get<std::uint64_t>();
-      if (count != n) {
-        // Checked before rans_decode so a spliced count cannot drive the
-        // symbol-buffer allocation past the grid size.
-        throw DecodeError(DecodeErrorKind::kCorruptStream, "quant-codes",
-                          "rans symbol count " + std::to_string(count) +
-                              " does not match the " + std::to_string(n) + "-element grid");
+    // Every outlier index feeds a scatter write; validate against the element
+    // count so a corrupt index cannot write outside the output buffer.
+    for (const auto idx : outliers.indices) {
+      if (idx >= n) {
+        throw DecodeError(DecodeErrorKind::kCorruptStream, "outliers",
+                          "outlier index " + std::to_string(idx) + " outside the " +
+                              std::to_string(n) + "-element grid");
       }
-      const auto enc = r.get_vector<std::uint8_t>();
-      const auto syms = rans_decode(enc, count, model);
-      quant.assign(syms.begin(), syms.end());
-      sim::KernelCost cost;
-      cost.bytes_read = enc.size();
-      cost.bytes_written = count * sizeof(quant_t);
-      cost.flops = count * 450;  // serial state chain, like Huffman decode
-      cost.parallel_items = count;
-      cost.pattern = sim::AccessPattern::kCoalescedStreaming;
-      out.pipeline.add({"rans_decode", payload_bytes, t.seconds(), cost});
-      break;
     }
-    case Workflow::kAuto:
-      throw std::logic_error("Compressor::decompress: kAuto survived header validation");
-  }
-  if (quant.size() != n) {
-    throw DecodeError(DecodeErrorKind::kCorruptStream, "quant-codes",
-                      "decoded " + std::to_string(quant.size()) + " symbols, the grid holds " +
-                          std::to_string(n));
-  }
 
-  const QuantConfig qcfg{capacity};
+    Decompressed out;
+    out.extents = h.extents;
+    out.dtype = h.dtype;
 
-  // --- Regression/interpolation paths: dense outliers, direct rebuild ------
-  if (predictor != PredictorKind::kLorenzo) {
-    t.reset();
-    std::vector<qdiff_t> outlier_dense(n, 0);
-    sim::scatter_add(outliers, std::span<qdiff_t>(outlier_dense));
-    out.pipeline.add({"scatter_outlier", payload_bytes, t.seconds(),
-                      sim::scatter_cost(outliers.nnz(), sizeof(qdiff_t),
-                                        sizeof(std::uint64_t))});
-    t.reset();
-    sim::KernelCost recon_cost;
-    const bool reg = predictor == PredictorKind::kRegression;
-    if (dtype == DType::kFloat32) {
-      out.data.resize(n);
-      recon_cost = reg ? regression_reconstruct<float>(quant, outlier_dense, coefficients,
-                                                       ext, eb_abs, qcfg, out.data)
-                       : interpolation_reconstruct<float>(quant, outlier_dense, coefficients,
-                                                          interp_level, true, ext, eb_abs,
-                                                          qcfg, out.data);
-    } else {
-      out.data_f64.resize(n);
-      recon_cost = reg ? regression_reconstruct<double>(quant, outlier_dense, coefficients,
-                                                        ext, eb_abs, qcfg, out.data_f64)
-                       : interpolation_reconstruct<double>(quant, outlier_dense, coefficients,
-                                                           interp_level, true, ext, eb_abs,
-                                                           qcfg, out.data_f64);
+    // --- Decode quant-codes -------------------------------------------------
+    r.set_segment("quant-codes");
+    const pipeline::DecodeContext dctx{n, payload_bytes};
+    const std::vector<quant_t> quant = registry.decoder(h.workflow).decode(r, dctx, out.pipeline);
+    if (quant.size() != n) {
+      throw DecodeError(DecodeErrorKind::kCorruptStream, "quant-codes",
+                        "decoded " + std::to_string(quant.size()) + " symbols, the grid holds " +
+                            std::to_string(n));
     }
-    out.pipeline.add({reg ? "regression_reconstruct" : "interpolation_reconstruct",
-                      payload_bytes, t.seconds(), recon_cost});
+
+    // --- Scatter outliers + predictor reconstruction ------------------------
+    const QuantConfig qcfg{h.capacity};
+    predictor.reconstruct(quant, outliers, aux, h.extents, h.eb_abs, qcfg, recon,
+                          payload_bytes, out);
     return out;
-  }
-
-  // --- Fuse quant ⊕ outlier (Algorithm 1 line 9) ---------------------------
-  t.reset();
-  std::vector<qdiff_t> qprime(n);
-  fuse_quant_codes(quant, radius, qprime);
-  sim::scatter_add(outliers, std::span<qdiff_t>(qprime));
-  // Combined cost assembled by hand: the streaming fuse dominates the
-  // traffic; the sparse scatter rides along (outliers are rare), so the
-  // stage keeps the streaming access profile.
-  sim::KernelCost fuse_cost;
-  fuse_cost.bytes_read = n * sizeof(quant_t) + outliers.nnz() * 16;
-  fuse_cost.bytes_written = n * sizeof(qdiff_t) + outliers.nnz() * sizeof(qdiff_t);
-  fuse_cost.flops = n + outliers.nnz();
-  fuse_cost.parallel_items = n;
-  fuse_cost.pattern = sim::AccessPattern::kCoalescedStreaming;
-  fuse_cost.launches = 2;
-  out.pipeline.add({"scatter_outlier", payload_bytes, t.seconds(), fuse_cost});
-
-  // --- Partial-sum Lorenzo reconstruction ----------------------------------
-  t.reset();
-  sim::KernelCost recon_cost;
-  if (dtype == DType::kFloat32) {
-    out.data.resize(n);
-    recon_cost = lorenzo_reconstruct_fused<float>(qprime, ext, eb_abs, out.data, recon);
-  } else {
-    out.data_f64.resize(n);
-    recon_cost = lorenzo_reconstruct_fused<double>(qprime, ext, eb_abs, out.data_f64, recon);
-  }
-  out.pipeline.add({"lorenzo_reconstruct", payload_bytes, t.seconds(), recon_cost});
-  return out;
   });
 }
 

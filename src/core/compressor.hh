@@ -1,10 +1,16 @@
 // szp — the public compression API (the paper's Fig 1 cuSZ+ pipeline).
 //
-// Compression:  prequant+Lorenzo construct → gather outliers → histogram →
-//               [selector] → Huffman encode  (Workflow-Huffman)
-//                          → RLE [+ VLE]      (Workflow-RLE)
-// Decompression: decode quant-codes → fuse (q − radius) → scatter outliers →
-//               partial-sum Lorenzo reconstruction → scale by 2eb.
+// Compression:  prequant+predict construct → gather outliers → histogram →
+//               [selector] → {Huffman | RLE [+VLE] | rANS} encode
+// Decompression: decode quant-codes → scatter outliers →
+//               predictor reconstruction → scale by 2eb.
+//
+// The Compressor itself is thin: it validates inputs, resolves the error
+// bound, and assembles the pipeline by StageRegistry lookup
+// (core/pipeline/) around the shared archive framing (core/archive.hh).
+// Per-call scratch comes from a reusable WorkspacePool (core/workspace.hh),
+// so a reused Compressor performs zero steady-state allocations in the
+// compression hot path.
 //
 // Every stage is timed on the host and carries an analytic KernelCost so
 // benches can print both measured-CPU and modeled-V100/A100 throughputs
@@ -19,6 +25,7 @@
 #include "core/eb.hh"
 #include "core/predictor/lorenzo.hh"
 #include "core/types.hh"
+#include "core/workspace.hh"
 #include "sim/profile.hh"
 
 namespace szp {
@@ -79,12 +86,20 @@ struct Decompressed {
   sim::PipelineReport pipeline;
 };
 
-/// Error-bounded lossy compressor (cuSZ+).  Stateless apart from its
-/// configuration; safe to reuse across fields.
+/// Error-bounded lossy compressor (cuSZ+).  Holds only its configuration
+/// plus a pool of reusable workspaces; safe to reuse across fields (and
+/// worth it: a reused Compressor compresses without steady-state
+/// allocations).  Copying copies the configuration only — the copy starts
+/// with a cold pool.
 class Compressor {
  public:
   Compressor() = default;
   explicit Compressor(CompressConfig cfg) : cfg_(std::move(cfg)) {}
+  Compressor(const Compressor& other) : cfg_(other.cfg_) {}
+  Compressor& operator=(const Compressor& other) {
+    cfg_ = other.cfg_;
+    return *this;
+  }
 
   [[nodiscard]] const CompressConfig& config() const { return cfg_; }
 
@@ -94,6 +109,14 @@ class Compressor {
   /// below 2^27).
   [[nodiscard]] Compressed compress(std::span<const float> data, const Extents& ext) const;
   [[nodiscard]] Compressed compress(std::span<const double> data, const Extents& ext) const;
+
+  /// Compress with a per-call config override (e.g. the streaming layer's
+  /// pre-resolved absolute bound), still reusing this Compressor's
+  /// workspace pool.
+  [[nodiscard]] Compressed compress(std::span<const float> data, const Extents& ext,
+                                    const CompressConfig& cfg) const;
+  [[nodiscard]] Compressed compress(std::span<const double> data, const Extents& ext,
+                                    const CompressConfig& cfg) const;
 
   template <typename T, typename Alloc>
   [[nodiscard]] Compressed compress(const std::vector<T, Alloc>& data, const Extents& ext) const {
@@ -117,8 +140,14 @@ class Compressor {
   };
   [[nodiscard]] static ArchiveInfo inspect(std::span<const std::uint8_t> archive);
 
+  /// Pool accounting for this Compressor's workspaces (allocation tests and
+  /// the reuse bench read `created` / `grow_events`).
+  [[nodiscard]] WorkspacePool::Stats workspace_stats() const { return pool_.stats(); }
+
  private:
   CompressConfig cfg_{};
+  /// compress() is logically const; the pool is bookkeeping, not state.
+  mutable WorkspacePool pool_;
 };
 
 }  // namespace szp

@@ -33,6 +33,53 @@ class BitWriter {
   std::uint64_t bits_ = 0;
 };
 
+/// MSB-first bit writer over a caller-owned byte range, accumulating into a
+/// 64-bit register and storing whole bytes.  Produces the same bytes as
+/// BitWriter (trailing partial byte zero-padded) without growing a heap
+/// buffer per chunk — the Huffman deflate kernel writes each chunk directly
+/// into its scan-assigned slice of the pooled payload.  The caller sizes the
+/// span from the phase-1 byte counts; flush() pads and stores the last
+/// partial byte.
+class SpanBitWriter {
+ public:
+  explicit SpanBitWriter(std::span<std::uint8_t> out) : out_(out) {}
+
+  /// Append the low `len` bits of `code`, most significant first.
+  void put(std::uint64_t code, unsigned len) {
+    if (len > 56) {  // keep acc_ from overflowing: fill_ <= 7 after stores
+      const unsigned hi = len - 56;
+      put(code >> 56, hi);
+      len = 56;
+      code &= (std::uint64_t{1} << 56) - 1;
+    }
+    acc_ = (acc_ << len) | (len == 0 ? 0 : (code & (~std::uint64_t{0} >> (64 - len))));
+    fill_ += len;
+    bits_ += len;
+    while (fill_ >= 8) {
+      fill_ -= 8;
+      out_[pos_++] = static_cast<std::uint8_t>(acc_ >> fill_);
+    }
+  }
+
+  /// Store the trailing partial byte (zero-padded), as BitWriter does.
+  void flush() {
+    if (fill_ > 0) {
+      out_[pos_++] = static_cast<std::uint8_t>(acc_ << (8 - fill_));
+      fill_ = 0;
+    }
+  }
+
+  [[nodiscard]] std::uint64_t bit_count() const { return bits_; }
+  [[nodiscard]] std::size_t byte_count() const { return pos_; }
+
+ private:
+  std::span<std::uint8_t> out_;
+  std::size_t pos_ = 0;
+  std::uint64_t acc_ = 0;
+  unsigned fill_ = 0;
+  std::uint64_t bits_ = 0;
+};
+
 /// MSB-first bit reader over a byte span, optionally starting mid-stream
 /// (used by the gap-array decoder to enter a chunk at a recorded offset).
 class BitReader {

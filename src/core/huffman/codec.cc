@@ -11,14 +11,15 @@
 
 namespace szp {
 
-HuffmanEncoded huffman_encode(std::span<const quant_t> symbols, const HuffmanCodebook& book,
-                              std::uint32_t chunk_size, HuffmanEncVariant variant,
-                              std::uint32_t gap_stride) {
+void huffman_encode_into(std::span<const quant_t> symbols, const HuffmanCodebook& book,
+                         std::uint32_t chunk_size, HuffmanEncVariant variant,
+                         std::uint32_t gap_stride, HuffmanEncoded& enc,
+                         std::vector<std::uint64_t>& chunk_bytes) {
   if (chunk_size == 0) throw std::invalid_argument("huffman_encode: chunk_size must be > 0");
   if (gap_stride != 0 && chunk_size % gap_stride != 0) {
     throw std::invalid_argument("huffman_encode: gap_stride must divide chunk_size");
   }
-  HuffmanEncoded enc;
+  enc.cost = {};
   enc.num_symbols = symbols.size();
   enc.chunk_size = chunk_size;
   enc.gap_stride = gap_stride;
@@ -26,16 +27,19 @@ HuffmanEncoded huffman_encode(std::span<const quant_t> symbols, const HuffmanCod
   const std::size_t n = symbols.size();
   const std::size_t nchunks = n == 0 ? 0 : sim::div_ceil(n, chunk_size);
   enc.chunk_offsets.assign(nchunks + 1, 0);
-  if (n == 0) return enc;
   const std::size_t subblocks_per_chunk = gap_stride > 0 ? chunk_size / gap_stride : 0;
-  if (gap_stride > 0) enc.gaps.assign(nchunks * subblocks_per_chunk, 0);
+  enc.gaps.assign(gap_stride > 0 ? nchunks * subblocks_per_chunk : 0, 0);
+  if (n == 0) {
+    enc.payload.clear();
+    return;
+  }
 
   // Phase 1: per-chunk encoded byte size (code lengths only; parallel).
   // Exceptions must not escape the parallel region, so uncodable symbols
   // are flagged and reported afterwards.
   // The bad_symbol flag is an intentionally shared atomic, so it stays
   // outside the checker's buffer registry (see DESIGN.md).
-  std::vector<std::uint64_t> chunk_bytes(nchunks);
+  chunk_bytes.assign(nchunks, 0);
   std::atomic<bool> bad_symbol{false};
   namespace chk = sim::checked;
   chk::launch("huffman_encode/chunk_sizes", nchunks,
@@ -89,7 +93,12 @@ HuffmanEncoded huffman_encode(std::span<const quant_t> symbols, const HuffmanCod
                   const auto& vgaps) {
     const std::size_t lo = c * chunk_size;
     const std::size_t hi = std::min(lo + chunk_size, n);
-    BitWriter bw;
+    // Write straight into this chunk's scan-assigned payload slice — no
+    // per-chunk heap buffer, no copy; neighbors' slices stay disjoint.
+    const auto off = static_cast<std::size_t>(voffsets[c]);
+    const auto len = static_cast<std::size_t>(voffsets[c + 1]) - off;
+    vpayload.note_write(off, len);
+    SpanBitWriter bw(std::span<std::uint8_t>(vpayload.data() + off, len));
     for (std::size_t i = lo; i < hi; ++i) {
       if (gap_stride > 0 && (i - lo) % gap_stride == 0) {
         vgaps[c * subblocks_per_chunk + (i - lo) / gap_stride] =
@@ -97,10 +106,7 @@ HuffmanEncoded huffman_encode(std::span<const quant_t> symbols, const HuffmanCod
       }
       bw.put(book.code(vsym[i]), book.length(vsym[i]));
     }
-    const auto& bytes = bw.bytes();
-    const auto off = static_cast<std::size_t>(voffsets[c]);
-    vpayload.note_write(off, bytes.size());
-    std::copy(bytes.begin(), bytes.end(), vpayload.data() + off);
+    bw.flush();
   });
 
   // Cost model (paper §V-C.1): the baseline stores a full word per thread;
@@ -114,6 +120,14 @@ HuffmanEncoded huffman_encode(std::span<const quant_t> symbols, const HuffmanCod
   enc.cost.pattern = sim::AccessPattern::kScattered;
   enc.cost.custom_factor = 0.09;  // calibrated to Table VI Huffman rows
   enc.cost.launches = 3;          // encode, scan, deflate
+}
+
+HuffmanEncoded huffman_encode(std::span<const quant_t> symbols, const HuffmanCodebook& book,
+                              std::uint32_t chunk_size, HuffmanEncVariant variant,
+                              std::uint32_t gap_stride) {
+  HuffmanEncoded enc;
+  std::vector<std::uint64_t> chunk_bytes;
+  huffman_encode_into(symbols, book, chunk_size, variant, gap_stride, enc, chunk_bytes);
   return enc;
 }
 

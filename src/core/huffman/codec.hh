@@ -55,6 +55,14 @@ struct HuffmanEncoded {
                                             HuffmanEncVariant variant = HuffmanEncVariant::kOptimized,
                                             std::uint32_t gap_stride = 0);
 
+/// Workspace-reuse variant: fills `enc` (and uses `chunk_bytes` as the
+/// per-chunk size scratch) with capacity-preserving assigns, so repeated
+/// calls at the same size allocate nothing (see core/workspace.hh).
+void huffman_encode_into(std::span<const quant_t> symbols, const HuffmanCodebook& book,
+                         std::uint32_t chunk_size, HuffmanEncVariant variant,
+                         std::uint32_t gap_stride, HuffmanEncoded& enc,
+                         std::vector<std::uint64_t>& chunk_bytes);
+
 struct HuffmanDecoded {
   std::vector<quant_t> symbols;
   sim::KernelCost cost;

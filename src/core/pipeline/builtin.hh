@@ -1,0 +1,26 @@
+// szp — factories for the built-in pipeline stages.  Only the registry
+// constructor (registry.cc) needs these; everyone else goes through
+// StageRegistry lookups.
+#pragma once
+
+#include <memory>
+
+#include "core/pipeline/stage.hh"
+
+namespace szp::pipeline {
+
+std::unique_ptr<PredictStage> make_lorenzo_stage();
+std::unique_ptr<PredictStage> make_regression_stage();
+std::unique_ptr<PredictStage> make_interpolation_stage();
+
+std::unique_ptr<EncodeStage> make_huffman_encoder();
+std::unique_ptr<EncodeStage> make_rle_encoder();
+std::unique_ptr<EncodeStage> make_rle_vle_encoder();
+std::unique_ptr<EncodeStage> make_rans_encoder();
+
+std::unique_ptr<DecodeStage> make_huffman_decoder();
+std::unique_ptr<DecodeStage> make_rle_decoder();
+std::unique_ptr<DecodeStage> make_rle_vle_decoder();
+std::unique_ptr<DecodeStage> make_rans_decoder();
+
+}  // namespace szp::pipeline

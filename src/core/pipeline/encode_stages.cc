@@ -1,0 +1,255 @@
+// szp — the built-in EncodeStage/DecodeStage pairs, one per Workflow:
+// chunked Huffman, RLE, RLE+VLE (Huffman over both run streams), and rANS.
+// Each pair transplants the corresponding switch arm of the former
+// monolithic Compressor; the section byte layouts and the PipelineReport
+// stage names are pinned by the golden-archive tests.
+#include "core/pipeline/builtin.hh"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+#include "core/error.hh"
+#include "core/huffman/codec.hh"
+#include "core/rans.hh"
+#include "core/rle/rle.hh"
+#include "sim/histogram.hh"
+#include "sim/timer.hh"
+
+namespace szp::pipeline {
+
+namespace {
+
+void write_huffman_section(ByteWriter& w, const HuffmanCodebook& book,
+                           const HuffmanEncoded& enc) {
+  book.serialize(w);
+  w.put<std::uint64_t>(enc.num_symbols);
+  w.put<std::uint32_t>(enc.chunk_size);
+  w.put<std::uint32_t>(enc.gap_stride);
+  w.put_vector(enc.chunk_offsets);
+  if (enc.gap_stride > 0) w.put_vector(enc.gaps);
+  w.put_vector(enc.payload);
+}
+
+struct HuffmanSection {
+  HuffmanCodebook book;
+  HuffmanEncoded enc;
+};
+
+HuffmanSection read_huffman_section(ByteReader& r) {
+  HuffmanSection s;
+  s.book = HuffmanCodebook::deserialize(r);
+  r.set_segment("huffman stream");
+  s.enc.num_symbols = r.get<std::uint64_t>();
+  s.enc.chunk_size = r.get<std::uint32_t>();
+  s.enc.gap_stride = r.get<std::uint32_t>();
+  s.enc.chunk_offsets = r.get_vector<std::uint64_t>();
+  if (s.enc.gap_stride > 0) s.enc.gaps = r.get_vector<std::uint32_t>();
+  s.enc.payload = r.get_vector<std::uint8_t>();
+  return s;
+}
+
+class HuffmanEncodeStage final : public EncodeStage {
+ public:
+  [[nodiscard]] Workflow workflow() const override { return Workflow::kHuffman; }
+
+  void encode(std::span<const quant_t> quant, const EncodeContext& ctx, Workspace& ws,
+              ByteWriter& w, sim::PipelineReport& report) const override {
+    sim::Timer t;
+    const bool cached = ws.book_freq.size() == ctx.freq.size() &&
+                        std::equal(ws.book_freq.begin(), ws.book_freq.end(), ctx.freq.begin());
+    if (!cached) {
+      ws.book = HuffmanCodebook::build(ctx.freq);
+      ws.book_freq.assign(ctx.freq.begin(), ctx.freq.end());
+    }
+    report.add({"huffman_book", ctx.original_bytes, t.seconds(), ws.book.build_cost()});
+    t.reset();
+    huffman_encode_into(quant, ws.book, ctx.cfg.huffman_chunk, HuffmanEncVariant::kOptimized,
+                        ctx.cfg.huffman_gap_stride, ws.huffman, ws.huffman_chunk_bytes);
+    report.add({"huffman_encode", ctx.original_bytes, t.seconds(), ws.huffman.cost});
+    write_huffman_section(w, ws.book, ws.huffman);
+  }
+};
+
+class HuffmanDecodeStage final : public DecodeStage {
+ public:
+  [[nodiscard]] Workflow workflow() const override { return Workflow::kHuffman; }
+
+  [[nodiscard]] std::vector<quant_t> decode(ByteReader& r, const DecodeContext& ctx,
+                                            sim::PipelineReport& report) const override {
+    sim::Timer t;
+    auto s = read_huffman_section(r);
+    auto dec = huffman_decode(s.enc, s.book);
+    report.add({"huffman_decode", ctx.payload_bytes, t.seconds(), dec.cost});
+    return std::move(dec.symbols);
+  }
+};
+
+class RleEncodeStage final : public EncodeStage {
+ public:
+  [[nodiscard]] Workflow workflow() const override { return Workflow::kRle; }
+
+  void encode(std::span<const quant_t> quant, const EncodeContext& ctx, Workspace&,
+              ByteWriter& w, sim::PipelineReport& report) const override {
+    sim::Timer t;
+    const auto rle = rle_encode(quant);
+    report.add({"rle_encode", ctx.original_bytes, t.seconds(), rle.cost});
+    w.put<std::uint64_t>(rle.num_symbols);
+    w.put_vector(rle.values);
+    w.put_vector(rle.counts);
+  }
+};
+
+class RleDecodeStage final : public DecodeStage {
+ public:
+  [[nodiscard]] Workflow workflow() const override { return Workflow::kRle; }
+
+  [[nodiscard]] std::vector<quant_t> decode(ByteReader& r, const DecodeContext& ctx,
+                                            sim::PipelineReport& report) const override {
+    sim::Timer t;
+    RleEncoded rle;
+    rle.num_symbols = r.get<std::uint64_t>();
+    rle.values = r.get_vector<quant_t>();
+    rle.counts = r.get_vector<std::uint16_t>();
+    auto dec = rle_decode(rle);
+    report.add({"rle_decode", ctx.payload_bytes, t.seconds(), dec.cost});
+    return std::move(dec.symbols);
+  }
+};
+
+class RleVleEncodeStage final : public EncodeStage {
+ public:
+  [[nodiscard]] Workflow workflow() const override { return Workflow::kRleVle; }
+
+  void encode(std::span<const quant_t> quant, const EncodeContext& ctx, Workspace& ws,
+              ByteWriter& w, sim::PipelineReport& report) const override {
+    sim::Timer t;
+    const auto rle = rle_encode(quant);
+    report.add({"rle_encode", ctx.original_bytes, t.seconds(), rle.cost});
+    t.reset();
+    // VLE over both run streams (values and lengths), each with its own
+    // codebook built from its own histogram.  The streams go through the
+    // workspace's codec scratch back to back, so the value section is
+    // serialized before the scratch is reused for the count stream.
+    sim::device_histogram_into<quant_t>(
+        std::span<const quant_t>(rle.values.data(), rle.values.size()),
+        ctx.cfg.quant.capacity, ws.vle_freq, ws.hist_priv);
+    const auto vbook = HuffmanCodebook::build(ws.vle_freq);
+    huffman_encode_into(rle.values, vbook, ctx.cfg.huffman_chunk,
+                        HuffmanEncVariant::kOptimized, 0, ws.huffman, ws.huffman_chunk_bytes);
+    sim::KernelCost vle_cost = ws.huffman.cost;
+    w.put<std::uint64_t>(rle.num_symbols);
+    write_huffman_section(w, vbook, ws.huffman);
+    sim::device_histogram_into<std::uint16_t>(
+        std::span<const std::uint16_t>(rle.counts.data(), rle.counts.size()), 65536,
+        ws.vle_freq, ws.hist_priv);
+    const auto cbook = HuffmanCodebook::build(ws.vle_freq);
+    huffman_encode_into(std::span<const quant_t>(rle.counts.data(), rle.counts.size()), cbook,
+                        ctx.cfg.huffman_chunk, HuffmanEncVariant::kOptimized, 0, ws.huffman,
+                        ws.huffman_chunk_bytes);
+    vle_cost += ws.huffman.cost;
+    report.add({"rle_vle", ctx.original_bytes, t.seconds(), vle_cost});
+    write_huffman_section(w, cbook, ws.huffman);
+  }
+};
+
+class RleVleDecodeStage final : public DecodeStage {
+ public:
+  [[nodiscard]] Workflow workflow() const override { return Workflow::kRleVle; }
+
+  [[nodiscard]] std::vector<quant_t> decode(ByteReader& r, const DecodeContext& ctx,
+                                            sim::PipelineReport& report) const override {
+    sim::Timer t;
+    RleEncoded rle;
+    rle.num_symbols = r.get<std::uint64_t>();
+    auto vs = read_huffman_section(r);
+    auto cs = read_huffman_section(r);
+    auto vdec = huffman_decode(vs.enc, vs.book);
+    auto cdec = huffman_decode(cs.enc, cs.book);
+    rle.values = std::move(vdec.symbols);
+    rle.counts.assign(cdec.symbols.begin(), cdec.symbols.end());
+    auto dec = rle_decode(rle);
+    sim::KernelCost cost = vdec.cost;
+    cost += cdec.cost;
+    cost += dec.cost;
+    report.add({"rle_vle_decode", ctx.payload_bytes, t.seconds(), cost});
+    return std::move(dec.symbols);
+  }
+};
+
+class RansEncodeStage final : public EncodeStage {
+ public:
+  [[nodiscard]] Workflow workflow() const override { return Workflow::kRans; }
+
+  void encode(std::span<const quant_t> quant, const EncodeContext& ctx, Workspace&,
+              ByteWriter& w, sim::PipelineReport& report) const override {
+    sim::Timer t;
+    const auto model = RansModel::build(ctx.freq);
+    const auto enc =
+        rans_encode(std::span<const std::uint16_t>(quant.data(), quant.size()), model);
+    sim::KernelCost cost;
+    cost.bytes_read = quant.size_bytes();
+    cost.bytes_written = enc.size();
+    cost.flops = quant.size() * 20;  // div/mod state updates
+    cost.parallel_items = quant.size();
+    cost.pattern = sim::AccessPattern::kScattered;
+    cost.custom_factor = 0.06;  // ANS is heavier per symbol than Huffman
+    report.add({"rans_encode", ctx.original_bytes, t.seconds(), cost});
+    model.serialize(w);
+    w.put<std::uint64_t>(quant.size());
+    w.put_vector(enc);
+  }
+};
+
+class RansDecodeStage final : public DecodeStage {
+ public:
+  [[nodiscard]] Workflow workflow() const override { return Workflow::kRans; }
+
+  [[nodiscard]] std::vector<quant_t> decode(ByteReader& r, const DecodeContext& ctx,
+                                            sim::PipelineReport& report) const override {
+    sim::Timer t;
+    const auto model = RansModel::deserialize(r);
+    r.set_segment("quant-codes");
+    const auto count = r.get<std::uint64_t>();
+    if (count != ctx.n) {
+      // Checked before rans_decode so a spliced count cannot drive the
+      // symbol-buffer allocation past the grid size.
+      throw DecodeError(DecodeErrorKind::kCorruptStream, "quant-codes",
+                        "rans symbol count " + std::to_string(count) +
+                            " does not match the " + std::to_string(ctx.n) + "-element grid");
+    }
+    const auto enc = r.get_vector<std::uint8_t>();
+    const auto syms = rans_decode(enc, count, model);
+    std::vector<quant_t> quant(syms.begin(), syms.end());
+    sim::KernelCost cost;
+    cost.bytes_read = enc.size();
+    cost.bytes_written = count * sizeof(quant_t);
+    cost.flops = count * 450;  // serial state chain, like Huffman decode
+    cost.parallel_items = count;
+    cost.pattern = sim::AccessPattern::kCoalescedStreaming;
+    report.add({"rans_decode", ctx.payload_bytes, t.seconds(), cost});
+    return quant;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<EncodeStage> make_huffman_encoder() {
+  return std::make_unique<HuffmanEncodeStage>();
+}
+std::unique_ptr<EncodeStage> make_rle_encoder() { return std::make_unique<RleEncodeStage>(); }
+std::unique_ptr<EncodeStage> make_rle_vle_encoder() {
+  return std::make_unique<RleVleEncodeStage>();
+}
+std::unique_ptr<EncodeStage> make_rans_encoder() { return std::make_unique<RansEncodeStage>(); }
+
+std::unique_ptr<DecodeStage> make_huffman_decoder() {
+  return std::make_unique<HuffmanDecodeStage>();
+}
+std::unique_ptr<DecodeStage> make_rle_decoder() { return std::make_unique<RleDecodeStage>(); }
+std::unique_ptr<DecodeStage> make_rle_vle_decoder() {
+  return std::make_unique<RleVleDecodeStage>();
+}
+std::unique_ptr<DecodeStage> make_rans_decoder() { return std::make_unique<RansDecodeStage>(); }
+
+}  // namespace szp::pipeline

@@ -1,0 +1,64 @@
+#include "core/pipeline/registry.hh"
+
+#include <stdexcept>
+#include <string>
+
+#include "core/pipeline/builtin.hh"
+
+namespace szp::pipeline {
+
+StageRegistry& StageRegistry::instance() {
+  static StageRegistry registry;
+  return registry;
+}
+
+StageRegistry::StageRegistry() {
+  add(make_lorenzo_stage());
+  add(make_regression_stage());
+  add(make_interpolation_stage());
+  add(make_huffman_encoder());
+  add(make_rle_encoder());
+  add(make_rle_vle_encoder());
+  add(make_rans_encoder());
+  add(make_huffman_decoder());
+  add(make_rle_decoder());
+  add(make_rle_vle_decoder());
+  add(make_rans_decoder());
+}
+
+void StageRegistry::add(std::unique_ptr<PredictStage> stage) {
+  predictors_.push_back(std::move(stage));
+}
+void StageRegistry::add(std::unique_ptr<EncodeStage> stage) {
+  encoders_.push_back(std::move(stage));
+}
+void StageRegistry::add(std::unique_ptr<DecodeStage> stage) {
+  decoders_.push_back(std::move(stage));
+}
+
+const PredictStage& StageRegistry::predict(PredictorKind kind) const {
+  // Latest registration wins, so a stage can be overridden in tests.
+  for (auto it = predictors_.rbegin(); it != predictors_.rend(); ++it) {
+    if ((*it)->kind() == kind) return **it;
+  }
+  throw std::logic_error("StageRegistry: no predictor stage registered for tag " +
+                         std::to_string(static_cast<int>(kind)));
+}
+
+const EncodeStage& StageRegistry::encoder(Workflow wf) const {
+  for (auto it = encoders_.rbegin(); it != encoders_.rend(); ++it) {
+    if ((*it)->workflow() == wf) return **it;
+  }
+  throw std::logic_error("StageRegistry: no encode stage registered for workflow tag " +
+                         std::to_string(static_cast<int>(wf)));
+}
+
+const DecodeStage& StageRegistry::decoder(Workflow wf) const {
+  for (auto it = decoders_.rbegin(); it != decoders_.rend(); ++it) {
+    if ((*it)->workflow() == wf) return **it;
+  }
+  throw std::logic_error("StageRegistry: no decode stage registered for workflow tag " +
+                         std::to_string(static_cast<int>(wf)));
+}
+
+}  // namespace szp::pipeline

@@ -1,0 +1,128 @@
+// szp — the stage-typed pipeline layer.
+//
+// The paper's Fig. 1 pipeline is an explicit composition:
+//
+//   prequant+predict → gather outliers → histogram → selector →
+//   {Huffman | RLE [+VLE] | rANS}  (and the mirrored decode chain)
+//
+// cuSZ is pitched as a modular framework precisely so the predictor and the
+// codec can be swapped (Tian et al., PACT'20).  This header makes that
+// modularity structural: each predictor branch is a PredictStage, each
+// workflow encoder an EncodeStage with a mirroring DecodeStage, and the
+// Compressor assembles a pipeline by registry lookup (registry.hh) instead
+// of hard-coded switch arms.  Adding a predictor or codec is: implement the
+// interface, register it, done — the Compressor, the streaming layer, the
+// CLI, and the benches pick it up through the same lookup.
+//
+// Contract highlights:
+//   * Stages serialize *directly* after the fixed archive header
+//     (core/archive.hh) in a layout they own; the encode and decode halves
+//     of one workflow must agree byte-for-byte.
+//   * Stages report their work as PipelineReport entries using the same
+//     stage names the monolithic compressor used ("lorenzo_construct",
+//     "huffman_book", ... ) — tests and the perf benches pin those names.
+//   * Construction writes into the caller's Workspace (core/workspace.hh)
+//     through capacity-preserving fills, never into fresh allocations, so
+//     repeated compression is allocation-free at steady state.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/compressor.hh"
+#include "core/serialize.hh"
+#include "core/workspace.hh"
+#include "sim/profile.hh"
+#include "sim/sparse.hh"
+
+namespace szp::pipeline {
+
+/// Predictor sidecar payload decoded from the archive: regression
+/// coefficients or interpolation anchors (and the interpolation level).
+struct PredictorAux {
+  std::vector<float> coefficients;
+  int level = 0;
+};
+
+/// What a predictor's construct pass produced: views into the Workspace
+/// buffers the stage filled, plus the analytic kernel cost.
+struct PredictProduct {
+  std::span<const quant_t> quant;
+  std::span<const qdiff_t> outlier_dense;
+  sim::KernelCost cost;
+};
+
+/// One prediction model: the construct half of compression and the
+/// reconstruct half of decompression, plus its aux-payload serialization.
+class PredictStage {
+ public:
+  virtual ~PredictStage() = default;
+
+  [[nodiscard]] virtual PredictorKind kind() const = 0;
+  /// PipelineReport entry name of the construct pass (pinned by tests).
+  [[nodiscard]] virtual const char* construct_stage() const = 0;
+
+  /// Fill ws with quant-codes and the dense outlier array for `data`.
+  [[nodiscard]] virtual PredictProduct construct(std::span<const float> data, const Extents& ext,
+                                                 double eb_kernel, const CompressConfig& cfg,
+                                                 Workspace& ws) const = 0;
+  [[nodiscard]] virtual PredictProduct construct(std::span<const double> data, const Extents& ext,
+                                                 double eb_kernel, const CompressConfig& cfg,
+                                                 Workspace& ws) const = 0;
+
+  /// Serialize the aux payload construct() left in ws (nothing for Lorenzo).
+  virtual void write_aux(ByteWriter& w, const Workspace& ws) const = 0;
+  /// Mirror of write_aux on the decode side.
+  virtual void read_aux(ByteReader& r, PredictorAux& aux) const = 0;
+
+  /// Rebuild the field from decoded quant-codes and the sparse outlier
+  /// stream; appends its own PipelineReport entries (scatter + reconstruct)
+  /// and fills out.data / out.data_f64 according to out.dtype.
+  virtual void reconstruct(std::span<const quant_t> quant,
+                           const sim::SparseVector<qdiff_t>& outliers, const PredictorAux& aux,
+                           const Extents& ext, double eb_abs, const QuantConfig& qcfg,
+                           const ReconstructConfig& recon, std::size_t payload_bytes,
+                           Decompressed& out) const = 0;
+};
+
+/// Everything an encoder needs besides the quant-codes themselves.
+struct EncodeContext {
+  const CompressConfig& cfg;
+  std::span<const std::uint64_t> freq;  ///< quant-code histogram
+  std::size_t original_bytes = 0;       ///< for PipelineReport entries
+};
+
+/// The quant-code payload encoder of one workflow.  Serializes its section
+/// into `w` and reports its kernels into `report`.
+class EncodeStage {
+ public:
+  virtual ~EncodeStage() = default;
+
+  [[nodiscard]] virtual Workflow workflow() const = 0;
+
+  virtual void encode(std::span<const quant_t> quant, const EncodeContext& ctx, Workspace& ws,
+                      ByteWriter& w, sim::PipelineReport& report) const = 0;
+};
+
+/// Decode-side inputs: the expected element count (validated against the
+/// header before any decode-driven allocation) and the uncompressed payload
+/// size used as the throughput denominator in reports.
+struct DecodeContext {
+  std::size_t n = 0;
+  std::size_t payload_bytes = 0;
+};
+
+/// Mirror of EncodeStage: parses the workflow's section and returns the
+/// quant-codes.  Must consume exactly the bytes its encoder wrote.
+class DecodeStage {
+ public:
+  virtual ~DecodeStage() = default;
+
+  [[nodiscard]] virtual Workflow workflow() const = 0;
+
+  [[nodiscard]] virtual std::vector<quant_t> decode(ByteReader& r, const DecodeContext& ctx,
+                                                    sim::PipelineReport& report) const = 0;
+};
+
+}  // namespace szp::pipeline

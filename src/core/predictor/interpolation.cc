@@ -140,9 +140,9 @@ std::size_t interpolation_anchor_count(const Extents& ext, int level) {
 }
 
 template <typename T>
-InterpolationResult interpolation_construct(std::span<const T> data, const Extents& ext,
-                                            double eb_abs, const QuantConfig& qcfg,
-                                            const InterpolationConfig& cfg) {
+void interpolation_construct_into(std::span<const T> data, const Extents& ext, double eb_abs,
+                                  const QuantConfig& qcfg, const InterpolationConfig& cfg,
+                                  InterpolationResult& res) {
   qcfg.validate();
   if (data.size() != ext.count()) {
     throw std::invalid_argument("interpolation_construct: data size does not match extents");
@@ -152,7 +152,7 @@ InterpolationResult interpolation_construct(std::span<const T> data, const Exten
   }
 
   const std::size_t n = ext.count();
-  InterpolationResult res;
+  res.cost = {};
   res.level = clamp_level(ext, cfg.max_level);
   res.quant.assign(n, static_cast<quant_t>(qcfg.radius()));
   res.outlier_dense.assign(n, 0);
@@ -165,6 +165,7 @@ InterpolationResult interpolation_construct(std::span<const T> data, const Exten
   std::vector<float> rec(n);
 
   // Anchors: stored raw (float) on the 2^L lattice, raster order.
+  res.anchors.clear();
   res.anchors.reserve(interpolation_anchor_count(ext, res.level));
   for (std::size_t z = 0; z < ext.nz; z += (ext.rank >= 3 ? stride : ext.nz)) {
     for (std::size_t y = 0; y < ext.ny; y += (ext.rank >= 2 ? stride : ext.ny)) {
@@ -187,6 +188,14 @@ InterpolationResult interpolation_construct(std::span<const T> data, const Exten
   }
 
   res.cost = interpolation_cost(ext, res.level, sizeof(T));
+}
+
+template <typename T>
+InterpolationResult interpolation_construct(std::span<const T> data, const Extents& ext,
+                                            double eb_abs, const QuantConfig& qcfg,
+                                            const InterpolationConfig& cfg) {
+  InterpolationResult res;
+  interpolation_construct_into(data, ext, eb_abs, qcfg, cfg, res);
   return res;
 }
 
@@ -228,6 +237,14 @@ sim::KernelCost interpolation_reconstruct(std::span<const quant_t> quant,
   return interpolation_cost(ext, lvl, sizeof(T));
 }
 
+template void interpolation_construct_into<float>(std::span<const float>, const Extents&,
+                                                  double, const QuantConfig&,
+                                                  const InterpolationConfig&,
+                                                  InterpolationResult&);
+template void interpolation_construct_into<double>(std::span<const double>, const Extents&,
+                                                   double, const QuantConfig&,
+                                                   const InterpolationConfig&,
+                                                   InterpolationResult&);
 template InterpolationResult interpolation_construct<float>(std::span<const float>,
                                                             const Extents&, double,
                                                             const QuantConfig&,

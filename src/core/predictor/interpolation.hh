@@ -43,6 +43,13 @@ template <typename T>
                                                           const QuantConfig& quant,
                                                           const InterpolationConfig& cfg = {});
 
+/// Workspace-reuse variant: fills the caller's result struct with
+/// capacity-preserving assigns (see core/workspace.hh).
+template <typename T>
+void interpolation_construct_into(std::span<const T> data, const Extents& ext, double eb_abs,
+                                  const QuantConfig& quant, const InterpolationConfig& cfg,
+                                  InterpolationResult& res);
+
 template <typename T>
 sim::KernelCost interpolation_reconstruct(std::span<const quant_t> quant,
                                           std::span<const qdiff_t> outlier_dense,

@@ -70,6 +70,14 @@ template <typename T>
     const QuantConfig& quant, OutlierScheme scheme = OutlierScheme::kResidual,
     ConstructVariant variant = ConstructVariant::kOptimized);
 
+/// Workspace-reuse variant: fills the caller's result struct with
+/// capacity-preserving assigns, so a reused `res` allocates nothing once
+/// its buffers have grown to the field size (see core/workspace.hh).
+template <typename T>
+void lorenzo_construct_into(std::span<const T> data, const Extents& ext, double eb_abs,
+                            const QuantConfig& quant, OutlierScheme scheme,
+                            ConstructVariant variant, LorenzoConstructResult& res);
+
 struct ReconstructConfig {
   ReconstructVariant variant = ReconstructVariant::kOptimizedPartialSum;
   std::size_t sequentiality = 8;  ///< items per virtual thread in scan passes

@@ -35,9 +35,9 @@ ChunkGeometry make_grid(const Extents& ext) {
 }  // namespace
 
 template <typename T>
-LorenzoConstructResult lorenzo_construct(std::span<const T> data, const Extents& ext,
-                                         double eb_abs, const QuantConfig& qcfg,
-                                         OutlierScheme scheme, ConstructVariant variant) {
+void lorenzo_construct_into(std::span<const T> data, const Extents& ext, double eb_abs,
+                            const QuantConfig& qcfg, OutlierScheme scheme,
+                            ConstructVariant variant, LorenzoConstructResult& res) {
   qcfg.validate();
   if (data.size() != ext.count()) {
     throw std::invalid_argument("lorenzo_construct: data size does not match extents");
@@ -47,7 +47,7 @@ LorenzoConstructResult lorenzo_construct(std::span<const T> data, const Extents&
   }
 
   const std::size_t n = ext.count();
-  LorenzoConstructResult res;
+  res.cost = {};
   res.quant.assign(n, 0);
   res.outlier_dense.assign(n, 0);
 
@@ -154,9 +154,23 @@ LorenzoConstructResult lorenzo_construct(std::span<const T> data, const Extents&
                                 : sim::AccessPattern::kCoalescedStreaming;
   res.cost.custom_factor = stage_copy ? kBaselineFactor[static_cast<std::size_t>(ext.rank)]
                                       : kOptimizedFactor[static_cast<std::size_t>(ext.rank)];
+}
+
+template <typename T>
+LorenzoConstructResult lorenzo_construct(std::span<const T> data, const Extents& ext,
+                                         double eb_abs, const QuantConfig& qcfg,
+                                         OutlierScheme scheme, ConstructVariant variant) {
+  LorenzoConstructResult res;
+  lorenzo_construct_into(data, ext, eb_abs, qcfg, scheme, variant, res);
   return res;
 }
 
+template void lorenzo_construct_into<float>(std::span<const float>, const Extents&, double,
+                                            const QuantConfig&, OutlierScheme, ConstructVariant,
+                                            LorenzoConstructResult&);
+template void lorenzo_construct_into<double>(std::span<const double>, const Extents&, double,
+                                             const QuantConfig&, OutlierScheme, ConstructVariant,
+                                             LorenzoConstructResult&);
 template LorenzoConstructResult lorenzo_construct<float>(std::span<const float>, const Extents&,
                                                          double, const QuantConfig&,
                                                          OutlierScheme, ConstructVariant);

@@ -44,8 +44,8 @@ std::size_t regression_chunk_count(const Extents& ext) {
 }
 
 template <typename T>
-RegressionResult regression_construct(std::span<const T> data, const Extents& ext,
-                                      double eb_abs, const QuantConfig& qcfg) {
+void regression_construct_into(std::span<const T> data, const Extents& ext, double eb_abs,
+                               const QuantConfig& qcfg, RegressionResult& res) {
   qcfg.validate();
   if (data.size() != ext.count()) {
     throw std::invalid_argument("regression_construct: data size does not match extents");
@@ -55,7 +55,7 @@ RegressionResult regression_construct(std::span<const T> data, const Extents& ex
   }
 
   const std::size_t n = ext.count();
-  RegressionResult res;
+  res.cost = {};
   res.quant.assign(n, 0);
   res.outlier_dense.assign(n, 0);
   const Grid grid = make_grid(ext);
@@ -150,6 +150,13 @@ RegressionResult regression_construct(std::span<const T> data, const Extents& ex
   res.cost.pattern = sim::AccessPattern::kCoalescedStreaming;
   res.cost.custom_factor = 0.55;  // two-pass fit is heavier than Lorenzo
   res.cost.launches = 2;
+}
+
+template <typename T>
+RegressionResult regression_construct(std::span<const T> data, const Extents& ext, double eb_abs,
+                                      const QuantConfig& qcfg) {
+  RegressionResult res;
+  regression_construct_into(data, ext, eb_abs, qcfg, res);
   return res;
 }
 
@@ -216,6 +223,10 @@ sim::KernelCost regression_reconstruct(std::span<const quant_t> quant,
   return c;
 }
 
+template void regression_construct_into<float>(std::span<const float>, const Extents&, double,
+                                               const QuantConfig&, RegressionResult&);
+template void regression_construct_into<double>(std::span<const double>, const Extents&, double,
+                                                const QuantConfig&, RegressionResult&);
 template RegressionResult regression_construct<float>(std::span<const float>, const Extents&,
                                                       double, const QuantConfig&);
 template RegressionResult regression_construct<double>(std::span<const double>, const Extents&,

@@ -38,6 +38,12 @@ template <typename T>
 [[nodiscard]] RegressionResult regression_construct(std::span<const T> data, const Extents& ext,
                                                     double eb_abs, const QuantConfig& quant);
 
+/// Workspace-reuse variant: fills the caller's result struct with
+/// capacity-preserving assigns (see core/workspace.hh).
+template <typename T>
+void regression_construct_into(std::span<const T> data, const Extents& ext, double eb_abs,
+                               const QuantConfig& quant, RegressionResult& res);
+
 /// Reconstruct from codes + outliers + coefficients.  Fully parallel per
 /// element (no scan passes).
 template <typename T>

@@ -7,6 +7,7 @@
 #include "core/error.hh"
 #include "core/metrics.hh"
 #include "core/serialize.hh"
+#include "sim/launch.hh"
 
 namespace szp {
 
@@ -41,18 +42,17 @@ SlabPlan plan_slabs(const Extents& ext, std::size_t max_slab_elems) {
   return p;
 }
 
-Extents slab_extents(const Extents& ext, std::size_t begin, std::size_t len) {
+Extents slab_extents(const Extents& ext, std::size_t len) {
   switch (ext.rank) {
     case 1: return Extents::d1(len);
     case 2: return Extents::d2(len, ext.nx);
     default: return Extents::d3(len, ext.ny, ext.nx);
   }
-  (void)begin;
 }
 
 template <typename T>
-StreamingCompressed compress_impl(const StreamingConfig& cfg, std::span<const T> data,
-                                  const Extents& ext) {
+StreamingCompressed compress_impl(const StreamingConfig& cfg, const Compressor& compressor,
+                                  std::span<const T> data, const Extents& ext) {
   if (data.empty() || data.size() != ext.count()) {
     throw std::invalid_argument("StreamingCompressor::compress: data must match extents");
   }
@@ -66,12 +66,34 @@ StreamingCompressed compress_impl(const StreamingConfig& cfg, std::span<const T>
   }
   CompressConfig slab_cfg = cfg.base;
   slab_cfg.eb = ErrorBound::absolute(cfg.base.eb.resolve(range.span()));
-  const Compressor compressor(slab_cfg);
 
   StreamingCompressed out;
   out.stats.original_bytes = data.size_bytes();
   out.stats.eb_abs = slab_cfg.eb.value;
 
+  // Compress the slabs — concurrently when configured.  This is host
+  // orchestration over disjoint per-slab outputs, not a simulated kernel,
+  // so it uses the plain launcher rather than checked::launch: the results
+  // are non-trivially-copyable and stay outside the checker's byte-level
+  // buffer registry (see DESIGN.md §2.2).  Each worker leases its own
+  // workspace from the shared Compressor's pool.
+  std::vector<Compressed> slabs(plan.count);
+  const auto compress_slab = [&](std::size_t s) {
+    const std::size_t begin = s * plan.thickness;
+    const std::size_t len = std::min(plan.thickness, plan.slow_extent - begin);
+    const Extents sub = slab_extents(ext, len);
+    const std::size_t offset = begin * plan.plane_elems;
+    slabs[s] = compressor.compress(std::span<const T>(data.data() + offset, sub.count()), sub,
+                                   slab_cfg);
+  };
+  if (cfg.parallel) {
+    sim::launch_blocks(plan.count, compress_slab);
+  } else {
+    for (std::size_t s = 0; s < plan.count; ++s) compress_slab(s);
+  }
+
+  // Pack the container serially in index order, so the bytes are identical
+  // to a serial run.
   ByteWriter w;
   w.put(kContainerMagic);
   w.put(kContainerVersion);
@@ -86,26 +108,46 @@ StreamingCompressed compress_impl(const StreamingConfig& cfg, std::span<const T>
   for (std::size_t s = 0; s < plan.count; ++s) {
     const std::size_t begin = s * plan.thickness;
     const std::size_t len = std::min(plan.thickness, plan.slow_extent - begin);
-    const Extents sub = slab_extents(ext, begin, len);
     const std::size_t offset = begin * plan.plane_elems;
 
-    const auto slab = compressor.compress(
-        std::span<const T>(data.data() + offset, sub.count()), sub);
-
     SlabInfo info;
-    info.extents = sub;
+    info.extents = slab_extents(ext, len);
     info.offset = offset;
-    info.ratio = slab.stats.ratio;
-    info.workflow = slab.stats.workflow_used;
+    info.ratio = slabs[s].stats.ratio;
+    info.workflow = slabs[s].stats.workflow_used;
     out.stats.slabs.push_back(info);
 
     w.put<std::uint64_t>(offset);
-    w.put_vector(slab.bytes);
+    w.put_vector(slabs[s].bytes);
   }
 
   out.bytes = w.take();
   out.stats.compressed_bytes = out.bytes.size();
   out.stats.ratio = compression_ratio(out.stats.original_bytes, out.stats.compressed_bytes);
+  return out;
+}
+
+template <typename T>
+std::vector<StreamingCompressed> compress_many_impl(const StreamingConfig& cfg,
+                                                    const Compressor& compressor,
+                                                    std::span<const std::span<const T>> fields,
+                                                    std::span<const Extents> exts) {
+  if (fields.size() != exts.size()) {
+    throw std::invalid_argument(
+        "StreamingCompressor::compress_many: one extents entry per field required");
+  }
+  std::vector<StreamingCompressed> out(fields.size());
+  const auto compress_field = [&](std::size_t f) {
+    out[f] = compress_impl(cfg, compressor, fields[f], exts[f]);
+  };
+  if (cfg.parallel) {
+    // Fields fan out across workers; the per-field slab loops serialize
+    // inside the outer parallel region (nested teams are disabled), so the
+    // fan-out stays one-level.
+    sim::launch_blocks(fields.size(), compress_field);
+  } else {
+    for (std::size_t f = 0; f < fields.size(); ++f) compress_field(f);
+  }
   return out;
 }
 
@@ -162,26 +204,22 @@ ContainerHeader read_header(ByteReader& r) {
   return h;
 }
 
-/// One validated entry of the slab directory: the byte span is a view into
-/// the container, decoded only after the whole directory proves consistent.
-struct SlabRef {
-  std::uint64_t offset;
-  std::span<const std::uint8_t> bytes;
-  std::size_t count;
-};
-
 /// Walk the slab directory without decoding payloads: inspect each nested
 /// archive's header and require the slabs to tile the field back-to-back,
 /// exactly as the writer lays them out.  Runs *before* the output field is
 /// allocated, so spliced extents cannot drive a huge resize.
-std::vector<SlabRef> read_slab_directory(ByteReader& r, const ContainerHeader& h) {
-  std::vector<SlabRef> slabs;
-  slabs.reserve(h.slabs);
+ContainerIndex index_impl(std::span<const std::uint8_t> container) {
+  ByteReader r(container);
+  const ContainerHeader h = read_header(r);
+  ContainerIndex idx;
+  idx.extents = h.extents;
+  idx.dtype = h.dtype;
+  idx.slabs.reserve(h.slabs);
   std::uint64_t covered = 0;
   const std::uint64_t total = h.extents.count();
   for (std::size_t s = 0; s < h.slabs; ++s) {
     r.set_segment("slab directory");
-    SlabRef ref{};
+    ContainerSlab ref{};
     ref.offset = r.get<std::uint64_t>();
     ref.bytes = r.get_bytes();
     const auto info = Compressor::inspect(ref.bytes);
@@ -196,26 +234,36 @@ std::vector<SlabRef> read_slab_directory(ByteReader& r, const ContainerHeader& h
                             std::to_string(ref.offset) + " does not tile the field");
     }
     covered += ref.count;
-    slabs.push_back(ref);
+    idx.slabs.push_back(ref);
   }
   if (covered != total) {
     throw DecodeError(DecodeErrorKind::kCorruptStream, "slab directory",
                       "slabs cover " + std::to_string(covered) + " of " + std::to_string(total) +
                           " elements");
   }
-  return slabs;
+  return idx;
 }
 
 }  // namespace
 
 StreamingCompressed StreamingCompressor::compress(std::span<const float> data,
                                                   const Extents& ext) const {
-  return compress_impl(cfg_, data, ext);
+  return compress_impl(cfg_, slab_compressor_, data, ext);
 }
 
 StreamingCompressed StreamingCompressor::compress(std::span<const double> data,
                                                   const Extents& ext) const {
-  return compress_impl(cfg_, data, ext);
+  return compress_impl(cfg_, slab_compressor_, data, ext);
+}
+
+std::vector<StreamingCompressed> StreamingCompressor::compress_many(
+    std::span<const std::span<const float>> fields, std::span<const Extents> exts) const {
+  return compress_many_impl(cfg_, slab_compressor_, fields, exts);
+}
+
+std::vector<StreamingCompressed> StreamingCompressor::compress_many(
+    std::span<const std::span<const double>> fields, std::span<const Extents> exts) const {
+  return compress_many_impl(cfg_, slab_compressor_, fields, exts);
 }
 
 std::size_t StreamingCompressor::slab_count(std::span<const std::uint8_t> container) {
@@ -225,74 +273,78 @@ std::size_t StreamingCompressor::slab_count(std::span<const std::uint8_t> contai
   });
 }
 
+ContainerIndex StreamingCompressor::index(std::span<const std::uint8_t> container) {
+  return decode_guard("streaming container", [&] { return index_impl(container); });
+}
+
 StreamingDecompressed StreamingCompressor::decompress(std::span<const std::uint8_t> container) {
   return decode_guard("streaming container", [&] {
-  ByteReader r(container);
-  const ContainerHeader h = read_header(r);
-  const auto slabs = read_slab_directory(r, h);
+  const ContainerIndex idx = index_impl(container);
 
   StreamingDecompressed out;
-  out.extents = h.extents;
-  out.dtype = h.dtype;
-  if (h.dtype == DType::kFloat32) {
-    out.data.resize(h.extents.count());
+  out.extents = idx.extents;
+  out.dtype = idx.dtype;
+  if (idx.dtype == DType::kFloat32) {
+    out.data.resize(idx.extents.count());
   } else {
-    out.data_f64.resize(h.extents.count());
+    out.data_f64.resize(idx.extents.count());
   }
 
-  for (const SlabRef& ref : slabs) {
+  // Slabs decode concurrently: the directory pass proved their output
+  // ranges tile the field disjointly, so this is host orchestration over
+  // independent decodes (plain launcher; see the compress-side note).
+  sim::launch_blocks(idx.slabs.size(), [&](std::size_t s) {
+    const ContainerSlab& ref = idx.slabs[s];
     auto slab = Compressor::decompress(ref.bytes);
     // The directory pass validated offset/count tiling from the slab
     // headers; re-check against the decoded payload before the copy.
     const std::size_t decoded =
-        h.dtype == DType::kFloat32 ? slab.data.size() : slab.data_f64.size();
+        idx.dtype == DType::kFloat32 ? slab.data.size() : slab.data_f64.size();
     if (decoded != ref.count) {
       throw DecodeError(DecodeErrorKind::kCorruptStream, "slab directory",
                         "slab decoded to " + std::to_string(decoded) +
                             " elements, its header declared " + std::to_string(ref.count));
     }
-    if (h.dtype == DType::kFloat32) {
+    if (idx.dtype == DType::kFloat32) {
       std::copy(slab.data.begin(), slab.data.end(),
                 out.data.begin() + static_cast<std::ptrdiff_t>(ref.offset));
     } else {
       std::copy(slab.data_f64.begin(), slab.data_f64.end(),
                 out.data_f64.begin() + static_cast<std::ptrdiff_t>(ref.offset));
     }
-  }
+  });
   return out;
+  });
+}
+
+StreamingDecompressed StreamingCompressor::decompress_slab(const ContainerIndex& index,
+                                                           std::size_t slab_index,
+                                                           SlabInfo* info_out) {
+  // A bad index with a well-formed container is a caller error, not archive
+  // corruption; keep its own exception type.
+  if (slab_index >= index.slabs.size()) {
+    throw std::out_of_range("StreamingCompressor::decompress_slab: slab index out of range");
+  }
+  return decode_guard("streaming container", [&] {
+    const ContainerSlab& ref = index.slabs[slab_index];
+    auto slab = Compressor::decompress(ref.bytes);
+
+    StreamingDecompressed out;
+    out.extents = slab.extents;
+    out.dtype = index.dtype;
+    out.data = std::move(slab.data);
+    out.data_f64 = std::move(slab.data_f64);
+    if (info_out != nullptr) {
+      info_out->extents = slab.extents;
+      info_out->offset = ref.offset;
+    }
+    return out;
   });
 }
 
 StreamingDecompressed StreamingCompressor::decompress_slab(
     std::span<const std::uint8_t> container, std::size_t slab_index, SlabInfo* info_out) {
-  // A bad index with a well-formed container is a caller error, not archive
-  // corruption; resolve the count first so it keeps its own exception type.
-  if (slab_index >= slab_count(container)) {
-    throw std::out_of_range("StreamingCompressor::decompress_slab: slab index out of range");
-  }
-  return decode_guard("streaming container", [&] {
-  ByteReader r(container);
-  const ContainerHeader h = read_header(r);
-  r.set_segment("slab directory");
-  for (std::size_t s = 0; s < slab_index; ++s) {
-    (void)r.get<std::uint64_t>();
-    (void)r.get_bytes();  // skip (length-prefixed)
-  }
-  const auto offset = r.get<std::uint64_t>();
-  const auto bytes = r.get_bytes();
-  auto slab = Compressor::decompress(bytes);
-
-  StreamingDecompressed out;
-  out.extents = slab.extents;
-  out.dtype = h.dtype;
-  out.data = std::move(slab.data);
-  out.data_f64 = std::move(slab.data_f64);
-  if (info_out != nullptr) {
-    info_out->extents = slab.extents;
-    info_out->offset = offset;
-  }
-  return out;
-  });
+  return decompress_slab(index(container), slab_index, info_out);
 }
 
 }  // namespace szp

@@ -8,10 +8,14 @@
 // (its own workflow selection, codebook, and outlier stream), and the slab
 // archives are packed into a self-describing container.
 //
-// Because slabs are independent, the container supports partial access:
-// decompress_slab() reconstructs one slab without touching the others —
-// the coarse-grained decompression granularity cuSZ's block split was
-// designed for (§II-A).
+// Slab independence buys two things.  First, partial access:
+// decompress_slab() reconstructs one slab without touching the others — the
+// coarse-grained decompression granularity cuSZ's block split was designed
+// for (§II-A).  Second, parallelism: slabs are compressed concurrently via
+// the launch substrate (host-orchestrated, one pooled workspace per worker;
+// see DESIGN.md §2.2), and the slab archives are packed into the container
+// serially in index order, so the container bytes are identical to a serial
+// run.  compress_many() applies the same fan-out across whole fields.
 //
 // A relative error bound is resolved against the *whole field's* range
 // before slabbing, so every slab honors the same absolute bound and the
@@ -30,6 +34,9 @@ struct StreamingConfig {
   CompressConfig base;
   /// Maximum elements per slab (default 2^22 ~ 16 MB of float32).
   std::size_t max_slab_elems = std::size_t{1} << 22;
+  /// Compress slabs concurrently (the container bytes do not depend on
+  /// this: slab archives are packed in index order either way).
+  bool parallel = true;
 };
 
 struct SlabInfo {
@@ -59,6 +66,24 @@ struct StreamingDecompressed {
   Extents extents;
 };
 
+/// One validated entry of a container's slab directory.  `bytes` is a view
+/// into the container buffer the index was built from — the index is valid
+/// only as long as that buffer is.
+struct ContainerSlab {
+  std::size_t offset = 0;               ///< element offset in the field
+  std::size_t count = 0;                ///< element count of the slab
+  std::span<const std::uint8_t> bytes;  ///< the nested SZP+ archive
+};
+
+/// The parsed, fully validated slab directory of a container: build it once
+/// with StreamingCompressor::index(), then decompress_slab() is O(1) per
+/// slab instead of re-walking the preceding directory entries.
+struct ContainerIndex {
+  Extents extents;
+  DType dtype = DType::kFloat32;
+  std::vector<ContainerSlab> slabs;
+};
+
 class StreamingCompressor {
  public:
   StreamingCompressor() = default;
@@ -77,20 +102,41 @@ class StreamingCompressor {
     return compress(std::span<const T>(data.data(), data.size()), ext);
   }
 
-  /// Reassemble the whole field.
+  /// Compress a batch of fields (fields[i] has extents exts[i]), fanning the
+  /// fields out across workers when cfg.parallel is set.  Equivalent to
+  /// calling compress() per field, in order.
+  [[nodiscard]] std::vector<StreamingCompressed> compress_many(
+      std::span<const std::span<const float>> fields, std::span<const Extents> exts) const;
+  [[nodiscard]] std::vector<StreamingCompressed> compress_many(
+      std::span<const std::span<const double>> fields, std::span<const Extents> exts) const;
+
+  /// Reassemble the whole field (slabs decode concurrently into their
+  /// disjoint output ranges).
   [[nodiscard]] static StreamingDecompressed decompress(std::span<const std::uint8_t> container);
 
   /// Number of slabs in a container (without decompressing anything).
   [[nodiscard]] static std::size_t slab_count(std::span<const std::uint8_t> container);
 
+  /// Parse and validate the whole slab directory once (no payload decode).
+  /// The returned index views the container buffer; keep it alive.
+  [[nodiscard]] static ContainerIndex index(std::span<const std::uint8_t> container);
+
   /// Decompress a single slab (partial access).  `info_out`, if non-null,
   /// receives the slab's extents and element offset within the full field.
+  /// The container overload rebuilds the directory index per call; when
+  /// reading many slabs from one container, build the index once and use
+  /// the ContainerIndex overload (O(1) per slab).
   [[nodiscard]] static StreamingDecompressed decompress_slab(
       std::span<const std::uint8_t> container, std::size_t slab_index,
       SlabInfo* info_out = nullptr);
+  [[nodiscard]] static StreamingDecompressed decompress_slab(
+      const ContainerIndex& index, std::size_t slab_index, SlabInfo* info_out = nullptr);
 
  private:
   StreamingConfig cfg_{};
+  /// Slab compression funnels through this Compressor so its workspace pool
+  /// persists across compress() calls (compress() stays logically const).
+  Compressor slab_compressor_{};
 };
 
 }  // namespace szp

@@ -1,0 +1,66 @@
+#include "core/workspace.hh"
+
+namespace szp {
+
+std::vector<std::size_t> Workspace::capacities() const {
+  return {
+      lorenzo.quant.capacity(),     lorenzo.outlier_dense.capacity(),
+      regression.quant.capacity(),  regression.outlier_dense.capacity(),
+      regression.coefficients.capacity(),
+      interp.quant.capacity(),      interp.outlier_dense.capacity(),
+      interp.anchors.capacity(),
+      outliers.indices.capacity(),  outliers.values.capacity(),
+      gather_tile_nnz.capacity(),   gather_offsets.capacity(),
+      freq.capacity(),              hist_priv.capacity(),
+      huffman.payload.capacity(),   huffman.chunk_offsets.capacity(),
+      huffman.gaps.capacity(),      huffman_chunk_bytes.capacity(),
+      vle_freq.capacity(),          book_freq.capacity(),
+  };
+}
+
+WorkspaceLease::~WorkspaceLease() {
+  if (ws_ != nullptr && pool_ != nullptr) {
+    pool_->release(std::move(ws_), caps_at_acquire_);
+  }
+}
+
+WorkspaceLease WorkspacePool::acquire() {
+  std::unique_ptr<Workspace> ws;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.leases;
+    if (!idle_.empty()) {
+      ws = std::move(idle_.back());
+      idle_.pop_back();
+    } else {
+      ++stats_.created;
+    }
+  }
+  if (ws == nullptr) ws = std::make_unique<Workspace>();
+  auto caps = ws->capacities();
+  return WorkspaceLease(this, std::move(ws), std::move(caps));
+}
+
+void WorkspacePool::release(std::unique_ptr<Workspace> ws,
+                            const std::vector<std::size_t>& caps_at_acquire) {
+  const auto caps_now = ws->capacities();
+  std::size_t grew = 0;
+  for (std::size_t i = 0; i < caps_now.size(); ++i) {
+    if (caps_now[i] > caps_at_acquire[i]) ++grew;
+  }
+  const std::lock_guard<std::mutex> lock(mutex_);
+  stats_.grow_events += grew;
+  idle_.push_back(std::move(ws));
+}
+
+WorkspacePool::Stats WorkspacePool::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+WorkspacePool& default_workspace_pool() {
+  static WorkspacePool pool;
+  return pool;
+}
+
+}  // namespace szp

@@ -1,0 +1,129 @@
+// szp — reusable per-call scratch for the compression pipeline.
+//
+// Every compress() call needs the same family of O(n) buffers: the
+// predictor's quant-code and dense-outlier arrays, the histogram bins and
+// their block-private replicas, the gathered outlier stream plus its tile
+// scratch, and the Huffman encoder's chunk metadata and payload.  Allocating
+// them per call makes repeated-field compression malloc-bound; FZ-GPU makes
+// the same observation for real device buffers (HPDC'23).  A Workspace owns
+// one instance of each buffer and the pipeline stages fill them with
+// capacity-preserving assign()/resize() calls, so a reused Compressor
+// reaches a steady state where no pipeline buffer grows at all.
+//
+// Concurrency: a Workspace is single-threaded state.  WorkspacePool hands
+// out exclusive leases from a mutex-protected free list — parallel slab
+// streaming acquires one workspace per worker from its Compressor's pool,
+// and at steady state the pool holds max-concurrency workspaces and
+// acquire() allocates nothing.
+//
+// Accounting: the pool cannot see inside malloc, so it counts *grow events*
+// instead — a lease compares the capacity of every tracked buffer at
+// release against acquire; any increase is a grow event.  The allocation
+// test (test_pipeline.cc) asserts grow events and workspace creations both
+// stop after warm-up, and BENCH_pipeline.json measures the wall-clock win.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/huffman/codec.hh"
+#include "core/predictor/interpolation.hh"
+#include "core/predictor/lorenzo.hh"
+#include "core/predictor/regression.hh"
+#include "core/types.hh"
+#include "sim/sparse.hh"
+
+namespace szp {
+
+/// The pipeline's reusable buffers.  Stages fill the slots that belong to
+/// them (see core/pipeline/stage.hh); unused slots stay empty and cost
+/// nothing.
+struct Workspace {
+  // --- Predictor products (one slot per registered predictor) -------------
+  LorenzoConstructResult lorenzo;
+  RegressionResult regression;
+  InterpolationResult interp;
+
+  // --- Outlier gather (dense -> sparse) ------------------------------------
+  sim::SparseVector<qdiff_t> outliers;
+  std::vector<std::size_t> gather_tile_nnz;
+  std::vector<std::size_t> gather_offsets;
+
+  // --- Histogram -----------------------------------------------------------
+  std::vector<std::uint64_t> freq;       ///< quant-code histogram
+  std::vector<std::uint64_t> hist_priv;  ///< block-private bin replicas
+
+  // --- Codec scratch -------------------------------------------------------
+  HuffmanEncoded huffman;                     ///< reused encode product
+  std::vector<std::uint64_t> huffman_chunk_bytes;
+  std::vector<std::uint64_t> vle_freq;        ///< RLE+VLE stream histograms
+
+  /// Codebook memoization: the canonical book is a pure function of the
+  /// histogram, so a reused workspace skips the serial rebuild when the
+  /// histogram repeats (time-series snapshots of one field) — the build is
+  /// the latency bottleneck on small fields (codebook.hh).  Deterministic
+  /// construction keeps the cached and rebuilt books byte-identical.
+  HuffmanCodebook book;
+  std::vector<std::uint64_t> book_freq;  ///< histogram `book` was built from
+
+  /// Capacity snapshot of every tracked buffer, in a fixed order.
+  [[nodiscard]] std::vector<std::size_t> capacities() const;
+};
+
+/// Exclusive RAII lease on one pool workspace; returns it on destruction.
+class WorkspacePool;
+class WorkspaceLease {
+ public:
+  WorkspaceLease(WorkspaceLease&&) noexcept = default;
+  WorkspaceLease(const WorkspaceLease&) = delete;
+  WorkspaceLease& operator=(const WorkspaceLease&) = delete;
+  WorkspaceLease& operator=(WorkspaceLease&&) = delete;
+  ~WorkspaceLease();
+
+  [[nodiscard]] Workspace& operator*() { return *ws_; }
+  [[nodiscard]] Workspace* operator->() { return ws_.get(); }
+
+ private:
+  friend class WorkspacePool;
+  WorkspaceLease(WorkspacePool* pool, std::unique_ptr<Workspace> ws,
+                 std::vector<std::size_t> caps)
+      : pool_(pool), ws_(std::move(ws)), caps_at_acquire_(std::move(caps)) {}
+
+  WorkspacePool* pool_;
+  std::unique_ptr<Workspace> ws_;
+  std::vector<std::size_t> caps_at_acquire_;
+};
+
+/// Mutex-protected free list of workspaces.  acquire() pops an idle
+/// workspace (or creates one on a cold pool); the lease returns it.
+class WorkspacePool {
+ public:
+  struct Stats {
+    std::size_t created = 0;      ///< workspaces ever constructed
+    std::size_t leases = 0;       ///< acquire() calls served
+    std::size_t grow_events = 0;  ///< tracked-buffer capacity growths
+  };
+
+  WorkspacePool() = default;
+  WorkspacePool(const WorkspacePool&) = delete;
+  WorkspacePool& operator=(const WorkspacePool&) = delete;
+
+  [[nodiscard]] WorkspaceLease acquire();
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  friend class WorkspaceLease;
+  void release(std::unique_ptr<Workspace> ws, const std::vector<std::size_t>& caps_at_acquire);
+
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<Workspace>> idle_;
+  Stats stats_;
+};
+
+/// Process-wide pool backing the static decompress()/inspect() entry points
+/// and any caller that does not hold a Compressor.
+[[nodiscard]] WorkspacePool& default_workspace_pool();
+
+}  // namespace szp

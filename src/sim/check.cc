@@ -24,6 +24,7 @@
 #include <array>
 #include <atomic>
 #include <cstdlib>
+#include <mutex>
 #include <random>
 #include <sstream>
 #include <string_view>
@@ -46,6 +47,15 @@ std::atomic<int> g_sample{-1};
 CheckReport& mutable_report() {
   static CheckReport report;
   return report;
+}
+
+// Launches may complete concurrently (parallel slab streaming runs whole
+// compression pipelines from sibling OpenMP workers), so every mutation of
+// the process-global report serializes here.  Recording inside a launch
+// stays lock-free: block logs and word shadows are per-launch state.
+std::mutex& report_mutex() {
+  static std::mutex m;
+  return m;
 }
 
 Mode env_default_mode() {
@@ -177,6 +187,7 @@ void set_word_sample(int n) { g_sample.store(n < 1 ? 1 : n, std::memory_order_re
 const CheckReport& current_report() { return mutable_report(); }
 
 void reset() {
+  const std::lock_guard<std::mutex> lock(report_mutex());
   CheckReport& r = mutable_report();
   r.races.clear();
   r.hazards.clear();
@@ -190,6 +201,7 @@ void reset() {
 
 void analyze_launch(const char* kernel, const std::vector<BufMeta>& bufs,
                     const std::vector<BlockLog>& logs) {
+  const std::lock_guard<std::mutex> lock(report_mutex());
   CheckReport& report = mutable_report();
   ++report.launches_checked;
 
@@ -419,6 +431,7 @@ void WordShadow::record(std::uint32_t buf, std::uint64_t word, bool write, bool 
 }
 
 void WordShadow::finish() {
+  const std::lock_guard<std::mutex> lock(report_mutex());
   CheckReport& report = mutable_report();
   for (auto& h : impl_->hazards) report.hazards.push_back(std::move(h));
   for (auto& r : impl_->races) report.races.push_back(std::move(r));
@@ -502,12 +515,16 @@ void make_fuzz_order_3d(int s, Dim3 grid, std::vector<std::size_t>& order, bool*
 
 void append_schedule_finding(const char* kernel, const char* buffer, const std::string& schedule,
                              std::uint64_t ref, std::uint64_t got) {
+  const std::lock_guard<std::mutex> lock(report_mutex());
   CheckReport& r = mutable_report();
   if (r.schedule_diffs.size() >= kMaxRacesPerLaunch) return;
   r.schedule_diffs.push_back({kernel, buffer, schedule, ref, got});
 }
 
-void note_fuzzed_launch() { ++mutable_report().launches_fuzzed; }
+void note_fuzzed_launch() {
+  const std::lock_guard<std::mutex> lock(report_mutex());
+  ++mutable_report().launches_fuzzed;
+}
 
 }  // namespace detail
 

@@ -10,6 +10,7 @@ const DeviceSpec& v100() {
       .sm_count = 80,
       .max_threads_per_sm = 2048,
       .kernel_launch_us = 5.0,
+      .device_alloc_us = 100.0,
   };
   return spec;
 }
@@ -22,6 +23,7 @@ const DeviceSpec& a100() {
       .sm_count = 108,
       .max_threads_per_sm = 2048,
       .kernel_launch_us = 5.0,
+      .device_alloc_us = 100.0,
   };
   return spec;
 }

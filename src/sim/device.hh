@@ -21,6 +21,7 @@ struct DeviceSpec {
   int sm_count;             ///< streaming multiprocessors
   int max_threads_per_sm;   ///< resident threads per SM
   double kernel_launch_us;  ///< per-launch fixed overhead, microseconds
+  double device_alloc_us;   ///< per-cudaMalloc/cudaFree-pair overhead, microseconds
 
   /// Number of resident threads needed to saturate the memory system.
   /// Used by the roofline model to derate kernels with low parallelism.

@@ -23,18 +23,22 @@
 
 namespace szp::sim {
 
+/// Workspace-reuse variant: fills `bins` (and uses `priv` as the private-row
+/// scratch) with capacity-preserving assigns, so repeated calls at the same
+/// size allocate nothing (see core/workspace.hh).
 template <typename T>
-std::vector<std::uint64_t> device_histogram(std::span<const T> data,
-                                            std::size_t num_bins,
-                                            std::size_t tile = 1 << 16) {
-  std::vector<std::uint64_t> bins(num_bins, 0);
+void device_histogram_into(std::span<const T> data, std::size_t num_bins,
+                           std::vector<std::uint64_t>& bins,
+                           std::vector<std::uint64_t>& priv,
+                           std::size_t tile = 1 << 16) {
+  bins.assign(num_bins, 0);
   const std::size_t n = data.size();
-  if (n == 0 || num_bins == 0) return bins;
+  if (n == 0 || num_bins == 0) return;
   const std::size_t tiles = div_ceil(n, tile);
 
   // Kernel 1: every block fills its private row of bins (shared-memory
   // replication), kLanes threads striding over the tile.
-  std::vector<std::uint64_t> priv(tiles * num_bins, 0);
+  priv.assign(tiles * num_bins, 0);
   checked::launch(
       "histogram/tile_bins", tiles,
       checked::bufs(checked::in(data, "data"),
@@ -73,6 +77,15 @@ std::vector<std::uint64_t> device_histogram(std::span<const T> data,
           vbins[b] = sum;
         }
       });
+}
+
+template <typename T>
+std::vector<std::uint64_t> device_histogram(std::span<const T> data,
+                                            std::size_t num_bins,
+                                            std::size_t tile = 1 << 16) {
+  std::vector<std::uint64_t> bins;
+  std::vector<std::uint64_t> priv;
+  device_histogram_into(data, num_bins, bins, priv, tile);
   return bins;
 }
 

@@ -39,9 +39,18 @@ double modeled_throughput_gbps(const DeviceSpec& dev, const KernelCost& cost,
 
 double modeled_pipeline_gbps(const DeviceSpec& dev, const PipelineReport& pipeline,
                              std::uint64_t payload_bytes) {
+  const double t = modeled_pipeline_seconds(dev, pipeline);
+  return t > 0 ? static_cast<double>(payload_bytes) / t / 1e9 : 0.0;
+}
+
+double modeled_pipeline_seconds(const DeviceSpec& dev, const PipelineReport& pipeline) {
   double t = 0.0;
   for (const auto& s : pipeline.stages) t += modeled_seconds(dev, s.cost);
-  return t > 0 ? static_cast<double>(payload_bytes) / t / 1e9 : 0.0;
+  return t;
+}
+
+double modeled_alloc_seconds(const DeviceSpec& dev, std::uint64_t allocations) {
+  return static_cast<double>(allocations) * dev.device_alloc_us * 1e-6;
 }
 
 }  // namespace szp::sim

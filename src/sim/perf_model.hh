@@ -27,4 +27,15 @@ namespace szp::sim {
                                            const PipelineReport& pipeline,
                                            std::uint64_t payload_bytes);
 
+/// Sum of modeled stage times for a serial pipeline, in seconds.
+[[nodiscard]] double modeled_pipeline_seconds(const DeviceSpec& dev,
+                                              const PipelineReport& pipeline);
+
+/// Projected cost of `allocations` device-buffer allocate/free pairs.
+/// cudaMalloc takes a driver lock and implicitly synchronizes, so its cost
+/// is a fixed per-call latency independent of kernel work — the reason cuSZ
+/// successors (FZ-GPU, HPDC'23) restructure the pipeline around reusable
+/// device buffers.  Modeled as allocations * device_alloc_us.
+[[nodiscard]] double modeled_alloc_seconds(const DeviceSpec& dev, std::uint64_t allocations);
+
 }  // namespace szp::sim

@@ -24,12 +24,17 @@ struct SparseVector {
 /// Gather all entries with dense[i] != T{} into (index, value) pairs.
 /// Tile-parallel count + offset scan + fill, the canonical GPU stream
 /// compaction structure.
+///
+/// Workspace-reuse variant: `out`, `tile_nnz`, and `offset` are filled with
+/// capacity-preserving assigns/resizes, so repeated calls at the same size
+/// allocate nothing (see core/workspace.hh).
 template <typename T, typename Index = std::uint64_t>
-SparseVector<T, Index> dense_to_sparse(std::span<const T> dense,
-                                       std::size_t tile = 1 << 16) {
+void dense_to_sparse_into(std::span<const T> dense, SparseVector<T, Index>& out,
+                          std::vector<std::size_t>& tile_nnz, std::vector<std::size_t>& offset,
+                          std::size_t tile = 1 << 16) {
   const std::size_t n = dense.size();
   const std::size_t tiles = div_ceil(n, tile);
-  std::vector<std::size_t> tile_nnz(tiles, 0);
+  tile_nnz.assign(tiles, 0);
 
   checked::launch("dense_to_sparse/count", tiles,
                   checked::bufs(checked::in(dense, "dense"),
@@ -41,10 +46,9 @@ SparseVector<T, Index> dense_to_sparse(std::span<const T> dense,
     vnnz[t] = c;
   });
 
-  std::vector<std::size_t> offset(tiles + 1, 0);
+  offset.assign(tiles + 1, 0);
   for (std::size_t t = 0; t < tiles; ++t) offset[t + 1] = offset[t] + tile_nnz[t];
 
-  SparseVector<T, Index> out;
   out.indices.resize(offset[tiles]);
   out.values.resize(offset[tiles]);
 
@@ -65,6 +69,15 @@ SparseVector<T, Index> dense_to_sparse(std::span<const T> dense,
       }
     }
   });
+}
+
+template <typename T, typename Index = std::uint64_t>
+SparseVector<T, Index> dense_to_sparse(std::span<const T> dense,
+                                       std::size_t tile = 1 << 16) {
+  SparseVector<T, Index> out;
+  std::vector<std::size_t> tile_nnz;
+  std::vector<std::size_t> offset;
+  dense_to_sparse_into(dense, out, tile_nnz, offset, tile);
   return out;
 }
 

@@ -346,11 +346,19 @@ TEST(FuzzCorpus, CampaignWritesDedupesAndReplays) {
   EXPECT_TRUE(res.ok()) << out.str();
   EXPECT_GT(res.corpus_new, 0u);
 
-  std::size_t files = 0;
+  // One full artifact per new (kind x segment) pair, plus a "__min.szpf"
+  // shrunken companion wherever truncation-based shrinking found a strictly
+  // smaller prefix with the same verdict.
+  std::size_t files = 0, min_files = 0;
   for (const auto& e : fs::directory_iterator(dir)) {
-    files += e.path().extension() == ".szpf" ? 1 : 0;
+    if (e.path().extension() != ".szpf") continue;
+    const bool is_min = e.path().stem().string().ends_with("__min");
+    files += is_min ? 0 : 1;
+    min_files += is_min ? 1 : 0;
   }
   EXPECT_EQ(files, res.corpus_new);
+  EXPECT_GT(min_files, 0u);
+  EXPECT_LE(min_files, files);
 
   // Second campaign over the same directory: the writer pre-seeds its
   // seen-set from disk, so every (kind x segment) pair is already covered.
@@ -362,7 +370,7 @@ TEST(FuzzCorpus, CampaignWritesDedupesAndReplays) {
   std::ostringstream rout;
   const auto rep = fuzz::replay(dir.string(), rout);
   EXPECT_TRUE(rep.ok()) << rout.str();
-  EXPECT_EQ(rep.artifacts, res.corpus_new);
+  EXPECT_EQ(rep.artifacts, res.corpus_new + min_files);
   EXPECT_EQ(rep.matched, rep.artifacts);
   fs::remove_all(dir);
 }

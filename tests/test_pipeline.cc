@@ -1,0 +1,278 @@
+// Stage-pipeline architecture tests: golden archives pin the byte layout
+// across the registry/workspace refactor, the workspace pool is checked for
+// allocation-free steady state, parallel slab streaming must produce the
+// same container as serial, and the registry's lookup/override contract is
+// exercised end to end.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/compressor.hh"
+#include "core/pipeline/builtin.hh"
+#include "core/pipeline/registry.hh"
+#include "core/streaming.hh"
+#include "data/io.hh"
+
+namespace {
+
+using namespace szp;
+
+// The goldens were generated from this exact input (committed under
+// tests/golden/, regenerated only on a deliberate format break).
+std::vector<float> wave_f32(std::size_t n) {
+  std::vector<float> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = static_cast<double>(i);
+    v[i] = static_cast<float>(std::sin(x * 0.05) + 0.3 * std::cos(x * 0.017));
+  }
+  return v;
+}
+
+std::vector<double> wave_f64(std::size_t n) {
+  std::vector<double> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = static_cast<double>(i);
+    v[i] = std::sin(x * 0.05) + 0.3 * std::cos(x * 0.017);
+  }
+  return v;
+}
+
+std::vector<std::uint8_t> golden(const std::string& name) {
+  return data::read_bytes(std::string(SZP_GOLDEN_DIR) + "/" + name);
+}
+
+struct GoldenCase {
+  const char* predictor_name;
+  PredictorKind predictor;
+  const char* workflow_name;
+  Workflow workflow;
+};
+
+class GoldenArchive : public ::testing::TestWithParam<GoldenCase> {};
+
+TEST_P(GoldenArchive, BitIdenticalAcrossRefactor) {
+  const GoldenCase& gc = GetParam();
+  CompressConfig cfg;
+  cfg.eb = ErrorBound::absolute(1e-3);
+  cfg.workflow = gc.workflow;
+  cfg.predictor = gc.predictor;
+  const Extents ext = Extents::d2(24, 20);
+  const Compressor comp(cfg);
+
+  const std::string stem =
+      std::string(gc.predictor_name) + "__" + gc.workflow_name;
+  EXPECT_EQ(comp.compress(wave_f32(ext.count()), ext).bytes, golden(stem + "__f32.szp"));
+  EXPECT_EQ(comp.compress(wave_f64(ext.count()), ext).bytes, golden(stem + "__f64.szp"));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombos, GoldenArchive,
+    ::testing::Values(
+        GoldenCase{"lorenzo", PredictorKind::kLorenzo, "huffman", Workflow::kHuffman},
+        GoldenCase{"lorenzo", PredictorKind::kLorenzo, "rle", Workflow::kRle},
+        GoldenCase{"lorenzo", PredictorKind::kLorenzo, "rlevle", Workflow::kRleVle},
+        GoldenCase{"lorenzo", PredictorKind::kLorenzo, "rans", Workflow::kRans},
+        GoldenCase{"regression", PredictorKind::kRegression, "huffman", Workflow::kHuffman},
+        GoldenCase{"regression", PredictorKind::kRegression, "rle", Workflow::kRle},
+        GoldenCase{"regression", PredictorKind::kRegression, "rlevle", Workflow::kRleVle},
+        GoldenCase{"regression", PredictorKind::kRegression, "rans", Workflow::kRans},
+        GoldenCase{"interp", PredictorKind::kInterpolation, "huffman", Workflow::kHuffman},
+        GoldenCase{"interp", PredictorKind::kInterpolation, "rle", Workflow::kRle},
+        GoldenCase{"interp", PredictorKind::kInterpolation, "rlevle", Workflow::kRleVle},
+        GoldenCase{"interp", PredictorKind::kInterpolation, "rans", Workflow::kRans}),
+    [](const auto& info) {
+      return std::string(info.param.predictor_name) + "_" + info.param.workflow_name;
+    });
+
+TEST(GoldenArchive, StreamingContainerBitIdentical) {
+  StreamingConfig scfg;
+  scfg.base.eb = ErrorBound::absolute(1e-3);
+  scfg.max_slab_elems = 512;
+  const Extents ext = Extents::d1(2048);
+  const auto c = StreamingCompressor(scfg).compress(wave_f32(ext.count()), ext);
+  EXPECT_EQ(c.bytes, golden("streaming__auto__f32.szpc"));
+}
+
+TEST(GoldenArchive, GoldenStillDecodesWithinBound) {
+  const auto d = Compressor::decompress(golden("lorenzo__huffman__f32.szp"));
+  const auto data = wave_f32(d.extents.count());
+  ASSERT_EQ(d.data.size(), data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    ASSERT_LT(std::abs(d.data[i] - data[i]), 1e-3) << "element " << i;
+  }
+}
+
+// --- Workspace pool ---------------------------------------------------------
+
+TEST(WorkspacePool, SteadyStateStopsAllocating) {
+  CompressConfig cfg;
+  cfg.eb = ErrorBound::absolute(1e-3);
+  const Extents ext = Extents::d2(64, 50);
+  const auto data = wave_f32(ext.count());
+  const Compressor comp(cfg);
+
+  // Warm-up: the pool creates its one workspace and the buffers grow to
+  // their steady-state capacity.
+  (void)comp.compress(data, ext);
+  (void)comp.compress(data, ext);
+  const auto warm = comp.workspace_stats();
+  EXPECT_EQ(warm.created, 1u);
+
+  for (int i = 0; i < 8; ++i) (void)comp.compress(data, ext);
+  const auto steady = comp.workspace_stats();
+  EXPECT_EQ(steady.created, warm.created) << "steady-state compress created a new workspace";
+  EXPECT_EQ(steady.grow_events, warm.grow_events)
+      << "steady-state compress grew a pooled buffer";
+  EXPECT_EQ(steady.leases, warm.leases + 8);
+}
+
+TEST(WorkspacePool, GrowEventsSettleAcrossWorkflowsAndSizes) {
+  CompressConfig cfg;
+  cfg.eb = ErrorBound::absolute(1e-3);
+  const Compressor comp(cfg);
+  const Extents ext = Extents::d1(4000);
+  const auto data = wave_f32(ext.count());
+  const auto run_all = [&] {
+    for (const Workflow wf : {Workflow::kHuffman, Workflow::kRle, Workflow::kRleVle,
+                              Workflow::kRans}) {
+      CompressConfig c = cfg;
+      c.workflow = wf;
+      (void)comp.compress(std::span<const float>(data), ext, c);
+    }
+  };
+  run_all();
+  const auto warm = comp.workspace_stats();
+  run_all();
+  run_all();
+  const auto steady = comp.workspace_stats();
+  EXPECT_EQ(steady.created, warm.created);
+  EXPECT_EQ(steady.grow_events, warm.grow_events);
+}
+
+TEST(WorkspacePool, CopiedCompressorStartsCold) {
+  CompressConfig cfg;
+  cfg.eb = ErrorBound::absolute(1e-3);
+  const Compressor a(cfg);
+  const Extents ext = Extents::d1(1024);
+  (void)a.compress(wave_f32(ext.count()), ext);
+  const Compressor b(a);  // copies config only
+  EXPECT_EQ(b.workspace_stats().created, 0u);
+  EXPECT_EQ(b.config().eb.value, a.config().eb.value);
+}
+
+// --- Parallel slab streaming ------------------------------------------------
+
+TEST(StreamingParallel, ContainerMatchesSerialByteForByte) {
+  const Extents ext = Extents::d1(40000);
+  const auto data = wave_f32(ext.count());
+  StreamingConfig scfg;
+  scfg.base.eb = ErrorBound::absolute(1e-3);
+  scfg.max_slab_elems = 3000;
+
+  scfg.parallel = false;
+  const auto serial = StreamingCompressor(scfg).compress(data, ext);
+  scfg.parallel = true;
+  const auto parallel = StreamingCompressor(scfg).compress(data, ext);
+
+  ASSERT_GT(serial.stats.slabs.size(), 4u);
+  EXPECT_EQ(serial.bytes, parallel.bytes);
+  ASSERT_EQ(serial.stats.slabs.size(), parallel.stats.slabs.size());
+  for (std::size_t i = 0; i < serial.stats.slabs.size(); ++i) {
+    EXPECT_EQ(serial.stats.slabs[i].offset, parallel.stats.slabs[i].offset);
+    EXPECT_EQ(serial.stats.slabs[i].workflow, parallel.stats.slabs[i].workflow);
+  }
+}
+
+TEST(StreamingParallel, CompressManyMatchesPerFieldCalls) {
+  StreamingConfig scfg;
+  scfg.base.eb = ErrorBound::absolute(1e-3);
+  scfg.max_slab_elems = 1000;
+  const StreamingCompressor comp(scfg);
+
+  const std::vector<Extents> exts{Extents::d1(4096), Extents::d2(30, 100), Extents::d1(2500)};
+  std::vector<std::vector<float>> storage;
+  storage.reserve(exts.size());
+  std::vector<std::span<const float>> fields;
+  for (const auto& e : exts) {
+    storage.push_back(wave_f32(e.count()));
+    fields.emplace_back(storage.back());
+  }
+
+  const auto batch = comp.compress_many(fields, exts);
+  ASSERT_EQ(batch.size(), exts.size());
+  for (std::size_t f = 0; f < exts.size(); ++f) {
+    EXPECT_EQ(batch[f].bytes, comp.compress(fields[f], exts[f]).bytes) << "field " << f;
+  }
+}
+
+TEST(StreamingParallel, IndexMakesSlabAccessDirect) {
+  const Extents ext = Extents::d1(10000);
+  const auto data = wave_f32(ext.count());
+  StreamingConfig scfg;
+  scfg.base.eb = ErrorBound::absolute(1e-3);
+  scfg.max_slab_elems = 1500;
+  const auto c = StreamingCompressor(scfg).compress(data, ext);
+
+  const auto idx = StreamingCompressor::index(c.bytes);
+  EXPECT_EQ(idx.extents, ext);
+  EXPECT_EQ(idx.dtype, DType::kFloat32);
+  ASSERT_EQ(idx.slabs.size(), StreamingCompressor::slab_count(c.bytes));
+
+  std::size_t covered = 0;
+  for (std::size_t s = 0; s < idx.slabs.size(); ++s) {
+    EXPECT_EQ(idx.slabs[s].offset, covered);
+    SlabInfo via_index{};
+    SlabInfo via_container{};
+    const auto a = StreamingCompressor::decompress_slab(idx, s, &via_index);
+    const auto b = StreamingCompressor::decompress_slab(c.bytes, s, &via_container);
+    EXPECT_EQ(a.data, b.data);
+    EXPECT_EQ(via_index.offset, via_container.offset);
+    EXPECT_EQ(via_index.extents, via_container.extents);
+    covered += idx.slabs[s].count;
+  }
+  EXPECT_EQ(covered, ext.count());
+  EXPECT_THROW((void)StreamingCompressor::decompress_slab(idx, idx.slabs.size()),
+               std::out_of_range);
+}
+
+// --- Stage registry ---------------------------------------------------------
+
+TEST(StageRegistry, LookupsReturnMatchingStages) {
+  const auto& reg = pipeline::StageRegistry::instance();
+  for (const PredictorKind k : {PredictorKind::kLorenzo, PredictorKind::kRegression,
+                                PredictorKind::kInterpolation}) {
+    EXPECT_EQ(reg.predict(k).kind(), k);
+  }
+  for (const Workflow wf : {Workflow::kHuffman, Workflow::kRle, Workflow::kRleVle,
+                            Workflow::kRans}) {
+    EXPECT_EQ(reg.encoder(wf).workflow(), wf);
+    EXPECT_EQ(reg.decoder(wf).workflow(), wf);
+  }
+  EXPECT_THROW((void)reg.encoder(Workflow::kAuto), std::logic_error);
+  EXPECT_THROW((void)reg.decoder(Workflow::kAuto), std::logic_error);
+}
+
+TEST(StageRegistry, LatestRegistrationWins) {
+  auto& reg = pipeline::StageRegistry::instance();
+  const pipeline::EncodeStage* before = &reg.encoder(Workflow::kHuffman);
+  // Register a second (functionally identical) Huffman encoder; the lookup
+  // must now prefer it.  The override stays for the rest of the process,
+  // which is safe precisely because it is byte-compatible.
+  reg.add(pipeline::make_huffman_encoder());
+  const pipeline::EncodeStage* after = &reg.encoder(Workflow::kHuffman);
+  EXPECT_NE(before, after);
+  EXPECT_EQ(after->workflow(), Workflow::kHuffman);
+
+  // The pipeline still assembles and round-trips through the override.
+  CompressConfig cfg;
+  cfg.eb = ErrorBound::absolute(1e-3);
+  cfg.workflow = Workflow::kHuffman;
+  const Extents ext = Extents::d2(24, 20);
+  const auto c = Compressor(cfg).compress(wave_f32(ext.count()), ext);
+  EXPECT_EQ(c.bytes, golden("lorenzo__huffman__f32.szp"));
+}
+
+}  // namespace

@@ -206,6 +206,7 @@ int cmd_compress(const Args& a, std::ostream& out) {
       StreamingConfig scfg;
       scfg.base = cfg;
       scfg.max_slab_elems = static_cast<std::size_t>(std::stoull(*stream));
+      scfg.parallel = !a.has_flag("--serial-slabs");
       auto c = StreamingCompressor(scfg).compress(data, ext);
       out << "streamed " << c.stats.slabs.size() << " slabs\n";
       return {std::move(c.bytes), c.stats.ratio};
@@ -387,6 +388,7 @@ void usage(std::ostream& err) {
          "  szp compress   -i in.f32 -o out.szp -d ZxYxX [--eb 1e-3] [--abs]\n"
          "                 [--workflow auto|huffman|rle|rle+vle]\n"
          "                 [--predictor lorenzo|regression|interpolation] [--double] [--stream N]\n"
+         "                 [--serial-slabs]\n"
          "                 [--check | --check=word] [--fuzz-schedule[=N]]\n"
          "  szp decompress -i in.szp -o out.f32 [--check | --check=word] [--fuzz-schedule[=N]]\n"
          "  szp info       -i in.szp\n"
@@ -402,9 +404,13 @@ void usage(std::ostream& err) {
          "the damaged ones).  fuzz mutates round-trip archives of every format and\n"
          "verifies each decoder rejects corruption with a clean error (exit 1 if the\n"
          "contract is violated).  --corpus DIR saves one mutant per novel rejection\n"
-         "site (DecodeError kind x segment) as a regression artifact; --replay DIR\n"
-         "re-decodes a committed corpus and fails on any verdict drift.\n"
-         "A corrupt or truncated input archive exits with 4.\n"
+         "site (DecodeError kind x segment) as a regression artifact, plus the\n"
+         "smallest tail-truncated prefix that still reproduces the verdict (as\n"
+         "KIND__SEGMENT__min.szpf); --replay DIR re-decodes a committed corpus and\n"
+         "fails on any verdict drift.\n"
+         "A corrupt or truncated input archive exits with 4.  --stream compresses\n"
+         "slabs in parallel by default; --serial-slabs forces one-at-a-time (the\n"
+         "container bytes are identical either way).\n"
          "--check replays the run under the simulated-GPU race & bounds checker\n"
          "(exit 3 if violations are found); SZP_SIM_CHECK=1 enables it globally.\n"
          "--check=word upgrades to word-granular shadow memory (racecheck-style\n"

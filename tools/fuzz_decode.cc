@@ -296,9 +296,42 @@ std::string sanitize_for_filename(const std::string& s) {
   return out;
 }
 
-/// Persists one artifact per novel (kind × segment) pair.  Pre-seeds the
-/// seen-set from whatever is already committed under `dir`, so repeated
-/// campaigns (and CI re-runs) only ever add genuinely new rejection sites.
+std::function<void(std::span<const std::uint8_t>)> decoder_for(const std::string& name);
+
+/// Shrink a reproducer by greedy tail truncation: repeatedly drop the longest
+/// suffix that preserves the (kind × segment) verdict, halving the step until
+/// single bytes.  Tail cuts keep the artifact a *prefix* of the original
+/// mutant, so the shrunken archive still exercises the same parse path up to
+/// the rejection point.
+std::vector<std::uint8_t> shrink_reproducer(
+    const CorpusEntry& e, const std::function<void(std::span<const std::uint8_t>)>& decode) {
+  const auto verdict_holds = [&](std::span<const std::uint8_t> bytes) {
+    try {
+      decode(bytes);
+      return false;
+    } catch (const DecodeError& err) {
+      return err.kind() == e.kind && err.segment() == e.segment;
+    } catch (...) {
+      return false;  // a leaked exception is a different bug, not this verdict
+    }
+  };
+  std::vector<std::uint8_t> best = e.archive;
+  for (std::size_t step = std::max<std::size_t>(1, best.size() / 2); step >= 1; step /= 2) {
+    while (best.size() > step &&
+           verdict_holds(std::span<const std::uint8_t>(best.data(), best.size() - step))) {
+      best.resize(best.size() - step);
+    }
+  }
+  if (!best.empty() && verdict_holds(std::span<const std::uint8_t>())) best.clear();
+  return best;
+}
+
+/// Persists artifacts per novel (kind × segment) pair: the first mutant that
+/// reached the rejection site, plus — when tail truncation can shrink it —
+/// the smallest prefix reproducer as `<kind>__<segment>__min.szpf`.
+/// Pre-seeds the seen-set from whatever is already committed under `dir`, so
+/// repeated campaigns (and CI re-runs) only ever add genuinely new rejection
+/// sites.
 class CorpusWriter {
  public:
   explicit CorpusWriter(std::string dir) : dir_(std::move(dir)) {
@@ -323,9 +356,20 @@ class CorpusWriter {
     e.target = target;
     e.segment = err.segment();
     e.archive.assign(mutated.begin(), mutated.end());
-    const std::string file = std::string(decode_error_kind_name(e.kind)) + "__" +
-                             sanitize_for_filename(e.segment) + ".szpf";
-    data::write_bytes(std::filesystem::path(dir_) / file, serialize_entry(e));
+    const std::string stem = std::string(decode_error_kind_name(e.kind)) + "__" +
+                             sanitize_for_filename(e.segment);
+    data::write_bytes(std::filesystem::path(dir_) / (stem + ".szpf"), serialize_entry(e));
+
+    // The min artifact replays through the same decoder as the original, so
+    // it must carry an identical verdict — shrink_reproducer guarantees that.
+    if (const auto decode = decoder_for(e.target)) {
+      CorpusEntry m = e;
+      m.archive = shrink_reproducer(e, decode);
+      if (m.archive.size() < e.archive.size()) {
+        data::write_bytes(std::filesystem::path(dir_) / (stem + "__min.szpf"),
+                          serialize_entry(m));
+      }
+    }
     return true;
   }
 
