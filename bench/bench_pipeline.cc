@@ -157,16 +157,44 @@ int main(int argc, char** argv) {
           scfg.max_slab_elems, serial_s * 1e3, parallel_s * 1e3, serial_s / parallel_s,
           identical ? "byte-identical" : "DIFFER");
 
+  // -- Word-mode contract fast path vs full word shadow ---------------------
+  // Under SZP_SIM_CHECK=word (the bench_checked_pipeline leg), kernels whose
+  // footprint contracts the prover discharges skip word-shadow
+  // instrumentation entirely.  Time the same compression with the fast path
+  // on and off: the proof must buy real wall-clock, not just fewer shadow
+  // pages.
+  bool fastpath_pass = true;
+  double fast_s = 0.0, full_s = 0.0;
+  if (sim::checked::mode() == sim::checked::Mode::kWord) {
+    const int fiters = std::min(iters, 3);
+    {
+      const sim::contract::ScopedFastpath on(true);
+      fast_s = time_iters(fiters, [&] { (void)reused.compress(data, ext); });
+    }
+    {
+      const sim::contract::ScopedFastpath off(false);
+      full_s = time_iters(fiters, [&] { (void)reused.compress(data, ext); });
+    }
+    fastpath_pass = fast_s < full_s;
+    println("word-mode fast path: proved-contract %.3f ms/field, full shadow %.3f ms/field "
+            "(%.2fx) — %s",
+            fast_s * 1e3, full_s * 1e3, full_s / std::max(fast_s, 1e-12),
+            fastpath_pass ? "fast path wins" : "FAST PATH DID NOT WIN");
+  }
+
   bool checker_clean = true;
   if (sim::checked::enabled() || sim::checked::fuzz_schedules() > 0) {
     std::fputs(sim::checked::report_text().c_str(), stdout);
+    std::fputs(sim::contract::verdict_table_text().c_str(), stdout);
     checker_clean = sim::checked::current_report().clean();
   }
 
-  const bool pass = improvement >= 20.0 && identical && checker_clean;
-  println("%s: modeled reuse improvement %.1f%% (require >= 20%%), containers %s%s%s",
+  const bool pass = improvement >= 20.0 && identical && checker_clean && fastpath_pass;
+  println("%s: modeled reuse improvement %.1f%% (require >= 20%%), containers %s%s%s%s",
           pass ? "PASS" : "FAIL", improvement, identical ? "identical" : "differ",
-          checker_clean ? "" : ", checker findings", smoke ? " [smoke]" : "");
+          checker_clean ? "" : ", checker findings",
+          fastpath_pass ? "" : ", word fast path slower than full shadow",
+          smoke ? " [smoke]" : "");
 
   std::ofstream json(json_path, std::ios::trunc);
   json << "{\n"
@@ -185,6 +213,9 @@ int main(int argc, char** argv) {
        << "  \"streaming_serial_seconds\": " << serial_s << ",\n"
        << "  \"streaming_parallel_seconds\": " << parallel_s << ",\n"
        << "  \"streaming_containers_identical\": " << (identical ? "true" : "false") << ",\n"
+       << "  \"word_fastpath_seconds\": " << fast_s << ",\n"
+       << "  \"word_fullshadow_seconds\": " << full_s << ",\n"
+       << "  \"word_fastpath_wins\": " << (fastpath_pass ? "true" : "false") << ",\n"
        << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
        << "  \"pass\": " << (pass ? "true" : "false") << "\n"
        << "}\n";

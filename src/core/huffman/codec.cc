@@ -42,9 +42,13 @@ void huffman_encode_into(std::span<const quant_t> symbols, const HuffmanCodebook
   chunk_bytes.assign(nchunks, 0);
   std::atomic<bool> bad_symbol{false};
   namespace chk = sim::checked;
+  namespace ctr = sim::contract;
+  const auto csz = static_cast<std::int64_t>(chunk_size);
   chk::launch("huffman_encode/chunk_sizes", nchunks,
               chk::bufs(chk::in(symbols, "symbols"),
                         chk::out(std::span<std::uint64_t>(chunk_bytes), "chunk_bytes")),
+              ctr::contract(ctr::reads("symbols", ctr::b() * csz, csz).clamp(),
+                            ctr::writes("chunk_bytes", ctr::b(), 1)),
               [&, n, chunk_size, gap_stride](std::size_t c, const auto& vsym,
                                              const auto& vbytes) {
     const std::size_t lo = c * chunk_size;
@@ -83,11 +87,23 @@ void huffman_encode_into(std::span<const quant_t> symbols, const HuffmanCodebook
 
   // Phase 2: each chunk writes its own byte range (race-free, parallel),
   // recording sub-block bit offsets when a gap array was requested.
+  // The payload slice each chunk writes comes out of the offset scan — a
+  // data-dependent footprint the affine prover cannot discharge, so the
+  // deflate kernel honestly stays on dynamic (word-shadow) checking.
+  ctr::Contract deflate_contract;
+  deflate_contract.clauses.push_back(ctr::reads("symbols", ctr::b() * csz, csz).clamp());
+  deflate_contract.clauses.push_back(ctr::reads("offsets", ctr::b(), 2));
+  deflate_contract.clauses.push_back(ctr::writes_dyn("payload"));
+  if (gap_stride > 0) {
+    const auto spc = static_cast<std::int64_t>(subblocks_per_chunk);
+    deflate_contract.clauses.push_back(ctr::writes("gaps", ctr::b() * spc, spc));
+  }
   chk::launch("huffman_encode/deflate", nchunks,
               chk::bufs(chk::in(symbols, "symbols"),
                         chk::in(std::span<const std::uint64_t>(enc.chunk_offsets), "offsets"),
                         chk::out(std::span<std::uint8_t>(enc.payload), "payload"),
                         chk::out(std::span<std::uint32_t>(enc.gaps), "gaps")),
+              deflate_contract,
               [&, n, chunk_size, gap_stride, subblocks_per_chunk](
                   std::size_t c, const auto& vsym, const auto& voffsets, const auto& vpayload,
                   const auto& vgaps) {
@@ -175,11 +191,26 @@ HuffmanDecoded huffman_decode(const HuffmanEncoded& enc, const HuffmanCodebook& 
   }
   dec.symbols.resize(n);
   namespace chk = sim::checked;
+  namespace ctr = sim::contract;
+  // Decode unit `u` covers symbols [u*stride, u*stride + stride) ∩ [0, n):
+  // with chunk_size = subblocks_per_chunk * stride, the chunk/sub-block
+  // decomposition collapses to one affine window per unit.  The payload
+  // range each unit reads comes from the (data-dependent) offset table, so
+  // that read is declared dynamic; reads never impede the disjointness
+  // proof for the symbol writes.
+  const auto stride64 = static_cast<std::int64_t>(
+      enc.gap_stride > 0 ? enc.gap_stride : enc.chunk_size);
+  ctr::Contract decode_contract;
+  decode_contract.clauses.push_back(ctr::writes("symbols", ctr::b() * stride64, stride64).clamp());
+  decode_contract.clauses.push_back(ctr::reads_dyn("payload"));
+  decode_contract.clauses.push_back(ctr::reads_dyn("offsets"));
+  if (enc.gap_stride > 0) decode_contract.clauses.push_back(ctr::reads("gaps", ctr::b(), 1));
   chk::launch("huffman_decode", nchunks * subblocks_per_chunk,
               chk::bufs(chk::in(std::span<const std::uint8_t>(enc.payload), "payload"),
                         chk::in(std::span<const std::uint64_t>(enc.chunk_offsets), "offsets"),
                         chk::in(std::span<const std::uint32_t>(enc.gaps), "gaps"),
                         chk::out(std::span<quant_t>(dec.symbols), "symbols")),
+              decode_contract,
               [&, n, subblocks_per_chunk](std::size_t unit, const auto& vpayload,
                                           const auto& voffsets, const auto& vgaps,
                                           const auto& vsym) {

@@ -58,12 +58,24 @@ void lorenzo_construct_into(std::span<const T> data, const Extents& ext, double 
   const bool stage_copy = variant == ConstructVariant::kBaseline;
 
   namespace chk = sim::checked;
+  namespace ctr = sim::contract;
+  // Every block owns one chunk-shaped tile of the row-major field: the same
+  // box for the read of `data` and the writes of `quant`/`outlier`.
+  const auto tile_of = [&](ctr::AccessKind a, const char* buf) {
+    return ctr::box(a, buf, ctr::bx() * cs.cx, static_cast<std::int64_t>(cs.cx),
+                    ctr::by() * cs.cy, static_cast<std::int64_t>(cs.cy), ctr::bz() * cs.cz,
+                    static_cast<std::int64_t>(cs.cz), static_cast<std::int64_t>(ext.nx),
+                    static_cast<std::int64_t>(ext.ny), static_cast<std::int64_t>(ext.nz));
+  };
   chk::launch_3d("lorenzo_construct",
                  {static_cast<std::uint32_t>(grid.gx), static_cast<std::uint32_t>(grid.gy),
                   static_cast<std::uint32_t>(grid.gz)},
                  chk::bufs(chk::in(data, "data"),
                            chk::out(std::span<quant_t>(res.quant), "quant"),
                            chk::out(std::span<qdiff_t>(res.outlier_dense), "outlier")),
+                 ctr::contract(tile_of(ctr::AccessKind::kRead, "data"),
+                               tile_of(ctr::AccessKind::kWrite, "quant"),
+                               tile_of(ctr::AccessKind::kWrite, "outlier")),
                  [&](std::uint32_t bx, std::uint32_t by, std::uint32_t bz, const auto& vdata,
                      const auto& vquant, const auto& voutlier) {
     const std::size_t x0 = bx * cs.cx, y0 = by * cs.cy, z0 = bz * cs.cz;

@@ -98,8 +98,12 @@ sim::KernelCost fuse_quant_codes(std::span<const quant_t> quant, std::int32_t ra
   const std::size_t n = quant.size();
   const std::size_t tiles = sim::div_ceil(n, std::size_t{1} << 16);
   namespace chk = sim::checked;
+  namespace ctr = sim::contract;
+  constexpr std::int64_t kTile = std::int64_t{1} << 16;
   chk::launch("fuse_quant_codes", tiles,
               chk::bufs(chk::in(quant, "quant"), chk::out(qprime_out, "qprime")),
+              ctr::contract(ctr::reads("quant", ctr::b() * kTile, kTile).clamp(),
+                            ctr::writes("qprime", ctr::b() * kTile, kTile).clamp()),
               [&, n, radius](std::size_t t, const auto& vquant, const auto& vqprime) {
     const std::size_t lo = t << 16;
     const std::size_t hi = std::min(lo + (std::size_t{1} << 16), n);
@@ -134,10 +138,19 @@ sim::KernelCost lorenzo_reconstruct_fused(std::span<qdiff_t> qprime, const Exten
   const ChunkShape cs = grid.cs;
 
   namespace chk = sim::checked;
+  namespace ctr = sim::contract;
+  const auto tile_of = [&](ctr::AccessKind a, const char* buf) {
+    return ctr::box(a, buf, ctr::bx() * cs.cx, static_cast<std::int64_t>(cs.cx),
+                    ctr::by() * cs.cy, static_cast<std::int64_t>(cs.cy), ctr::bz() * cs.cz,
+                    static_cast<std::int64_t>(cs.cz), static_cast<std::int64_t>(ext.nx),
+                    static_cast<std::int64_t>(ext.ny), static_cast<std::int64_t>(ext.nz));
+  };
   chk::launch_3d("lorenzo_reconstruct_fused",
                  {static_cast<std::uint32_t>(grid.gx), static_cast<std::uint32_t>(grid.gy),
                   static_cast<std::uint32_t>(grid.gz)},
                  chk::bufs(chk::inout(qprime, "qprime"), chk::out(out, "out")),
+                 ctr::contract(tile_of(ctr::AccessKind::kReadWrite, "qprime"),
+                               tile_of(ctr::AccessKind::kWrite, "out")),
                  [&](std::uint32_t bx, std::uint32_t by, std::uint32_t bz, const auto& vqprime,
                      const auto& vout) {
     const std::size_t x0 = bx * cs.cx, y0 = by * cs.cy, z0 = bz * cs.cz;
@@ -213,12 +226,22 @@ sim::KernelCost lorenzo_reconstruct_coarse(std::span<const quant_t> quant,
   const ChunkShape cs = grid.cs;
 
   namespace chk = sim::checked;
+  namespace ctr = sim::contract;
+  const auto tile_of = [&](ctr::AccessKind a, const char* buf) {
+    return ctr::box(a, buf, ctr::bx() * cs.cx, static_cast<std::int64_t>(cs.cx),
+                    ctr::by() * cs.cy, static_cast<std::int64_t>(cs.cy), ctr::bz() * cs.cz,
+                    static_cast<std::int64_t>(cs.cz), static_cast<std::int64_t>(ext.nx),
+                    static_cast<std::int64_t>(ext.ny), static_cast<std::int64_t>(ext.nz));
+  };
   chk::launch_3d("lorenzo_reconstruct_coarse",
                  {static_cast<std::uint32_t>(grid.gx), static_cast<std::uint32_t>(grid.gy),
                   static_cast<std::uint32_t>(grid.gz)},
                  chk::bufs(chk::in(quant, "quant"),
                            chk::in(outlier_value_dense, "outlier"),
                            chk::out(out, "out")),
+                 ctr::contract(tile_of(ctr::AccessKind::kRead, "quant"),
+                               tile_of(ctr::AccessKind::kRead, "outlier"),
+                               tile_of(ctr::AccessKind::kWrite, "out")),
                  [&](std::uint32_t bx, std::uint32_t by, std::uint32_t bz, const auto& vquant,
                      const auto& voutlier, const auto& vout) {
     const std::size_t x0 = bx * cs.cx, y0 = by * cs.cy, z0 = bz * cs.cz;

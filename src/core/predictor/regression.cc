@@ -67,6 +67,16 @@ void regression_construct_into(std::span<const T> data, const Extents& ext, doub
   const ChunkShape cs = grid.cs;
 
   namespace chk = sim::checked;
+  namespace ctr = sim::contract;
+  const auto tile_of = [&](ctr::AccessKind a, const char* buf) {
+    return ctr::box(a, buf, ctr::bx() * cs.cx, static_cast<std::int64_t>(cs.cx),
+                    ctr::by() * cs.cy, static_cast<std::int64_t>(cs.cy), ctr::bz() * cs.cz,
+                    static_cast<std::int64_t>(cs.cz), static_cast<std::int64_t>(ext.nx),
+                    static_cast<std::int64_t>(ext.ny), static_cast<std::int64_t>(ext.nz));
+  };
+  // coefficients[4 * chunk_id .. +4) with chunk_id = (bz*gy + by)*gx + bx.
+  const ctr::Term coef_base =
+      ctr::bx() * 4 + ctr::by() * (4 * grid.gx) + ctr::bz() * (4 * grid.gx * grid.gy);
   chk::launch_3d("regression_construct",
                  {static_cast<std::uint32_t>(grid.gx), static_cast<std::uint32_t>(grid.gy),
                   static_cast<std::uint32_t>(grid.gz)},
@@ -74,6 +84,10 @@ void regression_construct_into(std::span<const T> data, const Extents& ext, doub
                            chk::out(std::span<quant_t>(res.quant), "quant"),
                            chk::out(std::span<qdiff_t>(res.outlier_dense), "outlier"),
                            chk::inout(std::span<float>(res.coefficients), "coefficients")),
+                 ctr::contract(tile_of(ctr::AccessKind::kRead, "data"),
+                               tile_of(ctr::AccessKind::kWrite, "quant"),
+                               tile_of(ctr::AccessKind::kWrite, "outlier"),
+                               ctr::updates("coefficients", coef_base, 4)),
                  [&](std::uint32_t bx, std::uint32_t by, std::uint32_t bz, const auto& vdata,
                      const auto& vquant, const auto& voutlier, const auto& vcoef) {
     const std::size_t x0 = bx * cs.cx, y0 = by * cs.cy, z0 = bz * cs.cz;
@@ -179,11 +193,25 @@ sim::KernelCost regression_reconstruct(std::span<const quant_t> quant,
   const ChunkShape cs = grid.cs;
 
   namespace chk = sim::checked;
+  namespace ctr = sim::contract;
+  const auto tile_of = [&](ctr::AccessKind a, const char* buf) {
+    return ctr::box(a, buf, ctr::bx() * cs.cx, static_cast<std::int64_t>(cs.cx),
+                    ctr::by() * cs.cy, static_cast<std::int64_t>(cs.cy), ctr::bz() * cs.cz,
+                    static_cast<std::int64_t>(cs.cz), static_cast<std::int64_t>(ext.nx),
+                    static_cast<std::int64_t>(ext.ny), static_cast<std::int64_t>(ext.nz));
+  };
   chk::launch_3d("regression_reconstruct",
                  {static_cast<std::uint32_t>(grid.gx), static_cast<std::uint32_t>(grid.gy),
                   static_cast<std::uint32_t>(grid.gz)},
                  chk::bufs(chk::in(quant, "quant"), chk::in(outlier_dense, "outlier"),
                            chk::in(coefficients, "coefficients"), chk::out(out, "out")),
+                 ctr::contract(tile_of(ctr::AccessKind::kRead, "quant"),
+                               tile_of(ctr::AccessKind::kRead, "outlier"),
+                               ctr::reads("coefficients",
+                                          ctr::bx() * 4 + ctr::by() * (4 * grid.gx) +
+                                              ctr::bz() * (4 * grid.gx * grid.gy),
+                                          4),
+                               tile_of(ctr::AccessKind::kWrite, "out")),
                  [&](std::uint32_t bx, std::uint32_t by, std::uint32_t bz, const auto& vquant,
                      const auto& voutlier, const auto& vcoef, const auto& vout) {
     const std::size_t x0 = bx * cs.cx, y0 = by * cs.cy, z0 = bz * cs.cz;

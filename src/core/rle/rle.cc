@@ -57,10 +57,17 @@ RleDecoded rle_decode(const RleEncoded& enc) {
   }
   dec.symbols.resize(enc.num_symbols);
   namespace chk = sim::checked;
+  namespace ctr = sim::contract;
+  // Each run writes [offset[r], offset[r+1]) — run lengths are data, so the
+  // write footprint is data-dependent and the expand kernel honestly stays
+  // on dynamic (word-shadow) checking.
   chk::launch("rle_decode/expand", enc.values.size(),
               chk::bufs(chk::in(std::span<const quant_t>(enc.values), "values"),
                         chk::in(std::span<const std::uint64_t>(offset), "offset"),
                         chk::out(std::span<quant_t>(dec.symbols), "symbols")),
+              ctr::contract(ctr::reads("values", ctr::b(), 1),
+                            ctr::reads("offset", ctr::b(), 2),
+                            ctr::writes_dyn("symbols")),
               [](std::size_t r, const auto& vvalues, const auto& voffset, const auto& vsym) {
     const auto lo = static_cast<std::size_t>(voffset[r]);
     const auto hi = static_cast<std::size_t>(voffset[r + 1]);

@@ -46,10 +46,13 @@ std::vector<Lz77Token> lz77_tokenize(std::span<const std::uint8_t> input,
   // bounds checking on every chain probe and match compare; the token list
   // is block-owned heap state.
   namespace chk = sim::checked;
+  namespace ctr = sim::contract;
   chk::launch("lz77/tokenize", 1,
               chk::bufs(chk::in(input, "input"),
                         chk::inout(std::span<std::int64_t>(head), "head"),
                         chk::inout(std::span<std::int64_t>(prev), "prev")),
+              ctr::contract(ctr::reads_all("input"), ctr::updates_all("head"),
+                            ctr::updates_all("prev")),
               [&, n](std::size_t, const auto& vin, const auto& vhead, const auto& vprev) {
     std::size_t pos = 0;
     while (pos < n) {
@@ -128,10 +131,18 @@ void lz77_token_frequencies(std::span<const Lz77Token> tokens,
   std::vector<std::uint64_t> priv_dist(tiles * kDistAlphabet, 0);
 
   namespace chk = sim::checked;
+  namespace ctr = sim::contract;
+  constexpr auto kLit64 = static_cast<std::int64_t>(kLitLenAlphabet);
+  constexpr auto kDist64 = static_cast<std::int64_t>(kDistAlphabet);
   chk::launch("lz77/token_freq", tiles,
               chk::bufs(chk::in(tokens, "tokens"),
                         chk::inout(std::span<std::uint64_t>(priv_lit), "priv_lit"),
                         chk::inout(std::span<std::uint64_t>(priv_dist), "priv_dist")),
+              ctr::contract(
+                  ctr::reads("tokens", ctr::b() * static_cast<std::int64_t>(kTile),
+                             static_cast<std::int64_t>(kTile)).clamp(),
+                  ctr::updates("priv_lit", ctr::b() * kLit64, kLit64),
+                  ctr::updates("priv_dist", ctr::b() * kDist64, kDist64)),
               [&, n](std::size_t t, const auto& vtok, const auto& vlit, const auto& vdist) {
     const std::size_t lo = t * kTile;
     const std::size_t hi = std::min(lo + kTile, n);
@@ -145,12 +156,24 @@ void lz77_token_frequencies(std::span<const Lz77Token> tokens,
   });
 
   constexpr std::size_t kMergeSyms = 64;
+  constexpr auto kMerge64 = static_cast<std::int64_t>(kMergeSyms);
   const std::size_t total_syms = kLitLenAlphabet + kDistAlphabet;
+  // Block `blk` owns symbols [blk*64, +64) of the concatenated lit‖dist
+  // alphabet: column-strided reads over the private rows, clamped affine
+  // windows into both output tables (the dist window starts negative for
+  // the lit-only blocks and clamps to empty).
   chk::launch("lz77/freq_merge", sim::div_ceil(total_syms, kMergeSyms),
               chk::bufs(chk::in(std::span<const std::uint64_t>(priv_lit), "priv_lit"),
                         chk::in(std::span<const std::uint64_t>(priv_dist), "priv_dist"),
                         chk::out(lit_freq, "lit_freq"),
                         chk::out(dist_freq, "dist_freq")),
+              ctr::contract(
+                  ctr::reads("priv_lit", ctr::b() * kMerge64, kMerge64)
+                      .strided(static_cast<std::int64_t>(tiles), kLit64).clamp(),
+                  ctr::reads("priv_dist", ctr::b() * kMerge64 - kLit64, kMerge64)
+                      .strided(static_cast<std::int64_t>(tiles), kDist64).clamp(),
+                  ctr::writes("lit_freq", ctr::b() * kMerge64, kMerge64).clamp(),
+                  ctr::writes("dist_freq", ctr::b() * kMerge64 - kLit64, kMerge64).clamp()),
               [&, tiles, total_syms](std::size_t blk, const auto& vplit, const auto& vpdist,
                                      const auto& vlit, const auto& vdist) {
     const std::size_t s0 = blk * kMergeSyms;

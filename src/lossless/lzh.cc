@@ -44,8 +44,10 @@ std::vector<std::uint8_t> lzh_compress(std::span<const std::uint8_t> input,
   // lengths), so one block; the BitWriter is block-owned heap state.
   BitWriter bw;
   namespace chk = sim::checked;
+  namespace ctr = sim::contract;
   chk::launch("lzh/encode", 1,
               chk::bufs(chk::in(std::span<const Lz77Token>(tokens), "tokens")),
+              ctr::contract(ctr::reads_all("tokens")),
               [&](std::size_t, const auto& vtok) {
     for (std::size_t i = 0; i < vtok.size(); ++i) {
       const Lz77Token t = vtok[i];
@@ -82,8 +84,10 @@ std::vector<std::uint8_t> lzh_decompress(std::span<const std::uint8_t> input) {
   // Serial bit-level decode: one block reading the whole bitstream; the
   // growing output is block-owned heap state.
   namespace chk = sim::checked;
+  namespace ctr = sim::contract;
   chk::launch("lzh/decode", 1,
               chk::bufs(chk::in(std::span<const std::uint8_t>(bits), "bits")),
+              ctr::contract(ctr::reads_all("bits")),
               [&](std::size_t, const auto& vbits) {
     vbits.note_read(0, vbits.size());
     BitReader br({vbits.data(), vbits.size()});

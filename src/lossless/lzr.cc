@@ -33,8 +33,10 @@ std::vector<std::uint8_t> lzr_compress(std::span<const std::uint8_t> input,
   lit_syms.reserve(tokens.size());
   BitWriter extras;
   namespace chk = sim::checked;
+  namespace ctr = sim::contract;
   chk::launch("lzr/token_split", 1,
               chk::bufs(chk::in(std::span<const Lz77Token>(tokens), "tokens")),
+              ctr::contract(ctr::reads_all("tokens")),
               [&](std::size_t, const auto& vtok) {
     for (std::size_t i = 0; i < vtok.size(); ++i) {
       const Lz77Token t = vtok[i];
@@ -104,10 +106,13 @@ std::vector<std::uint8_t> lzr_decompress(std::span<const std::uint8_t> input) {
   // Serial token expansion: one block consuming the decoded symbol streams
   // and the extra-bits sidecar; the growing output is block-owned.
   namespace chk = sim::checked;
+  namespace ctr = sim::contract;
   chk::launch("lzr/expand", 1,
               chk::bufs(chk::in(std::span<const std::uint16_t>(lit_syms), "lit_syms"),
                         chk::in(std::span<const std::uint16_t>(dist_syms), "dist_syms"),
                         chk::in(std::span<const std::uint8_t>(extra_bytes), "extras")),
+              ctr::contract(ctr::reads_all("lit_syms"), ctr::reads_all("dist_syms"),
+                            ctr::reads_all("extras")),
               [&](std::size_t, const auto& vlit, const auto& vdist, const auto& vextras) {
     vextras.note_read(0, vextras.size());
     BitReader extras({vextras.data(), vextras.size()});

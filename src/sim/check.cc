@@ -192,6 +192,7 @@ void reset() {
   r.races.clear();
   r.hazards.clear();
   r.oob.clear();
+  r.contract_mismatches.clear();
   r.schedule_diffs.clear();
   r.launches_checked = 0;
   r.launches_fuzzed = 0;
@@ -526,6 +527,11 @@ void note_fuzzed_launch() {
   ++mutable_report().launches_fuzzed;
 }
 
+void append_contract_finding(const ContractFinding& f) {
+  const std::lock_guard<std::mutex> lock(report_mutex());
+  mutable_report().contract_mismatches.push_back(f);
+}
+
 }  // namespace detail
 
 // ---------------------------------------------------------------------------
@@ -580,6 +586,9 @@ std::string report_text() {
     os << ", " << r.shadow_pages << " shadow page(s) for " << r.shadow_words
        << " word access(es)";
   }
+  if (!r.contract_mismatches.empty()) {
+    os << ", " << r.contract_mismatches.size() << " contract mismatch(es)";
+  }
   os << "\n";
 
   // Sorted copies: findings print in (kernel, block, buffer, offset) order so
@@ -599,6 +608,12 @@ std::string report_text() {
     return std::tie(a.kernel, a.block, a.buffer, a.element_index) <
            std::tie(b.kernel, b.block, b.buffer, b.element_index);
   });
+  auto mismatches = r.contract_mismatches;
+  std::sort(mismatches.begin(), mismatches.end(),
+            [](const ContractFinding& a, const ContractFinding& b) {
+              return std::tie(a.kernel, a.block, a.buffer, a.elem_lo) <
+                     std::tie(b.kernel, b.block, b.buffer, b.elem_lo);
+            });
   auto diffs = r.schedule_diffs;
   std::sort(diffs.begin(), diffs.end(), [](const ScheduleFinding& a, const ScheduleFinding& b) {
     return std::tie(a.kernel, a.buffer, a.schedule) < std::tie(b.kernel, b.buffer, b.schedule);
@@ -607,6 +622,7 @@ std::string report_text() {
   for (const auto& f : races) os << "  " << f.to_string() << "\n";
   for (const auto& f : hazards) os << "  " << f.to_string() << "\n";
   for (const auto& f : oob) os << "  " << f.to_string() << "\n";
+  for (const auto& f : mismatches) os << "  " << f.to_string() << "\n";
   for (const auto& f : diffs) os << "  " << f.to_string() << "\n";
   if (r.clean()) os << "  no violations detected\n";
   return os.str();

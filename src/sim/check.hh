@@ -50,6 +50,17 @@
 // Findings accumulate in a process-global report (checked::current_report)
 // that the CLI's --check / --fuzz-schedule flags print and tests assert on.
 // See DESIGN.md §"Checked-launch mode" for the mapping to compute-sanitizer.
+//
+// Static footprint contracts (sim/contract.hh, sim/prove.hh) layer on top:
+// a launch may declare each block's read/write footprint as affine
+// expressions over the block index, and then
+//   * the interval tier cross-validates every observed footprint against
+//     the declaration (observed ⊆ declared → ContractFinding on mismatch),
+//   * launches whose contracts the prover discharges (cross-block
+//     disjointness + bounds) skip word-shadow instrumentation under a
+//     process-wide kWord mode (per-launch Granularity::kWord opt-ins keep
+//     the shadow: contracts say nothing about intra-block lanes), and
+//   * `szp analyze` renders the per-kernel verdict registry.
 #pragma once
 
 #include <algorithm>
@@ -63,7 +74,9 @@
 #include <utility>
 #include <vector>
 
+#include "sim/contract.hh"
 #include "sim/launch.hh"
+#include "sim/prove.hh"
 
 namespace szp::sim::checked {
 
@@ -188,6 +201,21 @@ struct OobFinding {
   [[nodiscard]] std::string to_string() const;
 };
 
+/// An observed access outside the launch's declared footprint contract:
+/// either the contract is stale (under-declared) or the kernel strayed.
+/// Either way the static verdict cannot be trusted for this kernel, so a
+/// mismatch is a finding, not a warning.
+struct ContractFinding {
+  std::string kernel;
+  std::string buffer;
+  std::size_t block = 0;
+  std::uint64_t elem_lo = 0;  ///< observed element range not covered ...
+  std::uint64_t elem_hi = 0;  ///< ... by the declared footprint
+  bool is_write = false;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
 /// A schedule-fuzz divergence: replaying the grid under a perturbed block
 /// order produced different bytes in a writable buffer.
 struct ScheduleFinding {
@@ -205,6 +233,7 @@ struct CheckReport {
   std::vector<RaceFinding> races;
   std::vector<HazardFinding> hazards;
   std::vector<OobFinding> oob;
+  std::vector<ContractFinding> contract_mismatches;
   std::vector<ScheduleFinding> schedule_diffs;
   std::uint64_t launches_checked = 0;
   std::uint64_t launches_fuzzed = 0;
@@ -212,7 +241,8 @@ struct CheckReport {
   std::uint64_t shadow_words = 0;  ///< tier-2 word accesses recorded (post-sampling)
 
   [[nodiscard]] bool clean() const {
-    return races.empty() && hazards.empty() && oob.empty() && schedule_diffs.empty();
+    return races.empty() && hazards.empty() && oob.empty() && contract_mismatches.empty() &&
+           schedule_diffs.empty();
   }
 };
 
@@ -613,6 +643,25 @@ std::vector<BufMeta> metas(const std::tuple<B...>& t) {
   return std::apply([](const auto&... b) { return std::vector<BufMeta>{meta_of(b)...}; }, t);
 }
 
+template <typename... B>
+std::vector<contract::BufExtent> extents(const std::tuple<B...>& t) {
+  return std::apply(
+      [](const auto&... b) { return std::vector<contract::BufExtent>{{b.name, b.n}...}; }, t);
+}
+
+/// Append one contract-mismatch finding to the process-global report
+/// (defined in check.cc, which owns the report mutex).
+void append_contract_finding(const ContractFinding& f);
+
+/// Cross-validate the observed interval-tier footprints of one completed
+/// launch against its declared contract: every observed access of block b
+/// must lie inside the contract's evaluated footprint for block b
+/// (observed ⊆ declared).  Appends ContractFindings for uncovered ranges.
+/// Defined in contract.cc.
+void validate_observed(const char* kernel, const contract::Contract& con,
+                       const contract::Geom& geom, const std::vector<BufMeta>& bufs,
+                       const std::vector<BlockLog>& logs);
+
 template <typename Tuple, typename Fn, std::size_t... I>
 decltype(auto) with_raw_views(const Tuple& t, Fn&& fn, std::index_sequence<I...>) {
   return fn(make_raw(std::get<I>(t))...);
@@ -742,16 +791,18 @@ void run_schedule_fuzz(const char* kernel, const std::tuple<B...>& registered,
 // Instrumented launches.
 // ---------------------------------------------------------------------------
 
-/// launch_blocks with buffer registration and per-launch granularity:
-/// body(block, view...).  The trailing grid3 carries the 3-D geometry when
-/// the call came through launch_3d (degenerate {1,1,1} otherwise) so the
-/// schedule fuzzer can permute z/y/x traversal instead of linear order.
+namespace detail {
+
+/// Shared implementation behind every public launch overload.  `con` is the
+/// launch's footprint contract, or nullptr when the call site declared none
+/// (registered as a no-contract kernel whenever checking is enabled).
 template <typename... B, typename Body>
-void launch(const char* kernel, std::size_t grid_size, Granularity gran,
-            const std::tuple<B...>& registered, Body&& body, Dim3 grid3 = {}) {
+void launch_impl(const char* kernel, std::size_t grid_size, Granularity gran,
+                 const std::tuple<B...>& registered, const contract::Contract* con, Body&& body,
+                 Dim3 grid3) {
   constexpr auto seq = std::index_sequence_for<B...>{};
   const Mode m = mode();
-  const bool word = m != Mode::kOff && (m == Mode::kWord || gran == Granularity::kWord);
+  bool word = m != Mode::kOff && (m == Mode::kWord || gran == Granularity::kWord);
   const bool axis_aware = grid3.count() == grid_size && (grid3.y > 1 || grid3.z > 1);
   int schedules = grid_size > 1 ? fuzz_schedules() : 0;
   // 3-D grids always cover the full deterministic 3-D repertoire: six axis
@@ -765,6 +816,27 @@ void launch(const char* kernel, std::size_t grid_size, Granularity gran,
   if (m == Mode::kOff && schedules == 0) {
     launch_blocks(grid_size, run_raw);
     return;
+  }
+
+  // Contract evaluation: prove once per launch geometry.  A proved contract
+  // downgrades a *process-wide* word-mode launch to the interval tier — the
+  // proof discharges exactly what the shadow would re-derive per word
+  // (cross-block disjointness and bounds).  Per-launch Granularity::kWord
+  // opt-ins keep the shadow: they exist to model intra-block lanes, which
+  // per-block footprints say nothing about.
+  const contract::Geom geom{static_cast<std::int64_t>(grid_size), grid3.x, grid3.y, grid3.z};
+  bool validate = false;
+  if (m != Mode::kOff) {
+    if (con != nullptr) {
+      const contract::ProveResult pr = contract::prove(*con, geom, detail::extents(registered));
+      const bool fast =
+          word && gran != Granularity::kWord && pr.proved() && contract::fastpath_enabled();
+      if (fast) word = false;
+      contract::note_launch(kernel, pr, word || fast, fast);
+      validate = true;
+    } else {
+      contract::note_launch_no_contract(kernel, word);
+    }
   }
 
   std::vector<std::vector<std::uint8_t>> pre;
@@ -792,6 +864,7 @@ void launch(const char* kernel, std::size_t grid_size, Granularity gran,
       detail::with_tracked_views(
           registered, &logs[b], nullptr, [&](const auto&... views) { body(b, views...); }, seq);
     });
+    if (validate) detail::validate_observed(kernel, *con, geom, detail::metas(registered), logs);
     analyze_launch(kernel, detail::metas(registered), logs);
   }
 
@@ -803,11 +876,57 @@ void launch(const char* kernel, std::size_t grid_size, Granularity gran,
   }
 }
 
+template <typename... B, typename Body>
+void launch_3d_impl(const char* kernel, Dim3 grid, Granularity gran,
+                    const std::tuple<B...>& registered, const contract::Contract* con,
+                    Body&& body) {
+  const auto decompose = [grid, &body](std::size_t linear, const auto&... views) {
+    const auto bx = static_cast<std::uint32_t>(linear % grid.x);
+    const auto by = static_cast<std::uint32_t>((linear / grid.x) % grid.y);
+    const auto bz =
+        static_cast<std::uint32_t>(linear / (static_cast<std::size_t>(grid.x) * grid.y));
+    body(bx, by, bz, views...);
+  };
+  launch_impl(kernel, grid.count(), gran, registered, con,
+              [&](std::size_t linear, const auto&... views) { decompose(linear, views...); },
+              grid);
+}
+
+}  // namespace detail
+
+/// launch_blocks with buffer registration and per-launch granularity:
+/// body(block, view...).  The trailing grid3 carries the 3-D geometry when
+/// the call came through launch_3d (degenerate {1,1,1} otherwise) so the
+/// schedule fuzzer can permute z/y/x traversal instead of linear order.
+template <typename... B, typename Body>
+void launch(const char* kernel, std::size_t grid_size, Granularity gran,
+            const std::tuple<B...>& registered, Body&& body, Dim3 grid3 = {}) {
+  detail::launch_impl(kernel, grid_size, gran, registered, nullptr, std::forward<Body>(body),
+                      grid3);
+}
+
+/// Contract-carrying variant: the declared footprint is proved (or honestly
+/// left to dynamic checking) and cross-validated against observation.
+template <typename... B, typename Body>
+void launch(const char* kernel, std::size_t grid_size, Granularity gran,
+            const std::tuple<B...>& registered, const contract::Contract& con, Body&& body,
+            Dim3 grid3 = {}) {
+  detail::launch_impl(kernel, grid_size, gran, registered, &con, std::forward<Body>(body), grid3);
+}
+
 /// launch_blocks with buffer registration: body(block, view...).
 template <typename... B, typename Body>
 void launch(const char* kernel, std::size_t grid_size, const std::tuple<B...>& registered,
             Body&& body) {
-  launch(kernel, grid_size, Granularity::kDefault, registered, std::forward<Body>(body));
+  detail::launch_impl(kernel, grid_size, Granularity::kDefault, registered, nullptr,
+                      std::forward<Body>(body), Dim3{});
+}
+
+template <typename... B, typename Body>
+void launch(const char* kernel, std::size_t grid_size, const std::tuple<B...>& registered,
+            const contract::Contract& con, Body&& body) {
+  detail::launch_impl(kernel, grid_size, Granularity::kDefault, registered, &con,
+                      std::forward<Body>(body), Dim3{});
 }
 
 /// launch_blocks_3d with buffer registration: body(bx, by, bz, view...).
@@ -818,20 +937,26 @@ void launch(const char* kernel, std::size_t grid_size, const std::tuple<B...>& r
 template <typename... B, typename Body>
 void launch_3d(const char* kernel, Dim3 grid, Granularity gran, const std::tuple<B...>& registered,
                Body&& body) {
-  const auto decompose = [grid, &body](std::size_t linear, const auto&... views) {
-    const auto bx = static_cast<std::uint32_t>(linear % grid.x);
-    const auto by = static_cast<std::uint32_t>((linear / grid.x) % grid.y);
-    const auto bz =
-        static_cast<std::uint32_t>(linear / (static_cast<std::size_t>(grid.x) * grid.y));
-    body(bx, by, bz, views...);
-  };
-  launch(kernel, grid.count(), gran, registered,
-         [&](std::size_t linear, const auto&... views) { decompose(linear, views...); }, grid);
+  detail::launch_3d_impl(kernel, grid, gran, registered, nullptr, std::forward<Body>(body));
+}
+
+template <typename... B, typename Body>
+void launch_3d(const char* kernel, Dim3 grid, Granularity gran, const std::tuple<B...>& registered,
+               const contract::Contract& con, Body&& body) {
+  detail::launch_3d_impl(kernel, grid, gran, registered, &con, std::forward<Body>(body));
 }
 
 template <typename... B, typename Body>
 void launch_3d(const char* kernel, Dim3 grid, const std::tuple<B...>& registered, Body&& body) {
-  launch_3d(kernel, grid, Granularity::kDefault, registered, std::forward<Body>(body));
+  detail::launch_3d_impl(kernel, grid, Granularity::kDefault, registered, nullptr,
+                         std::forward<Body>(body));
+}
+
+template <typename... B, typename Body>
+void launch_3d(const char* kernel, Dim3 grid, const std::tuple<B...>& registered,
+               const contract::Contract& con, Body&& body) {
+  detail::launch_3d_impl(kernel, grid, Granularity::kDefault, registered, &con,
+                         std::forward<Body>(body));
 }
 
 }  // namespace szp::sim::checked

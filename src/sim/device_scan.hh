@@ -28,6 +28,10 @@ T device_exclusive_scan(std::span<const T> in, std::span<T> out,
   checked::launch("device_scan/tile_reduce", tiles,
                   checked::bufs(checked::in(in, "in"),
                                 checked::out(std::span<T>(tile_total), "tile_total")),
+                  contract::contract(
+                      contract::reads("in", contract::b() * tile,
+                                      static_cast<std::int64_t>(tile)).clamp(),
+                      contract::writes("tile_total", contract::b(), 1)),
                   [&, n, tile](std::size_t t, const auto& vin, const auto& vtot) {
     const std::size_t lo = t * tile, hi = lo + tile < n ? lo + tile : n;
     T acc{};
@@ -47,6 +51,12 @@ T device_exclusive_scan(std::span<const T> in, std::span<T> out,
                   checked::bufs(checked::in(in, "in"),
                                 checked::in(std::span<const T>(tile_total), "tile_carry"),
                                 checked::out(out, "out")),
+                  contract::contract(
+                      contract::reads("in", contract::b() * tile,
+                                      static_cast<std::int64_t>(tile)).clamp(),
+                      contract::reads("tile_carry", contract::b(), 1),
+                      contract::writes("out", contract::b() * tile,
+                                       static_cast<std::int64_t>(tile)).clamp()),
                   [&, n, tile](std::size_t t, const auto& vin, const auto& vcarry,
                                const auto& vout) {
     const std::size_t lo = t * tile, hi = lo + tile < n ? lo + tile : n;

@@ -43,6 +43,10 @@ void device_histogram_into(std::span<const T> data, std::size_t num_bins,
       "histogram/tile_bins", tiles,
       checked::bufs(checked::in(data, "data"),
                     checked::inout(std::span<std::uint64_t>(priv), "priv_bins")),
+      contract::contract(
+          contract::reads("data", contract::b() * tile, static_cast<std::int64_t>(tile)).clamp(),
+          contract::updates("priv_bins", contract::b() * num_bins,
+                            static_cast<std::int64_t>(num_bins))),
       [&](std::size_t t, const auto& vdata, const auto& vpriv) {
         const std::size_t lo = t * tile;
         const std::size_t hi = std::min(lo + tile, n);
@@ -68,6 +72,11 @@ void device_histogram_into(std::span<const T> data, std::size_t num_bins,
       "histogram/merge", div_ceil(num_bins, kMergeBins),
       checked::bufs(checked::in(std::span<const std::uint64_t>(priv), "priv_bins"),
                     checked::out(std::span<std::uint64_t>(bins), "bins")),
+      contract::contract(
+          contract::reads("priv_bins", contract::b() * kMergeBins, kMergeBins)
+              .strided(static_cast<std::int64_t>(tiles), static_cast<std::int64_t>(num_bins))
+              .clamp(),
+          contract::writes("bins", contract::b() * kMergeBins, kMergeBins).clamp()),
       [&](std::size_t blk, const auto& vpriv, const auto& vbins) {
         const std::size_t b0 = blk * kMergeBins;
         const std::size_t b1 = std::min(b0 + kMergeBins, num_bins);

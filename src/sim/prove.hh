@@ -1,0 +1,112 @@
+// szp::sim::contract — symbolic prover for footprint contracts.
+//
+// Given a contract, a launch geometry, and the registered buffer extents,
+// prove() decides two properties by interval/stride arithmetic over the
+// affine terms (see contract.hh):
+//
+//   (a) cross-block disjointness: for every buffer with a write-access
+//       clause, no two distinct blocks' declared write footprints overlap,
+//       and no block's write footprint overlaps another block's declared
+//       read footprint of the same buffer (WW and RW freedom);
+//   (b) bounds: every unclamped window lies inside [0, elems) for every
+//       block of the grid (clamped windows, boxes, and whole-buffer clauses
+//       are in-bounds by construction).
+//
+// The domain is deliberately incomplete: data-dependent footprints
+// (kDynamic), interleaved gap-stride families whose windows are provably
+// disjoint only via modular reasoning, and mixed b()/bx() terms all yield
+// kUnproved with a reason string — those kernels simply keep full dynamic
+// checking.  An unproved contract is not an error; a *wrong* contract is
+// caught dynamically by the observed ⊆ declared cross-validation.
+//
+// prove() is pure and cheap (a few dozen integer comparisons), so checked
+// launches re-prove per launch geometry rather than caching verdicts.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/contract.hh"
+
+namespace szp::sim::contract {
+
+/// Registered extent of one buffer, in elements (decoupled from
+/// checked::BufMeta so the prover has no dependency on check.hh).
+struct BufExtent {
+  const char* name = "?";
+  std::uint64_t elems = 0;
+};
+
+enum class Verdict : std::uint8_t {
+  kProved,      ///< disjointness + bounds hold for every block pair
+  kUnproved,    ///< outside the affine domain: falls back to dynamic checking
+  kNoContract,  ///< launch site declared no contract at all
+};
+
+[[nodiscard]] const char* verdict_name(Verdict v);
+
+struct ProveResult {
+  Verdict verdict = Verdict::kUnproved;
+  /// Why the proof failed, one line per obstacle, deterministic order
+  /// (clause declaration order).  Empty when proved.
+  std::vector<std::string> reasons;
+
+  [[nodiscard]] bool proved() const { return verdict == Verdict::kProved; }
+};
+
+/// Decide disjointness + bounds for `con` under `geom` against the
+/// registered buffer extents.  Unknown buffer names or malformed clauses
+/// (len < 1, stride < 0) are proof obstacles, not exceptions.
+[[nodiscard]] ProveResult prove(const Contract& con, const Geom& geom,
+                                const std::vector<BufExtent>& bufs);
+
+// ---------------------------------------------------------------------------
+// Kernel verdict registry (feeds `szp analyze` and the word-mode fast path).
+// ---------------------------------------------------------------------------
+
+/// Aggregated per-kernel outcome across every checked launch this process
+/// has run.  A kernel that launches under several geometries keeps the
+/// weakest verdict seen (proved < unproved < no-contract never weakens back).
+struct KernelVerdict {
+  std::string kernel;
+  Verdict verdict = Verdict::kNoContract;
+  std::uint64_t launches = 0;        ///< checked launches observed
+  std::uint64_t word_fastpath = 0;   ///< word-mode launches downgraded by proof
+  std::uint64_t word_fallback = 0;   ///< word-mode launches kept fully shadowed
+  std::string reason;                ///< first unproved reason ("" when proved)
+};
+
+/// Record one checked launch's outcome for `szp analyze` and tests.
+void note_launch(const char* kernel, const ProveResult& result, bool word_requested,
+                 bool word_fastpath);
+void note_launch_no_contract(const char* kernel, bool word_requested);
+
+/// Snapshot of the registry, sorted by kernel name (deterministic).
+[[nodiscard]] std::vector<KernelVerdict> registry_snapshot();
+void reset_registry();
+
+/// Deterministic per-kernel verdict table (kernels sorted by name, stable
+/// verdict spelling), formatted like checked::report_text() so CI diffs of
+/// `szp analyze` output are byte-stable.
+[[nodiscard]] std::string verdict_table_text();
+
+/// Word-mode fast path switch: when on (default, env SZP_SIM_CONTRACT_FASTPATH
+/// latched, 0 disables), launches whose contracts are proved run the interval
+/// tier instead of full word-shadow instrumentation under --check=word.
+[[nodiscard]] bool fastpath_enabled();
+void set_fastpath(bool on);
+
+/// RAII fast-path override for tests and benchmarks.
+class ScopedFastpath {
+ public:
+  explicit ScopedFastpath(bool on) : prev_(fastpath_enabled()) { set_fastpath(on); }
+  ~ScopedFastpath() { set_fastpath(prev_); }
+  ScopedFastpath(const ScopedFastpath&) = delete;
+  ScopedFastpath& operator=(const ScopedFastpath&) = delete;
+
+ private:
+  bool prev_;
+};
+
+}  // namespace szp::sim::contract

@@ -40,6 +40,9 @@ RunsOutput<Key, Count> reduce_by_key(std::span<const Key> keys,
   // shared device buffer, so it is the one registered with the checker.
   checked::launch("reduce_by_key/tile_runs", tiles,
                   checked::bufs(checked::in(keys, "keys")),
+                  contract::contract(
+                      contract::reads("keys", contract::b() * tile,
+                                      static_cast<std::int64_t>(tile)).clamp()),
                   [&, n, tile](std::size_t t, const auto& vkeys) {
     const std::size_t lo = t * tile, hi = lo + tile < n ? lo + tile : n;
     auto& p = partial[t];

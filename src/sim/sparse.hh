@@ -39,6 +39,10 @@ void dense_to_sparse_into(std::span<const T> dense, SparseVector<T, Index>& out,
   checked::launch("dense_to_sparse/count", tiles,
                   checked::bufs(checked::in(dense, "dense"),
                                 checked::out(std::span<std::size_t>(tile_nnz), "tile_nnz")),
+                  contract::contract(
+                      contract::reads("dense", contract::b() * tile,
+                                      static_cast<std::int64_t>(tile)).clamp(),
+                      contract::writes("tile_nnz", contract::b(), 1)),
                   [&, n, tile](std::size_t t, const auto& vdense, const auto& vnnz) {
     const std::size_t lo = t * tile, hi = lo + tile < n ? lo + tile : n;
     std::size_t c = 0;
@@ -52,11 +56,19 @@ void dense_to_sparse_into(std::span<const T> dense, SparseVector<T, Index>& out,
   out.indices.resize(offset[tiles]);
   out.values.resize(offset[tiles]);
 
+  // The compacted output positions come from the offset scan — a
+  // data-dependent footprint the affine prover cannot discharge, so the
+  // fill kernel honestly stays on dynamic checking.
   checked::launch("dense_to_sparse/fill", tiles,
                   checked::bufs(checked::in(dense, "dense"),
                                 checked::in(std::span<const std::size_t>(offset), "offset"),
                                 checked::out(std::span<Index>(out.indices), "indices"),
                                 checked::out(std::span<T>(out.values), "values")),
+                  contract::contract(
+                      contract::reads("dense", contract::b() * tile,
+                                      static_cast<std::int64_t>(tile)).clamp(),
+                      contract::reads("offset", contract::b(), 2),
+                      contract::writes_dyn("indices"), contract::writes_dyn("values")),
                   [&, n, tile](std::size_t t, const auto& vdense, const auto& voffset,
                                const auto& vidx, const auto& vval) {
     const std::size_t lo = t * tile, hi = lo + tile < n ? lo + tile : n;
@@ -92,6 +104,9 @@ void scatter_add(const SparseVector<T, Index>& sparse, std::span<Acc> dense) {
                   checked::bufs(checked::in(std::span<const Index>(sparse.indices), "indices"),
                                 checked::in(std::span<const T>(sparse.values), "values"),
                                 checked::inout(dense, "dense")),
+                  contract::contract(contract::reads("indices", contract::b(), 1),
+                                     contract::reads("values", contract::b(), 1),
+                                     contract::updates_dyn("dense")),
                   [](std::size_t i, const auto& vidx, const auto& vval, const auto& vdense) {
     vdense[static_cast<std::size_t>(vidx[i])] += static_cast<Acc>(vval[i]);
   });

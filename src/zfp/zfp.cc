@@ -305,13 +305,31 @@ ZfpCompressed zfp_compress(std::span<const float> data, const Extents& ext,
   const std::size_t ne = grid.block_elems;
 
   namespace chk = sim::checked;
-  chk::launch("zfp_compress", grid.count(),
-              chk::bufs(chk::in(data, "data"),
-                        chk::out(std::span<std::uint8_t>(payload), "payload")),
-              [&, bits_per_block](std::size_t b, const auto& vdata, const auto& vpayload) {
-    const std::size_t gx = b % grid.bx;
-    const std::size_t gy = (b / grid.bx) % grid.by;
-    const std::size_t gz = b / (grid.bx * grid.by);
+  namespace ctr = sim::contract;
+  // One 4x4x4 (edge-clamped) tile of the field per block, and one
+  // byte-rounded payload slot at the block's linear index — affine in the
+  // block coordinates, so both footprints are statically provable.
+  const auto bpb8 = static_cast<std::int64_t>(bits_per_block / 8);
+  const auto gbx = static_cast<std::int64_t>(grid.bx);
+  const auto gby = static_cast<std::int64_t>(grid.by);
+  chk::launch_3d("zfp_compress",
+                 {static_cast<std::uint32_t>(grid.bx), static_cast<std::uint32_t>(grid.by),
+                  static_cast<std::uint32_t>(grid.bz)},
+                 chk::bufs(chk::in(data, "data"),
+                           chk::out(std::span<std::uint8_t>(payload), "payload")),
+                 ctr::contract(
+                     ctr::reads_box("data", ctr::bx() * 4, 4, ctr::by() * 4, 4, ctr::bz() * 4, 4,
+                                    static_cast<std::int64_t>(ext.nx),
+                                    static_cast<std::int64_t>(ext.ny),
+                                    static_cast<std::int64_t>(ext.nz)),
+                     ctr::writes("payload",
+                                 ctr::bx() * bpb8 + ctr::by() * (gbx * bpb8) +
+                                     ctr::bz() * (gbx * gby * bpb8),
+                                 bpb8)),
+                 [&, bits_per_block](std::uint32_t gx, std::uint32_t gy, std::uint32_t gz,
+                                     const auto& vdata, const auto& vpayload) {
+    const std::size_t b =
+        (static_cast<std::size_t>(gz) * grid.by + gy) * grid.bx + gx;
 
     std::array<float, 64> vals{};
     gather_block(vdata, ext, gx, gy, gz, vals.data());
@@ -436,13 +454,28 @@ ZfpDecompressed zfp_decompress(std::span<const std::uint8_t> archive) {
   const std::size_t ne = grid.block_elems;
 
   namespace chk = sim::checked;
-  chk::launch("zfp_decompress", grid.count(),
-              chk::bufs(chk::in(std::span<const std::uint8_t>(payload), "payload"),
-                        chk::out(std::span<float>(out.data), "data")),
-              [&, bits_per_block](std::size_t b, const auto& vpayload, const auto& vdata) {
-    const std::size_t gx = b % grid.bx;
-    const std::size_t gy = (b / grid.bx) % grid.by;
-    const std::size_t gz = b / (grid.bx * grid.by);
+  namespace ctr = sim::contract;
+  const auto bpb8 = static_cast<std::int64_t>(bits_per_block / 8);
+  const auto gbx = static_cast<std::int64_t>(grid.bx);
+  const auto gby = static_cast<std::int64_t>(grid.by);
+  chk::launch_3d("zfp_decompress",
+                 {static_cast<std::uint32_t>(grid.bx), static_cast<std::uint32_t>(grid.by),
+                  static_cast<std::uint32_t>(grid.bz)},
+                 chk::bufs(chk::in(std::span<const std::uint8_t>(payload), "payload"),
+                           chk::out(std::span<float>(out.data), "data")),
+                 ctr::contract(
+                     ctr::reads("payload",
+                                ctr::bx() * bpb8 + ctr::by() * (gbx * bpb8) +
+                                    ctr::bz() * (gbx * gby * bpb8),
+                                bpb8),
+                     ctr::writes_box("data", ctr::bx() * 4, 4, ctr::by() * 4, 4, ctr::bz() * 4, 4,
+                                     static_cast<std::int64_t>(ext.nx),
+                                     static_cast<std::int64_t>(ext.ny),
+                                     static_cast<std::int64_t>(ext.nz))),
+                 [&, bits_per_block](std::uint32_t gx, std::uint32_t gy, std::uint32_t gz,
+                                     const auto& vpayload, const auto& vdata) {
+    const std::size_t b =
+        (static_cast<std::size_t>(gz) * grid.by + gy) * grid.bx + gx;
 
     // Serial bitstream read: thread 0 owns the cursor, rows scatter after
     // the barrier.

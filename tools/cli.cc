@@ -8,16 +8,30 @@
 #include <sstream>
 #include <stdexcept>
 
+#include <cmath>
+
 #include "core/compressor.hh"
 #include "core/error.hh"
+#include "core/huffman/codebook.hh"
+#include "core/huffman/codec.hh"
 #include "core/metrics.hh"
 #include "core/bundle.hh"
+#include "core/predictor/lorenzo.hh"
+#include "core/predictor/regression.hh"
+#include "core/rle/rle.hh"
 #include "core/streaming.hh"
 #include "data/catalog.hh"
 #include "data/io.hh"
 #include "data/synthetic.hh"
+#include "lossless/lzh.hh"
+#include "lossless/lzr.hh"
 #include "sim/check.hh"
+#include "sim/device_scan.hh"
+#include "sim/histogram.hh"
+#include "sim/reduce_by_key.hh"
+#include "sim/sparse.hh"
 #include "tools/fuzz_decode.hh"
+#include "zfp/zfp.hh"
 
 namespace szp::cli {
 
@@ -382,6 +396,114 @@ int cmd_verify(const Args& a, std::ostream& out) {
   return 0;
 }
 
+/// Canned workload behind `szp analyze`: every checked-launch kernel in the
+/// codebase runs at least once, at sizes that make each grid multi-block, so
+/// the contract registry holds a verdict for the complete kernel inventory.
+void analyze_suite() {
+  const QuantConfig qcfg;
+  const double eb = 1e-3;
+
+  // --- Lorenzo + regression over a 3-D field (8x8x8 chunks -> 2x2x2 grid).
+  const Extents e3 = Extents::d3(12, 10, 9);
+  std::vector<float> field(e3.count());
+  for (std::size_t i = 0; i < field.size(); ++i) {
+    field[i] = std::sin(0.05f * static_cast<float>(i));
+  }
+  const auto lc = lorenzo_construct<float>(field, e3, eb, qcfg);
+  std::vector<qdiff_t> qprime(e3.count());
+  fuse_quant_codes({lc.quant.data(), lc.quant.size()}, qcfg.radius(),
+                   std::span<qdiff_t>(qprime));
+  std::vector<float> rec(e3.count());
+  lorenzo_reconstruct_fused<float>(std::span<qdiff_t>(qprime), e3, eb, std::span<float>(rec));
+  const auto lv =
+      lorenzo_construct<float>(field, e3, eb, qcfg, OutlierScheme::kValue,
+                               ConstructVariant::kBaseline);
+  lorenzo_reconstruct_coarse<float>({lv.quant.data(), lv.quant.size()},
+                                    {lv.outlier_dense.data(), lv.outlier_dense.size()}, e3, eb,
+                                    qcfg, std::span<float>(rec));
+
+  RegressionResult rg;
+  regression_construct_into<float>(field, e3, eb, qcfg, rg);
+  regression_reconstruct<float>({rg.quant.data(), rg.quant.size()},
+                                {rg.outlier_dense.data(), rg.outlier_dense.size()},
+                                rg.coefficients, e3, eb, qcfg, std::span<float>(rec));
+
+  // --- 1-D symbol pipeline: histogram, Huffman (gap-strided and plain),
+  // scans, RLE / reduce_by_key, dense<->sparse.  Small tiles keep every
+  // grid multi-block without a large workload.
+  const std::size_t n = 20000;
+  std::vector<quant_t> syms(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    syms[i] = static_cast<quant_t>(512 + (i / 97) % 16);
+  }
+  const auto freq = sim::device_histogram(std::span<const quant_t>(syms), qcfg.capacity, 4096);
+  const auto book = HuffmanCodebook::build(freq);
+  const auto plain = huffman_encode(syms, book, 1024, HuffmanEncVariant::kOptimized, 0);
+  (void)huffman_decode(plain, book);
+  const auto gapped = huffman_encode(syms, book, 1024, HuffmanEncVariant::kOptimized, 256);
+  (void)huffman_decode(gapped, book);
+
+  (void)rle_encode(syms);  // reduce_by_key/tile_runs (single tile at this n)
+  std::vector<quant_t> runs(100000);
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    runs[i] = static_cast<quant_t>(i / 1000);
+  }
+  (void)rle_decode(rle_encode(runs));  // multi-tile runs + rle_decode/expand
+
+  std::vector<std::uint64_t> lens(n / 4), offs(n / 4);
+  for (std::size_t i = 0; i < lens.size(); ++i) lens[i] = i % 13;
+  sim::device_exclusive_scan(std::span<const std::uint64_t>(lens),
+                             std::span<std::uint64_t>(offs), 512);
+
+  std::vector<qdiff_t> dense(n, 0);
+  for (std::size_t i = 0; i < n; i += 37) dense[i] = static_cast<qdiff_t>(i);
+  const auto sparse = sim::dense_to_sparse(std::span<const qdiff_t>(dense), 4096);
+  std::vector<std::int64_t> acc(n, 0);
+  sim::scatter_add(sparse, std::span<std::int64_t>(acc));
+
+  // --- ZFP at both grid shapes (1-D linear-ish and genuinely 3-D).
+  const Extents z3 = Extents::d3(9, 9, 9);
+  std::vector<float> zfield(z3.count());
+  for (std::size_t i = 0; i < zfield.size(); ++i) {
+    zfield[i] = std::cos(0.1f * static_cast<float>(i));
+  }
+  zfp::ZfpConfig zcfg;
+  (void)zfp::zfp_decompress(zfp::zfp_compress(zfield, z3, zcfg).bytes);
+  const Extents z1 = Extents::d1(100);
+  std::vector<float> zline(zfield.begin(), zfield.begin() + 100);
+  (void)zfp::zfp_decompress(zfp::zfp_compress(zline, z1, zcfg).bytes);
+
+  // --- LZ family (tokenize + frequency kernels + both entropy backends).
+  std::vector<std::uint8_t> text(40000);
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    text[i] = static_cast<std::uint8_t>("abcabcabd"[i % 9] + (i / 9000));
+  }
+  (void)lossless::lzh_decompress(lossless::lzh_compress(text));
+  (void)lossless::lzr_decompress(lossless::lzr_compress(text));
+}
+
+int cmd_analyze(const Args& a, std::ostream& out) {
+  (void)a;
+  // Interval-tier checking for the whole suite: every launch is proved (or
+  // honestly falls back) and its observed footprint is cross-validated
+  // against the declaration.
+  sim::checked::ScopedMode mode_guard(sim::checked::Mode::kInterval);
+  sim::checked::reset();
+  sim::contract::reset_registry();
+
+  analyze_suite();
+
+  out << sim::contract::verdict_table_text();
+  out << sim::checked::report_text();
+
+  bool missing = false;
+  for (const auto& v : sim::contract::registry_snapshot()) {
+    missing |= v.verdict == sim::contract::Verdict::kNoContract;
+  }
+  if (!sim::checked::current_report().clean()) return 3;
+  return missing ? 5 : 0;
+}
+
 void usage(std::ostream& err) {
   err << "szp — error-bounded lossy compressor for scientific data (cuSZ+ reproduction)\n"
          "usage:\n"
@@ -399,6 +521,7 @@ void usage(std::ostream& err) {
          "  szp bundle-extract --bundle snap.szb --name VAR -o field.szp [--tolerant]\n"
          "  szp fuzz           [--rounds N] [--seed S] [--corpus DIR] [-v]\n"
          "  szp fuzz           --replay DIR\n"
+         "  szp analyze\n"
          "compress also accepts --psnr TARGET_DB in place of --eb.\n"
          "--tolerant salvages the intact entries of a corrupt bundle (warnings list\n"
          "the damaged ones).  fuzz mutates round-trip archives of every format and\n"
@@ -416,7 +539,14 @@ void usage(std::ostream& err) {
          "--check=word upgrades to word-granular shadow memory (racecheck-style\n"
          "intra-block hazard detection; SZP_SIM_CHECK=word globally).\n"
          "--fuzz-schedule[=N] replays every multi-block kernel under N perturbed\n"
-         "block orders and reports any output divergence (SZP_SIM_FUZZ_SCHEDULE=N).\n";
+         "block orders and reports any output divergence (SZP_SIM_FUZZ_SCHEDULE=N).\n"
+         "analyze runs a canned workload over every simulated-GPU kernel under\n"
+         "interval checking and prints the footprint-contract verdict per kernel:\n"
+         "proved (cross-block disjointness + bounds discharged statically, so\n"
+         "--check=word skips word-shadow instrumentation for it), unproved-\n"
+         "fallback-dynamic (honest reason printed; dynamic checking remains the\n"
+         "authority), or no-contract.  Exit 5 if any kernel lacks a contract,\n"
+         "3 if the checker fired.\n";
 }
 
 }  // namespace
@@ -430,6 +560,7 @@ int run(const std::vector<std::string>& args, std::ostream& out, std::ostream& e
     if (a.command == "decompress") {
       return maybe_checked(a, out, [&] { return cmd_decompress(a, out); });
     }
+    if (a.command == "analyze") return cmd_analyze(a, out);
     if (a.command == "info") return cmd_info(a, out);
     if (a.command == "gen") return cmd_gen(a, out);
     if (a.command == "verify") return cmd_verify(a, out);

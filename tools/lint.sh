@@ -1,15 +1,86 @@
 #!/usr/bin/env sh
-# Run clang-tidy over the project sources using the compile database from a
-# configured build tree.  Usage:
+# Static checks over the project sources.  Usage:
 #
 #   tools/lint.sh [build-dir] [extra clang-tidy args...]
+#   tools/lint.sh --contracts-only
 #
-# The build dir defaults to ./build; it must have been configured with CMake
-# (compile_commands.json is exported by default, see CMakeLists.txt).  Also
-# reachable as `cmake --build <build-dir> -t lint`.
+# Two phases:
+#   1. Footprint-contract coverage: every chk::launch / checked::launch(_3d)
+#      call site in src/ must register a contract (a `contract` token inside
+#      the call's parenthesis extent).  Pure text check, no toolchain needed.
+#   2. clang-tidy over all first-party translation units, using the compile
+#      database from a configured build tree (compile_commands.json is
+#      exported by default, see CMakeLists.txt).  Warnings are errors (see
+#      .clang-tidy WarningsAsErrors).
+#
+# --contracts-only runs phase 1 alone — the `lint` CMake target falls back to
+# it when clang-tidy is not installed.
 set -eu
 
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+
+contracts_only=0
+if [ "${1:-}" = "--contracts-only" ]; then
+  contracts_only=1
+  shift
+fi
+
+# --- Phase 1: every checked launch declares a footprint contract. ----------
+check_contracts() {
+  bad=0
+  for f in $(find "${repo_root}/src" \( -name '*.cc' -o -name '*.hh' \) | sort); do
+    awk -v file="$f" '
+      {
+        line = $0
+        sub(/\/\/.*/, "", line)  # strip line comments (doc examples)
+        while (length(line) > 0) {
+          if (!in_launch) {
+            if (match(line, /(chk|checked)::launch(_3d)?\(/)) {
+              in_launch = 1; depth = 0; seen = 0; start = NR
+              line = substr(line, RSTART)
+            } else break
+          }
+          if (line ~ /contract/) seen = 1
+          n = length(line)
+          consumed = n
+          for (i = 1; i <= n; i++) {
+            c = substr(line, i, 1)
+            if (c == "(") depth++
+            else if (c == ")") {
+              depth--
+              if (depth == 0) {
+                if (!seen) {
+                  printf "%s:%d: checked launch without a footprint contract\n", file, start
+                  bad = 1
+                }
+                in_launch = 0
+                consumed = i
+                break
+              }
+            }
+          }
+          line = substr(line, consumed + 1)
+          if (in_launch) break  # call continues on the next input line
+        }
+      }
+      END { exit bad }
+    ' "$f" || bad=1
+  done
+  return ${bad}
+}
+
+echo "lint.sh: checking footprint-contract coverage of checked launches"
+check_contracts || {
+  echo "lint.sh: contract coverage check FAILED" >&2
+  exit 1
+}
+echo "lint.sh: contract coverage OK"
+
+if [ "${contracts_only}" = 1 ]; then
+  exit 0
+fi
+
+# --- Phase 2: clang-tidy. --------------------------------------------------
 build_dir=${1:-"${repo_root}/build"}
 [ $# -gt 0 ] && shift
 
