@@ -74,18 +74,28 @@ Compressed compress_impl(const CompressConfig& cfg_, std::span<const T> data,
 
   // --- Gather outliers (dense -> sparse) --------------------------------
   t.reset();
-  sim::dense_to_sparse_into(prod.outlier_dense, ws.outliers, ws.gather_tile_nnz,
-                            ws.gather_offsets);
+  sim::KernelCost gather_c;
+  {
+    sim::traffic::Scope gather_scope;  // contract-derived volumes
+    sim::dense_to_sparse_into(prod.outlier_dense, ws.outliers, ws.gather_tile_nnz,
+                              ws.gather_offsets);
+    gather_c = sim::gather_cost(data.size(), sizeof(qdiff_t), ws.outliers.nnz(),
+                                sizeof(std::uint64_t));
+    gather_scope.apply(gather_c);
+  }
   st.outlier_count = ws.outliers.nnz();
-  st.pipeline.add({"gather_outlier", st.original_bytes, t.seconds(),
-                   sim::gather_cost(data.size(), sizeof(qdiff_t), ws.outliers.nnz(),
-                                    sizeof(std::uint64_t))});
+  st.pipeline.add({"gather_outlier", st.original_bytes, t.seconds(), gather_c});
 
   // --- Histogram ---------------------------------------------------------
   t.reset();
-  sim::device_histogram_into(prod.quant, cfg_.quant.capacity, ws.freq, ws.hist_priv);
-  st.pipeline.add({"histogram", st.original_bytes, t.seconds(),
-                   sim::histogram_cost(data.size(), sizeof(quant_t), cfg_.quant.capacity)});
+  sim::KernelCost hist_c;
+  {
+    sim::traffic::Scope hist_scope;  // contract-derived volumes
+    sim::device_histogram_into(prod.quant, cfg_.quant.capacity, ws.freq, ws.hist_priv);
+    hist_c = sim::histogram_cost(data.size(), sizeof(quant_t), cfg_.quant.capacity);
+    hist_scope.apply(hist_c);
+  }
+  st.pipeline.add({"histogram", st.original_bytes, t.seconds(), hist_c});
 
   // --- Workflow selection -------------------------------------------------
   Workflow wf = cfg_.workflow;

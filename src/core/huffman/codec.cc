@@ -20,6 +20,7 @@ void huffman_encode_into(std::span<const quant_t> symbols, const HuffmanCodebook
     throw std::invalid_argument("huffman_encode: gap_stride must divide chunk_size");
   }
   enc.cost = {};
+  sim::traffic::Scope traffic_scope;  // contract-derived volumes for enc.cost
   enc.num_symbols = symbols.size();
   enc.chunk_size = chunk_size;
   enc.gap_stride = gap_stride;
@@ -93,7 +94,12 @@ void huffman_encode_into(std::span<const quant_t> symbols, const HuffmanCodebook
   ctr::Contract deflate_contract;
   deflate_contract.clauses.push_back(ctr::reads("symbols", ctr::b() * csz, csz).clamp());
   deflate_contract.clauses.push_back(ctr::reads("offsets", ctr::b(), 2));
-  deflate_contract.clauses.push_back(ctr::writes_dyn("payload"));
+  // The scan total is the exact payload volume — declare it as the dynamic
+  // clause's upper bound so the traffic analyzer (and the checked cross-
+  // validation of observed bytes) has a real ceiling instead of the whole
+  // pre-sized buffer.
+  deflate_contract.clauses.push_back(
+      ctr::writes_dyn("payload", static_cast<std::int64_t>(total)));
   if (gap_stride > 0) {
     const auto spc = static_cast<std::int64_t>(subblocks_per_chunk);
     deflate_contract.clauses.push_back(ctr::writes("gaps", ctr::b() * spc, spc));
@@ -125,17 +131,20 @@ void huffman_encode_into(std::span<const quant_t> symbols, const HuffmanCodebook
     bw.flush();
   });
 
-  // Cost model (paper §V-C.1): the baseline stores a full word per thread;
-  // the optimized encoder's DRAM stores shrink with the compression ratio.
-  enc.cost.bytes_read = n * sizeof(quant_t) + book.alphabet_size() * 9;
-  enc.cost.bytes_written = variant == HuffmanEncVariant::kBaseline
-                               ? n * sizeof(std::uint32_t)
-                               : total;
+  // Cost model (paper §V-C.1): traffic comes from the footprint contracts
+  // (chunk_sizes + scan + deflate, including the scan-bounded payload
+  // volume); the baseline variant additionally stores a full word per
+  // thread before compaction, which no contract of the optimized kernels
+  // models — add that delta on top of the derived stores.
+  traffic_scope.apply(enc.cost);
+  enc.cost.bytes_read += book.alphabet_size() * 9;
+  if (variant == HuffmanEncVariant::kBaseline && n * sizeof(std::uint32_t) > total) {
+    enc.cost.bytes_written += n * sizeof(std::uint32_t) - total;
+  }
   enc.cost.flops = n * 8;
   enc.cost.parallel_items = n;
   enc.cost.pattern = sim::AccessPattern::kScattered;
   enc.cost.custom_factor = 0.09;  // calibrated to Table VI Huffman rows
-  enc.cost.launches = 3;          // encode, scan, deflate
 }
 
 HuffmanEncoded huffman_encode(std::span<const quant_t> symbols, const HuffmanCodebook& book,
@@ -192,6 +201,7 @@ HuffmanDecoded huffman_decode(const HuffmanEncoded& enc, const HuffmanCodebook& 
   dec.symbols.resize(n);
   namespace chk = sim::checked;
   namespace ctr = sim::contract;
+  sim::traffic::Scope traffic_scope;  // contract-derived volumes for dec.cost
   // Decode unit `u` covers symbols [u*stride, u*stride + stride) ∩ [0, n):
   // with chunk_size = subblocks_per_chunk * stride, the chunk/sub-block
   // decomposition collapses to one affine window per unit.  The payload
@@ -202,8 +212,13 @@ HuffmanDecoded huffman_decode(const HuffmanEncoded& enc, const HuffmanCodebook& 
       enc.gap_stride > 0 ? enc.gap_stride : enc.chunk_size);
   ctr::Contract decode_contract;
   decode_contract.clauses.push_back(ctr::writes("symbols", ctr::b() * stride64, stride64).clamp());
-  decode_contract.clauses.push_back(ctr::reads_dyn("payload"));
-  decode_contract.clauses.push_back(ctr::reads_dyn("offsets"));
+  // Worst-case read volumes across the launch: every unit of a chunk
+  // re-reads that chunk's whole payload slice (sub-block units share the
+  // slice), and each unit loads its chunk's two bounding offsets.
+  decode_contract.clauses.push_back(ctr::reads_dyn(
+      "payload", static_cast<std::int64_t>(enc.payload.size() * subblocks_per_chunk)));
+  decode_contract.clauses.push_back(ctr::reads_dyn(
+      "offsets", static_cast<std::int64_t>(2 * nchunks * subblocks_per_chunk)));
   if (enc.gap_stride > 0) decode_contract.clauses.push_back(ctr::reads("gaps", ctr::b(), 1));
   chk::launch("huffman_decode", nchunks * subblocks_per_chunk,
               chk::bufs(chk::in(std::span<const std::uint8_t>(enc.payload), "payload"),
@@ -234,8 +249,8 @@ HuffmanDecoded huffman_decode(const HuffmanEncoded& enc, const HuffmanCodebook& 
     }
   });
 
-  dec.cost.bytes_read = enc.byte_size() + book.alphabet_size() * 9;
-  dec.cost.bytes_written = n * sizeof(quant_t);
+  traffic_scope.apply(dec.cost);
+  dec.cost.bytes_read += book.alphabet_size() * 9;  // codebook is not a launch buffer
   // The canonical decode is a dependent bit-serial table walk: latency/
   // compute-bound, not bandwidth-bound — which is why the paper sees it
   // stagnate from V100 to A100 (§V-C.2).  The per-symbol weight is

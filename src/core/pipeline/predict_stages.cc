@@ -23,9 +23,14 @@ std::vector<qdiff_t> scatter_dense(const sim::SparseVector<qdiff_t>& outliers, s
                                    std::size_t payload_bytes, sim::PipelineReport& report) {
   sim::Timer t;
   std::vector<qdiff_t> outlier_dense(n, 0);
-  sim::scatter_add(outliers, std::span<qdiff_t>(outlier_dense));
-  report.add({"scatter_outlier", payload_bytes, t.seconds(),
-              sim::scatter_cost(outliers.nnz(), sizeof(qdiff_t), sizeof(std::uint64_t))});
+  sim::KernelCost cost;
+  {
+    sim::traffic::Scope scope;  // contract-derived volumes
+    sim::scatter_add(outliers, std::span<qdiff_t>(outlier_dense));
+    cost = sim::scatter_cost(outliers.nnz(), sizeof(qdiff_t), sizeof(std::uint64_t));
+    scope.apply(cost);
+  }
+  report.add({"scatter_outlier", payload_bytes, t.seconds(), cost});
   return outlier_dense;
 }
 
@@ -58,14 +63,16 @@ class LorenzoStage final : public PredictStage {
     // --- Fuse quant ⊕ outlier (Algorithm 1 line 9) -------------------------
     sim::Timer t;
     std::vector<qdiff_t> qprime(n);
-    fuse_quant_codes(quant, radius, qprime);
-    sim::scatter_add(outliers, std::span<qdiff_t>(qprime));
-    // Combined cost assembled by hand: the streaming fuse dominates the
-    // traffic; the sparse scatter rides along (outliers are rare), so the
-    // stage keeps the streaming access profile.
+    // The streaming fuse dominates the traffic; the sparse scatter rides
+    // along (outliers are rare), so the stage keeps the streaming access
+    // profile.  Volumes for both launches come from their contracts.
     sim::KernelCost fuse_cost;
-    fuse_cost.bytes_read = n * sizeof(quant_t) + outliers.nnz() * 16;
-    fuse_cost.bytes_written = n * sizeof(qdiff_t) + outliers.nnz() * sizeof(qdiff_t);
+    {
+      sim::traffic::Scope scope;
+      fuse_quant_codes(quant, radius, qprime);
+      sim::scatter_add(outliers, std::span<qdiff_t>(qprime));
+      scope.apply(fuse_cost);
+    }
     fuse_cost.flops = n + outliers.nnz();
     fuse_cost.parallel_items = n;
     fuse_cost.pattern = sim::AccessPattern::kCoalescedStreaming;

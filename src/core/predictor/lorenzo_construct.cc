@@ -59,6 +59,7 @@ void lorenzo_construct_into(std::span<const T> data, const Extents& ext, double 
 
   namespace chk = sim::checked;
   namespace ctr = sim::contract;
+  sim::traffic::Scope traffic_scope;  // contract-derived volumes for res.cost
   // Every block owns one chunk-shaped tile of the row-major field: the same
   // box for the read of `data` and the writes of `quant`/`outlier`.
   const auto tile_of = [&](ctr::AccessKind a, const char* buf) {
@@ -158,8 +159,9 @@ void lorenzo_construct_into(std::span<const T> data, const Extents& ext, double 
     }
   });
 
-  res.cost.bytes_read = n * sizeof(T);
-  res.cost.bytes_written = n * sizeof(quant_t) + n * sizeof(qdiff_t);
+  // Traffic from the footprint contract (tile boxes over data/quant/outlier);
+  // arithmetic and calibration stay the wrapper's.
+  traffic_scope.apply(res.cost);
   res.cost.flops = n * (2 + (std::size_t{1} << ext.rank));
   res.cost.parallel_items = n;
   res.cost.pattern = stage_copy ? sim::AccessPattern::kTiledShared

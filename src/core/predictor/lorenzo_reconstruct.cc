@@ -99,6 +99,7 @@ sim::KernelCost fuse_quant_codes(std::span<const quant_t> quant, std::int32_t ra
   const std::size_t tiles = sim::div_ceil(n, std::size_t{1} << 16);
   namespace chk = sim::checked;
   namespace ctr = sim::contract;
+  sim::traffic::Scope traffic_scope;  // contract-derived volumes for the cost
   constexpr std::int64_t kTile = std::int64_t{1} << 16;
   chk::launch("fuse_quant_codes", tiles,
               chk::bufs(chk::in(quant, "quant"), chk::out(qprime_out, "qprime")),
@@ -112,8 +113,7 @@ sim::KernelCost fuse_quant_codes(std::span<const quant_t> quant, std::int32_t ra
     }
   });
   sim::KernelCost c;
-  c.bytes_read = n * sizeof(quant_t);
-  c.bytes_written = n * sizeof(qdiff_t);
+  traffic_scope.apply(c);  // contract-derived: quant read + qprime write
   c.flops = n;
   c.parallel_items = n;
   c.pattern = sim::AccessPattern::kCoalescedStreaming;
@@ -139,6 +139,7 @@ sim::KernelCost lorenzo_reconstruct_fused(std::span<qdiff_t> qprime, const Exten
 
   namespace chk = sim::checked;
   namespace ctr = sim::contract;
+  sim::traffic::Scope traffic_scope;  // contract-derived volumes for the cost
   const auto tile_of = [&](ctr::AccessKind a, const char* buf) {
     return ctr::box(a, buf, ctr::bx() * cs.cx, static_cast<std::int64_t>(cs.cx),
                     ctr::by() * cs.cy, static_cast<std::int64_t>(cs.cy), ctr::bz() * cs.cz,
@@ -199,8 +200,10 @@ sim::KernelCost lorenzo_reconstruct_fused(std::span<qdiff_t> qprime, const Exten
 
   const std::size_t n = ext.count();
   sim::KernelCost c;
-  c.bytes_read = n * sizeof(qdiff_t);
-  c.bytes_written = n * sizeof(T);
+  // Contract-derived traffic (qprime is read+written in place, out stored);
+  // the simulated fused launch stands in for one launch per scan direction
+  // on the device, so the modeled launch count stays ext.rank.
+  traffic_scope.apply(c);
   c.flops = n * (2 * static_cast<std::size_t>(ext.rank) + 2);
   c.parallel_items = n;
   c.pattern = naive ? sim::AccessPattern::kTiledShared
@@ -227,6 +230,7 @@ sim::KernelCost lorenzo_reconstruct_coarse(std::span<const quant_t> quant,
 
   namespace chk = sim::checked;
   namespace ctr = sim::contract;
+  sim::traffic::Scope traffic_scope;  // contract-derived volumes for the cost
   const auto tile_of = [&](ctr::AccessKind a, const char* buf) {
     return ctr::box(a, buf, ctr::bx() * cs.cx, static_cast<std::int64_t>(cs.cx),
                     ctr::by() * cs.cy, static_cast<std::int64_t>(cs.cy), ctr::bz() * cs.cz,
@@ -296,8 +300,7 @@ sim::KernelCost lorenzo_reconstruct_coarse(std::span<const quant_t> quant,
   const std::size_t n = ext.count();
   const std::size_t chunks = grid.gx * grid.gy * grid.gz;
   sim::KernelCost c;
-  c.bytes_read = n * (sizeof(quant_t) + sizeof(qdiff_t));
-  c.bytes_written = n * sizeof(T);
+  traffic_scope.apply(c);  // contract-derived: quant+outlier reads, out store
   c.flops = n * (2 * static_cast<std::size_t>(ext.rank) + 4);
   c.parallel_items = chunks;  // one virtual thread per chunk
   c.pattern = sim::AccessPattern::kStrided;

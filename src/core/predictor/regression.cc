@@ -68,6 +68,7 @@ void regression_construct_into(std::span<const T> data, const Extents& ext, doub
 
   namespace chk = sim::checked;
   namespace ctr = sim::contract;
+  sim::traffic::Scope traffic_scope;  // contract-derived volumes for res.cost
   const auto tile_of = [&](ctr::AccessKind a, const char* buf) {
     return ctr::box(a, buf, ctr::bx() * cs.cx, static_cast<std::int64_t>(cs.cx),
                     ctr::by() * cs.cy, static_cast<std::int64_t>(cs.cy), ctr::bz() * cs.cz,
@@ -157,8 +158,10 @@ void regression_construct_into(std::span<const T> data, const Extents& ext, doub
     }
   });
 
-  res.cost.bytes_read = 2 * n * sizeof(T);  // fit pass + residual pass
-  res.cost.bytes_written = n * (sizeof(quant_t) + sizeof(qdiff_t)) + nchunks * 16;
+  // Traffic from the footprint contract (the residual pass re-reads the
+  // chunk it just fitted, which the per-block footprint model treats as
+  // cached); arithmetic and calibration stay hand-written.
+  traffic_scope.apply(res.cost);
   res.cost.flops = n * 14;
   res.cost.parallel_items = n;
   res.cost.pattern = sim::AccessPattern::kCoalescedStreaming;
@@ -194,6 +197,7 @@ sim::KernelCost regression_reconstruct(std::span<const quant_t> quant,
 
   namespace chk = sim::checked;
   namespace ctr = sim::contract;
+  sim::traffic::Scope traffic_scope;  // contract-derived volumes for the cost
   const auto tile_of = [&](ctr::AccessKind a, const char* buf) {
     return ctr::box(a, buf, ctr::bx() * cs.cx, static_cast<std::int64_t>(cs.cx),
                     ctr::by() * cs.cy, static_cast<std::int64_t>(cs.cy), ctr::bz() * cs.cz,
@@ -242,8 +246,7 @@ sim::KernelCost regression_reconstruct(std::span<const quant_t> quant,
   });
 
   sim::KernelCost c;
-  c.bytes_read = n * (sizeof(quant_t) + sizeof(qdiff_t)) + coefficients.size_bytes();
-  c.bytes_written = n * sizeof(T);
+  traffic_scope.apply(c);  // contract-derived: quant+outlier+coef reads, out store
   c.flops = n * 8;
   c.parallel_items = n;
   c.pattern = sim::AccessPattern::kCoalescedStreaming;

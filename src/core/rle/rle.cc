@@ -16,6 +16,7 @@ RleEncoded rle_encode(std::span<const quant_t> symbols) {
   enc.num_symbols = symbols.size();
   if (symbols.empty()) return enc;
 
+  sim::traffic::Scope traffic_scope;  // contract-derived volumes for enc.cost
   auto runs = sim::reduce_by_key<quant_t, std::uint64_t>(symbols);
 
   enc.values.reserve(runs.keys.size());
@@ -33,6 +34,11 @@ RleEncoded rle_encode(std::span<const quant_t> symbols) {
   }
 
   enc.cost = sim::reduce_by_key_cost<quant_t>(symbols.size(), enc.values.size());
+  // Traffic from the footprint contract of the tile_runs launch; the run
+  // merge is host-side, so the hand-modeled store volume for the compacted
+  // (value, count) pairs is added on top.
+  traffic_scope.apply(enc.cost);
+  enc.cost.bytes_written += enc.byte_size();
   return enc;
 }
 
@@ -58,6 +64,7 @@ RleDecoded rle_decode(const RleEncoded& enc) {
   dec.symbols.resize(enc.num_symbols);
   namespace chk = sim::checked;
   namespace ctr = sim::contract;
+  sim::traffic::Scope traffic_scope;  // contract-derived volumes for dec.cost
   // Each run writes [offset[r], offset[r+1]) — run lengths are data, so the
   // write footprint is data-dependent and the expand kernel honestly stays
   // on dynamic (word-shadow) checking.
@@ -67,7 +74,10 @@ RleDecoded rle_decode(const RleEncoded& enc) {
                         chk::out(std::span<quant_t>(dec.symbols), "symbols")),
               ctr::contract(ctr::reads("values", ctr::b(), 1),
                             ctr::reads("offset", ctr::b(), 2),
-                            ctr::writes_dyn("symbols")),
+                            // The validated run-length sum is the exact
+                            // expanded volume: the dynamic clause's bound.
+                            ctr::writes_dyn("symbols",
+                                            static_cast<std::int64_t>(enc.num_symbols))),
               [](std::size_t r, const auto& vvalues, const auto& voffset, const auto& vsym) {
     const auto lo = static_cast<std::size_t>(voffset[r]);
     const auto hi = static_cast<std::size_t>(voffset[r + 1]);
@@ -75,12 +85,12 @@ RleDecoded rle_decode(const RleEncoded& enc) {
     std::fill(vsym.data() + lo, vsym.data() + hi, vvalues[r]);
   });
 
-  dec.cost.bytes_read = enc.byte_size();
-  dec.cost.bytes_written = enc.num_symbols * sizeof(quant_t);
+  // Traffic from the expand contract (the offset scan above is host-side
+  // metadata validation, not a device launch).
+  traffic_scope.apply(dec.cost);
   dec.cost.flops = enc.num_symbols;
   dec.cost.parallel_items = enc.values.empty() ? 1 : enc.values.size();
   dec.cost.pattern = sim::AccessPattern::kCoalescedStreaming;
-  dec.cost.launches = 2;  // offset scan + expand
   return dec;
 }
 

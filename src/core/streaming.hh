@@ -136,6 +136,11 @@ class StreamingCompressor {
   StreamingConfig cfg_{};
   /// Slab compression funnels through this Compressor so its workspace pool
   /// persists across compress() calls (compress() stays logically const).
+  /// Parallel slab workers share it concurrently; every cross-worker
+  /// mutation funnels into WorkspacePool's capability-annotated Mutex
+  /// (core/thread_safety.hh), so -Wthread-safety polices the whole chain —
+  /// by design there is no StreamingCompressor-level lock. Worker-local
+  /// state (the per-slab outputs) is disjoint by index and needs none.
   Compressor slab_compressor_{};
 };
 

@@ -27,7 +27,7 @@ WorkspaceLease::~WorkspaceLease() {
 WorkspaceLease WorkspacePool::acquire() {
   std::unique_ptr<Workspace> ws;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     ++stats_.leases;
     if (!idle_.empty()) {
       ws = std::move(idle_.back());
@@ -48,13 +48,13 @@ void WorkspacePool::release(std::unique_ptr<Workspace> ws,
   for (std::size_t i = 0; i < caps_now.size(); ++i) {
     if (caps_now[i] > caps_at_acquire[i]) ++grew;
   }
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   stats_.grow_events += grew;
   idle_.push_back(std::move(ws));
 }
 
 WorkspacePool::Stats WorkspacePool::stats() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   return stats_;
 }
 

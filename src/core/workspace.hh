@@ -25,13 +25,13 @@
 
 #include <cstddef>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "core/huffman/codec.hh"
 #include "core/predictor/interpolation.hh"
 #include "core/predictor/lorenzo.hh"
 #include "core/predictor/regression.hh"
+#include "core/thread_safety.hh"
 #include "core/types.hh"
 #include "sim/sparse.hh"
 
@@ -110,16 +110,17 @@ class WorkspacePool {
   WorkspacePool(const WorkspacePool&) = delete;
   WorkspacePool& operator=(const WorkspacePool&) = delete;
 
-  [[nodiscard]] WorkspaceLease acquire();
-  [[nodiscard]] Stats stats() const;
+  [[nodiscard]] WorkspaceLease acquire() SZP_EXCLUDES(mutex_);
+  [[nodiscard]] Stats stats() const SZP_EXCLUDES(mutex_);
 
  private:
   friend class WorkspaceLease;
-  void release(std::unique_ptr<Workspace> ws, const std::vector<std::size_t>& caps_at_acquire);
+  void release(std::unique_ptr<Workspace> ws, const std::vector<std::size_t>& caps_at_acquire)
+      SZP_EXCLUDES(mutex_);
 
-  mutable std::mutex mutex_;
-  std::vector<std::unique_ptr<Workspace>> idle_;
-  Stats stats_;
+  mutable Mutex mutex_;
+  std::vector<std::unique_ptr<Workspace>> idle_ SZP_GUARDED_BY(mutex_);
+  Stats stats_ SZP_GUARDED_BY(mutex_);
 };
 
 /// Process-wide pool backing the static decompress()/inspect() entry points

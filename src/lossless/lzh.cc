@@ -41,13 +41,20 @@ std::vector<std::uint8_t> lzh_compress(std::span<const std::uint8_t> input,
   dist_book.serialize(w);
 
   // Bit emission is serial (each token's offset depends on all earlier
-  // lengths), so one block; the BitWriter is block-owned heap state.
+  // lengths), so one block; the BitWriter is block-owned heap state.  The
+  // store side is still bounded: no token can emit more than both books'
+  // longest codes plus the maximum extra bits (5 length + 13 distance).
+  const std::uint64_t max_token_bits =
+      lit_book.max_length() + 5ull + dist_book.max_length() + 13ull;
+  const std::uint64_t sink_bytes = (tokens.size() * max_token_bits + 7) / 8;
   BitWriter bw;
   namespace chk = sim::checked;
   namespace ctr = sim::contract;
   chk::launch("lzh/encode", 1,
               chk::bufs(chk::in(std::span<const Lz77Token>(tokens), "tokens")),
-              ctr::contract(ctr::reads_all("tokens")),
+              ctr::contract(ctr::reads_all("tokens"),
+                            ctr::host_sink("bitstream",
+                                           static_cast<std::int64_t>(sink_bytes))),
               [&](std::size_t, const auto& vtok) {
     for (std::size_t i = 0; i < vtok.size(); ++i) {
       const Lz77Token t = vtok[i];
@@ -85,9 +92,14 @@ std::vector<std::uint8_t> lzh_decompress(std::span<const std::uint8_t> input) {
   // growing output is block-owned heap state.
   namespace chk = sim::checked;
   namespace ctr = sim::contract;
+  // The expansion loop throws the moment the output exceeds the declared
+  // size, so orig_size is an enforced store ceiling even though the header
+  // is untrusted (the *allocation* above stays capped regardless).
   chk::launch("lzh/decode", 1,
               chk::bufs(chk::in(std::span<const std::uint8_t>(bits), "bits")),
-              ctr::contract(ctr::reads_all("bits")),
+              ctr::contract(ctr::reads_all("bits"),
+                            ctr::host_sink("out", static_cast<std::int64_t>(std::min<
+                                std::uint64_t>(orig_size, 1ull << 62)))),
               [&](std::size_t, const auto& vbits) {
     vbits.note_read(0, vbits.size());
     BitReader br({vbits.data(), vbits.size()});

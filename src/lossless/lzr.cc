@@ -27,16 +27,22 @@ std::vector<std::uint8_t> lzr_compress(std::span<const std::uint8_t> input,
 
   // Split the token stream into the rANS symbol streams and the extra-bits
   // sidecar.  Serial (the sidecar's bit offsets are order-dependent), so one
-  // block; the output streams are block-owned heap state.
+  // block; the output streams are block-owned heap state with exact bounds:
+  // one lit symbol per token, at most one dist symbol per token, and at most
+  // 5 + 13 extra bits per token.
   std::vector<std::uint16_t> lit_syms;
   std::vector<std::uint16_t> dist_syms;
   lit_syms.reserve(tokens.size());
   BitWriter extras;
+  const auto n_tok = static_cast<std::int64_t>(tokens.size());
   namespace chk = sim::checked;
   namespace ctr = sim::contract;
   chk::launch("lzr/token_split", 1,
               chk::bufs(chk::in(std::span<const Lz77Token>(tokens), "tokens")),
-              ctr::contract(ctr::reads_all("tokens")),
+              ctr::contract(ctr::reads_all("tokens"),
+                            ctr::host_sink("lit_syms", n_tok * 2),
+                            ctr::host_sink("dist_syms", n_tok * 2),
+                            ctr::host_sink("extras", (n_tok * 18 + 7) / 8)),
               [&](std::size_t, const auto& vtok) {
     for (std::size_t i = 0; i < vtok.size(); ++i) {
       const Lz77Token t = vtok[i];
@@ -111,8 +117,12 @@ std::vector<std::uint8_t> lzr_decompress(std::span<const std::uint8_t> input) {
               chk::bufs(chk::in(std::span<const std::uint16_t>(lit_syms), "lit_syms"),
                         chk::in(std::span<const std::uint16_t>(dist_syms), "dist_syms"),
                         chk::in(std::span<const std::uint8_t>(extra_bytes), "extras")),
+              // The expansion loop throws past orig_size, so the untrusted
+              // header still yields an enforced store ceiling.
               ctr::contract(ctr::reads_all("lit_syms"), ctr::reads_all("dist_syms"),
-                            ctr::reads_all("extras")),
+                            ctr::reads_all("extras"),
+                            ctr::host_sink("out", static_cast<std::int64_t>(std::min<
+                                std::uint64_t>(orig_size, 1ull << 62)))),
               [&](std::size_t, const auto& vlit, const auto& vdist, const auto& vextras) {
     vextras.note_read(0, vextras.size());
     BitReader extras({vextras.data(), vextras.size()});

@@ -193,6 +193,7 @@ void reset() {
   r.hazards.clear();
   r.oob.clear();
   r.contract_mismatches.clear();
+  r.traffic_mismatches.clear();
   r.schedule_diffs.clear();
   r.launches_checked = 0;
   r.launches_fuzzed = 0;
@@ -532,6 +533,11 @@ void append_contract_finding(const ContractFinding& f) {
   mutable_report().contract_mismatches.push_back(f);
 }
 
+void append_traffic_finding(const TrafficFinding& f) {
+  const std::lock_guard<std::mutex> lock(report_mutex());
+  mutable_report().traffic_mismatches.push_back(f);
+}
+
 }  // namespace detail
 
 // ---------------------------------------------------------------------------
@@ -564,6 +570,14 @@ std::string OobFinding::to_string() const {
   return os.str();
 }
 
+std::string TrafficFinding::to_string() const {
+  std::ostringstream os;
+  os << "TRAFFIC-MISMATCH " << (is_write ? "write" : "read") << ": kernel '" << kernel
+     << "', buffer '" << buffer << "', observed " << observed_bytes
+     << " bytes exceed the statically derived " << predicted_bytes << "-byte volume";
+  return os.str();
+}
+
 std::string ScheduleFinding::to_string() const {
   std::ostringstream os;
   os << "SCHEDULE-DEPENDENT output: kernel '" << kernel << "', buffer '" << buffer
@@ -588,6 +602,9 @@ std::string report_text() {
   }
   if (!r.contract_mismatches.empty()) {
     os << ", " << r.contract_mismatches.size() << " contract mismatch(es)";
+  }
+  if (!r.traffic_mismatches.empty()) {
+    os << ", " << r.traffic_mismatches.size() << " traffic mismatch(es)";
   }
   os << "\n";
 
@@ -614,6 +631,12 @@ std::string report_text() {
               return std::tie(a.kernel, a.block, a.buffer, a.elem_lo) <
                      std::tie(b.kernel, b.block, b.buffer, b.elem_lo);
             });
+  auto traffic_mismatches = r.traffic_mismatches;
+  std::sort(traffic_mismatches.begin(), traffic_mismatches.end(),
+            [](const TrafficFinding& a, const TrafficFinding& b) {
+              return std::tie(a.kernel, a.buffer, a.observed_bytes) <
+                     std::tie(b.kernel, b.buffer, b.observed_bytes);
+            });
   auto diffs = r.schedule_diffs;
   std::sort(diffs.begin(), diffs.end(), [](const ScheduleFinding& a, const ScheduleFinding& b) {
     return std::tie(a.kernel, a.buffer, a.schedule) < std::tie(b.kernel, b.buffer, b.schedule);
@@ -623,6 +646,7 @@ std::string report_text() {
   for (const auto& f : hazards) os << "  " << f.to_string() << "\n";
   for (const auto& f : oob) os << "  " << f.to_string() << "\n";
   for (const auto& f : mismatches) os << "  " << f.to_string() << "\n";
+  for (const auto& f : traffic_mismatches) os << "  " << f.to_string() << "\n";
   for (const auto& f : diffs) os << "  " << f.to_string() << "\n";
   if (r.clean()) os << "  no violations detected\n";
   return os.str();

@@ -77,6 +77,7 @@
 #include "sim/contract.hh"
 #include "sim/launch.hh"
 #include "sim/prove.hh"
+#include "sim/traffic.hh"
 
 namespace szp::sim::checked {
 
@@ -216,6 +217,20 @@ struct ContractFinding {
   [[nodiscard]] std::string to_string() const;
 };
 
+/// Observed traffic on one buffer exceeded the statically predicted volume
+/// (the declared `*_dyn` bound included): either the contract's bound is
+/// under-declared or the kernel moved more bytes than its contract admits.
+/// The static traffic table cannot be trusted for this kernel.
+struct TrafficFinding {
+  std::string kernel;
+  std::string buffer;
+  std::uint64_t observed_bytes = 0;   ///< summed per-block observed footprints
+  std::uint64_t predicted_bytes = 0;  ///< statically derived upper bound
+  bool is_write = false;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
 /// A schedule-fuzz divergence: replaying the grid under a perturbed block
 /// order produced different bytes in a writable buffer.
 struct ScheduleFinding {
@@ -234,6 +249,7 @@ struct CheckReport {
   std::vector<HazardFinding> hazards;
   std::vector<OobFinding> oob;
   std::vector<ContractFinding> contract_mismatches;
+  std::vector<TrafficFinding> traffic_mismatches;
   std::vector<ScheduleFinding> schedule_diffs;
   std::uint64_t launches_checked = 0;
   std::uint64_t launches_fuzzed = 0;
@@ -242,7 +258,7 @@ struct CheckReport {
 
   [[nodiscard]] bool clean() const {
     return races.empty() && hazards.empty() && oob.empty() && contract_mismatches.empty() &&
-           schedule_diffs.empty();
+           traffic_mismatches.empty() && schedule_diffs.empty();
   }
 };
 
@@ -649,9 +665,28 @@ std::vector<contract::BufExtent> extents(const std::tuple<B...>& t) {
       [](const auto&... b) { return std::vector<contract::BufExtent>{{b.name, b.n}...}; }, t);
 }
 
+template <typename T>
+traffic::BufShape shape_of(const ReadBuf<T>& b) {
+  return {b.name, b.n, sizeof(T)};
+}
+template <typename T>
+traffic::BufShape shape_of(const WriteBuf<T>& b) {
+  return {b.name, b.n, sizeof(T)};
+}
+
+template <typename... B>
+std::vector<traffic::BufShape> shapes(const std::tuple<B...>& t) {
+  return std::apply(
+      [](const auto&... b) { return std::vector<traffic::BufShape>{shape_of(b)...}; }, t);
+}
+
 /// Append one contract-mismatch finding to the process-global report
 /// (defined in check.cc, which owns the report mutex).
 void append_contract_finding(const ContractFinding& f);
+
+/// Append one traffic-mismatch finding to the process-global report
+/// (defined in check.cc, which owns the report mutex).
+void append_traffic_finding(const TrafficFinding& f);
 
 /// Cross-validate the observed interval-tier footprints of one completed
 /// launch against its declared contract: every observed access of block b
@@ -661,6 +696,14 @@ void append_contract_finding(const ContractFinding& f);
 void validate_observed(const char* kernel, const contract::Contract& con,
                        const contract::Geom& geom, const std::vector<BufMeta>& bufs,
                        const std::vector<BlockLog>& logs);
+
+/// Cross-validate the statically predicted traffic of one completed launch
+/// against observation: per buffer and direction, the sum over blocks of the
+/// observed (union-normalized) footprint bytes must not exceed the derived
+/// volume — for dynamic clauses, the declared `*_dyn` bound.  Appends
+/// TrafficFindings on excess.  Defined in traffic.cc.
+void validate_traffic(const char* kernel, const traffic::LaunchTraffic& predicted,
+                      const std::vector<BufMeta>& bufs, const std::vector<BlockLog>& logs);
 
 template <typename Tuple, typename Fn, std::size_t... I>
 decltype(auto) with_raw_views(const Tuple& t, Fn&& fn, std::index_sequence<I...>) {
@@ -813,7 +856,12 @@ void launch_impl(const char* kernel, std::size_t grid_size, Granularity gran,
     detail::with_raw_views(registered, [&](const auto&... views) { body(b, views...); }, seq);
   };
 
-  if (m == Mode::kOff && schedules == 0) {
+  // A traffic Scope on this thread wants the contract-derived volumes even
+  // with checking off (kernel wrappers derive their KernelCost traffic from
+  // it), so the zero-overhead fast path only applies without one.
+  const bool want_traffic = con != nullptr && (m != Mode::kOff || traffic::scope_active());
+
+  if (m == Mode::kOff && schedules == 0 && !want_traffic) {
     launch_blocks(grid_size, run_raw);
     return;
   }
@@ -825,6 +873,11 @@ void launch_impl(const char* kernel, std::size_t grid_size, Granularity gran,
   // opt-ins keep the shadow: they exist to model intra-block lanes, which
   // per-block footprints say nothing about.
   const contract::Geom geom{static_cast<std::int64_t>(grid_size), grid3.x, grid3.y, grid3.z};
+  traffic::LaunchTraffic predicted;
+  if (want_traffic) {
+    predicted = traffic::analyze(*con, geom, detail::shapes(registered));
+    traffic::record(kernel, predicted);
+  }
   bool validate = false;
   if (m != Mode::kOff) {
     if (con != nullptr) {
@@ -864,7 +917,10 @@ void launch_impl(const char* kernel, std::size_t grid_size, Granularity gran,
       detail::with_tracked_views(
           registered, &logs[b], nullptr, [&](const auto&... views) { body(b, views...); }, seq);
     });
-    if (validate) detail::validate_observed(kernel, *con, geom, detail::metas(registered), logs);
+    if (validate) {
+      detail::validate_observed(kernel, *con, geom, detail::metas(registered), logs);
+      detail::validate_traffic(kernel, predicted, detail::metas(registered), logs);
+    }
     analyze_launch(kernel, detail::metas(registered), logs);
   }
 

@@ -32,6 +32,8 @@ struct ERange {
 void clause_ranges(const Clause& cl, std::int64_t b, std::int64_t x, std::int64_t y,
                    std::int64_t z, std::int64_t elems, std::vector<ERange>& out) {
   switch (cl.kind) {
+    case ClauseKind::kHostSink:
+      return;  // no registered buffer behind it — nothing to cover
     case ClauseKind::kAll:
     case ClauseKind::kDynamic:
       out.push_back({0, elems});

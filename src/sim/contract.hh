@@ -24,6 +24,22 @@
 //                                                  never prove disjointness for
 //                                                  writes — dynamic checking
 //                                                  remains the authority
+//   reads_dyn/writes_dyn/updates_dyn(buf, bound)   same, but with an explicit
+//                                                  worst-case element volume
+//                                                  across the whole launch —
+//                                                  the traffic analyzer
+//                                                  (sim/traffic.hh) uses it as
+//                                                  an honest upper bound, and
+//                                                  observed traffic beyond it
+//                                                  is a TrafficFinding
+//   host_sink(what, bytes)                         the launch's output lives
+//                                                  in host-owned heap state
+//                                                  (bit writers, growing
+//                                                  vectors) instead of a
+//                                                  registered buffer; declares
+//                                                  a worst-case *byte* volume
+//                                                  so the traffic table still
+//                                                  carries the store side
 //
 // The contract is consumed twice: the prover (sim/prove.hh) decides once per
 // launch geometry whether every write family is cross-block disjoint and
@@ -100,6 +116,7 @@ enum class ClauseKind : std::uint8_t {
   kBox,      ///< per-axis tile of a row-major nx*ny*nz field, edge-clamped
   kAll,      ///< whole buffer from every block
   kDynamic,  ///< data-dependent: declared as the whole buffer, never provable
+  kHostSink,  ///< declared byte volume into host-owned output state (no buffer)
 };
 
 struct Clause {
@@ -120,6 +137,11 @@ struct Clause {
   Term lo_x, lo_y, lo_z;
   std::int64_t span_x = 1, span_y = 1, span_z = 1;
   std::int64_t nx = 1, ny = 1, nz = 1;
+
+  // kDynamic: worst-case element volume across the whole launch, known at
+  // launch time (scan totals, nnz counts).  -1 means "no bound declared":
+  // the whole buffer stands in as the upper bound.
+  std::int64_t dyn_bound = -1;
 
   /// Repeat the window `count` times, `stride` elements apart (gap arrays,
   /// per-block column families).
@@ -221,6 +243,41 @@ struct Clause {
 }
 [[nodiscard]] constexpr Clause updates_dyn(const char* buf) {
   return whole(AccessKind::kReadWrite, ClauseKind::kDynamic, buf);
+}
+
+/// Bounded dynamic clauses: the footprint is still data-dependent (the
+/// prover keeps its hands off), but the call site knows a worst-case element
+/// volume before launching — a scan total, an nnz count — and declares it so
+/// the traffic analyzer gets an honest upper bound instead of a hole.
+[[nodiscard]] constexpr Clause bounded_dyn(AccessKind a, const char* buf, std::int64_t bound) {
+  Clause cl = whole(a, ClauseKind::kDynamic, buf);
+  cl.dyn_bound = bound >= 0 ? bound : -1;
+  return cl;
+}
+[[nodiscard]] constexpr Clause reads_dyn(const char* buf, std::int64_t bound) {
+  return bounded_dyn(AccessKind::kRead, buf, bound);
+}
+[[nodiscard]] constexpr Clause writes_dyn(const char* buf, std::int64_t bound) {
+  return bounded_dyn(AccessKind::kWrite, buf, bound);
+}
+[[nodiscard]] constexpr Clause updates_dyn(const char* buf, std::int64_t bound) {
+  return bounded_dyn(AccessKind::kReadWrite, buf, bound);
+}
+
+/// Host-sink clause: the kernel's output is host-owned heap state (a serial
+/// bit writer, a vector growing under an untrusted size header) rather than
+/// a registered device buffer, so there is nothing for the prover to prove
+/// or the containment checker to observe.  `bytes` declares the worst-case
+/// byte volume the launch may emit; the traffic analyzer books it as a
+/// dynamic contiguous store so the kernel's table row still carries its
+/// write side instead of a coverage hole.
+[[nodiscard]] constexpr Clause host_sink(const char* what, std::int64_t bytes) {
+  Clause cl;
+  cl.buf = what;
+  cl.kind = ClauseKind::kHostSink;
+  cl.access = AccessKind::kWrite;
+  cl.dyn_bound = bytes >= 0 ? bytes : 0;
+  return cl;
 }
 
 // ---------------------------------------------------------------------------

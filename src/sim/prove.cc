@@ -65,6 +65,7 @@ Range global_range(const Clause& cl, const Geom& g, std::int64_t elems) {
     case ClauseKind::kBox:
     case ClauseKind::kAll:
     case ClauseKind::kDynamic:
+    case ClauseKind::kHostSink:
       return {0, elems};
   }
   return {0, elems};
@@ -244,6 +245,9 @@ ProveResult prove(const Contract& con, const Geom& geom, const std::vector<BufEx
   std::vector<bool> ok(con.clauses.size(), false);
   for (std::size_t i = 0; i < con.clauses.size(); ++i) {
     const Clause& cl = con.clauses[i];
+    // Host sinks are traffic declarations, not footprints: no buffer to
+    // prove anything about, and nothing the disjointness pass could touch.
+    if (cl.kind == ClauseKind::kHostSink) continue;
     const BufExtent* e = extent_of(cl.buf);
     if (e == nullptr) {
       push_reason(reasons, cl, "names no registered buffer");

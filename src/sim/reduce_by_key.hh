@@ -34,47 +34,64 @@ RunsOutput<Key, Count> reduce_by_key(std::span<const Key> keys,
   if (n == 0) return out;
 
   const std::size_t tiles = div_ceil(n, tile);
-  std::vector<RunsOutput<Key, Count>> partial(tiles);
+  // Caller-allocated worst-case outputs, exactly as thrust::reduce_by_key
+  // takes them: every key could start a run, so each tile owns the
+  // [t*tile, t*tile + tile) slice of the flat run arrays and compacts its
+  // runs at the slice head.  Affine, disjoint, and statically provable.
+  std::vector<Key> run_keys(n);
+  std::vector<Count> run_counts(n);
+  std::vector<std::uint64_t> tile_run_count(tiles);
 
-  // The per-tile run lists are block-owned heap state; only `keys` is a
-  // shared device buffer, so it is the one registered with the checker.
   checked::launch("reduce_by_key/tile_runs", tiles,
-                  checked::bufs(checked::in(keys, "keys")),
+                  checked::bufs(checked::in(keys, "keys"),
+                                checked::out(std::span<Key>(run_keys), "run_keys"),
+                                checked::out(std::span<Count>(run_counts), "run_counts"),
+                                checked::out(std::span<std::uint64_t>(tile_run_count),
+                                             "tile_run_count")),
                   contract::contract(
                       contract::reads("keys", contract::b() * tile,
-                                      static_cast<std::int64_t>(tile)).clamp()),
-                  [&, n, tile](std::size_t t, const auto& vkeys) {
+                                      static_cast<std::int64_t>(tile)).clamp(),
+                      contract::writes("run_keys", contract::b() * tile,
+                                       static_cast<std::int64_t>(tile)).clamp(),
+                      contract::writes("run_counts", contract::b() * tile,
+                                       static_cast<std::int64_t>(tile)).clamp(),
+                      contract::writes("tile_run_count", contract::b(), 1)),
+                  [&, n, tile](std::size_t t, const auto& vkeys, const auto& vrk,
+                               const auto& vrc, const auto& vcount) {
     const std::size_t lo = t * tile, hi = lo + tile < n ? lo + tile : n;
-    auto& p = partial[t];
-    // Schedule fuzzing replays the grid; make the body idempotent by
-    // rebuilding this tile's run list from scratch each execution.
-    p.keys.clear();
-    p.counts.clear();
+    std::size_t w = lo;
     Key cur = vkeys[lo];
     Count len = 1;
     for (std::size_t i = lo + 1; i < hi; ++i) {
       if (vkeys[i] == cur) {
         ++len;
       } else {
-        p.keys.push_back(cur);
-        p.counts.push_back(len);
+        vrk[w] = cur;
+        vrc[w] = len;
+        ++w;
         cur = vkeys[i];
         len = 1;
       }
     }
-    p.keys.push_back(cur);
-    p.counts.push_back(len);
+    vrk[w] = cur;
+    vrc[w] = len;
+    vcount[t] = w + 1 - lo;
   });
 
   // Stitch runs that straddle tile boundaries.
-  for (auto& p : partial) {
+  for (std::size_t t = 0; t < tiles; ++t) {
+    const std::size_t lo = t * tile;
     std::size_t start = 0;
-    if (!out.keys.empty() && !p.keys.empty() && out.keys.back() == p.keys.front()) {
-      out.counts.back() += p.counts.front();
+    const auto runs = static_cast<std::size_t>(tile_run_count[t]);
+    if (!out.keys.empty() && runs > 0 && out.keys.back() == run_keys[lo]) {
+      out.counts.back() += run_counts[lo];
       start = 1;
     }
-    out.keys.insert(out.keys.end(), p.keys.begin() + static_cast<std::ptrdiff_t>(start), p.keys.end());
-    out.counts.insert(out.counts.end(), p.counts.begin() + static_cast<std::ptrdiff_t>(start), p.counts.end());
+    out.keys.insert(out.keys.end(), run_keys.begin() + static_cast<std::ptrdiff_t>(lo + start),
+                    run_keys.begin() + static_cast<std::ptrdiff_t>(lo + runs));
+    out.counts.insert(out.counts.end(),
+                      run_counts.begin() + static_cast<std::ptrdiff_t>(lo + start),
+                      run_counts.begin() + static_cast<std::ptrdiff_t>(lo + runs));
   }
   return out;
 }

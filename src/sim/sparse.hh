@@ -68,7 +68,12 @@ void dense_to_sparse_into(std::span<const T> dense, SparseVector<T, Index>& out,
                       contract::reads("dense", contract::b() * tile,
                                       static_cast<std::int64_t>(tile)).clamp(),
                       contract::reads("offset", contract::b(), 2),
-                      contract::writes_dyn("indices"), contract::writes_dyn("values")),
+                      // The offset scan's grand total is the exact number
+                      // of compacted entries: the dynamic clauses' bound.
+                      contract::writes_dyn("indices",
+                                           static_cast<std::int64_t>(offset[tiles])),
+                      contract::writes_dyn("values",
+                                           static_cast<std::int64_t>(offset[tiles]))),
                   [&, n, tile](std::size_t t, const auto& vdense, const auto& voffset,
                                const auto& vidx, const auto& vval) {
     const std::size_t lo = t * tile, hi = lo + tile < n ? lo + tile : n;
@@ -106,7 +111,10 @@ void scatter_add(const SparseVector<T, Index>& sparse, std::span<Acc> dense) {
                                 checked::inout(dense, "dense")),
                   contract::contract(contract::reads("indices", contract::b(), 1),
                                      contract::reads("values", contract::b(), 1),
-                                     contract::updates_dyn("dense")),
+                                     // Each nonzero touches exactly one dense
+                                     // element: nnz bounds the scattered volume.
+                                     contract::updates_dyn(
+                                         "dense", static_cast<std::int64_t>(sparse.nnz()))),
                   [](std::size_t i, const auto& vidx, const auto& vval, const auto& vdense) {
     vdense[static_cast<std::size_t>(vidx[i])] += static_cast<Acc>(vval[i]);
   });

@@ -306,6 +306,7 @@ ZfpCompressed zfp_compress(std::span<const float> data, const Extents& ext,
 
   namespace chk = sim::checked;
   namespace ctr = sim::contract;
+  sim::traffic::Scope traffic_scope;  // contract-derived volumes for out.cost
   // One 4x4x4 (edge-clamped) tile of the field per block, and one
   // byte-rounded payload slot at the block's linear index — affine in the
   // block coordinates, so both footprints are statically provable.
@@ -385,8 +386,7 @@ ZfpCompressed zfp_compress(std::span<const float> data, const Extents& ext,
   ZfpCompressed out;
   out.bytes = w.take();
   out.ratio = static_cast<double>(data.size_bytes()) / static_cast<double>(out.bytes.size());
-  out.cost.bytes_read = data.size_bytes();
-  out.cost.bytes_written = payload_bytes;
+  traffic_scope.apply(out.cost);  // contract-derived: field tiles + payload slots
   out.cost.flops = data.size() * 12;  // lifting + negabinary + plane tests
   out.cost.parallel_items = data.size();
   out.cost.pattern = sim::AccessPattern::kCoalescedStreaming;
@@ -455,6 +455,7 @@ ZfpDecompressed zfp_decompress(std::span<const std::uint8_t> archive) {
 
   namespace chk = sim::checked;
   namespace ctr = sim::contract;
+  sim::traffic::Scope traffic_scope;  // contract-derived volumes for out.cost
   const auto bpb8 = static_cast<std::int64_t>(bits_per_block / 8);
   const auto gbx = static_cast<std::int64_t>(grid.bx);
   const auto gby = static_cast<std::int64_t>(grid.by);
@@ -509,8 +510,7 @@ ZfpDecompressed zfp_decompress(std::span<const std::uint8_t> archive) {
     scatter_block(vdata, ext, gx, gy, gz, vals.data());
   });
 
-  out.cost.bytes_read = payload.size();
-  out.cost.bytes_written = out.data.size() * sizeof(float);
+  traffic_scope.apply(out.cost);  // contract-derived: payload slots + field tiles
   out.cost.flops = out.data.size() * 12;
   out.cost.parallel_items = out.data.size();
   out.cost.pattern = sim::AccessPattern::kCoalescedStreaming;

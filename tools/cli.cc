@@ -483,24 +483,47 @@ void analyze_suite() {
 }
 
 int cmd_analyze(const Args& a, std::ostream& out) {
-  (void)a;
   // Interval-tier checking for the whole suite: every launch is proved (or
   // honestly falls back) and its observed footprint is cross-validated
-  // against the declaration.
+  // against the declaration — including the statically derived traffic
+  // volumes, which accumulate per kernel while checking is on.
   sim::checked::ScopedMode mode_guard(sim::checked::Mode::kInterval);
   sim::checked::reset();
   sim::contract::reset_registry();
+  sim::traffic::reset_registry();
 
   analyze_suite();
 
   out << sim::contract::verdict_table_text();
+  const bool want_traffic = a.has_flag("--traffic");
+  const bool want_roofline = a.has_flag("--roofline");
+  if (want_traffic) out << sim::traffic::traffic_table_text();
+  if (want_roofline) out << sim::traffic::roofline_table_text(sim::v100());
   out << sim::checked::report_text();
+
+  // Traffic coverage: every contract-carrying kernel the suite exercised
+  // must have derived nonzero volumes — a zero or absent row means a
+  // contract whose clauses the analyzer cannot see traffic through.
+  bool uncovered = false;
+  if (want_traffic || want_roofline) {
+    const auto traffic_rows = sim::traffic::registry_snapshot();
+    for (const auto& v : sim::contract::registry_snapshot()) {
+      const auto it =
+          std::find_if(traffic_rows.begin(), traffic_rows.end(),
+                       [&](const auto& t) { return t.kernel == v.kernel; });
+      if (it == traffic_rows.end() || it->bytes_read == 0 || it->bytes_written == 0) {
+        out << "TRAFFIC-UNCOVERED: kernel '" << v.kernel
+            << "' has no nonzero derived read+write volume\n";
+        uncovered = true;
+      }
+    }
+  }
 
   bool missing = false;
   for (const auto& v : sim::contract::registry_snapshot()) {
     missing |= v.verdict == sim::contract::Verdict::kNoContract;
   }
-  if (!sim::checked::current_report().clean()) return 3;
+  if (!sim::checked::current_report().clean() || uncovered) return 3;
   return missing ? 5 : 0;
 }
 
@@ -521,7 +544,7 @@ void usage(std::ostream& err) {
          "  szp bundle-extract --bundle snap.szb --name VAR -o field.szp [--tolerant]\n"
          "  szp fuzz           [--rounds N] [--seed S] [--corpus DIR] [-v]\n"
          "  szp fuzz           --replay DIR\n"
-         "  szp analyze\n"
+         "  szp analyze    [--traffic] [--roofline]\n"
          "compress also accepts --psnr TARGET_DB in place of --eb.\n"
          "--tolerant salvages the intact entries of a corrupt bundle (warnings list\n"
          "the damaged ones).  fuzz mutates round-trip archives of every format and\n"
@@ -546,7 +569,11 @@ void usage(std::ostream& err) {
          "--check=word skips word-shadow instrumentation for it), unproved-\n"
          "fallback-dynamic (honest reason printed; dynamic checking remains the\n"
          "authority), or no-contract.  Exit 5 if any kernel lacks a contract,\n"
-         "3 if the checker fired.\n";
+         "3 if the checker fired.  --traffic adds the statically derived\n"
+         "per-kernel byte-volume & coalescing table (from the same contracts);\n"
+         "--roofline classifies each kernel bandwidth- vs compute-bound against\n"
+         "the V100 DeviceSpec.  Either flag also fails (exit 3) when a\n"
+         "contract-carrying kernel has no nonzero derived volumes.\n";
 }
 
 }  // namespace

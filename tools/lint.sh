@@ -4,11 +4,14 @@
 #   tools/lint.sh [build-dir] [extra clang-tidy args...]
 #   tools/lint.sh --contracts-only
 #
-# Two phases:
+# Three phases:
 #   1. Footprint-contract coverage: every chk::launch / checked::launch(_3d)
 #      call site in src/ must register a contract (a `contract` token inside
 #      the call's parenthesis extent).  Pure text check, no toolchain needed.
-#   2. clang-tidy over all first-party translation units, using the compile
+#   2. Static traffic coverage: `szp analyze --traffic` must exit clean —
+#      every registered kernel carries contract-derived volumes in the
+#      traffic table.  Skipped when the build tree has no szp binary.
+#   3. clang-tidy over all first-party translation units, using the compile
 #      database from a configured build tree (compile_commands.json is
 #      exported by default, see CMakeLists.txt).  Warnings are errors (see
 #      .clang-tidy WarningsAsErrors).
@@ -40,24 +43,32 @@ check_contracts() {
               line = substr(line, RSTART)
             } else break
           }
-          if (line ~ /contract/) seen = 1
           n = length(line)
           consumed = n
+          closed = 0
           for (i = 1; i <= n; i++) {
             c = substr(line, i, 1)
             if (c == "(") depth++
             else if (c == ")") {
               depth--
               if (depth == 0) {
-                if (!seen) {
-                  printf "%s:%d: checked launch without a footprint contract\n", file, start
-                  bad = 1
-                }
-                in_launch = 0
+                closed = 1
                 consumed = i
                 break
               }
             }
+          }
+          # Only text inside the call extent can satisfy the requirement: a
+          # `contract` token after the closing paren — or inside parens
+          # re-opened later on the same line by the next statement — belongs
+          # to that statement, not to this launch.
+          if (substr(line, 1, consumed) ~ /contract/) seen = 1
+          if (closed) {
+            if (!seen) {
+              printf "%s:%d: checked launch without a footprint contract\n", file, start
+              bad = 1
+            }
+            in_launch = 0
           }
           line = substr(line, consumed + 1)
           if (in_launch) break  # call continues on the next input line
@@ -80,10 +91,28 @@ if [ "${contracts_only}" = 1 ]; then
   exit 0
 fi
 
-# --- Phase 2: clang-tidy. --------------------------------------------------
 build_dir=${1:-"${repo_root}/build"}
 [ $# -gt 0 ] && shift
 
+# --- Phase 2: static traffic coverage. -------------------------------------
+# Every registered kernel must have a row with derived volumes in the traffic
+# table (`szp analyze --traffic` exits 3 on an uncovered kernel or a
+# checker/traffic finding, 5 on a missing contract).  Needs the built CLI;
+# skipped with a note when the build tree has none.
+szp_bin="${build_dir}/tools/szp"
+if [ -x "${szp_bin}" ]; then
+  echo "lint.sh: checking static traffic coverage (szp analyze --traffic)"
+  if ! "${szp_bin}" analyze --traffic >/dev/null; then
+    echo "lint.sh: traffic coverage FAILED — registered kernel missing from" \
+         "the traffic table, or a finding fired (rerun: szp analyze --traffic)" >&2
+    exit 1
+  fi
+  echo "lint.sh: traffic coverage OK"
+else
+  echo "lint.sh: skipping traffic coverage (no szp binary under '${build_dir}')"
+fi
+
+# --- Phase 3: clang-tidy. --------------------------------------------------
 if [ ! -f "${build_dir}/compile_commands.json" ]; then
   echo "lint.sh: no compile_commands.json in '${build_dir}'." >&2
   echo "  Configure first: cmake -B '${build_dir}' -S '${repo_root}'" >&2
@@ -101,5 +130,7 @@ files=$(find "${repo_root}/src" "${repo_root}/tools" "${repo_root}/bench" \
           "${repo_root}/examples" -name '*.cc' 2>/dev/null | sort)
 
 echo "lint.sh: checking $(printf '%s\n' "${files}" | wc -l | tr -d ' ') files"
+# -Wthread-safety feeds the clang-diagnostic-thread-safety* gate (see
+# .clang-tidy WarningsAsErrors and core/thread_safety.hh).
 # shellcheck disable=SC2086
-exec "${tidy}" -p "${build_dir}" --quiet "$@" ${files}
+exec "${tidy}" -p "${build_dir}" --quiet --extra-arg=-Wthread-safety "$@" ${files}
