@@ -30,7 +30,7 @@ void validate_exactness(const ValueRange& range, double eb_abs) {
 
 template <typename T>
 Compressed compress_impl(const CompressConfig& cfg_, std::span<const T> data,
-                         const Extents& ext, WorkspacePool& pool) {
+                         const Extents& ext, Workspace& ws) {
   if (data.empty() || data.size() != ext.count()) {
     throw std::invalid_argument("Compressor::compress: data must be non-empty and match extents");
   }
@@ -63,8 +63,6 @@ Compressed compress_impl(const CompressConfig& cfg_, std::span<const T> data,
   validate_exactness(range, eb_kernel);
 
   const auto& registry = pipeline::StageRegistry::instance();
-  auto lease = pool.acquire();
-  Workspace& ws = *lease;
 
   // --- Prediction + quantization -----------------------------------------
   sim::Timer t;
@@ -132,21 +130,35 @@ Compressed compress_impl(const CompressConfig& cfg_, std::span<const T> data,
 }  // namespace
 
 Compressed Compressor::compress(std::span<const float> data, const Extents& ext) const {
-  return compress_impl(cfg_, data, ext, pool_);
+  auto lease = pool_.acquire();
+  return compress_impl(cfg_, data, ext, *lease);
 }
 
 Compressed Compressor::compress(std::span<const double> data, const Extents& ext) const {
-  return compress_impl(cfg_, data, ext, pool_);
+  auto lease = pool_.acquire();
+  return compress_impl(cfg_, data, ext, *lease);
 }
 
 Compressed Compressor::compress(std::span<const float> data, const Extents& ext,
                                 const CompressConfig& cfg) const {
-  return compress_impl(cfg, data, ext, pool_);
+  auto lease = pool_.acquire();
+  return compress_impl(cfg, data, ext, *lease);
 }
 
 Compressed Compressor::compress(std::span<const double> data, const Extents& ext,
                                 const CompressConfig& cfg) const {
-  return compress_impl(cfg, data, ext, pool_);
+  auto lease = pool_.acquire();
+  return compress_impl(cfg, data, ext, *lease);
+}
+
+Compressed Compressor::compress(std::span<const float> data, const Extents& ext,
+                                const CompressConfig& cfg, Workspace& ws) const {
+  return compress_impl(cfg, data, ext, ws);
+}
+
+Compressed Compressor::compress(std::span<const double> data, const Extents& ext,
+                                const CompressConfig& cfg, Workspace& ws) const {
+  return compress_impl(cfg, data, ext, ws);
 }
 
 Compressor::ArchiveInfo Compressor::inspect(std::span<const std::uint8_t> archive) {

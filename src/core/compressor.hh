@@ -118,6 +118,21 @@ class Compressor {
   [[nodiscard]] Compressed compress(std::span<const double> data, const Extents& ext,
                                     const CompressConfig& cfg) const;
 
+  /// Compress through an explicitly supplied workspace (bypasses the pool).
+  /// A long-lived worker — one slab-streaming thread compressing many slabs
+  /// — leases once via lease_workspace() and passes the workspace here, so
+  /// the pool mutex and per-lease capacity accounting are paid once per
+  /// worker instead of once per slab.  The workspace must not be shared
+  /// across concurrent calls.
+  [[nodiscard]] Compressed compress(std::span<const float> data, const Extents& ext,
+                                    const CompressConfig& cfg, Workspace& ws) const;
+  [[nodiscard]] Compressed compress(std::span<const double> data, const Extents& ext,
+                                    const CompressConfig& cfg, Workspace& ws) const;
+
+  /// Exclusive RAII lease on one of this Compressor's pooled workspaces,
+  /// for use with the explicit-workspace compress overloads.
+  [[nodiscard]] WorkspaceLease lease_workspace() const { return pool_.acquire(); }
+
   template <typename T, typename Alloc>
   [[nodiscard]] Compressed compress(const std::vector<T, Alloc>& data, const Extents& ext) const {
     return compress(std::span<const T>(data.data(), data.size()), ext);

@@ -38,6 +38,11 @@ class ByteWriter {
     put_span(std::span<const T>(v.data(), v.size()));
   }
 
+  /// Pre-size the underlying buffer (capacity hint, e.g. a streaming
+  /// container's estimated total from its first packed slab) so incremental
+  /// packing does not pay repeated reallocation-and-copy.
+  void reserve(std::size_t bytes) { buf_.reserve(bytes); }
+
   [[nodiscard]] std::vector<std::uint8_t> take() { return std::move(buf_); }
   [[nodiscard]] std::size_t size() const { return buf_.size(); }
 

@@ -1,13 +1,25 @@
 #include "core/streaming.hh"
 
 #include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <limits>
+#include <mutex>
 #include <stdexcept>
 #include <string>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
 
 #include "core/error.hh"
 #include "core/metrics.hh"
 #include "core/serialize.hh"
 #include "sim/launch.hh"
+#include "sim/timer.hh"
 
 namespace szp {
 
@@ -15,6 +27,25 @@ namespace {
 
 constexpr std::uint32_t kContainerMagic = 0x43505A53;  // "SZPC"
 constexpr std::uint16_t kContainerVersion = 1;
+
+/// Worker count for the slab pipeline: explicit config wins, then the
+/// SZP_WORKERS environment variable, then the OpenMP thread budget.
+/// Deliberately independent of cfg.parallel — the slab *plan* may consult
+/// the worker count (auto_slab_thickness), and the plan must not differ
+/// between a serial and a parallel run or their containers would diverge.
+std::size_t resolve_workers(const StreamingConfig& cfg) {
+  if (cfg.workers != 0) return cfg.workers;
+  if (const char* env = std::getenv("SZP_WORKERS")) {
+    char* end = nullptr;
+    const unsigned long v = std::strtoul(env, &end, 10);
+    if (end != env && *end == '\0' && v > 0 && v < 4096) return static_cast<std::size_t>(v);
+  }
+#ifdef _OPENMP
+  return static_cast<std::size_t>(std::max(1, omp_get_max_threads()));
+#else
+  return 1;
+#endif
+}
 
 /// Slab partition along the slowest axis: slab thickness chosen so each
 /// slab holds at most max_slab_elems.
@@ -25,7 +56,7 @@ struct SlabPlan {
   std::size_t count;            ///< number of slabs
 };
 
-SlabPlan plan_slabs(const Extents& ext, std::size_t max_slab_elems) {
+SlabPlan plan_slabs(const Extents& ext, const StreamingConfig& cfg, std::size_t workers) {
   SlabPlan p{};
   switch (ext.rank) {
     case 1: p.slow_extent = ext.nx; p.plane_elems = 1; break;
@@ -33,11 +64,20 @@ SlabPlan plan_slabs(const Extents& ext, std::size_t max_slab_elems) {
     case 3: p.slow_extent = ext.nz; p.plane_elems = ext.nx * ext.ny; break;
     default: throw std::invalid_argument("StreamingCompressor: rank must be 1, 2, or 3");
   }
-  if (p.plane_elems > max_slab_elems) {
+  if (p.plane_elems > cfg.max_slab_elems) {
     throw std::invalid_argument(
         "StreamingCompressor: a single plane exceeds max_slab_elems; raise the limit");
   }
-  p.thickness = std::max<std::size_t>(1, max_slab_elems / p.plane_elems);
+  p.thickness = std::max<std::size_t>(1, cfg.max_slab_elems / p.plane_elems);
+  if (cfg.auto_slab_thickness) {
+    // Aim for ~3 slabs per worker so slabs with uneven workflow-selection
+    // cost load-balance across the pool, without dropping below one slow-
+    // axis unit or exceeding the max_slab_elems memory cap.
+    const std::size_t target_slabs = std::max<std::size_t>(1, 3 * workers);
+    const std::size_t balanced =
+        std::max<std::size_t>(1, (p.slow_extent + target_slabs - 1) / target_slabs);
+    p.thickness = std::min(p.thickness, balanced);
+  }
   p.count = (p.slow_extent + p.thickness - 1) / p.thickness;
   return p;
 }
@@ -50,50 +90,128 @@ Extents slab_extents(const Extents& ext, std::size_t len) {
   }
 }
 
+/// Whole-field min/max as a block-reduce over the launch substrate: the
+/// per-block loops are plain scalar code (no nested OpenMP pragma), the
+/// block partials merge exactly, so the resolved bound is identical to the
+/// single-pass ValueRange::of scan — but the scan now parallelizes instead
+/// of running serially before any slab worker starts.
+template <typename T>
+ValueRange field_range_blocked(std::span<const T> data) {
+  constexpr std::size_t kBlock = std::size_t{1} << 16;
+  const std::size_t blocks = sim::div_ceil(data.size(), kBlock);
+  std::vector<ValueRange> partial(blocks);
+  sim::launch_blocks(blocks, [&](std::size_t b) {
+    const std::size_t begin = b * kBlock;
+    const std::size_t end = std::min(begin + kBlock, data.size());
+    T lo = data[begin];
+    T hi = data[begin];
+    bool fin = true;
+    for (std::size_t i = begin; i < end; ++i) {
+      const T v = data[i];
+      fin = fin && std::isfinite(v);
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    partial[b] = ValueRange{static_cast<double>(lo), static_cast<double>(hi), fin};
+  });
+  ValueRange r = partial[0];
+  for (std::size_t b = 1; b < blocks; ++b) {
+    r.min = std::min(r.min, partial[b].min);
+    r.max = std::max(r.max, partial[b].max);
+    r.finite = r.finite && partial[b].finite;
+  }
+  return r;
+}
+
+/// Dynamic one-level fan-out: `count` independent work items claimed by up
+/// to `workers` threads from a shared counter (no static pre-assignment, so
+/// uneven item cost load-balances).  Exceptions are captured and the
+/// lowest-index one is rethrown after every item has run, exactly like
+/// sim::launch_blocks.  Used for compress_many fields and decompress slabs.
+template <typename Body>
+void fan_out_dynamic(std::size_t count, std::size_t workers, const Body& body) {
+#ifdef _OPENMP
+  if (workers > 1 && count > 1 && !sim::in_parallel_worker()) {
+    std::atomic<std::size_t> next{0};
+    sim::detail::FirstBlockError err;
+    const int team = static_cast<int>(std::min(workers, count));
+#pragma omp parallel num_threads(team)
+    {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= count) break;
+        try {
+          body(i);
+        } catch (...) {
+          err.note(i);
+        }
+      }
+    }
+    err.rethrow_if_set();
+    return;
+  }
+#else
+  (void)workers;
+#endif
+  // Serial: the first fault is the lowest-index fault, so direct
+  // propagation already matches the parallel path's determinism.
+  for (std::size_t i = 0; i < count; ++i) body(i);
+}
+
+/// Shared state of the bounded producer/consumer slab pipeline.  Workers
+/// claim slab indices from `next` (dynamic schedule); finished archives
+/// park in `done` until the cooperative packer role drains them into the
+/// container strictly in index order.  `next < frontier + window` bounds
+/// how far compression runs ahead of packing, capping the finished-slab
+/// backlog held in memory.
+struct EngineState {
+  std::mutex m;
+  std::condition_variable cv;
+  std::size_t next = 0;       ///< next slab index to claim
+  std::size_t frontier = 0;   ///< next slab index to pack
+  bool packing = false;       ///< a worker currently holds the packer role
+  bool stop = false;          ///< error seen: stop claiming, wind down
+  std::size_t err_slab = std::numeric_limits<std::size_t>::max();
+  std::exception_ptr err;
+  std::vector<Compressed> done;
+  std::vector<char> ready;
+  double compress_seconds = 0.0;  ///< summed across workers (can exceed wall)
+  double pack_seconds = 0.0;
+};
+
 template <typename T>
 StreamingCompressed compress_impl(const StreamingConfig& cfg, const Compressor& compressor,
                                   std::span<const T> data, const Extents& ext) {
   if (data.empty() || data.size() != ext.count()) {
     throw std::invalid_argument("StreamingCompressor::compress: data must match extents");
   }
-  const SlabPlan plan = plan_slabs(ext, cfg.max_slab_elems);
-
-  // Resolve a relative bound against the whole field once, so every slab
-  // carries the same absolute bound.
-  const ValueRange range = ValueRange::of(data);
-  if (!range.finite) {
-    throw std::invalid_argument("StreamingCompressor::compress: non-finite values");
-  }
-  CompressConfig slab_cfg = cfg.base;
-  slab_cfg.eb = ErrorBound::absolute(cfg.base.eb.resolve(range.span()));
+  const std::size_t plan_workers = resolve_workers(cfg);
+  const SlabPlan plan = plan_slabs(ext, cfg, plan_workers);
 
   StreamingCompressed out;
   out.stats.original_bytes = data.size_bytes();
-  out.stats.eb_abs = slab_cfg.eb.value;
 
-  // Compress the slabs — concurrently when configured.  This is host
-  // orchestration over disjoint per-slab outputs, not a simulated kernel,
-  // so it uses the plain launcher rather than checked::launch: the results
-  // are non-trivially-copyable and stay outside the checker's byte-level
-  // buffer registry (see DESIGN.md §2.2).  Each worker leases its own
-  // workspace from the shared Compressor's pool.
-  std::vector<Compressed> slabs(plan.count);
-  const auto compress_slab = [&](std::size_t s) {
-    const std::size_t begin = s * plan.thickness;
-    const std::size_t len = std::min(plan.thickness, plan.slow_extent - begin);
-    const Extents sub = slab_extents(ext, len);
-    const std::size_t offset = begin * plan.plane_elems;
-    slabs[s] = compressor.compress(std::span<const T>(data.data() + offset, sub.count()), sub,
-                                   slab_cfg);
-  };
-  if (cfg.parallel) {
-    sim::launch_blocks(plan.count, compress_slab);
-  } else {
-    for (std::size_t s = 0; s < plan.count; ++s) compress_slab(s);
+  // Resolve a relative/PSNR bound against the whole field once, so every
+  // slab carries the same absolute bound.  An absolute bound needs no field
+  // scan at all — finiteness is re-validated by each slab's own compress
+  // pass — which removes the serial whole-field read that used to run
+  // before any worker could start.
+  sim::Timer phase_timer;
+  CompressConfig slab_cfg = cfg.base;
+  if (cfg.base.eb.mode != EbMode::kAbsolute) {
+    const ValueRange range = field_range_blocked(data);
+    if (!range.finite) {
+      throw std::invalid_argument("StreamingCompressor::compress: non-finite values");
+    }
+    slab_cfg.eb = ErrorBound::absolute(cfg.base.eb.resolve(range.span()));
   }
+  out.stats.phases.range_seconds = phase_timer.seconds();
+  out.stats.eb_abs = slab_cfg.eb.value;  // absolute by now, either way
 
-  // Pack the container serially in index order, so the bytes are identical
-  // to a serial run.
+  // The container header and the per-slab pack step.  pack() must be called
+  // in index order by exactly one thread at a time (the serial loop below,
+  // or whichever pipeline worker holds the packer role) — that keeps the
+  // container bytes identical to a serial run by construction.
   ByteWriter w;
   w.put(kContainerMagic);
   w.put(kContainerVersion);
@@ -105,20 +223,179 @@ StreamingCompressed compress_impl(const StreamingConfig& cfg, const Compressor& 
   w.put<std::uint64_t>(ext.nz);
   w.put<std::uint64_t>(plan.count);
 
-  for (std::size_t s = 0; s < plan.count; ++s) {
+  const auto slab_span = [&](std::size_t s, Extents& sub, std::size_t& offset) {
     const std::size_t begin = s * plan.thickness;
     const std::size_t len = std::min(plan.thickness, plan.slow_extent - begin);
-    const std::size_t offset = begin * plan.plane_elems;
+    sub = slab_extents(ext, len);
+    offset = begin * plan.plane_elems;
+    return std::span<const T>(data.data() + offset, sub.count());
+  };
 
+  const auto pack = [&](std::size_t s, const Compressed& slab) {
+    Extents sub;
+    std::size_t offset = 0;
+    (void)slab_span(s, sub, offset);
+    if (s == 0) {
+      // Size the container off the first slab (offset + length prefix +
+      // payload per remaining entry) so incremental packing does not pay
+      // repeated reallocation-and-copy as slabs stream in.
+      w.reserve(w.size() + plan.count * (slab.bytes.size() + 16));
+    }
     SlabInfo info;
-    info.extents = slab_extents(ext, len);
+    info.extents = sub;
     info.offset = offset;
-    info.ratio = slabs[s].stats.ratio;
-    info.workflow = slabs[s].stats.workflow_used;
+    info.ratio = slab.stats.ratio;
+    info.workflow = slab.stats.workflow_used;
     out.stats.slabs.push_back(info);
-
     w.put<std::uint64_t>(offset);
-    w.put_vector(slabs[s].bytes);
+    w.put_vector(slab.bytes);
+  };
+
+  // How many workers actually run: the config's parallel switch, the
+  // machine, and the plan all cap it, and a compress nested under an outer
+  // fan-out (compress_many) always runs single-worker so the fan-out stays
+  // explicitly one-level.
+  std::size_t exec_workers = 1;
+#ifdef _OPENMP
+  if (cfg.parallel && !sim::in_parallel_worker()) {
+    exec_workers = std::min(plan_workers, plan.count);
+  }
+#endif
+  out.stats.workers_used = std::max<std::size_t>(1, exec_workers);
+
+  if (exec_workers <= 1) {
+    // One worker: there is no concurrency to overlap, so both configs run
+    // the two-phase reference schedule (compress every slab, then pack —
+    // interleaving pack between compresses only costs cache locality when
+    // nothing runs concurrently).  The parallel config still keeps the
+    // pipeline's per-worker discipline: one workspace lease for the whole
+    // run instead of a pool round-trip per slab.  Inner kernel launches
+    // still parallelize either way (this is not a nested context).
+    WorkspaceLease lease =
+        cfg.parallel ? compressor.lease_workspace() : WorkspaceLease();
+    std::vector<Compressed> slabs(plan.count);
+    sim::Timer t;
+    for (std::size_t s = 0; s < plan.count; ++s) {
+      Extents sub;
+      std::size_t offset = 0;
+      const auto span = slab_span(s, sub, offset);
+      slabs[s] = lease ? compressor.compress(span, sub, slab_cfg, *lease)
+                       : compressor.compress(span, sub, slab_cfg);
+    }
+    out.stats.phases.compress_seconds = t.seconds();
+    t.reset();
+    for (std::size_t s = 0; s < plan.count; ++s) pack(s, slabs[s]);
+    out.stats.phases.pack_seconds = t.seconds();
+  } else {
+#ifdef _OPENMP
+    // Bounded producer/consumer pipeline (DESIGN.md §2.2).  Every worker
+    // alternates between two jobs under one mutex: claim the next slab
+    // index and compress it (producer), or — when the lowest unpacked slab
+    // is finished and nobody else is packing — take the packer role and
+    // drain consecutive finished slabs into the container (consumer).
+    // Claims throttle at `frontier + window` so compression never runs
+    // unboundedly ahead of packing.
+    EngineState st;
+    st.done.resize(plan.count);
+    st.ready.assign(plan.count, 0);
+    const std::size_t window =
+        std::max<std::size_t>(1, cfg.queue_window != 0 ? cfg.queue_window : 2 * exec_workers);
+
+    const auto worker = [&]() {
+      try {
+        auto lease = compressor.lease_workspace();
+        std::unique_lock<std::mutex> lk(st.m);
+        for (;;) {
+          if (st.stop) return;
+          if (!st.packing && st.frontier < plan.count && st.ready[st.frontier] != 0) {
+            // Packer role: exclusive by the `packing` flag, in index order
+            // by the frontier — so pack() needs no further synchronization.
+            st.packing = true;
+            while (!st.stop && st.frontier < plan.count && st.ready[st.frontier] != 0) {
+              const std::size_t s = st.frontier;
+              const Compressed slab = std::move(st.done[s]);
+              lk.unlock();
+              sim::Timer t;
+              bool pack_ok = true;
+              try {
+                pack(s, slab);
+              } catch (...) {
+                pack_ok = false;
+                lk.lock();
+                if (s < st.err_slab) {
+                  st.err_slab = s;
+                  st.err = std::current_exception();
+                }
+                st.stop = true;
+              }
+              if (pack_ok) {
+                const double dt = t.seconds();
+                lk.lock();
+                st.pack_seconds += dt;
+                ++st.frontier;
+              }
+              st.cv.notify_all();  // the window advanced (or we are stopping)
+            }
+            st.packing = false;
+            continue;
+          }
+          if (!st.stop && st.next < plan.count && st.next < st.frontier + window) {
+            const std::size_t s = st.next++;
+            lk.unlock();
+            Extents sub;
+            std::size_t offset = 0;
+            const auto span = slab_span(s, sub, offset);
+            sim::Timer t;
+            bool ok = true;
+            Compressed slab;
+            try {
+              slab = compressor.compress(span, sub, slab_cfg, *lease);
+            } catch (...) {
+              ok = false;
+              lk.lock();
+              // Keep the lowest-index fault: claims are monotonic, so every
+              // slab below a faulting one was claimed and ran to completion
+              // — the winner is deterministic regardless of interleaving.
+              if (s < st.err_slab) {
+                st.err_slab = s;
+                st.err = std::current_exception();
+              }
+              st.stop = true;
+            }
+            if (ok) {
+              const double dt = t.seconds();
+              lk.lock();
+              st.compress_seconds += dt;
+              st.done[s] = std::move(slab);
+              st.ready[s] = 1;
+            }
+            st.cv.notify_all();
+            continue;
+          }
+          if (st.frontier >= plan.count) return;  // everything packed
+          st.cv.wait(lk, [&] {
+            return st.stop || st.frontier >= plan.count ||
+                   (!st.packing && st.ready[st.frontier] != 0) ||
+                   (st.next < plan.count && st.next < st.frontier + window);
+          });
+        }
+      } catch (...) {
+        // Lease acquisition (or another pre-loop step) failed; surface it
+        // unless a slab already recorded a more specific fault.
+        const std::lock_guard<std::mutex> lk(st.m);
+        if (!st.err) st.err = std::current_exception();
+        st.stop = true;
+        st.cv.notify_all();
+      }
+    };
+
+#pragma omp parallel num_threads(static_cast<int>(exec_workers))
+    { worker(); }
+
+    if (st.err) std::rethrow_exception(st.err);
+    out.stats.phases.compress_seconds = st.compress_seconds;
+    out.stats.phases.pack_seconds = st.pack_seconds;
+#endif
   }
 
   out.bytes = w.take();
@@ -141,10 +418,11 @@ std::vector<StreamingCompressed> compress_many_impl(const StreamingConfig& cfg,
     out[f] = compress_impl(cfg, compressor, fields[f], exts[f]);
   };
   if (cfg.parallel) {
-    // Fields fan out across workers; the per-field slab loops serialize
-    // inside the outer parallel region (nested teams are disabled), so the
-    // fan-out stays one-level.
-    sim::launch_blocks(fields.size(), compress_field);
+    // Fields fan out across workers; each nested compress_impl detects the
+    // active outer region and runs single-worker (stats.workers_used == 1),
+    // so the fan-out is explicitly one-level regardless of the OpenMP
+    // runtime's nesting default.
+    fan_out_dynamic(fields.size(), resolve_workers(cfg), compress_field);
   } else {
     for (std::size_t f = 0; f < fields.size(); ++f) compress_field(f);
   }
@@ -256,6 +534,16 @@ StreamingCompressed StreamingCompressor::compress(std::span<const double> data,
   return compress_impl(cfg_, slab_compressor_, data, ext);
 }
 
+StreamingCompressed StreamingCompressor::compress(std::span<const float> data, const Extents& ext,
+                                                  const StreamingConfig& cfg) const {
+  return compress_impl(cfg, slab_compressor_, data, ext);
+}
+
+StreamingCompressed StreamingCompressor::compress(std::span<const double> data, const Extents& ext,
+                                                  const StreamingConfig& cfg) const {
+  return compress_impl(cfg, slab_compressor_, data, ext);
+}
+
 std::vector<StreamingCompressed> StreamingCompressor::compress_many(
     std::span<const std::span<const float>> fields, std::span<const Extents> exts) const {
   return compress_many_impl(cfg_, slab_compressor_, fields, exts);
@@ -278,42 +566,53 @@ ContainerIndex StreamingCompressor::index(std::span<const std::uint8_t> containe
 }
 
 StreamingDecompressed StreamingCompressor::decompress(std::span<const std::uint8_t> container) {
+  return decompress(container, StreamingConfig{});
+}
+
+StreamingDecompressed StreamingCompressor::decompress(std::span<const std::uint8_t> container,
+                                                      const StreamingConfig& cfg) {
   return decode_guard("streaming container", [&] {
-  const ContainerIndex idx = index_impl(container);
+    const ContainerIndex idx = index_impl(container);
 
-  StreamingDecompressed out;
-  out.extents = idx.extents;
-  out.dtype = idx.dtype;
-  if (idx.dtype == DType::kFloat32) {
-    out.data.resize(idx.extents.count());
-  } else {
-    out.data_f64.resize(idx.extents.count());
-  }
-
-  // Slabs decode concurrently: the directory pass proved their output
-  // ranges tile the field disjointly, so this is host orchestration over
-  // independent decodes (plain launcher; see the compress-side note).
-  sim::launch_blocks(idx.slabs.size(), [&](std::size_t s) {
-    const ContainerSlab& ref = idx.slabs[s];
-    auto slab = Compressor::decompress(ref.bytes);
-    // The directory pass validated offset/count tiling from the slab
-    // headers; re-check against the decoded payload before the copy.
-    const std::size_t decoded =
-        idx.dtype == DType::kFloat32 ? slab.data.size() : slab.data_f64.size();
-    if (decoded != ref.count) {
-      throw DecodeError(DecodeErrorKind::kCorruptStream, "slab directory",
-                        "slab decoded to " + std::to_string(decoded) +
-                            " elements, its header declared " + std::to_string(ref.count));
-    }
+    StreamingDecompressed out;
+    out.extents = idx.extents;
+    out.dtype = idx.dtype;
     if (idx.dtype == DType::kFloat32) {
-      std::copy(slab.data.begin(), slab.data.end(),
-                out.data.begin() + static_cast<std::ptrdiff_t>(ref.offset));
+      out.data.resize(idx.extents.count());
     } else {
-      std::copy(slab.data_f64.begin(), slab.data_f64.end(),
-                out.data_f64.begin() + static_cast<std::ptrdiff_t>(ref.offset));
+      out.data_f64.resize(idx.extents.count());
     }
-  });
-  return out;
+
+    // Slabs decode into their disjoint output ranges (the directory pass
+    // proved the tiling), claimed dynamically by up to cfg.workers threads
+    // when cfg.parallel — and genuinely serially otherwise, so a serial
+    // config serializes both directions.
+    const auto decode_slab = [&](std::size_t s) {
+      const ContainerSlab& ref = idx.slabs[s];
+      auto slab = Compressor::decompress(ref.bytes);
+      // The directory pass validated offset/count tiling from the slab
+      // headers; re-check against the decoded payload before the copy.
+      const std::size_t decoded =
+          idx.dtype == DType::kFloat32 ? slab.data.size() : slab.data_f64.size();
+      if (decoded != ref.count) {
+        throw DecodeError(DecodeErrorKind::kCorruptStream, "slab directory",
+                          "slab decoded to " + std::to_string(decoded) +
+                              " elements, its header declared " + std::to_string(ref.count));
+      }
+      if (idx.dtype == DType::kFloat32) {
+        std::copy(slab.data.begin(), slab.data.end(),
+                  out.data.begin() + static_cast<std::ptrdiff_t>(ref.offset));
+      } else {
+        std::copy(slab.data_f64.begin(), slab.data_f64.end(),
+                  out.data_f64.begin() + static_cast<std::ptrdiff_t>(ref.offset));
+      }
+    };
+    if (cfg.parallel) {
+      fan_out_dynamic(idx.slabs.size(), resolve_workers(cfg), decode_slab);
+    } else {
+      for (std::size_t s = 0; s < idx.slabs.size(); ++s) decode_slab(s);
+    }
+    return out;
   });
 }
 

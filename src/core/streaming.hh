@@ -11,11 +11,13 @@
 // Slab independence buys two things.  First, partial access:
 // decompress_slab() reconstructs one slab without touching the others — the
 // coarse-grained decompression granularity cuSZ's block split was designed
-// for (§II-A).  Second, parallelism: slabs are compressed concurrently via
-// the launch substrate (host-orchestrated, one pooled workspace per worker;
-// see DESIGN.md §2.2), and the slab archives are packed into the container
-// serially in index order, so the container bytes are identical to a serial
-// run.  compress_many() applies the same fan-out across whole fields.
+// for (§II-A).  Second, parallelism: slabs are compressed by a bounded
+// producer/consumer worker pool that overlaps per-slab compression with
+// container packing (host-orchestrated, one pooled workspace per worker;
+// see DESIGN.md §2.2).  Finished slab archives are packed into the
+// container strictly in index order, so the container bytes are identical
+// to a serial run.  compress_many() applies the same one-level fan-out
+// across whole fields.
 //
 // A relative error bound is resolved against the *whole field's* range
 // before slabbing, so every slab honors the same absolute bound and the
@@ -37,6 +39,21 @@ struct StreamingConfig {
   /// Compress slabs concurrently (the container bytes do not depend on
   /// this: slab archives are packed in index order either way).
   bool parallel = true;
+  /// Worker-thread count for the slab pipeline.  0 = auto: the SZP_WORKERS
+  /// environment variable when set, otherwise the OpenMP thread budget.
+  /// The slab *plan* never depends on the worker count unless
+  /// auto_slab_thickness is set, so containers stay byte-stable across
+  /// machines.
+  std::size_t workers = 0;
+  /// Opt-in heuristic slab sizing: pick a thickness that yields ~3 slabs
+  /// per worker (bounded above by max_slab_elems) so uneven per-slab
+  /// workflow-selection cost load-balances across the pool.  Off by
+  /// default because the slab split is part of the container bytes.
+  bool auto_slab_thickness = false;
+  /// Bound on how far compression may run ahead of in-order packing, in
+  /// slabs (0 = auto: 2x the worker count).  Caps the number of finished
+  /// slab archives held in memory awaiting their turn in the container.
+  std::size_t queue_window = 0;
 };
 
 struct SlabInfo {
@@ -46,12 +63,27 @@ struct SlabInfo {
   Workflow workflow = Workflow::kHuffman;
 };
 
+/// Host wall-clock attribution for one streaming compress, so a
+/// parallel-vs-serial loss can be pinned to a phase instead of guessed at.
+/// compress/pack are summed across workers and overlap in the parallel
+/// pipeline (packing is folded into the worker loop), so they need not sum
+/// to — and may exceed — the end-to-end wall time.
+struct StreamingPhaseTimings {
+  double range_seconds = 0.0;     ///< whole-field bound resolution
+  double compress_seconds = 0.0;  ///< per-slab compression, summed over workers
+  double pack_seconds = 0.0;      ///< container packing, summed over workers
+};
+
 struct StreamingStats {
   std::size_t original_bytes = 0;
   std::size_t compressed_bytes = 0;
   double ratio = 0.0;
   double eb_abs = 0.0;
   std::vector<SlabInfo> slabs;
+  StreamingPhaseTimings phases;
+  /// Worker threads the slab pipeline actually ran with (1 when serial,
+  /// when nested under an outer fan-out, or when there is a single slab).
+  std::size_t workers_used = 1;
 };
 
 struct StreamingCompressed {
@@ -96,6 +128,16 @@ class StreamingCompressor {
   [[nodiscard]] StreamingCompressed compress(std::span<const double> data,
                                              const Extents& ext) const;
 
+  /// Per-call config override: compress with `cfg` instead of the
+  /// constructed config, reusing this instance's compressor and workspace
+  /// pool.  Lets one warm instance serve calls with different
+  /// parallel/worker/slab settings (and lets the bench compare serial vs
+  /// parallel through identical pooled buffers).
+  [[nodiscard]] StreamingCompressed compress(std::span<const float> data, const Extents& ext,
+                                             const StreamingConfig& cfg) const;
+  [[nodiscard]] StreamingCompressed compress(std::span<const double> data, const Extents& ext,
+                                             const StreamingConfig& cfg) const;
+
   template <typename T, typename Alloc>
   [[nodiscard]] StreamingCompressed compress(const std::vector<T, Alloc>& data,
                                              const Extents& ext) const {
@@ -111,8 +153,12 @@ class StreamingCompressor {
       std::span<const std::span<const double>> fields, std::span<const Extents> exts) const;
 
   /// Reassemble the whole field (slabs decode concurrently into their
-  /// disjoint output ranges).
+  /// disjoint output ranges).  The config overload honors cfg.parallel and
+  /// cfg.workers, so a serial config genuinely serializes both directions;
+  /// the no-config overload decodes with the default (parallel) config.
   [[nodiscard]] static StreamingDecompressed decompress(std::span<const std::uint8_t> container);
+  [[nodiscard]] static StreamingDecompressed decompress(std::span<const std::uint8_t> container,
+                                                        const StreamingConfig& cfg);
 
   /// Number of slabs in a container (without decompressing anything).
   [[nodiscard]] static std::size_t slab_count(std::span<const std::uint8_t> container);
@@ -136,11 +182,12 @@ class StreamingCompressor {
   StreamingConfig cfg_{};
   /// Slab compression funnels through this Compressor so its workspace pool
   /// persists across compress() calls (compress() stays logically const).
-  /// Parallel slab workers share it concurrently; every cross-worker
-  /// mutation funnels into WorkspacePool's capability-annotated Mutex
-  /// (core/thread_safety.hh), so -Wthread-safety polices the whole chain —
-  /// by design there is no StreamingCompressor-level lock. Worker-local
-  /// state (the per-slab outputs) is disjoint by index and needs none.
+  /// Each pipeline worker leases one workspace for its whole lifetime
+  /// (Compressor::lease_workspace), so the pool's capability-annotated
+  /// Mutex (core/thread_safety.hh) is taken once per worker, not once per
+  /// slab.  The pipeline's own coordination (slab claiming, the in-order
+  /// pack frontier) lives in a short-lived engine local to compress_impl;
+  /// worker-local state (the per-slab outputs) is disjoint by index.
   Compressor slab_compressor_{};
 };
 

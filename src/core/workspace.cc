@@ -2,7 +2,7 @@
 
 namespace szp {
 
-std::vector<std::size_t> Workspace::capacities() const {
+std::array<std::size_t, Workspace::kTrackedBuffers> Workspace::capacities() const {
   return {
       lorenzo.quant.capacity(),     lorenzo.outlier_dense.capacity(),
       regression.quant.capacity(),  regression.outlier_dense.capacity(),
@@ -37,12 +37,13 @@ WorkspaceLease WorkspacePool::acquire() {
     }
   }
   if (ws == nullptr) ws = std::make_unique<Workspace>();
-  auto caps = ws->capacities();
-  return WorkspaceLease(this, std::move(ws), std::move(caps));
+  const auto caps = ws->capacities();
+  return WorkspaceLease(this, std::move(ws), caps);
 }
 
 void WorkspacePool::release(std::unique_ptr<Workspace> ws,
-                            const std::vector<std::size_t>& caps_at_acquire) {
+                            const std::array<std::size_t, Workspace::kTrackedBuffers>&
+                                caps_at_acquire) {
   const auto caps_now = ws->capacities();
   std::size_t grew = 0;
   for (std::size_t i = 0; i < caps_now.size(); ++i) {

@@ -23,6 +23,7 @@
 // stop after warm-up, and BENCH_pipeline.json measures the wall-clock win.
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <memory>
 #include <vector>
@@ -68,32 +69,42 @@ struct Workspace {
   HuffmanCodebook book;
   std::vector<std::uint64_t> book_freq;  ///< histogram `book` was built from
 
-  /// Capacity snapshot of every tracked buffer, in a fixed order.
-  [[nodiscard]] std::vector<std::size_t> capacities() const;
+  /// Number of tracked buffers in the capacity snapshot.
+  static constexpr std::size_t kTrackedBuffers = 20;
+
+  /// Capacity snapshot of every tracked buffer, in a fixed order.  A fixed
+  /// array (not a vector) so lease accounting itself never allocates —
+  /// acquire/release sit on the parallel-slab hot path.
+  [[nodiscard]] std::array<std::size_t, kTrackedBuffers> capacities() const;
 };
 
 /// Exclusive RAII lease on one pool workspace; returns it on destruction.
 class WorkspacePool;
 class WorkspaceLease {
  public:
+  /// An empty lease: holds no workspace, releases nothing.  Lets callers
+  /// keep a "lease this worker may or may not hold" slot (e.g. the
+  /// single-worker streaming path leases only under a parallel config).
+  WorkspaceLease() = default;
   WorkspaceLease(WorkspaceLease&&) noexcept = default;
   WorkspaceLease(const WorkspaceLease&) = delete;
   WorkspaceLease& operator=(const WorkspaceLease&) = delete;
   WorkspaceLease& operator=(WorkspaceLease&&) = delete;
   ~WorkspaceLease();
 
+  [[nodiscard]] explicit operator bool() const { return ws_ != nullptr; }
   [[nodiscard]] Workspace& operator*() { return *ws_; }
   [[nodiscard]] Workspace* operator->() { return ws_.get(); }
 
  private:
   friend class WorkspacePool;
   WorkspaceLease(WorkspacePool* pool, std::unique_ptr<Workspace> ws,
-                 std::vector<std::size_t> caps)
-      : pool_(pool), ws_(std::move(ws)), caps_at_acquire_(std::move(caps)) {}
+                 const std::array<std::size_t, Workspace::kTrackedBuffers>& caps)
+      : pool_(pool), ws_(std::move(ws)), caps_at_acquire_(caps) {}
 
-  WorkspacePool* pool_;
+  WorkspacePool* pool_ = nullptr;
   std::unique_ptr<Workspace> ws_;
-  std::vector<std::size_t> caps_at_acquire_;
+  std::array<std::size_t, Workspace::kTrackedBuffers> caps_at_acquire_;
 };
 
 /// Mutex-protected free list of workspaces.  acquire() pops an idle
@@ -115,7 +126,8 @@ class WorkspacePool {
 
  private:
   friend class WorkspaceLease;
-  void release(std::unique_ptr<Workspace> ws, const std::vector<std::size_t>& caps_at_acquire)
+  void release(std::unique_ptr<Workspace> ws,
+               const std::array<std::size_t, Workspace::kTrackedBuffers>& caps_at_acquire)
       SZP_EXCLUDES(mutex_);
 
   mutable Mutex mutex_;

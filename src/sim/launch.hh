@@ -25,7 +25,27 @@
 #include <limits>
 #include <span>
 
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
 namespace szp::sim {
+
+/// True when the caller is already inside an *active* OpenMP parallel region
+/// — a streaming slab worker or a compress_many() field worker.  Kernel
+/// grids launched from such a worker run inline on the calling thread: the
+/// fan-out is explicitly one-level (coarse-grained over slabs/fields, the
+/// paper's §II thesis), so inner launches can neither oversubscribe the
+/// machine with nested teams nor pay a per-launch team spin-up.  This makes
+/// the nesting policy independent of the OpenMP runtime's implementation
+/// default (OMP_MAX_ACTIVE_LEVELS / nest-var).
+[[nodiscard]] inline bool in_parallel_worker() {
+#ifdef _OPENMP
+  return omp_get_active_level() > 0;
+#else
+  return false;
+#endif
+}
 
 /// CUDA-style 3-component extent.
 struct Dim3 {
@@ -79,10 +99,30 @@ class FirstBlockError {
 /// the lowest-indexed faulting block is rethrown to the caller.
 template <typename Body>
 void launch_blocks(std::size_t grid_size, Body&& body) {
+  if (grid_size == 0) {
+    // Zero-iteration grids are a no-op; entering the parallel region would
+    // spin up (and immediately retire) a whole OpenMP team for nothing.
+    return;
+  }
   if (grid_size == 1) {
     // Single-block grids run inline: no OpenMP team to spin up, and
     // exceptions propagate directly.
     body(std::size_t{0});
+    return;
+  }
+  if (in_parallel_worker()) {
+    // Called from a slab/field worker: run the grid serially on this thread
+    // (explicit one-level fan-out), preserving the drain-then-rethrow
+    // semantics of the parallel path.
+    detail::FirstBlockError err;
+    for (std::size_t b = 0; b < grid_size; ++b) {
+      try {
+        body(b);
+      } catch (...) {
+        err.note(b);
+      }
+    }
+    err.rethrow_if_set();
     return;
   }
   detail::FirstBlockError err;
@@ -108,8 +148,9 @@ void launch_blocks(std::size_t grid_size, Body&& body) {
 /// the exactly-once property even on corrupt input.
 template <typename Body>
 void launch_blocks_in_order(std::span<const std::size_t> order, bool parallel, Body&& body) {
+  if (order.empty()) return;
   detail::FirstBlockError err;
-  if (parallel) {
+  if (parallel && !in_parallel_worker()) {
 #pragma omp parallel for schedule(dynamic, 1)
     for (long long i = 0; i < static_cast<long long>(order.size()); ++i) {
       const std::size_t b = order[static_cast<std::size_t>(i)];
@@ -137,8 +178,25 @@ void launch_blocks_in_order(std::span<const std::size_t> order, bool parallel, B
 template <typename Body>
 void launch_blocks_3d(Dim3 grid, Body&& body) {
   const std::size_t total = grid.count();
+  if (total == 0) return;  // degenerate grid: no team, no work
   if (total == 1) {
     body(std::uint32_t{0}, std::uint32_t{0}, std::uint32_t{0});
+    return;
+  }
+  if (in_parallel_worker()) {
+    detail::FirstBlockError err;
+    for (std::size_t idx = 0; idx < total; ++idx) {
+      const std::uint32_t bx = static_cast<std::uint32_t>(idx % grid.x);
+      const std::uint32_t by = static_cast<std::uint32_t>((idx / grid.x) % grid.y);
+      const std::uint32_t bz =
+          static_cast<std::uint32_t>(idx / (static_cast<std::size_t>(grid.x) * grid.y));
+      try {
+        body(bx, by, bz);
+      } catch (...) {
+        err.note(idx);
+      }
+    }
+    err.rethrow_if_set();
     return;
   }
   detail::FirstBlockError err;

@@ -152,6 +152,29 @@ TEST(WorkspacePool, GrowEventsSettleAcrossWorkflowsAndSizes) {
   EXPECT_EQ(steady.grow_events, warm.grow_events);
 }
 
+TEST(WorkspacePool, ExplicitLeaseReusedAcrossCalls) {
+  // The streaming pipeline's per-worker pattern: lease one workspace, pass
+  // it to the explicit-workspace compress overload for many calls.  The
+  // archives must be identical to pool-leased compression, and the pool
+  // must see exactly one lease for the whole batch.
+  CompressConfig cfg;
+  cfg.eb = ErrorBound::absolute(1e-3);
+  const Extents ext = Extents::d1(2048);
+  const auto data = wave_f32(ext.count());
+  const Compressor comp(cfg);
+
+  const auto pooled = comp.compress(data, ext);
+  const auto leases_before = comp.workspace_stats().leases;
+  {
+    auto lease = comp.lease_workspace();
+    for (int i = 0; i < 5; ++i) {
+      const auto c = comp.compress(std::span<const float>(data), ext, cfg, *lease);
+      EXPECT_EQ(c.bytes, pooled.bytes) << "call " << i;
+    }
+  }
+  EXPECT_EQ(comp.workspace_stats().leases, leases_before + 1);
+}
+
 TEST(WorkspacePool, CopiedCompressorStartsCold) {
   CompressConfig cfg;
   cfg.eb = ErrorBound::absolute(1e-3);

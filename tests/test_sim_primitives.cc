@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "sim/histogram.hh"
+#include "sim/launch.hh"
 #include "sim/reduce_by_key.hh"
 #include "sim/sparse.hh"
 
@@ -76,6 +77,38 @@ TEST_P(ReduceByKeyTile, RoundTripsAndRunsAreMaximal) {
 }
 
 INSTANTIATE_TEST_SUITE_P(TileSizes, ReduceByKeyTile, ::testing::Values(1, 2, 16, 1024, 1 << 20));
+
+TEST(LaunchBlocks, ZeroIterationGridIsANoOp) {
+  // Regression: a zero-block grid used to enter the OpenMP parallel region
+  // (spinning up a whole team for nothing); it must early-return like the
+  // single-block fast path, in every launcher variant.
+  int calls = 0;
+  szp::sim::launch_blocks(0, [&](std::size_t) { ++calls; });
+  szp::sim::launch_blocks_3d({0, 4, 4}, [&](std::uint32_t, std::uint32_t, std::uint32_t) {
+    ++calls;
+  });
+  szp::sim::launch_blocks_in_order({}, true, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(LaunchBlocks, NestedLaunchRunsInlineOneLevel) {
+  // A kernel launched from inside a worker of an active parallel region
+  // must execute its whole grid inline on the calling thread (explicit
+  // one-level fan-out), still visiting every block exactly once.
+  std::vector<int> outer_seen(3, 0);
+  std::vector<int> inner_total(3, 0);
+  szp::sim::launch_blocks(3, [&](std::size_t b) {
+    outer_seen[b] += 1;
+    // inner_total[b] is unsynchronized on purpose: if the inner grid spawned
+    // a nested team these increments would race (and the tsan leg would
+    // flag it); inline execution keeps them on one thread.
+    szp::sim::launch_blocks(8, [&](std::size_t) { inner_total[b] += 1; });
+  });
+  for (std::size_t b = 0; b < 3; ++b) {
+    EXPECT_EQ(outer_seen[b], 1);
+    EXPECT_EQ(inner_total[b], 8);
+  }
+}
 
 TEST(ReduceByKey, SingleRunAcrossAllTiles) {
   std::vector<std::uint16_t> seq(10000, 7);

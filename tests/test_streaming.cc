@@ -2,9 +2,16 @@
 // fields larger than device memory).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+#include <limits>
 #include <random>
+#include <span>
+#include <string>
+#include <thread>
 #include <vector>
 
+#include "core/error.hh"
 #include "core/metrics.hh"
 #include "core/streaming.hh"
 
@@ -144,6 +151,232 @@ TEST(Streaming, PerSlabWorkflowSelection) {
   EXPECT_NE(c.stats.slabs.front().workflow, Workflow::kHuffman);
   EXPECT_EQ(c.stats.slabs.back().workflow, Workflow::kHuffman);
   EXPECT_GT(c.stats.slabs.front().ratio, c.stats.slabs.back().ratio);
+}
+
+TEST(StreamingParallel, WorkerSweepKeepsContainersByteIdentical) {
+  // The pipeline's worker count must never leak into the container: sweep
+  // 1, 2, and hardware_concurrency workers (plus a serial reference) and
+  // require identical bytes from all of them.
+  const Extents ext = Extents::d2(48, 400);
+  const auto data = field(ext, 21);
+  StreamingConfig cfg = config_with(2400);
+
+  cfg.parallel = false;
+  const auto reference = StreamingCompressor(cfg).compress(data, ext);
+  ASSERT_GT(reference.stats.slabs.size(), 4u);
+  EXPECT_EQ(reference.stats.workers_used, 1u);
+
+  cfg.parallel = true;
+  const std::size_t hw = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  for (const std::size_t workers : {std::size_t{1}, std::size_t{2}, hw}) {
+    cfg.workers = workers;
+    const auto c = StreamingCompressor(cfg).compress(data, ext);
+    EXPECT_EQ(c.bytes, reference.bytes) << workers << " workers";
+    EXPECT_LE(c.stats.workers_used, workers);
+    EXPECT_GE(c.stats.workers_used, 1u);
+  }
+}
+
+TEST(StreamingParallel, QueueWindowOneStillPacksInOrder) {
+  // queue_window=1 forces the tightest compress/pack lockstep the engine
+  // supports — maximal contention on the claim throttle and the packer
+  // role — without changing a single container byte.
+  const Extents ext = Extents::d1(30000);
+  const auto data = field(ext, 22);
+  StreamingConfig cfg = config_with(2500);
+  cfg.parallel = false;
+  const auto reference = StreamingCompressor(cfg).compress(data, ext);
+
+  cfg.parallel = true;
+  cfg.workers = 4;
+  cfg.queue_window = 1;
+  const auto c = StreamingCompressor(cfg).compress(data, ext);
+  EXPECT_EQ(c.bytes, reference.bytes);
+}
+
+TEST(StreamingParallel, PerCallConfigOverrideMatchesConstructedConfig) {
+  // One warm instance serving per-call configs must produce byte-identical
+  // containers to instances constructed with those configs — the override
+  // swaps the orchestration settings, never the compression result.
+  const Extents ext = Extents::d2(40, 500);
+  const auto data = field(ext, 31);
+
+  StreamingConfig serial_cfg = config_with(3000);
+  serial_cfg.parallel = false;
+  StreamingConfig parallel_cfg = serial_cfg;
+  parallel_cfg.parallel = true;
+  parallel_cfg.workers = 3;
+
+  const StreamingCompressor shared(parallel_cfg);
+  const auto via_serial_override = shared.compress(data, ext, serial_cfg);
+  const auto via_parallel_override = shared.compress(data, ext, parallel_cfg);
+  const auto dedicated = StreamingCompressor(serial_cfg).compress(data, ext);
+
+  EXPECT_EQ(via_serial_override.bytes, dedicated.bytes);
+  EXPECT_EQ(via_parallel_override.bytes, dedicated.bytes);
+}
+
+TEST(StreamingParallel, SerialAndParallelDecompressAgree) {
+  // cfg.parallel must genuinely serialize the read side too, and both modes
+  // must reconstruct the identical field.
+  const Extents ext = Extents::d1(25000);
+  const auto data = field(ext, 23);
+  const auto c = StreamingCompressor(config_with(3000)).compress(data, ext);
+
+  StreamingConfig serial_cfg;
+  serial_cfg.parallel = false;
+  const auto serial = StreamingCompressor::decompress(c.bytes, serial_cfg);
+
+  StreamingConfig parallel_cfg;
+  parallel_cfg.parallel = true;
+  parallel_cfg.workers = 4;
+  const auto parallel = StreamingCompressor::decompress(c.bytes, parallel_cfg);
+
+  ASSERT_EQ(serial.data.size(), data.size());
+  EXPECT_EQ(serial.data, parallel.data);
+  EXPECT_LT(compare_fields(data, serial.data).max_abs_error, c.stats.eb_abs);
+}
+
+TEST(StreamingParallel, MidSlabDecodeErrorIsDeterministic) {
+  // Corrupt one mid-index slab and decode repeatedly with a parallel
+  // config: the surfaced DecodeError must be byte-for-byte the same every
+  // run, regardless of worker interleaving.
+  const Extents ext = Extents::d1(20000);
+  const auto data = field(ext, 24);
+  auto c = StreamingCompressor(config_with(3000)).compress(data, ext);
+  ASSERT_GE(c.stats.slabs.size(), 5u);
+
+  const auto idx = StreamingCompressor::index(c.bytes);
+  const auto& victim = idx.slabs[2];
+  const std::size_t pos =
+      static_cast<std::size_t>(victim.bytes.data() - c.bytes.data()) + victim.bytes.size() / 2;
+  c.bytes[pos] ^= 0xFF;  // invalidates slab 2's checksum, nothing else
+
+  StreamingConfig cfg;
+  cfg.parallel = true;
+  cfg.workers = 4;
+  std::string first_message;
+  for (int run = 0; run < 4; ++run) {
+    try {
+      (void)StreamingCompressor::decompress(c.bytes, cfg);
+      FAIL() << "corrupt slab was accepted on run " << run;
+    } catch (const DecodeError& e) {
+      if (run == 0) {
+        first_message = e.what();
+      } else {
+        EXPECT_EQ(first_message, std::string(e.what())) << "run " << run;
+      }
+    }
+  }
+}
+
+TEST(StreamingParallel, MidSlabCompressFaultIsDeterministic) {
+  // A non-finite value in a mid-index slab under an absolute bound faults
+  // inside the overlapped pipeline (the field-range scan is skipped for
+  // absolute bounds, so the *slab's own* compress pass detects it).  The
+  // error must surface identically on every run.
+  const Extents ext = Extents::d1(24000);
+  auto data = field(ext, 25);
+  data[2 * 3000 + 17] = std::nanf("");  // inside slab 2 of 8
+
+  StreamingConfig cfg;
+  cfg.base.eb = ErrorBound::absolute(1e-3);
+  cfg.max_slab_elems = 3000;
+  cfg.parallel = true;
+  cfg.workers = 4;
+  const StreamingCompressor comp(cfg);
+
+  std::string first_message;
+  for (int run = 0; run < 4; ++run) {
+    try {
+      (void)comp.compress(data, ext);
+      FAIL() << "non-finite slab was accepted on run " << run;
+    } catch (const std::invalid_argument& e) {
+      if (run == 0) {
+        first_message = e.what();
+      } else {
+        EXPECT_EQ(first_message, std::string(e.what())) << "run " << run;
+      }
+    }
+  }
+}
+
+TEST(StreamingParallel, CompressManyFanOutStaysOneLevel) {
+  // Fields fan out across workers; each nested per-field compress must
+  // detect the outer region and run single-worker, keeping the fan-out
+  // explicitly one-level (observable via stats.workers_used).
+  StreamingConfig cfg = config_with(1000);
+  cfg.parallel = true;
+  cfg.workers = 4;
+  const StreamingCompressor comp(cfg);
+
+  const std::vector<Extents> exts{Extents::d1(4096), Extents::d1(6000), Extents::d1(2500)};
+  std::vector<std::vector<float>> storage;
+  storage.reserve(exts.size());
+  std::vector<std::span<const float>> fields;
+  for (std::size_t f = 0; f < exts.size(); ++f) {
+    storage.push_back(field(exts[f], static_cast<std::uint32_t>(30 + f)));
+    fields.emplace_back(storage.back());
+  }
+
+  const auto batch = comp.compress_many(fields, exts);
+  ASSERT_EQ(batch.size(), exts.size());
+  for (std::size_t f = 0; f < batch.size(); ++f) {
+    EXPECT_EQ(batch[f].stats.workers_used, 1u) << "field " << f;
+    EXPECT_EQ(batch[f].bytes, comp.compress(fields[f], exts[f]).bytes) << "field " << f;
+  }
+}
+
+TEST(StreamingParallel, AutoSlabThicknessTracksWorkers) {
+  // Opt-in heuristic sizing: with auto_slab_thickness the plan targets ~3
+  // slabs per worker (still capped by max_slab_elems), and serial/parallel
+  // plans stay identical because the worker count resolves independently
+  // of cfg.parallel.
+  const Extents ext = Extents::d1(60000);
+  const auto data = field(ext, 26);
+  StreamingConfig cfg = config_with(std::size_t{1} << 22);
+  cfg.auto_slab_thickness = true;
+  cfg.workers = 2;
+
+  cfg.parallel = true;
+  const auto parallel = StreamingCompressor(cfg).compress(data, ext);
+  EXPECT_EQ(parallel.stats.slabs.size(), 6u);  // 3 x 2 workers
+
+  cfg.parallel = false;
+  const auto serial = StreamingCompressor(cfg).compress(data, ext);
+  EXPECT_EQ(serial.bytes, parallel.bytes);
+}
+
+TEST(StreamingParallel, PhaseTimingsAreReported) {
+  const Extents ext = Extents::d1(20000);
+  const auto data = field(ext, 27);
+  const auto c = StreamingCompressor(config_with(3000)).compress(data, ext);
+  // A relative bound forces the field-range scan; compression and packing
+  // always run.  Timings are nonnegative wall-clock readings.
+  EXPECT_GE(c.stats.phases.range_seconds, 0.0);
+  EXPECT_GT(c.stats.phases.compress_seconds, 0.0);
+  EXPECT_GE(c.stats.phases.pack_seconds, 0.0);
+  EXPECT_GE(c.stats.workers_used, 1u);
+}
+
+TEST(StreamingParallel, NonFiniteRejectedInBothEbModes) {
+  const Extents ext = Extents::d1(8000);
+  auto data = field(ext, 28);
+  data[4321] = std::numeric_limits<float>::infinity();
+
+  // Relative bound: the whole-field range scan rejects it up front.
+  StreamingConfig rel = config_with(1000);
+  EXPECT_THROW((void)StreamingCompressor(rel).compress(data, ext), std::invalid_argument);
+
+  // Absolute bound: the scan is skipped, but the slab's own compress pass
+  // still rejects it — in serial and parallel mode alike.
+  StreamingConfig abs = config_with(1000);
+  abs.base.eb = ErrorBound::absolute(1e-3);
+  abs.parallel = false;
+  EXPECT_THROW((void)StreamingCompressor(abs).compress(data, ext), std::invalid_argument);
+  abs.parallel = true;
+  abs.workers = 2;
+  EXPECT_THROW((void)StreamingCompressor(abs).compress(data, ext), std::invalid_argument);
 }
 
 TEST(Streaming, RejectsBadInput) {

@@ -59,6 +59,7 @@ struct Args {
 bool takes_value(const std::string& opt) {
   static const std::vector<std::string> valued{"-i",          "-o",      "-d",     "--eb",
                                                "--workflow",  "--predictor", "--stream",
+                                               "--workers",
                                                "--dataset",   "--field", "--scale",
                                                "--psnr",      "-a",      "-b",
                                                "--name",      "--bundle",
@@ -219,10 +220,20 @@ int cmd_compress(const Args& a, std::ostream& out) {
     if (const auto stream = a.get("--stream")) {
       StreamingConfig scfg;
       scfg.base = cfg;
-      scfg.max_slab_elems = static_cast<std::size_t>(std::stoull(*stream));
+      if (*stream == "auto") {
+        // Keep the default memory cap but let the planner pick a slab
+        // thickness sized to the worker pool (~3 slabs per worker).
+        scfg.auto_slab_thickness = true;
+      } else {
+        scfg.max_slab_elems = static_cast<std::size_t>(std::stoull(*stream));
+      }
       scfg.parallel = !a.has_flag("--serial-slabs");
+      if (const auto workers = a.get("--workers")) {
+        scfg.workers = static_cast<std::size_t>(std::stoull(*workers));
+      }
       auto c = StreamingCompressor(scfg).compress(data, ext);
-      out << "streamed " << c.stats.slabs.size() << " slabs\n";
+      out << "streamed " << c.stats.slabs.size() << " slabs (" << c.stats.workers_used
+          << " workers)\n";
       return {std::move(c.bytes), c.stats.ratio};
     }
     auto c = Compressor(cfg).compress(data, ext);
@@ -246,7 +257,12 @@ int cmd_decompress(const Args& a, std::ostream& out) {
   // Containers and single archives are distinguished by magic.
   std::vector<std::uint8_t> raw;
   if (bytes.size() >= 4 && std::memcmp(bytes.data(), "SZPC", 4) == 0) {
-    auto d = StreamingCompressor::decompress(bytes);
+    StreamingConfig scfg;
+    scfg.parallel = !a.has_flag("--serial-slabs");
+    if (const auto workers = a.get("--workers")) {
+      scfg.workers = static_cast<std::size_t>(std::stoull(*workers));
+    }
+    auto d = StreamingCompressor::decompress(bytes, scfg);
     if (d.dtype == DType::kFloat32) {
       raw.resize(d.data.size() * sizeof(float));
       std::memcpy(raw.data(), d.data.data(), raw.size());
@@ -532,10 +548,11 @@ void usage(std::ostream& err) {
          "usage:\n"
          "  szp compress   -i in.f32 -o out.szp -d ZxYxX [--eb 1e-3] [--abs]\n"
          "                 [--workflow auto|huffman|rle|rle+vle]\n"
-         "                 [--predictor lorenzo|regression|interpolation] [--double] [--stream N]\n"
-         "                 [--serial-slabs]\n"
+         "                 [--predictor lorenzo|regression|interpolation] [--double]\n"
+         "                 [--stream N|auto] [--serial-slabs] [--workers N]\n"
          "                 [--check | --check=word] [--fuzz-schedule[=N]]\n"
-         "  szp decompress -i in.szp -o out.f32 [--check | --check=word] [--fuzz-schedule[=N]]\n"
+         "  szp decompress -i in.szp -o out.f32 [--serial-slabs] [--workers N]\n"
+         "                 [--check | --check=word] [--fuzz-schedule[=N]]\n"
          "  szp info       -i in.szp\n"
          "  szp gen        -o out.f32 --dataset CESM-ATM --field FSDSC [--scale 0.25]\n"
          "  szp verify     -a original.f32 -b restored.f32 [--double]\n"
@@ -555,8 +572,10 @@ void usage(std::ostream& err) {
          "KIND__SEGMENT__min.szpf); --replay DIR re-decodes a committed corpus and\n"
          "fails on any verdict drift.\n"
          "A corrupt or truncated input archive exits with 4.  --stream compresses\n"
-         "slabs in parallel by default; --serial-slabs forces one-at-a-time (the\n"
-         "container bytes are identical either way).\n"
+         "slabs in parallel by default (--stream auto additionally sizes slabs to\n"
+         "the worker pool); --serial-slabs forces one-at-a-time in both directions\n"
+         "(the container bytes are identical either way).  --workers N (or the\n"
+         "SZP_WORKERS environment variable) sets the slab worker-pool size.\n"
          "--check replays the run under the simulated-GPU race & bounds checker\n"
          "(exit 3 if violations are found); SZP_SIM_CHECK=1 enables it globally.\n"
          "--check=word upgrades to word-granular shadow memory (racecheck-style\n"
