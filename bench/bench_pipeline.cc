@@ -24,6 +24,8 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <memory>
 #include <string>
@@ -237,6 +239,85 @@ int main(int argc, char** argv) {
           pstats.phases.compress_seconds * 1e3, sstats.phases.pack_seconds * 1e3,
           pstats.phases.pack_seconds * 1e3);
 
+  // -- Out-of-core: file-to-file under a memory budget, plus decode legs ----
+  // The field round-trips through disk: raw file -> compress_file under a
+  // hard budget (positional reads, so residency is genuinely metered) ->
+  // container file -> decompress_file -> raw file.  Deterministic checks
+  // (enforced at every size, smoke included): the file container is
+  // byte-identical to the in-memory parallel path under the same config,
+  // peak residency stays within the budget, the file decode output is
+  // byte-identical to the in-memory decode of the same container, and the
+  // reconstruction honors the error bound against the encode input.
+  namespace fs = std::filesystem;
+  const fs::path oocore_dir = fs::temp_directory_path() / "szp_bench_oocore";
+  fs::create_directories(oocore_dir);
+  const fs::path raw_path = oocore_dir / "field.f32";
+  const fs::path cont_path = oocore_dir / "field.szpc";
+  const fs::path dec_path = oocore_dir / "restored.f32";
+  {
+    std::ofstream f(raw_path, std::ios::binary | std::ios::trunc);
+    f.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size() * sizeof(float)));
+  }
+  StreamingConfig oocore_cfg = parallel_cfg;
+  oocore_cfg.memory_budget = std::size_t{32} << 20;
+  oocore_cfg.use_mmap = false;
+
+  const auto mem_oocore = streamers[0]->compress(data, ext, oocore_cfg);
+  const auto t_oo = Clock::now();
+  const auto oostats =
+      streamers[0]->compress_file(raw_path, cont_path, ext, DType::kFloat32, oocore_cfg);
+  const double oocore_file_s = seconds_since(t_oo);
+  std::vector<std::uint8_t> cont_bytes;
+  {
+    std::ifstream f(cont_path, std::ios::binary | std::ios::ate);
+    cont_bytes.resize(static_cast<std::size_t>(f.tellg()));
+    f.seekg(0);
+    f.read(reinterpret_cast<char*>(cont_bytes.data()),
+           static_cast<std::streamsize>(cont_bytes.size()));
+  }
+  const bool oocore_identical = cont_bytes == mem_oocore.bytes;
+  const bool oocore_within_budget =
+      oostats.peak_resident_bytes <= oocore_cfg.memory_budget;
+
+  // Decode throughput, both tiers: reassemble the parallel container in
+  // memory, and stream the on-disk container file-to-file.
+  const auto t_dec = Clock::now();
+  const auto mem_decoded = StreamingCompressor::decompress(mem_oocore.bytes);
+  const double decode_memory_s = seconds_since(t_dec);
+  const auto t_fdec = Clock::now();
+  const auto fdec = StreamingCompressor::decompress_file(cont_path, dec_path, oocore_cfg);
+  const double decode_file_s = seconds_since(t_fdec);
+  std::vector<float> dec_file(elems);
+  {
+    std::ifstream f(dec_path, std::ios::binary);
+    f.read(reinterpret_cast<char*>(dec_file.data()),
+           static_cast<std::streamsize>(dec_file.size() * sizeof(float)));
+  }
+  const bool decode_identical =
+      fdec.stats.original_bytes == mem_decoded.data.size() * sizeof(float) &&
+      std::memcmp(dec_file.data(), mem_decoded.data.data(),
+                  dec_file.size() * sizeof(float)) == 0;
+  double decode_max_err = 0.0;
+  for (std::size_t i = 0; i < elems; ++i) {
+    decode_max_err = std::max(decode_max_err,
+                              std::abs(static_cast<double>(dec_file[i]) - data[i]));
+  }
+  const bool decode_within_bound = decode_max_err <= 1e-3 + 1e-12;
+  const bool oocore_pass =
+      oocore_identical && oocore_within_budget && decode_identical && decode_within_bound;
+  println("out-of-core (budget %zu MB, no mmap): compress_file %.3f ms (peak resident "
+          "%.2f MB, %s), container %s",
+          oocore_cfg.memory_budget >> 20, oocore_file_s * 1e3,
+          static_cast<double>(oostats.peak_resident_bytes) / 1e6,
+          oocore_within_budget ? "within budget" : "OVER BUDGET",
+          oocore_identical ? "byte-identical to in-memory" : "DIFFERS from in-memory");
+  println("  decode: in-memory %.3f ms, file-to-file %.3f ms; outputs %s, max |err| %.2e "
+          "(bound 1e-3)",
+          decode_memory_s * 1e3, decode_file_s * 1e3,
+          decode_identical ? "byte-identical" : "DIFFER", decode_max_err);
+  fs::remove_all(oocore_dir);
+
   // -- Word-mode contract fast path vs full word shadow ---------------------
   // Under SZP_SIM_CHECK=word (the bench_checked_pipeline leg), kernels whose
   // footprint contracts the prover discharges skip word-shadow
@@ -269,13 +350,14 @@ int main(int argc, char** argv) {
     checker_clean = sim::checked::current_report().clean();
   }
 
-  const bool pass =
-      improvement >= 20.0 && identical && checker_clean && fastpath_pass && streaming_pass;
+  const bool pass = improvement >= 20.0 && identical && checker_clean &&
+                    fastpath_pass && streaming_pass && oocore_pass;
   println("%s: modeled reuse improvement %.1f%% (require >= 20%%), containers %s, "
-          "streaming %.2fx%s%s%s%s",
+          "streaming %.2fx%s%s%s%s%s",
           pass ? "PASS" : "FAIL", improvement, identical ? "identical" : "differ",
           streaming_speedup,
           streaming_pass ? "" : " (parallel LOSES to serial at gated size)",
+          oocore_pass ? "" : ", out-of-core leg failed",
           checker_clean ? "" : ", checker findings",
           fastpath_pass ? "" : ", word fast path slower than full shadow",
           smoke ? " [smoke]" : "");
@@ -307,6 +389,18 @@ int main(int argc, char** argv) {
        << "  \"streaming_gate_applied\": " << (streaming_gate ? "true" : "false") << ",\n"
        << "  \"streaming_pass\": " << (streaming_pass ? "true" : "false") << ",\n"
        << "  \"streaming_containers_identical\": " << (identical ? "true" : "false") << ",\n"
+       << "  \"oocore_budget_bytes\": " << oocore_cfg.memory_budget << ",\n"
+       << "  \"oocore_peak_resident_bytes\": " << oostats.peak_resident_bytes << ",\n"
+       << "  \"oocore_compress_file_seconds\": " << oocore_file_s << ",\n"
+       << "  \"oocore_read_seconds\": " << oostats.phases.read_seconds << ",\n"
+       << "  \"oocore_write_seconds\": " << oostats.phases.write_seconds << ",\n"
+       << "  \"oocore_container_identical\": " << (oocore_identical ? "true" : "false") << ",\n"
+       << "  \"oocore_within_budget\": " << (oocore_within_budget ? "true" : "false") << ",\n"
+       << "  \"decode_memory_seconds\": " << decode_memory_s << ",\n"
+       << "  \"decode_file_seconds\": " << decode_file_s << ",\n"
+       << "  \"decode_identical\": " << (decode_identical ? "true" : "false") << ",\n"
+       << "  \"decode_within_bound\": " << (decode_within_bound ? "true" : "false") << ",\n"
+       << "  \"oocore_pass\": " << (oocore_pass ? "true" : "false") << ",\n"
        << "  \"word_fastpath_seconds\": " << fast_s << ",\n"
        << "  \"word_fullshadow_seconds\": " << full_s << ",\n"
        << "  \"word_fastpath_wins\": " << (fastpath_pass ? "true" : "false") << ",\n"

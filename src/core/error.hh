@@ -58,6 +58,16 @@ class DecodeError : public std::runtime_error {
   std::string segment_;
 };
 
+/// A caller configuration refusal (e.g. a memory budget too small to hold
+/// even one slab).  Still an invalid_argument for callers that catch by the
+/// standard hierarchy, but decode_guard passes it through untranslated: it
+/// describes the caller's config, not the stream, so it must never be
+/// reported as corrupt data.
+class ConfigError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
 /// Backstop for public decode entry points: translate the standard-library
 /// exceptions a crafted stream can still provoke (length_error/bad_alloc from
 /// implausible allocations, invalid_argument/out_of_range from constructor
@@ -68,6 +78,8 @@ auto decode_guard(const char* segment, Fn&& fn) -> decltype(fn()) {
   try {
     return fn();
   } catch (const DecodeError&) {
+    throw;
+  } catch (const ConfigError&) {
     throw;
   } catch (const std::bad_alloc&) {
     throw DecodeError(DecodeErrorKind::kLengthOverflow, segment,

@@ -1,10 +1,12 @@
 #include "core/streaming.hh"
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <cmath>
 #include <condition_variable>
 #include <cstdlib>
+#include <cstring>
 #include <exception>
 #include <limits>
 #include <mutex>
@@ -16,6 +18,7 @@
 #endif
 
 #include "core/error.hh"
+#include "core/io/io.hh"
 #include "core/metrics.hh"
 #include "core/serialize.hh"
 #include "sim/launch.hh"
@@ -28,11 +31,22 @@ namespace {
 constexpr std::uint32_t kContainerMagic = 0x43505A53;  // "SZPC"
 constexpr std::uint16_t kContainerVersion = 1;
 
+/// Fixed container prefix: magic u32, version u16, rank u8, dtype u8,
+/// nx/ny/nz/slab-count u64 — what read_header() consumes.
+constexpr std::size_t kContainerHeaderBytes = 40;
+
+/// Planning allowance per parked slab archive beyond its input bytes
+/// (archive header, codebook, chunk metadata).  The budget model charges a
+/// parked archive at slab_bytes + this; the residency meter reports what
+/// actually happened.
+constexpr std::size_t kSlabArchiveOverhead = 4096;
+
 /// Worker count for the slab pipeline: explicit config wins, then the
 /// SZP_WORKERS environment variable, then the OpenMP thread budget.
 /// Deliberately independent of cfg.parallel — the slab *plan* may consult
-/// the worker count (auto_slab_thickness), and the plan must not differ
-/// between a serial and a parallel run or their containers would diverge.
+/// the worker count (auto_slab_thickness, memory_budget), and the plan must
+/// not differ between a serial and a parallel run or their containers would
+/// diverge.
 std::size_t resolve_workers(const StreamingConfig& cfg) {
   if (cfg.workers != 0) return cfg.workers;
   if (const char* env = std::getenv("SZP_WORKERS")) {
@@ -82,6 +96,61 @@ SlabPlan plan_slabs(const Extents& ext, const StreamingConfig& cfg, std::size_t 
   return p;
 }
 
+/// The full out-of-core plan: the slab split plus the worker count and
+/// queue window the memory budget admits.
+struct StreamPlan {
+  SlabPlan slabs;
+  std::size_t workers;  ///< cap on pipeline workers (== resolved when unbudgeted)
+  std::size_t window;   ///< queue window the budget model assumed
+};
+
+/// Resolve slab thickness, worker count, and queue window against
+/// cfg.memory_budget.  Residency model (DESIGN.md §2.3): W staging buffers
+/// of one slab each (viewless ingest) plus Q parked archives of at most
+/// slab_bytes + kSlabArchiveOverhead awaiting in-order packing:
+///
+///   W·S + Q·(S + overhead) <= budget,  S = thickness · plane_bytes
+///
+/// Workers halve until a plan fits; refuse when even one single-plane slab
+/// with one worker cannot.  Unbudgeted configs pass through plan_slabs()
+/// unchanged, so existing containers are byte-stable.
+StreamPlan plan_stream(const Extents& ext, const StreamingConfig& cfg, std::size_t plan_workers,
+                       std::size_t elem_size) {
+  StreamPlan p{};
+  p.slabs = plan_slabs(ext, cfg, plan_workers);
+  p.workers = plan_workers;
+  p.window =
+      std::max<std::size_t>(1, cfg.queue_window != 0 ? cfg.queue_window : 2 * plan_workers);
+  if (cfg.memory_budget == 0) return p;
+
+  const std::size_t budget = cfg.memory_budget;
+  const std::size_t plane_bytes = p.slabs.plane_elems * elem_size;
+  std::size_t w = std::max<std::size_t>(1, plan_workers);
+  for (;;) {
+    const std::size_t q =
+        std::max<std::size_t>(1, cfg.queue_window != 0 ? cfg.queue_window : 2 * w);
+    const std::size_t fixed = q * kSlabArchiveOverhead;
+    if (budget > fixed) {
+      const std::size_t max_slab_bytes = (budget - fixed) / (w + q);
+      const std::size_t t = max_slab_bytes / plane_bytes;
+      if (t >= 1) {
+        p.workers = w;
+        p.window = q;
+        p.slabs.thickness = std::min(p.slabs.thickness, t);
+        p.slabs.count =
+            (p.slabs.slow_extent + p.slabs.thickness - 1) / p.slabs.thickness;
+        return p;
+      }
+    }
+    if (w == 1) break;
+    w /= 2;
+  }
+  throw ConfigError(
+      "StreamingCompressor: memory budget " + std::to_string(budget) +
+      " bytes is too small: one single-plane slab plus its packed archive needs about " +
+      std::to_string(2 * plane_bytes + kSlabArchiveOverhead) + " bytes");
+}
+
 Extents slab_extents(const Extents& ext, std::size_t len) {
   switch (ext.rank) {
     case 1: return Extents::d1(len);
@@ -123,6 +192,40 @@ ValueRange field_range_blocked(std::span<const T> data) {
   return r;
 }
 
+/// min/max for a viewless source: one chunk-sized staging buffer, serial
+/// positional reads.  Costs a second pass over the file, which only a
+/// relative/PSNR bound pays — an absolute bound skips the scan entirely.
+template <typename T>
+ValueRange field_range_streamed(const io::FieldSource& src, std::size_t count) {
+  constexpr std::size_t kChunk = std::size_t{1} << 16;
+  std::vector<std::uint8_t> buf(std::min(count, kChunk) * sizeof(T));
+  ValueRange r{};
+  bool first = true;
+  for (std::size_t begin = 0; begin < count; begin += kChunk) {
+    const std::size_t n = std::min(kChunk, count - begin);
+    src.read_at(begin * sizeof(T), std::span<std::uint8_t>(buf.data(), n * sizeof(T)));
+    const T* p = reinterpret_cast<const T*>(buf.data());
+    T lo = p[0];
+    T hi = p[0];
+    bool fin = true;
+    for (std::size_t i = 0; i < n; ++i) {
+      fin = fin && std::isfinite(p[i]);
+      lo = std::min(lo, p[i]);
+      hi = std::max(hi, p[i]);
+    }
+    const ValueRange part{static_cast<double>(lo), static_cast<double>(hi), fin};
+    if (first) {
+      r = part;
+      first = false;
+    } else {
+      r.min = std::min(r.min, part.min);
+      r.max = std::max(r.max, part.max);
+      r.finite = r.finite && part.finite;
+    }
+  }
+  return r;
+}
+
 /// Dynamic one-level fan-out: `count` independent work items claimed by up
 /// to `workers` threads from a shared counter (no static pre-assignment, so
 /// uneven item cost load-balances).  Exceptions are captured and the
@@ -158,38 +261,256 @@ void fan_out_dynamic(std::size_t count, std::size_t workers, const Body& body) {
   for (std::size_t i = 0; i < count; ++i) body(i);
 }
 
-/// Shared state of the bounded producer/consumer slab pipeline.  Workers
-/// claim slab indices from `next` (dynamic schedule); finished archives
-/// park in `done` until the cooperative packer role drains them into the
-/// container strictly in index order.  `next < frontier + window` bounds
-/// how far compression runs ahead of packing, capping the finished-slab
-/// backlog held in memory.
+/// High-water accounting for bytes the pipeline itself holds resident:
+/// staging buffers, parked items awaiting in-order consumption, retained
+/// sink bytes.  Lock-free so produce-side charging never contends with the
+/// engine mutex.
+struct ResidencyMeter {
+  std::atomic<std::size_t> current{0};
+  std::atomic<std::size_t> peak{0};
+
+  void add(std::size_t n) {
+    if (n == 0) return;
+    const std::size_t cur = current.fetch_add(n, std::memory_order_relaxed) + n;
+    std::size_t p = peak.load(std::memory_order_relaxed);
+    while (cur > p && !peak.compare_exchange_weak(p, cur, std::memory_order_relaxed)) {
+    }
+  }
+  void sub(std::size_t n) {
+    if (n != 0) current.fetch_sub(n, std::memory_order_relaxed);
+  }
+};
+
+/// Read/write wall-clock attribution, accumulated by the produce/consume
+/// closures (the engine only times whole produce/consume calls).  One lock
+/// per slab is noise next to a slab compress.
+struct PhaseClock {
+  std::mutex m;
+  double read = 0.0;
+  double write = 0.0;
+
+  void add_read(double s) {
+    const std::lock_guard<std::mutex> lk(m);
+    read += s;
+  }
+  void add_write(double s) {
+    const std::lock_guard<std::mutex> lk(m);
+    write += s;
+  }
+};
+
+/// Shared state of the bounded producer/consumer pipeline.  Workers claim
+/// item indices from `next` (dynamic schedule); finished items park in
+/// `done` until the cooperative packer role drains them into the consumer
+/// strictly in index order.  `next < frontier + window` bounds how far
+/// production runs ahead of consumption, capping the finished-item backlog
+/// held in memory.
+template <typename Item>
 struct EngineState {
   std::mutex m;
   std::condition_variable cv;
-  std::size_t next = 0;       ///< next slab index to claim
-  std::size_t frontier = 0;   ///< next slab index to pack
+  std::size_t next = 0;       ///< next item index to claim
+  std::size_t frontier = 0;   ///< next item index to consume
   bool packing = false;       ///< a worker currently holds the packer role
   bool stop = false;          ///< error seen: stop claiming, wind down
   std::size_t err_slab = std::numeric_limits<std::size_t>::max();
   std::exception_ptr err;
-  std::vector<Compressed> done;
+  std::vector<Item> done;
   std::vector<char> ready;
-  double compress_seconds = 0.0;  ///< summed across workers (can exceed wall)
-  double pack_seconds = 0.0;
+  double produce_seconds = 0.0;  ///< summed across workers (can exceed wall)
+  double consume_seconds = 0.0;
 };
 
+struct PipelineSeconds {
+  double produce = 0.0;
+  double consume = 0.0;
+};
+
+/// The bounded ordered pipeline (DESIGN.md §2.2/§2.3), generalized over
+/// what flows through it: compress runs it with Item = Compressed (produce
+/// = read + compress a slab, consume = pack it), out-of-core decode with
+/// Item = a decoded slab (produce = read + decode, consume = emit raw
+/// bytes).  Every worker alternates between claiming the next index and
+/// producing it, or — when the lowest unconsumed item is finished and
+/// nobody else holds the packer role — draining consecutive finished items
+/// through `consume` in index order.  On faults the lowest-index error wins
+/// deterministically (claims are monotonic, so every item below a faulting
+/// one ran to completion).
+///
+/// Single-worker runs execute serially: the two-phase reference schedule
+/// (produce everything, then consume everything) when `interleave_serial`
+/// is false — the in-memory default, where holding all items costs nothing
+/// extra — or item-by-item interleaving when true, so bounded-residency
+/// out-of-core runs never hold more than one finished item.
+template <typename Item, typename MakeCtx, typename Produce, typename Consume>
+PipelineSeconds run_ordered_pipeline(std::size_t count, std::size_t workers, std::size_t window,
+                                     bool interleave_serial, const MakeCtx& make_ctx,
+                                     const Produce& produce, const Consume& consume) {
+  PipelineSeconds out;
+#ifndef _OPENMP
+  workers = 1;
+#endif
+  if (workers <= 1 || count <= 1) {
+    auto ctx = make_ctx();
+    if (interleave_serial) {
+      for (std::size_t s = 0; s < count; ++s) {
+        sim::Timer t;
+        Item item = produce(ctx, s);
+        out.produce += t.seconds();
+        t.reset();
+        consume(s, std::move(item));
+        out.consume += t.seconds();
+      }
+    } else {
+      std::vector<Item> items;
+      items.reserve(count);
+      sim::Timer t;
+      for (std::size_t s = 0; s < count; ++s) items.push_back(produce(ctx, s));
+      out.produce = t.seconds();
+      t.reset();
+      for (std::size_t s = 0; s < count; ++s) consume(s, std::move(items[s]));
+      out.consume = t.seconds();
+    }
+    return out;
+  }
+#ifdef _OPENMP
+  EngineState<Item> st;
+  st.done.resize(count);
+  st.ready.assign(count, 0);
+  window = std::max<std::size_t>(1, window);
+
+  const auto worker = [&]() {
+    try {
+      auto ctx = make_ctx();
+      std::unique_lock<std::mutex> lk(st.m);
+      for (;;) {
+        if (st.stop) return;
+        if (!st.packing && st.frontier < count && st.ready[st.frontier] != 0) {
+          // Packer role: exclusive by the `packing` flag, in index order by
+          // the frontier — so consume() needs no further synchronization.
+          st.packing = true;
+          while (!st.stop && st.frontier < count && st.ready[st.frontier] != 0) {
+            const std::size_t s = st.frontier;
+            Item item = std::move(st.done[s]);
+            lk.unlock();
+            sim::Timer t;
+            bool pack_ok = true;
+            try {
+              consume(s, std::move(item));
+            } catch (...) {
+              pack_ok = false;
+              lk.lock();
+              if (s < st.err_slab) {
+                st.err_slab = s;
+                st.err = std::current_exception();
+              }
+              st.stop = true;
+            }
+            if (pack_ok) {
+              const double dt = t.seconds();
+              lk.lock();
+              st.consume_seconds += dt;
+              ++st.frontier;
+            }
+            st.cv.notify_all();  // the window advanced (or we are stopping)
+          }
+          st.packing = false;
+          continue;
+        }
+        if (!st.stop && st.next < count && st.next < st.frontier + window) {
+          const std::size_t s = st.next++;
+          lk.unlock();
+          sim::Timer t;
+          bool ok = true;
+          Item item;
+          try {
+            item = produce(ctx, s);
+          } catch (...) {
+            ok = false;
+            lk.lock();
+            // Keep the lowest-index fault: claims are monotonic, so every
+            // item below a faulting one was claimed and ran to completion —
+            // the winner is deterministic regardless of interleaving.
+            if (s < st.err_slab) {
+              st.err_slab = s;
+              st.err = std::current_exception();
+            }
+            st.stop = true;
+          }
+          if (ok) {
+            const double dt = t.seconds();
+            lk.lock();
+            st.produce_seconds += dt;
+            st.done[s] = std::move(item);
+            st.ready[s] = 1;
+          }
+          st.cv.notify_all();
+          continue;
+        }
+        if (st.frontier >= count) return;  // everything consumed
+        st.cv.wait(lk, [&] {
+          return st.stop || st.frontier >= count ||
+                 (!st.packing && st.ready[st.frontier] != 0) ||
+                 (st.next < count && st.next < st.frontier + window);
+        });
+      }
+    } catch (...) {
+      // Context creation (e.g. lease acquisition) failed; surface it unless
+      // an item already recorded a more specific fault.
+      const std::lock_guard<std::mutex> lk(st.m);
+      if (!st.err) st.err = std::current_exception();
+      st.stop = true;
+      st.cv.notify_all();
+    }
+  };
+
+#pragma omp parallel num_threads(static_cast<int>(workers))
+  { worker(); }
+
+  if (st.err) std::rethrow_exception(st.err);
+  out.produce = st.produce_seconds;
+  out.consume = st.consume_seconds;
+#endif
+  return out;
+}
+
+/// Per-worker pipeline context: a leased workspace (under a parallel
+/// config) and a slab staging buffer for viewless sources.  Staging prefers
+/// the workspace's tracked slab_io buffer so steady-state out-of-core runs
+/// allocate nothing; a worker without a lease falls back to its own vector.
+struct WorkerCtx {
+  WorkspaceLease lease;
+  std::vector<std::uint8_t> own_buf;
+  std::size_t charged = 0;  ///< staging capacity already on the meter
+};
+
+std::vector<std::uint8_t>& staging_buffer(WorkerCtx& ctx) {
+  return ctx.lease ? ctx.lease->slab_io : ctx.own_buf;
+}
+
 template <typename T>
-StreamingCompressed compress_impl(const StreamingConfig& cfg, const Compressor& compressor,
-                                  std::span<const T> data, const Extents& ext) {
-  if (data.empty() || data.size() != ext.count()) {
+StreamingStats compress_stream_impl(const StreamingConfig& cfg, const Compressor& compressor,
+                                    io::FieldSource& src, const Extents& ext,
+                                    io::ContainerSink& sink) {
+  const std::size_t total = ext.count();
+  if (total == 0) {
     throw std::invalid_argument("StreamingCompressor::compress: data must match extents");
   }
+  if (src.size_bytes() != total * sizeof(T)) {
+    throw std::invalid_argument("StreamingCompressor::compress: source " + src.name() +
+                                " holds " + std::to_string(src.size_bytes()) +
+                                " bytes, extents declare " + std::to_string(total * sizeof(T)));
+  }
   const std::size_t plan_workers = resolve_workers(cfg);
-  const SlabPlan plan = plan_slabs(ext, cfg, plan_workers);
+  const StreamPlan plan = plan_stream(ext, cfg, plan_workers, sizeof(T));
 
-  StreamingCompressed out;
-  out.stats.original_bytes = data.size_bytes();
+  StreamingStats stats;
+  stats.original_bytes = src.size_bytes();
+
+  const std::span<const std::uint8_t> view = src.view();
+  const T* view_elems = view.empty() ? nullptr : reinterpret_cast<const T*>(view.data());
+  ResidencyMeter meter;
+  PhaseClock clock;
 
   // Resolve a relative/PSNR bound against the whole field once, so every
   // slab carries the same absolute bound.  An absolute bound needs no field
@@ -199,208 +520,153 @@ StreamingCompressed compress_impl(const StreamingConfig& cfg, const Compressor& 
   sim::Timer phase_timer;
   CompressConfig slab_cfg = cfg.base;
   if (cfg.base.eb.mode != EbMode::kAbsolute) {
-    const ValueRange range = field_range_blocked(data);
+    const ValueRange range = view_elems != nullptr
+                                 ? field_range_blocked(std::span<const T>(view_elems, total))
+                                 : field_range_streamed<T>(src, total);
     if (!range.finite) {
       throw std::invalid_argument("StreamingCompressor::compress: non-finite values");
     }
     slab_cfg.eb = ErrorBound::absolute(cfg.base.eb.resolve(range.span()));
   }
-  out.stats.phases.range_seconds = phase_timer.seconds();
-  out.stats.eb_abs = slab_cfg.eb.value;  // absolute by now, either way
+  stats.phases.range_seconds = phase_timer.seconds();
+  stats.eb_abs = slab_cfg.eb.value;  // absolute by now, either way
 
-  // The container header and the per-slab pack step.  pack() must be called
-  // in index order by exactly one thread at a time (the serial loop below,
-  // or whichever pipeline worker holds the packer role) — that keeps the
-  // container bytes identical to a serial run by construction.
-  ByteWriter w;
-  w.put(kContainerMagic);
-  w.put(kContainerVersion);
-  w.put<std::uint8_t>(static_cast<std::uint8_t>(ext.rank));
-  w.put<std::uint8_t>(static_cast<std::uint8_t>(
-      std::is_same_v<T, float> ? DType::kFloat32 : DType::kFloat64));
-  w.put<std::uint64_t>(ext.nx);
-  w.put<std::uint64_t>(ext.ny);
-  w.put<std::uint64_t>(ext.nz);
-  w.put<std::uint64_t>(plan.count);
+  // The container header.  Sink writes happen only on the packer role's
+  // thread (or here, before any worker starts), so the container bytes are
+  // identical to a serial in-memory run by construction.
+  {
+    ByteWriter w;
+    w.put(kContainerMagic);
+    w.put(kContainerVersion);
+    w.put<std::uint8_t>(static_cast<std::uint8_t>(ext.rank));
+    w.put<std::uint8_t>(static_cast<std::uint8_t>(
+        std::is_same_v<T, float> ? DType::kFloat32 : DType::kFloat64));
+    w.put<std::uint64_t>(ext.nx);
+    w.put<std::uint64_t>(ext.ny);
+    w.put<std::uint64_t>(ext.nz);
+    w.put<std::uint64_t>(plan.slabs.count);
+    const auto header = w.take();
+    sink.write(header);
+    if (sink.retains_bytes()) meter.add(header.size());
+  }
 
-  const auto slab_span = [&](std::size_t s, Extents& sub, std::size_t& offset) {
-    const std::size_t begin = s * plan.thickness;
-    const std::size_t len = std::min(plan.thickness, plan.slow_extent - begin);
+  const auto slab_geom = [&](std::size_t s, Extents& sub, std::size_t& offset) {
+    const std::size_t begin = s * plan.slabs.thickness;
+    const std::size_t len = std::min(plan.slabs.thickness, plan.slabs.slow_extent - begin);
     sub = slab_extents(ext, len);
-    offset = begin * plan.plane_elems;
-    return std::span<const T>(data.data() + offset, sub.count());
+    offset = begin * plan.slabs.plane_elems;
   };
 
-  const auto pack = [&](std::size_t s, const Compressed& slab) {
+  // How many workers actually run: the config's parallel switch, the
+  // machine, the plan, and the memory budget all cap it, and a compress
+  // nested under an outer fan-out (compress_many) always runs single-worker
+  // so the fan-out stays explicitly one-level.
+  std::size_t exec_workers = 1;
+#ifdef _OPENMP
+  if (cfg.parallel && !sim::in_parallel_worker()) {
+    exec_workers = std::min({plan.workers, plan.slabs.count});
+  }
+#endif
+  stats.workers_used = std::max<std::size_t>(1, exec_workers);
+  const std::size_t window = std::max<std::size_t>(
+      1, cfg.queue_window != 0 ? cfg.queue_window : 2 * std::max<std::size_t>(1, exec_workers));
+
+  const auto make_ctx = [&] {
+    // Lease iff the config is parallel (single-worker parallel runs keep
+    // the pipeline's per-worker discipline; a genuinely serial config skips
+    // the pool round-trip) — lease assignment is deleted, so build in place.
+    return WorkerCtx{cfg.parallel ? compressor.lease_workspace() : WorkspaceLease(), {}, 0};
+  };
+
+  const auto produce = [&](WorkerCtx& ctx, std::size_t s) -> Compressed {
     Extents sub;
     std::size_t offset = 0;
-    (void)slab_span(s, sub, offset);
+    slab_geom(s, sub, offset);
+    std::span<const T> span;
+    if (view_elems != nullptr) {
+      span = std::span<const T>(view_elems + offset, sub.count());
+    } else {
+      std::vector<std::uint8_t>& buf = staging_buffer(ctx);
+      const std::size_t nbytes = sub.count() * sizeof(T);
+      sim::Timer rt;
+      buf.resize(nbytes);
+      src.read_at(offset * sizeof(T), std::span<std::uint8_t>(buf.data(), nbytes));
+      clock.add_read(rt.seconds());
+      if (buf.capacity() > ctx.charged) {
+        meter.add(buf.capacity() - ctx.charged);
+        ctx.charged = buf.capacity();
+      }
+      span = std::span<const T>(reinterpret_cast<const T*>(buf.data()), sub.count());
+    }
+    Compressed slab = ctx.lease ? compressor.compress(span, sub, slab_cfg, *ctx.lease)
+                                : compressor.compress(span, sub, slab_cfg);
+    meter.add(slab.bytes.size());  // parked until the packer drains it
+    return slab;
+  };
+
+  const auto consume = [&](std::size_t s, Compressed&& slab) {
+    Extents sub;
+    std::size_t offset = 0;
+    slab_geom(s, sub, offset);
     if (s == 0) {
       // Size the container off the first slab (offset + length prefix +
-      // payload per remaining entry) so incremental packing does not pay
-      // repeated reallocation-and-copy as slabs stream in.
-      w.reserve(w.size() + plan.count * (slab.bytes.size() + 16));
+      // payload per entry) so incremental packing does not pay repeated
+      // reallocation-and-copy (retaining sinks) — streaming sinks ignore it.
+      sink.reserve_hint(plan.slabs.count * (slab.bytes.size() + 16));
     }
     SlabInfo info;
     info.extents = sub;
     info.offset = offset;
     info.ratio = slab.stats.ratio;
     info.workflow = slab.stats.workflow_used;
-    out.stats.slabs.push_back(info);
-    w.put<std::uint64_t>(offset);
-    w.put_vector(slab.bytes);
+    stats.slabs.push_back(info);
+    std::array<std::uint8_t, 16> prefix{};
+    const std::uint64_t off64 = offset;
+    const std::uint64_t len64 = slab.bytes.size();
+    std::memcpy(prefix.data(), &off64, 8);
+    std::memcpy(prefix.data() + 8, &len64, 8);
+    const std::size_t parked = slab.bytes.size();
+    sim::Timer wt;
+    sink.write(prefix);
+    sink.write(slab.bytes);
+    clock.add_write(wt.seconds());
+    if (sink.retains_bytes()) meter.add(prefix.size() + parked);
+    meter.sub(parked);
   };
 
-  // How many workers actually run: the config's parallel switch, the
-  // machine, and the plan all cap it, and a compress nested under an outer
-  // fan-out (compress_many) always runs single-worker so the fan-out stays
-  // explicitly one-level.
-  std::size_t exec_workers = 1;
-#ifdef _OPENMP
-  if (cfg.parallel && !sim::in_parallel_worker()) {
-    exec_workers = std::min(plan_workers, plan.count);
+  // A retaining sink holds the whole container anyway, so the serial path
+  // keeps the two-phase reference schedule (compress everything, then pack
+  // — interleaving only costs cache locality when nothing runs
+  // concurrently).  Streaming sinks and budgeted runs interleave so no more
+  // than one finished slab is ever parked.
+  const bool interleave_serial = !sink.retains_bytes() || cfg.memory_budget != 0;
+  const PipelineSeconds t =
+      run_ordered_pipeline<Compressed>(plan.slabs.count, exec_workers, window,
+                                       interleave_serial, make_ctx, produce, consume);
+  sink.finish();
+
+  stats.phases.read_seconds = clock.read;
+  stats.phases.write_seconds = clock.write;
+  stats.phases.compress_seconds = std::max(0.0, t.produce - clock.read);
+  stats.phases.pack_seconds = t.consume;
+  stats.compressed_bytes = sink.bytes_written();
+  stats.ratio = compression_ratio(stats.original_bytes, stats.compressed_bytes);
+  stats.peak_resident_bytes = meter.peak.load(std::memory_order_relaxed);
+  return stats;
+}
+
+template <typename T>
+StreamingCompressed compress_impl(const StreamingConfig& cfg, const Compressor& compressor,
+                                  std::span<const T> data, const Extents& ext) {
+  if (data.empty() || data.size() != ext.count()) {
+    throw std::invalid_argument("StreamingCompressor::compress: data must match extents");
   }
-#endif
-  out.stats.workers_used = std::max<std::size_t>(1, exec_workers);
-
-  if (exec_workers <= 1) {
-    // One worker: there is no concurrency to overlap, so both configs run
-    // the two-phase reference schedule (compress every slab, then pack —
-    // interleaving pack between compresses only costs cache locality when
-    // nothing runs concurrently).  The parallel config still keeps the
-    // pipeline's per-worker discipline: one workspace lease for the whole
-    // run instead of a pool round-trip per slab.  Inner kernel launches
-    // still parallelize either way (this is not a nested context).
-    WorkspaceLease lease =
-        cfg.parallel ? compressor.lease_workspace() : WorkspaceLease();
-    std::vector<Compressed> slabs(plan.count);
-    sim::Timer t;
-    for (std::size_t s = 0; s < plan.count; ++s) {
-      Extents sub;
-      std::size_t offset = 0;
-      const auto span = slab_span(s, sub, offset);
-      slabs[s] = lease ? compressor.compress(span, sub, slab_cfg, *lease)
-                       : compressor.compress(span, sub, slab_cfg);
-    }
-    out.stats.phases.compress_seconds = t.seconds();
-    t.reset();
-    for (std::size_t s = 0; s < plan.count; ++s) pack(s, slabs[s]);
-    out.stats.phases.pack_seconds = t.seconds();
-  } else {
-#ifdef _OPENMP
-    // Bounded producer/consumer pipeline (DESIGN.md §2.2).  Every worker
-    // alternates between two jobs under one mutex: claim the next slab
-    // index and compress it (producer), or — when the lowest unpacked slab
-    // is finished and nobody else is packing — take the packer role and
-    // drain consecutive finished slabs into the container (consumer).
-    // Claims throttle at `frontier + window` so compression never runs
-    // unboundedly ahead of packing.
-    EngineState st;
-    st.done.resize(plan.count);
-    st.ready.assign(plan.count, 0);
-    const std::size_t window =
-        std::max<std::size_t>(1, cfg.queue_window != 0 ? cfg.queue_window : 2 * exec_workers);
-
-    const auto worker = [&]() {
-      try {
-        auto lease = compressor.lease_workspace();
-        std::unique_lock<std::mutex> lk(st.m);
-        for (;;) {
-          if (st.stop) return;
-          if (!st.packing && st.frontier < plan.count && st.ready[st.frontier] != 0) {
-            // Packer role: exclusive by the `packing` flag, in index order
-            // by the frontier — so pack() needs no further synchronization.
-            st.packing = true;
-            while (!st.stop && st.frontier < plan.count && st.ready[st.frontier] != 0) {
-              const std::size_t s = st.frontier;
-              const Compressed slab = std::move(st.done[s]);
-              lk.unlock();
-              sim::Timer t;
-              bool pack_ok = true;
-              try {
-                pack(s, slab);
-              } catch (...) {
-                pack_ok = false;
-                lk.lock();
-                if (s < st.err_slab) {
-                  st.err_slab = s;
-                  st.err = std::current_exception();
-                }
-                st.stop = true;
-              }
-              if (pack_ok) {
-                const double dt = t.seconds();
-                lk.lock();
-                st.pack_seconds += dt;
-                ++st.frontier;
-              }
-              st.cv.notify_all();  // the window advanced (or we are stopping)
-            }
-            st.packing = false;
-            continue;
-          }
-          if (!st.stop && st.next < plan.count && st.next < st.frontier + window) {
-            const std::size_t s = st.next++;
-            lk.unlock();
-            Extents sub;
-            std::size_t offset = 0;
-            const auto span = slab_span(s, sub, offset);
-            sim::Timer t;
-            bool ok = true;
-            Compressed slab;
-            try {
-              slab = compressor.compress(span, sub, slab_cfg, *lease);
-            } catch (...) {
-              ok = false;
-              lk.lock();
-              // Keep the lowest-index fault: claims are monotonic, so every
-              // slab below a faulting one was claimed and ran to completion
-              // — the winner is deterministic regardless of interleaving.
-              if (s < st.err_slab) {
-                st.err_slab = s;
-                st.err = std::current_exception();
-              }
-              st.stop = true;
-            }
-            if (ok) {
-              const double dt = t.seconds();
-              lk.lock();
-              st.compress_seconds += dt;
-              st.done[s] = std::move(slab);
-              st.ready[s] = 1;
-            }
-            st.cv.notify_all();
-            continue;
-          }
-          if (st.frontier >= plan.count) return;  // everything packed
-          st.cv.wait(lk, [&] {
-            return st.stop || st.frontier >= plan.count ||
-                   (!st.packing && st.ready[st.frontier] != 0) ||
-                   (st.next < plan.count && st.next < st.frontier + window);
-          });
-        }
-      } catch (...) {
-        // Lease acquisition (or another pre-loop step) failed; surface it
-        // unless a slab already recorded a more specific fault.
-        const std::lock_guard<std::mutex> lk(st.m);
-        if (!st.err) st.err = std::current_exception();
-        st.stop = true;
-        st.cv.notify_all();
-      }
-    };
-
-#pragma omp parallel num_threads(static_cast<int>(exec_workers))
-    { worker(); }
-
-    if (st.err) std::rethrow_exception(st.err);
-    out.stats.phases.compress_seconds = st.compress_seconds;
-    out.stats.phases.pack_seconds = st.pack_seconds;
-#endif
-  }
-
-  out.bytes = w.take();
-  out.stats.compressed_bytes = out.bytes.size();
-  out.stats.ratio = compression_ratio(out.stats.original_bytes, out.stats.compressed_bytes);
+  io::SpanFieldSource src(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(data.data()), data.size_bytes()));
+  io::VectorSink sink;
+  StreamingCompressed out;
+  out.stats = compress_stream_impl<T>(cfg, compressor, src, ext, sink);
+  out.bytes = sink.take();
   return out;
 }
 
@@ -435,7 +701,11 @@ struct ContainerHeader {
   std::size_t slabs;
 };
 
-ContainerHeader read_header(ByteReader& r) {
+/// Parse and validate the fixed container prefix.  The slab-count bound is
+/// checked separately (check_slab_bound) so callers reading the header from
+/// a 40-byte staging buffer can bound against the *file's* remaining bytes
+/// rather than the buffer's.
+ContainerHeader read_header_fields(ByteReader& r) {
   r.set_segment("header");
   if (r.get<std::uint32_t>() != kContainerMagic) {
     throw DecodeError(DecodeErrorKind::kBadMagic, "header", "not an SZPC container");
@@ -473,12 +743,23 @@ ContainerHeader read_header(ByteReader& r) {
     throw DecodeError(DecodeErrorKind::kLengthOverflow, "header",
                       "extents overflow the element count");
   }
-  // Each slab entry is at least a u64 offset plus a u64 length prefix.
-  if (h.slabs > r.remaining() / 16) {
+  return h;
+}
+
+/// Each slab entry is at least a u64 offset plus a u64 length prefix;
+/// `available` is whatever byte count follows the header (buffer remainder
+/// in memory, file size minus header on disk).
+void check_slab_bound(const ContainerHeader& h, std::size_t available) {
+  if (h.slabs > available / 16) {
     throw DecodeError(DecodeErrorKind::kLengthOverflow, "header",
                       "slab count " + std::to_string(h.slabs) + " exceeds what " +
-                          std::to_string(r.remaining()) + " remaining bytes can hold");
+                          std::to_string(available) + " remaining bytes can hold");
   }
+}
+
+ContainerHeader read_header(ByteReader& r) {
+  ContainerHeader h = read_header_fields(r);
+  check_slab_bound(h, r.remaining());
   return h;
 }
 
@@ -522,6 +803,249 @@ ContainerIndex index_impl(std::span<const std::uint8_t> container) {
   return idx;
 }
 
+/// Structural map of a container read through a viewless source: header
+/// plus the byte position/length of every slab payload.  Bounds-checks the
+/// directory against the file size (so a spliced length cannot drive reads
+/// past the end) but defers tiling validation to the in-order consume pass
+/// — the out-of-core decode never allocates the whole field, so there is no
+/// huge-resize hazard to front-run.
+struct FileSlabRef {
+  std::size_t field_offset;
+  std::size_t payload_pos;
+  std::size_t payload_len;
+};
+
+struct FileContainerMap {
+  ContainerHeader header{};
+  std::vector<FileSlabRef> slabs;
+  std::size_t max_payload = 0;
+};
+
+FileContainerMap walk_container(const io::FieldSource& src) {
+  const std::size_t fsize = src.size_bytes();
+  std::array<std::uint8_t, kContainerHeaderBytes> hb{};
+  const std::size_t hlen = std::min<std::size_t>(fsize, hb.size());
+  src.read_at(0, std::span<std::uint8_t>(hb.data(), hlen));
+  ByteReader r(std::span<const std::uint8_t>(hb.data(), hlen));
+  FileContainerMap map;
+  map.header = read_header_fields(r);  // throws kTruncated when hlen < header
+  check_slab_bound(map.header, fsize - kContainerHeaderBytes);
+  map.slabs.reserve(map.header.slabs);
+  std::size_t pos = kContainerHeaderBytes;
+  for (std::size_t s = 0; s < map.header.slabs; ++s) {
+    if (fsize - pos < 16) {
+      throw DecodeError(DecodeErrorKind::kTruncated, "slab directory",
+                        "need 16 bytes, have " + std::to_string(fsize - pos));
+    }
+    std::array<std::uint8_t, 16> entry{};
+    src.read_at(pos, std::span<std::uint8_t>(entry.data(), entry.size()));
+    std::uint64_t off = 0;
+    std::uint64_t len = 0;
+    std::memcpy(&off, entry.data(), 8);
+    std::memcpy(&len, entry.data() + 8, 8);
+    if (len > fsize - pos - 16) {
+      throw DecodeError(DecodeErrorKind::kTruncated, "slab directory",
+                        "need " + std::to_string(len) + " bytes, have " +
+                            std::to_string(fsize - pos - 16));
+    }
+    map.slabs.push_back(FileSlabRef{static_cast<std::size_t>(off), pos + 16,
+                                    static_cast<std::size_t>(len)});
+    map.max_payload = std::max(map.max_payload, static_cast<std::size_t>(len));
+    pos += 16 + static_cast<std::size_t>(len);
+  }
+  return map;
+}
+
+/// One decoded slab flowing through the out-of-core decode pipeline.
+struct DecodedSlab {
+  Decompressed d;
+  std::size_t declared_offset = 0;  ///< element offset from the directory
+  std::size_t resident = 0;         ///< bytes charged to the meter while parked
+};
+
+std::span<const std::uint8_t> decoded_bytes(const Decompressed& d) {
+  if (d.dtype == DType::kFloat32) {
+    return {reinterpret_cast<const std::uint8_t*>(d.data.data()),
+            d.data.size() * sizeof(float)};
+  }
+  return {reinterpret_cast<const std::uint8_t*>(d.data_f64.data()),
+          d.data_f64.size() * sizeof(double)};
+}
+
+/// Cap decode workers/window so the budget model fits:
+///   W·produce_cost + Q·park_cost <= budget
+/// produce_cost bounds what one in-flight slab holds (payload staging plus
+/// its decoded elements), park_cost what a finished slab parks awaiting
+/// in-order emission (decoded elements only; the staging buffer is reused).
+void resolve_decode_budget(std::size_t budget, std::size_t produce_cost, std::size_t park_cost,
+                           std::size_t cfg_window, std::size_t& workers, std::size_t& window) {
+  if (budget == 0) return;
+  produce_cost = std::max<std::size_t>(1, produce_cost);
+  park_cost = std::max<std::size_t>(1, park_cost);
+  std::size_t w = std::max<std::size_t>(1, workers);
+  for (;;) {
+    const std::size_t q =
+        std::max<std::size_t>(1, cfg_window != 0 ? cfg_window : 2 * w);
+    if (w * produce_cost + q * park_cost <= budget) {
+      workers = w;
+      window = q;
+      return;
+    }
+    if (w == 1) break;
+    w /= 2;
+  }
+  if (produce_cost + park_cost <= budget) {
+    workers = 1;
+    window = 1;
+    return;
+  }
+  throw ConfigError(
+      "StreamingCompressor: memory budget " + std::to_string(budget) +
+      " bytes is too small to decode this container: one slab in flight needs about " +
+      std::to_string(produce_cost + park_cost) + " bytes");
+}
+
+StreamingFileInfo decompress_stream_impl(io::FieldSource& src, io::ContainerSink& sink,
+                                         const StreamingConfig& cfg) {
+  const std::span<const std::uint8_t> view = src.view();
+  ResidencyMeter meter;
+  PhaseClock clock;
+  StreamingFileInfo out;
+  out.stats.compressed_bytes = src.size_bytes();
+
+  // Directory pass: zero-copy via the validated in-memory index when the
+  // source has a view (span, mmap); a structural walk with positional reads
+  // otherwise, with tiling validated incrementally by the in-order consume.
+  ContainerIndex idx;
+  FileContainerMap map;
+  const bool has_view = !view.empty();
+  std::size_t slab_count = 0;
+  std::size_t esize = 0;
+  std::size_t max_slab_elems_est = 0;
+  if (has_view) {
+    idx = index_impl(view);
+    out.dtype = idx.dtype;
+    out.extents = idx.extents;
+    slab_count = idx.slabs.size();
+    std::size_t max_payload = 0;
+    for (const ContainerSlab& ref : idx.slabs) {
+      max_payload = std::max(max_payload, ref.bytes.size());
+      max_slab_elems_est = std::max(max_slab_elems_est, ref.count);
+    }
+    map.max_payload = max_payload;
+  } else {
+    map = walk_container(src);
+    out.dtype = map.header.dtype;
+    out.extents = map.header.extents;
+    slab_count = map.slabs.size();
+    // Uniform tiling (constant thickness, short last slab) makes the mean a
+    // tight estimate of the largest decoded slab for the budget model.
+    max_slab_elems_est = slab_count == 0
+                             ? 0
+                             : (out.extents.count() + slab_count - 1) / slab_count;
+  }
+  esize = out.dtype == DType::kFloat32 ? sizeof(float) : sizeof(double);
+  const std::size_t total = out.extents.count();
+
+  std::size_t exec_workers = 1;
+#ifdef _OPENMP
+  if (cfg.parallel && !sim::in_parallel_worker()) {
+    exec_workers = std::min(resolve_workers(cfg), std::max<std::size_t>(1, slab_count));
+  }
+#endif
+  std::size_t window = std::max<std::size_t>(
+      1, cfg.queue_window != 0 ? cfg.queue_window : 2 * std::max<std::size_t>(1, exec_workers));
+  const std::size_t park_cost = max_slab_elems_est * esize;
+  const std::size_t produce_cost = (has_view ? 0 : map.max_payload) + park_cost;
+  resolve_decode_budget(cfg.memory_budget, produce_cost, park_cost, cfg.queue_window,
+                        exec_workers, window);
+  out.stats.workers_used = std::max<std::size_t>(1, exec_workers);
+  out.stats.eb_abs = 0.0;  // per-slab bounds live in the slab archives
+
+  const auto make_ctx = [&] { return WorkerCtx{}; };
+
+  const auto produce = [&](WorkerCtx& ctx, std::size_t s) -> DecodedSlab {
+    DecodedSlab item;
+    if (has_view) {
+      const ContainerSlab& ref = idx.slabs[s];
+      item.d = Compressor::decompress(ref.bytes);
+      item.declared_offset = ref.offset;
+      const std::size_t decoded =
+          idx.dtype == DType::kFloat32 ? item.d.data.size() : item.d.data_f64.size();
+      if (decoded != ref.count) {
+        throw DecodeError(DecodeErrorKind::kCorruptStream, "slab directory",
+                          "slab decoded to " + std::to_string(decoded) +
+                              " elements, its header declared " + std::to_string(ref.count));
+      }
+    } else {
+      const FileSlabRef& ref = map.slabs[s];
+      std::vector<std::uint8_t>& buf = staging_buffer(ctx);
+      sim::Timer rt;
+      buf.resize(ref.payload_len);
+      src.read_at(ref.payload_pos, std::span<std::uint8_t>(buf.data(), ref.payload_len));
+      clock.add_read(rt.seconds());
+      if (buf.capacity() > ctx.charged) {
+        meter.add(buf.capacity() - ctx.charged);
+        ctx.charged = buf.capacity();
+      }
+      item.d = Compressor::decompress(std::span<const std::uint8_t>(buf.data(), buf.size()));
+      item.declared_offset = ref.field_offset;
+      if (item.d.dtype != out.dtype) {
+        throw DecodeError(DecodeErrorKind::kCorruptStream, "slab directory",
+                          "slab " + std::to_string(s) +
+                              " element type disagrees with the container");
+      }
+    }
+    item.resident = decoded_bytes(item.d).size();
+    meter.add(item.resident);
+    return item;
+  };
+
+  std::size_t covered = 0;  // touched only by the in-order packer role
+  const auto consume = [&](std::size_t s, DecodedSlab&& item) {
+    const std::span<const std::uint8_t> bytes = decoded_bytes(item.d);
+    const std::size_t n = bytes.size() / esize;
+    if (item.declared_offset != covered || covered + n > total) {
+      throw DecodeError(DecodeErrorKind::kCorruptStream, "slab directory",
+                        "slab " + std::to_string(s) + " at offset " +
+                            std::to_string(item.declared_offset) + " does not tile the field");
+    }
+    SlabInfo info;
+    info.extents = item.d.extents;
+    info.offset = item.declared_offset;
+    out.stats.slabs.push_back(info);
+    sim::Timer wt;
+    sink.write(bytes);
+    clock.add_write(wt.seconds());
+    if (sink.retains_bytes()) meter.add(bytes.size());
+    meter.sub(item.resident);
+    covered += n;
+  };
+
+  const PipelineSeconds t = run_ordered_pipeline<DecodedSlab>(
+      slab_count, exec_workers, window, /*interleave_serial=*/true, make_ctx, produce, consume);
+  if (covered != total) {
+    throw DecodeError(DecodeErrorKind::kCorruptStream, "slab directory",
+                      "slabs cover " + std::to_string(covered) + " of " + std::to_string(total) +
+                          " elements");
+  }
+  sink.finish();
+
+  out.stats.phases.read_seconds = clock.read;
+  out.stats.phases.write_seconds = clock.write;
+  out.stats.phases.compress_seconds = std::max(0.0, t.produce - clock.read);
+  out.stats.phases.pack_seconds = t.consume;
+  out.stats.original_bytes = sink.bytes_written();
+  out.stats.ratio =
+      compression_ratio(out.stats.original_bytes, out.stats.compressed_bytes);
+  out.stats.peak_resident_bytes = meter.peak.load(std::memory_order_relaxed);
+  return out;
+}
+
+io::SourceMode source_mode(const StreamingConfig& cfg) {
+  return cfg.use_mmap ? io::SourceMode::kAuto : io::SourceMode::kRead;
+}
+
 }  // namespace
 
 StreamingCompressed StreamingCompressor::compress(std::span<const float> data,
@@ -542,6 +1066,64 @@ StreamingCompressed StreamingCompressor::compress(std::span<const float> data, c
 StreamingCompressed StreamingCompressor::compress(std::span<const double> data, const Extents& ext,
                                                   const StreamingConfig& cfg) const {
   return compress_impl(cfg, slab_compressor_, data, ext);
+}
+
+StreamingStats StreamingCompressor::compress_stream(io::FieldSource& src, DType dtype,
+                                                    const Extents& ext,
+                                                    io::ContainerSink& sink) const {
+  return compress_stream(src, dtype, ext, sink, cfg_);
+}
+
+StreamingStats StreamingCompressor::compress_stream(io::FieldSource& src, DType dtype,
+                                                    const Extents& ext, io::ContainerSink& sink,
+                                                    const StreamingConfig& cfg) const {
+  switch (dtype) {
+    case DType::kFloat32:
+      return compress_stream_impl<float>(cfg, slab_compressor_, src, ext, sink);
+    case DType::kFloat64:
+      return compress_stream_impl<double>(cfg, slab_compressor_, src, ext, sink);
+  }
+  throw std::invalid_argument("StreamingCompressor::compress_stream: unsupported element type");
+}
+
+StreamingStats StreamingCompressor::compress_file(const std::filesystem::path& input,
+                                                  const std::filesystem::path& output,
+                                                  const Extents& ext, DType dtype) const {
+  return compress_file(input, output, ext, dtype, cfg_);
+}
+
+StreamingStats StreamingCompressor::compress_file(const std::filesystem::path& input,
+                                                  const std::filesystem::path& output,
+                                                  const Extents& ext, DType dtype,
+                                                  const StreamingConfig& cfg) const {
+  const auto src = io::open_field_source(input, source_mode(cfg));
+  io::FileSink sink(output);
+  return compress_stream(*src, dtype, ext, sink, cfg);
+}
+
+StreamingFileInfo StreamingCompressor::decompress_stream(io::FieldSource& container,
+                                                         io::ContainerSink& raw) {
+  return decompress_stream(container, raw, StreamingConfig{});
+}
+
+StreamingFileInfo StreamingCompressor::decompress_stream(io::FieldSource& container,
+                                                         io::ContainerSink& raw,
+                                                         const StreamingConfig& cfg) {
+  return decode_guard("streaming container",
+                      [&] { return decompress_stream_impl(container, raw, cfg); });
+}
+
+StreamingFileInfo StreamingCompressor::decompress_file(const std::filesystem::path& input,
+                                                       const std::filesystem::path& output) {
+  return decompress_file(input, output, StreamingConfig{});
+}
+
+StreamingFileInfo StreamingCompressor::decompress_file(const std::filesystem::path& input,
+                                                       const std::filesystem::path& output,
+                                                       const StreamingConfig& cfg) {
+  const auto src = io::open_field_source(input, source_mode(cfg));
+  io::FileSink sink(output);
+  return decompress_stream(*src, sink, cfg);
 }
 
 std::vector<StreamingCompressed> StreamingCompressor::compress_many(

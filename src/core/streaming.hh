@@ -25,12 +25,18 @@
 #pragma once
 
 #include <cstdint>
+#include <filesystem>
 #include <span>
 #include <vector>
 
 #include "core/compressor.hh"
 
 namespace szp {
+
+namespace io {
+class FieldSource;
+class ContainerSink;
+}  // namespace io
 
 struct StreamingConfig {
   CompressConfig base;
@@ -54,6 +60,20 @@ struct StreamingConfig {
   /// slabs (0 = auto: 2x the worker count).  Caps the number of finished
   /// slab archives held in memory awaiting their turn in the container.
   std::size_t queue_window = 0;
+  /// Hard cap on the pipeline's resident bytes (0 = unbudgeted).  The plan
+  /// resolves slab thickness, worker count, and queue window against the
+  /// model  W·slab + Q·(slab + overhead) ≤ budget  (W staging buffers in
+  /// flight, Q finished archives parked awaiting in-order packing; see
+  /// DESIGN.md §2.3), and compression refuses with std::invalid_argument
+  /// when even a single one-plane slab cannot fit.  The budget shapes the
+  /// slab plan, so it is part of the container bytes — the same config
+  /// yields byte-identical containers in memory and file-to-file.
+  std::size_t memory_budget = 0;
+  /// File ingest mode for compress_file()/decompress_file(): mmap the input
+  /// when the platform supports it (zero-copy slab spans, residency managed
+  /// by the page cache), else — or when false — positional reads into
+  /// per-worker staging buffers, whose residency the budget meters.
+  bool use_mmap = true;
 };
 
 struct SlabInfo {
@@ -70,8 +90,10 @@ struct SlabInfo {
 /// to — and may exceed — the end-to-end wall time.
 struct StreamingPhaseTimings {
   double range_seconds = 0.0;     ///< whole-field bound resolution
+  double read_seconds = 0.0;      ///< slab ingest (source reads), summed over workers
   double compress_seconds = 0.0;  ///< per-slab compression, summed over workers
   double pack_seconds = 0.0;      ///< container packing, summed over workers
+  double write_seconds = 0.0;     ///< sink writes (subset of pack), in-order packer only
 };
 
 struct StreamingStats {
@@ -84,6 +106,12 @@ struct StreamingStats {
   /// Worker threads the slab pipeline actually ran with (1 when serial,
   /// when nested under an outer fan-out, or when there is a single slab).
   std::size_t workers_used = 1;
+  /// High-water mark of bytes the pipeline itself held resident: staging
+  /// buffers for viewless sources, finished slabs parked awaiting in-order
+  /// packing, and container bytes retained by an in-memory sink.  Bytes a
+  /// zero-copy view (span, mmap) or the OS page cache hold are not charged
+  /// — they are the caller's/kernel's residency, not the pipeline's.
+  std::size_t peak_resident_bytes = 0;
 };
 
 struct StreamingCompressed {
@@ -96,6 +124,17 @@ struct StreamingDecompressed {
   std::vector<float> data;
   std::vector<double> data_f64;
   Extents extents;
+};
+
+/// Result of an out-of-core decompress: what the container declared, plus
+/// the run's stats.  For decode runs the stats read "backwards":
+/// original_bytes is the raw field emitted, compressed_bytes the container
+/// ingested, compress_seconds the per-slab *decode* time, and pack/write
+/// cover the in-order emission of raw element bytes.
+struct StreamingFileInfo {
+  DType dtype = DType::kFloat32;
+  Extents extents;
+  StreamingStats stats;
 };
 
 /// One validated entry of a container's slab directory.  `bytes` is a view
@@ -143,6 +182,50 @@ class StreamingCompressor {
                                              const Extents& ext) const {
     return compress(std::span<const T>(data.data(), data.size()), ext);
   }
+
+  /// Out-of-core tier: compress raw element bytes flowing from a
+  /// FieldSource into a ContainerSink, so ingest (read), per-slab
+  /// compression, in-order packing, and emission (write) all overlap in the
+  /// same bounded producer/consumer queue — peak residency is bounded by
+  /// the worker count and queue window (or cfg.memory_budget), never by
+  /// field size.  The container bytes are identical to the in-memory
+  /// compress() of the same field under the same config, by construction.
+  /// `dtype` declares the element type of the source bytes; the source size
+  /// must equal ext.count() * element size exactly.
+  StreamingStats compress_stream(io::FieldSource& src, DType dtype, const Extents& ext,
+                                 io::ContainerSink& sink) const;
+  StreamingStats compress_stream(io::FieldSource& src, DType dtype, const Extents& ext,
+                                 io::ContainerSink& sink, const StreamingConfig& cfg) const;
+
+  /// File-to-file convenience over compress_stream(): `input` holds raw
+  /// little-endian elements of `dtype` with extents `ext`; the container is
+  /// streamed to `output`.  Ingest is mmap-backed when cfg.use_mmap (and
+  /// the platform allows), positional reads otherwise.
+  StreamingStats compress_file(const std::filesystem::path& input,
+                               const std::filesystem::path& output, const Extents& ext,
+                               DType dtype) const;
+  StreamingStats compress_file(const std::filesystem::path& input,
+                               const std::filesystem::path& output, const Extents& ext,
+                               DType dtype, const StreamingConfig& cfg) const;
+
+  /// Out-of-core decode: stream a container from a FieldSource, decode
+  /// slabs through the same bounded queue, and emit raw element bytes to
+  /// the sink strictly in field order.  Never materializes the whole field:
+  /// peak residency is staging + parked decoded slabs, budget-capped via
+  /// cfg.memory_budget like the compress side.
+  [[nodiscard]] static StreamingFileInfo decompress_stream(io::FieldSource& container,
+                                                           io::ContainerSink& raw);
+  [[nodiscard]] static StreamingFileInfo decompress_stream(io::FieldSource& container,
+                                                           io::ContainerSink& raw,
+                                                           const StreamingConfig& cfg);
+
+  /// File-to-file decode: reads the SZPC container at `input`, writes the
+  /// raw little-endian element bytes to `output`.
+  [[nodiscard]] static StreamingFileInfo decompress_file(const std::filesystem::path& input,
+                                                         const std::filesystem::path& output);
+  [[nodiscard]] static StreamingFileInfo decompress_file(const std::filesystem::path& input,
+                                                         const std::filesystem::path& output,
+                                                         const StreamingConfig& cfg);
 
   /// Compress a batch of fields (fields[i] has extents exts[i]), fanning the
   /// fields out across workers when cfg.parallel is set.  Equivalent to

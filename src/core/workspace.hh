@@ -69,8 +69,15 @@ struct Workspace {
   HuffmanCodebook book;
   std::vector<std::uint64_t> book_freq;  ///< histogram `book` was built from
 
+  // --- Out-of-core slab I/O ------------------------------------------------
+  /// Per-worker slab staging buffer for sources without a zero-copy view
+  /// (plain-file ingest): each pipeline worker read_at()s its claimed slab
+  /// into its leased workspace's slab_io, so steady-state out-of-core
+  /// streaming allocates no read buffers either.
+  std::vector<std::uint8_t> slab_io;
+
   /// Number of tracked buffers in the capacity snapshot.
-  static constexpr std::size_t kTrackedBuffers = 20;
+  static constexpr std::size_t kTrackedBuffers = 21;
 
   /// Capacity snapshot of every tracked buffer, in a fixed order.  A fixed
   /// array (not a vector) so lease accounting itself never allocates —

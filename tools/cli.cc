@@ -1,5 +1,7 @@
 #include "tools/cli.hh"
 
+#include <array>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <functional>
@@ -59,7 +61,8 @@ struct Args {
 bool takes_value(const std::string& opt) {
   static const std::vector<std::string> valued{"-i",          "-o",      "-d",     "--eb",
                                                "--workflow",  "--predictor", "--stream",
-                                               "--workers",
+                                               "--workers",   "--in",    "--out",
+                                               "--memory-budget",
                                                "--dataset",   "--field", "--scale",
                                                "--psnr",      "-a",      "-b",
                                                "--name",      "--bundle",
@@ -185,6 +188,46 @@ int maybe_checked(const Args& a, std::ostream& out, const std::function<int()>& 
   return sim::checked::current_report().clean() ? 0 : 3;
 }
 
+/// Input/output paths accept the classic -i/-o or the long --in/--out.
+std::string require_path(const Args& a, const char* short_opt, const char* long_opt) {
+  if (const auto v = a.get(short_opt)) return *v;
+  if (const auto v = a.get(long_opt)) return *v;
+  throw std::invalid_argument(std::string("missing required option ") + short_opt + " (or " +
+                              long_opt + ")");
+}
+
+/// Byte counts with optional K/M/G (binary) suffix: "64M" -> 67108864.
+std::size_t parse_byte_size(const std::string& s) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (end == s.c_str()) throw std::invalid_argument("bad byte count '" + s + "'");
+  std::size_t mult = 1;
+  if (*end != '\0') {
+    switch (*end) {
+      case 'k': case 'K': mult = std::size_t{1} << 10; break;
+      case 'm': case 'M': mult = std::size_t{1} << 20; break;
+      case 'g': case 'G': mult = std::size_t{1} << 30; break;
+      default: throw std::invalid_argument("bad byte count '" + s + "'");
+    }
+    if (*(end + 1) != '\0') throw std::invalid_argument("bad byte count '" + s + "'");
+  }
+  return static_cast<std::size_t>(v) * mult;
+}
+
+/// The streaming knobs shared by both directions of the out-of-core path.
+StreamingConfig streaming_config(const Args& a) {
+  StreamingConfig scfg;
+  scfg.parallel = !a.has_flag("--serial-slabs");
+  scfg.use_mmap = !a.has_flag("--no-mmap");
+  if (const auto workers = a.get("--workers")) {
+    scfg.workers = static_cast<std::size_t>(std::stoull(*workers));
+  }
+  if (const auto budget = a.get("--memory-budget")) {
+    scfg.memory_budget = parse_byte_size(*budget);
+  }
+  return scfg;
+}
+
 template <typename T>
 std::vector<T> read_raw(const std::string& path) {
   const auto bytes = read_bytes(path);
@@ -197,8 +240,8 @@ std::vector<T> read_raw(const std::string& path) {
 }
 
 int cmd_compress(const Args& a, std::ostream& out) {
-  const auto in_path = a.require("-i");
-  const auto out_path = a.require("-o");
+  const auto in_path = require_path(a, "-i", "--in");
+  const auto out_path = require_path(a, "-o", "--out");
   const Extents ext = parse_dims(a.require("-d"));
   const bool is_double = a.has_flag("--double");
 
@@ -211,6 +254,30 @@ int cmd_compress(const Args& a, std::ostream& out) {
   }
   cfg.workflow = parse_workflow(a.get("--workflow").value_or("auto"));
   cfg.predictor = parse_predictor(a.get("--predictor").value_or("lorenzo"));
+
+  if (a.get("--memory-budget")) {
+    // Out-of-core file-to-file: the field streams straight from the input
+    // file through the bounded slab pipeline into the output container —
+    // never materialized in memory, peak residency capped by the budget.
+    StreamingConfig scfg = streaming_config(a);
+    scfg.base = cfg;
+    if (const auto stream = a.get("--stream")) {
+      if (*stream == "auto") {
+        scfg.auto_slab_thickness = true;
+      } else {
+        scfg.max_slab_elems = static_cast<std::size_t>(std::stoull(*stream));
+      }
+    }
+    const auto stats = StreamingCompressor(scfg).compress_file(
+        in_path, out_path, ext, is_double ? DType::kFloat64 : DType::kFloat32);
+    out << "streamed " << stats.slabs.size() << " slabs (" << stats.workers_used
+        << " workers) file-to-file\n";
+    out << "peak resident: " << stats.peak_resident_bytes << " bytes (budget "
+        << scfg.memory_budget << ")\n";
+    out << "compressed " << ext.count() << " values -> " << stats.compressed_bytes
+        << " bytes (ratio " << stats.ratio << "x)\n";
+    return 0;
+  }
 
   const auto run = [&](auto data) -> std::pair<std::vector<std::uint8_t>, double> {
     if (data.size() != ext.count()) {
@@ -251,8 +318,31 @@ int cmd_compress(const Args& a, std::ostream& out) {
 }
 
 int cmd_decompress(const Args& a, std::ostream& out) {
-  const auto bytes = read_bytes(a.require("-i"));
-  const auto out_path = a.require("-o");
+  const auto in_path = require_path(a, "-i", "--in");
+  const auto out_path = require_path(a, "-o", "--out");
+
+  if (a.get("--memory-budget")) {
+    // Out-of-core file-to-file: containers stream slab-by-slab; a bare
+    // archive has no slab structure to stream, so it falls through to the
+    // in-memory path below.
+    std::array<char, 4> magic{};
+    std::ifstream probe(in_path, std::ios::binary);
+    probe.read(magic.data(), magic.size());
+    if (probe.gcount() == 4 && std::memcmp(magic.data(), "SZPC", 4) == 0) {
+      const StreamingConfig scfg = streaming_config(a);
+      const auto info = StreamingCompressor::decompress_file(in_path, out_path, scfg);
+      out << "streamed " << info.stats.slabs.size() << " slabs (" << info.stats.workers_used
+          << " workers) file-to-file\n";
+      out << "peak resident: " << info.stats.peak_resident_bytes << " bytes (budget "
+          << scfg.memory_budget << ")\n";
+      out << "decompressed " << info.stats.compressed_bytes << " bytes -> "
+          << info.stats.original_bytes << " bytes\n";
+      return 0;
+    }
+    out << "note: not an SZPC container; --memory-budget ignored\n";
+  }
+
+  const auto bytes = read_bytes(in_path);
 
   // Containers and single archives are distinguished by magic.
   std::vector<std::uint8_t> raw;
@@ -550,8 +640,10 @@ void usage(std::ostream& err) {
          "                 [--workflow auto|huffman|rle|rle+vle]\n"
          "                 [--predictor lorenzo|regression|interpolation] [--double]\n"
          "                 [--stream N|auto] [--serial-slabs] [--workers N]\n"
+         "                 [--memory-budget BYTES[K|M|G]] [--no-mmap]\n"
          "                 [--check | --check=word] [--fuzz-schedule[=N]]\n"
          "  szp decompress -i in.szp -o out.f32 [--serial-slabs] [--workers N]\n"
+         "                 [--memory-budget BYTES[K|M|G]] [--no-mmap]\n"
          "                 [--check | --check=word] [--fuzz-schedule[=N]]\n"
          "  szp info       -i in.szp\n"
          "  szp gen        -o out.f32 --dataset CESM-ATM --field FSDSC [--scale 0.25]\n"
@@ -576,6 +668,15 @@ void usage(std::ostream& err) {
          "the worker pool); --serial-slabs forces one-at-a-time in both directions\n"
          "(the container bytes are identical either way).  --workers N (or the\n"
          "SZP_WORKERS environment variable) sets the slab worker-pool size.\n"
+         "--memory-budget BYTES (K/M/G suffixes accepted; --in/--out work as\n"
+         "aliases for -i/-o) switches both directions to the out-of-core\n"
+         "file-to-file path: the field streams through the slab pipeline without\n"
+         "ever being materialized in memory, slab thickness and queue window are\n"
+         "resolved so peak residency stays within the budget (refused with a\n"
+         "clear error when even one single-plane slab cannot fit), and the\n"
+         "container bytes are identical to the in-memory path under the same\n"
+         "config.  Ingest uses mmap when available; --no-mmap forces positional\n"
+         "reads through budget-metered staging buffers.\n"
          "--check replays the run under the simulated-GPU race & bounds checker\n"
          "(exit 3 if violations are found); SZP_SIM_CHECK=1 enables it globally.\n"
          "--check=word upgrades to word-granular shadow memory (racecheck-style\n"

@@ -78,6 +78,20 @@ std::vector<std::uint8_t> sample_text(std::size_t n) {
   return v;
 }
 
+/// Decode through the file-based out-of-core path: the mutant round-trips
+/// through disk so FileFieldSource ingest (positional reads, no mmap view),
+/// the streaming slab-directory walk, and FileSink emission all face the
+/// corrupted bytes — the same route `szp -d --memory-budget` takes.
+void decode_via_file(std::span<const std::uint8_t> bytes) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "szp_fuzz_oocore";
+  fs::create_directories(dir);
+  data::write_bytes(dir / "mutant.szpc", bytes);
+  StreamingConfig cfg;
+  cfg.use_mmap = false;
+  (void)StreamingCompressor::decompress_file(dir / "mutant.szpc", dir / "mutant.raw", cfg);
+}
+
 Target szp_target(const std::string& name, Workflow wf, PredictorKind pred,
                   const Extents& ext, bool f64) {
   CompressConfig cfg;
@@ -126,6 +140,19 @@ std::vector<Target> make_targets() {
       (void)StreamingCompressor::decompress(b);
     };
     // The container itself has no trailing CRC; its nested slabs do.
+    targets.push_back(std::move(t));
+  }
+
+  {
+    Target t;
+    t.name = "streaming-file/huffman-1d-f32";
+    StreamingConfig scfg;
+    scfg.base.eb = ErrorBound::absolute(1e-3);
+    scfg.base.workflow = Workflow::kHuffman;
+    scfg.max_slab_elems = 512;
+    const Extents ext = Extents::d1(2048);
+    t.archive = StreamingCompressor(scfg).compress(wave_f32(ext.count()), ext).bytes;
+    t.decode = [](std::span<const std::uint8_t> b) { decode_via_file(b); };
     targets.push_back(std::move(t));
   }
 
@@ -263,6 +290,9 @@ CorpusEntry parse_entry(std::span<const std::uint8_t> bytes) {
 std::function<void(std::span<const std::uint8_t>)> decoder_for(const std::string& name) {
   if (name.rfind("szp/", 0) == 0) {
     return [](std::span<const std::uint8_t> b) { (void)Compressor::decompress(b); };
+  }
+  if (name.rfind("streaming-file/", 0) == 0) {
+    return [](std::span<const std::uint8_t> b) { decode_via_file(b); };
   }
   if (name.rfind("streaming/", 0) == 0) {
     return [](std::span<const std::uint8_t> b) { (void)StreamingCompressor::decompress(b); };
