@@ -5,6 +5,15 @@
 //   (2) Quantizer capacity: outlier rate vs codebook size/alphabet cost.
 //   (3) The final host lossless stage: LZ77+Huffman (gzip stand-in) vs
 //       LZ77+rANS (Zstd stand-in, cuSZ's actual Step-9 choice).
+//   (4) The pluggable codec tier: every registered quant-code codec swept
+//       over representative fields, measured ratio vs the selector's modeled
+//       numbers, emitted as BENCH_codec.json — with a gate that kAuto's pick
+//       is never Pareto-dominated (both lower measured ratio AND >5% worse
+//       modeled encode time than some fixed codec).
+#include <cstring>
+#include <fstream>
+#include <string>
+
 #include "bench/bench_util.hh"
 #include "core/metrics.hh"
 #include "lossless/lzh.hh"
@@ -16,9 +25,38 @@ namespace {
 using namespace szp;
 using namespace szp::bench;
 
+constexpr Workflow kFixedCodecs[] = {Workflow::kHuffman, Workflow::kRle, Workflow::kRleVle,
+                                     Workflow::kRans,    Workflow::kLz77, Workflow::kLzh,
+                                     Workflow::kLzr};
+
+const char* codec_name(Workflow wf) {
+  switch (wf) {
+    case Workflow::kHuffman: return "huffman";
+    case Workflow::kRle: return "rle";
+    case Workflow::kRleVle: return "rle+vle";
+    case Workflow::kRans: return "rans";
+    case Workflow::kLz77: return "lz77";
+    case Workflow::kLzh: return "lzh";
+    case Workflow::kLzr: return "lzr";
+    case Workflow::kAuto: return "auto";
+  }
+  return "?";
+}
+
+double modeled_encode_seconds(const WorkflowDecision& d, Workflow wf) {
+  for (const auto& s : d.scores) {
+    if (s.workflow == wf) return s.modeled_encode_seconds;
+  }
+  return 0.0;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string json_path = "BENCH_codec.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) json_path = argv[++i];
+  }
   title("Ablation — Huffman chunk size, quantizer capacity, final lossless stage",
         "CESM FSDSC-like field; rel-eb 1e-4 unless stated");
 
@@ -87,5 +125,84 @@ int main() {
   rule();
   println("Either host stage roughly doubles the archive's density on smooth fields — and");
   println("costs host-side latency, which is exactly why cuSZ+ replaces it with on-GPU RLE.");
-  return 0;
+
+  // ---- (4) Pluggable codec tier: per-codec ratio vs modeled throughput -----
+  println("");
+  println("(4) Codec tier sweep: measured CR vs modeled V100 encode throughput");
+  const struct {
+    const char* dataset;
+    const char* field;
+    double scale;
+    double rel_eb;
+  } sweeps[] = {
+      {"CESM-ATM", "FSDSC", 0.12, 1e-2},  // smooth, sub-bit quant space
+      {"HACC", "x", 0.06, 1e-3},          // rough particle coordinates
+      {"Nyx", "temperature", 0.12, 1e-2}, // plateau-heavy cosmology
+  };
+
+  std::string entries;  // accumulated JSON rows
+  bool gate_pass = true;
+  for (const auto& sw : sweeps) {
+    const auto bf = load_field(sw.dataset, sw.field, sw.scale);
+    const double orig_bytes = static_cast<double>(bf.bytes());
+
+    CompressConfig acfg;
+    acfg.eb = ErrorBound::relative(sw.rel_eb);
+    acfg.workflow = Workflow::kAuto;
+    const auto auto_run = Compressor(acfg).compress(bf.values, bf.extents());
+    const Workflow pick = auto_run.stats.workflow_used;
+
+    println("");
+    println("%s/%s @ rel-eb %.0e (%zu elems) — kAuto picked %s", sw.dataset, sw.field,
+            sw.rel_eb, bf.values.size(), codec_name(pick));
+    println("%10s | %9s %14s %16s", "codec", "CR", "model enc GB/s", "model enc ms");
+    rule();
+
+    double best_measured = 0.0;
+    Workflow best_fixed = Workflow::kHuffman;
+    double pick_measured = 0.0;
+    for (const auto wf : kFixedCodecs) {
+      CompressConfig cfg4;
+      cfg4.eb = ErrorBound::relative(sw.rel_eb);
+      cfg4.workflow = wf;
+      const auto c = Compressor(cfg4).compress(bf.values, bf.extents());
+      const double enc_s = modeled_encode_seconds(auto_run.stats.decision, wf);
+      const double gbps = enc_s > 0.0 ? orig_bytes / enc_s / 1e9 : 0.0;
+      println("%10s | %9.2f %14.1f %16.4f", codec_name(wf), c.stats.ratio, gbps, enc_s * 1e3);
+      if (c.stats.ratio > best_measured) {
+        best_measured = c.stats.ratio;
+        best_fixed = wf;
+      }
+      if (wf == pick) pick_measured = c.stats.ratio;
+      entries += std::string(entries.empty() ? "" : ",\n") + "    {\"dataset\": \"" +
+                 sw.dataset + "\", \"field\": \"" + sw.field + "\", \"rel_eb\": " +
+                 std::to_string(sw.rel_eb) + ", \"codec\": \"" + codec_name(wf) +
+                 "\", \"measured_ratio\": " + std::to_string(c.stats.ratio) +
+                 ", \"modeled_encode_seconds\": " + std::to_string(enc_s) +
+                 ", \"modeled_encode_gbps\": " + std::to_string(gbps) +
+                 ", \"picked\": " + (wf == pick ? "true" : "false") + "}";
+    }
+    rule();
+
+    // Gate: when the auto pick forgoes the measured-best fixed codec, it must
+    // be buying modeled encode speed — never >5% slower than that codec on
+    // top of the ratio loss (Pareto domination = cost-model regression).
+    const double pick_s = modeled_encode_seconds(auto_run.stats.decision, pick);
+    const double best_s = modeled_encode_seconds(auto_run.stats.decision, best_fixed);
+    const bool dominated = pick_measured < best_measured && pick_s > 1.05 * best_s;
+    if (dominated) gate_pass = false;
+    println("gate: pick %s (CR %.2f, model %.4f ms) vs measured-best %s (CR %.2f, model "
+            "%.4f ms) -> %s",
+            codec_name(pick), pick_measured, pick_s * 1e3, codec_name(best_fixed),
+            best_measured, best_s * 1e3, dominated ? "DOMINATED" : "ok");
+  }
+
+  std::ofstream json(json_path, std::ios::trunc);
+  json << "{\n  \"entries\": [\n" << entries << "\n  ],\n"
+       << "  \"gate\": \"auto pick never Pareto-dominated by a fixed codec "
+          "(>5% worse modeled encode time AND lower measured ratio)\",\n"
+       << "  \"pass\": " << (gate_pass ? "true" : "false") << "\n}\n";
+  println("");
+  println("%s — wrote %s", gate_pass ? "PASS" : "FAIL", json_path.c_str());
+  return gate_pass ? 0 : 1;
 }

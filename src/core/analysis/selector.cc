@@ -1,6 +1,11 @@
 #include "core/analysis/selector.hh"
 
 #include <algorithm>
+#include <cmath>
+
+#include "core/pipeline/registry.hh"
+#include "sim/device.hh"
+#include "sim/perf_model.hh"
 
 namespace szp {
 
@@ -9,28 +14,80 @@ WorkflowDecision select_workflow(std::span<const std::uint64_t> freq,
   WorkflowDecision d;
   d.stats = entropy_stats(freq);
 
-  // Estimate ⟨b⟩ without building the tree.  On the highly skewed alphabets
-  // the RLE decision cares about (p1 near 1), Huffman sits essentially at
-  // the Johnsen lower bound H + R⁻, so that is the "likely achievable"
-  // value the paper's rule tests against 1.09; floored at 1 bit (no code is
-  // shorter).
+  // Legacy evidence fields (the paper's §III quantities), kept because the
+  // CLI and tests report them and because the ⟨b⟩ ≤ 1.09 rule is the
+  // ratio-only two-candidate special case of the ranking below.
   d.est_avg_bits = std::max(1.0, d.stats.avg_bits_lower());
-
   const double value_bits = static_cast<double>(bytes_per_value) * 8.0;
   d.est_vle_cr = d.est_avg_bits > 0.0 ? value_bits / d.est_avg_bits : 0.0;
-
-  // ⟨b⟩_RLE estimate: with i.i.d. symbol changes at rate (1 − p1) the
-  // expected run length is 1/(1 − p1); each run costs 32 bits (u16 value +
-  // u16 count).
   const double change_rate = std::max(1e-12, 1.0 - d.stats.p1);
   d.est_rle_bits = 32.0 * change_rate;
 
-  if (d.est_avg_bits <= cfg.avg_bits_threshold) {
-    d.workflow = cfg.prefer_rle_vle ? Workflow::kRleVle : Workflow::kRle;
-  } else {
-    d.workflow = Workflow::kHuffman;
+  // --- Rank every registered codec ----------------------------------------
+  const sim::DeviceSpec& dev = cfg.device != nullptr ? *cfg.device : sim::v100();
+  const auto& registry = pipeline::StageRegistry::instance();
+  const double n = std::max(1.0, static_cast<double>(d.stats.total));
+
+  pipeline::CodecSignals sig;
+  sig.stats = d.stats;
+  sig.freq = freq;
+  sig.n = d.stats.total;
+  sig.bytes_per_value = bytes_per_value;
+
+  d.scores.reserve(registry.codecs().size());
+  for (const auto& codec : registry.codecs()) {
+    const pipeline::CodecEstimate est = codec->estimate(sig);
+    CodecScore s;
+    s.workflow = codec->id();
+    s.name = codec->name();
+    s.est_bits_per_symbol = est.payload_bits_per_symbol;
+    s.est_fixed_bytes = est.fixed_bytes;
+    // Projected CR of the quant-code section: payload plus the fixed
+    // books/tables/chunk-metadata overhead (which is what sinks the
+    // heavyweight codecs on small slabs).
+    const double section_bits = est.payload_bits_per_symbol * n + est.fixed_bytes * 8.0;
+    s.est_ratio = value_bits * n / std::max(1.0, section_bits);
+    s.modeled_encode_seconds = sim::modeled_seconds(dev, est.encode_cost);
+    s.modeled_decode_seconds = sim::modeled_seconds(dev, est.decode_cost);
+    d.scores.push_back(s);
   }
+
+  double best_ratio = 0.0;
+  double best_time = 0.0;
+  for (const auto& s : d.scores) {
+    best_ratio = std::max(best_ratio, s.est_ratio);
+    if (best_time == 0.0 || s.modeled_encode_seconds < best_time) {
+      best_time = s.modeled_encode_seconds;
+    }
+  }
+
+  // score = w_r * ratio/best_ratio + w_t * best_time/time — both terms are
+  // in [0, 1] and equal 1 for the best candidate on that axis, so only the
+  // relative weights matter.
+  for (auto& s : d.scores) {
+    const double ratio_norm = best_ratio > 0.0 ? s.est_ratio / best_ratio : 0.0;
+    const double time_norm =
+        s.modeled_encode_seconds > 0.0 ? best_time / s.modeled_encode_seconds : 1.0;
+    s.score = cfg.ratio_weight * ratio_norm + cfg.throughput_weight * time_norm;
+  }
+
+  // Rank best-first with a deterministic tie-break on the workflow tag;
+  // cfg.prefer_rle_vle keeps the paper's preference when plain RLE and
+  // RLE+VLE land on exactly the same score.
+  std::stable_sort(d.scores.begin(), d.scores.end(), [&](const CodecScore& a,
+                                                         const CodecScore& b) {
+    if (a.score != b.score) return a.score > b.score;
+    const auto rank = [&](const CodecScore& s) {
+      if (s.workflow == Workflow::kRleVle) return cfg.prefer_rle_vle ? -1 : 1;
+      if (s.workflow == Workflow::kRle) return cfg.prefer_rle_vle ? 1 : -1;
+      return static_cast<int>(s.workflow);
+    };
+    return rank(a) < rank(b);
+  });
+
+  d.workflow = d.scores.empty() ? Workflow::kHuffman : d.scores.front().workflow;
   return d;
 }
 
 }  // namespace szp
+

@@ -11,7 +11,12 @@ namespace szp::archive {
 
 void write_header(ByteWriter& w, const ArchiveHeader& h) {
   w.put(kMagic);
-  w.put(kVersion);
+  // Emit the lowest format version that can express the workflow tag, so
+  // archives using the original four workflows stay byte-identical to
+  // pre-v3 writers.
+  const bool legacy = static_cast<std::uint8_t>(h.workflow) <=
+                      static_cast<std::uint8_t>(Workflow::kRans);
+  w.put(legacy ? kVersion : kVersionCodec);
   w.put<std::uint8_t>(static_cast<std::uint8_t>(h.extents.rank));
   w.put<std::uint8_t>(static_cast<std::uint8_t>(h.workflow));
   w.put<std::uint8_t>(static_cast<std::uint8_t>(h.dtype));
@@ -29,10 +34,10 @@ ArchiveHeader read_header(ByteReader& r) {
     throw DecodeError(DecodeErrorKind::kBadMagic, "header", "not an szp archive");
   }
   const auto version = r.get<std::uint16_t>();
-  if (version != kVersion) {
+  if (version != kVersion && version != kVersionCodec) {
     throw DecodeError(DecodeErrorKind::kBadVersion, "header",
                       "archive version " + std::to_string(version) + ", expected " +
-                          std::to_string(kVersion));
+                          std::to_string(kVersion) + " or " + std::to_string(kVersionCodec));
   }
   ArchiveHeader h;
   h.extents.rank = r.get<std::uint8_t>();
@@ -49,10 +54,14 @@ ArchiveHeader read_header(ByteReader& r) {
     throw DecodeError(DecodeErrorKind::kCorruptStream, "header",
                       "rank " + std::to_string(h.extents.rank) + " outside [1, 3]");
   }
-  if (wf > static_cast<std::uint8_t>(Workflow::kRans) ||
-      static_cast<Workflow>(wf) == Workflow::kAuto) {
+  // v2 can only carry the original four workflow tags; v3 extends the slot
+  // to the LZ codec family.  Anything else is a bad codec id.
+  const auto max_wf = version == kVersion ? static_cast<std::uint8_t>(Workflow::kRans)
+                                          : static_cast<std::uint8_t>(Workflow::kLzr);
+  if (wf > max_wf || static_cast<Workflow>(wf) == Workflow::kAuto) {
     throw DecodeError(DecodeErrorKind::kCorruptStream, "header",
-                      "unknown workflow tag " + std::to_string(wf));
+                      "unknown workflow tag " + std::to_string(wf) + " for archive version " +
+                          std::to_string(version));
   }
   h.workflow = static_cast<Workflow>(wf);
   if (static_cast<DType>(dt) != DType::kFloat32 && static_cast<DType>(dt) != DType::kFloat64) {

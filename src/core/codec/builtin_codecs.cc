@@ -1,0 +1,405 @@
+// szp — the built-in LosslessCodec implementations, one per Workflow:
+// chunked Huffman, RLE, RLE+VLE (Huffman over both run streams), and rANS.
+// Each transplants the corresponding EncodeStage/DecodeStage pair of the
+// former stage split; the section byte layouts and the PipelineReport stage
+// names are pinned by the golden-archive tests.  estimate() mirrors, per
+// codec, the analytic KernelCost formulas the real kernels report, so the
+// selector's modeled seconds agree with the PipelineReport of an actual run.
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "core/codec/codec.hh"
+#include "core/error.hh"
+#include "core/huffman/codec.hh"
+#include "core/pipeline/builtin.hh"
+#include "core/rans.hh"
+#include "core/rle/rle.hh"
+#include "sim/histogram.hh"
+#include "sim/timer.hh"
+
+namespace szp::pipeline {
+
+namespace {
+
+void write_huffman_section(ByteWriter& w, const HuffmanCodebook& book,
+                           const HuffmanEncoded& enc) {
+  book.serialize(w);
+  w.put<std::uint64_t>(enc.num_symbols);
+  w.put<std::uint32_t>(enc.chunk_size);
+  w.put<std::uint32_t>(enc.gap_stride);
+  w.put_vector(enc.chunk_offsets);
+  if (enc.gap_stride > 0) w.put_vector(enc.gaps);
+  w.put_vector(enc.payload);
+}
+
+struct HuffmanSection {
+  HuffmanCodebook book;
+  HuffmanEncoded enc;
+};
+
+HuffmanSection read_huffman_section(ByteReader& r) {
+  HuffmanSection s;
+  s.book = HuffmanCodebook::deserialize(r);
+  r.set_segment("huffman stream");
+  s.enc.num_symbols = r.get<std::uint64_t>();
+  s.enc.chunk_size = r.get<std::uint32_t>();
+  s.enc.gap_stride = r.get<std::uint32_t>();
+  s.enc.chunk_offsets = r.get_vector<std::uint64_t>();
+  if (s.enc.gap_stride > 0) s.enc.gaps = r.get_vector<std::uint32_t>();
+  s.enc.payload = r.get_vector<std::uint8_t>();
+  return s;
+}
+
+/// Copy a decoded symbol vector into the caller's span, enforcing the
+/// header-validated element count (shared by every built-in decode path).
+void deliver_symbols(const std::vector<quant_t>& symbols, std::span<quant_t> out) {
+  if (symbols.size() != out.size()) {
+    throw DecodeError(DecodeErrorKind::kCorruptStream, "quant-codes",
+                      "decoded " + std::to_string(symbols.size()) + " symbols, the grid holds " +
+                          std::to_string(out.size()));
+  }
+  std::copy(symbols.begin(), symbols.end(), out.begin());
+}
+
+/// Live (nonzero) histogram entries — the serialized size of the sparse
+/// codebook/model forms depends on it.
+std::size_t live_symbols(std::span<const std::uint64_t> freq) {
+  std::size_t live = 0;
+  for (const auto f : freq) live += f > 0 ? 1u : 0u;
+  return live;
+}
+
+/// Projected run count of an RLE pass: geometric runs at change rate
+/// (1 − p1), plus the u16 length cap splitting oversized runs.
+double estimated_runs(const CodecSignals& sig) {
+  const double n = static_cast<double>(sig.n);
+  const double change = std::max(1e-12, 1.0 - sig.stats.p1);
+  return std::max(1.0, std::max(n * change, n / 65535.0));
+}
+
+/// Serialized size of a sparse Huffman codebook (alphabet u32, live u32,
+/// live × (symbol u32 + length u8)).
+double huffman_book_bytes(std::size_t live) { return 8.0 + 5.0 * static_cast<double>(live); }
+
+/// Fixed framing of one Huffman section beyond the codebook: num_symbols,
+/// chunk_size, gap_stride, and the offsets/payload vector headers plus one
+/// u64 offset per chunk (+1 sentinel).
+double huffman_section_bytes(double symbols, std::uint32_t chunk) {
+  const double chunks = std::ceil(symbols / std::max(1u, chunk)) + 1.0;
+  return 8.0 + 4.0 + 4.0 + 8.0 + 8.0 * chunks + 8.0;
+}
+
+/// Analytic encode cost of a chunked-Huffman pass over `symbols` symbols at
+/// `bits` bits each — same shape huffman_encode_into() reports.
+sim::KernelCost huffman_encode_cost(double symbols, double bits, std::size_t book_live) {
+  sim::KernelCost c;
+  c.bytes_read = static_cast<std::uint64_t>(symbols) * sizeof(quant_t) + book_live * 9;
+  c.bytes_written = static_cast<std::uint64_t>(symbols * bits / 8.0);
+  c.flops = static_cast<std::uint64_t>(symbols) * 8;
+  c.parallel_items = std::max<std::uint64_t>(1, static_cast<std::uint64_t>(symbols));
+  c.pattern = sim::AccessPattern::kScattered;
+  c.custom_factor = 0.09;  // calibrated to Table VI Huffman rows
+  c.launches = 3;          // chunk_sizes + scan + deflate
+  return c;
+}
+
+/// Analytic decode cost of the chunked-Huffman inflate — same shape
+/// huffman_decode() reports (bit-serial table walk, compute-bound).
+sim::KernelCost huffman_decode_cost(double symbols, double bits, std::size_t book_live,
+                                    std::uint32_t chunk) {
+  sim::KernelCost c;
+  c.bytes_read = static_cast<std::uint64_t>(symbols * bits / 8.0) + book_live * 9;
+  c.bytes_written = static_cast<std::uint64_t>(symbols) * sizeof(quant_t);
+  c.flops = static_cast<std::uint64_t>(symbols) *
+            (130 + 320 * std::min<std::uint64_t>(chunk, 4096) / 4096);
+  c.parallel_items = std::max<std::uint64_t>(1, static_cast<std::uint64_t>(symbols));
+  c.pattern = sim::AccessPattern::kCoalescedStreaming;
+  return c;
+}
+
+class HuffmanCodec final : public LosslessCodec {
+ public:
+  [[nodiscard]] Workflow id() const override { return Workflow::kHuffman; }
+  [[nodiscard]] const char* name() const override { return "huffman"; }
+
+  void encode(std::span<const quant_t> quant, const EncodeContext& ctx, Workspace& ws,
+              ByteWriter& w, sim::PipelineReport& report) const override {
+    sim::Timer t;
+    const bool cached = ws.book_freq.size() == ctx.freq.size() &&
+                        std::equal(ws.book_freq.begin(), ws.book_freq.end(), ctx.freq.begin());
+    if (!cached) {
+      ws.book = HuffmanCodebook::build(ctx.freq);
+      ws.book_freq.assign(ctx.freq.begin(), ctx.freq.end());
+    }
+    report.add({"huffman_book", ctx.original_bytes, t.seconds(), ws.book.build_cost()});
+    t.reset();
+    huffman_encode_into(quant, ws.book, ctx.cfg.huffman_chunk, HuffmanEncVariant::kOptimized,
+                        ctx.cfg.huffman_gap_stride, ws.huffman, ws.huffman_chunk_bytes);
+    report.add({"huffman_encode", ctx.original_bytes, t.seconds(), ws.huffman.cost});
+    write_huffman_section(w, ws.book, ws.huffman);
+  }
+
+  void decode(ByteReader& r, const DecodeContext& ctx, std::span<quant_t> out,
+              sim::PipelineReport& report) const override {
+    sim::Timer t;
+    auto s = read_huffman_section(r);
+    auto dec = huffman_decode(s.enc, s.book);
+    report.add({"huffman_decode", ctx.payload_bytes, t.seconds(), dec.cost});
+    deliver_symbols(dec.symbols, out);
+  }
+
+  [[nodiscard]] CodecEstimate estimate(const CodecSignals& sig) const override {
+    const std::size_t live = live_symbols(sig.freq);
+    const double n = static_cast<double>(sig.n);
+    CodecEstimate e;
+    // On the near-geometric quant-code alphabets Huffman sits within a hair
+    // of the entropy, so the selection estimate uses H itself; the codec's
+    // real handicap — the one the paper's §III rule exploits — is the 1
+    // bit/symbol floor (no code is shorter), which caps float CR at 32x.
+    // Adding the Johnsen redundancy R⁻ here would hand rANS (H·1.01) a
+    // spurious across-the-board ratio edge.
+    e.payload_bits_per_symbol = std::max(1.0, sig.stats.entropy_bits);
+    e.fixed_bytes = huffman_book_bytes(live) + huffman_section_bytes(n, sig.huffman_chunk);
+    e.encode_cost = huffman_encode_cost(n, e.payload_bits_per_symbol, live);
+    e.decode_cost = huffman_decode_cost(n, e.payload_bits_per_symbol, live, sig.huffman_chunk);
+    return e;
+  }
+};
+
+class RleCodec final : public LosslessCodec {
+ public:
+  [[nodiscard]] Workflow id() const override { return Workflow::kRle; }
+  [[nodiscard]] const char* name() const override { return "rle"; }
+
+  void encode(std::span<const quant_t> quant, const EncodeContext& ctx, Workspace&,
+              ByteWriter& w, sim::PipelineReport& report) const override {
+    sim::Timer t;
+    const auto rle = rle_encode(quant);
+    report.add({"rle_encode", ctx.original_bytes, t.seconds(), rle.cost});
+    w.put<std::uint64_t>(rle.num_symbols);
+    w.put_vector(rle.values);
+    w.put_vector(rle.counts);
+  }
+
+  void decode(ByteReader& r, const DecodeContext& ctx, std::span<quant_t> out,
+              sim::PipelineReport& report) const override {
+    sim::Timer t;
+    RleEncoded rle;
+    rle.num_symbols = r.get<std::uint64_t>();
+    rle.values = r.get_vector<quant_t>();
+    rle.counts = r.get_vector<std::uint16_t>();
+    auto dec = rle_decode(rle);
+    report.add({"rle_decode", ctx.payload_bytes, t.seconds(), dec.cost});
+    deliver_symbols(dec.symbols, out);
+  }
+
+  [[nodiscard]] CodecEstimate estimate(const CodecSignals& sig) const override {
+    const double n = static_cast<double>(sig.n);
+    const double runs = estimated_runs(sig);
+    CodecEstimate e;
+    // Each run costs 32 bits: u16 value + u16 count.
+    e.payload_bits_per_symbol = 32.0 * runs / std::max(1.0, n);
+    e.fixed_bytes = 8.0 + 16.0;  // num_symbols + two vector headers
+    e.encode_cost.bytes_read = sig.n * sizeof(quant_t);
+    e.encode_cost.bytes_written = static_cast<std::uint64_t>(runs) * 4;
+    e.encode_cost.flops = sig.n;
+    e.encode_cost.parallel_items = std::max<std::uint64_t>(1, sig.n);
+    e.encode_cost.pattern = sim::AccessPattern::kCoalescedStreaming;
+    e.encode_cost.launches = 2;  // tile_runs + merge
+    e.decode_cost.bytes_read = static_cast<std::uint64_t>(runs) * 4;
+    e.decode_cost.bytes_written = sig.n * sizeof(quant_t);
+    e.decode_cost.flops = sig.n;
+    e.decode_cost.parallel_items = std::max<std::uint64_t>(1, static_cast<std::uint64_t>(runs));
+    e.decode_cost.pattern = sim::AccessPattern::kCoalescedStreaming;
+    return e;
+  }
+};
+
+class RleVleCodec final : public LosslessCodec {
+ public:
+  [[nodiscard]] Workflow id() const override { return Workflow::kRleVle; }
+  [[nodiscard]] const char* name() const override { return "rle+vle"; }
+
+  void encode(std::span<const quant_t> quant, const EncodeContext& ctx, Workspace& ws,
+              ByteWriter& w, sim::PipelineReport& report) const override {
+    sim::Timer t;
+    const auto rle = rle_encode(quant);
+    report.add({"rle_encode", ctx.original_bytes, t.seconds(), rle.cost});
+    t.reset();
+    // VLE over both run streams (values and lengths), each with its own
+    // codebook built from its own histogram.  The streams go through the
+    // workspace's codec scratch back to back, so the value section is
+    // serialized before the scratch is reused for the count stream.
+    sim::device_histogram_into<quant_t>(
+        std::span<const quant_t>(rle.values.data(), rle.values.size()),
+        ctx.cfg.quant.capacity, ws.vle_freq, ws.hist_priv);
+    const auto vbook = HuffmanCodebook::build(ws.vle_freq);
+    huffman_encode_into(rle.values, vbook, ctx.cfg.huffman_chunk,
+                        HuffmanEncVariant::kOptimized, 0, ws.huffman, ws.huffman_chunk_bytes);
+    sim::KernelCost vle_cost = ws.huffman.cost;
+    w.put<std::uint64_t>(rle.num_symbols);
+    write_huffman_section(w, vbook, ws.huffman);
+    sim::device_histogram_into<std::uint16_t>(
+        std::span<const std::uint16_t>(rle.counts.data(), rle.counts.size()), 65536,
+        ws.vle_freq, ws.hist_priv);
+    const auto cbook = HuffmanCodebook::build(ws.vle_freq);
+    huffman_encode_into(std::span<const quant_t>(rle.counts.data(), rle.counts.size()), cbook,
+                        ctx.cfg.huffman_chunk, HuffmanEncVariant::kOptimized, 0, ws.huffman,
+                        ws.huffman_chunk_bytes);
+    vle_cost += ws.huffman.cost;
+    report.add({"rle_vle", ctx.original_bytes, t.seconds(), vle_cost});
+    write_huffman_section(w, cbook, ws.huffman);
+  }
+
+  void decode(ByteReader& r, const DecodeContext& ctx, std::span<quant_t> out,
+              sim::PipelineReport& report) const override {
+    sim::Timer t;
+    RleEncoded rle;
+    rle.num_symbols = r.get<std::uint64_t>();
+    auto vs = read_huffman_section(r);
+    auto cs = read_huffman_section(r);
+    auto vdec = huffman_decode(vs.enc, vs.book);
+    auto cdec = huffman_decode(cs.enc, cs.book);
+    rle.values = std::move(vdec.symbols);
+    rle.counts.assign(cdec.symbols.begin(), cdec.symbols.end());
+    auto dec = rle_decode(rle);
+    sim::KernelCost cost = vdec.cost;
+    cost += cdec.cost;
+    cost += dec.cost;
+    report.add({"rle_vle_decode", ctx.payload_bytes, t.seconds(), cost});
+    deliver_symbols(dec.symbols, out);
+  }
+
+  [[nodiscard]] CodecEstimate estimate(const CodecSignals& sig) const override {
+    const double n = static_cast<double>(sig.n);
+    const double runs = estimated_runs(sig);
+    const std::size_t live = live_symbols(sig.freq);
+    // The VLE pass compresses both 16-bit run streams.  Run values cycle
+    // through the live alphabet (≈ log2(live) bits each, floored at 1);
+    // run lengths cluster around the geometric mean, which canonical
+    // Huffman codes in about log2(mean) + 2 bits.
+    const double vbits = std::max(1.0, std::log2(static_cast<double>(std::max<std::size_t>(
+                                            2, live))));
+    const double mean_run = std::max(1.0, n / runs);
+    const double cbits = std::max(1.0, std::log2(mean_run) + 2.0);
+    CodecEstimate e;
+    e.payload_bits_per_symbol = runs * (vbits + cbits) / std::max(1.0, n);
+    // num_symbols + two Huffman sections: value book over the live quant
+    // alphabet, count book over ~the distinct run lengths (bounded by runs).
+    const double count_live = std::min(runs, 64.0);
+    e.fixed_bytes = 8.0 + huffman_book_bytes(live) + huffman_section_bytes(runs, sig.huffman_chunk) +
+                    huffman_book_bytes(static_cast<std::size_t>(count_live)) +
+                    huffman_section_bytes(runs, sig.huffman_chunk);
+    // RLE pass + two Huffman encodes over the (much shorter) run streams.
+    e.encode_cost.bytes_read = sig.n * sizeof(quant_t);
+    e.encode_cost.bytes_written = static_cast<std::uint64_t>(runs) * 4;
+    e.encode_cost.flops = sig.n;
+    e.encode_cost.parallel_items = std::max<std::uint64_t>(1, sig.n);
+    e.encode_cost.pattern = sim::AccessPattern::kCoalescedStreaming;
+    e.encode_cost.launches = 2;
+    e.encode_cost += huffman_encode_cost(runs, vbits, live);
+    e.encode_cost += huffman_encode_cost(runs, cbits, static_cast<std::size_t>(count_live));
+    e.decode_cost = huffman_decode_cost(runs, vbits, live, sig.huffman_chunk);
+    e.decode_cost +=
+        huffman_decode_cost(runs, cbits, static_cast<std::size_t>(count_live), sig.huffman_chunk);
+    sim::KernelCost expand;
+    expand.bytes_read = static_cast<std::uint64_t>(runs) * 4;
+    expand.bytes_written = sig.n * sizeof(quant_t);
+    expand.flops = sig.n;
+    expand.parallel_items = std::max<std::uint64_t>(1, static_cast<std::uint64_t>(runs));
+    expand.pattern = sim::AccessPattern::kCoalescedStreaming;
+    e.decode_cost += expand;
+    return e;
+  }
+};
+
+class RansCodec final : public LosslessCodec {
+ public:
+  [[nodiscard]] Workflow id() const override { return Workflow::kRans; }
+  [[nodiscard]] const char* name() const override { return "rans"; }
+
+  void encode(std::span<const quant_t> quant, const EncodeContext& ctx, Workspace&,
+              ByteWriter& w, sim::PipelineReport& report) const override {
+    sim::Timer t;
+    const auto model = RansModel::build(ctx.freq);
+    const auto enc =
+        rans_encode(std::span<const std::uint16_t>(quant.data(), quant.size()), model);
+    sim::KernelCost cost;
+    cost.bytes_read = quant.size_bytes();
+    cost.bytes_written = enc.size();
+    cost.flops = quant.size() * 20;  // div/mod state updates
+    cost.parallel_items = quant.size();
+    cost.pattern = sim::AccessPattern::kScattered;
+    cost.custom_factor = 0.06;  // ANS is heavier per symbol than Huffman
+    cost.launches = 3;          // model build + reverse-order encode + concat
+    report.add({"rans_encode", ctx.original_bytes, t.seconds(), cost});
+    model.serialize(w);
+    w.put<std::uint64_t>(quant.size());
+    w.put_vector(enc);
+  }
+
+  void decode(ByteReader& r, const DecodeContext& ctx, std::span<quant_t> out,
+              sim::PipelineReport& report) const override {
+    sim::Timer t;
+    const auto model = RansModel::deserialize(r);
+    r.set_segment("quant-codes");
+    const auto count = r.get<std::uint64_t>();
+    if (count != ctx.n) {
+      // Checked before rans_decode so a spliced count cannot drive the
+      // symbol-buffer allocation past the grid size.
+      throw DecodeError(DecodeErrorKind::kCorruptStream, "quant-codes",
+                        "rans symbol count " + std::to_string(count) +
+                            " does not match the " + std::to_string(ctx.n) + "-element grid");
+    }
+    const auto enc = r.get_vector<std::uint8_t>();
+    const auto syms = rans_decode(enc, count, model);
+    std::vector<quant_t> quant(syms.begin(), syms.end());
+    sim::KernelCost cost;
+    cost.bytes_read = enc.size();
+    cost.bytes_written = count * sizeof(quant_t);
+    cost.flops = count * 450;  // serial state chain, like Huffman decode
+    cost.parallel_items = count;
+    cost.pattern = sim::AccessPattern::kCoalescedStreaming;
+    report.add({"rans_decode", ctx.payload_bytes, t.seconds(), cost});
+    deliver_symbols(quant, out);
+  }
+
+  [[nodiscard]] CodecEstimate estimate(const CodecSignals& sig) const override {
+    const std::size_t live = live_symbols(sig.freq);
+    const double n = static_cast<double>(sig.n);
+    CodecEstimate e;
+    // Range-ANS codes at the entropy with no 1-bit floor; the 12-bit
+    // quantized probabilities cost a small multiplicative excess, and the
+    // final state flush adds 4 bytes.
+    e.payload_bits_per_symbol = sig.stats.entropy_bits * 1.01 + 32.0 / std::max(1.0, n);
+    // Sparse model table: alphabet u32 + live u32 + live × (sym u16 + freq
+    // u16), plus symbol count and payload vector header.
+    e.fixed_bytes = 8.0 + 4.0 * static_cast<double>(live) + 8.0 + 8.0;
+    e.encode_cost.bytes_read = sig.n * sizeof(quant_t);
+    e.encode_cost.bytes_written =
+        static_cast<std::uint64_t>(n * e.payload_bits_per_symbol / 8.0);
+    e.encode_cost.flops = sig.n * 20;
+    e.encode_cost.parallel_items = std::max<std::uint64_t>(1, sig.n);
+    e.encode_cost.pattern = sim::AccessPattern::kScattered;
+    e.encode_cost.custom_factor = 0.06;
+    e.encode_cost.launches = 3;  // mirrors the stage: build + encode + concat
+    e.decode_cost.bytes_read = e.encode_cost.bytes_written;
+    e.decode_cost.bytes_written = sig.n * sizeof(quant_t);
+    e.decode_cost.flops = sig.n * 450;
+    e.decode_cost.parallel_items = std::max<std::uint64_t>(1, sig.n);
+    e.decode_cost.pattern = sim::AccessPattern::kCoalescedStreaming;
+    return e;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<LosslessCodec> make_huffman_codec() { return std::make_unique<HuffmanCodec>(); }
+std::unique_ptr<LosslessCodec> make_rle_codec() { return std::make_unique<RleCodec>(); }
+std::unique_ptr<LosslessCodec> make_rle_vle_codec() { return std::make_unique<RleVleCodec>(); }
+std::unique_ptr<LosslessCodec> make_rans_codec() { return std::make_unique<RansCodec>(); }
+
+}  // namespace szp::pipeline
+

@@ -1,0 +1,99 @@
+// szp — the pluggable lossless codec tier.
+//
+// Every quant-code payload format — chunked Huffman, RLE, RLE+VLE, rANS,
+// and the LZ77 family (lz77/lzh/lzr) — implements LosslessCodec: one object
+// owns both serialization directions of its section *and* a static cost
+// estimate the selector (core/analysis/selector.hh) ranks codecs with.
+// Compressor, streaming tier, CLI, fuzz harness, and benches all reach the
+// codecs through StageRegistry lookups (core/pipeline/registry.hh), so
+// adding a codec is: implement this interface, register it, allot the next
+// Workflow tag (the archive header stores it — tags are append-only, and
+// tags past kRans bump the archive format to version 3).
+//
+// Contract highlights:
+//   * encode() serializes the codec's self-describing section directly
+//     after the outlier section; decode() must consume exactly those bytes
+//     and fill the caller's n-element span (throwing DecodeError with the
+//     taxonomy of core/error.hh on any inconsistency, always validating
+//     declared sizes *before* allocating).
+//   * Kernels run as registered checked launches with footprint contracts,
+//     so `--check=word`, `szp analyze` and the traffic analyzer cover every
+//     codec equally.
+//   * estimate() is histogram-only — no trial encode.  Its KernelCosts use
+//     the same analytic formulas the real kernels report, so the modeled
+//     encode/decode seconds the selector ranks match what PipelineReport
+//     would show.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "core/compressor.hh"
+#include "core/serialize.hh"
+#include "core/workspace.hh"
+#include "sim/profile.hh"
+
+namespace szp::pipeline {
+
+/// Everything an encoder needs besides the quant-codes themselves.
+struct EncodeContext {
+  const CompressConfig& cfg;
+  std::span<const std::uint64_t> freq;  ///< quant-code histogram
+  std::size_t original_bytes = 0;       ///< for PipelineReport entries
+};
+
+/// Decode-side inputs: the expected element count (validated against the
+/// header before any decode-driven allocation) and the uncompressed payload
+/// size used as the throughput denominator in reports.
+struct DecodeContext {
+  std::size_t n = 0;
+  std::size_t payload_bytes = 0;
+};
+
+/// Histogram-derived signals estimate() projects from (no trial encode).
+struct CodecSignals {
+  EntropyStats stats;                   ///< entropy_stats(freq)
+  std::span<const std::uint64_t> freq;  ///< quant-code histogram
+  std::size_t n = 0;                    ///< symbol count (stats.total)
+  std::size_t bytes_per_value = 4;      ///< uncompressed element width
+  std::uint32_t huffman_chunk = 4096;   ///< configured encode chunk size
+};
+
+/// What estimate() projects: payload density, fixed section overhead, and
+/// the analytic kernel costs of both directions.
+struct CodecEstimate {
+  double payload_bits_per_symbol = 0.0;  ///< projected ⟨b⟩ of the payload
+  double fixed_bytes = 0.0;              ///< books/tables/chunk metadata
+  sim::KernelCost encode_cost;
+  sim::KernelCost decode_cost;
+};
+
+/// One lossless quant-code codec: both serialization directions of its
+/// archive section plus the static cost estimate the selector ranks.
+class LosslessCodec {
+ public:
+  virtual ~LosslessCodec() = default;
+
+  /// The serialized codec id — stored in the archive header's workflow slot.
+  [[nodiscard]] virtual Workflow id() const = 0;
+  /// Stable display name (CLI `--codec` values, `analyze --codecs` rows).
+  [[nodiscard]] virtual const char* name() const = 0;
+
+  /// Serialize the quant-code section into `w`, reporting kernels into
+  /// `report` (stage names are pinned by tests and benches).
+  virtual void encode(std::span<const quant_t> quant, const EncodeContext& ctx, Workspace& ws,
+                      ByteWriter& w, sim::PipelineReport& report) const = 0;
+
+  /// Mirror of encode(): parse the section and fill all of `out` (whose
+  /// size is the header-validated element count).  Throws DecodeError when
+  /// the section is inconsistent or does not hold exactly out.size()
+  /// symbols.
+  virtual void decode(ByteReader& r, const DecodeContext& ctx, std::span<quant_t> out,
+                      sim::PipelineReport& report) const = 0;
+
+  /// Histogram-only projection of density and kernel cost (see CodecEstimate).
+  [[nodiscard]] virtual CodecEstimate estimate(const CodecSignals& sig) const = 0;
+};
+
+}  // namespace szp::pipeline
+

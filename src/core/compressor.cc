@@ -117,7 +117,7 @@ Compressed compress_impl(const CompressConfig& cfg_, std::span<const T> data,
 
   // --- Quant-code payload --------------------------------------------------
   const pipeline::EncodeContext ectx{cfg_, ws.freq, st.original_bytes};
-  registry.encoder(wf).encode(prod.quant, ectx, ws, w, st.pipeline);
+  registry.codec(wf).encode(prod.quant, ectx, ws, w, st.pipeline);
 
   out.bytes = w.take();
   // Trailing integrity checksum over everything above.
@@ -218,12 +218,10 @@ Decompressed Compressor::decompress(std::span<const std::uint8_t> archive,
     // --- Decode quant-codes -------------------------------------------------
     r.set_segment("quant-codes");
     const pipeline::DecodeContext dctx{n, payload_bytes};
-    const std::vector<quant_t> quant = registry.decoder(h.workflow).decode(r, dctx, out.pipeline);
-    if (quant.size() != n) {
-      throw DecodeError(DecodeErrorKind::kCorruptStream, "quant-codes",
-                        "decoded " + std::to_string(quant.size()) + " symbols, the grid holds " +
-                            std::to_string(n));
-    }
+    // The codec fills exactly n symbols or throws; n was validated by
+    // read_header before this allocation.
+    std::vector<quant_t> quant(n);
+    registry.codec(h.workflow).decode(r, dctx, quant, out.pipeline);
 
     // --- Scatter outliers + predictor reconstruction ------------------------
     const QuantConfig qcfg{h.capacity};

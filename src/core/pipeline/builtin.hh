@@ -1,10 +1,11 @@
-// szp — factories for the built-in pipeline stages.  Only the registry
-// constructor (registry.cc) needs these; everyone else goes through
-// StageRegistry lookups.
+// szp — factories for the built-in pipeline stages and codecs.  Only the
+// registry constructor (registry.cc) needs these; everyone else goes
+// through StageRegistry lookups.
 #pragma once
 
 #include <memory>
 
+#include "core/codec/codec.hh"
 #include "core/pipeline/stage.hh"
 
 namespace szp::pipeline {
@@ -13,14 +14,13 @@ std::unique_ptr<PredictStage> make_lorenzo_stage();
 std::unique_ptr<PredictStage> make_regression_stage();
 std::unique_ptr<PredictStage> make_interpolation_stage();
 
-std::unique_ptr<EncodeStage> make_huffman_encoder();
-std::unique_ptr<EncodeStage> make_rle_encoder();
-std::unique_ptr<EncodeStage> make_rle_vle_encoder();
-std::unique_ptr<EncodeStage> make_rans_encoder();
-
-std::unique_ptr<DecodeStage> make_huffman_decoder();
-std::unique_ptr<DecodeStage> make_rle_decoder();
-std::unique_ptr<DecodeStage> make_rle_vle_decoder();
-std::unique_ptr<DecodeStage> make_rans_decoder();
+std::unique_ptr<LosslessCodec> make_huffman_codec();
+std::unique_ptr<LosslessCodec> make_rle_codec();
+std::unique_ptr<LosslessCodec> make_rle_vle_codec();
+std::unique_ptr<LosslessCodec> make_rans_codec();
+std::unique_ptr<LosslessCodec> make_lz77_codec();
+std::unique_ptr<LosslessCodec> make_lzh_codec();
+std::unique_ptr<LosslessCodec> make_lzr_codec();
 
 }  // namespace szp::pipeline
+

@@ -16,24 +16,20 @@ StageRegistry::StageRegistry() {
   add(make_lorenzo_stage());
   add(make_regression_stage());
   add(make_interpolation_stage());
-  add(make_huffman_encoder());
-  add(make_rle_encoder());
-  add(make_rle_vle_encoder());
-  add(make_rans_encoder());
-  add(make_huffman_decoder());
-  add(make_rle_decoder());
-  add(make_rle_vle_decoder());
-  add(make_rans_decoder());
+  add(make_huffman_codec());
+  add(make_rle_codec());
+  add(make_rle_vle_codec());
+  add(make_rans_codec());
+  add(make_lz77_codec());
+  add(make_lzh_codec());
+  add(make_lzr_codec());
 }
 
 void StageRegistry::add(std::unique_ptr<PredictStage> stage) {
   predictors_.push_back(std::move(stage));
 }
-void StageRegistry::add(std::unique_ptr<EncodeStage> stage) {
-  encoders_.push_back(std::move(stage));
-}
-void StageRegistry::add(std::unique_ptr<DecodeStage> stage) {
-  decoders_.push_back(std::move(stage));
+void StageRegistry::add(std::unique_ptr<LosslessCodec> codec) {
+  codecs_.push_back(std::move(codec));
 }
 
 const PredictStage& StageRegistry::predict(PredictorKind kind) const {
@@ -45,20 +41,13 @@ const PredictStage& StageRegistry::predict(PredictorKind kind) const {
                          std::to_string(static_cast<int>(kind)));
 }
 
-const EncodeStage& StageRegistry::encoder(Workflow wf) const {
-  for (auto it = encoders_.rbegin(); it != encoders_.rend(); ++it) {
-    if ((*it)->workflow() == wf) return **it;
+const LosslessCodec& StageRegistry::codec(Workflow wf) const {
+  for (auto it = codecs_.rbegin(); it != codecs_.rend(); ++it) {
+    if ((*it)->id() == wf) return **it;
   }
-  throw std::logic_error("StageRegistry: no encode stage registered for workflow tag " +
-                         std::to_string(static_cast<int>(wf)));
-}
-
-const DecodeStage& StageRegistry::decoder(Workflow wf) const {
-  for (auto it = decoders_.rbegin(); it != decoders_.rend(); ++it) {
-    if ((*it)->workflow() == wf) return **it;
-  }
-  throw std::logic_error("StageRegistry: no decode stage registered for workflow tag " +
+  throw std::logic_error("StageRegistry: no codec registered for workflow tag " +
                          std::to_string(static_cast<int>(wf)));
 }
 
 }  // namespace szp::pipeline
+

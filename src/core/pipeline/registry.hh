@@ -1,19 +1,20 @@
 // szp — the stage registry: PredictorKind -> PredictStage and
-// Workflow -> EncodeStage / DecodeStage.
+// Workflow -> LosslessCodec.
 //
 // The built-in stages (Lorenzo / regression / interpolation predictors;
-// Huffman / RLE / RLE+VLE / rANS codecs) are registered lazily inside
-// instance()'s constructor rather than by static-initializer side effects:
-// self-registering translation units would be dropped by the linker when
-// szp_core is consumed as a static library, and lazy construction is also
-// immune to initialization-order issues.
+// Huffman / RLE / RLE+VLE / rANS / lz77 / lzh / lzr codecs) are registered
+// lazily inside instance()'s constructor rather than by static-initializer
+// side effects: self-registering translation units would be dropped by the
+// linker when szp_core is consumed as a static library, and lazy
+// construction is also immune to initialization-order issues.
 //
 // Extending the pipeline (see DESIGN.md §2.1):
-//   1. implement PredictStage (or EncodeStage + DecodeStage) from stage.hh;
+//   1. implement PredictStage (stage.hh) or LosslessCodec (core/codec/);
 //   2. call StageRegistry::instance().add(std::make_unique<MyStage>())
 //      during startup, before the first compress/decompress;
-//   3. for predictors, allot the next PredictorKind tag — the archive header
-//      stores it, so tags are append-only.
+//   3. allot the next PredictorKind / Workflow tag — the archive header
+//      stores it, so tags are append-only (codec tags past kRans write
+//      archive format version 3, core/archive.hh).
 // Registration is not thread-safe against concurrent lookups; do it before
 // spinning up compression threads.
 #pragma once
@@ -21,6 +22,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/codec/codec.hh"
 #include "core/pipeline/stage.hh"
 
 namespace szp::pipeline {
@@ -34,28 +36,28 @@ class StageRegistry {
   StageRegistry& operator=(const StageRegistry&) = delete;
 
   void add(std::unique_ptr<PredictStage> stage);
-  void add(std::unique_ptr<EncodeStage> stage);
-  void add(std::unique_ptr<DecodeStage> stage);
+  void add(std::unique_ptr<LosslessCodec> codec);
 
   /// Lookups throw std::logic_error for an unregistered key (and for
   /// Workflow::kAuto, which the selector must resolve before encoding).
   [[nodiscard]] const PredictStage& predict(PredictorKind kind) const;
-  [[nodiscard]] const EncodeStage& encoder(Workflow wf) const;
-  [[nodiscard]] const DecodeStage& decoder(Workflow wf) const;
+  [[nodiscard]] const LosslessCodec& codec(Workflow wf) const;
 
   [[nodiscard]] const std::vector<std::unique_ptr<PredictStage>>& predictors() const {
     return predictors_;
   }
-  [[nodiscard]] const std::vector<std::unique_ptr<EncodeStage>>& encoders() const {
-    return encoders_;
+  /// Registration order; the selector ranks (and `analyze --codecs` prints)
+  /// exactly this set.
+  [[nodiscard]] const std::vector<std::unique_ptr<LosslessCodec>>& codecs() const {
+    return codecs_;
   }
 
  private:
   StageRegistry();  // registers the built-ins
 
   std::vector<std::unique_ptr<PredictStage>> predictors_;
-  std::vector<std::unique_ptr<EncodeStage>> encoders_;
-  std::vector<std::unique_ptr<DecodeStage>> decoders_;
+  std::vector<std::unique_ptr<LosslessCodec>> codecs_;
 };
 
 }  // namespace szp::pipeline
+

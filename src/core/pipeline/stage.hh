@@ -7,12 +7,13 @@
 //
 // cuSZ is pitched as a modular framework precisely so the predictor and the
 // codec can be swapped (Tian et al., PACT'20).  This header makes that
-// modularity structural: each predictor branch is a PredictStage, each
-// workflow encoder an EncodeStage with a mirroring DecodeStage, and the
-// Compressor assembles a pipeline by registry lookup (registry.hh) instead
-// of hard-coded switch arms.  Adding a predictor or codec is: implement the
-// interface, register it, done — the Compressor, the streaming layer, the
-// CLI, and the benches pick it up through the same lookup.
+// modularity structural for the *prediction* half: each predictor branch is
+// a PredictStage and the Compressor assembles a pipeline by registry lookup
+// (registry.hh) instead of hard-coded switch arms.  The quant-code payload
+// half lives behind the LosslessCodec interface (core/codec/codec.hh) in the
+// same registry.  Adding a predictor or codec is: implement the interface,
+// register it, done — the Compressor, the streaming layer, the CLI, and the
+// benches pick it up through the same lookup.
 //
 // Contract highlights:
 //   * Stages serialize *directly* after the fixed archive header
@@ -84,45 +85,6 @@ class PredictStage {
                            const Extents& ext, double eb_abs, const QuantConfig& qcfg,
                            const ReconstructConfig& recon, std::size_t payload_bytes,
                            Decompressed& out) const = 0;
-};
-
-/// Everything an encoder needs besides the quant-codes themselves.
-struct EncodeContext {
-  const CompressConfig& cfg;
-  std::span<const std::uint64_t> freq;  ///< quant-code histogram
-  std::size_t original_bytes = 0;       ///< for PipelineReport entries
-};
-
-/// The quant-code payload encoder of one workflow.  Serializes its section
-/// into `w` and reports its kernels into `report`.
-class EncodeStage {
- public:
-  virtual ~EncodeStage() = default;
-
-  [[nodiscard]] virtual Workflow workflow() const = 0;
-
-  virtual void encode(std::span<const quant_t> quant, const EncodeContext& ctx, Workspace& ws,
-                      ByteWriter& w, sim::PipelineReport& report) const = 0;
-};
-
-/// Decode-side inputs: the expected element count (validated against the
-/// header before any decode-driven allocation) and the uncompressed payload
-/// size used as the throughput denominator in reports.
-struct DecodeContext {
-  std::size_t n = 0;
-  std::size_t payload_bytes = 0;
-};
-
-/// Mirror of EncodeStage: parses the workflow's section and returns the
-/// quant-codes.  Must consume exactly the bytes its encoder wrote.
-class DecodeStage {
- public:
-  virtual ~DecodeStage() = default;
-
-  [[nodiscard]] virtual Workflow workflow() const = 0;
-
-  [[nodiscard]] virtual std::vector<quant_t> decode(ByteReader& r, const DecodeContext& ctx,
-                                                    sim::PipelineReport& report) const = 0;
 };
 
 }  // namespace szp::pipeline

@@ -15,7 +15,7 @@ std::array<std::size_t, Workspace::kTrackedBuffers> Workspace::capacities() cons
       huffman.payload.capacity(),   huffman.chunk_offsets.capacity(),
       huffman.gaps.capacity(),      huffman_chunk_bytes.capacity(),
       vle_freq.capacity(),          book_freq.capacity(),
-      slab_io.capacity(),
+      codec_bytes.capacity(),       slab_io.capacity(),
   };
 }
 

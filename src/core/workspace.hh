@@ -69,6 +69,11 @@ struct Workspace {
   HuffmanCodebook book;
   std::vector<std::uint64_t> book_freq;  ///< histogram `book` was built from
 
+  /// Packed little-endian quant-code bytes for the LZ codec family
+  /// (core/codec/lz_codecs.cc): the pack kernel fills it in place, so
+  /// repeated LZ compression allocates no staging buffer.
+  std::vector<std::uint8_t> codec_bytes;
+
   // --- Out-of-core slab I/O ------------------------------------------------
   /// Per-worker slab staging buffer for sources without a zero-copy view
   /// (plain-file ingest): each pipeline worker read_at()s its claimed slab
@@ -77,7 +82,7 @@ struct Workspace {
   std::vector<std::uint8_t> slab_io;
 
   /// Number of tracked buffers in the capacity snapshot.
-  static constexpr std::size_t kTrackedBuffers = 21;
+  static constexpr std::size_t kTrackedBuffers = 22;
 
   /// Capacity snapshot of every tracked buffer, in a fixed order.  A fixed
   /// array (not a vector) so lease accounting itself never allocates —

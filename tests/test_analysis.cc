@@ -2,6 +2,7 @@
 // smoothness, and the RLE-vs-VLE workflow selector (paper §III-B).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <random>
 #include <vector>
@@ -128,10 +129,28 @@ std::vector<std::uint64_t> histogram_with_p1(double p1, std::uint64_t total = 10
   return freq;
 }
 
-TEST(Selector, VerySmoothDataSelectsRle) {
+// Find a codec's rank (0 = best) in the decision's score table.
+std::size_t rank_of(const WorkflowDecision& d, Workflow wf) {
+  for (std::size_t i = 0; i < d.scores.size(); ++i) {
+    if (d.scores[i].workflow == wf) return i;
+  }
+  ADD_FAILURE() << "workflow " << static_cast<int>(wf) << " missing from score table";
+  return d.scores.size();
+}
+
+TEST(Selector, VerySmoothDataBreaksTheHuffmanFloor) {
+  // ⟨b⟩ ≤ 1.09 is the paper's cue that Huffman is pinned at its 1-bit
+  // floor.  The cost model generalizes the rule: every sub-bit codec —
+  // rANS, RLE, RLE+VLE — must outrank Huffman here, and the winner is the
+  // fractional-bit rANS stage (best projected ratio at competitive modeled
+  // encode time).
   const auto d = select_workflow(histogram_with_p1(0.995));
-  EXPECT_EQ(d.workflow, Workflow::kRleVle);
+  EXPECT_EQ(d.workflow, Workflow::kRans);
   EXPECT_LE(d.est_avg_bits, 1.09);
+  const auto huffman_rank = rank_of(d, Workflow::kHuffman);
+  EXPECT_LT(rank_of(d, Workflow::kRans), huffman_rank);
+  EXPECT_LT(rank_of(d, Workflow::kRleVle), huffman_rank);  // the §III rule
+  EXPECT_LT(rank_of(d, Workflow::kRle), huffman_rank);
 }
 
 TEST(Selector, RoughDataSelectsHuffman) {
@@ -140,14 +159,36 @@ TEST(Selector, RoughDataSelectsHuffman) {
   EXPECT_GT(d.est_avg_bits, 1.09);
 }
 
-TEST(Selector, ThresholdIsConfigurable) {
-  SelectorConfig cfg;
-  cfg.avg_bits_threshold = 10.0;  // absurdly permissive: everything is RLE
-  EXPECT_EQ(select_workflow(histogram_with_p1(0.5), 4, cfg).workflow, Workflow::kRleVle);
+TEST(Selector, ScoreTableCoversEveryWorkflowOnce) {
+  const auto d = select_workflow(histogram_with_p1(0.9));
+  ASSERT_EQ(d.scores.size(), 7u);
+  for (const auto wf : {Workflow::kHuffman, Workflow::kRle, Workflow::kRleVle, Workflow::kRans,
+                        Workflow::kLz77, Workflow::kLzh, Workflow::kLzr}) {
+    rank_of(d, wf);  // ADD_FAILUREs when absent
+  }
+  // Ranked best-first.
+  for (std::size_t i = 1; i < d.scores.size(); ++i) {
+    EXPECT_GE(d.scores[i - 1].score, d.scores[i].score);
+  }
+}
 
-  cfg.avg_bits_threshold = 1.09;
-  cfg.prefer_rle_vle = false;
-  EXPECT_EQ(select_workflow(histogram_with_p1(0.999), 4, cfg).workflow, Workflow::kRle);
+TEST(Selector, ObjectiveWeightsAreConfigurable) {
+  // A pure-throughput objective must take the cheapest modeled encoder
+  // (plain RLE: one pass, no codebook); a pure-ratio objective on the same
+  // histogram must take the best projected ratio regardless of speed.
+  SelectorConfig fast;
+  fast.ratio_weight = 0.0;
+  fast.throughput_weight = 1.0;
+  const auto d_fast = select_workflow(histogram_with_p1(0.995), 4, fast);
+  EXPECT_EQ(d_fast.workflow, Workflow::kRle);
+
+  SelectorConfig dense;
+  dense.ratio_weight = 1.0;
+  dense.throughput_weight = 0.0;
+  const auto d_dense = select_workflow(histogram_with_p1(0.995), 4, dense);
+  double best_ratio = 0.0;
+  for (const auto& s : d_dense.scores) best_ratio = std::max(best_ratio, s.est_ratio);
+  EXPECT_EQ(d_dense.scores.front().est_ratio, best_ratio);
 }
 
 TEST(Selector, EstimatedVleCrRespectsTheFloatCeiling) {

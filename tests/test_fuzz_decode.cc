@@ -154,6 +154,33 @@ TEST(FuzzDecode, BadVersionIsNamed) {
   expect_rejected(archive, DecodeErrorKind::kBadVersion, "header");
 }
 
+TEST(FuzzDecode, BadCodecIdIsNamed) {
+  // Splice a codec id past the registered range into the workflow byte
+  // (offset 7) of a valid v3 archive and re-stamp the CRC, so the header
+  // validation — not the checksum — is what rejects it.
+  std::vector<float> data(512);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = std::sin(static_cast<float>(i) * 0.01f);
+  }
+  CompressConfig cfg;
+  cfg.eb = ErrorBound::absolute(1e-3);
+  cfg.workflow = Workflow::kLzh;  // v3 archive: widest legal codec range
+  auto archive = Compressor(cfg).compress(data, Extents::d1(data.size())).bytes;
+  archive[7] = 9;  // one past kLzr, not kAuto
+  restamp_crc(archive);
+  expect_rejected(archive, DecodeErrorKind::kCorruptStream, "header");
+}
+
+TEST(FuzzDecode, LzCodecIdRejectedInLegacyArchiveVersion) {
+  // A v2 header can only carry the original four workflow tags; an LZ id
+  // spliced into one must be rejected even though v3 readers accept it.
+  auto archive = spiked_archive();  // kHuffman -> written as v2
+  ASSERT_EQ(archive[4], 2);         // version u16 low byte
+  archive[7] = static_cast<std::uint8_t>(Workflow::kLz77);
+  restamp_crc(archive);
+  expect_rejected(archive, DecodeErrorKind::kCorruptStream, "header");
+}
+
 TEST(FuzzDecode, SplicedOutlierCountOverflowIsNamed) {
   auto archive = spiked_archive();
   // Declare UINT64_MAX/2 outlier indices: must be rejected against the

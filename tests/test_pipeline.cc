@@ -7,6 +7,7 @@
 
 #include <cmath>
 #include <cstdint>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -75,6 +76,9 @@ INSTANTIATE_TEST_SUITE_P(
         GoldenCase{"lorenzo", PredictorKind::kLorenzo, "rle", Workflow::kRle},
         GoldenCase{"lorenzo", PredictorKind::kLorenzo, "rlevle", Workflow::kRleVle},
         GoldenCase{"lorenzo", PredictorKind::kLorenzo, "rans", Workflow::kRans},
+        GoldenCase{"lorenzo", PredictorKind::kLorenzo, "lz77", Workflow::kLz77},
+        GoldenCase{"lorenzo", PredictorKind::kLorenzo, "lzh", Workflow::kLzh},
+        GoldenCase{"lorenzo", PredictorKind::kLorenzo, "lzr", Workflow::kLzr},
         GoldenCase{"regression", PredictorKind::kRegression, "huffman", Workflow::kHuffman},
         GoldenCase{"regression", PredictorKind::kRegression, "rle", Workflow::kRle},
         GoldenCase{"regression", PredictorKind::kRegression, "rlevle", Workflow::kRleVle},
@@ -270,24 +274,36 @@ TEST(StageRegistry, LookupsReturnMatchingStages) {
     EXPECT_EQ(reg.predict(k).kind(), k);
   }
   for (const Workflow wf : {Workflow::kHuffman, Workflow::kRle, Workflow::kRleVle,
-                            Workflow::kRans}) {
-    EXPECT_EQ(reg.encoder(wf).workflow(), wf);
-    EXPECT_EQ(reg.decoder(wf).workflow(), wf);
+                            Workflow::kRans, Workflow::kLz77, Workflow::kLzh, Workflow::kLzr}) {
+    EXPECT_EQ(reg.codec(wf).id(), wf);
   }
-  EXPECT_THROW((void)reg.encoder(Workflow::kAuto), std::logic_error);
-  EXPECT_THROW((void)reg.decoder(Workflow::kAuto), std::logic_error);
+  EXPECT_THROW((void)reg.codec(Workflow::kAuto), std::logic_error);
+}
+
+TEST(StageRegistry, CodecNamesAreUniqueAndStable) {
+  const auto& reg = pipeline::StageRegistry::instance();
+  std::set<std::string> names;
+  for (const auto& codec : reg.codecs()) names.insert(codec->name());
+  EXPECT_GE(names.size(), 7u);
+  EXPECT_TRUE(names.count("huffman"));
+  EXPECT_TRUE(names.count("rle"));
+  EXPECT_TRUE(names.count("rle+vle"));
+  EXPECT_TRUE(names.count("rans"));
+  EXPECT_TRUE(names.count("lz77"));
+  EXPECT_TRUE(names.count("lzh"));
+  EXPECT_TRUE(names.count("lzr"));
 }
 
 TEST(StageRegistry, LatestRegistrationWins) {
   auto& reg = pipeline::StageRegistry::instance();
-  const pipeline::EncodeStage* before = &reg.encoder(Workflow::kHuffman);
-  // Register a second (functionally identical) Huffman encoder; the lookup
+  const pipeline::LosslessCodec* before = &reg.codec(Workflow::kHuffman);
+  // Register a second (functionally identical) Huffman codec; the lookup
   // must now prefer it.  The override stays for the rest of the process,
   // which is safe precisely because it is byte-compatible.
-  reg.add(pipeline::make_huffman_encoder());
-  const pipeline::EncodeStage* after = &reg.encoder(Workflow::kHuffman);
+  reg.add(pipeline::make_huffman_codec());
+  const pipeline::LosslessCodec* after = &reg.codec(Workflow::kHuffman);
   EXPECT_NE(before, after);
-  EXPECT_EQ(after->workflow(), Workflow::kHuffman);
+  EXPECT_EQ(after->id(), Workflow::kHuffman);
 
   // The pipeline still assembles and round-trips through the override.
   CompressConfig cfg;

@@ -148,9 +148,17 @@ TEST(Streaming, PerSlabWorkflowSelection) {
   cfg.base.workflow = Workflow::kAuto;
   const auto c = StreamingCompressor(cfg).compress(data, ext);
   ASSERT_EQ(c.stats.slabs.size(), 4u);
-  EXPECT_NE(c.stats.slabs.front().workflow, Workflow::kHuffman);
-  EXPECT_EQ(c.stats.slabs.back().workflow, Workflow::kHuffman);
+  // Constant slabs route to the sub-bit rANS stage.  On the 10k-element
+  // noise slabs the wide-alphabet Huffman codebook (~5 KB) and rANS model
+  // table (~4 KB) sink both entropy coders, so the cost model takes the
+  // LZ+Huffman tier whose framing is a few hundred bytes — per-slab
+  // selection picks a different codec than whole-field selection would.
+  EXPECT_EQ(c.stats.slabs.front().workflow, Workflow::kRans);
+  EXPECT_EQ(c.stats.slabs.back().workflow, Workflow::kLzh);
   EXPECT_GT(c.stats.slabs.front().ratio, c.stats.slabs.back().ratio);
+  // The mixed-codec container must still round-trip within the bound.
+  const auto d = StreamingCompressor::decompress(c.bytes);
+  EXPECT_LT(compare_fields(data, d.data).max_abs_error, c.stats.eb_abs);
 }
 
 TEST(StreamingParallel, WorkerSweepKeepsContainersByteIdentical) {

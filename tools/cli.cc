@@ -5,6 +5,7 @@
 #include <cstring>
 #include <fstream>
 #include <functional>
+#include <iomanip>
 #include <map>
 #include <optional>
 #include <sstream>
@@ -12,6 +13,7 @@
 
 #include <cmath>
 
+#include "core/analysis/selector.hh"
 #include "core/compressor.hh"
 #include "core/error.hh"
 #include "core/huffman/codebook.hh"
@@ -60,7 +62,7 @@ struct Args {
 
 bool takes_value(const std::string& opt) {
   static const std::vector<std::string> valued{"-i",          "-o",      "-d",     "--eb",
-                                               "--workflow",  "--predictor", "--stream",
+                                               "--workflow",  "--codec", "--predictor", "--stream",
                                                "--workers",   "--in",    "--out",
                                                "--memory-budget",
                                                "--dataset",   "--field", "--scale",
@@ -111,7 +113,11 @@ Workflow parse_workflow(const std::string& s) {
   if (s == "huffman") return Workflow::kHuffman;
   if (s == "rle") return Workflow::kRle;
   if (s == "rle+vle") return Workflow::kRleVle;
-  throw std::invalid_argument("unknown workflow '" + s + "'");
+  if (s == "rans") return Workflow::kRans;
+  if (s == "lz77") return Workflow::kLz77;
+  if (s == "lzh") return Workflow::kLzh;
+  if (s == "lzr") return Workflow::kLzr;
+  throw std::invalid_argument("unknown codec '" + s + "'");
 }
 
 PredictorKind parse_predictor(const std::string& s) {
@@ -127,6 +133,9 @@ const char* workflow_name(Workflow wf) {
     case Workflow::kRle: return "rle";
     case Workflow::kRleVle: return "rle+vle";
     case Workflow::kRans: return "rans";
+    case Workflow::kLz77: return "lz77";
+    case Workflow::kLzh: return "lzh";
+    case Workflow::kLzr: return "lzr";
     case Workflow::kAuto: return "auto";
   }
   return "?";
@@ -252,7 +261,10 @@ int cmd_compress(const Args& a, std::ostream& out) {
     const double eb = std::stod(a.get("--eb").value_or("1e-3"));
     cfg.eb = a.has_flag("--abs") ? ErrorBound::absolute(eb) : ErrorBound::relative(eb);
   }
-  cfg.workflow = parse_workflow(a.get("--workflow").value_or("auto"));
+  // --codec is the canonical spelling now that the lossless tier is
+  // pluggable; --workflow stays as the historical alias.
+  const auto codec = a.get("--codec");
+  cfg.workflow = parse_workflow(codec ? *codec : a.get("--workflow").value_or("auto"));
   cfg.predictor = parse_predictor(a.get("--predictor").value_or("lorenzo"));
 
   if (a.get("--memory-budget")) {
@@ -586,9 +598,74 @@ void analyze_suite() {
   }
   (void)lossless::lzh_decompress(lossless::lzh_compress(text));
   (void)lossless::lzr_decompress(lossless::lzr_compress(text));
+
+  // --- Pluggable codec tier: round-trip through every workflow that packs
+  // quant codes into bytes, so codec/quant_pack and codec/quant_unpack (and
+  // each codec's encode/decode stages) register traffic rows.
+  const Extents ce = Extents::d1(20000);
+  std::vector<float> cfield(ce.count());
+  for (std::size_t i = 0; i < cfield.size(); ++i) {
+    cfield[i] = std::sin(0.02f * static_cast<float>(i));
+  }
+  for (const Workflow wf : {Workflow::kLz77, Workflow::kLzh, Workflow::kLzr,
+                            Workflow::kRans}) {
+    CompressConfig ccfg;
+    ccfg.eb = ErrorBound::absolute(1e-3);
+    ccfg.workflow = wf;
+    (void)Compressor::decompress(Compressor(ccfg).compress(cfield, ce).bytes);
+  }
+}
+
+/// `szp analyze --codecs`: run the cost-model selector over canned quant-code
+/// histograms spanning the compressibility regimes and print the full score
+/// table — every registered codec, best first — for each.  The histograms are
+/// fixed, so the output is deterministic.
+void codec_score_tables(std::ostream& out) {
+  struct Scenario {
+    const char* name;
+    double p1;  ///< mass on the dominant (zero-difference) symbol
+  };
+  // p1 sweeps from "every neighbor differs" to "one long plateau".
+  constexpr Scenario kScenarios[] = {
+      {"rough (p1=0.50)", 0.50},
+      {"mixed (p1=0.90)", 0.90},
+      {"smooth (p1=0.99)", 0.99},
+      {"plateau (p1=0.9999)", 0.9999},
+  };
+  constexpr std::uint64_t kTotal = 1000000;
+
+  out << "codec cost-model score tables (1M f32 quant codes, V100 model)\n";
+  for (const auto& sc : kScenarios) {
+    std::vector<std::uint64_t> freq(1024, 0);
+    freq[512] = static_cast<std::uint64_t>(sc.p1 * static_cast<double>(kTotal));
+    const std::uint64_t rest = kTotal - freq[512];
+    for (int k = 1; k <= 4; ++k) {
+      freq[512 + k] = rest / 8;
+      freq[512 - k] = rest / 8;
+    }
+    const auto d = select_workflow(freq, sizeof(float));
+    out << "\n" << sc.name << "  (H=" << std::fixed << std::setprecision(3)
+        << d.stats.entropy_bits << " bits, huffman<b>=" << d.est_avg_bits << ")\n";
+    out << "  codec     <b>est   fixed_B   ratio_est   enc_ms    dec_ms    score\n";
+    for (const auto& s : d.scores) {
+      out << "  " << std::left << std::setw(9) << workflow_name(s.workflow) << std::right
+          << std::setw(7) << std::setprecision(3) << s.est_bits_per_symbol << "  "
+          << std::setw(8) << std::setprecision(0) << s.est_fixed_bytes << "  "
+          << std::setw(10) << std::setprecision(2) << s.est_ratio << "  "
+          << std::setw(8) << std::setprecision(4) << s.modeled_encode_seconds * 1e3 << "  "
+          << std::setw(8) << s.modeled_decode_seconds * 1e3 << "  "
+          << std::setw(7) << s.score << "\n";
+    }
+    out << "  -> selected: " << workflow_name(d.workflow) << "\n";
+  }
+  out << std::defaultfloat << std::setprecision(6);
 }
 
 int cmd_analyze(const Args& a, std::ostream& out) {
+  if (a.has_flag("--codecs")) {
+    codec_score_tables(out);
+    return 0;
+  }
   // Interval-tier checking for the whole suite: every launch is proved (or
   // honestly falls back) and its observed footprint is cross-validated
   // against the declaration — including the statically derived traffic
@@ -637,7 +714,7 @@ void usage(std::ostream& err) {
   err << "szp — error-bounded lossy compressor for scientific data (cuSZ+ reproduction)\n"
          "usage:\n"
          "  szp compress   -i in.f32 -o out.szp -d ZxYxX [--eb 1e-3] [--abs]\n"
-         "                 [--workflow auto|huffman|rle|rle+vle]\n"
+         "                 [--codec auto|huffman|rle|rle+vle|rans|lz77|lzh|lzr]\n"
          "                 [--predictor lorenzo|regression|interpolation] [--double]\n"
          "                 [--stream N|auto] [--serial-slabs] [--workers N]\n"
          "                 [--memory-budget BYTES[K|M|G]] [--no-mmap]\n"
@@ -653,8 +730,11 @@ void usage(std::ostream& err) {
          "  szp bundle-extract --bundle snap.szb --name VAR -o field.szp [--tolerant]\n"
          "  szp fuzz           [--rounds N] [--seed S] [--corpus DIR] [-v]\n"
          "  szp fuzz           --replay DIR\n"
-         "  szp analyze    [--traffic] [--roofline]\n"
-         "compress also accepts --psnr TARGET_DB in place of --eb.\n"
+         "  szp analyze    [--traffic] [--roofline] [--codecs]\n"
+         "compress also accepts --psnr TARGET_DB in place of --eb, and\n"
+         "--workflow as a historical alias for --codec.  --codec auto (the\n"
+         "default) ranks every registered lossless codec with the cost model\n"
+         "and picks the best under the ratio/throughput objective.\n"
          "--tolerant salvages the intact entries of a corrupt bundle (warnings list\n"
          "the damaged ones).  fuzz mutates round-trip archives of every format and\n"
          "verifies each decoder rejects corruption with a clean error (exit 1 if the\n"
@@ -693,7 +773,11 @@ void usage(std::ostream& err) {
          "per-kernel byte-volume & coalescing table (from the same contracts);\n"
          "--roofline classifies each kernel bandwidth- vs compute-bound against\n"
          "the V100 DeviceSpec.  Either flag also fails (exit 3) when a\n"
-         "contract-carrying kernel has no nonzero derived volumes.\n";
+         "contract-carrying kernel has no nonzero derived volumes.\n"
+         "analyze --codecs instead prints the selector's deterministic score\n"
+         "table — every registered lossless codec ranked by the cost model —\n"
+         "over canned quant-code histograms spanning the compressibility\n"
+         "regimes (rough through plateau).\n";
 }
 
 }  // namespace

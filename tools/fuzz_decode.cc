@@ -1,5 +1,7 @@
 #include "tools/fuzz_decode.hh"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <cmath>
 #include <cstring>
@@ -84,7 +86,12 @@ std::vector<std::uint8_t> sample_text(std::size_t n) {
 /// corrupted bytes — the same route `szp -d --memory-budget` takes.
 void decode_via_file(std::span<const std::uint8_t> bytes) {
   namespace fs = std::filesystem;
-  const fs::path dir = fs::temp_directory_path() / "szp_fuzz_oocore";
+  // Scratch is keyed by PID: campaigns run concurrently under parallel
+  // ctest, and a shared mutant path lets one process truncate the file
+  // underneath another's read — a leaked runtime_error the contract
+  // (DecodeError-only) then flags as a spurious violation.
+  const fs::path dir = fs::temp_directory_path() /
+                       ("szp_fuzz_oocore." + std::to_string(::getpid()));
   fs::create_directories(dir);
   data::write_bytes(dir / "mutant.szpc", bytes);
   StreamingConfig cfg;
@@ -117,6 +124,14 @@ std::vector<Target> make_targets() {
   targets.push_back(szp_target("szp/rle+vle-2d-f32", Workflow::kRleVle,
                                PredictorKind::kLorenzo, Extents::d2(48, 40), false));
   targets.push_back(szp_target("szp/rans-1d-f32", Workflow::kRans, PredictorKind::kLorenzo,
+                               Extents::d1(2048), false));
+  // The LZ quant-code codecs write archive format v3; fuzzing them covers
+  // the token-stream validation paths the v2 codecs never reach.
+  targets.push_back(szp_target("szp/lz77-1d-f32", Workflow::kLz77, PredictorKind::kLorenzo,
+                               Extents::d1(2048), false));
+  targets.push_back(szp_target("szp/lzh-2d-f32", Workflow::kLzh, PredictorKind::kLorenzo,
+                               Extents::d2(48, 40), false));
+  targets.push_back(szp_target("szp/lzr-1d-f32", Workflow::kLzr, PredictorKind::kLorenzo,
                                Extents::d1(2048), false));
   targets.push_back(szp_target("szp/huffman-3d-f32", Workflow::kHuffman,
                                PredictorKind::kLorenzo, Extents::d3(12, 10, 8), false));

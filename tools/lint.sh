@@ -102,12 +102,24 @@ build_dir=${1:-"${repo_root}/build"}
 szp_bin="${build_dir}/tools/szp"
 if [ -x "${szp_bin}" ]; then
   echo "lint.sh: checking static traffic coverage (szp analyze --traffic)"
-  if ! "${szp_bin}" analyze --traffic >/dev/null; then
+  traffic_out=$("${szp_bin}" analyze --traffic) || {
     echo "lint.sh: traffic coverage FAILED — registered kernel missing from" \
          "the traffic table, or a finding fired (rerun: szp analyze --traffic)" >&2
     exit 1
-  fi
-  echo "lint.sh: traffic coverage OK"
+  }
+  # The suite only covers kernels it actually launches, so additionally pin
+  # the codec-tier kernel inventory: if the canned workload stops exercising
+  # one of these (e.g. a codec is dropped from the analyze round-trips), the
+  # lint fails rather than silently shrinking coverage.
+  for k in codec/quant_pack codec/quant_unpack lz77/tokenize lz77/token_freq \
+           lzh/encode lzh/decode lzr/token_split lzr/expand; do
+    if ! printf '%s\n' "${traffic_out}" | grep -q "${k}"; then
+      echo "lint.sh: traffic coverage FAILED — codec kernel '${k}' missing" \
+           "from the traffic table (analyze workload no longer exercises it)" >&2
+      exit 1
+    fi
+  done
+  echo "lint.sh: traffic coverage OK (codec-tier kernels pinned)"
 else
   echo "lint.sh: skipping traffic coverage (no szp binary under '${build_dir}')"
 fi
